@@ -1,0 +1,67 @@
+//! Error type for the baselines.
+
+use std::fmt;
+
+use ppc_cluster::ClusterError;
+use ppc_core::CoreError;
+use ppc_data::DataError;
+
+/// Errors produced by the baseline implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// A parameter was out of range (message explains which).
+    InvalidParameter(String),
+    /// Error from the core crate.
+    Core(CoreError),
+    /// Error from the clustering substrate.
+    Cluster(ClusterError),
+    /// Error from the data generators.
+    Data(DataError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            BaselineError::Core(e) => write!(f, "core error: {e}"),
+            BaselineError::Cluster(e) => write!(f, "clustering error: {e}"),
+            BaselineError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<CoreError> for BaselineError {
+    fn from(e: CoreError) -> Self {
+        BaselineError::Core(e)
+    }
+}
+
+impl From<ClusterError> for BaselineError {
+    fn from(e: ClusterError) -> Self {
+        BaselineError::Cluster(e)
+    }
+}
+
+impl From<DataError> for BaselineError {
+    fn from(e: DataError) -> Self {
+        BaselineError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: BaselineError = CoreError::EmptyInput.into();
+        assert!(e.to_string().contains("core"));
+        let e: BaselineError = ClusterError::EmptyInput.into();
+        assert!(e.to_string().contains("clustering"));
+        let e: BaselineError = DataError::InvalidParameter("x".into()).into();
+        assert!(e.to_string().contains("data"));
+        assert!(BaselineError::InvalidParameter("p".into()).to_string().contains("p"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # ppc-baselines — comparison points for the ppclust experiments
+//!
+//! The paper positions its protocol against three families of alternatives;
+//! this crate implements an executable stand-in for each so the experiments
+//! can measure the comparisons the paper only argues:
+//!
+//! * [`centralized`] — the non-private reference: pool all partitions and
+//!   compute the dissimilarity matrix / clustering directly. The protocol's
+//!   output must match it exactly ("no loss of accuracy").
+//! * [`sanitization`] — a perturbation-based baseline in the spirit of
+//!   Oliveira & Zaïane: data holders add noise / apply lossy transforms
+//!   before sharing, trading accuracy for privacy.
+//! * [`atallah`] — a communication-cost model of the Atallah–Kerschbaum–Du
+//!   secure edit-distance protocol (homomorphic-encryption based), which the
+//!   paper dismisses as "not feasible for clustering private data due to
+//!   high communication costs".
+//! * [`secure_sum`] and [`distributed_kmeans`] — a secure-sum based
+//!   distributed k-means in the spirit of Jha, Kruger & McDaniel, the prior
+//!   art for horizontally partitioned *numeric* data that cannot handle
+//!   strings or categorical attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atallah;
+pub mod centralized;
+pub mod distributed_kmeans;
+pub mod error;
+pub mod sanitization;
+pub mod secure_sum;
+
+pub use atallah::AtallahCostModel;
+pub use centralized::CentralizedBaseline;
+pub use error::BaselineError;
+pub use sanitization::SanitizationBaseline;

@@ -1,0 +1,105 @@
+//! Secure-sum sub-protocol for the distributed k-means baseline.
+//!
+//! Classic ring-based secure sum: the first party adds a random mask to its
+//! value, every other party adds its own value, and the first party removes
+//! the mask from the total. No individual contribution is revealed to any
+//! single party (collusion is out of scope, matching the paper's
+//! non-colluding assumption). Works over fixed-point `i64` values with
+//! wrapping arithmetic.
+
+use ppc_crypto::prng::DynStreamRng;
+use ppc_crypto::{RngAlgorithm, Seed};
+
+use crate::error::BaselineError;
+
+/// Computes the secure sum of one value per party.
+///
+/// Returns the exact sum while simulating the ring protocol: the running
+/// total each party forwards is recorded in `transcript` so tests can verify
+/// that no intermediate message equals any party's private input.
+pub fn secure_sum(values: &[i64], mask_seed: &Seed) -> Result<(i64, Vec<i64>), BaselineError> {
+    if values.len() < 2 {
+        return Err(BaselineError::InvalidParameter(
+            "secure sum needs at least two parties".into(),
+        ));
+    }
+    let mut rng = DynStreamRng::new(RngAlgorithm::ChaCha20, mask_seed);
+    let mask = rng.next_u64() as i64;
+    let mut transcript = Vec::with_capacity(values.len());
+    // Party 0 starts the ring with its masked value.
+    let mut running = values[0].wrapping_add(mask);
+    transcript.push(running);
+    for &v in &values[1..] {
+        running = running.wrapping_add(v);
+        transcript.push(running);
+    }
+    // Party 0 removes its mask from the total.
+    Ok((running.wrapping_sub(mask), transcript))
+}
+
+/// Secure element-wise sum of one vector per party (used for centroid sums
+/// and counts in the distributed k-means baseline).
+pub fn secure_vector_sum(
+    vectors: &[Vec<i64>],
+    mask_seed: &Seed,
+) -> Result<Vec<i64>, BaselineError> {
+    if vectors.len() < 2 {
+        return Err(BaselineError::InvalidParameter(
+            "secure sum needs at least two parties".into(),
+        ));
+    }
+    let dim = vectors[0].len();
+    if vectors.iter().any(|v| v.len() != dim) {
+        return Err(BaselineError::InvalidParameter(
+            "all parties must contribute vectors of the same length".into(),
+        ));
+    }
+    let mut out = Vec::with_capacity(dim);
+    for i in 0..dim {
+        let column: Vec<i64> = vectors.iter().map(|v| v[i]).collect();
+        let (sum, _) = secure_sum(&column, &mask_seed.derive(&format!("dim/{i}")))?;
+        out.push(sum);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_is_exact_and_masked() {
+        let values = vec![10, -3, 42, 7];
+        let (sum, transcript) = secure_sum(&values, &Seed::from_u64(5)).unwrap();
+        assert_eq!(sum, 56);
+        // The first message is masked: it must not equal party 0's input.
+        assert_ne!(transcript[0], values[0]);
+        // No intermediate message equals any single private input.
+        for message in &transcript {
+            assert!(!values.contains(message));
+        }
+    }
+
+    #[test]
+    fn vector_sum_matches_plain_sum() {
+        let vectors = vec![vec![1, 2, 3], vec![10, 20, 30], vec![-5, 0, 5]];
+        let sum = secure_vector_sum(&vectors, &Seed::from_u64(9)).unwrap();
+        assert_eq!(sum, vec![6, 22, 38]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(secure_sum(&[1], &Seed::from_u64(1)).is_err());
+        assert!(secure_vector_sum(&[vec![1]], &Seed::from_u64(1)).is_err());
+        assert!(
+            secure_vector_sum(&[vec![1, 2], vec![1]], &Seed::from_u64(1)).is_err()
+        );
+    }
+
+    #[test]
+    fn wrapping_extremes_still_sum_correctly() {
+        let values = vec![i64::MAX / 2, i64::MAX / 2, -(i64::MAX / 2)];
+        let (sum, _) = secure_sum(&values, &Seed::from_u64(3)).unwrap();
+        assert_eq!(sum, i64::MAX / 2);
+    }
+}

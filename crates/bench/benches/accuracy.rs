@@ -1,0 +1,60 @@
+//! Accuracy-pipeline benchmark (E7): times the privacy-preserving pipeline
+//! against the centralized and sanitization baselines on the same workload,
+//! and prints the accuracy table once so the bench log documents the
+//! "no loss of accuracy" result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ppc_baselines::centralized::CentralizedBaseline;
+use ppc_baselines::sanitization::SanitizationBaseline;
+use ppc_bench::runners::{accuracy_comparison, run_session};
+use ppc_cluster::Linkage;
+use ppc_core::protocol::NumericMode;
+use ppc_data::Workload;
+
+fn bench_accuracy(c: &mut Criterion) {
+    let workload = Workload::bird_flu(30, 3, 3, 31).unwrap();
+    let rows = accuracy_comparison(&workload, 3, &[0.3]).unwrap();
+    for row in &rows {
+        eprintln!(
+            "[accuracy] {:<44} ARI(truth)={:.3} ARI(centralized)={:.3}",
+            row.method, row.ari_vs_truth, row.ari_vs_centralized
+        );
+    }
+
+    let mut group = c.benchmark_group("accuracy_pipelines");
+    group.sample_size(10);
+    group.bench_function("privacy_preserving_protocol", |b| {
+        b.iter(|| {
+            run_session(black_box(&workload), NumericMode::Batch, 3, Linkage::Average).unwrap()
+        })
+    });
+    let schema = workload.schema().clone();
+    let central = CentralizedBaseline::new(schema.clone());
+    group.bench_function("centralized_baseline", |b| {
+        b.iter(|| {
+            central
+                .run(
+                    black_box(&workload.partitions),
+                    &schema.uniform_weights(),
+                    Linkage::Average,
+                    3,
+                )
+                .unwrap()
+        })
+    });
+    let sanitizer = SanitizationBaseline::new(schema.clone(), 0.3, 7).unwrap();
+    group.bench_function("sanitization_baseline", |b| {
+        b.iter(|| {
+            let sanitized = sanitizer.sanitize_all(black_box(&workload.partitions)).unwrap();
+            central
+                .run(&sanitized, &schema.uniform_weights(), Linkage::Average, 3)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy);
+criterion_main!(benches);

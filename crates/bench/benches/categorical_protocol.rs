@@ -1,0 +1,36 @@
+//! Microbenchmarks of the categorical comparison protocol (§4.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppc_core::protocol::categorical;
+use ppc_crypto::Prf128;
+
+fn labels(n: usize) -> Vec<String> {
+    let vocabulary = ["A", "B", "AB", "O", "unknown"];
+    (0..n).map(|i| vocabulary[i % vocabulary.len()].to_string()).collect()
+}
+
+fn bench_categorical(c: &mut Criterion) {
+    let key = Prf128::new(&[9u8; 32]);
+    let mut group = c.benchmark_group("categorical");
+    group.sample_size(20);
+    for &n in &[256usize, 1024, 4096] {
+        let column = labels(n);
+        group.bench_with_input(BenchmarkId::new("encrypt_column", n), &n, |b, _| {
+            b.iter(|| categorical::encrypt_column(black_box(&column), &key))
+        });
+    }
+    for &n in &[128usize, 512] {
+        let sites: Vec<_> = (0..3)
+            .map(|_| categorical::encrypt_column(&labels(n), &key))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("third_party_dissimilarity", 3 * n), &n, |b, _| {
+            b.iter(|| categorical::third_party_dissimilarity(black_box(&sites)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_categorical);
+criterion_main!(benches);

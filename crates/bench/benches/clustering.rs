@@ -1,0 +1,67 @@
+//! Clustering-stage benchmarks: the Lance–Williams linkages, the
+//! partitioning baselines and the agreement metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppc_cluster::agreement::adjusted_rand_index;
+use ppc_cluster::dbscan::{dbscan, DbscanConfig};
+use ppc_cluster::kmedoids::{kmedoids, KMedoidsConfig};
+use ppc_cluster::{AgglomerativeClustering, ClusterAssignment, CondensedDistanceMatrix, Linkage};
+
+fn blob_matrix(n: usize) -> CondensedDistanceMatrix {
+    // Three 1-D blobs at 0, 100, 200.
+    let coords: Vec<f64> = (0..n)
+        .map(|i| (i % 3) as f64 * 100.0 + (i as f64 * 0.618).fract() * 5.0)
+        .collect();
+    CondensedDistanceMatrix::from_fn(n, |i, j| (coords[i] - coords[j]).abs())
+}
+
+fn bench_linkages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchical_linkages");
+    group.sample_size(10);
+    let matrix = blob_matrix(200);
+    for linkage in Linkage::ALL {
+        group.bench_function(BenchmarkId::new("fit", format!("{linkage:?}")), |b| {
+            b.iter(|| AgglomerativeClustering::new(linkage).fit(black_box(&matrix)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchical_scaling");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let matrix = blob_matrix(n);
+        group.bench_with_input(BenchmarkId::new("average_linkage", n), &n, |b, _| {
+            b.iter(|| {
+                AgglomerativeClustering::new(Linkage::Average).fit_k(black_box(&matrix), 3).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_baselines");
+    group.sample_size(10);
+    let matrix = blob_matrix(150);
+    group.bench_function("kmedoids_k3", |b| {
+        b.iter(|| kmedoids(black_box(&matrix), &KMedoidsConfig::new(3)).unwrap())
+    });
+    group.bench_function("dbscan", |b| {
+        b.iter(|| dbscan(black_box(&matrix), &DbscanConfig { eps: 10.0, min_points: 3 }).unwrap())
+    });
+    let truth: Vec<usize> = (0..150).map(|i| i % 3).collect();
+    let truth = ClusterAssignment::from_labels(&truth);
+    let predicted =
+        AgglomerativeClustering::new(Linkage::Average).fit_k(&matrix, 3).unwrap();
+    group.bench_function("adjusted_rand_index", |b| {
+        b.iter(|| adjusted_rand_index(black_box(&predicted), &truth).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linkages, bench_scaling, bench_baselines);
+criterion_main!(benches);

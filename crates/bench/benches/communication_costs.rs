@@ -1,0 +1,51 @@
+//! Communication-cost sweeps (E4/E5): the benchmark times the sweep runner
+//! and, once per size, reports the measured bytes so `cargo bench` output
+//! also documents the cost curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppc_bench::runners::{alphanumeric_cost_sweep, numeric_cost_sweep};
+use ppc_core::protocol::NumericMode;
+
+fn bench_numeric_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("communication_numeric");
+    group.sample_size(10);
+    for &n in &[32usize, 128] {
+        // Print the measured byte counts once so the bench log doubles as a
+        // cost table.
+        let rows = numeric_cost_sweep(&[n], NumericMode::Batch).unwrap();
+        eprintln!(
+            "[costs] numeric batch n={n}: DH_J {} B, DH_K {} B, total {} B",
+            rows[0].initiator_bytes, rows[0].responder_bytes, rows[0].total_bytes
+        );
+        group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, &n| {
+            b.iter(|| numeric_cost_sweep(black_box(&[n]), NumericMode::Batch).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("per_pair", n), &n, |b, &n| {
+            b.iter(|| numeric_cost_sweep(black_box(&[n]), NumericMode::PerPair).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_alphanumeric_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("communication_alphanumeric");
+    group.sample_size(10);
+    for &(n, len) in &[(8usize, 16usize), (16, 32)] {
+        let rows = alphanumeric_cost_sweep(&[n], len).unwrap();
+        eprintln!(
+            "[costs] alphanumeric n={n} |s|={len}: DH_J {} B, DH_K {} B, total {} B",
+            rows[0].initiator_bytes, rows[0].responder_bytes, rows[0].total_bytes
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sweep", format!("n{n}_len{len}")),
+            &(n, len),
+            |b, &(n, len)| b.iter(|| alphanumeric_cost_sweep(black_box(&[n]), len).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_numeric_costs, bench_alphanumeric_costs);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end dissimilarity-matrix construction (Figure 11) benchmarks:
+//! in-memory driver vs networked session, over workload size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppc_cluster::Linkage;
+use ppc_core::protocol::driver::{ClusteringRequest, ThirdPartyDriver};
+use ppc_core::protocol::party::TrustedSetup;
+use ppc_core::protocol::session::ClusteringSession;
+use ppc_core::protocol::ProtocolConfig;
+use ppc_crypto::Seed;
+use ppc_data::Workload;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for &objects in &[24usize, 48, 96] {
+        let workload = Workload::bird_flu(objects, 3, 3, 11).unwrap();
+        let schema = workload.schema().clone();
+        let setup =
+            TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(1)).unwrap();
+        let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
+        group.bench_with_input(BenchmarkId::new("driver_construct", objects), &objects, |b, _| {
+            b.iter(|| driver.construct(black_box(&setup.holders), &setup.third_party).unwrap())
+        });
+        let request = ClusteringRequest {
+            weights: schema.uniform_weights(),
+            linkage: Linkage::Average,
+            num_clusters: 3,
+        };
+        group.bench_with_input(BenchmarkId::new("networked_session", objects), &objects, |b, _| {
+            b.iter(|| {
+                let session = ClusteringSession::new(schema.clone(), ProtocolConfig::default(), 3);
+                session.run(black_box(&setup.holders), &setup.third_party, &request).unwrap()
+            })
+        });
+        let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+        group.bench_with_input(BenchmarkId::new("cluster_stage", objects), &objects, |b, _| {
+            b.iter(|| driver.cluster(black_box(&output), &request).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! # ppc-bench — experiment harness for `ppclust`
+//!
+//! Two consumers share this crate:
+//!
+//! * the `experiments` binary (`cargo run -p ppc-bench --bin experiments`),
+//!   which regenerates every table of `EXPERIMENTS.md` (the measured
+//!   counterparts of the paper's worked examples, communication-cost
+//!   analyses and qualitative comparisons), and
+//! * the Criterion benches under `benches/`, which time the individual
+//!   protocol roles and the end-to-end pipelines.
+//!
+//! [`runners`] holds the shared machinery (building workloads, running
+//! sessions, collecting byte counts and accuracy numbers); [`tables`] turns
+//! runner output into the printable tables, one function per experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runners;
+pub mod tables;
+
+pub use runners::{AccuracyRow, CostRow, SessionSummary};
+pub use tables::{all_experiments, ExperimentReport};

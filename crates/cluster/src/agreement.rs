@@ -1,0 +1,200 @@
+//! External agreement metrics between two clusterings.
+//!
+//! Used by the accuracy experiments: the paper claims its protocol has "no
+//! loss of accuracy" relative to clustering the pooled data centrally, in
+//! contrast with sanitization-based approaches. These metrics quantify that
+//! claim (Rand index, adjusted Rand index, purity, pairwise F-measure).
+
+use crate::assignment::ClusterAssignment;
+use crate::error::ClusterError;
+
+/// Pair-counting contingency: (both same, same in a / split in b,
+/// split in a / same in b, both split).
+fn pair_counts(a: &ClusterAssignment, b: &ClusterAssignment) -> (u64, u64, u64, u64) {
+    let n = a.len();
+    let (mut ss, mut sd, mut ds, mut dd) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match (a.same_cluster(i, j), b.same_cluster(i, j)) {
+                (true, true) => ss += 1,
+                (true, false) => sd += 1,
+                (false, true) => ds += 1,
+                (false, false) => dd += 1,
+            }
+        }
+    }
+    (ss, sd, ds, dd)
+}
+
+fn check_lengths(a: &ClusterAssignment, b: &ClusterAssignment) -> Result<(), ClusterError> {
+    if a.is_empty() {
+        return Err(ClusterError::EmptyInput);
+    }
+    if a.len() != b.len() {
+        return Err(ClusterError::DimensionMismatch { expected: a.len(), got: b.len() });
+    }
+    Ok(())
+}
+
+/// Rand index in `[0, 1]`; 1 means identical partitions.
+pub fn rand_index(a: &ClusterAssignment, b: &ClusterAssignment) -> Result<f64, ClusterError> {
+    check_lengths(a, b)?;
+    if a.len() == 1 {
+        return Ok(1.0);
+    }
+    let (ss, sd, ds, dd) = pair_counts(a, b);
+    Ok((ss + dd) as f64 / (ss + sd + ds + dd) as f64)
+}
+
+/// Adjusted Rand index (chance-corrected); 1 means identical partitions,
+/// ~0 means chance-level agreement.
+pub fn adjusted_rand_index(
+    a: &ClusterAssignment,
+    b: &ClusterAssignment,
+) -> Result<f64, ClusterError> {
+    check_lengths(a, b)?;
+    let n = a.len() as f64;
+    if a.len() == 1 {
+        return Ok(1.0);
+    }
+    // Contingency table.
+    let ka = a.num_clusters();
+    let kb = b.num_clusters();
+    let mut table = vec![vec![0f64; kb]; ka];
+    for i in 0..a.len() {
+        table[a.label(i)][b.label(i)] += 1.0;
+    }
+    let comb2 = |x: f64| x * (x - 1.0) / 2.0;
+    let sum_ij: f64 = table.iter().flatten().map(|&x| comb2(x)).sum();
+    let sum_a: f64 = table.iter().map(|row| comb2(row.iter().sum())).sum();
+    let sum_b: f64 = (0..kb)
+        .map(|j| comb2(table.iter().map(|row| row[j]).sum()))
+        .sum();
+    let expected = sum_a * sum_b / comb2(n);
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        return Ok(1.0);
+    }
+    Ok((sum_ij - expected) / (max_index - expected))
+}
+
+/// Purity of `predicted` with respect to `truth`: the fraction of objects
+/// that belong to the majority true class of their predicted cluster.
+pub fn purity(
+    predicted: &ClusterAssignment,
+    truth: &ClusterAssignment,
+) -> Result<f64, ClusterError> {
+    check_lengths(predicted, truth)?;
+    let mut correct = 0usize;
+    for group in predicted.members() {
+        if group.is_empty() {
+            continue;
+        }
+        let mut counts = vec![0usize; truth.num_clusters()];
+        for &i in &group {
+            counts[truth.label(i)] += 1;
+        }
+        correct += counts.iter().copied().max().unwrap_or(0);
+    }
+    Ok(correct as f64 / predicted.len() as f64)
+}
+
+/// Pairwise F1 measure: harmonic mean of pair precision and recall of
+/// `predicted` against `truth`.
+pub fn pairwise_f_measure(
+    predicted: &ClusterAssignment,
+    truth: &ClusterAssignment,
+) -> Result<f64, ClusterError> {
+    check_lengths(predicted, truth)?;
+    if predicted.len() == 1 {
+        return Ok(1.0);
+    }
+    let (ss, sd, ds, _dd) = pair_counts(truth, predicted);
+    // ss: pairs together in both; ds: together in predicted but not truth;
+    // sd: together in truth but not predicted.
+    let tp = ss as f64;
+    let fp = ds as f64;
+    let fn_ = sd as f64;
+    if tp == 0.0 {
+        return Ok(0.0);
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fn_);
+    Ok(2.0 * precision * recall / (precision + recall))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assign(labels: &[usize]) -> ClusterAssignment {
+        ClusterAssignment::from_labels(labels)
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = assign(&[0, 0, 1, 1, 2]);
+        let b = assign(&[5, 5, 9, 9, 7]); // same partition, different ids
+        assert!((rand_index(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((purity(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pairwise_f_measure(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_partitions_score_low() {
+        // Truth: two clusters of 4. Prediction: all singletons.
+        let truth = assign(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let pred = assign(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(pairwise_f_measure(&pred, &truth).unwrap() < 1e-12);
+        let ari = adjusted_rand_index(&pred, &truth).unwrap();
+        assert!(ari.abs() < 0.2, "ari {ari}");
+        // Purity of singletons is trivially 1 (known weakness of purity).
+        assert!((purity(&pred, &truth).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_agreement_is_between_zero_and_one() {
+        let truth = assign(&[0, 0, 0, 1, 1, 1]);
+        let pred = assign(&[0, 0, 1, 1, 1, 1]);
+        let ri = rand_index(&pred, &truth).unwrap();
+        let ari = adjusted_rand_index(&pred, &truth).unwrap();
+        let f = pairwise_f_measure(&pred, &truth).unwrap();
+        assert!(ri > 0.5 && ri < 1.0);
+        assert!(ari > 0.0 && ari < 1.0);
+        assert!(f > 0.5 && f < 1.0);
+        let p = purity(&pred, &truth).unwrap();
+        assert!(p > 0.7 && p < 1.0);
+    }
+
+    #[test]
+    fn ari_is_symmetric() {
+        let a = assign(&[0, 0, 1, 1, 2, 2]);
+        let b = assign(&[0, 1, 1, 1, 2, 0]);
+        assert!(
+            (adjusted_rand_index(&a, &b).unwrap() - adjusted_rand_index(&b, &a).unwrap()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let a = assign(&[0, 1]);
+        let b = assign(&[0, 1, 1]);
+        assert!(rand_index(&a, &b).is_err());
+        assert!(adjusted_rand_index(&a, &b).is_err());
+        assert!(purity(&a, &b).is_err());
+        assert!(pairwise_f_measure(&a, &b).is_err());
+        let empty = assign(&[]);
+        assert!(rand_index(&empty, &empty).is_err());
+    }
+
+    #[test]
+    fn single_object_edge_case() {
+        let a = assign(&[0]);
+        let b = assign(&[3]);
+        assert_eq!(rand_index(&a, &b).unwrap(), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &b).unwrap(), 1.0);
+        assert_eq!(pairwise_f_measure(&a, &b).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Cluster assignments.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+
+/// A flat cluster assignment: `assignment[i]` is the cluster id of object
+/// `i`. Cluster ids are dense (`0..k`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterAssignment {
+    labels: Vec<usize>,
+    clusters: usize,
+}
+
+impl ClusterAssignment {
+    /// Builds an assignment from raw labels, re-mapping them to dense ids in
+    /// order of first appearance.
+    pub fn from_labels(labels: &[usize]) -> Self {
+        let mut mapping = BTreeMap::new();
+        let mut dense = Vec::with_capacity(labels.len());
+        for &l in labels {
+            let next = mapping.len();
+            let id = *mapping.entry(l).or_insert(next);
+            dense.push(id);
+        }
+        ClusterAssignment { labels: dense, clusters: mapping.len() }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the assignment covers zero objects.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Cluster id of object `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Objects grouped per cluster, cluster id order.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.clusters];
+        for (i, &l) in self.labels.iter().enumerate() {
+            groups[l].push(i);
+        }
+        groups
+    }
+
+    /// Size of each cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.members().iter().map(|m| m.len()).collect()
+    }
+
+    /// Checks that the assignment covers exactly `n` objects.
+    pub fn expect_len(&self, n: usize) -> Result<(), ClusterError> {
+        if self.labels.len() == n {
+            Ok(())
+        } else {
+            Err(ClusterError::DimensionMismatch { expected: n, got: self.labels.len() })
+        }
+    }
+
+    /// Whether two objects share a cluster.
+    pub fn same_cluster(&self, i: usize, j: usize) -> bool {
+        self.labels[i] == self.labels[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_densified_in_first_appearance_order() {
+        let a = ClusterAssignment::from_labels(&[7, 7, 2, 9, 2]);
+        assert_eq!(a.labels(), &[0, 0, 1, 2, 1]);
+        assert_eq!(a.num_clusters(), 3);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.sizes(), vec![2, 2, 1]);
+        assert_eq!(a.members()[2], vec![3]);
+        assert!(a.same_cluster(0, 1));
+        assert!(!a.same_cluster(0, 2));
+        assert_eq!(a.label(3), 2);
+    }
+
+    #[test]
+    fn empty_assignment() {
+        let a = ClusterAssignment::from_labels(&[]);
+        assert!(a.is_empty());
+        assert_eq!(a.num_clusters(), 0);
+        assert!(a.expect_len(0).is_ok());
+        assert!(a.expect_len(1).is_err());
+    }
+}

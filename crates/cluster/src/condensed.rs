@@ -1,0 +1,262 @@
+//! Packed symmetric distance matrix.
+//!
+//! This is the paper's Figure 2: an object-by-object structure where only
+//! entries below the diagonal are stored because `d[i][j] = d[j][i]` and
+//! `d[i][i] = 0`. The `m·(m−1)/2` entries are kept in a single contiguous
+//! vector in row-major lower-triangular order.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+
+/// A condensed (lower-triangular, zero-diagonal) distance matrix over `n`
+/// objects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CondensedDistanceMatrix {
+    n: usize,
+    /// Entry `(i, j)` with `i > j` lives at `i·(i−1)/2 + j`.
+    values: Vec<f64>,
+}
+
+impl CondensedDistanceMatrix {
+    /// Creates an all-zero matrix over `n` objects.
+    pub fn zeros(n: usize) -> Self {
+        CondensedDistanceMatrix { n, values: vec![0.0; n * (n.saturating_sub(1)) / 2] }
+    }
+
+    /// Creates a matrix from the packed lower-triangular values.
+    pub fn from_condensed(n: usize, values: Vec<f64>) -> Result<Self, ClusterError> {
+        let expected = n * n.saturating_sub(1) / 2;
+        if values.len() != expected {
+            return Err(ClusterError::DimensionMismatch { expected, got: values.len() });
+        }
+        Ok(CondensedDistanceMatrix { n, values })
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` for every pair `i > j`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut m = CondensedDistanceMatrix::zeros(n);
+        for i in 1..n {
+            for j in 0..i {
+                let v = f(i, j);
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero objects.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The packed values (row-major lower triangle).
+    pub fn condensed_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    #[inline]
+    fn offset(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i != j && i < self.n && j < self.n);
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        hi * (hi - 1) / 2 + lo
+    }
+
+    /// Distance between objects `i` and `j` (0 when `i == j`).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if i == j {
+            0.0
+        } else {
+            self.values[self.offset(i, j)]
+        }
+    }
+
+    /// Checked variant of [`get`](Self::get).
+    pub fn try_get(&self, i: usize, j: usize) -> Result<f64, ClusterError> {
+        if i >= self.n {
+            return Err(ClusterError::IndexOutOfBounds { index: i, size: self.n });
+        }
+        if j >= self.n {
+            return Err(ClusterError::IndexOutOfBounds { index: j, size: self.n });
+        }
+        Ok(self.get(i, j))
+    }
+
+    /// Sets the distance between `i` and `j` (`i != j`).
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        assert!(i != j, "diagonal entries are fixed at zero");
+        let off = self.offset(i, j);
+        self.values[off] = value;
+    }
+
+    /// Largest stored distance (0 for matrices with fewer than two objects).
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Smallest stored distance between distinct objects.
+    pub fn min_value(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Divides every entry by the maximum, scaling distances into `[0, 1]`.
+    ///
+    /// This is the paper's normalisation step (§5 step 4); matrices whose
+    /// maximum is zero are left untouched.
+    pub fn normalize_max(&mut self) {
+        let max = self.max_value();
+        if max > 0.0 {
+            for v in &mut self.values {
+                *v /= max;
+            }
+        }
+    }
+
+    /// Returns a weighted element-wise combination of per-attribute
+    /// matrices: `Σ w_a · d_a`, the paper's merge of per-attribute
+    /// dissimilarity matrices under a weight vector.
+    pub fn weighted_merge(
+        matrices: &[CondensedDistanceMatrix],
+        weights: &[f64],
+    ) -> Result<CondensedDistanceMatrix, ClusterError> {
+        if matrices.is_empty() {
+            return Err(ClusterError::EmptyInput);
+        }
+        if matrices.len() != weights.len() {
+            return Err(ClusterError::DimensionMismatch {
+                expected: matrices.len(),
+                got: weights.len(),
+            });
+        }
+        let n = matrices[0].n;
+        for m in matrices {
+            if m.n != n {
+                return Err(ClusterError::DimensionMismatch { expected: n, got: m.n });
+            }
+        }
+        let mut out = CondensedDistanceMatrix::zeros(n);
+        for (m, &w) in matrices.iter().zip(weights) {
+            if w < 0.0 {
+                return Err(ClusterError::InvalidParameter(format!(
+                    "negative attribute weight {w}"
+                )));
+            }
+            for (o, &v) in out.values.iter_mut().zip(&m.values) {
+                *o += w * v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute element-wise difference to another matrix of the
+    /// same size (∞ if sizes differ). Used by the accuracy experiments to
+    /// show the privacy-preserving matrix equals the centralized one.
+    pub fn max_abs_difference(&self, other: &CondensedDistanceMatrix) -> f64 {
+        if self.n != other.n {
+            return f64::INFINITY;
+        }
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut m = CondensedDistanceMatrix::zeros(4);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.condensed_values().len(), 6);
+        m.set(2, 0, 1.5);
+        assert_eq!(m.get(2, 0), 1.5);
+        assert_eq!(m.get(0, 2), 1.5); // symmetry
+        assert_eq!(m.get(1, 1), 0.0); // diagonal
+        assert_eq!(m.get(3, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn setting_diagonal_panics() {
+        let mut m = CondensedDistanceMatrix::zeros(3);
+        m.set(1, 1, 2.0);
+    }
+
+    #[test]
+    fn try_get_bounds_checks() {
+        let m = CondensedDistanceMatrix::zeros(3);
+        assert!(m.try_get(0, 2).is_ok());
+        assert!(m.try_get(3, 0).is_err());
+        assert!(m.try_get(0, 3).is_err());
+    }
+
+    #[test]
+    fn from_condensed_validates_length() {
+        assert!(CondensedDistanceMatrix::from_condensed(3, vec![1.0, 2.0, 3.0]).is_ok());
+        assert!(CondensedDistanceMatrix::from_condensed(3, vec![1.0]).is_err());
+        assert!(CondensedDistanceMatrix::from_condensed(0, vec![]).is_ok());
+        assert!(CondensedDistanceMatrix::from_condensed(1, vec![]).is_ok());
+    }
+
+    #[test]
+    fn from_fn_fills_all_pairs_symmetrically() {
+        let m = CondensedDistanceMatrix::from_fn(4, |i, j| (i + j) as f64);
+        assert_eq!(m.get(3, 1), 4.0);
+        assert_eq!(m.get(1, 3), 4.0);
+        assert_eq!(m.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn normalize_scales_to_unit_interval() {
+        let mut m = CondensedDistanceMatrix::from_fn(4, |i, j| (i * 10 + j) as f64);
+        m.normalize_max();
+        assert!((m.max_value() - 1.0).abs() < 1e-12);
+        assert!(m.min_value() >= 0.0);
+        // Normalising an all-zero matrix is a no-op.
+        let mut z = CondensedDistanceMatrix::zeros(3);
+        z.normalize_max();
+        assert_eq!(z.max_value(), 0.0);
+    }
+
+    #[test]
+    fn weighted_merge_combines_attributes() {
+        let a = CondensedDistanceMatrix::from_fn(3, |_, _| 1.0);
+        let b = CondensedDistanceMatrix::from_fn(3, |_, _| 2.0);
+        let merged = CondensedDistanceMatrix::weighted_merge(&[a, b], &[0.25, 0.5]).unwrap();
+        assert!((merged.get(2, 1) - (0.25 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_merge_validates_inputs() {
+        let a = CondensedDistanceMatrix::zeros(3);
+        let b = CondensedDistanceMatrix::zeros(4);
+        assert!(CondensedDistanceMatrix::weighted_merge(&[], &[]).is_err());
+        assert!(
+            CondensedDistanceMatrix::weighted_merge(&[a.clone()], &[0.5, 0.5]).is_err()
+        );
+        assert!(CondensedDistanceMatrix::weighted_merge(&[a.clone(), b], &[1.0, 1.0]).is_err());
+        assert!(CondensedDistanceMatrix::weighted_merge(&[a], &[-1.0]).is_err());
+    }
+
+    #[test]
+    fn max_abs_difference_detects_mismatch() {
+        let a = CondensedDistanceMatrix::from_fn(3, |i, j| (i + j) as f64);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_difference(&b), 0.0);
+        b.set(2, 1, 100.0);
+        assert!(a.max_abs_difference(&b) > 90.0);
+        let c = CondensedDistanceMatrix::zeros(4);
+        assert!(a.max_abs_difference(&c).is_infinite());
+    }
+}

@@ -1,0 +1,185 @@
+//! DBSCAN over a precomputed distance matrix.
+//!
+//! Density-based clustering finds arbitrarily shaped clusters directly from
+//! the dissimilarity matrix — included because the paper motivates
+//! hierarchical (and, more broadly, matrix-driven) methods with exactly this
+//! "clusters of arbitrary shapes" argument. Noise points receive their own
+//! label.
+
+use crate::assignment::ClusterAssignment;
+use crate::condensed::CondensedDistanceMatrix;
+use crate::error::ClusterError;
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanConfig {
+    /// Neighbourhood radius.
+    pub eps: f64,
+    /// Minimum number of points (including the point itself) for a core
+    /// point.
+    pub min_points: usize,
+}
+
+/// Result of a DBSCAN run.
+#[derive(Debug, Clone)]
+pub struct DbscanResult {
+    /// Cluster labels for non-noise points plus one singleton label per
+    /// noise point (so downstream agreement metrics remain applicable).
+    pub assignment: ClusterAssignment,
+    /// Raw labels: `Some(cluster)` for clustered points, `None` for noise.
+    pub raw: Vec<Option<usize>>,
+    /// Number of proper (non-noise) clusters discovered.
+    pub clusters: usize,
+    /// Number of noise points.
+    pub noise: usize,
+}
+
+/// Runs DBSCAN on a distance matrix.
+pub fn dbscan(
+    matrix: &CondensedDistanceMatrix,
+    config: &DbscanConfig,
+) -> Result<DbscanResult, ClusterError> {
+    let n = matrix.len();
+    if n == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    if config.eps < 0.0 {
+        return Err(ClusterError::InvalidParameter("eps must be non-negative".into()));
+    }
+    if config.min_points == 0 {
+        return Err(ClusterError::InvalidParameter("min_points must be positive".into()));
+    }
+
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n).filter(|&j| matrix.get(i, j) <= config.eps).collect()
+    };
+
+    let mut raw: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut clusters = 0usize;
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let start_neighbours = neighbours(start);
+        if start_neighbours.len() < config.min_points {
+            continue; // provisionally noise; may later be claimed as border
+        }
+        let cluster_id = clusters;
+        clusters += 1;
+        raw[start] = Some(cluster_id);
+        let mut frontier = start_neighbours;
+        let mut cursor = 0;
+        while cursor < frontier.len() {
+            let point = frontier[cursor];
+            cursor += 1;
+            if raw[point].is_none() {
+                raw[point] = Some(cluster_id);
+            }
+            if !visited[point] {
+                visited[point] = true;
+                let point_neighbours = neighbours(point);
+                if point_neighbours.len() >= config.min_points {
+                    for q in point_neighbours {
+                        if !frontier.contains(&q) {
+                            frontier.push(q);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let noise = raw.iter().filter(|r| r.is_none()).count();
+    // Map noise points to unique labels after the proper clusters.
+    let mut next_noise = clusters;
+    let labels: Vec<usize> = raw
+        .iter()
+        .map(|r| match r {
+            Some(c) => *c,
+            None => {
+                let l = next_noise;
+                next_noise += 1;
+                l
+            }
+        })
+        .collect();
+    Ok(DbscanResult {
+        assignment: ClusterAssignment::from_labels(&labels),
+        raw,
+        clusters,
+        noise,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_from_points(points: &[(f64, f64)]) -> CondensedDistanceMatrix {
+        CondensedDistanceMatrix::from_fn(points.len(), |i, j| {
+            let dx = points[i].0 - points[j].0;
+            let dy = points[i].1 - points[j].1;
+            (dx * dx + dy * dy).sqrt()
+        })
+    }
+
+    /// Two concentric ring segments: density methods separate them, k-means
+    /// style partitioning cannot.
+    fn two_rings() -> Vec<(f64, f64)> {
+        let mut pts = Vec::new();
+        for i in 0..24 {
+            let a = i as f64 * std::f64::consts::TAU / 24.0;
+            pts.push((a.cos(), a.sin()));
+        }
+        for i in 0..36 {
+            let a = i as f64 * std::f64::consts::TAU / 36.0;
+            pts.push((4.0 * a.cos(), 4.0 * a.sin()));
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_concentric_rings() {
+        let pts = two_rings();
+        let m = matrix_from_points(&pts);
+        let r = dbscan(&m, &DbscanConfig { eps: 0.8, min_points: 3 }).unwrap();
+        assert_eq!(r.clusters, 2);
+        assert_eq!(r.noise, 0);
+        // All inner-ring points share a cluster distinct from the outer ring.
+        assert!(r.assignment.same_cluster(0, 12));
+        assert!(!r.assignment.same_cluster(0, 30));
+    }
+
+    #[test]
+    fn isolated_points_become_noise() {
+        let pts = vec![(0.0, 0.0), (0.1, 0.0), (0.2, 0.0), (50.0, 50.0)];
+        let m = matrix_from_points(&pts);
+        let r = dbscan(&m, &DbscanConfig { eps: 0.5, min_points: 2 }).unwrap();
+        assert_eq!(r.clusters, 1);
+        assert_eq!(r.noise, 1);
+        assert_eq!(r.raw[3], None);
+        // The noise point still gets a distinct assignment label.
+        assert!(!r.assignment.same_cluster(0, 3));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let m = matrix_from_points(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert!(dbscan(&m, &DbscanConfig { eps: -1.0, min_points: 2 }).is_err());
+        assert!(dbscan(&m, &DbscanConfig { eps: 1.0, min_points: 0 }).is_err());
+        assert!(dbscan(&CondensedDistanceMatrix::zeros(0), &DbscanConfig { eps: 1.0, min_points: 1 })
+            .is_err());
+    }
+
+    #[test]
+    fn all_points_one_dense_cluster() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64 * 0.01, 0.0)).collect();
+        let m = matrix_from_points(&pts);
+        let r = dbscan(&m, &DbscanConfig { eps: 0.5, min_points: 3 }).unwrap();
+        assert_eq!(r.clusters, 1);
+        assert_eq!(r.noise, 0);
+        assert_eq!(r.assignment.num_clusters(), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the clustering substrate.
+
+use std::fmt;
+
+/// Errors produced by clustering routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A distance matrix was constructed with inconsistent dimensions.
+    DimensionMismatch {
+        /// Expected number of entries.
+        expected: usize,
+        /// Provided number of entries.
+        got: usize,
+    },
+    /// An index was outside the matrix.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of objects in the matrix.
+        size: usize,
+    },
+    /// A request asked for an impossible number of clusters.
+    InvalidClusterCount {
+        /// Requested cluster count.
+        requested: usize,
+        /// Number of objects available.
+        objects: usize,
+    },
+    /// The algorithm received an empty input.
+    EmptyInput,
+    /// A parameter was out of its valid range (message explains which).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected} entries, got {got}")
+            }
+            ClusterError::IndexOutOfBounds { index, size } => {
+                write!(f, "index {index} out of bounds for {size} objects")
+            }
+            ClusterError::InvalidClusterCount { requested, objects } => {
+                write!(f, "cannot form {requested} clusters from {objects} objects")
+            }
+            ClusterError::EmptyInput => write!(f, "empty input"),
+            ClusterError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ClusterError::DimensionMismatch { expected: 10, got: 9 }
+            .to_string()
+            .contains("10"));
+        assert!(ClusterError::InvalidClusterCount { requested: 5, objects: 3 }
+            .to_string()
+            .contains("5"));
+        assert!(ClusterError::EmptyInput.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Dendrograms and flat-cluster extraction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::assignment::ClusterAssignment;
+use crate::error::ClusterError;
+
+/// One agglomeration step.
+///
+/// Cluster ids follow the SciPy convention: ids `0..n` are the original
+/// objects; the merge performed at step `s` creates cluster id `n + s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// Smaller of the two merged cluster ids.
+    pub left: usize,
+    /// Larger of the two merged cluster ids.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Number of original objects in the merged cluster.
+    pub size: usize,
+}
+
+/// The full merge history of an agglomerative clustering run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Creates a dendrogram over `n` objects from its merge list.
+    pub fn new(n: usize, merges: Vec<Merge>) -> Self {
+        Dendrogram { n, merges }
+    }
+
+    /// Number of original objects.
+    pub fn num_objects(&self) -> usize {
+        self.n
+    }
+
+    /// The merge steps in execution order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the dendrogram into exactly `k` flat clusters by undoing the
+    /// last `k − 1` merges.
+    pub fn cut_into(&self, k: usize) -> Result<ClusterAssignment, ClusterError> {
+        if k == 0 || k > self.n {
+            return Err(ClusterError::InvalidClusterCount { requested: k, objects: self.n });
+        }
+        let merges_to_apply = self.n - k;
+        self.assignment_after(merges_to_apply)
+    }
+
+    /// Cuts the dendrogram at a distance threshold: merges with distance
+    /// strictly greater than `threshold` are not applied.
+    pub fn cut_at_distance(&self, threshold: f64) -> Result<ClusterAssignment, ClusterError> {
+        let merges_to_apply = self.merges.iter().take_while(|m| m.distance <= threshold).count();
+        self.assignment_after(merges_to_apply)
+    }
+
+    fn assignment_after(&self, merges_to_apply: usize) -> Result<ClusterAssignment, ClusterError> {
+        if self.n == 0 {
+            return Err(ClusterError::EmptyInput);
+        }
+        // Union-find over cluster ids.
+        let total_ids = self.n + merges_to_apply;
+        let mut parent: Vec<usize> = (0..total_ids).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, merge) in self.merges.iter().take(merges_to_apply).enumerate() {
+            let new_id = self.n + step;
+            let l = find(&mut parent, merge.left);
+            let r = find(&mut parent, merge.right);
+            parent[l] = new_id;
+            parent[r] = new_id;
+        }
+        let labels: Vec<usize> = (0..self.n).map(|i| find(&mut parent, i)).collect();
+        Ok(ClusterAssignment::from_labels(&labels))
+    }
+
+    /// Cophenetic distance between two objects: the linkage distance of the
+    /// merge that first joined them (∞ if they are never joined).
+    pub fn cophenetic_distance(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        // Replay the merges tracking each object's current cluster id.
+        let mut current: Vec<usize> = (0..self.n).collect();
+        for (step, merge) in self.merges.iter().enumerate() {
+            let new_id = self.n + step;
+            let ca = current[a];
+            let cb = current[b];
+            let joins_a = ca == merge.left || ca == merge.right;
+            let joins_b = cb == merge.left || cb == merge.right;
+            if joins_a && joins_b {
+                return merge.distance;
+            }
+            for c in current.iter_mut() {
+                if *c == merge.left || *c == merge.right {
+                    *c = new_id;
+                }
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built dendrogram over 4 objects:
+    /// step 0 merges {0,1} at 1.0 → id 4; step 1 merges {2,3} at 2.0 → id 5;
+    /// step 2 merges {4,5} at 5.0 → id 6.
+    fn sample() -> Dendrogram {
+        Dendrogram::new(
+            4,
+            vec![
+                Merge { left: 0, right: 1, distance: 1.0, size: 2 },
+                Merge { left: 2, right: 3, distance: 2.0, size: 2 },
+                Merge { left: 4, right: 5, distance: 5.0, size: 4 },
+            ],
+        )
+    }
+
+    #[test]
+    fn cut_into_k_clusters() {
+        let d = sample();
+        let a4 = d.cut_into(4).unwrap();
+        assert_eq!(a4.num_clusters(), 4);
+        let a2 = d.cut_into(2).unwrap();
+        assert_eq!(a2.num_clusters(), 2);
+        assert!(a2.same_cluster(0, 1));
+        assert!(a2.same_cluster(2, 3));
+        assert!(!a2.same_cluster(1, 2));
+        let a1 = d.cut_into(1).unwrap();
+        assert_eq!(a1.num_clusters(), 1);
+        assert!(d.cut_into(0).is_err());
+        assert!(d.cut_into(5).is_err());
+    }
+
+    #[test]
+    fn cut_at_distance_thresholds() {
+        let d = sample();
+        let a = d.cut_at_distance(0.5).unwrap();
+        assert_eq!(a.num_clusters(), 4);
+        let a = d.cut_at_distance(1.5).unwrap();
+        assert_eq!(a.num_clusters(), 3);
+        let a = d.cut_at_distance(10.0).unwrap();
+        assert_eq!(a.num_clusters(), 1);
+    }
+
+    #[test]
+    fn cophenetic_distances_match_merge_heights() {
+        let d = sample();
+        assert_eq!(d.cophenetic_distance(0, 0), 0.0);
+        assert!((d.cophenetic_distance(0, 1) - 1.0).abs() < 1e-12);
+        assert!((d.cophenetic_distance(2, 3) - 2.0).abs() < 1e-12);
+        assert!((d.cophenetic_distance(0, 3) - 5.0).abs() < 1e-12);
+        // Symmetric.
+        assert_eq!(d.cophenetic_distance(3, 0), d.cophenetic_distance(0, 3));
+    }
+
+    #[test]
+    fn partial_dendrogram_gives_infinite_cophenetic_distance() {
+        let d = Dendrogram::new(
+            3,
+            vec![Merge { left: 0, right: 1, distance: 1.0, size: 2 }],
+        );
+        assert!(d.cophenetic_distance(0, 2).is_infinite());
+    }
+}

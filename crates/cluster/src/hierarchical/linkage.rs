@@ -1,0 +1,137 @@
+//! Linkage criteria expressed as Lance–Williams recurrences.
+//!
+//! When clusters `i` and `j` (sizes `n_i`, `n_j`) merge, the distance from
+//! the merged cluster to any other cluster `k` is
+//!
+//! ```text
+//! d(k, i∪j) = α_i·d(k,i) + α_j·d(k,j) + β·d(i,j) + γ·|d(k,i) − d(k,j)|
+//! ```
+//!
+//! with coefficients that depend only on the cluster sizes. All seven
+//! classical linkages are provided.
+
+use serde::{Deserialize, Serialize};
+
+/// Linkage criterion for agglomerative clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Nearest neighbour (minimum) linkage.
+    Single,
+    /// Furthest neighbour (maximum) linkage.
+    Complete,
+    /// Unweighted average linkage (UPGMA).
+    Average,
+    /// Weighted average linkage (WPGMA / McQuitty).
+    Weighted,
+    /// Ward's minimum-variance criterion.
+    Ward,
+    /// Centroid linkage (UPGMC).
+    Centroid,
+    /// Median linkage (WPGMC).
+    Median,
+}
+
+impl Default for Linkage {
+    fn default() -> Self {
+        Linkage::Average
+    }
+}
+
+impl Linkage {
+    /// Every supported linkage, for exhaustive tests/benches.
+    pub const ALL: [Linkage; 7] = [
+        Linkage::Single,
+        Linkage::Complete,
+        Linkage::Average,
+        Linkage::Weighted,
+        Linkage::Ward,
+        Linkage::Centroid,
+        Linkage::Median,
+    ];
+
+    /// Applies the Lance–Williams update.
+    ///
+    /// * `d_ki`, `d_kj` — distances from cluster `k` to the merging clusters.
+    /// * `d_ij` — distance between the merging clusters.
+    /// * `n_i`, `n_j`, `n_k` — cluster sizes.
+    pub fn lance_williams(
+        &self,
+        d_ki: f64,
+        d_kj: f64,
+        d_ij: f64,
+        n_i: usize,
+        n_j: usize,
+        n_k: usize,
+    ) -> f64 {
+        let (ni, nj, nk) = (n_i as f64, n_j as f64, n_k as f64);
+        let (alpha_i, alpha_j, beta, gamma) = match self {
+            Linkage::Single => (0.5, 0.5, 0.0, -0.5),
+            Linkage::Complete => (0.5, 0.5, 0.0, 0.5),
+            Linkage::Average => (ni / (ni + nj), nj / (ni + nj), 0.0, 0.0),
+            Linkage::Weighted => (0.5, 0.5, 0.0, 0.0),
+            Linkage::Ward => {
+                let total = ni + nj + nk;
+                ((ni + nk) / total, (nj + nk) / total, -nk / total, 0.0)
+            }
+            Linkage::Centroid => {
+                let sum = ni + nj;
+                (ni / sum, nj / sum, -(ni * nj) / (sum * sum), 0.0)
+            }
+            Linkage::Median => (0.5, 0.5, -0.25, 0.0),
+        };
+        alpha_i * d_ki + alpha_j * d_kj + beta * d_ij + gamma * (d_ki - d_kj).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_minimum_and_complete_is_maximum() {
+        let d = Linkage::Single.lance_williams(3.0, 5.0, 1.0, 1, 1, 1);
+        assert!((d - 3.0).abs() < 1e-12);
+        let d = Linkage::Complete.lance_williams(3.0, 5.0, 1.0, 1, 1, 1);
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_weights_by_cluster_size() {
+        // Cluster i has 3 members, j has 1: the update leans towards d_ki.
+        let d = Linkage::Average.lance_williams(2.0, 10.0, 1.0, 3, 1, 1);
+        assert!((d - (0.75 * 2.0 + 0.25 * 10.0)).abs() < 1e-12);
+        // Weighted (WPGMA) ignores the sizes.
+        let d = Linkage::Weighted.lance_williams(2.0, 10.0, 1.0, 3, 1, 1);
+        assert!((d - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ward_update_matches_hand_computation() {
+        // n_i = n_j = n_k = 1: coefficients 2/3, 2/3, -1/3.
+        let d = Linkage::Ward.lance_williams(4.0, 6.0, 2.0, 1, 1, 1);
+        let expected = 2.0 / 3.0 * 4.0 + 2.0 / 3.0 * 6.0 - 1.0 / 3.0 * 2.0;
+        assert!((d - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_and_median_subtract_merge_distance() {
+        let d = Linkage::Centroid.lance_williams(5.0, 5.0, 4.0, 2, 2, 1);
+        assert!(d < 5.0);
+        let d = Linkage::Median.lance_williams(5.0, 5.0, 4.0, 2, 2, 1);
+        assert!((d - (5.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_linkage_is_average() {
+        assert_eq!(Linkage::default(), Linkage::Average);
+    }
+
+    #[test]
+    fn all_constant_lists_each_variant_once() {
+        let mut set = std::collections::HashSet::new();
+        for l in Linkage::ALL {
+            assert!(set.insert(format!("{l:?}")));
+        }
+        assert_eq!(set.len(), 7);
+    }
+}

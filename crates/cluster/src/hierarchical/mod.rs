@@ -1,0 +1,193 @@
+//! Agglomerative hierarchical clustering.
+//!
+//! The third party runs "the appropriate clustering algorithm" on the final
+//! dissimilarity matrix; the paper argues for hierarchical methods. This
+//! module implements the classic agglomerative scheme driven by
+//! Lance–Williams distance updates so the whole family of standard linkages
+//! is available.
+
+pub mod dendrogram;
+pub mod linkage;
+
+pub use dendrogram::{Dendrogram, Merge};
+pub use linkage::Linkage;
+
+use crate::assignment::ClusterAssignment;
+use crate::condensed::CondensedDistanceMatrix;
+use crate::error::ClusterError;
+
+/// Agglomerative clustering configured with a linkage criterion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AgglomerativeClustering {
+    linkage: Linkage,
+}
+
+impl AgglomerativeClustering {
+    /// Creates the algorithm with the given linkage.
+    pub fn new(linkage: Linkage) -> Self {
+        AgglomerativeClustering { linkage }
+    }
+
+    /// Linkage criterion in use.
+    pub fn linkage(&self) -> Linkage {
+        self.linkage
+    }
+
+    /// Builds the full dendrogram for `matrix`.
+    ///
+    /// Uses the O(n³) textbook algorithm (scan for the closest active pair,
+    /// merge, update distances with the Lance–Williams formula), which is
+    /// ample for the data sizes the protocols produce and keeps the code
+    /// auditable.
+    pub fn fit(&self, matrix: &CondensedDistanceMatrix) -> Result<Dendrogram, ClusterError> {
+        let n = matrix.len();
+        if n == 0 {
+            return Err(ClusterError::EmptyInput);
+        }
+        // Working pairwise distances between *active* clusters, indexed by
+        // cluster id. Ids 0..n are singletons; each merge creates id n+step.
+        let total_ids = 2 * n - 1;
+        let mut active: Vec<bool> = vec![false; total_ids];
+        let mut sizes: Vec<usize> = vec![0; total_ids];
+        for i in 0..n {
+            active[i] = true;
+            sizes[i] = 1;
+        }
+        // Distance lookup between cluster ids; stored in a dense map keyed by
+        // (min, max). For n objects this holds at most (2n)² / 2 entries.
+        let mut dist: Vec<f64> = vec![f64::NAN; total_ids * total_ids];
+        let idx = |a: usize, b: usize| -> usize {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            lo * total_ids + hi
+        };
+        for i in 1..n {
+            for j in 0..i {
+                dist[idx(i, j)] = matrix.get(i, j);
+            }
+        }
+
+        let mut merges = Vec::with_capacity(n.saturating_sub(1));
+        let mut active_ids: Vec<usize> = (0..n).collect();
+        for step in 0..n.saturating_sub(1) {
+            // Find the closest active pair.
+            let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+            for (ai, &a) in active_ids.iter().enumerate() {
+                for &b in active_ids.iter().skip(ai + 1) {
+                    let d = dist[idx(a, b)];
+                    if d < best.2 {
+                        best = (a, b, d);
+                    }
+                }
+            }
+            let (a, b, d) = best;
+            debug_assert!(a != usize::MAX, "no active pair found");
+            let new_id = n + step;
+            let size_a = sizes[a];
+            let size_b = sizes[b];
+            sizes[new_id] = size_a + size_b;
+            // Lance–Williams update against every other active cluster.
+            for &k in &active_ids {
+                if k == a || k == b {
+                    continue;
+                }
+                let d_ka = dist[idx(k, a)];
+                let d_kb = dist[idx(k, b)];
+                let updated =
+                    self.linkage
+                        .lance_williams(d_ka, d_kb, d, size_a, size_b, sizes[k]);
+                dist[idx(k, new_id)] = updated;
+            }
+            active[a] = false;
+            active[b] = false;
+            active[new_id] = true;
+            active_ids.retain(|&x| x != a && x != b);
+            active_ids.push(new_id);
+            merges.push(Merge {
+                left: a.min(b),
+                right: a.max(b),
+                distance: d,
+                size: size_a + size_b,
+            });
+        }
+        Ok(Dendrogram::new(n, merges))
+    }
+
+    /// Convenience: fits the dendrogram and cuts it into `k` flat clusters.
+    pub fn fit_k(
+        &self,
+        matrix: &CondensedDistanceMatrix,
+        k: usize,
+    ) -> Result<ClusterAssignment, ClusterError> {
+        self.fit(matrix)?.cut_into(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight groups far apart; every linkage must separate them.
+    fn two_group_matrix() -> CondensedDistanceMatrix {
+        // Objects 0,1,2 close together; 3,4,5 close together; groups far.
+        let coords: [f64; 6] = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        CondensedDistanceMatrix::from_fn(coords.len(), |i, j| (coords[i] - coords[j]).abs())
+    }
+
+    #[test]
+    fn all_linkages_recover_two_obvious_groups() {
+        for linkage in Linkage::ALL {
+            let algo = AgglomerativeClustering::new(linkage);
+            let assignment = algo.fit_k(&two_group_matrix(), 2).unwrap();
+            assert_eq!(assignment.num_clusters(), 2, "{linkage:?}");
+            assert!(assignment.same_cluster(0, 1), "{linkage:?}");
+            assert!(assignment.same_cluster(1, 2), "{linkage:?}");
+            assert!(assignment.same_cluster(3, 4), "{linkage:?}");
+            assert!(!assignment.same_cluster(0, 3), "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn dendrogram_has_n_minus_one_merges_with_monotone_sizes() {
+        let d = AgglomerativeClustering::new(Linkage::Average)
+            .fit(&two_group_matrix())
+            .unwrap();
+        assert_eq!(d.merges().len(), 5);
+        assert_eq!(d.merges().last().unwrap().size, 6);
+    }
+
+    #[test]
+    fn single_object_and_empty_inputs() {
+        let algo = AgglomerativeClustering::default();
+        assert!(algo.fit(&CondensedDistanceMatrix::zeros(0)).is_err());
+        let d = algo.fit(&CondensedDistanceMatrix::zeros(1)).unwrap();
+        assert!(d.merges().is_empty());
+        let a = d.cut_into(1).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.num_clusters(), 1);
+    }
+
+    #[test]
+    fn single_linkage_chains_and_complete_does_not() {
+        // A chain of points each 1 apart, plus one point 1.5 from the end.
+        let coords: [f64; 5] = [0.0, 1.0, 2.0, 3.0, 4.5];
+        let m = CondensedDistanceMatrix::from_fn(coords.len(), |i, j| {
+            (coords[i] - coords[j]).abs()
+        });
+        let single = AgglomerativeClustering::new(Linkage::Single).fit_k(&m, 2).unwrap();
+        // Single linkage keeps the chain 0..=3 together.
+        assert!(single.same_cluster(0, 3));
+        let complete = AgglomerativeClustering::new(Linkage::Complete).fit(&m).unwrap();
+        // Complete linkage's final merge happens at the full diameter.
+        let last = complete.merges().last().unwrap();
+        assert!((last.distance - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ward_prefers_compact_clusters() {
+        let m = two_group_matrix();
+        let assignment = AgglomerativeClustering::new(Linkage::Ward).fit_k(&m, 3).unwrap();
+        assert_eq!(assignment.num_clusters(), 3);
+        // Splitting into 3 keeps each original group intact on one side.
+        assert!(assignment.same_cluster(3, 4) && assignment.same_cluster(4, 5));
+    }
+}

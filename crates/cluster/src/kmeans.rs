@@ -1,0 +1,234 @@
+//! Lloyd's k-means for numeric vectors.
+//!
+//! A *partitioning* algorithm included as the foil of the paper's argument:
+//! it needs a mean, so it cannot cluster alphanumeric attributes, and it
+//! favours spherical clusters. Used by the experiments that reproduce that
+//! argument and by the distributed secure-sum k-means baseline.
+
+use crate::assignment::ClusterAssignment;
+use crate::error::ClusterError;
+
+/// Configuration for k-means.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tolerance: f64,
+    /// Seed for the deterministic initialisation.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig { k, max_iterations: 100, tolerance: 1e-9, seed: 0x5eed }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Flat assignment of points to clusters.
+    pub assignment: ClusterAssignment,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// A tiny deterministic generator for centroid seeding (k-means++ style
+/// greedy farthest-point seeding with a deterministic tie-break would be
+/// overkill here; plain splitmix-driven sampling is reproducible and good
+/// enough for baselines).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs k-means on `points` (all rows must share one dimensionality).
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult, ClusterError> {
+    if points.is_empty() {
+        return Err(ClusterError::EmptyInput);
+    }
+    if config.k == 0 || config.k > points.len() {
+        return Err(ClusterError::InvalidClusterCount {
+            requested: config.k,
+            objects: points.len(),
+        });
+    }
+    let dim = points[0].len();
+    if points.iter().any(|p| p.len() != dim) {
+        return Err(ClusterError::InvalidParameter(
+            "all points must have the same dimensionality".into(),
+        ));
+    }
+
+    // k-means++ seeding (deterministic given the config seed).
+    let mut state = config.seed;
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(config.k);
+    centroids.push(points[(splitmix(&mut state) % points.len() as u64) as usize].clone());
+    while centroids.len() < config.k {
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total == 0.0 {
+            // All remaining points coincide with existing centroids.
+            centroids.push(points[(splitmix(&mut state) % points.len() as u64) as usize].clone());
+            continue;
+        }
+        let mut target = (splitmix(&mut state) as f64 / u64::MAX as f64) * total;
+        let mut chosen = points.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if target <= *w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    let mut labels = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = squared_distance(p, centroid);
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            labels[i] = best.0;
+        }
+        // Update step.
+        let mut new_centroids = vec![vec![0.0; dim]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (p, &l) in points.iter().zip(&labels) {
+            counts[l] += 1;
+            for (acc, &x) in new_centroids[l].iter_mut().zip(p) {
+                *acc += x;
+            }
+        }
+        for (c, (centroid, count)) in new_centroids.iter_mut().zip(&counts).enumerate() {
+            if *count == 0 {
+                // Re-seed an empty cluster deterministically.
+                *centroid = points[(splitmix(&mut state) % points.len() as u64) as usize].clone();
+            } else {
+                for x in centroid.iter_mut() {
+                    *x /= *count as f64;
+                }
+                let _ = c;
+            }
+        }
+        let movement: f64 = centroids
+            .iter()
+            .zip(&new_centroids)
+            .map(|(a, b)| squared_distance(a, b))
+            .sum();
+        centroids = new_centroids;
+        if movement < config.tolerance {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&labels)
+        .map(|(p, &l)| squared_distance(p, &centroids[l]))
+        .sum();
+    Ok(KMeansResult {
+        assignment: ClusterAssignment::from_labels(&labels),
+        centroids,
+        inertia,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: (f64, f64), spread: f64, count: usize, phase: f64) -> Vec<Vec<f64>> {
+        (0..count)
+            .map(|i| {
+                let angle = phase + i as f64 * 2.399963; // golden-angle spiral
+                vec![
+                    center.0 + spread * angle.cos() * (i as f64 % 3.0 + 1.0) / 3.0,
+                    center.1 + spread * angle.sin() * (i as f64 % 3.0 + 1.0) / 3.0,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let mut points = blob((0.0, 0.0), 0.5, 20, 0.0);
+        points.extend(blob((10.0, 10.0), 0.5, 20, 1.0));
+        let result = kmeans(&points, &KMeansConfig::new(2)).unwrap();
+        assert_eq!(result.assignment.num_clusters(), 2);
+        // All points of each blob share a label.
+        let first = result.assignment.label(0);
+        assert!((0..20).all(|i| result.assignment.label(i) == first));
+        let second = result.assignment.label(20);
+        assert!((20..40).all(|i| result.assignment.label(i) == second));
+        assert_ne!(first, second);
+        assert!(result.inertia < 20.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(kmeans(&[], &KMeansConfig::new(1)).is_err());
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert!(kmeans(&pts, &KMeansConfig::new(0)).is_err());
+        assert!(kmeans(&pts, &KMeansConfig::new(3)).is_err());
+        let ragged = vec![vec![0.0], vec![1.0, 2.0]];
+        assert!(kmeans(&ragged, &KMeansConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let pts = vec![vec![0.0], vec![5.0], vec![10.0]];
+        let result = kmeans(&pts, &KMeansConfig::new(3)).unwrap();
+        assert_eq!(result.assignment.num_clusters(), 3);
+        assert!(result.inertia < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_seeding() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let result = kmeans(&pts, &KMeansConfig::new(3)).unwrap();
+        assert_eq!(result.assignment.len(), 10);
+        assert!(result.inertia < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut points = blob((0.0, 0.0), 1.0, 15, 0.3);
+        points.extend(blob((6.0, 0.0), 1.0, 15, 0.7));
+        let a = kmeans(&points, &KMeansConfig::new(2)).unwrap();
+        let b = kmeans(&points, &KMeansConfig::new(2)).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

@@ -1,0 +1,170 @@
+//! k-medoids (PAM-style) clustering over a distance matrix.
+//!
+//! Unlike k-means this only needs pairwise distances, so it *can* run on the
+//! protocol's dissimilarity matrix; it is still a partitioning method biased
+//! towards compact clusters, which the experiments contrast with
+//! hierarchical linkages on non-convex data.
+
+use crate::assignment::ClusterAssignment;
+use crate::condensed::CondensedDistanceMatrix;
+use crate::error::ClusterError;
+
+/// Configuration for k-medoids.
+#[derive(Debug, Clone, Copy)]
+pub struct KMedoidsConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum improvement sweeps.
+    pub max_iterations: usize,
+    /// Seed controlling the initial medoid choice.
+    pub seed: u64,
+}
+
+impl KMedoidsConfig {
+    /// Default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMedoidsConfig { k, max_iterations: 50, seed: 0x6d65_646f }
+    }
+}
+
+/// Result of a k-medoids run.
+#[derive(Debug, Clone)]
+pub struct KMedoidsResult {
+    /// Flat assignment of objects to clusters.
+    pub assignment: ClusterAssignment,
+    /// Indices of the chosen medoids.
+    pub medoids: Vec<usize>,
+    /// Total distance of objects to their medoid.
+    pub total_cost: f64,
+    /// Number of sweeps executed.
+    pub iterations: usize,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn assign_and_cost(
+    matrix: &CondensedDistanceMatrix,
+    medoids: &[usize],
+) -> (Vec<usize>, f64) {
+    let mut labels = vec![0usize; matrix.len()];
+    let mut cost = 0.0;
+    for i in 0..matrix.len() {
+        let mut best = (0usize, f64::INFINITY);
+        for (c, &m) in medoids.iter().enumerate() {
+            let d = matrix.get(i, m);
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        labels[i] = best.0;
+        cost += best.1;
+    }
+    (labels, cost)
+}
+
+/// Runs PAM-style k-medoids on a distance matrix.
+pub fn kmedoids(
+    matrix: &CondensedDistanceMatrix,
+    config: &KMedoidsConfig,
+) -> Result<KMedoidsResult, ClusterError> {
+    let n = matrix.len();
+    if n == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    if config.k == 0 || config.k > n {
+        return Err(ClusterError::InvalidClusterCount { requested: config.k, objects: n });
+    }
+    // Deterministic distinct initial medoids.
+    let mut state = config.seed;
+    let mut medoids: Vec<usize> = Vec::with_capacity(config.k);
+    while medoids.len() < config.k {
+        let candidate = (splitmix(&mut state) % n as u64) as usize;
+        if !medoids.contains(&candidate) {
+            medoids.push(candidate);
+        }
+    }
+    let (mut labels, mut cost) = assign_and_cost(matrix, &medoids);
+    let mut iterations = 0;
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        let mut improved = false;
+        // Greedy best-improvement swap search.
+        for slot in 0..config.k {
+            for candidate in 0..n {
+                if medoids.contains(&candidate) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[slot] = candidate;
+                let (trial_labels, trial_cost) = assign_and_cost(matrix, &trial);
+                if trial_cost + 1e-12 < cost {
+                    medoids = trial;
+                    labels = trial_labels;
+                    cost = trial_cost;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(KMedoidsResult {
+        assignment: ClusterAssignment::from_labels(&labels),
+        medoids,
+        total_cost: cost,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_matrix(coords: &[f64]) -> CondensedDistanceMatrix {
+        CondensedDistanceMatrix::from_fn(coords.len(), |i, j| (coords[i] - coords[j]).abs())
+    }
+
+    #[test]
+    fn separates_two_groups_on_a_line() {
+        let m = line_matrix(&[0.0, 0.2, 0.4, 9.0, 9.2, 9.4]);
+        let r = kmedoids(&m, &KMedoidsConfig::new(2)).unwrap();
+        assert_eq!(r.assignment.num_clusters(), 2);
+        assert!(r.assignment.same_cluster(0, 2));
+        assert!(r.assignment.same_cluster(3, 5));
+        assert!(!r.assignment.same_cluster(0, 3));
+        assert!(r.total_cost < 1.0);
+        assert_eq!(r.medoids.len(), 2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let m = line_matrix(&[0.0, 1.0]);
+        assert!(kmedoids(&CondensedDistanceMatrix::zeros(0), &KMedoidsConfig::new(1)).is_err());
+        assert!(kmedoids(&m, &KMedoidsConfig::new(0)).is_err());
+        assert!(kmedoids(&m, &KMedoidsConfig::new(3)).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_costs_zero() {
+        let m = line_matrix(&[0.0, 3.0, 7.0]);
+        let r = kmedoids(&m, &KMedoidsConfig::new(3)).unwrap();
+        assert!(r.total_cost < 1e-12);
+        assert_eq!(r.assignment.num_clusters(), 3);
+    }
+
+    #[test]
+    fn medoids_are_actual_objects() {
+        let m = line_matrix(&[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        let r = kmedoids(&m, &KMedoidsConfig::new(2)).unwrap();
+        for &mi in &r.medoids {
+            assert!(mi < m.len());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # ppc-cluster — clustering substrate for `ppclust`
+//!
+//! The third party in the İnan et al. protocol ends up holding a global
+//! dissimilarity matrix and runs a clustering algorithm of each data holder's
+//! choice on it. The paper deliberately keeps the clustering stage generic
+//! ("the dissimilarity matrix [...] can be used by any standard clustering
+//! algorithm") and argues for *hierarchical* methods because they accept a
+//! distance matrix directly, discover arbitrarily shaped clusters and work
+//! for data types that have no mean (strings).
+//!
+//! This crate provides that stage as an independent library:
+//!
+//! * [`condensed::CondensedDistanceMatrix`] — packed lower-triangular
+//!   symmetric distance matrix (the same object-by-object structure as the
+//!   paper's Figure 2).
+//! * [`hierarchical`] — agglomerative clustering with the Lance–Williams
+//!   family of linkages (single, complete, average, weighted, Ward,
+//!   centroid, median), dendrograms and cluster extraction.
+//! * [`kmeans`], [`kmedoids`], [`dbscan`] — partitioning/density baselines
+//!   used in the experiments that reproduce the paper's argument for
+//!   hierarchical methods.
+//! * [`quality`] — internal quality metrics the third party may publish
+//!   (within-cluster scatter, silhouette, Dunn index).
+//! * [`agreement`] — external agreement metrics (Rand, adjusted Rand,
+//!   purity, pairwise F-measure) used to verify the "no loss of accuracy"
+//!   claim against a centralized baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agreement;
+pub mod assignment;
+pub mod condensed;
+pub mod dbscan;
+pub mod error;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod kmedoids;
+pub mod outlier;
+pub mod quality;
+
+pub use assignment::ClusterAssignment;
+pub use condensed::CondensedDistanceMatrix;
+pub use error::ClusterError;
+pub use hierarchical::{AgglomerativeClustering, Dendrogram, Linkage};

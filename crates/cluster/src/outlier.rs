@@ -1,0 +1,121 @@
+//! Distance-based outlier detection.
+//!
+//! The paper lists outlier detection among the applications of the
+//! dissimilarity matrix ("record linkage and outlier detection problems").
+//! Because the third party holds the full matrix, any distance-based outlier
+//! score can be computed without further protocol rounds. This module
+//! implements the classic k-nearest-neighbour distance score and a simple
+//! threshold detector on top of it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::condensed::CondensedDistanceMatrix;
+use crate::error::ClusterError;
+
+/// Outlier scores for every object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutlierScores {
+    /// The k used for the k-NN distance.
+    pub k: usize,
+    /// Score of each object: its mean distance to its `k` nearest
+    /// neighbours. Larger means more isolated.
+    pub scores: Vec<f64>,
+}
+
+impl OutlierScores {
+    /// Indices of the `count` highest-scoring objects, most anomalous first.
+    pub fn top(&self, count: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.scores.len()).collect();
+        order.sort_by(|&a, &b| self.scores[b].total_cmp(&self.scores[a]));
+        order.truncate(count);
+        order
+    }
+
+    /// Indices of objects whose score exceeds `mean + factor · stddev`.
+    pub fn above_sigma(&self, factor: f64) -> Vec<usize> {
+        if self.scores.is_empty() {
+            return Vec::new();
+        }
+        let n = self.scores.len() as f64;
+        let mean = self.scores.iter().sum::<f64>() / n;
+        let variance = self.scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        let threshold = mean + factor * variance.sqrt();
+        (0..self.scores.len()).filter(|&i| self.scores[i] > threshold).collect()
+    }
+}
+
+/// Computes the k-NN distance outlier score of every object in `matrix`.
+pub fn knn_outlier_scores(
+    matrix: &CondensedDistanceMatrix,
+    k: usize,
+) -> Result<OutlierScores, ClusterError> {
+    let n = matrix.len();
+    if n == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    if k == 0 || k >= n {
+        return Err(ClusterError::InvalidParameter(format!(
+            "k must satisfy 1 <= k < n (k = {k}, n = {n})"
+        )));
+    }
+    let mut scores = Vec::with_capacity(n);
+    let mut neighbour_distances = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        neighbour_distances.clear();
+        for j in 0..n {
+            if j != i {
+                neighbour_distances.push(matrix.get(i, j));
+            }
+        }
+        neighbour_distances.sort_by(f64::total_cmp);
+        let score = neighbour_distances[..k].iter().sum::<f64>() / k as f64;
+        scores.push(score);
+    }
+    Ok(OutlierScores { k, scores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_matrix(coords: &[f64]) -> CondensedDistanceMatrix {
+        CondensedDistanceMatrix::from_fn(coords.len(), |i, j| (coords[i] - coords[j]).abs())
+    }
+
+    #[test]
+    fn isolated_point_gets_the_highest_score() {
+        // A tight group around 0 plus one point far away.
+        let m = line_matrix(&[0.0, 0.1, 0.2, 0.3, 0.15, 50.0]);
+        let scores = knn_outlier_scores(&m, 2).unwrap();
+        assert_eq!(scores.top(1), vec![5]);
+        assert!(scores.scores[5] > 10.0 * scores.scores[0]);
+        assert_eq!(scores.above_sigma(1.5), vec![5]);
+    }
+
+    #[test]
+    fn uniform_data_has_no_sigma_outliers() {
+        let coords: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let m = line_matrix(&coords);
+        let scores = knn_outlier_scores(&m, 3).unwrap();
+        // Edge points score a bit higher but nothing is 3 sigma out.
+        assert!(scores.above_sigma(3.0).is_empty());
+        assert_eq!(scores.scores.len(), 20);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let m = line_matrix(&[0.0, 1.0, 2.0]);
+        assert!(knn_outlier_scores(&m, 0).is_err());
+        assert!(knn_outlier_scores(&m, 3).is_err());
+        assert!(knn_outlier_scores(&CondensedDistanceMatrix::zeros(0), 1).is_err());
+        assert!(knn_outlier_scores(&m, 2).is_ok());
+    }
+
+    #[test]
+    fn top_handles_requests_larger_than_n() {
+        let m = line_matrix(&[0.0, 1.0, 10.0]);
+        let scores = knn_outlier_scores(&m, 1).unwrap();
+        assert_eq!(scores.top(10).len(), 3);
+        assert_eq!(scores.top(10)[0], 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Internal cluster-quality metrics.
+//!
+//! §5 of the paper: "The third party can also provide clustering quality
+//! parameters such as average of square distance between members" — quality
+//! can be published without leaking private values because it is a function
+//! of the dissimilarity matrix only. This module implements that metric plus
+//! silhouette and the Dunn index, all driven purely by the distance matrix.
+
+use crate::assignment::ClusterAssignment;
+use crate::condensed::CondensedDistanceMatrix;
+use crate::error::ClusterError;
+
+/// Average squared distance between members of the same cluster, averaged
+/// over clusters with at least two members (the paper's published quality
+/// parameter).
+pub fn average_within_cluster_squared_distance(
+    matrix: &CondensedDistanceMatrix,
+    assignment: &ClusterAssignment,
+) -> Result<f64, ClusterError> {
+    assignment.expect_len(matrix.len())?;
+    let members = assignment.members();
+    let mut per_cluster = Vec::new();
+    for group in members.iter().filter(|g| g.len() >= 2) {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (a, &i) in group.iter().enumerate() {
+            for &j in group.iter().skip(a + 1) {
+                let d = matrix.get(i, j);
+                sum += d * d;
+                count += 1;
+            }
+        }
+        per_cluster.push(sum / count as f64);
+    }
+    if per_cluster.is_empty() {
+        return Ok(0.0);
+    }
+    Ok(per_cluster.iter().sum::<f64>() / per_cluster.len() as f64)
+}
+
+/// Mean silhouette coefficient over all objects.
+///
+/// Objects in singleton clusters contribute a silhouette of 0 by convention.
+pub fn silhouette(
+    matrix: &CondensedDistanceMatrix,
+    assignment: &ClusterAssignment,
+) -> Result<f64, ClusterError> {
+    assignment.expect_len(matrix.len())?;
+    let n = matrix.len();
+    if n == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    if assignment.num_clusters() < 2 {
+        return Err(ClusterError::InvalidParameter(
+            "silhouette requires at least two clusters".into(),
+        ));
+    }
+    let members = assignment.members();
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignment.label(i);
+        if members[own].len() <= 1 {
+            continue; // silhouette 0
+        }
+        let a: f64 = members[own]
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| matrix.get(i, j))
+            .sum::<f64>()
+            / (members[own].len() - 1) as f64;
+        let b = members
+            .iter()
+            .enumerate()
+            .filter(|(c, group)| *c != own && !group.is_empty())
+            .map(|(_, group)| {
+                group.iter().map(|&j| matrix.get(i, j)).sum::<f64>() / group.len() as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Ok(total / n as f64)
+}
+
+/// Dunn index: smallest inter-cluster distance divided by largest cluster
+/// diameter. Larger is better; returns an error for fewer than two clusters.
+pub fn dunn_index(
+    matrix: &CondensedDistanceMatrix,
+    assignment: &ClusterAssignment,
+) -> Result<f64, ClusterError> {
+    assignment.expect_len(matrix.len())?;
+    if assignment.num_clusters() < 2 {
+        return Err(ClusterError::InvalidParameter(
+            "Dunn index requires at least two clusters".into(),
+        ));
+    }
+    let members = assignment.members();
+    let mut min_between = f64::INFINITY;
+    let mut max_diameter: f64 = 0.0;
+    for (a, group_a) in members.iter().enumerate() {
+        // Diameter.
+        for (x, &i) in group_a.iter().enumerate() {
+            for &j in group_a.iter().skip(x + 1) {
+                max_diameter = max_diameter.max(matrix.get(i, j));
+            }
+        }
+        // Separation.
+        for group_b in members.iter().skip(a + 1) {
+            for &i in group_a {
+                for &j in group_b {
+                    min_between = min_between.min(matrix.get(i, j));
+                }
+            }
+        }
+    }
+    if max_diameter == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(min_between / max_diameter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_matrix(coords: &[f64]) -> CondensedDistanceMatrix {
+        CondensedDistanceMatrix::from_fn(coords.len(), |i, j| (coords[i] - coords[j]).abs())
+    }
+
+    fn good_and_bad() -> (CondensedDistanceMatrix, ClusterAssignment, ClusterAssignment) {
+        let m = line_matrix(&[0.0, 0.5, 1.0, 20.0, 20.5, 21.0]);
+        let good = ClusterAssignment::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let bad = ClusterAssignment::from_labels(&[0, 1, 0, 1, 0, 1]);
+        (m, good, bad)
+    }
+
+    #[test]
+    fn within_cluster_scatter_prefers_good_clustering() {
+        let (m, good, bad) = good_and_bad();
+        let g = average_within_cluster_squared_distance(&m, &good).unwrap();
+        let b = average_within_cluster_squared_distance(&m, &bad).unwrap();
+        assert!(g < b);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn silhouette_prefers_good_clustering() {
+        let (m, good, bad) = good_and_bad();
+        let g = silhouette(&m, &good).unwrap();
+        let b = silhouette(&m, &bad).unwrap();
+        assert!(g > 0.9, "good silhouette {g}");
+        assert!(b < 0.2, "bad silhouette {b}");
+    }
+
+    #[test]
+    fn dunn_index_prefers_good_clustering() {
+        let (m, good, bad) = good_and_bad();
+        let g = dunn_index(&m, &good).unwrap();
+        let b = dunn_index(&m, &bad).unwrap();
+        assert!(g > b);
+        assert!(g > 10.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        let m = line_matrix(&[0.0, 1.0]);
+        let one_cluster = ClusterAssignment::from_labels(&[0, 0]);
+        assert!(silhouette(&m, &one_cluster).is_err());
+        assert!(dunn_index(&m, &one_cluster).is_err());
+        // Singletons only: scatter is 0, dunn is infinite.
+        let singletons = ClusterAssignment::from_labels(&[0, 1]);
+        assert_eq!(
+            average_within_cluster_squared_distance(&m, &singletons).unwrap(),
+            0.0
+        );
+        assert!(dunn_index(&m, &singletons).unwrap().is_infinite());
+        // Length mismatch.
+        let wrong = ClusterAssignment::from_labels(&[0, 1, 1]);
+        assert!(average_within_cluster_squared_distance(&m, &wrong).is_err());
+        assert!(silhouette(&m, &wrong).is_err());
+        assert!(dunn_index(&m, &wrong).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the clustering substrate.
+
+use proptest::prelude::*;
+
+use ppc_cluster::quality::average_within_cluster_squared_distance;
+use ppc_cluster::{AgglomerativeClustering, CondensedDistanceMatrix, Linkage};
+
+/// Builds a valid condensed matrix from an arbitrary non-negative value list.
+fn matrix_from_values(values: &[f64]) -> CondensedDistanceMatrix {
+    let mut n = 2usize;
+    while (n + 1) * n / 2 <= values.len() {
+        n += 1;
+    }
+    let take = n * (n - 1) / 2;
+    CondensedDistanceMatrix::from_condensed(n, values[..take].to_vec()).expect("sized correctly")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every linkage produces a full dendrogram (n − 1 merges with
+    /// monotonically growing member counts) on arbitrary distance matrices,
+    /// and cutting it yields exactly the requested number of clusters.
+    #[test]
+    fn dendrograms_are_complete_and_cuttable(
+        values in prop::collection::vec(0.0f64..100.0, 1..46),
+        linkage_index in 0usize..7,
+    ) {
+        let matrix = matrix_from_values(&values);
+        let n = matrix.len();
+        let linkage = Linkage::ALL[linkage_index];
+        let dendrogram = AgglomerativeClustering::new(linkage).fit(&matrix).unwrap();
+        prop_assert_eq!(dendrogram.merges().len(), n - 1);
+        prop_assert_eq!(dendrogram.merges().last().unwrap().size, n);
+        for k in 1..=n {
+            let assignment = dendrogram.cut_into(k).unwrap();
+            prop_assert_eq!(assignment.len(), n);
+            prop_assert_eq!(assignment.num_clusters(), k);
+        }
+        prop_assert!(dendrogram.cut_into(0).is_err());
+        prop_assert!(dendrogram.cut_into(n + 1).is_err());
+    }
+
+    /// Merge distances are non-negative and, for single and complete
+    /// linkage, bounded by the matrix's extreme values.
+    #[test]
+    fn merge_distances_are_bounded(
+        values in prop::collection::vec(0.0f64..50.0, 3..46),
+    ) {
+        let matrix = matrix_from_values(&values);
+        let max = matrix.max_value();
+        for linkage in [Linkage::Single, Linkage::Complete] {
+            let dendrogram = AgglomerativeClustering::new(linkage).fit(&matrix).unwrap();
+            for merge in dendrogram.merges() {
+                prop_assert!(merge.distance >= 0.0);
+                prop_assert!(merge.distance <= max + 1e-9,
+                    "{linkage:?} merge at {} exceeds max {max}", merge.distance);
+            }
+        }
+    }
+
+    /// The single-linkage dendrogram's first merge happens exactly at the
+    /// smallest pairwise distance.
+    #[test]
+    fn single_linkage_first_merge_is_the_global_minimum(
+        values in prop::collection::vec(0.1f64..50.0, 3..46),
+    ) {
+        let matrix = matrix_from_values(&values);
+        let dendrogram = AgglomerativeClustering::new(Linkage::Single).fit(&matrix).unwrap();
+        let first = dendrogram.merges().first().unwrap();
+        prop_assert!((first.distance - matrix.min_value()).abs() < 1e-9);
+    }
+
+    /// The published quality metric is zero exactly when every cluster is a
+    /// singleton, and non-negative otherwise.
+    #[test]
+    fn within_cluster_scatter_is_non_negative(
+        values in prop::collection::vec(0.0f64..10.0, 1..46),
+        k in 1usize..6,
+    ) {
+        let matrix = matrix_from_values(&values);
+        let n = matrix.len();
+        let k = k.min(n);
+        let assignment =
+            AgglomerativeClustering::new(Linkage::Average).fit_k(&matrix, k).unwrap();
+        let scatter = average_within_cluster_squared_distance(&matrix, &assignment).unwrap();
+        prop_assert!(scatter >= 0.0);
+        let singletons = AgglomerativeClustering::new(Linkage::Average)
+            .fit_k(&matrix, n)
+            .unwrap();
+        prop_assert_eq!(
+            average_within_cluster_squared_distance(&matrix, &singletons).unwrap(),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimal CSV import / export for data matrices.
+//!
+//! Data holders in a real deployment keep their partitions in ordinary
+//! tabular files; this module lets them load a partition from CSV text (and
+//! write one back) against an agreed [`Schema`], without pulling in an
+//! external CSV dependency. The dialect is deliberately simple: comma
+//! separator, `"`-quoting with `""` escapes, one header row matching the
+//! schema's attribute names.
+
+use crate::error::CoreError;
+use crate::matrix::DataMatrix;
+use crate::record::Record;
+use crate::schema::Schema;
+use crate::value::{AttributeKind, AttributeValue};
+
+/// Splits one CSV line into fields, honouring `"` quoting.
+fn split_line(line: &str) -> Result<Vec<String>, CoreError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match (c, in_quotes) {
+            ('"', false) => {
+                if field.is_empty() {
+                    in_quotes = true;
+                } else {
+                    field.push('"');
+                }
+            }
+            ('"', true) => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            (',', false) => {
+                fields.push(std::mem::take(&mut field));
+            }
+            (c, _) => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CoreError::Protocol("unterminated quote in CSV line".into()));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Quotes a field if it contains separators, quotes or spaces.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Parses CSV text into a [`DataMatrix`] for `schema`.
+///
+/// The header row must list exactly the schema's attribute names, in order.
+/// Empty lines are skipped.
+pub fn parse_csv(schema: &Schema, text: &str) -> Result<DataMatrix, CoreError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| CoreError::Protocol("CSV input has no header row".into()))?;
+    let header_fields = split_line(header)?;
+    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    if header_fields != expected {
+        return Err(CoreError::SchemaMismatch(format!(
+            "CSV header {header_fields:?} does not match schema attributes {expected:?}"
+        )));
+    }
+    let mut matrix = DataMatrix::new(schema.clone());
+    for (line_number, line) in lines.enumerate() {
+        let fields = split_line(line)?;
+        if fields.len() != schema.len() {
+            return Err(CoreError::ArityMismatch { expected: schema.len(), got: fields.len() });
+        }
+        let mut values = Vec::with_capacity(fields.len());
+        for (field, descriptor) in fields.iter().zip(schema.attributes()) {
+            let value = match descriptor.kind {
+                AttributeKind::Numeric => {
+                    let parsed: f64 = field.trim().parse().map_err(|_| {
+                        CoreError::Protocol(format!(
+                            "row {}: '{}' is not a number for attribute '{}'",
+                            line_number + 2,
+                            field,
+                            descriptor.name
+                        ))
+                    })?;
+                    AttributeValue::Numeric(parsed)
+                }
+                AttributeKind::Categorical => AttributeValue::Categorical(field.clone()),
+                AttributeKind::Alphanumeric => AttributeValue::Alphanumeric(field.clone()),
+            };
+            values.push(value);
+        }
+        matrix.push(Record::new(values))?;
+    }
+    Ok(matrix)
+}
+
+/// Serialises a [`DataMatrix`] to CSV text (header + one row per object).
+pub fn to_csv(matrix: &DataMatrix) -> String {
+    let mut out = String::new();
+    let header: Vec<String> =
+        matrix.schema().attributes().iter().map(|a| quote(&a.name)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in matrix.rows() {
+        let fields: Vec<String> = row
+            .values()
+            .iter()
+            .map(|v| match v {
+                AttributeValue::Numeric(x) => format!("{x}"),
+                AttributeValue::Categorical(s) | AttributeValue::Alphanumeric(s) => quote(s),
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::schema::AttributeDescriptor;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDescriptor::numeric("age"),
+            AttributeDescriptor::categorical("plan"),
+            AttributeDescriptor::alphanumeric("dna", Alphabet::dna()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_roundtrip() {
+        let text = "age,plan,dna\n30,basic,acgt\n45.5,\"premium, plus\",tgca\n";
+        let matrix = parse_csv(&schema(), text).unwrap();
+        assert_eq!(matrix.len(), 2);
+        assert_eq!(matrix.numeric_column(0).unwrap(), vec![30.0, 45.5]);
+        assert_eq!(matrix.categorical_column(1).unwrap()[1], "premium, plus");
+        assert_eq!(matrix.string_column(2).unwrap(), vec!["acgt", "tgca"]);
+        // Round-trip through to_csv and back.
+        let rendered = to_csv(&matrix);
+        let reparsed = parse_csv(&schema(), &rendered).unwrap();
+        assert_eq!(reparsed, matrix);
+    }
+
+    #[test]
+    fn quoting_rules() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let fields = split_line("a,\"b,c\",\"d\"\"e\"").unwrap();
+        assert_eq!(fields, vec!["a", "b,c", "d\"e"]);
+        assert!(split_line("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn header_and_type_validation() {
+        assert!(parse_csv(&schema(), "").is_err());
+        assert!(parse_csv(&schema(), "age,plan\n1,basic\n").is_err());
+        assert!(parse_csv(&schema(), "age,plan,dna\nnot_a_number,basic,acgt\n").is_err());
+        assert!(parse_csv(&schema(), "age,plan,dna\n30,basic\n").is_err());
+        // Symbols outside the declared alphabet are rejected by the schema.
+        assert!(parse_csv(&schema(), "age,plan,dna\n30,basic,xyz\n").is_err());
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let text = "age,plan,dna\n\n30,basic,acgt\n\n";
+        assert_eq!(parse_csv(&schema(), text).unwrap().len(), 1);
+    }
+}

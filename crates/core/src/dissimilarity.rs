@@ -1,0 +1,319 @@
+//! Dissimilarity matrices (§2.2, §5).
+//!
+//! The third party assembles one dissimilarity matrix *per attribute*, then
+//! normalises each into `[0, 1]` and merges them under a weight vector into
+//! the final matrix that is handed to the clustering algorithm. Objects are
+//! addressed globally by concatenating the sites' partitions in site order,
+//! but every entry remains retrievable by site-qualified [`ObjectId`].
+//!
+//! The paper chooses to normalise the *dissimilarity* matrix rather than the
+//! data matrix precisely because partitions may cover different value
+//! ranges; normalising afterwards needs no extra protocol (§2.1).
+
+use serde::{Deserialize, Serialize};
+
+use ppc_cluster::CondensedDistanceMatrix;
+
+use crate::error::CoreError;
+use crate::record::ObjectId;
+use crate::schema::{Schema, WeightVector};
+
+/// Mapping between global object indices and site-qualified object ids.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectIndex {
+    /// Number of objects per site, in ascending site order.
+    site_sizes: Vec<(u32, usize)>,
+    /// Flattened object ids, global order.
+    ids: Vec<ObjectId>,
+}
+
+impl ObjectIndex {
+    /// Builds the index from `(site, object_count)` pairs in the order the
+    /// third party concatenates partitions.
+    pub fn from_site_sizes(site_sizes: &[(u32, usize)]) -> Self {
+        let mut ids = Vec::new();
+        for &(site, count) in site_sizes {
+            for i in 0..count {
+                ids.push(ObjectId::new(site, i));
+            }
+        }
+        ObjectIndex { site_sizes: site_sizes.to_vec(), ids }
+    }
+
+    /// Total number of objects.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the index covers zero objects.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.site_sizes.len()
+    }
+
+    /// Site sizes in concatenation order.
+    pub fn site_sizes(&self) -> &[(u32, usize)] {
+        &self.site_sizes
+    }
+
+    /// Global index of a site-qualified object id.
+    pub fn global_index(&self, id: ObjectId) -> Result<usize, CoreError> {
+        let mut offset = 0usize;
+        for &(site, count) in &self.site_sizes {
+            if site == id.site {
+                if id.local_index < count {
+                    return Ok(offset + id.local_index);
+                }
+                return Err(CoreError::Protocol(format!(
+                    "object {id} outside site partition of size {count}"
+                )));
+            }
+            offset += count;
+        }
+        Err(CoreError::Protocol(format!("unknown site {} for object {id}", id.site)))
+    }
+
+    /// Object id at a global index.
+    pub fn object_id(&self, global: usize) -> Result<ObjectId, CoreError> {
+        self.ids
+            .get(global)
+            .copied()
+            .ok_or_else(|| CoreError::Protocol(format!("global index {global} out of range")))
+    }
+
+    /// All object ids in global order.
+    pub fn ids(&self) -> &[ObjectId] {
+        &self.ids
+    }
+
+    /// Range of global indices covered by `site`.
+    pub fn site_range(&self, site: u32) -> Result<std::ops::Range<usize>, CoreError> {
+        let mut offset = 0usize;
+        for &(s, count) in &self.site_sizes {
+            if s == site {
+                return Ok(offset..offset + count);
+            }
+            offset += count;
+        }
+        Err(CoreError::Protocol(format!("unknown site {site}")))
+    }
+}
+
+/// The dissimilarity matrix of a single attribute, before or after
+/// normalisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeDissimilarity {
+    /// Attribute name.
+    pub attribute: String,
+    /// The pairwise distances.
+    pub matrix: CondensedDistanceMatrix,
+}
+
+impl AttributeDissimilarity {
+    /// Creates the per-attribute matrix.
+    pub fn new(attribute: impl Into<String>, matrix: CondensedDistanceMatrix) -> Self {
+        AttributeDissimilarity { attribute: attribute.into(), matrix }
+    }
+
+    /// Normalises the matrix into `[0, 1]` by dividing by its maximum
+    /// (paper §5, step 4).
+    pub fn normalize(&mut self) {
+        self.matrix.normalize_max();
+    }
+}
+
+/// The final, merged dissimilarity matrix together with the object index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DissimilarityMatrix {
+    index: ObjectIndex,
+    matrix: CondensedDistanceMatrix,
+}
+
+impl DissimilarityMatrix {
+    /// Wraps an already-built matrix.
+    pub fn new(index: ObjectIndex, matrix: CondensedDistanceMatrix) -> Result<Self, CoreError> {
+        if index.len() != matrix.len() {
+            return Err(CoreError::Protocol(format!(
+                "object index covers {} objects but the matrix covers {}",
+                index.len(),
+                matrix.len()
+            )));
+        }
+        Ok(DissimilarityMatrix { index, matrix })
+    }
+
+    /// Merges normalised per-attribute matrices under a weight vector.
+    ///
+    /// Every per-attribute matrix is normalised (idempotent if already done),
+    /// then combined as `Σ w_a · d_a`. The weight vector must cover exactly
+    /// the schema's attributes, in order.
+    pub fn merge(
+        index: ObjectIndex,
+        per_attribute: &[AttributeDissimilarity],
+        schema: &Schema,
+        weights: &WeightVector,
+    ) -> Result<Self, CoreError> {
+        weights.validate_for(schema)?;
+        if per_attribute.len() != schema.len() {
+            return Err(CoreError::Protocol(format!(
+                "{} per-attribute matrices for a schema of {} attributes",
+                per_attribute.len(),
+                schema.len()
+            )));
+        }
+        for (d, a) in per_attribute.iter().zip(schema.attributes()) {
+            if d.attribute != a.name {
+                return Err(CoreError::Protocol(format!(
+                    "attribute matrix order mismatch: expected '{}', found '{}'",
+                    a.name, d.attribute
+                )));
+            }
+        }
+        let normalised: Vec<CondensedDistanceMatrix> = per_attribute
+            .iter()
+            .map(|d| {
+                let mut m = d.matrix.clone();
+                m.normalize_max();
+                m
+            })
+            .collect();
+        let merged = CondensedDistanceMatrix::weighted_merge(&normalised, weights.weights())?;
+        DissimilarityMatrix::new(index, merged)
+    }
+
+    /// The object index.
+    pub fn index(&self) -> &ObjectIndex {
+        &self.index
+    }
+
+    /// The underlying condensed matrix (global-index addressing).
+    pub fn matrix(&self) -> &CondensedDistanceMatrix {
+        &self.matrix
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Whether the matrix covers zero objects.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.is_empty()
+    }
+
+    /// Distance between two site-qualified objects.
+    pub fn distance(&self, a: ObjectId, b: ObjectId) -> Result<f64, CoreError> {
+        let i = self.index.global_index(a)?;
+        let j = self.index.global_index(b)?;
+        Ok(self.matrix.get(i, j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeDescriptor;
+
+    fn index() -> ObjectIndex {
+        ObjectIndex::from_site_sizes(&[(0, 2), (1, 3)])
+    }
+
+    #[test]
+    fn object_index_mapping_roundtrips() {
+        let idx = index();
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.num_sites(), 2);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.global_index(ObjectId::new(0, 1)).unwrap(), 1);
+        assert_eq!(idx.global_index(ObjectId::new(1, 0)).unwrap(), 2);
+        assert_eq!(idx.global_index(ObjectId::new(1, 2)).unwrap(), 4);
+        assert_eq!(idx.object_id(3).unwrap(), ObjectId::new(1, 1));
+        assert!(idx.object_id(5).is_err());
+        assert!(idx.global_index(ObjectId::new(0, 2)).is_err());
+        assert!(idx.global_index(ObjectId::new(7, 0)).is_err());
+        assert_eq!(idx.site_range(1).unwrap(), 2..5);
+        assert!(idx.site_range(9).is_err());
+        for (g, id) in idx.ids().iter().enumerate() {
+            assert_eq!(idx.global_index(*id).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn merge_normalises_and_weights_attributes() {
+        let schema = Schema::new(vec![
+            AttributeDescriptor::numeric("age"),
+            AttributeDescriptor::numeric("income"),
+        ])
+        .unwrap();
+        let idx = ObjectIndex::from_site_sizes(&[(0, 3)]);
+        // Attribute "age" distances max out at 10, "income" at 1000.
+        let age = AttributeDissimilarity::new(
+            "age",
+            CondensedDistanceMatrix::from_condensed(3, vec![10.0, 5.0, 5.0]).unwrap(),
+        );
+        let income = AttributeDissimilarity::new(
+            "income",
+            CondensedDistanceMatrix::from_condensed(3, vec![1000.0, 0.0, 1000.0]).unwrap(),
+        );
+        let weights = WeightVector::new(vec![1.0, 3.0]).unwrap();
+        let merged =
+            DissimilarityMatrix::merge(idx, &[age, income], &schema, &weights).unwrap();
+        // (1,0): 0.25·(10/10) + 0.75·(1000/1000) = 1.0
+        assert!((merged.distance(ObjectId::new(0, 1), ObjectId::new(0, 0)).unwrap() - 1.0).abs()
+            < 1e-12);
+        // (2,0): 0.25·0.5 + 0.75·0 = 0.125
+        assert!((merged.distance(ObjectId::new(0, 2), ObjectId::new(0, 0)).unwrap() - 0.125)
+            .abs()
+            < 1e-12);
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn merge_validates_order_and_counts() {
+        let schema = Schema::new(vec![
+            AttributeDescriptor::numeric("a"),
+            AttributeDescriptor::numeric("b"),
+        ])
+        .unwrap();
+        let idx = ObjectIndex::from_site_sizes(&[(0, 2)]);
+        let one = AttributeDissimilarity::new("a", CondensedDistanceMatrix::zeros(2));
+        // Too few matrices.
+        assert!(DissimilarityMatrix::merge(
+            idx.clone(),
+            &[one.clone()],
+            &schema,
+            &schema.uniform_weights()
+        )
+        .is_err());
+        // Wrong order.
+        let wrong = AttributeDissimilarity::new("b", CondensedDistanceMatrix::zeros(2));
+        assert!(DissimilarityMatrix::merge(
+            idx.clone(),
+            &[wrong, one],
+            &schema,
+            &schema.uniform_weights()
+        )
+        .is_err());
+        // Weight vector of the wrong size.
+        let a = AttributeDissimilarity::new("a", CondensedDistanceMatrix::zeros(2));
+        let b = AttributeDissimilarity::new("b", CondensedDistanceMatrix::zeros(2));
+        assert!(DissimilarityMatrix::merge(
+            idx,
+            &[a, b],
+            &schema,
+            &WeightVector::uniform(3)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn new_checks_size_consistency() {
+        let idx = index();
+        assert!(DissimilarityMatrix::new(idx.clone(), CondensedDistanceMatrix::zeros(4)).is_err());
+        assert!(DissimilarityMatrix::new(idx, CondensedDistanceMatrix::zeros(5)).is_ok());
+    }
+}

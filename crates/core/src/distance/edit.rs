@@ -1,0 +1,113 @@
+//! Edit (Levenshtein) distance, over plaintext strings and over character
+//! comparison matrices.
+//!
+//! The dynamic program fills an `(n+1) × (m+1)` table with insertion,
+//! deletion and substitution costs of 1; the substitution cost of a cell is
+//! read either from the plaintext characters or from a
+//! [`CharacterComparisonMatrix`] — the two variants must agree, which the
+//! property tests in this module and the protocol tests both check.
+
+use crate::ccm::CharacterComparisonMatrix;
+
+/// Edit distance between two plaintext strings.
+pub fn edit_distance(source: &str, target: &str) -> u32 {
+    let s: Vec<char> = source.chars().collect();
+    let t: Vec<char> = target.chars().collect();
+    edit_distance_by(s.len(), t.len(), |i, j| u32::from(s[i] != t[j]))
+}
+
+/// Edit distance computed from a character comparison matrix, the way the
+/// third party does it in the alphanumeric protocol.
+pub fn edit_distance_from_ccm(ccm: &CharacterComparisonMatrix) -> u32 {
+    edit_distance_by(ccm.source_len(), ccm.target_len(), |i, j| ccm.substitution_cost(i, j))
+}
+
+/// Shared dynamic program: `cost(i, j)` returns the substitution cost of
+/// aligning source position `i` with target position `j`.
+fn edit_distance_by<F: Fn(usize, usize) -> u32>(n: usize, m: usize, cost: F) -> u32 {
+    if n == 0 {
+        return m as u32;
+    }
+    if m == 0 {
+        return n as u32;
+    }
+    // Two-row rolling table.
+    let mut prev: Vec<u32> = (0..=m as u32).collect();
+    let mut curr = vec![0u32; m + 1];
+    for i in 1..=n {
+        curr[0] = i as u32;
+        for j in 1..=m {
+            let substitution = prev[j - 1] + cost(i - 1, j - 1);
+            let deletion = prev[j] + 1;
+            let insertion = curr[j - 1] + 1;
+            curr[j] = substitution.min(deletion).min(insertion);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("gattaca", "gtacca"), 3);
+    }
+
+    #[test]
+    fn symmetry_and_bounds() {
+        let pairs = [("abcdef", "azced"), ("acgt", "tgca"), ("aaaa", "aa")];
+        for (a, b) in pairs {
+            let d = edit_distance(a, b);
+            assert_eq!(d, edit_distance(b, a));
+            assert!(d as usize <= a.chars().count().max(b.chars().count()));
+            assert!(d as usize >= a.chars().count().abs_diff(b.chars().count()));
+        }
+    }
+
+    #[test]
+    fn ccm_variant_agrees_with_plaintext_variant() {
+        let pairs = [
+            ("abc", "bd"),
+            ("kitten", "sitting"),
+            ("gattaca", "gtacca"),
+            ("", "xyz"),
+            ("same", "same"),
+            ("aaaaabbbbb", "bbbbbaaaaa"),
+        ];
+        for (s, t) in pairs {
+            let ccm = CharacterComparisonMatrix::from_strings(s, t);
+            assert_eq!(edit_distance_from_ccm(&ccm), edit_distance(s, t), "{s} vs {t}");
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        let words = ["acgt", "aggt", "tgca", "ac", "acgtacgt", ""];
+        for a in words {
+            for b in words {
+                for c in words {
+                    let ab = edit_distance(a, b);
+                    let bc = edit_distance(b, c);
+                    let ac = edit_distance(a, c);
+                    assert!(ac <= ab + bc, "triangle violated for {a} {b} {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_strings_are_compared_by_chars() {
+        assert_eq!(edit_distance("naïve", "naive"), 1);
+        assert_eq!(edit_distance("çava", "cava"), 1);
+    }
+}

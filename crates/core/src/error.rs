@@ -1,0 +1,132 @@
+//! Unified error type for the core crate.
+
+use std::fmt;
+
+use ppc_cluster::ClusterError;
+use ppc_crypto::CryptoError;
+use ppc_net::NetError;
+
+/// Errors produced while building dissimilarity matrices or running the
+/// comparison protocols.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A value did not match the attribute kind declared in the schema.
+    TypeMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// Expected kind (as text).
+        expected: String,
+        /// Found kind (as text).
+        found: String,
+    },
+    /// A record had the wrong number of attributes.
+    ArityMismatch {
+        /// Number of attributes in the schema.
+        expected: usize,
+        /// Number of values in the record.
+        got: usize,
+    },
+    /// Schemas of two partitions disagree.
+    SchemaMismatch(String),
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// A character was outside the declared finite alphabet.
+    SymbolOutsideAlphabet {
+        /// The offending character.
+        symbol: char,
+    },
+    /// A weight vector was invalid (wrong length, negative or all-zero).
+    InvalidWeights(String),
+    /// A numeric value could not be represented in fixed point.
+    FixedPointOverflow {
+        /// The offending value.
+        value: f64,
+    },
+    /// Protocol-level failure (unexpected message shape, missing seed, ...).
+    Protocol(String),
+    /// There is nothing to cluster.
+    EmptyInput,
+    /// Error from the crypto substrate.
+    Crypto(CryptoError),
+    /// Error from the transport substrate.
+    Net(NetError),
+    /// Error from the clustering substrate.
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::TypeMismatch { attribute, expected, found } => write!(
+                f,
+                "attribute '{attribute}' expects {expected} values, found {found}"
+            ),
+            CoreError::ArityMismatch { expected, got } => {
+                write!(f, "record has {got} values but the schema declares {expected}")
+            }
+            CoreError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            CoreError::UnknownAttribute(name) => write!(f, "unknown attribute '{name}'"),
+            CoreError::SymbolOutsideAlphabet { symbol } => {
+                write!(f, "symbol '{symbol}' is outside the declared alphabet")
+            }
+            CoreError::InvalidWeights(msg) => write!(f, "invalid weight vector: {msg}"),
+            CoreError::FixedPointOverflow { value } => {
+                write!(f, "value {value} cannot be represented in fixed point")
+            }
+            CoreError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            CoreError::EmptyInput => write!(f, "empty input"),
+            CoreError::Crypto(e) => write!(f, "crypto error: {e}"),
+            CoreError::Net(e) => write!(f, "network error: {e}"),
+            CoreError::Cluster(e) => write!(f, "clustering error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<CryptoError> for CoreError {
+    fn from(e: CryptoError) -> Self {
+        CoreError::Crypto(e)
+    }
+}
+
+impl From<NetError> for CoreError {
+    fn from(e: NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+impl From<ClusterError> for CoreError {
+    fn from(e: ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let e: CoreError = CryptoError::InvalidAlphabet("x".into()).into();
+        assert!(matches!(e, CoreError::Crypto(_)));
+        let e: CoreError = NetError::Decode("bad".into()).into();
+        assert!(matches!(e, CoreError::Net(_)));
+        let e: CoreError = ClusterError::EmptyInput.into();
+        assert!(matches!(e, CoreError::Cluster(_)));
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let e = CoreError::TypeMismatch {
+            attribute: "age".into(),
+            expected: "numeric".into(),
+            found: "categorical".into(),
+        };
+        assert!(e.to_string().contains("age"));
+        assert!(CoreError::UnknownAttribute("dna".into()).to_string().contains("dna"));
+        assert!(CoreError::FixedPointOverflow { value: 1e300 }
+            .to_string()
+            .contains("cannot be represented"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Privacy-preserving record linkage on top of the dissimilarity matrix.
+//!
+//! The paper lists record linkage among the applications of the
+//! privacy-preserving dissimilarity matrix (§1, §6): once the third party
+//! holds pairwise distances, deciding which cross-site object pairs refer to
+//! the same real-world entity needs no further protocol rounds. This module
+//! provides the two standard decision rules:
+//!
+//! * [`threshold_linkage`] — every cross-site pair below a distance
+//!   threshold is declared a match;
+//! * [`greedy_one_to_one_linkage`] — additionally enforces that every object
+//!   is matched at most once, taking pairs in increasing distance order.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dissimilarity::DissimilarityMatrix;
+use crate::error::CoreError;
+use crate::record::ObjectId;
+
+/// A declared cross-site match.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchedPair {
+    /// Object of the first site.
+    pub left: ObjectId,
+    /// Object of the second site.
+    pub right: ObjectId,
+    /// Their (merged, normalised) distance.
+    pub distance: f64,
+}
+
+/// All cross-site pairs between `site_a` and `site_b` with distance at most
+/// `threshold`, sorted by increasing distance.
+pub fn threshold_linkage(
+    matrix: &DissimilarityMatrix,
+    site_a: u32,
+    site_b: u32,
+    threshold: f64,
+) -> Result<Vec<MatchedPair>, CoreError> {
+    if site_a == site_b {
+        return Err(CoreError::Protocol(
+            "record linkage compares two distinct sites".into(),
+        ));
+    }
+    if !(0.0..=f64::INFINITY).contains(&threshold) || threshold.is_nan() {
+        return Err(CoreError::Protocol("threshold must be non-negative".into()));
+    }
+    let range_a = matrix.index().site_range(site_a)?;
+    let range_b = matrix.index().site_range(site_b)?;
+    let mut matches = Vec::new();
+    for a in range_a {
+        for b in range_b.clone() {
+            let left = matrix.index().object_id(a)?;
+            let right = matrix.index().object_id(b)?;
+            let distance = matrix.matrix().get(a, b);
+            if distance <= threshold {
+                matches.push(MatchedPair { left, right, distance });
+            }
+        }
+    }
+    matches.sort_by(|x, y| x.distance.total_cmp(&y.distance));
+    Ok(matches)
+}
+
+/// Greedy one-to-one matching: pairs are considered in increasing distance
+/// order and accepted only if neither endpoint has been matched yet and the
+/// distance is at most `threshold`.
+pub fn greedy_one_to_one_linkage(
+    matrix: &DissimilarityMatrix,
+    site_a: u32,
+    site_b: u32,
+    threshold: f64,
+) -> Result<Vec<MatchedPair>, CoreError> {
+    let candidates = threshold_linkage(matrix, site_a, site_b, threshold)?;
+    let mut used_left = std::collections::HashSet::new();
+    let mut used_right = std::collections::HashSet::new();
+    let mut matches = Vec::new();
+    for pair in candidates {
+        if used_left.contains(&pair.left) || used_right.contains(&pair.right) {
+            continue;
+        }
+        used_left.insert(pair.left);
+        used_right.insert(pair.right);
+        matches.push(pair);
+    }
+    Ok(matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dissimilarity::ObjectIndex;
+    use ppc_cluster::CondensedDistanceMatrix;
+
+    /// Two sites with 3 and 2 objects; cross distances crafted so A1↔B1 and
+    /// A3↔B2 are obvious matches and A2 matches nobody.
+    fn sample_matrix() -> DissimilarityMatrix {
+        let index = ObjectIndex::from_site_sizes(&[(0, 3), (1, 2)]);
+        let mut m = CondensedDistanceMatrix::zeros(5);
+        // Within-site distances (irrelevant to linkage) set to 0.5.
+        m.set(1, 0, 0.5);
+        m.set(2, 0, 0.5);
+        m.set(2, 1, 0.5);
+        m.set(4, 3, 0.5);
+        // Cross-site distances: global indices 3, 4 are B1, B2.
+        m.set(3, 0, 0.05); // A1-B1 match
+        m.set(3, 1, 0.70);
+        m.set(3, 2, 0.60);
+        m.set(4, 0, 0.80);
+        m.set(4, 1, 0.75);
+        m.set(4, 2, 0.10); // A3-B2 match
+        DissimilarityMatrix::new(index, m).unwrap()
+    }
+
+    #[test]
+    fn threshold_linkage_returns_sorted_matches() {
+        let matrix = sample_matrix();
+        let matches = threshold_linkage(&matrix, 0, 1, 0.2).unwrap();
+        assert_eq!(matches.len(), 2);
+        assert_eq!(matches[0].left, ObjectId::new(0, 0));
+        assert_eq!(matches[0].right, ObjectId::new(1, 0));
+        assert_eq!(matches[1].left, ObjectId::new(0, 2));
+        assert_eq!(matches[1].right, ObjectId::new(1, 1));
+        assert!(matches[0].distance <= matches[1].distance);
+        // A permissive threshold returns every cross pair (6).
+        assert_eq!(threshold_linkage(&matrix, 0, 1, 1.0).unwrap().len(), 6);
+        // Sites can be given in either order.
+        let swapped = threshold_linkage(&matrix, 1, 0, 0.2).unwrap();
+        assert_eq!(swapped.len(), 2);
+        assert_eq!(swapped[0].left.site, 1);
+    }
+
+    #[test]
+    fn greedy_one_to_one_prevents_double_matching() {
+        let matrix = sample_matrix();
+        // With a very permissive threshold, plain threshold linkage would
+        // match A1 to both B1 and B2; one-to-one keeps only the best pairs.
+        let matches = greedy_one_to_one_linkage(&matrix, 0, 1, 1.0).unwrap();
+        assert_eq!(matches.len(), 2);
+        let lefts: Vec<ObjectId> = matches.iter().map(|m| m.left).collect();
+        let rights: Vec<ObjectId> = matches.iter().map(|m| m.right).collect();
+        assert_eq!(lefts.len(), lefts.iter().collect::<std::collections::HashSet<_>>().len());
+        assert_eq!(rights.len(), rights.iter().collect::<std::collections::HashSet<_>>().len());
+        assert!(matches.iter().any(|m| m.left == ObjectId::new(0, 0)
+            && m.right == ObjectId::new(1, 0)));
+        assert!(matches.iter().any(|m| m.left == ObjectId::new(0, 2)
+            && m.right == ObjectId::new(1, 1)));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let matrix = sample_matrix();
+        assert!(threshold_linkage(&matrix, 0, 0, 0.5).is_err());
+        assert!(threshold_linkage(&matrix, 0, 9, 0.5).is_err());
+        assert!(threshold_linkage(&matrix, 0, 1, f64::NAN).is_err());
+        assert!(threshold_linkage(&matrix, 0, 1, -0.1).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Data matrices and horizontal partitions (§2.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::record::{ObjectId, Record};
+use crate::schema::Schema;
+use crate::value::{AttributeKind, AttributeValue};
+
+/// An object-by-attribute data matrix with a declared schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataMatrix {
+    schema: Schema,
+    rows: Vec<Record>,
+}
+
+impl DataMatrix {
+    /// Creates an empty matrix over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        DataMatrix { schema, rows: Vec::new() }
+    }
+
+    /// Creates a matrix from validated rows.
+    pub fn with_rows(schema: Schema, rows: Vec<Record>) -> Result<Self, CoreError> {
+        let mut matrix = DataMatrix::new(schema);
+        for row in rows {
+            matrix.push(row)?;
+        }
+        Ok(matrix)
+    }
+
+    /// Appends a row after validating it against the schema.
+    pub fn push(&mut self, record: Record) -> Result<(), CoreError> {
+        record.validate(&self.schema)?;
+        self.rows.push(record);
+        Ok(())
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Record] {
+        &self.rows
+    }
+
+    /// Number of objects (the paper's `D_i.Length`).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the matrix holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The column of values for the attribute at `attribute_index` — the
+    /// paper's column view `D_i`.
+    pub fn column(&self, attribute_index: usize) -> Result<Vec<&AttributeValue>, CoreError> {
+        self.schema.attribute_at(attribute_index)?;
+        Ok(self
+            .rows
+            .iter()
+            .map(|r| r.value_at(attribute_index).expect("validated arity"))
+            .collect())
+    }
+
+    /// Numeric column as `f64` values (errors for non-numeric attributes).
+    pub fn numeric_column(&self, attribute_index: usize) -> Result<Vec<f64>, CoreError> {
+        let descriptor = self.schema.attribute_at(attribute_index)?;
+        if descriptor.kind != AttributeKind::Numeric {
+            return Err(CoreError::TypeMismatch {
+                attribute: descriptor.name.clone(),
+                expected: "numeric".into(),
+                found: descriptor.kind.to_string(),
+            });
+        }
+        Ok(self
+            .rows
+            .iter()
+            .map(|r| r.value_at(attribute_index).and_then(|v| v.as_numeric()).expect("validated"))
+            .collect())
+    }
+
+    /// String column (alphanumeric attributes).
+    pub fn string_column(&self, attribute_index: usize) -> Result<Vec<String>, CoreError> {
+        let descriptor = self.schema.attribute_at(attribute_index)?;
+        if descriptor.kind != AttributeKind::Alphanumeric {
+            return Err(CoreError::TypeMismatch {
+                attribute: descriptor.name.clone(),
+                expected: "alphanumeric".into(),
+                found: descriptor.kind.to_string(),
+            });
+        }
+        Ok(self
+            .rows
+            .iter()
+            .map(|r| {
+                r.value_at(attribute_index)
+                    .and_then(|v| v.as_alphanumeric())
+                    .expect("validated")
+                    .to_string()
+            })
+            .collect())
+    }
+
+    /// Categorical column.
+    pub fn categorical_column(&self, attribute_index: usize) -> Result<Vec<String>, CoreError> {
+        let descriptor = self.schema.attribute_at(attribute_index)?;
+        if descriptor.kind != AttributeKind::Categorical {
+            return Err(CoreError::TypeMismatch {
+                attribute: descriptor.name.clone(),
+                expected: "categorical".into(),
+                found: descriptor.kind.to_string(),
+            });
+        }
+        Ok(self
+            .rows
+            .iter()
+            .map(|r| {
+                r.value_at(attribute_index)
+                    .and_then(|v| v.as_categorical())
+                    .expect("validated")
+                    .to_string()
+            })
+            .collect())
+    }
+}
+
+/// The horizontal partition owned by one data holder: a data matrix plus the
+/// owning site's index, giving each row a site-qualified [`ObjectId`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HorizontalPartition {
+    site: u32,
+    matrix: DataMatrix,
+}
+
+impl HorizontalPartition {
+    /// Creates a partition owned by data holder `site`.
+    pub fn new(site: u32, matrix: DataMatrix) -> Self {
+        HorizontalPartition { site, matrix }
+    }
+
+    /// The owning site index.
+    pub fn site(&self) -> u32 {
+        self.site
+    }
+
+    /// The partition's data matrix.
+    pub fn matrix(&self) -> &DataMatrix {
+        &self.matrix
+    }
+
+    /// Number of objects in this partition.
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.is_empty()
+    }
+
+    /// Site-qualified ids of this partition's objects, in row order.
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        (0..self.matrix.len()).map(|i| ObjectId::new(self.site, i)).collect()
+    }
+
+    /// Checks that this partition's schema equals `schema` (the protocol
+    /// requires all data holders to have agreed on the attribute list).
+    pub fn validate_schema(&self, schema: &Schema) -> Result<(), CoreError> {
+        if self.matrix.schema() != schema {
+            return Err(CoreError::SchemaMismatch(format!(
+                "site {} uses a different attribute list than the agreed schema",
+                self.site
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::schema::AttributeDescriptor;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDescriptor::numeric("age"),
+            AttributeDescriptor::categorical("blood"),
+            AttributeDescriptor::alphanumeric("dna", Alphabet::dna()),
+        ])
+        .unwrap()
+    }
+
+    fn record(age: f64, blood: &str, dna: &str) -> Record {
+        Record::new(vec![
+            AttributeValue::numeric(age),
+            AttributeValue::categorical(blood),
+            AttributeValue::alphanumeric(dna),
+        ])
+    }
+
+    #[test]
+    fn build_matrix_and_read_columns() {
+        let m = DataMatrix::with_rows(
+            schema(),
+            vec![record(30.0, "A", "acgt"), record(45.0, "B", "tgca")],
+        )
+        .unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.numeric_column(0).unwrap(), vec![30.0, 45.0]);
+        assert_eq!(m.categorical_column(1).unwrap(), vec!["A", "B"]);
+        assert_eq!(m.string_column(2).unwrap(), vec!["acgt", "tgca"]);
+        assert_eq!(m.column(0).unwrap().len(), 2);
+        assert!(m.column(7).is_err());
+    }
+
+    #[test]
+    fn column_type_checks() {
+        let m = DataMatrix::with_rows(schema(), vec![record(30.0, "A", "acgt")]).unwrap();
+        assert!(m.numeric_column(1).is_err());
+        assert!(m.string_column(0).is_err());
+        assert!(m.categorical_column(2).is_err());
+    }
+
+    #[test]
+    fn push_validates_rows() {
+        let mut m = DataMatrix::new(schema());
+        assert!(m.push(record(30.0, "A", "acgt")).is_ok());
+        assert!(m
+            .push(Record::new(vec![AttributeValue::numeric(1.0)]))
+            .is_err());
+        assert!(m
+            .push(Record::new(vec![
+                AttributeValue::numeric(1.0),
+                AttributeValue::categorical("A"),
+                AttributeValue::alphanumeric("xxxx"),
+            ]))
+            .is_err());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn partition_ids_and_schema_check() {
+        let m = DataMatrix::with_rows(
+            schema(),
+            vec![record(30.0, "A", "acgt"), record(45.0, "B", "tgca")],
+        )
+        .unwrap();
+        let p = HorizontalPartition::new(1, m);
+        assert_eq!(p.site(), 1);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(
+            p.object_ids().iter().map(ToString::to_string).collect::<Vec<_>>(),
+            vec!["B1", "B2"]
+        );
+        assert!(p.validate_schema(&schema()).is_ok());
+        let other = Schema::new(vec![AttributeDescriptor::numeric("age")]).unwrap();
+        assert!(p.validate_schema(&other).is_err());
+        assert_eq!(p.matrix().len(), 2);
+    }
+}

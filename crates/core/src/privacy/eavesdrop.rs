@@ -1,0 +1,128 @@
+//! Eavesdropping inferences on unsecured channels (§4.1, "why the channels
+//! must be secured").
+//!
+//! The paper's argument, made executable:
+//!
+//! * The **third party** listening on the `DH_J → DH_K` channel sees
+//!   `x'' = r ± x` and knows `r` (it shares `rng_JT` with `DH_J`), so it can
+//!   narrow `x` down to the two candidates `{x'' − r, r − x''}`
+//!   ([`eavesdrop_initiator_link`]).
+//! * **`DH_J`** listening on the `DH_K → TP` channel sees `m = r ± (x − y)`
+//!   and knows both `r` and `x`, so it can narrow `y` down to the two
+//!   candidates `{x − (m − r), x + (m − r)}`
+//!   ([`eavesdrop_responder_link`]).
+//!
+//! Encrypting those channels (the default in `ppc-net`) removes the
+//! observation entirely; the experiments demonstrate both configurations.
+
+use serde::{Deserialize, Serialize};
+
+/// The candidate set an eavesdropper derives for one private value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EavesdropInference {
+    /// First candidate.
+    pub candidate_a: i64,
+    /// Second candidate (may coincide with the first).
+    pub candidate_b: i64,
+}
+
+impl EavesdropInference {
+    /// Whether the true private value is in the candidate set.
+    pub fn contains(&self, truth: i64) -> bool {
+        self.candidate_a == truth || self.candidate_b == truth
+    }
+
+    /// The candidates as a deduplicated vector.
+    pub fn candidates(&self) -> Vec<i64> {
+        if self.candidate_a == self.candidate_b {
+            vec![self.candidate_a]
+        } else {
+            vec![self.candidate_a, self.candidate_b]
+        }
+    }
+}
+
+/// The third party's inference about `DH_J`'s value `x` from an eavesdropped
+/// `x'' = r ± x` on the `DH_J → DH_K` channel, given that it knows `r`.
+pub fn eavesdrop_initiator_link(observed: i64, known_mask: u64) -> EavesdropInference {
+    let r = known_mask as i64;
+    EavesdropInference {
+        candidate_a: observed.wrapping_sub(r),
+        candidate_b: r.wrapping_sub(observed),
+    }
+}
+
+/// `DH_J`'s inference about `DH_K`'s value `y` from an eavesdropped
+/// `m = r ± (x − y)` on the `DH_K → TP` channel, given that it knows both
+/// `r` and its own `x`.
+pub fn eavesdrop_responder_link(observed: i64, known_mask: u64, own_value: i64) -> EavesdropInference {
+    let delta = observed.wrapping_sub(known_mask as i64); // = ±(x − y)
+    EavesdropInference {
+        candidate_a: own_value.wrapping_sub(delta),
+        candidate_b: own_value.wrapping_add(delta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::numeric;
+    use ppc_crypto::prng::DynStreamRng;
+    use ppc_crypto::{PairwiseSeeds, RngAlgorithm, Seed};
+
+    fn seeds() -> PairwiseSeeds {
+        PairwiseSeeds::new(Seed::from_u64(5), Seed::from_u64(7))
+    }
+
+    #[test]
+    fn figure3_walkthrough_inferences() {
+        // Figure 3: x = 3, R_JK = 5 (DHJ negates), R_JT = 7, so x'' = 4 and
+        // m = 12. TP eavesdropping x'' narrows x to {−3, 3}; DHJ
+        // eavesdropping m narrows y to {−2, 8}; the true values are inside.
+        let tp_view = eavesdrop_initiator_link(4, 7);
+        assert!(tp_view.contains(3));
+        assert_eq!(tp_view.candidates().len(), 2);
+        let dhj_view = eavesdrop_responder_link(12, 7, 3);
+        assert!(dhj_view.contains(8));
+        assert_eq!(dhj_view.candidates(), vec![-2, 8]);
+    }
+
+    #[test]
+    fn inference_works_against_real_protocol_traffic() {
+        let algorithm = RngAlgorithm::ChaCha20;
+        let seeds = seeds();
+        let x = 42_000i64;
+        let y = -13_500i64;
+        let masked = numeric::initiator_mask(&[x], &seeds, algorithm);
+        let pairwise = numeric::responder_fold(&masked, &[y], &seeds.holder_holder, algorithm);
+        // Shared mask r is the first rng_JT output.
+        let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+        let r = rng_jt.next_u64();
+        // TP eavesdropping on DH_J → DH_K.
+        let tp_view = eavesdrop_initiator_link(masked[0], r);
+        assert!(tp_view.contains(x));
+        // DH_J eavesdropping on DH_K → TP.
+        let dhj_view = eavesdrop_responder_link(pairwise[0][0], r, x);
+        assert!(dhj_view.contains(y));
+    }
+
+    #[test]
+    fn without_the_mask_the_candidates_are_uninformative() {
+        // An eavesdropper who does NOT know r (any party other than TP/DH_J)
+        // gains nothing: using a wrong mask yields candidates unrelated to x.
+        let algorithm = RngAlgorithm::ChaCha20;
+        let seeds = seeds();
+        let x = 42_000i64;
+        let masked = numeric::initiator_mask(&[x], &seeds, algorithm);
+        let wrong_guess = eavesdrop_initiator_link(masked[0], 123_456_789);
+        assert!(!wrong_guess.contains(x));
+    }
+
+    #[test]
+    fn duplicate_candidates_collapse() {
+        let inf = EavesdropInference { candidate_a: 9, candidate_b: 9 };
+        assert_eq!(inf.candidates(), vec![9]);
+        assert!(inf.contains(9));
+        assert!(!inf.contains(8));
+    }
+}

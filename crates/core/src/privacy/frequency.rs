@@ -1,0 +1,207 @@
+//! Frequency-analysis attack on the batch numeric protocol (§4.1).
+//!
+//! In batch mode the `i`-th column of the pairwise comparison matrix the
+//! third party receives equals `r_i ± (x_i · 1 − DH_K)`: the responder's
+//! whole private column shifted by a constant the third party can partly
+//! cancel (it knows its own mask `r_i`) and possibly negated. The
+//! *differences between entries of a column* are therefore exactly the
+//! differences between `DH_K`'s private values, up to a global sign. If the
+//! attribute has a small, known value range, the third party can slide the
+//! observed pattern over that range and is left with only a handful of
+//! candidate columns — typically the true column and its mirror image.
+//!
+//! [`frequency_attack_on_batch_column`] implements that attack. The
+//! experiments run it against batch mode (succeeds for small ranges) and
+//! against per-pair mode (fails, because each entry carries an independent
+//! mask) — reproducing both the paper's warning and its proposed mitigation.
+
+use serde::{Deserialize, Serialize};
+
+/// How many candidate columns the attack keeps (the count of *all*
+/// consistent placements is still reported).
+const MAX_KEPT_CANDIDATES: usize = 64;
+
+/// Result of running the frequency-analysis attack against one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyAttackOutcome {
+    /// Candidate private columns consistent with the observation (at most
+    /// [`MAX_KEPT_CANDIDATES`] are kept).
+    pub candidates: Vec<Vec<i64>>,
+    /// Total number of consistent placements found. A small number (1–2)
+    /// means the responder's column is essentially recovered; a huge number
+    /// means the observation was useless to the attacker.
+    pub consistent_candidates: usize,
+}
+
+impl FrequencyAttackOutcome {
+    /// Fraction of values guessed exactly right by the *best* kept candidate.
+    pub fn recovery_rate(&self, truth: &[i64]) -> f64 {
+        if truth.is_empty() {
+            return 0.0;
+        }
+        self.candidates
+            .iter()
+            .filter(|c| c.len() == truth.len())
+            .map(|c| {
+                c.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether the exact private column is among the kept candidates.
+    pub fn contains_truth(&self, truth: &[i64]) -> bool {
+        self.candidates.iter().any(|c| c == truth)
+    }
+}
+
+/// Runs the third party's frequency-analysis attack against one column of
+/// the pairwise comparison matrix received in batch mode.
+///
+/// * `column` — the `m` entries of one column of the matrix `s` (all
+///   corresponding to the same initiator object).
+/// * `initiator_mask` — the third party's own `rng_JT` value for that
+///   column, which it can always subtract.
+/// * `value_range` — the publicly known (or guessed) inclusive range of the
+///   attribute's fixed-point values.
+pub fn frequency_attack_on_batch_column(
+    column: &[i64],
+    initiator_mask: u64,
+    value_range: (i64, i64),
+) -> FrequencyAttackOutcome {
+    let (lo, hi) = value_range;
+    if column.is_empty() || lo > hi {
+        return FrequencyAttackOutcome { candidates: Vec::new(), consistent_candidates: 0 };
+    }
+    // Cancel the known mask: residual[m] = ±(x − y_m) for the unknown
+    // initiator value x and the responder's private values y_m.
+    let residual: Vec<i64> =
+        column.iter().map(|&v| v.wrapping_sub(initiator_mask as i64)).collect();
+
+    let mut candidates: Vec<Vec<i64>> = Vec::new();
+    let mut consistent = 0usize;
+    for sign in [-1i64, 1i64] {
+        // Candidate column: y_m = sign·residual_m + shift, all inside
+        // [lo, hi]. The admissible shifts form a contiguous interval.
+        let pattern: Vec<i64> = residual.iter().map(|&r| sign.wrapping_mul(r)).collect();
+        let pat_min = *pattern.iter().min().expect("non-empty");
+        let pat_max = *pattern.iter().max().expect("non-empty");
+        let shift_lo = lo.saturating_sub(pat_min);
+        let shift_hi = hi.saturating_sub(pat_max);
+        if shift_lo > shift_hi {
+            continue;
+        }
+        let total_shifts = (shift_hi - shift_lo + 1).max(0) as usize;
+        consistent += total_shifts;
+        let mut shift = shift_lo;
+        while shift <= shift_hi && candidates.len() < MAX_KEPT_CANDIDATES {
+            candidates.push(pattern.iter().map(|&p| p + shift).collect());
+            shift += 1;
+        }
+    }
+    FrequencyAttackOutcome { candidates, consistent_candidates: consistent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::numeric;
+    use ppc_crypto::prng::DynStreamRng;
+    use ppc_crypto::{PairwiseSeeds, RngAlgorithm, Seed};
+
+    fn seeds() -> PairwiseSeeds {
+        PairwiseSeeds::new(Seed::from_u64(21), Seed::from_u64(22))
+    }
+
+    fn tp_mask_for_column_zero(seeds: &PairwiseSeeds, algorithm: RngAlgorithm) -> u64 {
+        let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+        rng_jt.next_u64()
+    }
+
+    /// End-to-end: run the batch protocol, give the third party's view to the
+    /// attack, and check it pins down DH_K's column (up to its mirror image)
+    /// when the value range is tiny.
+    #[test]
+    fn batch_mode_with_tiny_range_leaks_responder_column() {
+        let algorithm = RngAlgorithm::ChaCha20;
+        let seeds = seeds();
+        // Attribute values in a tiny known range, e.g. ratings 0..=5.
+        let j_values: Vec<i64> = vec![2];
+        let k_values: Vec<i64> = vec![0, 5, 3, 3, 1, 4, 0, 2];
+        let masked = numeric::initiator_mask(&j_values, &seeds, algorithm);
+        let pairwise =
+            numeric::responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
+        let column: Vec<i64> = pairwise.iter().map(|row| row[0]).collect();
+        let outcome = frequency_attack_on_batch_column(
+            &column,
+            tp_mask_for_column_zero(&seeds, algorithm),
+            (0, 5),
+        );
+        // The attacker is left with a handful of candidates, one of which is
+        // the responder's exact private column.
+        assert!(outcome.consistent_candidates <= 4, "{}", outcome.consistent_candidates);
+        assert!(outcome.contains_truth(&k_values));
+        assert!(outcome.recovery_rate(&k_values) >= 0.99);
+    }
+
+    /// Per-pair masking defeats the same attack.
+    #[test]
+    fn per_pair_mode_defeats_the_attack() {
+        let algorithm = RngAlgorithm::ChaCha20;
+        let seeds = seeds();
+        let j_values: Vec<i64> = vec![2];
+        let k_values: Vec<i64> = vec![0, 5, 3, 3, 1, 4, 0, 2];
+        let masked =
+            numeric::initiator_mask_per_pair(&j_values, k_values.len(), &seeds, algorithm);
+        let pairwise = numeric::responder_fold_per_pair(
+            &masked,
+            &k_values,
+            &seeds.holder_holder,
+            algorithm,
+        );
+        let column: Vec<i64> = pairwise.iter().map(|row| row[0]).collect();
+        let outcome = frequency_attack_on_batch_column(
+            &column,
+            tp_mask_for_column_zero(&seeds, algorithm),
+            (0, 5),
+        );
+        // With independent masks per pair the residuals are spread across the
+        // whole 64-bit range, so no placement fits inside [0, 5] (beyond a
+        // freak coincidence) and the attacker recovers nothing.
+        assert!(!outcome.contains_truth(&k_values));
+        assert!(outcome.recovery_rate(&k_values) < 0.3);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let out = frequency_attack_on_batch_column(&[], 0, (0, 5));
+        assert!(out.candidates.is_empty());
+        assert_eq!(out.recovery_rate(&[]), 0.0);
+        let out = frequency_attack_on_batch_column(&[1, 2], 0, (5, 0));
+        assert_eq!(out.consistent_candidates, 0);
+        let o = FrequencyAttackOutcome { candidates: vec![vec![1]], consistent_candidates: 1 };
+        assert_eq!(o.recovery_rate(&[1, 2]), 0.0);
+        assert!(!o.contains_truth(&[1, 2]));
+    }
+
+    #[test]
+    fn wide_ranges_leave_many_candidates() {
+        // Even in batch mode, if the value range is huge the attacker's
+        // candidate set explodes — matching the paper's "if the range of
+        // values ... is limited" qualifier.
+        let algorithm = RngAlgorithm::ChaCha20;
+        let seeds = seeds();
+        let j_values: Vec<i64> = vec![123_456];
+        let k_values: Vec<i64> = vec![1_000_000, -2_000_000, 3_000_000];
+        let masked = numeric::initiator_mask(&j_values, &seeds, algorithm);
+        let pairwise =
+            numeric::responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
+        let column: Vec<i64> = pairwise.iter().map(|row| row[0]).collect();
+        let outcome = frequency_attack_on_batch_column(
+            &column,
+            tp_mask_for_column_zero(&seeds, algorithm),
+            (-5_000_000, 5_000_000),
+        );
+        assert!(outcome.consistent_candidates > 1000);
+        assert!(outcome.candidates.len() <= 64);
+    }
+}

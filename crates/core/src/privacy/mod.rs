@@ -1,0 +1,23 @@
+//! Executable privacy analysis (§4.1, §5).
+//!
+//! The paper's security discussion makes three concrete, testable claims:
+//!
+//! 1. Under secured channels and a semi-honest, non-colluding adversary,
+//!    single masked messages reveal nothing useful: the responder sees a
+//!    one-time-padded value, and the third party learns only `|x − y|`.
+//! 2. If the `DH_J → DH_K` or `DH_K → TP` channels are left unencrypted, a
+//!    listener that knows the `rng_JT` stream (the third party, respectively
+//!    `DH_J`) can narrow the other side's private value down to two
+//!    candidates ([`eavesdrop`]).
+//! 3. Batch mode is vulnerable to a frequency-analysis attack by the third
+//!    party when the attribute's value range is small; per-pair masking
+//!    defeats it ([`frequency`]).
+//!
+//! This module implements the attacks so the experiments can *measure* them
+//! instead of merely citing them.
+
+pub mod eavesdrop;
+pub mod frequency;
+
+pub use eavesdrop::{eavesdrop_initiator_link, eavesdrop_responder_link, EavesdropInference};
+pub use frequency::{frequency_attack_on_batch_column, FrequencyAttackOutcome};

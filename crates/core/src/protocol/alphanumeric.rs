@@ -1,0 +1,300 @@
+//! Alphanumeric attribute comparison protocol (§4.2, Figures 7–10).
+//!
+//! Strings are first encoded as symbol indices over the attribute's finite
+//! [`Alphabet`](crate::alphabet::Alphabet). For one attribute and one ordered
+//! pair of data holders `(DH_J, DH_K)`:
+//!
+//! 1. `DH_J` masks every string character-wise, `s'[p] = (s[p] + r_p) mod
+//!    |A|`, re-initialising the `rng_JT` stream after every string so all of
+//!    its strings use the same offset sequence, and sends the masked strings
+//!    to `DH_K` ([`initiator_mask_strings`]).
+//! 2. `DH_K` builds, for every pair `(t, s')`, the intermediary matrix
+//!    `M[q][p] = (s'[p] − t[q]) mod |A|` and ships the whole bundle to the
+//!    third party ([`responder_build_bundle`]).
+//! 3. `TP` regenerates the offsets, unmasks every cell, obtains the character
+//!    comparison matrix (0 = match, 1 = mismatch) and runs the edit-distance
+//!    dynamic program on it ([`third_party_edit_distances`]).
+//!
+//! The third party therefore learns the *pattern of character equalities*
+//! between string pairs (exactly the CCM) and the resulting edit distance,
+//! but never the characters themselves.
+
+use ppc_crypto::prng::DynStreamRng;
+use ppc_crypto::{AlphabetMasker, PairwiseSeeds, RngAlgorithm, Seed};
+
+use crate::ccm::CharacterComparisonMatrix;
+use crate::distance::edit_distance_from_ccm;
+use crate::error::CoreError;
+
+/// The intermediary (still masked) comparison matrix for one string pair, as
+/// built by `DH_K`: entry `[q][p]` corresponds to `DH_K`'s character `q` and
+/// `DH_J`'s (masked) character `p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedCcm {
+    /// Number of rows = length of `DH_K`'s string.
+    pub responder_len: usize,
+    /// Number of columns = length of `DH_J`'s string.
+    pub initiator_len: usize,
+    /// Row-major cell values in `[0, |A|)`.
+    pub cells: Vec<u32>,
+}
+
+/// The full bundle `DH_K` sends to the third party: one [`MaskedCcm`] per
+/// (responder object, initiator object) pair, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedCcmBundle {
+    /// Number of responder objects (`DH_K`).
+    pub responder_count: usize,
+    /// Number of initiator objects (`DH_J`).
+    pub initiator_count: usize,
+    /// `responder_count · initiator_count` matrices, row-major.
+    pub ccms: Vec<MaskedCcm>,
+}
+
+/// `DH_J` (Figure 8): masks each of its encoded strings character-wise.
+pub fn initiator_mask_strings(
+    strings: &[Vec<u32>],
+    alphabet_size: u32,
+    seeds: &PairwiseSeeds,
+    algorithm: RngAlgorithm,
+) -> Result<Vec<Vec<u32>>, CoreError> {
+    let masker = AlphabetMasker::new(alphabet_size)?;
+    let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+    let mut out = Vec::with_capacity(strings.len());
+    for s in strings {
+        let masked: Vec<u32> = s
+            .iter()
+            .map(|&symbol| {
+                let offset = (rng_jt.next_u64() % alphabet_size as u64) as u32;
+                masker.mask(symbol, offset)
+            })
+            .collect();
+        // "DHJ re-initializes its pseudo-random number generator with the
+        // same seed after disguising each input string."
+        rng_jt.reseed();
+        out.push(masked);
+    }
+    Ok(out)
+}
+
+/// `DH_K` (Figure 9): subtracts its own characters from every masked string,
+/// building one intermediary matrix per string pair.
+pub fn responder_build_bundle(
+    masked_initiator: &[Vec<u32>],
+    own_strings: &[Vec<u32>],
+    alphabet_size: u32,
+) -> Result<MaskedCcmBundle, CoreError> {
+    let masker = AlphabetMasker::new(alphabet_size)?;
+    let mut ccms = Vec::with_capacity(own_strings.len() * masked_initiator.len());
+    for t in own_strings {
+        for s_masked in masked_initiator {
+            let mut cells = Vec::with_capacity(t.len() * s_masked.len());
+            for &tq in t {
+                for &sp in s_masked {
+                    cells.push(masker.subtract(sp, tq));
+                }
+            }
+            ccms.push(MaskedCcm {
+                responder_len: t.len(),
+                initiator_len: s_masked.len(),
+                cells,
+            });
+        }
+    }
+    Ok(MaskedCcmBundle {
+        responder_count: own_strings.len(),
+        initiator_count: masked_initiator.len(),
+        ccms,
+    })
+}
+
+/// `TP` (Figure 10): unmasks every intermediary matrix into a character
+/// comparison matrix and evaluates the edit distance on it.
+///
+/// Returns the `responder_count × initiator_count` matrix of edit distances.
+pub fn third_party_edit_distances(
+    bundle: &MaskedCcmBundle,
+    alphabet_size: u32,
+    seed_jt: &Seed,
+    algorithm: RngAlgorithm,
+) -> Result<Vec<Vec<u32>>, CoreError> {
+    let masker = AlphabetMasker::new(alphabet_size)?;
+    if bundle.ccms.len() != bundle.responder_count * bundle.initiator_count {
+        return Err(CoreError::Protocol(format!(
+            "bundle holds {} matrices, expected {}",
+            bundle.ccms.len(),
+            bundle.responder_count * bundle.initiator_count
+        )));
+    }
+    let mut rng_jt = DynStreamRng::new(algorithm, seed_jt);
+    let mut distances = vec![vec![0u32; bundle.initiator_count]; bundle.responder_count];
+    for m in 0..bundle.responder_count {
+        for n in 0..bundle.initiator_count {
+            let masked = &bundle.ccms[m * bundle.initiator_count + n];
+            if masked.cells.len() != masked.responder_len * masked.initiator_len {
+                return Err(CoreError::Protocol(
+                    "masked CCM cell count does not match its dimensions".into(),
+                ));
+            }
+            let mut mismatch = Vec::with_capacity(masked.cells.len());
+            for q in 0..masked.responder_len {
+                for p in 0..masked.initiator_len {
+                    let offset = (rng_jt.next_u64() % alphabet_size as u64) as u32;
+                    let cell = masked.cells[q * masked.initiator_len + p];
+                    mismatch.push(!masker.is_match(cell, offset));
+                }
+                // Every row of the CCM is decoded against the same offset
+                // sequence, so the stream is re-initialised per row
+                // (Figure 10, step 5).
+                rng_jt.reseed();
+            }
+            // CCM convention: source = DH_K's string (rows), target = DH_J's.
+            let ccm = CharacterComparisonMatrix::from_mismatches(
+                masked.responder_len,
+                masked.initiator_len,
+                mismatch,
+            )?;
+            distances[m][n] = edit_distance_from_ccm(&ccm);
+            rng_jt.reseed();
+        }
+    }
+    Ok(distances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::distance::edit_distance;
+    use ppc_crypto::Seed;
+
+    fn seeds() -> PairwiseSeeds {
+        PairwiseSeeds::new(Seed::from_u64(11), Seed::from_u64(13))
+    }
+
+    fn run_protocol(
+        alphabet: &Alphabet,
+        j_strings: &[&str],
+        k_strings: &[&str],
+        algorithm: RngAlgorithm,
+    ) -> Vec<Vec<u32>> {
+        let seeds = seeds();
+        let j_encoded: Vec<Vec<u32>> =
+            j_strings.iter().map(|s| alphabet.encode(s).unwrap()).collect();
+        let k_encoded: Vec<Vec<u32>> =
+            k_strings.iter().map(|s| alphabet.encode(s).unwrap()).collect();
+        let masked =
+            initiator_mask_strings(&j_encoded, alphabet.size(), &seeds, algorithm).unwrap();
+        let bundle = responder_build_bundle(&masked, &k_encoded, alphabet.size()).unwrap();
+        third_party_edit_distances(&bundle, alphabet.size(), &seeds.holder_third_party, algorithm).unwrap()
+    }
+
+    #[test]
+    fn figure7_example_recovers_correct_ccm_and_distance() {
+        // S = "abc" at DH_J, T = "bd" at DH_K over alphabet {a,b,c,d}.
+        let alphabet = Alphabet::abcd();
+        let distances = run_protocol(&alphabet, &["abc"], &["bd"], RngAlgorithm::ChaCha20);
+        assert_eq!(distances, vec![vec![edit_distance("bd", "abc")]]);
+        assert_eq!(distances[0][0], 2);
+    }
+
+    #[test]
+    fn protocol_matches_plaintext_edit_distance_for_dna_batches() {
+        let alphabet = Alphabet::dna();
+        let j = ["acgt", "gattaca", "tttt", ""];
+        let k = ["acct", "gattaca", "a"];
+        for algorithm in [RngAlgorithm::ChaCha20, RngAlgorithm::Xoshiro256PlusPlus] {
+            let distances = run_protocol(&alphabet, &j, &k, algorithm);
+            for (m, t) in k.iter().enumerate() {
+                for (n, s) in j.iter().enumerate() {
+                    assert_eq!(
+                        distances[m][n],
+                        edit_distance(s, t),
+                        "{s} vs {t} with {algorithm:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_strings_stay_inside_the_alphabet_and_differ_from_plaintext() {
+        let alphabet = Alphabet::lowercase();
+        let strings = vec![alphabet.encode("confidential").unwrap()];
+        let masked = initiator_mask_strings(
+            &strings,
+            alphabet.size(),
+            &seeds(),
+            RngAlgorithm::ChaCha20,
+        )
+        .unwrap();
+        assert_eq!(masked[0].len(), strings[0].len());
+        assert!(masked[0].iter().all(|&c| c < alphabet.size()));
+        // With 12 characters over a 26-letter alphabet the chance that the
+        // masked string equals the plaintext is 26^-12; assert inequality.
+        assert_ne!(masked[0], strings[0]);
+    }
+
+    #[test]
+    fn bundle_dimensions_are_validated() {
+        let seeds = seeds();
+        let mut bundle = MaskedCcmBundle {
+            responder_count: 2,
+            initiator_count: 2,
+            ccms: vec![],
+        };
+        assert!(third_party_edit_distances(
+            &bundle,
+            4,
+            &seeds.holder_third_party,
+            RngAlgorithm::ChaCha20
+        )
+        .is_err());
+        bundle.ccms = vec![
+            MaskedCcm { responder_len: 1, initiator_len: 1, cells: vec![0, 1] };
+            4
+        ];
+        assert!(third_party_edit_distances(
+            &bundle,
+            4,
+            &seeds.holder_third_party,
+            RngAlgorithm::ChaCha20
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_string_sets_are_handled() {
+        let alphabet = Alphabet::dna();
+        let distances = run_protocol(&alphabet, &[], &["acgt"], RngAlgorithm::ChaCha20);
+        assert_eq!(distances.len(), 1);
+        assert!(distances[0].is_empty());
+        let distances = run_protocol(&alphabet, &["acgt"], &[], RngAlgorithm::ChaCha20);
+        assert!(distances.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_produce_different_maskings_but_same_distances() {
+        let alphabet = Alphabet::dna();
+        let encoded = vec![alphabet.encode("acgtacgt").unwrap()];
+        let s1 = PairwiseSeeds::new(Seed::from_u64(1), Seed::from_u64(2));
+        let s2 = PairwiseSeeds::new(Seed::from_u64(3), Seed::from_u64(4));
+        let m1 =
+            initiator_mask_strings(&encoded, 4, &s1, RngAlgorithm::ChaCha20).unwrap();
+        let m2 =
+            initiator_mask_strings(&encoded, 4, &s2, RngAlgorithm::ChaCha20).unwrap();
+        assert_ne!(m1, m2);
+        for (seeds, masked) in [(s1, m1), (s2, m2)] {
+            let bundle =
+                responder_build_bundle(&masked, &[alphabet.encode("aggt").unwrap()], 4).unwrap();
+            let d = third_party_edit_distances(
+                &bundle,
+                4,
+                &seeds.holder_third_party,
+                RngAlgorithm::ChaCha20,
+            )
+            .unwrap();
+            assert_eq!(d[0][0], edit_distance("acgtacgt", "aggt"));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Categorical attribute comparison protocol (§4.3).
+//!
+//! Data holders share an encryption key that the third party does not have.
+//! Every categorical value is encrypted deterministically and the ciphertexts
+//! are sent to the third party, which merges all sites' columns and runs the
+//! ordinary local dissimilarity algorithm on the ciphertexts: equal
+//! ciphertexts ⇔ equal plaintexts, so the 0/1 distances are exact while the
+//! third party never learns any label (only the equality pattern).
+
+use ppc_cluster::CondensedDistanceMatrix;
+use ppc_crypto::det::Tag128;
+use ppc_crypto::Prf128;
+
+use crate::error::CoreError;
+
+/// A data holder's encrypted categorical column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedColumn {
+    /// Deterministic tags, one per object, in local row order.
+    pub tags: Vec<Tag128>,
+}
+
+/// Data-holder side: deterministically encrypts a categorical column under
+/// the holders' shared key.
+pub fn encrypt_column(values: &[String], key: &Prf128) -> EncryptedColumn {
+    EncryptedColumn { tags: values.iter().map(|v| key.tag_str(v)).collect() }
+}
+
+/// Third-party side: merges the encrypted columns of all sites (in site
+/// order) and builds the global dissimilarity matrix for the attribute.
+///
+/// The output is *not* a local matrix of any single site — as the paper
+/// notes, "data from all parties is input to the algorithm".
+pub fn third_party_dissimilarity(columns: &[EncryptedColumn]) -> Result<CondensedDistanceMatrix, CoreError> {
+    if columns.is_empty() {
+        return Err(CoreError::EmptyInput);
+    }
+    let merged: Vec<Tag128> = columns.iter().flat_map(|c| c.tags.iter().copied()).collect();
+    let n = merged.len();
+    Ok(CondensedDistanceMatrix::from_fn(n, |i, j| {
+        if merged[i] == merged[j] {
+            0.0
+        } else {
+            1.0
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Prf128 {
+        Prf128::new(&[42u8; 32])
+    }
+
+    fn column(values: &[&str]) -> Vec<String> {
+        values.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn equal_labels_across_sites_get_distance_zero() {
+        let key = key();
+        let site_a = encrypt_column(&column(&["flu-A", "flu-B"]), &key);
+        let site_b = encrypt_column(&column(&["flu-B", "flu-C", "flu-A"]), &key);
+        let matrix = third_party_dissimilarity(&[site_a, site_b]).unwrap();
+        assert_eq!(matrix.len(), 5);
+        // Global order: A0, A1, B0, B1, B2.
+        assert_eq!(matrix.get(0, 4), 0.0); // flu-A vs flu-A across sites
+        assert_eq!(matrix.get(1, 2), 0.0); // flu-B vs flu-B across sites
+        assert_eq!(matrix.get(0, 1), 1.0);
+        assert_eq!(matrix.get(3, 4), 1.0);
+        assert_eq!(matrix.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn different_keys_break_cross_site_equality() {
+        // If holders used different keys (a protocol violation) equal labels
+        // would no longer match; this documents why the key must be shared.
+        let a = encrypt_column(&column(&["same"]), &key());
+        let b = encrypt_column(&column(&["same"]), &Prf128::new(&[7u8; 32]));
+        let matrix = third_party_dissimilarity(&[a, b]).unwrap();
+        assert_eq!(matrix.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn ciphertexts_do_not_reveal_labels() {
+        let key = key();
+        let col = encrypt_column(&column(&["positive", "negative", "positive"]), &key);
+        // Equality pattern is visible…
+        assert_eq!(col.tags[0], col.tags[2]);
+        assert_ne!(col.tags[0], col.tags[1]);
+        // …but the tags are not the plaintext bytes.
+        let plain = Tag128 {
+            lo: u64::from_le_bytes(*b"positive"),
+            hi: 0,
+        };
+        assert_ne!(col.tags[0], plain);
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(third_party_dissimilarity(&[]).is_err());
+        // Zero-length columns are fine (a site may own no objects yet).
+        let empty = encrypt_column(&[], &key());
+        let m = third_party_dissimilarity(&[empty]).unwrap();
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -1,0 +1,426 @@
+//! Wire formats of the protocol messages.
+//!
+//! Every inter-party transfer of the networked session is one of these typed
+//! messages, serialised with the compact binary codec of `ppc-net` so the
+//! measured byte counts reflect the element counts in the paper's
+//! communication-cost analysis (8 bytes per masked numeric value, 4 bytes
+//! per masked character or CCM cell, 16 bytes per categorical ciphertext,
+//! 8 bytes per local-matrix entry).
+
+use ppc_net::{WireReader, WireWriter};
+
+use crate::error::CoreError;
+use crate::protocol::alphanumeric::{MaskedCcm, MaskedCcmBundle};
+
+/// A data holder's local dissimilarity matrix for one attribute (Figure 12
+/// output, shipped to the third party).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalMatrixMsg {
+    /// Attribute name.
+    pub attribute: String,
+    /// Number of objects the matrix covers.
+    pub objects: u32,
+    /// Packed lower-triangular distances.
+    pub condensed: Vec<f64>,
+}
+
+impl LocalMatrixMsg {
+    /// Serialises the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(16 + self.condensed.len() * 8);
+        w.put_str(&self.attribute).put_u32(self.objects).put_f64_slice(&self.condensed);
+        w.finish()
+    }
+
+    /// Deserialises the message.
+    pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
+        let mut r = WireReader::new(payload);
+        let attribute = r.get_str()?;
+        let objects = r.get_u32()?;
+        let condensed = r.get_f64_vec()?;
+        r.expect_end()?;
+        Ok(LocalMatrixMsg { attribute, objects, condensed })
+    }
+}
+
+/// `DH_J → DH_K`: the masked numeric column (batch mode), or the masked
+/// copies (per-pair mode, `rows > 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedNumericMsg {
+    /// Attribute name.
+    pub attribute: String,
+    /// Number of masked copies (1 in batch mode, `|DH_K|` in per-pair mode).
+    pub rows: u32,
+    /// Number of values per copy (`|DH_J|`).
+    pub cols: u32,
+    /// Row-major masked values.
+    pub values: Vec<i64>,
+}
+
+impl MaskedNumericMsg {
+    /// Serialises the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(16 + self.values.len() * 8);
+        w.put_str(&self.attribute).put_u32(self.rows).put_u32(self.cols).put_i64_slice(&self.values);
+        w.finish()
+    }
+
+    /// Deserialises the message.
+    pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
+        let mut r = WireReader::new(payload);
+        let attribute = r.get_str()?;
+        let rows = r.get_u32()?;
+        let cols = r.get_u32()?;
+        let values = r.get_i64_vec()?;
+        r.expect_end()?;
+        if values.len() != (rows as usize) * (cols as usize) {
+            return Err(CoreError::Protocol(format!(
+                "masked numeric message claims {rows}×{cols} but carries {} values",
+                values.len()
+            )));
+        }
+        Ok(MaskedNumericMsg { attribute, rows, cols, values })
+    }
+}
+
+/// `DH_K → TP`: the pairwise comparison matrix `s` (`|DH_K| × |DH_J|`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairwiseMatrixMsg {
+    /// Attribute name.
+    pub attribute: String,
+    /// Rows (= responder's object count).
+    pub rows: u32,
+    /// Columns (= initiator's object count).
+    pub cols: u32,
+    /// Row-major masked differences.
+    pub values: Vec<i64>,
+}
+
+impl PairwiseMatrixMsg {
+    /// Serialises the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(16 + self.values.len() * 8);
+        w.put_str(&self.attribute).put_u32(self.rows).put_u32(self.cols).put_i64_slice(&self.values);
+        w.finish()
+    }
+
+    /// Deserialises the message.
+    pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
+        let mut r = WireReader::new(payload);
+        let attribute = r.get_str()?;
+        let rows = r.get_u32()?;
+        let cols = r.get_u32()?;
+        let values = r.get_i64_vec()?;
+        r.expect_end()?;
+        if values.len() != (rows as usize) * (cols as usize) {
+            return Err(CoreError::Protocol(format!(
+                "pairwise matrix message claims {rows}×{cols} but carries {} values",
+                values.len()
+            )));
+        }
+        Ok(PairwiseMatrixMsg { attribute, rows, cols, values })
+    }
+
+    /// Splits the flat values back into rows.
+    pub fn rows_vec(&self) -> Vec<Vec<i64>> {
+        self.values.chunks(self.cols as usize).map(|c| c.to_vec()).collect()
+    }
+}
+
+/// `DH_J → DH_K`: masked alphanumeric strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedStringsMsg {
+    /// Attribute name.
+    pub attribute: String,
+    /// Masked strings as symbol indices.
+    pub strings: Vec<Vec<u32>>,
+}
+
+impl MaskedStringsMsg {
+    /// Serialises the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_str(&self.attribute).put_u32(self.strings.len() as u32);
+        for s in &self.strings {
+            w.put_u32_slice(s);
+        }
+        w.finish()
+    }
+
+    /// Deserialises the message.
+    pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
+        let mut r = WireReader::new(payload);
+        let attribute = r.get_str()?;
+        let count = r.get_u32()? as usize;
+        let mut strings = Vec::with_capacity(count);
+        for _ in 0..count {
+            strings.push(r.get_u32_vec()?);
+        }
+        r.expect_end()?;
+        Ok(MaskedStringsMsg { attribute, strings })
+    }
+}
+
+/// `DH_K → TP`: the bundle of intermediary (masked) character comparison
+/// matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcmBundleMsg {
+    /// Attribute name.
+    pub attribute: String,
+    /// The bundle.
+    pub bundle: MaskedCcmBundle,
+}
+
+impl CcmBundleMsg {
+    /// Serialises the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_str(&self.attribute)
+            .put_u32(self.bundle.responder_count as u32)
+            .put_u32(self.bundle.initiator_count as u32)
+            .put_u32(self.bundle.ccms.len() as u32);
+        for ccm in &self.bundle.ccms {
+            w.put_u32(ccm.responder_len as u32).put_u32(ccm.initiator_len as u32);
+            w.put_u32_slice(&ccm.cells);
+        }
+        w.finish()
+    }
+
+    /// Deserialises the message.
+    pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
+        let mut r = WireReader::new(payload);
+        let attribute = r.get_str()?;
+        let responder_count = r.get_u32()? as usize;
+        let initiator_count = r.get_u32()? as usize;
+        let ccm_count = r.get_u32()? as usize;
+        let mut ccms = Vec::with_capacity(ccm_count);
+        for _ in 0..ccm_count {
+            let responder_len = r.get_u32()? as usize;
+            let initiator_len = r.get_u32()? as usize;
+            let cells = r.get_u32_vec()?;
+            ccms.push(MaskedCcm { responder_len, initiator_len, cells });
+        }
+        r.expect_end()?;
+        Ok(CcmBundleMsg {
+            attribute,
+            bundle: MaskedCcmBundle { responder_count, initiator_count, ccms },
+        })
+    }
+}
+
+/// `DH_i → TP`: a deterministic-encrypted categorical column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedColumnMsg {
+    /// Attribute name.
+    pub attribute: String,
+    /// 16-byte deterministic tags, one per object.
+    pub tags: Vec<[u8; 16]>,
+}
+
+impl EncryptedColumnMsg {
+    /// Serialises the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(8 + self.tags.len() * 16);
+        w.put_str(&self.attribute).put_u32(self.tags.len() as u32);
+        for tag in &self.tags {
+            w.put_bytes(tag);
+        }
+        w.finish()
+    }
+
+    /// Deserialises the message.
+    pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
+        let mut r = WireReader::new(payload);
+        let attribute = r.get_str()?;
+        let count = r.get_u32()? as usize;
+        let mut tags = Vec::with_capacity(count);
+        for _ in 0..count {
+            let raw = r.get_bytes()?;
+            let tag: [u8; 16] = raw
+                .try_into()
+                .map_err(|_| CoreError::Protocol("categorical tag is not 16 bytes".into()))?;
+            tags.push(tag);
+        }
+        r.expect_end()?;
+        Ok(EncryptedColumnMsg { attribute, tags })
+    }
+}
+
+/// `DH_i → TP`: the holder's attribute weight vector and clustering choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringChoiceMsg {
+    /// Normalised attribute weights, schema order.
+    pub weights: Vec<f64>,
+    /// Requested number of clusters.
+    pub num_clusters: u32,
+    /// Requested linkage, by name (e.g. "average").
+    pub linkage: String,
+}
+
+impl ClusteringChoiceMsg {
+    /// Serialises the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_f64_slice(&self.weights).put_u32(self.num_clusters).put_str(&self.linkage);
+        w.finish()
+    }
+
+    /// Deserialises the message.
+    pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
+        let mut r = WireReader::new(payload);
+        let weights = r.get_f64_vec()?;
+        let num_clusters = r.get_u32()?;
+        let linkage = r.get_str()?;
+        r.expect_end()?;
+        Ok(ClusteringChoiceMsg { weights, num_clusters, linkage })
+    }
+}
+
+/// `TP → DH_i`: the published clustering result (membership lists).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishedResultMsg {
+    /// For every cluster, the site-qualified `(site, local_index)` pairs.
+    pub clusters: Vec<Vec<(u32, u32)>>,
+    /// Published quality parameter.
+    pub average_within_cluster_squared_distance: f64,
+}
+
+impl PublishedResultMsg {
+    /// Serialises the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u32(self.clusters.len() as u32);
+        for cluster in &self.clusters {
+            w.put_u32(cluster.len() as u32);
+            for &(site, local) in cluster {
+                w.put_u32(site).put_u32(local);
+            }
+        }
+        w.put_f64(self.average_within_cluster_squared_distance);
+        w.finish()
+    }
+
+    /// Deserialises the message.
+    pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
+        let mut r = WireReader::new(payload);
+        let cluster_count = r.get_u32()? as usize;
+        let mut clusters = Vec::with_capacity(cluster_count);
+        for _ in 0..cluster_count {
+            let len = r.get_u32()? as usize;
+            let mut members = Vec::with_capacity(len);
+            for _ in 0..len {
+                members.push((r.get_u32()?, r.get_u32()?));
+            }
+            clusters.push(members);
+        }
+        let scatter = r.get_f64()?;
+        r.expect_end()?;
+        Ok(PublishedResultMsg { clusters, average_within_cluster_squared_distance: scatter })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_matrix_roundtrip_and_size() {
+        let msg = LocalMatrixMsg {
+            attribute: "age".into(),
+            objects: 4,
+            condensed: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
+        let bytes = msg.encode();
+        assert_eq!(LocalMatrixMsg::decode(&bytes).unwrap(), msg);
+        // 4 (name len) + 3 + 4 (objects) + 4 (vec len) + 6·8 bytes.
+        assert_eq!(bytes.len(), 4 + 3 + 4 + 4 + 48);
+    }
+
+    #[test]
+    fn masked_numeric_roundtrip_and_validation() {
+        let msg = MaskedNumericMsg {
+            attribute: "age".into(),
+            rows: 2,
+            cols: 3,
+            values: vec![1, -2, 3, 4, -5, 6],
+        };
+        assert_eq!(MaskedNumericMsg::decode(&msg.encode()).unwrap(), msg);
+        let bad = MaskedNumericMsg { rows: 9, ..msg.clone() };
+        assert!(MaskedNumericMsg::decode(&bad.encode()).is_err());
+    }
+
+    #[test]
+    fn pairwise_matrix_roundtrip_and_rows() {
+        let msg = PairwiseMatrixMsg {
+            attribute: "age".into(),
+            rows: 2,
+            cols: 2,
+            values: vec![10, 20, 30, 40],
+        };
+        let back = PairwiseMatrixMsg::decode(&msg.encode()).unwrap();
+        assert_eq!(back.rows_vec(), vec![vec![10, 20], vec![30, 40]]);
+        let bad = PairwiseMatrixMsg { cols: 3, ..msg };
+        assert!(PairwiseMatrixMsg::decode(&bad.encode()).is_err());
+    }
+
+    #[test]
+    fn masked_strings_roundtrip() {
+        let msg = MaskedStringsMsg {
+            attribute: "dna".into(),
+            strings: vec![vec![0, 1, 2, 3], vec![], vec![3, 3]],
+        };
+        assert_eq!(MaskedStringsMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn ccm_bundle_roundtrip() {
+        let msg = CcmBundleMsg {
+            attribute: "dna".into(),
+            bundle: MaskedCcmBundle {
+                responder_count: 1,
+                initiator_count: 2,
+                ccms: vec![
+                    MaskedCcm { responder_len: 2, initiator_len: 3, cells: vec![0, 1, 2, 3, 0, 1] },
+                    MaskedCcm { responder_len: 1, initiator_len: 1, cells: vec![2] },
+                ],
+            },
+        };
+        assert_eq!(CcmBundleMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn encrypted_column_roundtrip_and_bad_tag_length() {
+        let msg = EncryptedColumnMsg {
+            attribute: "blood".into(),
+            tags: vec![[1u8; 16], [2u8; 16]],
+        };
+        assert_eq!(EncryptedColumnMsg::decode(&msg.encode()).unwrap(), msg);
+        // Hand-craft a payload with a short tag.
+        let mut w = WireWriter::new();
+        w.put_str("blood").put_u32(1).put_bytes(&[0u8; 5]);
+        assert!(EncryptedColumnMsg::decode(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn clustering_choice_and_result_roundtrip() {
+        let choice = ClusteringChoiceMsg {
+            weights: vec![0.5, 0.25, 0.25],
+            num_clusters: 3,
+            linkage: "average".into(),
+        };
+        assert_eq!(ClusteringChoiceMsg::decode(&choice.encode()).unwrap(), choice);
+        let result = PublishedResultMsg {
+            clusters: vec![vec![(0, 0), (1, 3)], vec![(2, 2)]],
+            average_within_cluster_squared_distance: 0.125,
+        };
+        assert_eq!(PublishedResultMsg::decode(&result.encode()).unwrap(), result);
+    }
+
+    #[test]
+    fn truncated_messages_error() {
+        let msg = MaskedStringsMsg { attribute: "dna".into(), strings: vec![vec![1, 2, 3]] };
+        let bytes = msg.encode();
+        assert!(MaskedStringsMsg::decode(&bytes[..bytes.len() - 2]).is_err());
+        assert!(LocalMatrixMsg::decode(&[]).is_err());
+    }
+}

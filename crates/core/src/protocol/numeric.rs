@@ -1,0 +1,281 @@
+//! Numeric attribute comparison protocol (§4.1, Figures 3–6).
+//!
+//! Roles and data flow for one attribute and one ordered pair of data
+//! holders `(DH_J, DH_K)`:
+//!
+//! 1. `DH_J` masks its whole column: `DH'_J[m] = rng_JT.next() +
+//!    DH_J[m] · (−1)^{rng_JK.next() mod 2}` and sends the vector to `DH_K`
+//!    ([`initiator_mask`]).
+//! 2. `DH_K` builds the `|DH_K| × |DH_J|` pairwise matrix
+//!    `s[m][n] = DH'_J[n] + DH_K[m] · (−1)^{(rng_JK.next()+1) mod 2}`,
+//!    re-initialising `rng_JK` after every row so the same negation choices
+//!    are replayed, and sends the matrix to the third party
+//!    ([`responder_fold`]).
+//! 3. `TP` removes the additive masks, `|s[m][n] − rng_JT.next()|`,
+//!    re-initialising `rng_JT` after every row, and obtains the cross-site
+//!    block of the dissimilarity matrix ([`third_party_unmask`]).
+//!
+//! All arithmetic is wrapping arithmetic over `Z_{2^64}` on fixed-point
+//! values, so the masks act as one-time pads and the recovered distances are
+//! exact. The per-pair hardened variant ([`initiator_mask_per_pair`] et al.)
+//! draws fresh randomness for every `(m, n)` pair instead of reusing one
+//! masked vector, which is the mitigation the paper offers against the
+//! frequency-analysis attack on batch mode.
+
+use ppc_crypto::prng::DynStreamRng;
+use ppc_crypto::{Negator, NumericMasker, PairwiseSeeds, RngAlgorithm, Seed};
+
+/// `DH_J` (Figure 4): masks its column once for batch processing.
+pub fn initiator_mask(
+    values: &[i64],
+    seeds: &PairwiseSeeds,
+    algorithm: RngAlgorithm,
+) -> Vec<i64> {
+    let mut rng_jk = DynStreamRng::new(algorithm, &seeds.holder_holder);
+    let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+    values
+        .iter()
+        .map(|&x| {
+            let negator = Negator::from_random(rng_jk.next_u64());
+            let mask = rng_jt.next_u64();
+            NumericMasker::mask_initiator(x, mask, negator)
+        })
+        .collect()
+}
+
+/// `DH_K` (Figure 5): folds its own values into the masked vector, producing
+/// the pairwise comparison matrix (row `m` = `DH_K`'s object `m`).
+pub fn responder_fold(
+    masked_initiator: &[i64],
+    own_values: &[i64],
+    seed_jk: &Seed,
+    algorithm: RngAlgorithm,
+) -> Vec<Vec<i64>> {
+    let mut rng_jk = DynStreamRng::new(algorithm, seed_jk);
+    own_values
+        .iter()
+        .map(|&y| {
+            let row: Vec<i64> = masked_initiator
+                .iter()
+                .map(|&masked_x| {
+                    let negator = Negator::from_random(rng_jk.next_u64());
+                    NumericMasker::fold_responder(masked_x, y, negator)
+                })
+                .collect();
+            // "At the end of each row, DHK should re-initialize rngJK."
+            rng_jk.reseed();
+            row
+        })
+        .collect()
+}
+
+/// `TP` (Figure 6): removes the additive masks, recovering
+/// `|DH_J[n] − DH_K[m]|` for every pair.
+pub fn third_party_unmask(
+    pairwise: &[Vec<i64>],
+    seed_jt: &Seed,
+    algorithm: RngAlgorithm,
+) -> Vec<Vec<u64>> {
+    let mut rng_jt = DynStreamRng::new(algorithm, seed_jt);
+    pairwise
+        .iter()
+        .map(|row| {
+            let out: Vec<u64> = row
+                .iter()
+                .map(|&m| NumericMasker::unmask_distance(m, rng_jt.next_u64()))
+                .collect();
+            // All values in a column are disguised with the same random
+            // number, so the stream is re-initialised per row.
+            rng_jt.reseed();
+            out
+        })
+        .collect()
+}
+
+/// `DH_J`, per-pair hardened mode: produces one freshly masked copy of its
+/// column per responder object (`responder_count` rows).
+pub fn initiator_mask_per_pair(
+    values: &[i64],
+    responder_count: usize,
+    seeds: &PairwiseSeeds,
+    algorithm: RngAlgorithm,
+) -> Vec<Vec<i64>> {
+    let mut rng_jk = DynStreamRng::new(algorithm, &seeds.holder_holder);
+    let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+    (0..responder_count)
+        .map(|_| {
+            values
+                .iter()
+                .map(|&x| {
+                    let negator = Negator::from_random(rng_jk.next_u64());
+                    let mask = rng_jt.next_u64();
+                    NumericMasker::mask_initiator(x, mask, negator)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// `DH_K`, per-pair hardened mode: folds row `m` of the masked copies with
+/// its `m`-th value.
+pub fn responder_fold_per_pair(
+    masked_rows: &[Vec<i64>],
+    own_values: &[i64],
+    seed_jk: &Seed,
+    algorithm: RngAlgorithm,
+) -> Vec<Vec<i64>> {
+    let mut rng_jk = DynStreamRng::new(algorithm, seed_jk);
+    masked_rows
+        .iter()
+        .zip(own_values)
+        .map(|(row, &y)| {
+            row.iter()
+                .map(|&masked_x| {
+                    let negator = Negator::from_random(rng_jk.next_u64());
+                    NumericMasker::fold_responder(masked_x, y, negator)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// `TP`, per-pair hardened mode: strips the per-pair masks.
+pub fn third_party_unmask_per_pair(
+    pairwise: &[Vec<i64>],
+    seed_jt: &Seed,
+    algorithm: RngAlgorithm,
+) -> Vec<Vec<u64>> {
+    let mut rng_jt = DynStreamRng::new(algorithm, seed_jt);
+    pairwise
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&m| NumericMasker::unmask_distance(m, rng_jt.next_u64()))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_crypto::Seed;
+
+    fn seeds() -> PairwiseSeeds {
+        PairwiseSeeds::new(Seed::from_u64(5), Seed::from_u64(7))
+    }
+
+    fn expected_distances(j: &[i64], k: &[i64]) -> Vec<Vec<u64>> {
+        k.iter()
+            .map(|&y| j.iter().map(|&x| x.abs_diff(y)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn batch_protocol_recovers_exact_distances() {
+        for algorithm in [
+            RngAlgorithm::ChaCha20,
+            RngAlgorithm::Xoshiro256PlusPlus,
+            RngAlgorithm::SplitMix64,
+        ] {
+            let j_values: Vec<i64> = vec![3, 8, -5, 1_000_000, 0, -999_999];
+            let k_values: Vec<i64> = vec![8, -8, 42, 7];
+            let seeds = seeds();
+            let masked = initiator_mask(&j_values, &seeds, algorithm);
+            let pairwise = responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
+            let distances = third_party_unmask(&pairwise, &seeds.holder_third_party, algorithm);
+            assert_eq!(distances, expected_distances(&j_values, &k_values), "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn per_pair_protocol_recovers_exact_distances() {
+        let j_values: Vec<i64> = vec![10, -3, 500, 0];
+        let k_values: Vec<i64> = vec![7, 7, -1];
+        let seeds = seeds();
+        let algorithm = RngAlgorithm::ChaCha20;
+        let masked = initiator_mask_per_pair(&j_values, k_values.len(), &seeds, algorithm);
+        assert_eq!(masked.len(), k_values.len());
+        let pairwise = responder_fold_per_pair(&masked, &k_values, &seeds.holder_holder, algorithm);
+        let distances = third_party_unmask_per_pair(&pairwise, &seeds.holder_third_party, algorithm);
+        assert_eq!(distances, expected_distances(&j_values, &k_values));
+    }
+
+    #[test]
+    fn masked_vector_does_not_expose_values_to_responder() {
+        // The responder sees x' = r ± x with r drawn from the stream it does
+        // not know; the masked values should not correlate with the inputs in
+        // the trivial sense of being equal or close.
+        let j_values: Vec<i64> = vec![1, 2, 3, 4, 5];
+        let masked = initiator_mask(&j_values, &seeds(), RngAlgorithm::ChaCha20);
+        for (&x, &m) in j_values.iter().zip(&masked) {
+            assert_ne!(x, m);
+            assert!(m.unsigned_abs() > 1 << 20, "mask suspiciously small: {m}");
+        }
+    }
+
+    #[test]
+    fn pairwise_matrix_hides_comparison_direction_from_tp() {
+        // TP recovers |x − y| but the sign of (x − y) is hidden by the shared
+        // negation choice: flipping which side is larger must not change what
+        // TP computes, and the negator choices must vary across elements.
+        let seeds = seeds();
+        let algorithm = RngAlgorithm::ChaCha20;
+        let masked_a = initiator_mask(&[100], &seeds, algorithm);
+        let d_a = third_party_unmask(
+            &responder_fold(&masked_a, &[40], &seeds.holder_holder, algorithm),
+            &seeds.holder_third_party,
+            algorithm,
+        );
+        let masked_b = initiator_mask(&[40], &seeds, algorithm);
+        let d_b = third_party_unmask(
+            &responder_fold(&masked_b, &[100], &seeds.holder_holder, algorithm),
+            &seeds.holder_third_party,
+            algorithm,
+        );
+        assert_eq!(d_a[0][0], 60);
+        assert_eq!(d_b[0][0], 60);
+    }
+
+    #[test]
+    fn batch_and_per_pair_agree_on_results() {
+        let j_values: Vec<i64> = (0..20).map(|i| i * 13 - 50).collect();
+        let k_values: Vec<i64> = (0..15).map(|i| 1000 - i * 77).collect();
+        let seeds = seeds();
+        let algorithm = RngAlgorithm::Xoshiro256PlusPlus;
+        let batch = third_party_unmask(
+            &responder_fold(
+                &initiator_mask(&j_values, &seeds, algorithm),
+                &k_values,
+                &seeds.holder_holder,
+                algorithm,
+            ),
+            &seeds.holder_third_party,
+            algorithm,
+        );
+        let per_pair = third_party_unmask_per_pair(
+            &responder_fold_per_pair(
+                &initiator_mask_per_pair(&j_values, k_values.len(), &seeds, algorithm),
+                &k_values,
+                &seeds.holder_holder,
+                algorithm,
+            ),
+            &seeds.holder_third_party,
+            algorithm,
+        );
+        assert_eq!(batch, per_pair);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_outputs() {
+        let seeds = seeds();
+        let algorithm = RngAlgorithm::SplitMix64;
+        let masked = initiator_mask(&[], &seeds, algorithm);
+        assert!(masked.is_empty());
+        let pairwise = responder_fold(&masked, &[1, 2], &seeds.holder_holder, algorithm);
+        assert_eq!(pairwise, vec![Vec::<i64>::new(), Vec::<i64>::new()]);
+        let distances = third_party_unmask(&pairwise, &seeds.holder_third_party, algorithm);
+        assert_eq!(distances.len(), 2);
+        assert!(distances.iter().all(Vec::is_empty));
+    }
+}

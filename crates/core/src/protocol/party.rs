@@ -1,0 +1,346 @@
+//! Data-holder state and trusted setup.
+//!
+//! A [`DataHolder`] owns a horizontal partition plus exactly the secrets the
+//! trust model grants it: one pairwise seed per other data holder (`r_JK`),
+//! one seed shared with the third party (`r_JT`), and the categorical
+//! encryption key shared among data holders only. The third party's secrets
+//! are collected in [`ThirdPartyKeys`]: the `r_JT` seed of every holder and
+//! nothing else.
+//!
+//! [`TrustedSetup`] establishes all of these either deterministically from a
+//! master seed (reproducible experiments) or via pairwise Diffie–Hellman
+//! exchanges (no dealer).
+
+use std::collections::BTreeMap;
+
+use ppc_crypto::{DhKeyPair, DhParams, PairwiseSeeds, Prf128, Seed};
+
+use crate::error::CoreError;
+use crate::matrix::HorizontalPartition;
+use crate::schema::Schema;
+
+/// Reserved pseudo-index for the third party in seed derivation labels.
+const THIRD_PARTY_TAG: &str = "TP";
+
+/// A data holder: its partition plus its protocol secrets.
+#[derive(Debug, Clone)]
+pub struct DataHolder {
+    partition: HorizontalPartition,
+    /// `r_JK` seeds, keyed by the *other* holder's site index.
+    holder_seeds: BTreeMap<u32, Seed>,
+    /// `r_JT` seed shared with the third party.
+    tp_seed: Seed,
+    /// Categorical encryption key shared among data holders.
+    categorical_key_material: [u8; 32],
+}
+
+impl DataHolder {
+    /// Creates a data holder with explicit secrets.
+    pub fn new(
+        partition: HorizontalPartition,
+        holder_seeds: BTreeMap<u32, Seed>,
+        tp_seed: Seed,
+        categorical_key_material: [u8; 32],
+    ) -> Self {
+        DataHolder { partition, holder_seeds, tp_seed, categorical_key_material }
+    }
+
+    /// The owned partition.
+    pub fn partition(&self) -> &HorizontalPartition {
+        &self.partition
+    }
+
+    /// The holder's site index.
+    pub fn site(&self) -> u32 {
+        self.partition.site()
+    }
+
+    /// Number of objects this holder owns.
+    pub fn len(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// Whether the holder owns no objects.
+    pub fn is_empty(&self) -> bool {
+        self.partition.is_empty()
+    }
+
+    /// Validates this holder's partition against the agreed schema.
+    pub fn validate_schema(&self, schema: &Schema) -> Result<(), CoreError> {
+        self.partition.validate_schema(schema)
+    }
+
+    /// The `r_JK` seed shared with `other` (site index).
+    pub fn seed_with_holder(&self, other: u32) -> Result<Seed, CoreError> {
+        self.holder_seeds.get(&other).copied().ok_or_else(|| {
+            CoreError::Protocol(format!(
+                "site {} has no shared seed with site {other}",
+                self.site()
+            ))
+        })
+    }
+
+    /// The `r_JT` seed shared with the third party.
+    pub fn seed_with_third_party(&self) -> Seed {
+        self.tp_seed
+    }
+
+    /// Both seeds needed to *initiate* a comparison with `other`, derived for
+    /// `attribute`.
+    pub fn pairwise_seeds(&self, other: u32, attribute: &str) -> Result<PairwiseSeeds, CoreError> {
+        Ok(PairwiseSeeds::new(self.seed_with_holder(other)?, self.tp_seed)
+            .for_attribute(attribute))
+    }
+
+    /// The `r_JK` seed with `other`, derived for `attribute` (the responder's
+    /// view of [`pairwise_seeds`](Self::pairwise_seeds)).
+    pub fn responder_seed(&self, other: u32, attribute: &str) -> Result<Seed, CoreError> {
+        Ok(self
+            .seed_with_holder(other)?
+            .derive(&format!("jk/{attribute}")))
+    }
+
+    /// The categorical encryption key (shared among data holders only).
+    pub fn categorical_key(&self) -> Prf128 {
+        Prf128::new(&self.categorical_key_material)
+    }
+}
+
+/// The third party's secrets: one `r_JT` seed per data holder.
+#[derive(Debug, Clone, Default)]
+pub struct ThirdPartyKeys {
+    tp_seeds: BTreeMap<u32, Seed>,
+}
+
+impl ThirdPartyKeys {
+    /// Creates the key store from per-holder seeds.
+    pub fn new(tp_seeds: BTreeMap<u32, Seed>) -> Self {
+        ThirdPartyKeys { tp_seeds }
+    }
+
+    /// The `r_JT` seed shared with holder `site`, derived for `attribute`
+    /// (the label must match [`DataHolder::pairwise_seeds`]).
+    pub fn seed_for(&self, site: u32, attribute: &str) -> Result<Seed, CoreError> {
+        self.tp_seeds
+            .get(&site)
+            .map(|s| s.derive(&format!("jt/{attribute}")))
+            .ok_or_else(|| {
+                CoreError::Protocol(format!("third party has no seed for site {site}"))
+            })
+    }
+
+    /// Sites covered by this key store.
+    pub fn sites(&self) -> Vec<u32> {
+        self.tp_seeds.keys().copied().collect()
+    }
+}
+
+/// Output of the trusted-setup phase.
+#[derive(Debug, Clone)]
+pub struct TrustedSetup {
+    /// Fully provisioned data holders.
+    pub holders: Vec<DataHolder>,
+    /// The third party's seed store.
+    pub third_party: ThirdPartyKeys,
+}
+
+impl TrustedSetup {
+    /// Deterministic setup: all seeds and the categorical key are derived
+    /// from a master seed. Reproducible, used by tests and experiments.
+    pub fn deterministic(
+        partitions: Vec<HorizontalPartition>,
+        master: &Seed,
+    ) -> Result<Self, CoreError> {
+        if partitions.len() < 2 {
+            return Err(CoreError::Protocol(
+                "the protocol requires at least two data holders".into(),
+            ));
+        }
+        let mut categorical_key_material = [0u8; 32];
+        categorical_key_material.copy_from_slice(&master.derive("categorical-key").0);
+        let sites: Vec<u32> = partitions.iter().map(|p| p.site()).collect();
+        for (i, s) in sites.iter().enumerate() {
+            if sites[..i].contains(s) {
+                return Err(CoreError::Protocol(format!("duplicate site index {s}")));
+            }
+        }
+        let mut tp_seeds = BTreeMap::new();
+        let mut holders = Vec::with_capacity(partitions.len());
+        for partition in partitions {
+            let site = partition.site();
+            let tp_seed = master.derive(&format!("jt-seed/{site}/{THIRD_PARTY_TAG}"));
+            tp_seeds.insert(site, tp_seed);
+            let mut holder_seeds = BTreeMap::new();
+            for &other in &sites {
+                if other == site {
+                    continue;
+                }
+                let (lo, hi) = if site < other { (site, other) } else { (other, site) };
+                holder_seeds.insert(other, master.derive(&format!("jk-seed/{lo}/{hi}")));
+            }
+            holders.push(DataHolder::new(
+                partition,
+                holder_seeds,
+                tp_seed,
+                categorical_key_material,
+            ));
+        }
+        Ok(TrustedSetup { holders, third_party: ThirdPartyKeys::new(tp_seeds) })
+    }
+
+    /// Dealer-free setup: every pair of parties (holder–holder and
+    /// holder–third-party) runs a Diffie–Hellman exchange; the categorical
+    /// key is derived from a group exchange among holders (here: the DH
+    /// secret of the two lowest-indexed holders, which the third party never
+    /// sees).
+    pub fn via_diffie_hellman(
+        partitions: Vec<HorizontalPartition>,
+        entropy: &Seed,
+    ) -> Result<Self, CoreError> {
+        if partitions.len() < 2 {
+            return Err(CoreError::Protocol(
+                "the protocol requires at least two data holders".into(),
+            ));
+        }
+        let params = DhParams::default();
+        let sites: Vec<u32> = partitions.iter().map(|p| p.site()).collect();
+        // Each party (holders + TP) generates an ephemeral key pair per peer.
+        let keypair = |a: &str, b: &str| -> Result<DhKeyPair, CoreError> {
+            Ok(DhKeyPair::generate(params, &entropy.derive(&format!("dh/{a}/{b}")))?)
+        };
+        let mut tp_seeds = BTreeMap::new();
+        let mut holder_seed_map: BTreeMap<u32, BTreeMap<u32, Seed>> = BTreeMap::new();
+        for (i, &a) in sites.iter().enumerate() {
+            // Holder ↔ third party.
+            let ka = keypair(&a.to_string(), THIRD_PARTY_TAG)?;
+            let kt = keypair(THIRD_PARTY_TAG, &a.to_string())?;
+            let secret = ka.agree(kt.public)?;
+            debug_assert_eq!(secret, kt.agree(ka.public)?);
+            tp_seeds.insert(a, secret.into_seed("jt"));
+            // Holder ↔ holder.
+            for &b in sites.iter().skip(i + 1) {
+                let kab = keypair(&a.to_string(), &b.to_string())?;
+                let kba = keypair(&b.to_string(), &a.to_string())?;
+                let secret = kab.agree(kba.public)?;
+                let seed = secret.into_seed("jk");
+                holder_seed_map.entry(a).or_default().insert(b, seed);
+                holder_seed_map.entry(b).or_default().insert(a, seed);
+            }
+        }
+        // Categorical key: derived from the seed shared by the two
+        // lowest-indexed holders (never known to the third party).
+        let mut sorted_sites = sites.clone();
+        sorted_sites.sort_unstable();
+        let key_seed = holder_seed_map[&sorted_sites[0]][&sorted_sites[1]]
+            .derive("categorical-key");
+        let mut categorical_key_material = [0u8; 32];
+        categorical_key_material.copy_from_slice(&key_seed.0);
+
+        let mut holders = Vec::with_capacity(partitions.len());
+        for partition in partitions {
+            let site = partition.site();
+            holders.push(DataHolder::new(
+                partition,
+                holder_seed_map.get(&site).cloned().unwrap_or_default(),
+                tp_seeds[&site],
+                categorical_key_material,
+            ));
+        }
+        Ok(TrustedSetup { holders, third_party: ThirdPartyKeys::new(tp_seeds) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DataMatrix;
+    use crate::record::Record;
+    use crate::schema::{AttributeDescriptor, Schema};
+    use crate::value::AttributeValue;
+
+    fn schema() -> Schema {
+        Schema::new(vec![AttributeDescriptor::numeric("x")]).unwrap()
+    }
+
+    fn partition(site: u32, values: &[f64]) -> HorizontalPartition {
+        let mut m = DataMatrix::new(schema());
+        for &v in values {
+            m.push(Record::new(vec![AttributeValue::numeric(v)])).unwrap();
+        }
+        HorizontalPartition::new(site, m)
+    }
+
+    fn partitions() -> Vec<HorizontalPartition> {
+        vec![partition(0, &[1.0, 2.0]), partition(1, &[3.0]), partition(2, &[4.0, 5.0])]
+    }
+
+    #[test]
+    fn deterministic_setup_is_consistent_across_parties() {
+        let setup = TrustedSetup::deterministic(partitions(), &Seed::from_u64(99)).unwrap();
+        assert_eq!(setup.holders.len(), 3);
+        // Holder-holder seeds agree in both directions.
+        let s01 = setup.holders[0].seed_with_holder(1).unwrap();
+        let s10 = setup.holders[1].seed_with_holder(0).unwrap();
+        assert_eq!(s01, s10);
+        let s12 = setup.holders[1].seed_with_holder(2).unwrap();
+        assert_ne!(s01, s12);
+        // Initiator / responder / TP views of the per-attribute seeds line up.
+        let initiator = setup.holders[0].pairwise_seeds(1, "x").unwrap();
+        let responder = setup.holders[1].responder_seed(0, "x").unwrap();
+        assert_eq!(initiator.holder_holder, responder);
+        let tp = setup.third_party.seed_for(0, "x").unwrap();
+        assert_eq!(initiator.holder_third_party, tp);
+        // Categorical key shared across holders.
+        assert_eq!(
+            setup.holders[0].categorical_key().tag_str("v"),
+            setup.holders[2].categorical_key().tag_str("v")
+        );
+        assert!(setup.holders[0].seed_with_holder(9).is_err());
+        assert!(setup.third_party.seed_for(9, "x").is_err());
+        assert_eq!(setup.third_party.sites(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn setup_requires_two_holders_and_unique_sites() {
+        assert!(TrustedSetup::deterministic(vec![partition(0, &[1.0])], &Seed::from_u64(1))
+            .is_err());
+        assert!(TrustedSetup::deterministic(
+            vec![partition(0, &[1.0]), partition(0, &[2.0])],
+            &Seed::from_u64(1)
+        )
+        .is_err());
+        assert!(TrustedSetup::via_diffie_hellman(vec![partition(0, &[1.0])], &Seed::from_u64(1))
+            .is_err());
+    }
+
+    #[test]
+    fn diffie_hellman_setup_agrees_between_parties() {
+        let setup = TrustedSetup::via_diffie_hellman(partitions(), &Seed::from_u64(7)).unwrap();
+        let initiator = setup.holders[0].pairwise_seeds(2, "dna").unwrap();
+        let responder = setup.holders[2].responder_seed(0, "dna").unwrap();
+        assert_eq!(initiator.holder_holder, responder);
+        let tp = setup.third_party.seed_for(0, "dna").unwrap();
+        assert_eq!(initiator.holder_third_party, tp);
+        // TP seeds differ across holders.
+        assert_ne!(
+            setup.third_party.seed_for(0, "dna").unwrap(),
+            setup.third_party.seed_for(1, "dna").unwrap()
+        );
+        // Holders share the categorical key; it is distinct from TP seeds.
+        assert_eq!(
+            setup.holders[1].categorical_key().tag_str("v"),
+            setup.holders[2].categorical_key().tag_str("v")
+        );
+    }
+
+    #[test]
+    fn holder_accessors() {
+        let setup = TrustedSetup::deterministic(partitions(), &Seed::from_u64(3)).unwrap();
+        let h = &setup.holders[2];
+        assert_eq!(h.site(), 2);
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+        assert!(h.validate_schema(&schema()).is_ok());
+        assert_eq!(h.partition().len(), 2);
+    }
+}

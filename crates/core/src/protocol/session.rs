@@ -1,0 +1,588 @@
+//! Networked clustering session.
+//!
+//! Runs the full Figure 11 construction with every inter-party transfer
+//! going through a [`ppc_net::Network`], so per-link byte counts, channel
+//! security settings and eavesdroppers all apply. The message order and
+//! contents are exactly those of the in-memory
+//! [`ThirdPartyDriver`](super::driver::ThirdPartyDriver); the session's
+//! results are asserted equal to the driver's in the integration tests.
+//!
+//! The session is executed single-threaded: the orchestrator plays each role
+//! in turn through that party's [`Endpoint`]. This keeps the control flow
+//! auditable while the transport still measures exactly what would cross the
+//! wire in a real deployment.
+
+use ppc_net::{CommReport, Endpoint, Network, PartyId};
+
+use ppc_cluster::Linkage;
+
+use crate::dissimilarity::{AttributeDissimilarity, DissimilarityMatrix, ObjectIndex};
+use crate::error::CoreError;
+use crate::protocol::driver::{ClusteringRequest, ConstructionOutput, ThirdPartyDriver};
+use crate::protocol::messages::{
+    CcmBundleMsg, ClusteringChoiceMsg, EncryptedColumnMsg, LocalMatrixMsg, MaskedNumericMsg,
+    MaskedStringsMsg, PairwiseMatrixMsg, PublishedResultMsg,
+};
+use crate::protocol::party::{DataHolder, ThirdPartyKeys};
+use crate::protocol::{alphanumeric, categorical, local, numeric, NumericMode, ProtocolConfig};
+use crate::result::ClusteringResult;
+use crate::schema::{Schema, WeightVector};
+use crate::value::AttributeKind;
+use ppc_cluster::CondensedDistanceMatrix;
+use ppc_crypto::det::Tag128;
+
+/// Outcome of a networked session.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Published clustering result.
+    pub result: ClusteringResult,
+    /// The final merged dissimilarity matrix (kept secret by the third party
+    /// in a deployment; exposed here for experiments and verification).
+    pub final_matrix: DissimilarityMatrix,
+    /// Per-attribute matrices before merging.
+    pub per_attribute: Vec<AttributeDissimilarity>,
+    /// Communication accounting for the whole session.
+    pub communication: CommReport,
+}
+
+/// A networked clustering session.
+#[derive(Debug)]
+pub struct ClusteringSession {
+    schema: Schema,
+    config: ProtocolConfig,
+    network: Network,
+}
+
+impl ClusteringSession {
+    /// Creates a session over a fresh in-memory network with one endpoint per
+    /// holder plus the third party.
+    pub fn new(schema: Schema, config: ProtocolConfig, holders: usize) -> Self {
+        ClusteringSession { schema, config, network: Network::with_parties(holders as u32) }
+    }
+
+    /// Creates a session over an existing network (e.g. one with custom
+    /// channel-security settings for the eavesdropping experiments).
+    pub fn with_network(schema: Schema, config: ProtocolConfig, network: Network) -> Self {
+        ClusteringSession { schema, config, network }
+    }
+
+    /// The underlying network (for security settings and inspection).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    fn endpoint(&self, party: PartyId) -> Result<Endpoint, CoreError> {
+        Ok(self.network.endpoint(party)?)
+    }
+
+    /// Runs the full protocol and clustering.
+    pub fn run(
+        &self,
+        holders: &[DataHolder],
+        keys: &ThirdPartyKeys,
+        request: &ClusteringRequest,
+    ) -> Result<SessionOutcome, CoreError> {
+        if holders.len() < 2 {
+            return Err(CoreError::Protocol(
+                "the protocol requires at least two data holders".into(),
+            ));
+        }
+        for holder in holders {
+            holder.validate_schema(&self.schema)?;
+        }
+        self.network.reset_report();
+
+        let site_sizes: Vec<(u32, usize)> =
+            holders.iter().map(|h| (h.site(), h.len())).collect();
+        let index = ObjectIndex::from_site_sizes(&site_sizes);
+        if index.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+
+        let tp = self.endpoint(PartyId::ThirdParty)?;
+        let mut per_attribute = Vec::with_capacity(self.schema.len());
+        for (attribute_index, descriptor) in self.schema.attributes().iter().enumerate() {
+            let matrix = match descriptor.kind {
+                AttributeKind::Categorical => {
+                    self.run_categorical(holders, &tp, attribute_index)?
+                }
+                _ => self.run_pairwise(holders, keys, &tp, &index, attribute_index)?,
+            };
+            per_attribute.push(AttributeDissimilarity::new(descriptor.name.clone(), matrix));
+        }
+
+        // §5: the third party asks for weight vectors and clustering choices;
+        // every holder sends its own, the third party applies the agreed one
+        // (here: the caller-provided request, which each holder echoes).
+        let choice = ClusteringChoiceMsg {
+            weights: request.weights.weights().to_vec(),
+            num_clusters: request.num_clusters as u32,
+            linkage: format!("{:?}", request.linkage).to_lowercase(),
+        };
+        for holder in holders {
+            let endpoint = self.endpoint(PartyId::DataHolder(holder.site()))?;
+            endpoint.send(PartyId::ThirdParty, "clustering-choice", choice.encode())?;
+        }
+        let mut agreed = request.clone();
+        for holder in holders {
+            let received = tp.receive(PartyId::DataHolder(holder.site()), "clustering-choice")?;
+            let decoded = ClusteringChoiceMsg::decode(&received.payload)?;
+            agreed = ClusteringRequest {
+                weights: WeightVector::new(decoded.weights.clone())?,
+                linkage: parse_linkage(&decoded.linkage)?,
+                num_clusters: decoded.num_clusters as usize,
+            };
+        }
+
+        // Merge, cluster and publish — reusing the driver's clustering stage.
+        let driver = ThirdPartyDriver::new(self.schema.clone(), self.config);
+        let output = ConstructionOutput { index, per_attribute };
+        let (result, final_matrix) = driver.cluster(&output, &agreed)?;
+
+        // Publish membership lists to every data holder (Figure 13).
+        let publish = PublishedResultMsg {
+            clusters: result
+                .clusters
+                .iter()
+                .map(|members| {
+                    members.iter().map(|o| (o.site, o.local_index as u32)).collect()
+                })
+                .collect(),
+            average_within_cluster_squared_distance: result
+                .average_within_cluster_squared_distance,
+        };
+        for holder in holders {
+            tp.send(
+                PartyId::DataHolder(holder.site()),
+                "published-result",
+                publish.encode(),
+            )?;
+            let endpoint = self.endpoint(PartyId::DataHolder(holder.site()))?;
+            let received = endpoint.receive(PartyId::ThirdParty, "published-result")?;
+            PublishedResultMsg::decode(&received.payload)?;
+        }
+
+        Ok(SessionOutcome {
+            result,
+            final_matrix,
+            per_attribute: output.per_attribute,
+            communication: self.network.report(),
+        })
+    }
+
+    /// Categorical attribute over the network.
+    fn run_categorical(
+        &self,
+        holders: &[DataHolder],
+        tp: &Endpoint,
+        attribute_index: usize,
+    ) -> Result<CondensedDistanceMatrix, CoreError> {
+        let descriptor = self.schema.attribute_at(attribute_index)?;
+        let topic = format!("categorical/{}", descriptor.name);
+        for holder in holders {
+            let values = holder.partition().matrix().categorical_column(attribute_index)?;
+            let column = categorical::encrypt_column(&values, &holder.categorical_key());
+            let msg = EncryptedColumnMsg {
+                attribute: descriptor.name.clone(),
+                tags: column.tags.iter().map(|t| t.to_bytes()).collect(),
+            };
+            let endpoint = self.endpoint(PartyId::DataHolder(holder.site()))?;
+            endpoint.send(PartyId::ThirdParty, topic.clone(), msg.encode())?;
+        }
+        let mut columns = Vec::with_capacity(holders.len());
+        for holder in holders {
+            let received = tp.receive(PartyId::DataHolder(holder.site()), &topic)?;
+            let decoded = EncryptedColumnMsg::decode(&received.payload)?;
+            columns.push(categorical::EncryptedColumn {
+                tags: decoded
+                    .tags
+                    .iter()
+                    .map(|raw| Tag128 {
+                        lo: u64::from_le_bytes(raw[0..8].try_into().expect("16-byte tag")),
+                        hi: u64::from_le_bytes(raw[8..16].try_into().expect("16-byte tag")),
+                    })
+                    .collect(),
+            });
+        }
+        categorical::third_party_dissimilarity(&columns)
+    }
+
+    /// Numeric / alphanumeric attribute over the network.
+    fn run_pairwise(
+        &self,
+        holders: &[DataHolder],
+        keys: &ThirdPartyKeys,
+        tp: &Endpoint,
+        index: &ObjectIndex,
+        attribute_index: usize,
+    ) -> Result<CondensedDistanceMatrix, CoreError> {
+        let descriptor = self.schema.attribute_at(attribute_index)?.clone();
+        let attribute = descriptor.name.clone();
+        let mut global = CondensedDistanceMatrix::zeros(index.len());
+
+        // Local dissimilarity matrices, shipped to the third party.
+        for holder in holders {
+            let local = local::local_dissimilarity(holder.partition().matrix(), attribute_index)?;
+            let msg = LocalMatrixMsg {
+                attribute: attribute.clone(),
+                objects: local.len() as u32,
+                condensed: local.condensed_values().to_vec(),
+            };
+            let topic = format!("local/{attribute}/{}", holder.site());
+            let endpoint = self.endpoint(PartyId::DataHolder(holder.site()))?;
+            endpoint.send(PartyId::ThirdParty, topic.clone(), msg.encode())?;
+            let received = tp.receive(PartyId::DataHolder(holder.site()), &topic)?;
+            let decoded = LocalMatrixMsg::decode(&received.payload)?;
+            let matrix = CondensedDistanceMatrix::from_condensed(
+                decoded.objects as usize,
+                decoded.condensed,
+            )?;
+            let range = index.site_range(holder.site())?;
+            for i in 1..matrix.len() {
+                for j in 0..i {
+                    global.set(range.start + i, range.start + j, matrix.get(i, j));
+                }
+            }
+        }
+
+        // Pairwise protocol runs.
+        for (j_pos, holder_j) in holders.iter().enumerate() {
+            for holder_k in holders.iter().skip(j_pos + 1) {
+                let distances = match descriptor.kind {
+                    AttributeKind::Numeric => self.run_numeric_pair_networked(
+                        holder_j,
+                        holder_k,
+                        keys,
+                        tp,
+                        attribute_index,
+                    )?,
+                    AttributeKind::Alphanumeric => self.run_alphanumeric_pair_networked(
+                        holder_j,
+                        holder_k,
+                        keys,
+                        tp,
+                        attribute_index,
+                    )?,
+                    AttributeKind::Categorical => unreachable!("handled separately"),
+                };
+                let range_j = index.site_range(holder_j.site())?;
+                let range_k = index.site_range(holder_k.site())?;
+                for (m, row) in distances.iter().enumerate() {
+                    for (n, &d) in row.iter().enumerate() {
+                        global.set(range_k.start + m, range_j.start + n, d);
+                    }
+                }
+            }
+        }
+        Ok(global)
+    }
+
+    fn run_numeric_pair_networked(
+        &self,
+        holder_j: &DataHolder,
+        holder_k: &DataHolder,
+        keys: &ThirdPartyKeys,
+        tp: &Endpoint,
+        attribute_index: usize,
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
+        let descriptor = self.schema.attribute_at(attribute_index)?;
+        let attribute = descriptor.name.as_str();
+        let codec = self.config.fixed_point;
+        let algorithm = self.config.rng_algorithm;
+        let pair_tag = format!("{}-{}", holder_j.site(), holder_k.site());
+
+        let j_endpoint = self.endpoint(PartyId::DataHolder(holder_j.site()))?;
+        let k_endpoint = self.endpoint(PartyId::DataHolder(holder_k.site()))?;
+        let j_party = PartyId::DataHolder(holder_j.site());
+        let k_party = PartyId::DataHolder(holder_k.site());
+
+        // DH_J masks and sends to DH_K.
+        let j_values = codec.encode_column(
+            &holder_j.partition().matrix().numeric_column(attribute_index)?,
+        )?;
+        let initiator_seeds = holder_j.pairwise_seeds(holder_k.site(), attribute)?;
+        let masked_msg = match self.config.numeric_mode {
+            NumericMode::Batch => {
+                let masked = numeric::initiator_mask(&j_values, &initiator_seeds, algorithm);
+                MaskedNumericMsg {
+                    attribute: attribute.to_string(),
+                    rows: 1,
+                    cols: masked.len() as u32,
+                    values: masked,
+                }
+            }
+            NumericMode::PerPair => {
+                let masked = numeric::initiator_mask_per_pair(
+                    &j_values,
+                    holder_k.len(),
+                    &initiator_seeds,
+                    algorithm,
+                );
+                MaskedNumericMsg {
+                    attribute: attribute.to_string(),
+                    rows: masked.len() as u32,
+                    cols: masked.first().map(Vec::len).unwrap_or(0) as u32,
+                    values: masked.into_iter().flatten().collect(),
+                }
+            }
+        };
+        let masked_topic = format!("numeric/{attribute}/{pair_tag}/masked");
+        j_endpoint.send(k_party, masked_topic.clone(), masked_msg.encode())?;
+
+        // DH_K folds and sends the pairwise matrix to TP.
+        let received = k_endpoint.receive(j_party, &masked_topic)?;
+        let masked = MaskedNumericMsg::decode(&received.payload)?;
+        let k_values = codec.encode_column(
+            &holder_k.partition().matrix().numeric_column(attribute_index)?,
+        )?;
+        let responder_seed = holder_k.responder_seed(holder_j.site(), attribute)?;
+        let pairwise_rows = match self.config.numeric_mode {
+            NumericMode::Batch => {
+                numeric::responder_fold(&masked.values, &k_values, &responder_seed, algorithm)
+            }
+            NumericMode::PerPair => {
+                let rows: Vec<Vec<i64>> = masked
+                    .values
+                    .chunks(masked.cols as usize)
+                    .map(|c| c.to_vec())
+                    .collect();
+                numeric::responder_fold_per_pair(&rows, &k_values, &responder_seed, algorithm)
+            }
+        };
+        let pairwise_msg = PairwiseMatrixMsg {
+            attribute: attribute.to_string(),
+            rows: pairwise_rows.len() as u32,
+            cols: pairwise_rows.first().map(Vec::len).unwrap_or(0) as u32,
+            values: pairwise_rows.iter().flatten().copied().collect(),
+        };
+        let pairwise_topic = format!("numeric/{attribute}/{pair_tag}/pairwise");
+        k_endpoint.send(PartyId::ThirdParty, pairwise_topic.clone(), pairwise_msg.encode())?;
+
+        // TP unmasks.
+        let received = tp.receive(k_party, &pairwise_topic)?;
+        let pairwise = PairwiseMatrixMsg::decode(&received.payload)?;
+        let tp_seed = keys.seed_for(holder_j.site(), attribute)?;
+        let distances = match self.config.numeric_mode {
+            NumericMode::Batch => {
+                numeric::third_party_unmask(&pairwise.rows_vec(), &tp_seed, algorithm)
+            }
+            NumericMode::PerPair => {
+                numeric::third_party_unmask_per_pair(&pairwise.rows_vec(), &tp_seed, algorithm)
+            }
+        };
+        Ok(distances
+            .into_iter()
+            .map(|row| row.into_iter().map(|d| codec.decode_distance(d)).collect())
+            .collect())
+    }
+
+    fn run_alphanumeric_pair_networked(
+        &self,
+        holder_j: &DataHolder,
+        holder_k: &DataHolder,
+        keys: &ThirdPartyKeys,
+        tp: &Endpoint,
+        attribute_index: usize,
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
+        let descriptor = self.schema.attribute_at(attribute_index)?;
+        let attribute = descriptor.name.clone();
+        let alphabet = descriptor.require_alphabet()?.clone();
+        let algorithm = self.config.rng_algorithm;
+        let pair_tag = format!("{}-{}", holder_j.site(), holder_k.site());
+
+        let j_endpoint = self.endpoint(PartyId::DataHolder(holder_j.site()))?;
+        let k_endpoint = self.endpoint(PartyId::DataHolder(holder_k.site()))?;
+        let j_party = PartyId::DataHolder(holder_j.site());
+        let k_party = PartyId::DataHolder(holder_k.site());
+
+        // DH_J masks its strings and sends them to DH_K.
+        let j_encoded: Vec<Vec<u32>> = holder_j
+            .partition()
+            .matrix()
+            .string_column(attribute_index)?
+            .iter()
+            .map(|s| alphabet.encode(s))
+            .collect::<Result<_, _>>()?;
+        let initiator_seeds = holder_j.pairwise_seeds(holder_k.site(), &attribute)?;
+        let masked = alphanumeric::initiator_mask_strings(
+            &j_encoded,
+            alphabet.size(),
+            &initiator_seeds,
+            algorithm,
+        )?;
+        let masked_topic = format!("alphanumeric/{attribute}/{pair_tag}/masked");
+        let masked_msg = MaskedStringsMsg { attribute: attribute.clone(), strings: masked };
+        j_endpoint.send(k_party, masked_topic.clone(), masked_msg.encode())?;
+
+        // DH_K builds the masked CCM bundle and sends it to TP.
+        let received = k_endpoint.receive(j_party, &masked_topic)?;
+        let masked = MaskedStringsMsg::decode(&received.payload)?;
+        let k_encoded: Vec<Vec<u32>> = holder_k
+            .partition()
+            .matrix()
+            .string_column(attribute_index)?
+            .iter()
+            .map(|s| alphabet.encode(s))
+            .collect::<Result<_, _>>()?;
+        let bundle =
+            alphanumeric::responder_build_bundle(&masked.strings, &k_encoded, alphabet.size())?;
+        let bundle_topic = format!("alphanumeric/{attribute}/{pair_tag}/ccms");
+        let bundle_msg = CcmBundleMsg { attribute: attribute.clone(), bundle };
+        k_endpoint.send(PartyId::ThirdParty, bundle_topic.clone(), bundle_msg.encode())?;
+
+        // TP unmasks and evaluates the edit distances.
+        let received = tp.receive(k_party, &bundle_topic)?;
+        let bundle = CcmBundleMsg::decode(&received.payload)?;
+        let tp_seed = keys.seed_for(holder_j.site(), &attribute)?;
+        let distances = alphanumeric::third_party_edit_distances(
+            &bundle.bundle,
+            alphabet.size(),
+            &tp_seed,
+            algorithm,
+        )?;
+        Ok(distances
+            .into_iter()
+            .map(|row| row.into_iter().map(f64::from).collect())
+            .collect())
+    }
+}
+
+/// Parses a linkage name sent in a [`ClusteringChoiceMsg`].
+pub fn parse_linkage(name: &str) -> Result<Linkage, CoreError> {
+    match name.to_ascii_lowercase().as_str() {
+        "single" => Ok(Linkage::Single),
+        "complete" => Ok(Linkage::Complete),
+        "average" => Ok(Linkage::Average),
+        "weighted" => Ok(Linkage::Weighted),
+        "ward" => Ok(Linkage::Ward),
+        "centroid" => Ok(Linkage::Centroid),
+        "median" => Ok(Linkage::Median),
+        other => Err(CoreError::Protocol(format!("unknown linkage '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::matrix::DataMatrix;
+    use crate::matrix::HorizontalPartition;
+    use crate::protocol::party::TrustedSetup;
+    use crate::record::Record;
+    use crate::schema::AttributeDescriptor;
+    use crate::value::AttributeValue;
+    use ppc_crypto::Seed;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDescriptor::numeric("age"),
+            AttributeDescriptor::categorical("blood"),
+            AttributeDescriptor::alphanumeric("dna", Alphabet::dna()),
+        ])
+        .unwrap()
+    }
+
+    fn record(age: f64, blood: &str, dna: &str) -> Record {
+        Record::new(vec![
+            AttributeValue::numeric(age),
+            AttributeValue::categorical(blood),
+            AttributeValue::alphanumeric(dna),
+        ])
+    }
+
+    fn setup() -> TrustedSetup {
+        let rows_a = vec![record(30.0, "A", "acgt"), record(31.0, "A", "acga")];
+        let rows_b = vec![record(65.0, "B", "ttcg"), record(29.5, "A", "acgt")];
+        let rows_c = vec![record(66.0, "B", "ttgg")];
+        let partitions = vec![
+            HorizontalPartition::new(0, DataMatrix::with_rows(schema(), rows_a).unwrap()),
+            HorizontalPartition::new(1, DataMatrix::with_rows(schema(), rows_b).unwrap()),
+            HorizontalPartition::new(2, DataMatrix::with_rows(schema(), rows_c).unwrap()),
+        ];
+        TrustedSetup::deterministic(partitions, &Seed::from_u64(77)).unwrap()
+    }
+
+    #[test]
+    fn networked_session_matches_in_memory_driver() {
+        let setup = setup();
+        let request = ClusteringRequest::uniform(&schema(), 2);
+        let session = ClusteringSession::new(schema(), ProtocolConfig::default(), 3);
+        let outcome = session.run(&setup.holders, &setup.third_party, &request).unwrap();
+
+        let driver = ThirdPartyDriver::new(schema(), ProtocolConfig::default());
+        let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+        let (reference, reference_matrix) = driver.cluster(&output, &request).unwrap();
+
+        assert_eq!(outcome.result.clusters, reference.clusters);
+        assert!(outcome
+            .final_matrix
+            .matrix()
+            .max_abs_difference(reference_matrix.matrix())
+            < 1e-9);
+        assert!(outcome.communication.total_bytes() > 0);
+        assert!(outcome.communication.total_messages() > 0);
+    }
+
+    #[test]
+    fn communication_flows_match_the_protocol_shape() {
+        let setup = setup();
+        let request = ClusteringRequest::uniform(&schema(), 2);
+        let session = ClusteringSession::new(schema(), ProtocolConfig::default(), 3);
+        let outcome = session.run(&setup.holders, &setup.third_party, &request).unwrap();
+        let report = &outcome.communication;
+        // Every data holder talks to the third party.
+        for site in 0..3u32 {
+            assert!(report.bytes_on_link(PartyId::DataHolder(site), PartyId::ThirdParty) > 0);
+            // The third party publishes the result back.
+            assert!(report.bytes_on_link(PartyId::ThirdParty, PartyId::DataHolder(site)) > 0);
+        }
+        // Initiators send masked vectors to responders (J < K pairs only).
+        assert!(report.bytes_on_link(PartyId::DataHolder(0), PartyId::DataHolder(1)) > 0);
+        assert!(report.bytes_on_link(PartyId::DataHolder(0), PartyId::DataHolder(2)) > 0);
+        assert!(report.bytes_on_link(PartyId::DataHolder(1), PartyId::DataHolder(2)) > 0);
+        assert_eq!(report.bytes_on_link(PartyId::DataHolder(1), PartyId::DataHolder(0)), 0);
+        // The third party never sends bulk data to holders other than results.
+        assert!(
+            report.bytes_on_link(PartyId::ThirdParty, PartyId::DataHolder(0))
+                < report.bytes_on_link(PartyId::DataHolder(0), PartyId::ThirdParty)
+        );
+    }
+
+    #[test]
+    fn per_pair_mode_costs_more_on_the_holder_link() {
+        let setup = setup();
+        let request = ClusteringRequest::uniform(&schema(), 2);
+        let batch = ClusteringSession::new(schema(), ProtocolConfig::default(), 3)
+            .run(&setup.holders, &setup.third_party, &request)
+            .unwrap();
+        let per_pair_config =
+            ProtocolConfig { numeric_mode: NumericMode::PerPair, ..ProtocolConfig::default() };
+        let per_pair = ClusteringSession::new(schema(), per_pair_config, 3)
+            .run(&setup.holders, &setup.third_party, &request)
+            .unwrap();
+        // Same results…
+        assert_eq!(batch.result.clusters, per_pair.result.clusters);
+        // …but strictly more initiator → responder traffic.
+        let link = |o: &SessionOutcome| {
+            o.communication.bytes_on_link(PartyId::DataHolder(0), PartyId::DataHolder(1))
+        };
+        assert!(link(&per_pair) > link(&batch));
+    }
+
+    #[test]
+    fn parse_linkage_accepts_all_names() {
+        for l in Linkage::ALL {
+            let name = format!("{l:?}").to_lowercase();
+            assert_eq!(parse_linkage(&name).unwrap(), l);
+        }
+        assert!(parse_linkage("nonsense").is_err());
+    }
+
+    #[test]
+    fn session_requires_two_holders() {
+        let setup = setup();
+        let session = ClusteringSession::new(schema(), ProtocolConfig::default(), 3);
+        let request = ClusteringRequest::uniform(&schema(), 2);
+        assert!(session.run(&setup.holders[..1], &setup.third_party, &request).is_err());
+    }
+}

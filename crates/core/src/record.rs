@@ -1,0 +1,160 @@
+//! Objects and their site-qualified identities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::schema::Schema;
+use crate::value::AttributeValue;
+
+/// Site-qualified identity of an object.
+///
+/// Figure 13 of the paper publishes clustering results as lists of objects
+/// written `A1`, `B4`, `C3`, … — the site letter followed by the local
+/// (1-based) object id. Keeping the identity site-qualified is what lets
+/// data holders find their own objects in the published result without the
+/// third party revealing anybody's attribute values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId {
+    /// Index of the owning data holder.
+    pub site: u32,
+    /// Zero-based index of the object within its site's partition.
+    pub local_index: usize,
+}
+
+impl ObjectId {
+    /// Creates an object id.
+    pub fn new(site: u32, local_index: usize) -> Self {
+        ObjectId { site, local_index }
+    }
+
+    /// The paper's display form: site letter + 1-based index (`A1`, `B4`).
+    pub fn display_label(&self) -> String {
+        let site = if self.site < 26 {
+            char::from(b'A' + self.site as u8).to_string()
+        } else {
+            format!("S{}", self.site)
+        };
+        format!("{}{}", site, self.local_index + 1)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_label())
+    }
+}
+
+/// One object: its values for every attribute of the agreed schema, in
+/// schema order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    values: Vec<AttributeValue>,
+}
+
+impl Record {
+    /// Creates a record from attribute values in schema order.
+    pub fn new(values: Vec<AttributeValue>) -> Self {
+        Record { values }
+    }
+
+    /// Values in schema order.
+    pub fn values(&self) -> &[AttributeValue] {
+        &self.values
+    }
+
+    /// Number of attribute values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the record has no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of the attribute at `index`.
+    pub fn value_at(&self, index: usize) -> Option<&AttributeValue> {
+        self.values.get(index)
+    }
+
+    /// Validates the record against a schema (arity and per-value types).
+    pub fn validate(&self, schema: &Schema) -> Result<(), CoreError> {
+        if self.values.len() != schema.len() {
+            return Err(CoreError::ArityMismatch {
+                expected: schema.len(),
+                got: self.values.len(),
+            });
+        }
+        for (value, descriptor) in self.values.iter().zip(schema.attributes()) {
+            descriptor.validate_value(value)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<AttributeValue>> for Record {
+    fn from(values: Vec<AttributeValue>) -> Self {
+        Record::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::schema::AttributeDescriptor;
+
+    #[test]
+    fn object_id_labels_match_figure_13_style() {
+        assert_eq!(ObjectId::new(0, 0).to_string(), "A1");
+        assert_eq!(ObjectId::new(1, 3).to_string(), "B4");
+        assert_eq!(ObjectId::new(2, 2).to_string(), "C3");
+        assert_eq!(ObjectId::new(27, 0).to_string(), "S271");
+        assert!(ObjectId::new(0, 1) < ObjectId::new(1, 0));
+    }
+
+    #[test]
+    fn record_validation() {
+        let schema = Schema::new(vec![
+            AttributeDescriptor::numeric("age"),
+            AttributeDescriptor::alphanumeric("dna", Alphabet::dna()),
+        ])
+        .unwrap();
+        let ok = Record::new(vec![
+            AttributeValue::numeric(41.0),
+            AttributeValue::alphanumeric("acgt"),
+        ]);
+        assert!(ok.validate(&schema).is_ok());
+        assert_eq!(ok.len(), 2);
+        assert!(!ok.is_empty());
+        assert_eq!(ok.value_at(0).unwrap().as_numeric(), Some(41.0));
+        assert!(ok.value_at(5).is_none());
+
+        let wrong_arity = Record::new(vec![AttributeValue::numeric(1.0)]);
+        assert!(matches!(
+            wrong_arity.validate(&schema),
+            Err(CoreError::ArityMismatch { .. })
+        ));
+        let wrong_type = Record::new(vec![
+            AttributeValue::categorical("x"),
+            AttributeValue::alphanumeric("acgt"),
+        ]);
+        assert!(matches!(wrong_type.validate(&schema), Err(CoreError::TypeMismatch { .. })));
+        let bad_symbol = Record::new(vec![
+            AttributeValue::numeric(41.0),
+            AttributeValue::alphanumeric("zzz"),
+        ]);
+        assert!(matches!(
+            bad_symbol.validate(&schema),
+            Err(CoreError::SymbolOutsideAlphabet { .. })
+        ));
+    }
+
+    #[test]
+    fn record_from_vec() {
+        let r: Record = vec![AttributeValue::numeric(1.0)].into();
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Published clustering results (Figure 13).
+//!
+//! The third party must keep the dissimilarity matrix secret (data holders
+//! could combine distance scores with their own data to infer other sites'
+//! values), so what it publishes is only the list of objects in each cluster
+//! — identified by site-qualified ids — plus aggregate quality parameters.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ppc_cluster::ClusterAssignment;
+
+use crate::dissimilarity::ObjectIndex;
+use crate::error::CoreError;
+use crate::record::ObjectId;
+
+/// The result the third party publishes to every data holder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringResult {
+    /// Cluster membership lists, by cluster id.
+    pub clusters: Vec<Vec<ObjectId>>,
+    /// The paper's published quality parameter: average squared distance
+    /// between members of the same cluster.
+    pub average_within_cluster_squared_distance: f64,
+    /// Mean silhouette coefficient (additional quality parameter).
+    pub silhouette: Option<f64>,
+}
+
+impl ClusteringResult {
+    /// Builds the published result from a flat assignment and the object
+    /// index, keeping only membership lists and aggregate quality values.
+    pub fn from_assignment(
+        assignment: &ClusterAssignment,
+        index: &ObjectIndex,
+        average_within_cluster_squared_distance: f64,
+        silhouette: Option<f64>,
+    ) -> Result<Self, CoreError> {
+        if assignment.len() != index.len() {
+            return Err(CoreError::Protocol(format!(
+                "assignment covers {} objects, index covers {}",
+                assignment.len(),
+                index.len()
+            )));
+        }
+        let mut clusters = vec![Vec::new(); assignment.num_clusters()];
+        for (global, &label) in assignment.labels().iter().enumerate() {
+            clusters[label].push(index.object_id(global)?);
+        }
+        for members in &mut clusters {
+            members.sort();
+        }
+        Ok(ClusteringResult {
+            clusters,
+            average_within_cluster_squared_distance,
+            silhouette,
+        })
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total number of clustered objects.
+    pub fn num_objects(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+
+    /// The cluster id containing `object`, if any.
+    pub fn cluster_of(&self, object: ObjectId) -> Option<usize> {
+        self.clusters.iter().position(|members| members.contains(&object))
+    }
+
+    /// Only the objects owned by `site` in each cluster — what a single data
+    /// holder learns about its own records.
+    pub fn view_for_site(&self, site: u32) -> Vec<Vec<ObjectId>> {
+        self.clusters
+            .iter()
+            .map(|members| members.iter().copied().filter(|o| o.site == site).collect())
+            .collect()
+    }
+}
+
+impl fmt::Display for ClusteringResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, members) in self.clusters.iter().enumerate() {
+            let labels: Vec<String> = members.iter().map(ToString::to_string).collect();
+            writeln!(f, "Cluster{}  {}", i + 1, labels.join(", "))?;
+        }
+        write!(
+            f,
+            "avg within-cluster squared distance: {:.6}",
+            self.average_within_cluster_squared_distance
+        )?;
+        if let Some(s) = self.silhouette {
+            write!(f, ", silhouette: {s:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClusteringResult {
+        let index = ObjectIndex::from_site_sizes(&[(0, 3), (1, 4), (2, 3)]);
+        // Mirror Figure 13's shape: three clusters mixing objects of all sites.
+        let labels = vec![0, 2, 0, 2, 1, 1, 0, 1, 1, 0];
+        let assignment = ClusterAssignment::from_labels(&labels);
+        ClusteringResult::from_assignment(&assignment, &index, 0.04, Some(0.8)).unwrap()
+    }
+
+    #[test]
+    fn membership_lists_use_site_qualified_labels() {
+        let r = sample();
+        assert_eq!(r.num_clusters(), 3);
+        assert_eq!(r.num_objects(), 10);
+        let rendered = r.to_string();
+        assert!(rendered.contains("Cluster1"));
+        assert!(rendered.contains("A1"));
+        assert!(rendered.contains("B2"));
+        assert!(rendered.contains("C3"));
+        assert!(rendered.contains("squared distance"));
+        assert!(rendered.contains("silhouette"));
+    }
+
+    #[test]
+    fn cluster_lookup_and_site_views() {
+        let r = sample();
+        let a1 = ObjectId::new(0, 0);
+        let cluster = r.cluster_of(a1).unwrap();
+        assert!(r.clusters[cluster].contains(&a1));
+        assert_eq!(r.cluster_of(ObjectId::new(9, 0)), None);
+        let site0 = r.view_for_site(0);
+        assert_eq!(site0.len(), 3);
+        let total: usize = site0.iter().map(Vec::len).sum();
+        assert_eq!(total, 3); // site 0 owns 3 objects
+        assert!(site0.iter().flatten().all(|o| o.site == 0));
+    }
+
+    #[test]
+    fn from_assignment_validates_sizes() {
+        let index = ObjectIndex::from_site_sizes(&[(0, 2)]);
+        let assignment = ClusterAssignment::from_labels(&[0, 0, 1]);
+        assert!(ClusteringResult::from_assignment(&assignment, &index, 0.0, None).is_err());
+    }
+}

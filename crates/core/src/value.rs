@@ -1,0 +1,150 @@
+//! Attribute values and kinds.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The three attribute data types the paper supports (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttributeKind {
+    /// Real-valued attribute compared by absolute difference.
+    Numeric,
+    /// Unordered categorical attribute compared for equality only.
+    Categorical,
+    /// String over a finite alphabet compared by edit distance.
+    Alphanumeric,
+}
+
+impl fmt::Display for AttributeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttributeKind::Numeric => write!(f, "numeric"),
+            AttributeKind::Categorical => write!(f, "categorical"),
+            AttributeKind::Alphanumeric => write!(f, "alphanumeric"),
+        }
+    }
+}
+
+/// A single attribute value of one object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttributeValue {
+    /// Numeric value.
+    Numeric(f64),
+    /// Categorical label.
+    Categorical(String),
+    /// Alphanumeric string over a finite alphabet.
+    Alphanumeric(String),
+}
+
+impl AttributeValue {
+    /// Kind of this value.
+    pub fn kind(&self) -> AttributeKind {
+        match self {
+            AttributeValue::Numeric(_) => AttributeKind::Numeric,
+            AttributeValue::Categorical(_) => AttributeKind::Categorical,
+            AttributeValue::Alphanumeric(_) => AttributeKind::Alphanumeric,
+        }
+    }
+
+    /// Returns the numeric payload, if this is a numeric value.
+    pub fn as_numeric(&self) -> Option<f64> {
+        match self {
+            AttributeValue::Numeric(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the categorical label, if this is a categorical value.
+    pub fn as_categorical(&self) -> Option<&str> {
+        match self {
+            AttributeValue::Categorical(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is an alphanumeric value.
+    pub fn as_alphanumeric(&self) -> Option<&str> {
+        match self {
+            AttributeValue::Alphanumeric(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttributeValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttributeValue::Numeric(v) => write!(f, "{v}"),
+            AttributeValue::Categorical(v) => write!(f, "{v}"),
+            AttributeValue::Alphanumeric(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<f64> for AttributeValue {
+    fn from(v: f64) -> Self {
+        AttributeValue::Numeric(v)
+    }
+}
+
+impl From<i32> for AttributeValue {
+    fn from(v: i32) -> Self {
+        AttributeValue::Numeric(v as f64)
+    }
+}
+
+/// Convenience constructors used heavily by examples and tests.
+impl AttributeValue {
+    /// Builds a numeric value.
+    pub fn numeric(v: f64) -> Self {
+        AttributeValue::Numeric(v)
+    }
+
+    /// Builds a categorical value.
+    pub fn categorical(v: impl Into<String>) -> Self {
+        AttributeValue::Categorical(v.into())
+    }
+
+    /// Builds an alphanumeric value.
+    pub fn alphanumeric(v: impl Into<String>) -> Self {
+        AttributeValue::Alphanumeric(v.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_accessors() {
+        let n = AttributeValue::numeric(3.5);
+        let c = AttributeValue::categorical("AB+");
+        let a = AttributeValue::alphanumeric("acgt");
+        assert_eq!(n.kind(), AttributeKind::Numeric);
+        assert_eq!(c.kind(), AttributeKind::Categorical);
+        assert_eq!(a.kind(), AttributeKind::Alphanumeric);
+        assert_eq!(n.as_numeric(), Some(3.5));
+        assert_eq!(n.as_categorical(), None);
+        assert_eq!(c.as_categorical(), Some("AB+"));
+        assert_eq!(c.as_alphanumeric(), None);
+        assert_eq!(a.as_alphanumeric(), Some("acgt"));
+        assert_eq!(a.as_numeric(), None);
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(AttributeValue::from(3).to_string(), "3");
+        assert_eq!(AttributeValue::from(2.5).to_string(), "2.5");
+        assert_eq!(AttributeValue::categorical("flu").to_string(), "flu");
+        assert_eq!(AttributeKind::Alphanumeric.to_string(), "alphanumeric");
+        assert_eq!(AttributeKind::Numeric.to_string(), "numeric");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = AttributeValue::alphanumeric("acgt");
+        let json = serde_json::to_string(&v).unwrap();
+        let back: AttributeValue = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,117 @@
+//! Speck64/128 block cipher (64-bit block, 128-bit key, 27 rounds).
+//!
+//! Reference: Beaulieu et al., "The SIMON and SPECK Families of Lightweight
+//! Block Ciphers" (2013). The implementation is checked against the
+//! published Speck64/128 test vector.
+
+use super::BlockCipher64;
+
+const ROUNDS: usize = 27;
+
+/// Speck64/128 instance with an expanded key schedule.
+#[derive(Debug, Clone)]
+pub struct Speck64 {
+    round_keys: [u32; ROUNDS],
+}
+
+#[inline(always)]
+fn round_enc(x: &mut u32, y: &mut u32, k: u32) {
+    *x = x.rotate_right(8).wrapping_add(*y) ^ k;
+    *y = y.rotate_left(3) ^ *x;
+}
+
+#[inline(always)]
+fn round_dec(x: &mut u32, y: &mut u32, k: u32) {
+    *y = (*y ^ *x).rotate_right(3);
+    *x = (*x ^ k).wrapping_sub(*y).rotate_left(8);
+}
+
+impl Speck64 {
+    /// Expands a 128-bit key (16 bytes, little-endian words).
+    pub fn new(key: &[u8; 16]) -> Self {
+        let k0 = u32::from_le_bytes(key[0..4].try_into().expect("4 bytes"));
+        let mut l = [
+            u32::from_le_bytes(key[4..8].try_into().expect("4 bytes")),
+            u32::from_le_bytes(key[8..12].try_into().expect("4 bytes")),
+            u32::from_le_bytes(key[12..16].try_into().expect("4 bytes")),
+        ];
+        let mut round_keys = [0u32; ROUNDS];
+        round_keys[0] = k0;
+        let mut k = k0;
+        for i in 0..ROUNDS - 1 {
+            let mut li = l[i % 3];
+            round_enc(&mut li, &mut k, i as u32);
+            l[i % 3] = li;
+            round_keys[i + 1] = k;
+        }
+        Speck64 { round_keys }
+    }
+
+    /// Builds an instance from four 32-bit key words `(k3, k2, k1, k0)` as
+    /// written in the Speck paper's test vectors.
+    pub fn from_words(k3: u32, k2: u32, k1: u32, k0: u32) -> Self {
+        let mut key = [0u8; 16];
+        key[0..4].copy_from_slice(&k0.to_le_bytes());
+        key[4..8].copy_from_slice(&k1.to_le_bytes());
+        key[8..12].copy_from_slice(&k2.to_le_bytes());
+        key[12..16].copy_from_slice(&k3.to_le_bytes());
+        Speck64::new(&key)
+    }
+}
+
+impl BlockCipher64 for Speck64 {
+    fn encrypt_block(&self, block: u64) -> u64 {
+        // The paper's test vectors write a block as the word pair (x, y)
+        // where x is the high word.
+        let mut x = (block >> 32) as u32;
+        let mut y = block as u32;
+        for &k in &self.round_keys {
+            round_enc(&mut x, &mut y, k);
+        }
+        ((x as u64) << 32) | y as u64
+    }
+
+    fn decrypt_block(&self, block: u64) -> u64 {
+        let mut x = (block >> 32) as u32;
+        let mut y = block as u32;
+        for &k in self.round_keys.iter().rev() {
+            round_dec(&mut x, &mut y, k);
+        }
+        ((x as u64) << 32) | y as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published Speck64/128 test vector:
+    /// key = 1b1a1918 13121110 0b0a0908 03020100,
+    /// plaintext = 3b726574 7475432d, ciphertext = 8c6fa548 454e028b.
+    #[test]
+    fn published_test_vector() {
+        let cipher = Speck64::from_words(0x1b1a1918, 0x13121110, 0x0b0a0908, 0x0302_0100);
+        let plaintext = 0x3b72_6574_7475_432du64;
+        let ciphertext = cipher.encrypt_block(plaintext);
+        assert_eq!(ciphertext, 0x8c6f_a548_454e_028bu64);
+        assert_eq!(cipher.decrypt_block(ciphertext), plaintext);
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let a = Speck64::new(&[0u8; 16]);
+        let mut key = [0u8; 16];
+        key[0] = 1;
+        let b = Speck64::new(&key);
+        assert_ne!(a.encrypt_block(12345), b.encrypt_block(12345));
+    }
+
+    #[test]
+    fn permutation_has_no_obvious_fixed_structure() {
+        let cipher = Speck64::new(b"an example key!!");
+        let mut outputs = std::collections::HashSet::new();
+        for b in 0..1000u64 {
+            assert!(outputs.insert(cipher.encrypt_block(b)), "collision at {b}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Diffie–Hellman seed agreement over the Mersenne prime `p = 2^61 - 1`.
+//!
+//! The paper assumes shared secrets "previously agreed" between party pairs.
+//! This module provides a minimal key agreement so the simulated deployment
+//! can establish the `r_JK` / `r_JT` seeds without a trusted dealer. The
+//! 61-bit group is adequate for a reproduction/simulation; the API is
+//! parameter-generic so a larger safe-prime group can be swapped in.
+//!
+//! The agreed group element is expanded to a 256-bit [`Seed`] by hashing it
+//! with SipHash-2-4 under four domain-separation keys.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CryptoError;
+use crate::mac::SipHash24;
+use crate::prng::{splitmix::SplitMix64, Seed, StreamRng};
+
+/// The Mersenne prime 2^61 - 1.
+pub const MERSENNE_61: u64 = (1u64 << 61) - 1;
+
+/// Diffie–Hellman group parameters (prime modulus and generator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DhParams {
+    /// Prime modulus.
+    pub prime: u64,
+    /// Group generator.
+    pub generator: u64,
+}
+
+impl Default for DhParams {
+    fn default() -> Self {
+        // 7 generates a large subgroup of Z_p^* for p = 2^61 - 1.
+        DhParams { prime: MERSENNE_61, generator: 7 }
+    }
+}
+
+impl DhParams {
+    /// Validates the parameters (prime > 3, generator in (1, prime)).
+    pub fn validate(&self) -> Result<(), CryptoError> {
+        if self.prime <= 3 {
+            return Err(CryptoError::InvalidDhParameter("modulus too small".into()));
+        }
+        if self.generator <= 1 || self.generator >= self.prime {
+            return Err(CryptoError::InvalidDhParameter(
+                "generator must lie strictly between 1 and the modulus".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Modular multiplication with a 128-bit intermediate.
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation by squaring.
+pub fn pow_mod(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    assert!(modulus > 1, "modulus must exceed 1");
+    let mut acc = 1u64;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, modulus);
+        }
+        base = mul_mod(base, base, modulus);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// One party's ephemeral DH key pair.
+#[derive(Debug, Clone)]
+pub struct DhKeyPair {
+    params: DhParams,
+    secret: u64,
+    /// The public value `g^secret mod p` sent to the peer.
+    pub public: u64,
+}
+
+/// The shared secret agreed by a completed exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DhSharedSecret(pub u64);
+
+impl DhKeyPair {
+    /// Generates a key pair using entropy drawn from `entropy_seed`.
+    ///
+    /// In the simulation each party owns an independent local entropy seed;
+    /// determinism of the *simulation* is preserved while the two parties'
+    /// secrets stay independent of each other.
+    pub fn generate(params: DhParams, entropy_seed: &Seed) -> Result<Self, CryptoError> {
+        params.validate()?;
+        let mut rng = SplitMix64::from_seed(entropy_seed);
+        // Secret exponent in [2, p-2].
+        let secret = 2 + rng.next_below(params.prime - 3);
+        let public = pow_mod(params.generator, secret, params.prime);
+        Ok(DhKeyPair { params, secret, public })
+    }
+
+    /// Completes the exchange with the peer's public value.
+    pub fn agree(&self, peer_public: u64) -> Result<DhSharedSecret, CryptoError> {
+        if peer_public <= 1 || peer_public >= self.params.prime {
+            return Err(CryptoError::InvalidDhParameter(
+                "peer public value out of range".into(),
+            ));
+        }
+        Ok(DhSharedSecret(pow_mod(peer_public, self.secret, self.params.prime)))
+    }
+}
+
+impl DhSharedSecret {
+    /// Expands the group element into a 256-bit protocol [`Seed`].
+    pub fn into_seed(self, context: &str) -> Seed {
+        let mut bytes = [0u8; 32];
+        for (i, chunk) in bytes.chunks_exact_mut(8).enumerate() {
+            let mac = SipHash24::new(0x5050_4331_2006_0000 ^ i as u64, self.0);
+            let mut input = Vec::with_capacity(context.len() + 9);
+            input.extend_from_slice(context.as_bytes());
+            input.push(i as u8);
+            input.extend_from_slice(&self.0.to_le_bytes());
+            chunk.copy_from_slice(&mac.hash(&input).to_le_bytes());
+        }
+        Seed(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow_mod_small_cases() {
+        assert_eq!(pow_mod(2, 10, 1000), 24);
+        assert_eq!(pow_mod(3, 0, 7), 1);
+        assert_eq!(pow_mod(5, 3, 13), 125 % 13);
+        assert_eq!(pow_mod(MERSENNE_61 - 1, 2, MERSENNE_61), 1);
+    }
+
+    #[test]
+    fn exchange_produces_matching_secrets() {
+        let params = DhParams::default();
+        let alice = DhKeyPair::generate(params, &Seed::from_u64(1)).unwrap();
+        let bob = DhKeyPair::generate(params, &Seed::from_u64(2)).unwrap();
+        let s1 = alice.agree(bob.public).unwrap();
+        let s2 = bob.agree(alice.public).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.into_seed("jk"), s2.into_seed("jk"));
+        assert_ne!(s1.into_seed("jk"), s1.into_seed("jt"));
+    }
+
+    #[test]
+    fn different_entropy_gives_different_publics() {
+        let params = DhParams::default();
+        let a = DhKeyPair::generate(params, &Seed::from_u64(10)).unwrap();
+        let b = DhKeyPair::generate(params, &Seed::from_u64(11)).unwrap();
+        assert_ne!(a.public, b.public);
+    }
+
+    #[test]
+    fn invalid_params_and_publics_rejected() {
+        let params = DhParams { prime: 2, generator: 5 };
+        assert!(params.validate().is_err());
+        let params = DhParams { prime: MERSENNE_61, generator: 1 };
+        assert!(params.validate().is_err());
+        let good = DhKeyPair::generate(DhParams::default(), &Seed::from_u64(3)).unwrap();
+        assert!(good.agree(0).is_err());
+        assert!(good.agree(1).is_err());
+        assert!(good.agree(MERSENNE_61).is_err());
+    }
+
+    #[test]
+    fn secret_is_not_exposed_in_debug_of_public_struct() {
+        // The secret field is private; this test documents that the public
+        // value alone does not determine the secret for small exponent reuse.
+        let params = DhParams::default();
+        let kp = DhKeyPair::generate(params, &Seed::from_u64(7)).unwrap();
+        assert!(kp.public > 1 && kp.public < params.prime);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the crypto substrate.
+
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A seed string / byte slice had the wrong length or format.
+    InvalidSeed(String),
+    /// Key material had the wrong length.
+    InvalidKeyLength {
+        /// Expected length in bytes.
+        expected: usize,
+        /// Provided length in bytes.
+        got: usize,
+    },
+    /// A ciphertext could not be decrypted (wrong length, bad padding, ...).
+    InvalidCiphertext(String),
+    /// Diffie–Hellman parameter or public-key validation failed.
+    InvalidDhParameter(String),
+    /// An alphabet-related parameter was out of range (e.g. alphabet size 0).
+    InvalidAlphabet(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidSeed(msg) => write!(f, "invalid seed: {msg}"),
+            CryptoError::InvalidKeyLength { expected, got } => {
+                write!(f, "invalid key length: expected {expected} bytes, got {got}")
+            }
+            CryptoError::InvalidCiphertext(msg) => write!(f, "invalid ciphertext: {msg}"),
+            CryptoError::InvalidDhParameter(msg) => write!(f, "invalid DH parameter: {msg}"),
+            CryptoError::InvalidAlphabet(msg) => write!(f, "invalid alphabet: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = CryptoError::InvalidKeyLength { expected: 16, got: 3 };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains("3"));
+        let e = CryptoError::InvalidSeed("too short".into());
+        assert!(e.to_string().contains("too short"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

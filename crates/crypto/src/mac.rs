@@ -1,0 +1,141 @@
+//! SipHash-2-4 keyed hash.
+//!
+//! Used as the pseudo-random function behind deterministic encryption of
+//! categorical values ([`crate::det::Prf128`]) and for seed expansion. The
+//! implementation follows Aumasson & Bernstein, "SipHash: a fast short-input
+//! PRF" and is checked against the reference test vectors.
+
+/// SipHash-2-4 keyed with two 64-bit words.
+#[derive(Debug, Clone, Copy)]
+pub struct SipHash24 {
+    k0: u64,
+    k1: u64,
+}
+
+#[inline(always)]
+fn sipround(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+impl SipHash24 {
+    /// Creates a keyed hasher from the two key halves.
+    pub fn new(k0: u64, k1: u64) -> Self {
+        SipHash24 { k0, k1 }
+    }
+
+    /// Creates a keyed hasher from a 16-byte key (little-endian halves).
+    pub fn from_key_bytes(key: &[u8; 16]) -> Self {
+        let k0 = u64::from_le_bytes(key[0..8].try_into().expect("8 bytes"));
+        let k1 = u64::from_le_bytes(key[8..16].try_into().expect("8 bytes"));
+        SipHash24::new(k0, k1)
+    }
+
+    /// Hashes `data`, returning the 64-bit tag.
+    pub fn hash(&self, data: &[u8]) -> u64 {
+        let mut v = [
+            self.k0 ^ 0x736f_6d65_7073_6575,
+            self.k1 ^ 0x646f_7261_6e64_6f6d,
+            self.k0 ^ 0x6c79_6765_6e65_7261,
+            self.k1 ^ 0x7465_6462_7974_6573,
+        ];
+        let len = data.len();
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let m = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            v[3] ^= m;
+            sipround(&mut v);
+            sipround(&mut v);
+            v[0] ^= m;
+        }
+        // Final block: remaining bytes plus the length in the top byte.
+        let rem = chunks.remainder();
+        let mut last = (len as u64 & 0xff) << 56;
+        for (i, &b) in rem.iter().enumerate() {
+            last |= (b as u64) << (8 * i);
+        }
+        v[3] ^= last;
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^= last;
+        v[2] ^= 0xff;
+        sipround(&mut v);
+        sipround(&mut v);
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^ v[1] ^ v[2] ^ v[3]
+    }
+
+    /// Hashes a `u64` value (little-endian encoding of the integer).
+    pub fn hash_u64(&self, value: u64) -> u64 {
+        self.hash(&value.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference test vectors from the SipHash reference implementation
+    /// (`vectors_sip64` in the official repository): key = 000102...0f,
+    /// messages are the byte strings 00, 0001, 000102, ...
+    #[test]
+    fn reference_vectors() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let hasher = SipHash24::from_key_bytes(&key);
+        let expected: [u64; 8] = [
+            0x726f_db47_dd0e_0e31,
+            0x74f8_39c5_93dc_67fd,
+            0x0d6c_8009_d9a9_4f5a,
+            0x8567_6696_d7fb_7e2d,
+            0xcf27_94e0_2771_87b7,
+            0x1876_5564_cd99_a68d,
+            0xcbc9_466e_58fe_e3ce,
+            0xab02_00f5_8b01_d137,
+        ];
+        let msg: Vec<u8> = (0u8..8).collect();
+        for (len, &want) in expected.iter().enumerate() {
+            let got = hasher.hash(&msg[..len]);
+            assert_eq!(got, want, "length {len}");
+        }
+    }
+
+    #[test]
+    fn keyed_hash_is_key_sensitive() {
+        let a = SipHash24::new(1, 2);
+        let b = SipHash24::new(1, 3);
+        assert_ne!(a.hash(b"categorical"), b.hash(b"categorical"));
+        assert_eq!(a.hash(b"categorical"), a.hash(b"categorical"));
+    }
+
+    #[test]
+    fn hash_u64_matches_hash_of_le_bytes() {
+        let h = SipHash24::new(11, 22);
+        assert_eq!(h.hash_u64(0xdead_beef), h.hash(&0xdead_beefu64.to_le_bytes()));
+    }
+
+    #[test]
+    fn long_inputs_cover_multiple_blocks() {
+        let h = SipHash24::new(7, 9);
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let t1 = h.hash(&data);
+        let mut data2 = data.clone();
+        data2[500] ^= 1;
+        assert_ne!(t1, h.hash(&data2));
+    }
+}

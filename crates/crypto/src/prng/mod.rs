@@ -1,0 +1,314 @@
+//! Resettable, seedable pseudo-random streams.
+//!
+//! The comparison protocols of the paper drive two generator instances per
+//! protocol run (`rng_JK`, `rng_JT`) and *re-initialise* them from the shared
+//! seed at well-defined points ("At the end of each row, DHK should
+//! re-initialize rngJK using the seed r_JK"). Determinism across parties is
+//! therefore part of the contract: two parties constructing a generator from
+//! the same [`Seed`] must observe exactly the same stream, and
+//! [`StreamRng::reseed`] must rewind the stream to its beginning.
+//!
+//! Three generators are provided:
+//!
+//! * [`splitmix::SplitMix64`] — tiny, used for seed derivation and tests.
+//! * [`xoshiro::Xoshiro256PlusPlus`] — fast, high-quality statistical
+//!   generator used in cost/throughput experiments.
+//! * [`chacha::ChaCha20Rng`] — cryptographic stream matching the paper's
+//!   "unpredictable generator" assumption; the default for protocol runs.
+
+pub mod chacha;
+pub mod pairwise;
+pub mod splitmix;
+pub mod xoshiro;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CryptoError;
+
+/// A 256-bit seed shared between two protocol participants.
+///
+/// Seeds are deliberately large enough to key the ChaCha20 stream directly.
+/// Smaller generators (SplitMix64, Xoshiro256++) derive their state from the
+/// seed deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Seed(pub [u8; 32]);
+
+impl Seed {
+    /// Builds a seed by expanding a single `u64` with SplitMix64.
+    ///
+    /// Convenient for tests and for the paper's worked examples where the
+    /// "shared secret number" is a small integer.
+    pub fn from_u64(value: u64) -> Self {
+        let mut state = value;
+        let mut bytes = [0u8; 32];
+        for chunk in bytes.chunks_exact_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        Seed(bytes)
+    }
+
+    /// Builds a seed from exactly 32 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() != 32 {
+            return Err(CryptoError::InvalidSeed(format!(
+                "expected 32 bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(bytes);
+        Ok(Seed(out))
+    }
+
+    /// Derives a sub-seed bound to a textual label.
+    ///
+    /// Used to turn one agreed secret into independent seeds for different
+    /// attributes or protocol instances without further communication.
+    pub fn derive(&self, label: &str) -> Seed {
+        let mut acc = [0u8; 32];
+        let mut mixer = splitmix::SplitMix64::from_seed(self);
+        for &b in label.as_bytes() {
+            // Absorb the label byte by byte; SplitMix64 is only a mixer here,
+            // unpredictability still comes from the 256-bit parent seed.
+            let _ = mixer.absorb(b as u64);
+        }
+        for chunk in acc.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&mixer.next_u64().to_le_bytes());
+        }
+        Seed(acc)
+    }
+
+    /// Returns the first 8 bytes interpreted as a little-endian `u64`.
+    pub fn low_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[0..8].try_into().expect("seed has 32 bytes"))
+    }
+}
+
+impl std::fmt::Debug for Seed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print full seed material in logs.
+        write!(f, "Seed({:02x}{:02x}..{:02x})", self.0[0], self.0[1], self.0[31])
+    }
+}
+
+/// Which generator algorithm a protocol run should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RngAlgorithm {
+    /// ChaCha20 stream cipher (cryptographic, default).
+    ChaCha20,
+    /// Xoshiro256++ (fast statistical generator).
+    Xoshiro256PlusPlus,
+    /// SplitMix64 (tiny; tests and seed expansion only).
+    SplitMix64,
+}
+
+impl Default for RngAlgorithm {
+    fn default() -> Self {
+        RngAlgorithm::ChaCha20
+    }
+}
+
+/// A deterministic, resettable pseudo-random stream.
+///
+/// All protocol code is generic over this trait so the cryptographic
+/// generator can be swapped for a faster statistical one in throughput
+/// experiments (the ablation in `crates/bench`).
+pub trait StreamRng {
+    /// Constructs the generator from a shared seed.
+    fn from_seed(seed: &Seed) -> Self
+    where
+        Self: Sized;
+
+    /// Returns the next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Rewinds the stream to the state right after construction.
+    ///
+    /// This is the paper's "re-initialize rng with seed r".
+    fn reseed(&mut self);
+
+    /// Returns the next 32 pseudo-random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses rejection sampling so the result is exactly uniform; `bound`
+    /// must be non-zero.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        // Largest multiple of `bound` that fits in u64.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Returns the parity of the next output (the paper's odd/even test that
+    /// decides which data holder negates its input).
+    fn next_parity_odd(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fills `dest` with pseudo-random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A boxed, dynamically dispatched stream selected by [`RngAlgorithm`].
+pub struct DynStreamRng {
+    inner: Box<dyn StreamRngObject + Send>,
+}
+
+trait StreamRngObject {
+    fn next_u64_dyn(&mut self) -> u64;
+    fn reseed_dyn(&mut self);
+}
+
+impl<T: StreamRng> StreamRngObject for T {
+    fn next_u64_dyn(&mut self) -> u64 {
+        self.next_u64()
+    }
+    fn reseed_dyn(&mut self) {
+        self.reseed()
+    }
+}
+
+impl DynStreamRng {
+    /// Constructs a generator of the requested algorithm from `seed`.
+    pub fn new(algorithm: RngAlgorithm, seed: &Seed) -> Self {
+        let inner: Box<dyn StreamRngObject + Send> = match algorithm {
+            RngAlgorithm::ChaCha20 => Box::new(chacha::ChaCha20Rng::from_seed(seed)),
+            RngAlgorithm::Xoshiro256PlusPlus => {
+                Box::new(xoshiro::Xoshiro256PlusPlus::from_seed(seed))
+            }
+            RngAlgorithm::SplitMix64 => Box::new(splitmix::SplitMix64::from_seed(seed)),
+        };
+        DynStreamRng { inner }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64_dyn()
+    }
+
+    /// Rewinds to the initial state.
+    pub fn reseed(&mut self) {
+        self.inner.reseed_dyn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_distinct() {
+        assert_eq!(Seed::from_u64(7).0, Seed::from_u64(7).0);
+        assert_ne!(Seed::from_u64(7).0, Seed::from_u64(8).0);
+    }
+
+    #[test]
+    fn seed_from_bytes_validates_length() {
+        assert!(Seed::from_bytes(&[0u8; 31]).is_err());
+        assert!(Seed::from_bytes(&[0u8; 32]).is_ok());
+    }
+
+    #[test]
+    fn derive_is_label_sensitive() {
+        let s = Seed::from_u64(42);
+        assert_eq!(s.derive("attr:age").0, s.derive("attr:age").0);
+        assert_ne!(s.derive("attr:age").0, s.derive("attr:income").0);
+        assert_ne!(s.derive("a").0, s.0);
+    }
+
+    #[test]
+    fn debug_does_not_leak_full_seed() {
+        let s = Seed::from_u64(1234);
+        let dbg = format!("{s:?}");
+        // 32 bytes hex-encoded would be 64 chars; the debug form is short.
+        assert!(dbg.len() < 20, "debug form too revealing: {dbg}");
+    }
+
+    #[test]
+    fn next_below_is_in_range_for_all_algorithms() {
+        for alg in [
+            RngAlgorithm::ChaCha20,
+            RngAlgorithm::Xoshiro256PlusPlus,
+            RngAlgorithm::SplitMix64,
+        ] {
+            let mut rng = DynStreamRng::new(alg, &Seed::from_u64(9));
+            for _ in 0..100 {
+                let v = rng.next_u64();
+                // smoke: stream produces varying output
+                let _ = v;
+            }
+        }
+        let seed = Seed::from_u64(5);
+        let mut rng = splitmix::SplitMix64::from_seed(&seed);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 33] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn fill_bytes_handles_non_multiple_lengths() {
+        let seed = Seed::from_u64(11);
+        let mut rng = splitmix::SplitMix64::from_seed(&seed);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let seed = Seed::from_u64(99);
+        let mut rng = xoshiro::Xoshiro256PlusPlus::from_seed(&seed);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn dyn_stream_matches_concrete_stream() {
+        let seed = Seed::from_u64(3);
+        let mut a = DynStreamRng::new(RngAlgorithm::ChaCha20, &seed);
+        let mut b = chacha::ChaCha20Rng::from_seed(&seed);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        a.reseed();
+        b.reseed();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,144 @@
+//! Categorical attribute generation from per-cluster label distributions.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::error::DataError;
+
+/// Generator for one categorical attribute: each ground-truth cluster has a
+/// distribution over the label vocabulary.
+#[derive(Debug, Clone)]
+pub struct CategoricalGenerator {
+    labels: Vec<String>,
+    /// `per_cluster[c][l]` = probability of label `l` in cluster `c`.
+    per_cluster: Vec<Vec<f64>>,
+}
+
+impl CategoricalGenerator {
+    /// Creates the generator; every cluster's weights are normalised.
+    pub fn new(labels: Vec<String>, per_cluster: Vec<Vec<f64>>) -> Result<Self, DataError> {
+        if labels.is_empty() {
+            return Err(DataError::InvalidParameter("label vocabulary is empty".into()));
+        }
+        if per_cluster.is_empty() {
+            return Err(DataError::InvalidParameter("no cluster distributions given".into()));
+        }
+        let mut normalised = Vec::with_capacity(per_cluster.len());
+        for weights in per_cluster {
+            if weights.len() != labels.len() {
+                return Err(DataError::InvalidParameter(format!(
+                    "cluster distribution has {} weights for {} labels",
+                    weights.len(),
+                    labels.len()
+                )));
+            }
+            if weights.iter().any(|w| *w < 0.0 || !w.is_finite()) {
+                return Err(DataError::InvalidParameter(
+                    "label weights must be finite and non-negative".into(),
+                ));
+            }
+            let sum: f64 = weights.iter().sum();
+            if sum <= 0.0 {
+                return Err(DataError::InvalidParameter("label weights sum to zero".into()));
+            }
+            normalised.push(weights.iter().map(|w| w / sum).collect());
+        }
+        Ok(CategoricalGenerator { labels, per_cluster: normalised })
+    }
+
+    /// A generator where cluster `c` strongly prefers label `c % labels`
+    /// (probability `1 − noise`) and spreads `noise` over the other labels.
+    pub fn dominant_label(labels: Vec<String>, clusters: usize, noise: f64) -> Result<Self, DataError> {
+        if !(0.0..1.0).contains(&noise) {
+            return Err(DataError::InvalidParameter("noise must be in [0, 1)".into()));
+        }
+        if clusters == 0 {
+            return Err(DataError::InvalidParameter("at least one cluster required".into()));
+        }
+        let l = labels.len();
+        if l == 0 {
+            return Err(DataError::InvalidParameter("label vocabulary is empty".into()));
+        }
+        let per_cluster = (0..clusters)
+            .map(|c| {
+                (0..l)
+                    .map(|i| {
+                        if i == c % l {
+                            1.0 - noise
+                        } else if l > 1 {
+                            noise / (l - 1) as f64
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        CategoricalGenerator::new(labels, per_cluster)
+    }
+
+    /// The label vocabulary.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Samples a label for an object of ground-truth cluster `cluster`.
+    pub fn sample(&self, cluster: usize, rng: &mut StdRng) -> String {
+        let weights = &self.per_cluster[cluster % self.per_cluster.len()];
+        let mut target: f64 = rng.gen_range(0.0..1.0);
+        for (label, &w) in self.labels.iter().zip(weights) {
+            if target <= w {
+                return label.clone();
+            }
+            target -= w;
+        }
+        self.labels.last().expect("non-empty vocabulary").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::rng_from_seed;
+
+    fn labels(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CategoricalGenerator::new(vec![], vec![vec![]]).is_err());
+        assert!(CategoricalGenerator::new(labels(&["a"]), vec![]).is_err());
+        assert!(CategoricalGenerator::new(labels(&["a", "b"]), vec![vec![1.0]]).is_err());
+        assert!(CategoricalGenerator::new(labels(&["a"]), vec![vec![-1.0]]).is_err());
+        assert!(CategoricalGenerator::new(labels(&["a"]), vec![vec![0.0]]).is_err());
+        assert!(CategoricalGenerator::dominant_label(labels(&["a", "b"]), 2, 1.5).is_err());
+        assert!(CategoricalGenerator::dominant_label(labels(&["a", "b"]), 0, 0.1).is_err());
+        assert!(CategoricalGenerator::dominant_label(vec![], 2, 0.1).is_err());
+    }
+
+    #[test]
+    fn dominant_label_distribution_is_respected() {
+        let generator =
+            CategoricalGenerator::dominant_label(labels(&["x", "y", "z"]), 3, 0.1).unwrap();
+        let mut rng = rng_from_seed(11);
+        for cluster in 0..3 {
+            let expected = generator.labels()[cluster].clone();
+            let hits = (0..500)
+                .filter(|_| generator.sample(cluster, &mut rng) == expected)
+                .count();
+            assert!(hits > 400, "cluster {cluster} only hit its label {hits}/500 times");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let generator =
+            CategoricalGenerator::dominant_label(labels(&["x", "y"]), 2, 0.2).unwrap();
+        let run = |seed| -> Vec<String> {
+            let mut rng = rng_from_seed(seed);
+            (0..20).map(|i| generator.sample(i % 2, &mut rng)).collect()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type for the data generators.
+
+use std::fmt;
+
+use ppc_core::CoreError;
+
+/// Errors produced while generating synthetic workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A generator parameter was invalid (message explains which).
+    InvalidParameter(String),
+    /// Error propagated from the core data model.
+    Core(CoreError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DataError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<CoreError> for DataError {
+    fn from(e: CoreError) -> Self {
+        DataError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(DataError::InvalidParameter("k".into()).to_string().contains("k"));
+        let e: DataError = CoreError::EmptyInput.into();
+        assert!(matches!(e, DataError::Core(_)));
+    }
+}

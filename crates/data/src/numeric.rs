@@ -1,0 +1,133 @@
+//! Gaussian-mixture numeric attribute generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::DataError;
+
+/// One mixture component (cluster) of a numeric attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianComponent {
+    /// Component mean.
+    pub mean: f64,
+    /// Component standard deviation (must be non-negative).
+    pub std_dev: f64,
+}
+
+/// Generator for one numeric attribute as a Gaussian mixture with one
+/// component per ground-truth cluster.
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    components: Vec<GaussianComponent>,
+}
+
+impl GaussianMixture {
+    /// Creates a mixture from its components (one per cluster).
+    pub fn new(components: Vec<GaussianComponent>) -> Result<Self, DataError> {
+        if components.is_empty() {
+            return Err(DataError::InvalidParameter("mixture needs at least one component".into()));
+        }
+        if components.iter().any(|c| c.std_dev < 0.0 || !c.mean.is_finite()) {
+            return Err(DataError::InvalidParameter(
+                "component means must be finite and deviations non-negative".into(),
+            ));
+        }
+        Ok(GaussianMixture { components })
+    }
+
+    /// Evenly spaced components: cluster `i` is centred at
+    /// `start + i · separation` with the given deviation.
+    pub fn evenly_spaced(
+        clusters: usize,
+        start: f64,
+        separation: f64,
+        std_dev: f64,
+    ) -> Result<Self, DataError> {
+        if clusters == 0 {
+            return Err(DataError::InvalidParameter("at least one cluster required".into()));
+        }
+        GaussianMixture::new(
+            (0..clusters)
+                .map(|i| GaussianComponent { mean: start + i as f64 * separation, std_dev })
+                .collect(),
+        )
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Samples a value for an object of ground-truth cluster `cluster`.
+    pub fn sample(&self, cluster: usize, rng: &mut StdRng) -> f64 {
+        let component = &self.components[cluster % self.components.len()];
+        component.mean + component.std_dev * sample_standard_normal(rng)
+    }
+}
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+pub fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Deterministic RNG for a generator configuration.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(GaussianMixture::new(vec![]).is_err());
+        assert!(GaussianMixture::new(vec![GaussianComponent { mean: f64::NAN, std_dev: 1.0 }])
+            .is_err());
+        assert!(GaussianMixture::new(vec![GaussianComponent { mean: 0.0, std_dev: -1.0 }])
+            .is_err());
+        assert!(GaussianMixture::evenly_spaced(0, 0.0, 1.0, 0.1).is_err());
+        assert_eq!(
+            GaussianMixture::evenly_spaced(3, 0.0, 10.0, 0.1).unwrap().num_components(),
+            3
+        );
+    }
+
+    #[test]
+    fn samples_concentrate_around_their_component_mean() {
+        let mixture = GaussianMixture::evenly_spaced(3, 0.0, 100.0, 1.0).unwrap();
+        let mut rng = rng_from_seed(7);
+        for cluster in 0..3 {
+            let samples: Vec<f64> = (0..500).map(|_| mixture.sample(cluster, &mut rng)).collect();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            assert!((mean - cluster as f64 * 100.0).abs() < 1.0, "cluster {cluster} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn standard_normal_has_roughly_unit_variance() {
+        let mut rng = rng_from_seed(3);
+        let samples: Vec<f64> = (0..4000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mixture = GaussianMixture::evenly_spaced(2, 0.0, 5.0, 1.0).unwrap();
+        let a: Vec<f64> = {
+            let mut rng = rng_from_seed(9);
+            (0..10).map(|i| mixture.sample(i % 2, &mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = rng_from_seed(9);
+            (0..10).map(|i| mixture.sample(i % 2, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,153 @@
+//! Horizontal partitioning of a dataset across data-holder sites.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use ppc_core::{DataMatrix, HorizontalPartition};
+
+use crate::error::DataError;
+use crate::numeric::rng_from_seed;
+
+/// How rows of the global dataset are distributed across sites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartitionStrategy {
+    /// Row `i` goes to site `i mod k`.
+    RoundRobin,
+    /// Rows are assigned to sites uniformly at random (seeded).
+    Random {
+        /// Assignment seed.
+        seed: u64,
+    },
+    /// The first site receives `fraction` of the rows, the rest is split
+    /// evenly — models one dominant institution.
+    Skewed {
+        /// Fraction of rows owned by site 0 (0 < fraction < 1).
+        fraction: f64,
+    },
+}
+
+/// Splits `data` into `sites` horizontal partitions (site indices `0..k`).
+///
+/// Returns the partitions together with, for every site, the original global
+/// row index of each of its rows (needed to map ground-truth labels onto the
+/// protocol's site-qualified object ids).
+pub fn partition(
+    data: &DataMatrix,
+    sites: u32,
+    strategy: PartitionStrategy,
+) -> Result<(Vec<HorizontalPartition>, Vec<Vec<usize>>), DataError> {
+    if sites < 2 {
+        return Err(DataError::InvalidParameter(
+            "the protocol requires at least two sites".into(),
+        ));
+    }
+    let n = data.len();
+    if (n as u32) < sites {
+        return Err(DataError::InvalidParameter(format!(
+            "cannot split {n} objects across {sites} sites with at least one object each"
+        )));
+    }
+    let assignment: Vec<u32> = match strategy {
+        PartitionStrategy::RoundRobin => (0..n).map(|i| (i as u32) % sites).collect(),
+        PartitionStrategy::Random { seed } => {
+            let mut rng: StdRng = rng_from_seed(seed);
+            let mut assignment: Vec<u32> = (0..n).map(|i| (i as u32) % sites).collect();
+            // Shuffle the balanced assignment so every site keeps ≥ 1 row.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                assignment.swap(i, j);
+            }
+            assignment
+        }
+        PartitionStrategy::Skewed { fraction } => {
+            if !(0.0..1.0).contains(&fraction) || fraction <= 0.0 {
+                return Err(DataError::InvalidParameter(
+                    "skew fraction must be strictly between 0 and 1".into(),
+                ));
+            }
+            let first = ((n as f64 * fraction).round() as usize)
+                .clamp(1, n - (sites as usize - 1));
+            (0..n)
+                .map(|i| {
+                    if i < first {
+                        0
+                    } else {
+                        1 + ((i - first) as u32 % (sites - 1))
+                    }
+                })
+                .collect()
+        }
+    };
+
+    let mut matrices: Vec<DataMatrix> =
+        (0..sites).map(|_| DataMatrix::new(data.schema().clone())).collect();
+    let mut origins: Vec<Vec<usize>> = vec![Vec::new(); sites as usize];
+    for (i, row) in data.rows().iter().enumerate() {
+        let site = assignment[i] as usize;
+        matrices[site].push(row.clone())?;
+        origins[site].push(i);
+    }
+    let partitions = matrices
+        .into_iter()
+        .enumerate()
+        .map(|(site, matrix)| HorizontalPartition::new(site as u32, matrix))
+        .collect();
+    Ok((partitions, origins))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_core::{AttributeDescriptor, AttributeValue, Record, Schema};
+
+    fn dataset(n: usize) -> DataMatrix {
+        let schema = Schema::new(vec![AttributeDescriptor::numeric("x")]).unwrap();
+        let rows = (0..n)
+            .map(|i| Record::new(vec![AttributeValue::numeric(i as f64)]))
+            .collect();
+        DataMatrix::with_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn round_robin_balances_sites() {
+        let (parts, origins) = partition(&dataset(10), 3, PartitionStrategy::RoundRobin).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[1].len(), 3);
+        assert_eq!(parts[2].len(), 3);
+        assert_eq!(origins[0], vec![0, 3, 6, 9]);
+        // Every original row appears exactly once.
+        let mut all: Vec<usize> = origins.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_partition_is_deterministic_and_covers_all_rows() {
+        let (a, ao) = partition(&dataset(20), 4, PartitionStrategy::Random { seed: 3 }).unwrap();
+        let (b, bo) = partition(&dataset(20), 4, PartitionStrategy::Random { seed: 3 }).unwrap();
+        assert_eq!(ao, bo);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().all(|p| !p.is_empty()));
+        let mut all: Vec<usize> = ao.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_partition_gives_site_zero_the_lion_share() {
+        let (parts, _) =
+            partition(&dataset(100), 3, PartitionStrategy::Skewed { fraction: 0.8 }).unwrap();
+        assert_eq!(parts[0].len(), 80);
+        assert_eq!(parts[1].len() + parts[2].len(), 20);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(partition(&dataset(10), 1, PartitionStrategy::RoundRobin).is_err());
+        assert!(partition(&dataset(2), 3, PartitionStrategy::RoundRobin).is_err());
+        assert!(partition(&dataset(10), 2, PartitionStrategy::Skewed { fraction: 0.0 }).is_err());
+        assert!(partition(&dataset(10), 2, PartitionStrategy::Skewed { fraction: 1.0 }).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Named workloads used by the experiment harness and examples.
+
+use ppc_core::{Alphabet, HorizontalPartition, Schema};
+
+use crate::categorical::CategoricalGenerator;
+use crate::error::DataError;
+use crate::mixed::{AttributeSpec, GeneratedDataset, MixedDatasetSpec};
+use crate::numeric::{rng_from_seed, GaussianMixture};
+use crate::partition::{partition, PartitionStrategy};
+use crate::sequence::SequenceGenerator;
+
+/// A fully prepared workload: the generated dataset, its horizontal
+/// partitioning across sites, and the bookkeeping needed to evaluate
+/// clustering accuracy against the ground truth.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable workload name.
+    pub name: String,
+    /// The generated global dataset (before partitioning).
+    pub dataset: GeneratedDataset,
+    /// The horizontal partitions, one per site.
+    pub partitions: Vec<HorizontalPartition>,
+    /// For every site, the original global row index of each of its rows.
+    pub origins: Vec<Vec<usize>>,
+}
+
+impl Workload {
+    /// The agreed schema.
+    pub fn schema(&self) -> &Schema {
+        self.dataset.data.schema()
+    }
+
+    /// Number of ground-truth clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.dataset.labels.iter().copied().max().map(|m| m + 1).unwrap_or(0)
+    }
+
+    /// Ground-truth labels in the protocol's global object order (site 0's
+    /// rows, then site 1's, …) — directly comparable to the clustering the
+    /// third party publishes.
+    pub fn ground_truth_in_site_order(&self) -> Vec<usize> {
+        self.origins
+            .iter()
+            .flat_map(|rows| rows.iter().map(|&r| self.dataset.labels[r]))
+            .collect()
+    }
+
+    /// Total number of objects.
+    pub fn len(&self) -> usize {
+        self.dataset.data.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dataset.data.is_empty()
+    }
+
+    /// The paper's bird-flu scenario: several institutions each hold DNA
+    /// sequences (plus patient age and test outcome) of infected individuals
+    /// and want to cluster strains without pooling raw data.
+    pub fn bird_flu(objects: usize, sites: u32, clusters: usize, seed: u64) -> Result<Self, DataError> {
+        let mut rng = rng_from_seed(seed ^ 0xB12D);
+        let spec = MixedDatasetSpec {
+            attributes: vec![
+                AttributeSpec::Alphanumeric {
+                    name: "dna".into(),
+                    generator: SequenceGenerator::random_ancestors(
+                        Alphabet::dna(),
+                        clusters,
+                        48,
+                        0.04,
+                        0.02,
+                        &mut rng,
+                    )?,
+                },
+                AttributeSpec::Numeric {
+                    name: "age".into(),
+                    mixture: GaussianMixture::evenly_spaced(clusters, 25.0, 18.0, 4.0)?,
+                },
+                AttributeSpec::Categorical {
+                    name: "outcome".into(),
+                    generator: CategoricalGenerator::dominant_label(
+                        vec!["mild".into(), "severe".into(), "critical".into()],
+                        clusters,
+                        0.15,
+                    )?,
+                },
+            ],
+            clusters,
+            objects,
+            seed,
+        };
+        let dataset = spec.generate()?;
+        let (partitions, origins) =
+            partition(&dataset.data, sites, PartitionStrategy::Random { seed: seed ^ 0x51 })?;
+        Ok(Workload { name: "bird-flu-dna".into(), dataset, partitions, origins })
+    }
+
+    /// Customer segmentation across retailers: numeric spend/visits with
+    /// per-cluster means plus a categorical home region.
+    pub fn customer_segmentation(
+        objects: usize,
+        sites: u32,
+        clusters: usize,
+        seed: u64,
+    ) -> Result<Self, DataError> {
+        let spec = MixedDatasetSpec {
+            attributes: vec![
+                AttributeSpec::Numeric {
+                    name: "annual_spend".into(),
+                    mixture: GaussianMixture::evenly_spaced(clusters, 500.0, 2200.0, 240.0)?,
+                },
+                AttributeSpec::Numeric {
+                    name: "visits_per_month".into(),
+                    mixture: GaussianMixture::evenly_spaced(clusters, 1.0, 7.0, 1.0)?,
+                },
+                AttributeSpec::Categorical {
+                    name: "region".into(),
+                    generator: CategoricalGenerator::dominant_label(
+                        vec!["north".into(), "south".into(), "east".into(), "west".into()],
+                        clusters,
+                        0.2,
+                    )?,
+                },
+            ],
+            clusters,
+            objects,
+            seed,
+        };
+        let dataset = spec.generate()?;
+        let (partitions, origins) = partition(
+            &dataset.data,
+            sites,
+            PartitionStrategy::Skewed { fraction: 0.5 },
+        )?;
+        Ok(Workload { name: "customer-segmentation".into(), dataset, partitions, origins })
+    }
+
+    /// Purely numeric workload used by the communication-cost sweeps.
+    pub fn numeric_only(objects: usize, sites: u32, clusters: usize, seed: u64) -> Result<Self, DataError> {
+        let spec = MixedDatasetSpec {
+            attributes: vec![AttributeSpec::Numeric {
+                name: "value".into(),
+                mixture: GaussianMixture::evenly_spaced(clusters, 0.0, 50.0, 5.0)?,
+            }],
+            clusters,
+            objects,
+            seed,
+        };
+        let dataset = spec.generate()?;
+        let (partitions, origins) =
+            partition(&dataset.data, sites, PartitionStrategy::RoundRobin)?;
+        Ok(Workload { name: "numeric-only".into(), dataset, partitions, origins })
+    }
+
+    /// Purely alphanumeric workload (string length ~ `length`) used by the
+    /// alphanumeric cost sweeps and the Atallah comparison.
+    pub fn dna_only(
+        objects: usize,
+        sites: u32,
+        clusters: usize,
+        length: usize,
+        seed: u64,
+    ) -> Result<Self, DataError> {
+        let mut rng = rng_from_seed(seed ^ 0xD7A);
+        let spec = MixedDatasetSpec {
+            attributes: vec![AttributeSpec::Alphanumeric {
+                name: "dna".into(),
+                generator: SequenceGenerator::random_ancestors(
+                    Alphabet::dna(),
+                    clusters,
+                    length,
+                    0.05,
+                    0.0,
+                    &mut rng,
+                )?,
+            }],
+            clusters,
+            objects,
+            seed,
+        };
+        let dataset = spec.generate()?;
+        let (partitions, origins) =
+            partition(&dataset.data, sites, PartitionStrategy::RoundRobin)?;
+        Ok(Workload { name: "dna-only".into(), dataset, partitions, origins })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_core::AttributeKind;
+
+    #[test]
+    fn bird_flu_workload_has_expected_shape() {
+        let w = Workload::bird_flu(30, 3, 3, 7).unwrap();
+        assert_eq!(w.len(), 30);
+        assert!(!w.is_empty());
+        assert_eq!(w.partitions.len(), 3);
+        assert_eq!(w.num_clusters(), 3);
+        assert_eq!(w.schema().len(), 3);
+        assert_eq!(w.schema().attribute("dna").unwrap().kind, AttributeKind::Alphanumeric);
+        let truth = w.ground_truth_in_site_order();
+        assert_eq!(truth.len(), 30);
+        // Site order ground truth must be a permutation of the raw labels.
+        let mut a = truth.clone();
+        let mut b = w.dataset.labels.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn other_workloads_generate() {
+        let w = Workload::customer_segmentation(40, 4, 4, 1).unwrap();
+        assert_eq!(w.partitions.len(), 4);
+        assert_eq!(w.schema().len(), 3);
+        let w = Workload::numeric_only(16, 2, 2, 2).unwrap();
+        assert_eq!(w.partitions.len(), 2);
+        assert_eq!(w.schema().len(), 1);
+        let w = Workload::dna_only(12, 3, 2, 16, 3).unwrap();
+        assert_eq!(w.partitions.len(), 3);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = Workload::bird_flu(20, 2, 3, 5).unwrap();
+        let b = Workload::bird_flu(20, 2, 3, 5).unwrap();
+        assert_eq!(a.dataset.data, b.dataset.data);
+        assert_eq!(a.ground_truth_in_site_order(), b.ground_truth_in_site_order());
+    }
+}

@@ -1,0 +1,90 @@
+//! Network cost model.
+//!
+//! Converts the byte counts measured by [`crate::metrics::CommReport`] into
+//! estimated transfer times under different network profiles, so the
+//! experiment harness can report "what the protocol would cost on a LAN /
+//! WAN" alongside raw byte counts. The paper only argues asymptotics; this
+//! keeps the harness honest about constants.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::CommReport;
+
+/// A simple bandwidth + per-message latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Per-message round-trip latency in seconds.
+    pub latency_sec: f64,
+}
+
+impl CostModel {
+    /// 1 Gbit/s LAN with 0.2 ms latency.
+    pub fn lan() -> Self {
+        CostModel { bandwidth_bytes_per_sec: 125_000_000.0, latency_sec: 0.0002 }
+    }
+
+    /// 100 Mbit/s WAN with 20 ms latency.
+    pub fn wan() -> Self {
+        CostModel { bandwidth_bytes_per_sec: 12_500_000.0, latency_sec: 0.020 }
+    }
+
+    /// 10 Mbit/s consumer uplink with 50 ms latency (the 2006 setting the
+    /// paper was written in).
+    pub fn dsl_2006() -> Self {
+        CostModel { bandwidth_bytes_per_sec: 1_250_000.0, latency_sec: 0.050 }
+    }
+
+    /// Estimated time to ship all traffic in `report`, assuming links are
+    /// used sequentially (an upper bound; the protocols are mostly
+    /// sequential anyway).
+    pub fn estimate_seconds(&self, report: &CommReport) -> f64 {
+        let bytes = report.total_bytes() as f64;
+        let messages = report.total_messages() as f64;
+        bytes / self.bandwidth_bytes_per_sec + messages * self.latency_sec
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LinkStats;
+    use crate::party::PartyId;
+
+    fn report(bytes: u64, messages: u64) -> CommReport {
+        let mut r = CommReport::default();
+        r.links.insert(
+            (PartyId::DataHolder(0), PartyId::ThirdParty),
+            LinkStats { messages, bytes },
+        );
+        r
+    }
+
+    #[test]
+    fn estimate_combines_bandwidth_and_latency() {
+        let model = CostModel { bandwidth_bytes_per_sec: 1000.0, latency_sec: 0.5 };
+        let t = model.estimate_seconds(&report(2000, 4));
+        assert!((t - (2.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiles_are_ordered_sensibly() {
+        let r = report(10_000_000, 100);
+        let lan = CostModel::lan().estimate_seconds(&r);
+        let wan = CostModel::wan().estimate_seconds(&r);
+        let dsl = CostModel::dsl_2006().estimate_seconds(&r);
+        assert!(lan < wan && wan < dsl);
+    }
+
+    #[test]
+    fn default_is_lan() {
+        assert_eq!(CostModel::default(), CostModel::lan());
+    }
+}

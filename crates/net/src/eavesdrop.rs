@@ -1,0 +1,78 @@
+//! Passive eavesdropper model.
+//!
+//! §4.1 of the paper explains what a listener learns on unsecured channels:
+//! the third party seeing `x'' = r ± x` on the `DH_J → DH_K` link can narrow
+//! `x` to two candidates (it knows `r`), and `DH_J` listening on the
+//! `DH_K → TP` link can do the analogous inference about `y`. The
+//! [`Eavesdropper`] simply records every envelope sent over a plaintext
+//! channel; the inference itself lives in `ppc-core::privacy` where the
+//! protocol semantics are known.
+
+use crate::message::Envelope;
+
+/// Collects copies of envelopes transmitted over plaintext channels.
+#[derive(Debug, Default)]
+pub struct Eavesdropper {
+    captured: Vec<Envelope>,
+}
+
+impl Eavesdropper {
+    /// Creates an empty eavesdropper.
+    pub fn new() -> Self {
+        Eavesdropper::default()
+    }
+
+    /// Records a captured envelope.
+    pub fn capture(&mut self, envelope: Envelope) {
+        self.captured.push(envelope);
+    }
+
+    /// All captured envelopes in transmission order.
+    pub fn captured(&self) -> &[Envelope] {
+        &self.captured
+    }
+
+    /// Captured envelopes whose topic contains `fragment`.
+    pub fn captured_matching(&self, fragment: &str) -> Vec<&Envelope> {
+        self.captured.iter().filter(|e| e.topic.contains(fragment)).collect()
+    }
+
+    /// Number of captured envelopes.
+    pub fn len(&self) -> usize {
+        self.captured.len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.captured.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::PartyId;
+
+    #[test]
+    fn capture_and_filter() {
+        let mut e = Eavesdropper::new();
+        assert!(e.is_empty());
+        e.capture(Envelope::new(
+            PartyId::DataHolder(0),
+            PartyId::DataHolder(1),
+            "numeric/age/masked",
+            vec![1],
+        ));
+        e.capture(Envelope::new(
+            PartyId::DataHolder(1),
+            PartyId::ThirdParty,
+            "numeric/age/pairwise",
+            vec![2],
+        ));
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.captured_matching("masked").len(), 1);
+        assert_eq!(e.captured_matching("numeric").len(), 2);
+        assert_eq!(e.captured_matching("alpha").len(), 0);
+        assert_eq!(e.captured()[0].payload, vec![1]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # ppc-net — simulated multi-party transport for `ppclust`
+//!
+//! The paper's protocols are message-passing protocols between `k` data
+//! holders and a third party. Its evaluation consists of *communication cost*
+//! analyses (how many elements each site transfers) and a discussion of which
+//! channels must be encrypted. This crate provides the substrate that turns
+//! those analyses into measurable quantities:
+//!
+//! * [`party::PartyId`] — participant identities (`DH_0`, `DH_1`, …, `TP`).
+//! * [`message::Envelope`] — a typed, length-accounted message.
+//! * [`codec`] — a compact binary wire format so byte counts are meaningful.
+//! * [`transport::Network`] / [`transport::Endpoint`] — an in-memory network
+//!   with per-link byte/message accounting and per-link security settings.
+//! * [`eavesdrop::Eavesdropper`] — captures traffic on plaintext links,
+//!   used by the privacy experiments to demonstrate the inference the paper
+//!   warns about when channels are left unsecured.
+//! * [`metrics::CommReport`] — the measured counterpart of the paper's
+//!   `O(n²+n)` style cost claims.
+//! * [`cost::CostModel`] — translates byte counts into estimated wall-clock
+//!   transfer times for different network profiles (LAN / WAN).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod cost;
+pub mod eavesdrop;
+pub mod error;
+pub mod message;
+pub mod metrics;
+pub mod party;
+pub mod transport;
+
+pub use codec::{WireReader, WireWriter};
+pub use cost::CostModel;
+pub use eavesdrop::Eavesdropper;
+pub use error::NetError;
+pub use message::{ChannelSecurity, Envelope};
+pub use metrics::{CommReport, LinkStats};
+pub use party::PartyId;
+pub use transport::{Endpoint, Network};

@@ -1,0 +1,177 @@
+//! Communication accounting.
+//!
+//! The measured counterpart of the paper's cost analysis: per-directed-link
+//! byte and message counters, aggregated into per-party and total views.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::party::PartyId;
+
+/// Counters for one directed link `from → to`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Number of messages sent over the link.
+    pub messages: u64,
+    /// Total accounted bytes (payload + framing).
+    pub bytes: u64,
+}
+
+impl LinkStats {
+    /// Records one message of `bytes` accounted size.
+    pub fn record(&mut self, bytes: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+    }
+}
+
+/// A snapshot of all communication that has happened on a [`crate::Network`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommReport {
+    /// Per directed link statistics.
+    pub links: BTreeMap<(PartyId, PartyId), LinkStats>,
+}
+
+impl CommReport {
+    /// Total bytes across all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.links.values().map(|l| l.bytes).sum()
+    }
+
+    /// Total messages across all links.
+    pub fn total_messages(&self) -> u64 {
+        self.links.values().map(|l| l.messages).sum()
+    }
+
+    /// Bytes sent by `party` (outgoing traffic — the quantity the paper's
+    /// per-site cost analysis describes).
+    pub fn bytes_sent_by(&self, party: PartyId) -> u64 {
+        self.links
+            .iter()
+            .filter(|((from, _), _)| *from == party)
+            .map(|(_, l)| l.bytes)
+            .sum()
+    }
+
+    /// Bytes received by `party`.
+    pub fn bytes_received_by(&self, party: PartyId) -> u64 {
+        self.links
+            .iter()
+            .filter(|((_, to), _)| *to == party)
+            .map(|(_, l)| l.bytes)
+            .sum()
+    }
+
+    /// Bytes on the directed link `from → to`.
+    pub fn bytes_on_link(&self, from: PartyId, to: PartyId) -> u64 {
+        self.links.get(&(from, to)).map(|l| l.bytes).unwrap_or(0)
+    }
+
+    /// Messages on the directed link `from → to`.
+    pub fn messages_on_link(&self, from: PartyId, to: PartyId) -> u64 {
+        self.links.get(&(from, to)).map(|l| l.messages).unwrap_or(0)
+    }
+
+    /// Subtracts a baseline snapshot, yielding the traffic that happened
+    /// between the two snapshots.
+    pub fn since(&self, baseline: &CommReport) -> CommReport {
+        let mut out = CommReport::default();
+        for (&link, &stats) in &self.links {
+            let base = baseline.links.get(&link).copied().unwrap_or_default();
+            out.links.insert(
+                link,
+                LinkStats {
+                    messages: stats.messages - base.messages,
+                    bytes: stats.bytes - base.bytes,
+                },
+            );
+        }
+        out
+    }
+
+    /// Renders a compact human-readable table (used by the experiment
+    /// harness).
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("link                messages        bytes\n");
+        for ((from, to), stats) in &self.links {
+            out.push_str(&format!(
+                "{:<8} -> {:<8} {:>8} {:>12}\n",
+                from.to_string(),
+                to.to_string(),
+                stats.messages,
+                stats.bytes
+            ));
+        }
+        out.push_str(&format!(
+            "total               {:>8} {:>12}\n",
+            self.total_messages(),
+            self.total_bytes()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CommReport {
+        let mut r = CommReport::default();
+        r.links
+            .entry((PartyId::DataHolder(0), PartyId::DataHolder(1)))
+            .or_default()
+            .record(100);
+        r.links
+            .entry((PartyId::DataHolder(1), PartyId::ThirdParty))
+            .or_default()
+            .record(250);
+        r.links
+            .entry((PartyId::DataHolder(1), PartyId::ThirdParty))
+            .or_default()
+            .record(50);
+        r
+    }
+
+    #[test]
+    fn totals_and_per_party_views() {
+        let r = sample();
+        assert_eq!(r.total_bytes(), 400);
+        assert_eq!(r.total_messages(), 3);
+        assert_eq!(r.bytes_sent_by(PartyId::DataHolder(1)), 300);
+        assert_eq!(r.bytes_received_by(PartyId::ThirdParty), 300);
+        assert_eq!(r.bytes_sent_by(PartyId::ThirdParty), 0);
+        assert_eq!(
+            r.bytes_on_link(PartyId::DataHolder(0), PartyId::DataHolder(1)),
+            100
+        );
+        assert_eq!(
+            r.messages_on_link(PartyId::DataHolder(1), PartyId::ThirdParty),
+            2
+        );
+        assert_eq!(r.bytes_on_link(PartyId::ThirdParty, PartyId::DataHolder(0)), 0);
+    }
+
+    #[test]
+    fn since_subtracts_baseline() {
+        let base = sample();
+        let mut later = sample();
+        later
+            .links
+            .entry((PartyId::DataHolder(0), PartyId::DataHolder(1)))
+            .or_default()
+            .record(77);
+        let delta = later.since(&base);
+        assert_eq!(delta.total_bytes(), 77);
+        assert_eq!(delta.total_messages(), 1);
+    }
+
+    #[test]
+    fn table_rendering_mentions_all_links() {
+        let r = sample();
+        let t = r.to_table();
+        assert!(t.contains("DH0"));
+        assert!(t.contains("TP"));
+        assert!(t.contains("total"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Participant identities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a protocol participant.
+///
+/// The paper's setting has `k ≥ 2` data holders and exactly one third party
+/// ("TP") that owns no data but provides computation and storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PartyId {
+    /// Data holder `DH_i` owning a horizontal partition.
+    DataHolder(u32),
+    /// The semi-trusted third party.
+    ThirdParty,
+}
+
+impl PartyId {
+    /// Returns `true` for data holders.
+    pub fn is_data_holder(&self) -> bool {
+        matches!(self, PartyId::DataHolder(_))
+    }
+
+    /// Returns the data-holder index, if any.
+    pub fn holder_index(&self) -> Option<u32> {
+        match self {
+            PartyId::DataHolder(i) => Some(*i),
+            PartyId::ThirdParty => None,
+        }
+    }
+
+    /// A stable site letter used in published results (Figure 13 uses sites
+    /// `A`, `B`, `C`, …). Holders beyond 26 fall back to `DH<i>`.
+    pub fn site_label(&self) -> String {
+        match self {
+            PartyId::DataHolder(i) if *i < 26 => {
+                char::from(b'A' + *i as u8).to_string()
+            }
+            PartyId::DataHolder(i) => format!("DH{i}"),
+            PartyId::ThirdParty => "TP".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartyId::DataHolder(i) => write!(f, "DH{i}"),
+            PartyId::ThirdParty => write!(f, "TP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_labels() {
+        assert_eq!(PartyId::DataHolder(0).to_string(), "DH0");
+        assert_eq!(PartyId::ThirdParty.to_string(), "TP");
+        assert_eq!(PartyId::DataHolder(0).site_label(), "A");
+        assert_eq!(PartyId::DataHolder(2).site_label(), "C");
+        assert_eq!(PartyId::DataHolder(30).site_label(), "DH30");
+        assert_eq!(PartyId::ThirdParty.site_label(), "TP");
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(PartyId::DataHolder(1).is_data_holder());
+        assert!(!PartyId::ThirdParty.is_data_holder());
+        assert_eq!(PartyId::DataHolder(3).holder_index(), Some(3));
+        assert_eq!(PartyId::ThirdParty.holder_index(), None);
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut parties = vec![PartyId::ThirdParty, PartyId::DataHolder(1), PartyId::DataHolder(0)];
+        parties.sort();
+        assert_eq!(
+            parties,
+            vec![PartyId::DataHolder(0), PartyId::DataHolder(1), PartyId::ThirdParty]
+        );
+    }
+}

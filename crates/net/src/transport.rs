@@ -1,0 +1,290 @@
+//! In-memory network with byte accounting and per-link security.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::eavesdrop::Eavesdropper;
+use crate::error::NetError;
+use crate::message::{ChannelSecurity, Envelope};
+use crate::metrics::CommReport;
+use crate::party::PartyId;
+
+#[derive(Debug, Default)]
+struct NetworkInner {
+    queues: HashMap<PartyId, VecDeque<Envelope>>,
+    security: HashMap<(PartyId, PartyId), ChannelSecurity>,
+    report: CommReport,
+    eavesdropper: Eavesdropper,
+}
+
+/// Handle to the simulated network. Cheap to clone; all clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    inner: Arc<Mutex<NetworkInner>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Creates a network with `holders` data-holder parties and the third
+    /// party already registered.
+    pub fn with_parties(holders: u32) -> Self {
+        let net = Network::new();
+        for i in 0..holders {
+            net.register(PartyId::DataHolder(i)).expect("fresh network");
+        }
+        net.register(PartyId::ThirdParty).expect("fresh network");
+        net
+    }
+
+    /// Registers a party, creating its inbox.
+    pub fn register(&self, party: PartyId) -> Result<Endpoint, NetError> {
+        let mut inner = self.inner.lock();
+        if inner.queues.contains_key(&party) {
+            return Err(NetError::DuplicateParty(party));
+        }
+        inner.queues.insert(party, VecDeque::new());
+        Ok(Endpoint { party, network: self.clone() })
+    }
+
+    /// Returns an endpoint for an already-registered party.
+    pub fn endpoint(&self, party: PartyId) -> Result<Endpoint, NetError> {
+        let inner = self.inner.lock();
+        if inner.queues.contains_key(&party) {
+            Ok(Endpoint { party, network: self.clone() })
+        } else {
+            Err(NetError::UnknownParty(party))
+        }
+    }
+
+    /// Lists registered parties in stable order.
+    pub fn parties(&self) -> Vec<PartyId> {
+        let inner = self.inner.lock();
+        let mut parties: Vec<PartyId> = inner.queues.keys().copied().collect();
+        parties.sort();
+        parties
+    }
+
+    /// Sets the security of the undirected channel between `a` and `b`.
+    ///
+    /// Channels default to [`ChannelSecurity::Secured`]; the privacy
+    /// experiments flip individual links to plaintext to reproduce the
+    /// paper's eavesdropping discussion.
+    pub fn set_channel_security(&self, a: PartyId, b: PartyId, security: ChannelSecurity) {
+        let mut inner = self.inner.lock();
+        inner.security.insert((a, b), security);
+        inner.security.insert((b, a), security);
+    }
+
+    /// Returns the security of the channel between `a` and `b`.
+    pub fn channel_security(&self, a: PartyId, b: PartyId) -> ChannelSecurity {
+        let inner = self.inner.lock();
+        inner.security.get(&(a, b)).copied().unwrap_or_default()
+    }
+
+    /// Sends an envelope, recording its size and (on plaintext links) a copy
+    /// for the eavesdropper.
+    pub fn send(&self, envelope: Envelope) -> Result<(), NetError> {
+        let mut inner = self.inner.lock();
+        if !inner.queues.contains_key(&envelope.from) {
+            return Err(NetError::UnknownParty(envelope.from));
+        }
+        if !inner.queues.contains_key(&envelope.to) {
+            return Err(NetError::UnknownParty(envelope.to));
+        }
+        let size = envelope.wire_size() as u64;
+        let link = (envelope.from, envelope.to);
+        inner.report.links.entry(link).or_default().record(size);
+        let security = inner.security.get(&link).copied().unwrap_or_default();
+        if security == ChannelSecurity::Plaintext {
+            inner.eavesdropper.capture(envelope.clone());
+        }
+        inner
+            .queues
+            .get_mut(&envelope.to)
+            .expect("checked above")
+            .push_back(envelope);
+        Ok(())
+    }
+
+    /// Removes and returns the first queued message for `receiver` matching
+    /// `sender` and `topic`.
+    pub fn receive(
+        &self,
+        receiver: PartyId,
+        sender: PartyId,
+        topic: &str,
+    ) -> Result<Envelope, NetError> {
+        let mut inner = self.inner.lock();
+        let queue = inner
+            .queues
+            .get_mut(&receiver)
+            .ok_or(NetError::UnknownParty(receiver))?;
+        if let Some(pos) = queue.iter().position(|e| e.from == sender && e.topic == topic) {
+            Ok(queue.remove(pos).expect("position valid"))
+        } else {
+            Err(NetError::NoMessage { receiver, sender, topic: topic.to_string() })
+        }
+    }
+
+    /// Removes and returns the next queued message for `receiver`, if any.
+    pub fn receive_any(&self, receiver: PartyId) -> Option<Envelope> {
+        let mut inner = self.inner.lock();
+        inner.queues.get_mut(&receiver)?.pop_front()
+    }
+
+    /// Number of queued (undelivered) messages for `receiver`.
+    pub fn pending(&self, receiver: PartyId) -> usize {
+        let inner = self.inner.lock();
+        inner.queues.get(&receiver).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Snapshot of the communication counters.
+    pub fn report(&self) -> CommReport {
+        self.inner.lock().report.clone()
+    }
+
+    /// Resets the communication counters (not the queues).
+    pub fn reset_report(&self) {
+        self.inner.lock().report = CommReport::default();
+    }
+
+    /// Envelopes captured on plaintext channels so far.
+    pub fn eavesdropped(&self) -> Vec<Envelope> {
+        self.inner.lock().eavesdropper.captured().to_vec()
+    }
+}
+
+/// A party-scoped handle used by protocol role implementations.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    party: PartyId,
+    network: Network,
+}
+
+impl Endpoint {
+    /// The party this endpoint belongs to.
+    pub fn party(&self) -> PartyId {
+        self.party
+    }
+
+    /// Sends `payload` to `to` under `topic`.
+    pub fn send(&self, to: PartyId, topic: impl Into<String>, payload: Vec<u8>) -> Result<(), NetError> {
+        self.network.send(Envelope::new(self.party, to, topic, payload))
+    }
+
+    /// Receives the message sent by `from` under `topic`.
+    pub fn receive(&self, from: PartyId, topic: &str) -> Result<Envelope, NetError> {
+        self.network.receive(self.party, from, topic)
+    }
+
+    /// Access to the underlying network (for stats and configuration).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_and_duplicate_detection() {
+        let net = Network::new();
+        let a = net.register(PartyId::DataHolder(0)).unwrap();
+        assert_eq!(a.party(), PartyId::DataHolder(0));
+        assert!(net.register(PartyId::DataHolder(0)).is_err());
+        assert!(net.endpoint(PartyId::DataHolder(0)).is_ok());
+        assert!(net.endpoint(PartyId::ThirdParty).is_err());
+    }
+
+    #[test]
+    fn with_parties_registers_holders_and_tp() {
+        let net = Network::with_parties(3);
+        assert_eq!(
+            net.parties(),
+            vec![
+                PartyId::DataHolder(0),
+                PartyId::DataHolder(1),
+                PartyId::DataHolder(2),
+                PartyId::ThirdParty
+            ]
+        );
+    }
+
+    #[test]
+    fn send_receive_by_topic_and_sender() {
+        let net = Network::with_parties(2);
+        let dh0 = net.endpoint(PartyId::DataHolder(0)).unwrap();
+        let dh1 = net.endpoint(PartyId::DataHolder(1)).unwrap();
+        dh0.send(PartyId::DataHolder(1), "a", vec![1]).unwrap();
+        dh0.send(PartyId::DataHolder(1), "b", vec![2, 2]).unwrap();
+        // Out-of-order retrieval by topic works.
+        let b = dh1.receive(PartyId::DataHolder(0), "b").unwrap();
+        assert_eq!(b.payload, vec![2, 2]);
+        let a = dh1.receive(PartyId::DataHolder(0), "a").unwrap();
+        assert_eq!(a.payload, vec![1]);
+        assert!(dh1.receive(PartyId::DataHolder(0), "a").is_err());
+        assert_eq!(net.pending(PartyId::DataHolder(1)), 0);
+    }
+
+    #[test]
+    fn sending_to_unknown_party_fails() {
+        let net = Network::with_parties(1);
+        let dh0 = net.endpoint(PartyId::DataHolder(0)).unwrap();
+        assert!(dh0.send(PartyId::DataHolder(5), "x", vec![]).is_err());
+    }
+
+    #[test]
+    fn report_accumulates_and_resets() {
+        let net = Network::with_parties(2);
+        let dh0 = net.endpoint(PartyId::DataHolder(0)).unwrap();
+        dh0.send(PartyId::ThirdParty, "local-matrix", vec![0; 64]).unwrap();
+        dh0.send(PartyId::DataHolder(1), "masked", vec![0; 32]).unwrap();
+        let report = net.report();
+        assert_eq!(report.total_messages(), 2);
+        assert!(report.bytes_sent_by(PartyId::DataHolder(0)) > 96);
+        assert_eq!(report.bytes_sent_by(PartyId::DataHolder(1)), 0);
+        net.reset_report();
+        assert_eq!(net.report().total_messages(), 0);
+        // Queues are preserved across a report reset.
+        assert_eq!(net.pending(PartyId::ThirdParty), 1);
+    }
+
+    #[test]
+    fn eavesdropper_only_sees_plaintext_links() {
+        let net = Network::with_parties(2);
+        let dh0 = net.endpoint(PartyId::DataHolder(0)).unwrap();
+        dh0.send(PartyId::DataHolder(1), "secret", vec![9; 8]).unwrap();
+        assert!(net.eavesdropped().is_empty());
+        net.set_channel_security(
+            PartyId::DataHolder(0),
+            PartyId::DataHolder(1),
+            ChannelSecurity::Plaintext,
+        );
+        assert_eq!(
+            net.channel_security(PartyId::DataHolder(1), PartyId::DataHolder(0)),
+            ChannelSecurity::Plaintext
+        );
+        dh0.send(PartyId::DataHolder(1), "secret", vec![9; 8]).unwrap();
+        let captured = net.eavesdropped();
+        assert_eq!(captured.len(), 1);
+        assert_eq!(captured[0].topic, "secret");
+    }
+
+    #[test]
+    fn receive_any_pops_in_fifo_order() {
+        let net = Network::with_parties(2);
+        let dh0 = net.endpoint(PartyId::DataHolder(0)).unwrap();
+        dh0.send(PartyId::ThirdParty, "first", vec![]).unwrap();
+        dh0.send(PartyId::ThirdParty, "second", vec![]).unwrap();
+        assert_eq!(net.receive_any(PartyId::ThirdParty).unwrap().topic, "first");
+        assert_eq!(net.receive_any(PartyId::ThirdParty).unwrap().topic, "second");
+        assert!(net.receive_any(PartyId::ThirdParty).is_none());
+    }
+}

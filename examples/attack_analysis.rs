@@ -1,0 +1,78 @@
+//! Executable version of the paper's privacy discussion (§4.1):
+//! what an eavesdropper learns on unsecured channels, how the batch-mode
+//! frequency-analysis attack works, and how per-pair masking defeats it.
+//!
+//! ```text
+//! cargo run --example attack_analysis
+//! ```
+
+use ppclust::core::privacy::{
+    eavesdrop_initiator_link, eavesdrop_responder_link, frequency_attack_on_batch_column,
+};
+use ppclust::core::protocol::numeric;
+use ppclust::crypto::prng::DynStreamRng;
+use ppclust::crypto::{PairwiseSeeds, RngAlgorithm, Seed};
+
+fn main() {
+    let algorithm = RngAlgorithm::ChaCha20;
+    let seeds = PairwiseSeeds::new(Seed::from_u64(5), Seed::from_u64(7));
+
+    // --- Eavesdropping on plaintext channels -----------------------------
+    println!("== eavesdropping (why the channels must be secured) ==");
+    let x = 42_000i64; // DH_J's private value
+    let y = 13_500i64; // DH_K's private value
+    let masked = numeric::initiator_mask(&[x], &seeds, algorithm);
+    let pairwise = numeric::responder_fold(&masked, &[y], &seeds.holder_holder, algorithm);
+    let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+    let r = rng_jt.next_u64();
+
+    let tp_view = eavesdrop_initiator_link(masked[0], r);
+    println!(
+        "TP listening on DH_J->DH_K (knows r): x is one of {:?}  (true x = {x})",
+        tp_view.candidates()
+    );
+    let dhj_view = eavesdrop_responder_link(pairwise[0][0], r, x);
+    println!(
+        "DH_J listening on DH_K->TP (knows r and x): y is one of {:?}  (true y = {y})",
+        dhj_view.candidates()
+    );
+    println!("with transport encryption (the library default) neither message is observable.");
+    println!();
+
+    // --- Frequency-analysis attack on batch mode --------------------------
+    println!("== frequency-analysis attack (batch mode, small value range) ==");
+    let k_values: Vec<i64> = vec![0, 5, 3, 3, 1, 4, 0, 2]; // e.g. ratings 0..=5
+    let j_values = vec![2i64];
+    for (label, per_pair) in [("batch mode", false), ("per-pair mode", true)] {
+        let (column, mask) = if per_pair {
+            let masked =
+                numeric::initiator_mask_per_pair(&j_values, k_values.len(), &seeds, algorithm);
+            let pairwise = numeric::responder_fold_per_pair(
+                &masked,
+                &k_values,
+                &seeds.holder_holder,
+                algorithm,
+            );
+            let mut rng = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+            (pairwise.iter().map(|row| row[0]).collect::<Vec<_>>(), rng.next_u64())
+        } else {
+            let masked = numeric::initiator_mask(&j_values, &seeds, algorithm);
+            let pairwise =
+                numeric::responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
+            let mut rng = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+            (pairwise.iter().map(|row| row[0]).collect::<Vec<_>>(), rng.next_u64())
+        };
+        let outcome = frequency_attack_on_batch_column(&column, mask, (0, 5));
+        println!(
+            "{label:<14}: {} consistent candidate column(s); exact private column recovered: {}",
+            outcome.consistent_candidates,
+            outcome.contains_truth(&k_values)
+        );
+        if let Some(first) = outcome.candidates.first() {
+            println!("               best candidate: {first:?}   (true column: {k_values:?})");
+        }
+    }
+    println!();
+    println!("the paper's mitigation — 'omitting batch processing of inputs and using unique");
+    println!("random numbers for each object pair' — removes the leak at O(m·n) extra traffic.");
+}

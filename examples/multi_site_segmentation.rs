@@ -1,0 +1,74 @@
+//! Customer segmentation across four retailers with mixed attribute types,
+//! per-holder weight vectors and a comparison of hierarchical linkages —
+//! the "every data holder can impose a different weight vector and
+//! clustering algorithm of his own choice" part of §3/§5.
+//!
+//! ```text
+//! cargo run --release --example multi_site_segmentation
+//! ```
+
+use ppclust::cluster::agreement::adjusted_rand_index;
+use ppclust::cluster::{ClusterAssignment, Linkage};
+use ppclust::core::protocol::driver::{ClusteringRequest, ThirdPartyDriver};
+use ppclust::core::protocol::party::TrustedSetup;
+use ppclust::core::protocol::ProtocolConfig;
+use ppclust::core::WeightVector;
+use ppclust::crypto::Seed;
+use ppclust::data::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::customer_segmentation(48, 4, 4, 5)?;
+    let schema = workload.schema().clone();
+    println!(
+        "{} customers across {} retailers; site sizes: {:?}",
+        workload.len(),
+        workload.partitions.len(),
+        workload.partitions.iter().map(|p| p.len()).collect::<Vec<_>>()
+    );
+
+    let setup = TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(3))?;
+    let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
+    let output = driver.construct(&setup.holders, &setup.third_party)?;
+    let truth = ClusterAssignment::from_labels(&workload.ground_truth_in_site_order());
+
+    // Each holder may request different weights / linkages; the third party
+    // can serve all of them from the same per-attribute matrices without any
+    // further protocol runs.
+    let weight_choices = [
+        ("uniform weights", schema.uniform_weights()),
+        ("spend-heavy", WeightVector::new(vec![0.7, 0.2, 0.1])?),
+        ("behaviour-only (ignore region)", WeightVector::new(vec![0.5, 0.5, 0.0])?),
+    ];
+    let linkages = [Linkage::Single, Linkage::Average, Linkage::Complete, Linkage::Ward];
+
+    println!();
+    println!("{:<34} {:<10} {:>12} {:>12}", "weights", "linkage", "ARI(truth)", "scatter");
+    for (weight_name, weights) in &weight_choices {
+        for &linkage in &linkages {
+            let request = ClusteringRequest {
+                weights: weights.clone(),
+                linkage,
+                num_clusters: 4,
+            };
+            let (result, matrix) = driver.cluster(&output, &request)?;
+            let mut labels = vec![0usize; workload.len()];
+            for (cluster, members) in result.clusters.iter().enumerate() {
+                for id in members {
+                    labels[matrix.index().global_index(*id)?] = cluster;
+                }
+            }
+            let published = ClusterAssignment::from_labels(&labels);
+            println!(
+                "{:<34} {:<10} {:>12.3} {:>12.5}",
+                weight_name,
+                format!("{linkage:?}"),
+                adjusted_rand_index(&published, &truth)?,
+                result.average_within_cluster_squared_distance
+            );
+        }
+    }
+    println!();
+    println!("the dissimilarity matrices were built exactly once, under the privacy protocol;");
+    println!("every (weights, linkage) combination is served locally by the third party.");
+    Ok(())
+}

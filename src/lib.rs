@@ -1,0 +1,60 @@
+//! # ppclust — privacy preserving clustering on horizontally partitioned data
+//!
+//! Umbrella crate re-exporting the whole workspace: a reproduction of
+//! İnan, Saygın, Savaş, Hintoğlu, Levi — *"Privacy Preserving Clustering on
+//! Horizontally Partitioned Data"* (ICDE Workshops, 2006).
+//!
+//! `k ≥ 2` data holders each own a horizontal partition of a data matrix; a
+//! semi-trusted third party coordinates privacy-preserving comparison
+//! protocols (numeric, categorical and alphanumeric attributes) that let it
+//! assemble the **global dissimilarity matrix** without seeing any raw
+//! values, run hierarchical clustering on it and publish cluster membership
+//! lists back to the holders.
+//!
+//! ## Crate map
+//!
+//! * [`core`] (`ppc-core`) — the paper's contribution: data model,
+//!   comparison protocols, dissimilarity construction, privacy analysis.
+//! * [`crypto`] (`ppc-crypto`) — seeded pseudo-random streams, seed
+//!   agreement, deterministic encryption, masking primitives.
+//! * [`net`] (`ppc-net`) — simulated multi-party transport with byte
+//!   accounting, channel security and eavesdropping.
+//! * [`cluster`] (`ppc-cluster`) — hierarchical clustering, partitioning
+//!   baselines, quality and agreement metrics.
+//! * [`data`] (`ppc-data`) — synthetic workload generators with ground
+//!   truth.
+//! * [`baselines`] (`ppc-baselines`) — centralized, sanitization,
+//!   Atallah-style and distributed-k-means baselines for the experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ppclust::core::protocol::driver::{ClusteringRequest, ThirdPartyDriver};
+//! use ppclust::core::protocol::party::TrustedSetup;
+//! use ppclust::core::protocol::ProtocolConfig;
+//! use ppclust::crypto::Seed;
+//! use ppclust::data::Workload;
+//!
+//! // Three hospitals, 30 patients, 3 strains of a virus.
+//! let workload = Workload::bird_flu(30, 3, 3, 42).unwrap();
+//! let schema = workload.schema().clone();
+//! let setup = TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(7))
+//!     .unwrap();
+//! let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
+//! let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+//! let (result, _matrix) = driver
+//!     .cluster(&output, &ClusteringRequest::uniform(&schema, 3))
+//!     .unwrap();
+//! assert_eq!(result.num_clusters(), 3);
+//! println!("{result}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ppc_baselines as baselines;
+pub use ppc_cluster as cluster;
+pub use ppc_core as core;
+pub use ppc_crypto as crypto;
+pub use ppc_data as data;
+pub use ppc_net as net;

@@ -1,0 +1,162 @@
+//! Integration tests for the applications the paper lists beyond clustering:
+//! weighted attribute merging, privacy-preserving record linkage and
+//! distance-based outlier detection — all served from the same
+//! protocol-built dissimilarity matrix.
+
+use ppclust::cluster::outlier::knn_outlier_scores;
+use ppclust::core::protocol::driver::ThirdPartyDriver;
+use ppclust::core::protocol::party::TrustedSetup;
+use ppclust::core::protocol::ProtocolConfig;
+use ppclust::core::{
+    Alphabet, AttributeDescriptor, AttributeValue, DataMatrix, HorizontalPartition, ObjectId,
+    Record, Schema, WeightVector,
+};
+use ppclust::crypto::Seed;
+
+fn person_schema() -> Schema {
+    Schema::new(vec![
+        AttributeDescriptor::alphanumeric("name", Alphabet::alphanumeric_lower()),
+        AttributeDescriptor::numeric("age"),
+    ])
+    .unwrap()
+}
+
+fn person(name: &str, age: f64) -> Record {
+    Record::new(vec![AttributeValue::alphanumeric(name), AttributeValue::numeric(age)])
+}
+
+fn linkage_setup() -> (Schema, TrustedSetup) {
+    let schema = person_schema();
+    let org_a = HorizontalPartition::new(
+        0,
+        DataMatrix::with_rows(
+            schema.clone(),
+            vec![
+                person("maria gonzalez", 34.0),
+                person("john smith", 52.0),
+                person("ayse yilmaz", 29.0),
+            ],
+        )
+        .unwrap(),
+    );
+    let org_b = HorizontalPartition::new(
+        1,
+        DataMatrix::with_rows(
+            schema.clone(),
+            vec![
+                person("maria gonzales", 35.0), // same person, typo + drift
+                person("paulo oliveira", 47.0),
+                person("jon smith", 52.0), // same person, typo
+            ],
+        )
+        .unwrap(),
+    );
+    let setup = TrustedSetup::deterministic(vec![org_a, org_b], &Seed::from_u64(44)).unwrap();
+    (schema, setup)
+}
+
+#[test]
+fn record_linkage_finds_true_matches_and_rejects_non_matches() {
+    let (schema, setup) = linkage_setup();
+    let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
+    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+    let matrix = output.merge(&schema, &WeightVector::new(vec![0.8, 0.2]).unwrap()).unwrap();
+
+    let d = |a: usize, b: usize| {
+        matrix.distance(ObjectId::new(0, a), ObjectId::new(1, b)).unwrap()
+    };
+    // True matches are much closer than any non-match.
+    let maria = d(0, 0);
+    let john = d(1, 2);
+    let best_non_match = [d(0, 1), d(0, 2), d(1, 0), d(1, 1), d(2, 0), d(2, 1), d(2, 2)]
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+    assert!(maria < 0.3, "maria pair distance {maria}");
+    assert!(john < 0.3, "john pair distance {john}");
+    assert!(
+        best_non_match > 2.0 * maria.max(john),
+        "non-matches ({best_non_match}) should be far above matches"
+    );
+}
+
+#[test]
+fn attribute_weights_change_the_linkage_decision() {
+    let (schema, setup) = linkage_setup();
+    let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
+    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+    // Under a name-only weighting, "john smith" vs "jon smith" is nearly 0;
+    // under an age-only weighting, people with similar ages collapse even if
+    // their names are unrelated.
+    let name_only = output.merge(&schema, &WeightVector::new(vec![1.0, 0.0]).unwrap()).unwrap();
+    let age_only = output.merge(&schema, &WeightVector::new(vec![0.0, 1.0]).unwrap()).unwrap();
+    let john = ObjectId::new(0, 1);
+    let jon = ObjectId::new(1, 2);
+    let paulo = ObjectId::new(1, 1);
+    assert!(name_only.distance(john, jon).unwrap() < 0.1);
+    assert!(name_only.distance(john, paulo).unwrap() > 0.5);
+    // Age-only: John (52) and Paulo (47) are fairly close, far closer than
+    // under the name-only view.
+    assert!(
+        age_only.distance(john, paulo).unwrap() < name_only.distance(john, paulo).unwrap()
+    );
+}
+
+#[test]
+fn outlier_detection_on_the_protocol_built_matrix() {
+    // Two sites of normal patients plus one anomalous record at site B.
+    let schema = Schema::new(vec![
+        AttributeDescriptor::numeric("age"),
+        AttributeDescriptor::numeric("lab_result"),
+    ])
+    .unwrap();
+    let record = |age: f64, lab: f64| {
+        Record::new(vec![AttributeValue::numeric(age), AttributeValue::numeric(lab)])
+    };
+    let site_a = HorizontalPartition::new(
+        0,
+        DataMatrix::with_rows(
+            schema.clone(),
+            vec![record(30.0, 1.0), record(32.0, 1.2), record(29.0, 0.9), record(31.0, 1.1)],
+        )
+        .unwrap(),
+    );
+    let site_b = HorizontalPartition::new(
+        1,
+        DataMatrix::with_rows(
+            schema.clone(),
+            vec![record(33.0, 1.0), record(28.0, 1.3), record(85.0, 9.5)],
+        )
+        .unwrap(),
+    );
+    let setup = TrustedSetup::deterministic(vec![site_a, site_b], &Seed::from_u64(5)).unwrap();
+    let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
+    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+    let matrix = output.merge(&schema, &schema.uniform_weights()).unwrap();
+
+    let scores = knn_outlier_scores(matrix.matrix(), 2).unwrap();
+    // The anomalous record is global index 6 (last object of site B).
+    let top = scores.top(1);
+    assert_eq!(top, vec![6]);
+    assert_eq!(matrix.index().object_id(6).unwrap(), ObjectId::new(1, 2));
+    assert_eq!(scores.above_sigma(1.5), vec![6]);
+}
+
+#[test]
+fn per_site_result_views_only_contain_that_sites_objects() {
+    let (schema, setup) = linkage_setup();
+    let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
+    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+    let (result, _) = driver
+        .cluster(
+            &output,
+            &ppclust::core::protocol::driver::ClusteringRequest::uniform(&schema, 2),
+        )
+        .unwrap();
+    for site in 0..2u32 {
+        let view = result.view_for_site(site);
+        assert_eq!(view.len(), result.num_clusters());
+        assert!(view.iter().flatten().all(|o| o.site == site));
+        let total: usize = view.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Integration tests that pin the library to the paper's own worked
+//! examples: Figure 3 (numeric), Figure 7 (alphanumeric) and the Figure 13
+//! published-result format.
+
+use ppclust::cluster::Linkage;
+use ppclust::core::protocol::driver::{ClusteringRequest, ThirdPartyDriver};
+use ppclust::core::protocol::party::TrustedSetup;
+use ppclust::core::protocol::{alphanumeric, numeric, ProtocolConfig};
+use ppclust::core::{
+    Alphabet, AttributeDescriptor, AttributeValue, DataMatrix, HorizontalPartition, Record,
+    Schema,
+};
+use ppclust::crypto::{Negator, NumericMasker, PairwiseSeeds, RngAlgorithm, Seed};
+
+/// Figure 3: x = 3 at DH_J, y = 8 at DH_K, R_JK = 5, R_JT = 7.
+#[test]
+fn figure3_numeric_worked_example() {
+    let negator = Negator::from_random(5);
+    assert_eq!(negator, Negator::HolderJ); // odd ⇒ DH_J negates
+    let x_masked = NumericMasker::mask_initiator(3, 7, negator);
+    assert_eq!(x_masked, 4);
+    let m = NumericMasker::fold_responder(x_masked, 8, negator);
+    assert_eq!(m, 12);
+    assert_eq!(NumericMasker::unmask_distance(m, 7), 5);
+}
+
+/// The same Figure 3 comparison through the full batch protocol with real
+/// pseudo-random streams: the third party still recovers |3 − 8| = 5 and
+/// the intermediate values look nothing like the inputs.
+#[test]
+fn figure3_through_full_protocol() {
+    for algorithm in [RngAlgorithm::ChaCha20, RngAlgorithm::Xoshiro256PlusPlus] {
+        let seeds = PairwiseSeeds::new(Seed::from_u64(5), Seed::from_u64(7));
+        let masked = numeric::initiator_mask(&[3], &seeds, algorithm);
+        assert_ne!(masked[0], 3);
+        let pairwise =
+            numeric::responder_fold(&masked, &[8], &seeds.holder_holder, algorithm);
+        let distances =
+            numeric::third_party_unmask(&pairwise, &seeds.holder_third_party, algorithm);
+        assert_eq!(distances, vec![vec![5]]);
+    }
+}
+
+/// Figure 7: S = "abc" at DH_J, T = "bd" at DH_K over the alphabet
+/// {a, b, c, d}; the third party reconstructs the CCM and the edit distance.
+#[test]
+fn figure7_alphanumeric_worked_example() {
+    let alphabet = Alphabet::abcd();
+    let seeds = PairwiseSeeds::new(Seed::from_u64(1), Seed::from_u64(3));
+    let s = vec![alphabet.encode("abc").unwrap()];
+    let t = vec![alphabet.encode("bd").unwrap()];
+    let masked = alphanumeric::initiator_mask_strings(
+        &s,
+        alphabet.size(),
+        &seeds,
+        RngAlgorithm::ChaCha20,
+    )
+    .unwrap();
+    // The masked string stays inside the alphabet (the modular masking the
+    // paper relies on) but differs from the plaintext.
+    assert!(masked[0].iter().all(|&c| c < 4));
+    let bundle = alphanumeric::responder_build_bundle(&masked, &t, alphabet.size()).unwrap();
+    let distances = alphanumeric::third_party_edit_distances(
+        &bundle,
+        alphabet.size(),
+        &seeds.holder_third_party,
+        RngAlgorithm::ChaCha20,
+    )
+    .unwrap();
+    assert_eq!(distances, vec![vec![2]]); // edit("abc", "bd") = 2
+}
+
+/// Figure 13: the published result is a per-cluster list of site-qualified
+/// object ids (A1, B4, C3, ...), nothing else.
+#[test]
+fn figure13_published_result_format() {
+    let schema = Schema::new(vec![
+        AttributeDescriptor::numeric("age"),
+        AttributeDescriptor::categorical("blood"),
+    ])
+    .unwrap();
+    let rows = |values: &[(f64, &str)]| -> DataMatrix {
+        DataMatrix::with_rows(
+            schema.clone(),
+            values
+                .iter()
+                .map(|(age, blood)| {
+                    Record::new(vec![
+                        AttributeValue::numeric(*age),
+                        AttributeValue::categorical(*blood),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap()
+    };
+    let partitions = vec![
+        HorizontalPartition::new(0, rows(&[(20.0, "A"), (21.0, "A"), (60.0, "B")])),
+        HorizontalPartition::new(1, rows(&[(22.0, "A"), (61.0, "B"), (62.0, "B"), (59.0, "B")])),
+        HorizontalPartition::new(2, rows(&[(19.0, "A"), (63.0, "B"), (23.0, "A")])),
+    ];
+    let setup = TrustedSetup::deterministic(partitions, &Seed::from_u64(8)).unwrap();
+    let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
+    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+    let (result, _) = driver
+        .cluster(
+            &output,
+            &ClusteringRequest {
+                weights: schema.uniform_weights(),
+                linkage: Linkage::Average,
+                num_clusters: 2,
+            },
+        )
+        .unwrap();
+    let rendered = result.to_string();
+    assert!(rendered.contains("Cluster1"));
+    assert!(rendered.contains("Cluster2"));
+    // Site-qualified labels from all three sites appear.
+    for label in ["A1", "B1", "C1"] {
+        assert!(rendered.contains(label), "missing {label} in:\n{rendered}");
+    }
+    // The young group and the old group are separated, across sites.
+    let young = result.cluster_of(ppclust::core::ObjectId::new(0, 0)).unwrap();
+    assert_eq!(result.cluster_of(ppclust::core::ObjectId::new(1, 0)), Some(young));
+    assert_eq!(result.cluster_of(ppclust::core::ObjectId::new(2, 0)), Some(young));
+    assert_eq!(result.cluster_of(ppclust::core::ObjectId::new(2, 2)), Some(young));
+    let old = result.cluster_of(ppclust::core::ObjectId::new(0, 2)).unwrap();
+    assert_ne!(young, old);
+    assert_eq!(result.cluster_of(ppclust::core::ObjectId::new(1, 1)), Some(old));
+    // Exactly the ten objects are published, each once.
+    assert_eq!(result.num_objects(), 10);
+}

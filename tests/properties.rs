@@ -1,0 +1,203 @@
+//! Property-based tests (proptest) on the protocol invariants and the core
+//! data structures.
+
+use proptest::prelude::*;
+
+use ppclust::cluster::CondensedDistanceMatrix;
+use ppclust::core::ccm::CharacterComparisonMatrix;
+use ppclust::core::distance::{edit_distance, edit_distance_from_ccm};
+use ppclust::core::protocol::{alphanumeric, numeric};
+use ppclust::core::{Alphabet, FixedPointCodec};
+use ppclust::crypto::{PairwiseSeeds, Prf128, RngAlgorithm, Seed};
+
+fn seeds(a: u64, b: u64) -> PairwiseSeeds {
+    PairwiseSeeds::new(Seed::from_u64(a), Seed::from_u64(b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The numeric batch protocol recovers |x − y| exactly for every pair of
+    /// fixed-point values and every seed choice.
+    #[test]
+    fn numeric_batch_protocol_is_exact(
+        j_values in prop::collection::vec(-1_000_000_000i64..1_000_000_000, 0..12),
+        k_values in prop::collection::vec(-1_000_000_000i64..1_000_000_000, 1..10),
+        seed_jk in any::<u64>(),
+        seed_jt in any::<u64>(),
+    ) {
+        let seeds = seeds(seed_jk, seed_jt);
+        let algorithm = RngAlgorithm::ChaCha20;
+        let masked = numeric::initiator_mask(&j_values, &seeds, algorithm);
+        let pairwise = numeric::responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
+        let distances = numeric::third_party_unmask(&pairwise, &seeds.holder_third_party, algorithm);
+        for (m, &y) in k_values.iter().enumerate() {
+            for (n, &x) in j_values.iter().enumerate() {
+                prop_assert_eq!(distances[m][n], x.abs_diff(y));
+            }
+        }
+    }
+
+    /// Batch mode and the per-pair hardened mode always agree.
+    #[test]
+    fn per_pair_mode_agrees_with_batch_mode(
+        j_values in prop::collection::vec(-1_000_000i64..1_000_000, 1..8),
+        k_values in prop::collection::vec(-1_000_000i64..1_000_000, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let seeds = seeds(seed, seed ^ 0xABCD);
+        let algorithm = RngAlgorithm::Xoshiro256PlusPlus;
+        let batch = numeric::third_party_unmask(
+            &numeric::responder_fold(
+                &numeric::initiator_mask(&j_values, &seeds, algorithm),
+                &k_values,
+                &seeds.holder_holder,
+                algorithm,
+            ),
+            &seeds.holder_third_party,
+            algorithm,
+        );
+        let per_pair = numeric::third_party_unmask_per_pair(
+            &numeric::responder_fold_per_pair(
+                &numeric::initiator_mask_per_pair(&j_values, k_values.len(), &seeds, algorithm),
+                &k_values,
+                &seeds.holder_holder,
+                algorithm,
+            ),
+            &seeds.holder_third_party,
+            algorithm,
+        );
+        prop_assert_eq!(batch, per_pair);
+    }
+
+    /// The masked vector DH_K receives never equals the plaintext column
+    /// (up to the astronomically unlikely event of a zero mask), i.e. the
+    /// one-time-pad property holds for every input.
+    #[test]
+    fn masked_values_differ_from_plaintext(
+        values in prop::collection::vec(-1_000_000i64..1_000_000, 1..16),
+        seed in any::<u64>(),
+    ) {
+        let seeds = seeds(seed, !seed);
+        let masked = numeric::initiator_mask(&values, &seeds, RngAlgorithm::ChaCha20);
+        let equal = masked.iter().zip(&values).filter(|(a, b)| a == b).count();
+        prop_assert_eq!(equal, 0);
+    }
+
+    /// The alphanumeric protocol computes exactly the plaintext edit
+    /// distance for arbitrary DNA strings.
+    #[test]
+    fn alphanumeric_protocol_matches_edit_distance(
+        j_strings in prop::collection::vec("[acgt]{0,12}", 1..5),
+        k_strings in prop::collection::vec("[acgt]{0,12}", 1..5),
+        seed in any::<u64>(),
+    ) {
+        let alphabet = Alphabet::dna();
+        let seeds = seeds(seed, seed.rotate_left(17));
+        let algorithm = RngAlgorithm::ChaCha20;
+        let j_encoded: Vec<Vec<u32>> =
+            j_strings.iter().map(|s| alphabet.encode(s).unwrap()).collect();
+        let k_encoded: Vec<Vec<u32>> =
+            k_strings.iter().map(|s| alphabet.encode(s).unwrap()).collect();
+        let masked = alphanumeric::initiator_mask_strings(&j_encoded, 4, &seeds, algorithm).unwrap();
+        let bundle = alphanumeric::responder_build_bundle(&masked, &k_encoded, 4).unwrap();
+        let distances = alphanumeric::third_party_edit_distances(
+            &bundle, 4, &seeds.holder_third_party, algorithm,
+        ).unwrap();
+        for (m, t) in k_strings.iter().enumerate() {
+            for (n, s) in j_strings.iter().enumerate() {
+                prop_assert_eq!(distances[m][n], edit_distance(s, t));
+            }
+        }
+    }
+
+    /// Edit distance is a metric on the sampled strings: symmetric,
+    /// zero iff equal (for these generators), triangle inequality.
+    #[test]
+    fn edit_distance_is_a_metric(
+        a in "[acgt]{0,14}",
+        b in "[acgt]{0,14}",
+        c in "[acgt]{0,14}",
+    ) {
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+        if a != b {
+            prop_assert!(edit_distance(&a, &b) > 0);
+        }
+    }
+
+    /// The CCM-driven edit distance always equals the plaintext edit
+    /// distance.
+    #[test]
+    fn ccm_edit_distance_equals_plaintext(
+        a in "[a-f]{0,10}",
+        b in "[a-f]{0,10}",
+    ) {
+        let ccm = CharacterComparisonMatrix::from_strings(&a, &b);
+        prop_assert_eq!(edit_distance_from_ccm(&ccm), edit_distance(&a, &b));
+    }
+
+    /// Fixed-point encoding round-trips within half a unit of precision and
+    /// distances decoded from fixed point match float distances.
+    #[test]
+    fn fixed_point_roundtrip(x in -1.0e6f64..1.0e6, y in -1.0e6f64..1.0e6) {
+        let codec = FixedPointCodec::default();
+        let ex = codec.encode(x).unwrap();
+        let ey = codec.encode(y).unwrap();
+        prop_assert!((codec.decode(ex) - x).abs() <= 0.5 / codec.scale() + 1e-12);
+        let distance = codec.decode_distance(ex.abs_diff(ey));
+        prop_assert!((distance - (x - y).abs()).abs() <= 1.0 / codec.scale() + 1e-9);
+    }
+
+    /// Normalising a condensed matrix always lands every entry in [0, 1] and
+    /// keeps the arg-max pair unchanged.
+    #[test]
+    fn normalisation_preserves_structure(
+        values in prop::collection::vec(0.0f64..1000.0, 1..28),
+    ) {
+        // Find the largest n with n(n-1)/2 <= len, then truncate.
+        let mut n = 2usize;
+        while (n + 1) * n / 2 <= values.len() { n += 1; }
+        let take = n * (n - 1) / 2;
+        let mut matrix = CondensedDistanceMatrix::from_condensed(n, values[..take].to_vec()).unwrap();
+        let before_max = matrix.max_value();
+        matrix.normalize_max();
+        prop_assert!(matrix.max_value() <= 1.0 + 1e-12);
+        prop_assert!(matrix.min_value() >= 0.0 || take == 0);
+        if before_max > 0.0 {
+            prop_assert!((matrix.max_value() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Deterministic categorical encryption preserves exactly the equality
+    /// relation of the plaintext labels.
+    #[test]
+    fn categorical_tags_preserve_equality(
+        labels in prop::collection::vec("[a-z]{0,6}", 2..20),
+        key in any::<[u8; 32]>(),
+    ) {
+        let prf = Prf128::new(&key);
+        let tags: Vec<_> = labels.iter().map(|l| prf.tag_str(l)).collect();
+        for i in 0..labels.len() {
+            for j in 0..labels.len() {
+                prop_assert_eq!(tags[i] == tags[j], labels[i] == labels[j]);
+            }
+        }
+    }
+
+    /// Seed derivation never collides across distinct labels (on sampled
+    /// label sets) and is deterministic.
+    #[test]
+    fn seed_derivation_is_deterministic_and_label_separated(
+        base in any::<u64>(),
+        label_a in "[a-z]{1,12}",
+        label_b in "[a-z]{1,12}",
+    ) {
+        let seed = Seed::from_u64(base);
+        prop_assert_eq!(seed.derive(&label_a), seed.derive(&label_a));
+        if label_a != label_b {
+            prop_assert_ne!(seed.derive(&label_a), seed.derive(&label_b));
+        }
+    }
+}
