@@ -51,12 +51,15 @@ impl Default for AtallahCostModel {
 impl AtallahCostModel {
     /// A cost model with a given Paillier modulus size in bits.
     pub fn with_modulus_bits(bits: u64) -> Result<Self, BaselineError> {
-        if bits < 512 || bits % 8 != 0 {
+        if bits < 512 || !bits.is_multiple_of(8) {
             return Err(BaselineError::InvalidParameter(format!(
                 "modulus bits must be a byte multiple ≥ 512, got {bits}"
             )));
         }
-        Ok(AtallahCostModel { ciphertext_bytes: bits / 8, ..AtallahCostModel::default() })
+        Ok(AtallahCostModel {
+            ciphertext_bytes: bits / 8,
+            ..AtallahCostModel::default()
+        })
     }
 
     /// Bytes exchanged to compare one pair of strings of the given lengths.
@@ -67,7 +70,11 @@ impl AtallahCostModel {
 
     /// Bytes exchanged to compare every cross-site pair between a site with
     /// `initiator_lengths` strings and one with `responder_lengths` strings.
-    pub fn bytes_for_columns(&self, initiator_lengths: &[usize], responder_lengths: &[usize]) -> u64 {
+    pub fn bytes_for_columns(
+        &self,
+        initiator_lengths: &[usize],
+        responder_lengths: &[usize],
+    ) -> u64 {
         let mut total = 0u64;
         for &s in initiator_lengths {
             for &t in responder_lengths {
@@ -97,7 +104,10 @@ mod tests {
         let model = AtallahCostModel::default();
         let short = model.bytes_per_pair(8, 8);
         let long = model.bytes_per_pair(64, 64);
-        assert!(long > short * 30, "quadratic growth expected: {short} vs {long}");
+        assert!(
+            long > short * 30,
+            "quadratic growth expected: {short} vs {long}"
+        );
         // One 8×8 pair: 81 cells · 8 ciphertexts · 256 bytes + 1024.
         assert_eq!(short, 81 * 8 * 256 + 1024);
     }
@@ -119,8 +129,8 @@ mod tests {
         let ccm_bytes_per_pair = |s: u64, t: u64| s * t * 4 + 16;
         let s = 32u64;
         let t = 32u64;
-        let ratio = model.bytes_per_pair(s as usize, t as usize) as f64
-            / ccm_bytes_per_pair(s, t) as f64;
+        let ratio =
+            model.bytes_per_pair(s as usize, t as usize) as f64 / ccm_bytes_per_pair(s, t) as f64;
         assert!(ratio > 100.0, "expected ≫100× overhead, got {ratio}");
     }
 }

@@ -60,7 +60,10 @@ impl CentralizedBaseline {
     ) -> Result<CentralizedOutput, BaselineError> {
         let pooled = self.pool(partitions)?;
         let index = ObjectIndex::from_site_sizes(
-            &partitions.iter().map(|p| (p.site(), p.len())).collect::<Vec<_>>(),
+            &partitions
+                .iter()
+                .map(|p| (p.site(), p.len()))
+                .collect::<Vec<_>>(),
         );
         let mut per_attribute = Vec::with_capacity(self.schema.len());
         for (i, descriptor) in self.schema.attributes().iter().enumerate() {
@@ -71,7 +74,12 @@ impl CentralizedBaseline {
             DissimilarityMatrix::merge(index.clone(), &per_attribute, &self.schema, weights)?;
         let assignment =
             AgglomerativeClustering::new(linkage).fit_k(final_matrix.matrix(), num_clusters)?;
-        Ok(CentralizedOutput { index, per_attribute, final_matrix, assignment })
+        Ok(CentralizedOutput {
+            index,
+            per_attribute,
+            final_matrix,
+            assignment,
+        })
     }
 }
 

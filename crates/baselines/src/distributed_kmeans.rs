@@ -103,8 +103,10 @@ pub fn distributed_kmeans(
     let codec = FixedPointCodec::default();
     let mask_root = Seed::from_u64(config.seed);
     let mut iterations = 0;
-    let mut assignments: Vec<Vec<usize>> =
-        local_points.iter().map(|pts| vec![0usize; pts.len()]).collect();
+    let mut assignments: Vec<Vec<usize>> = local_points
+        .iter()
+        .map(|pts| vec![0usize; pts.len()])
+        .collect();
     for iteration in 0..config.max_iterations {
         iterations = iteration + 1;
         // Local assignment step at every site.
@@ -112,8 +114,7 @@ pub fn distributed_kmeans(
             for (i, p) in points.iter().enumerate() {
                 let mut best = (0usize, f64::INFINITY);
                 for (c, centroid) in centroids.iter().enumerate() {
-                    let d: f64 =
-                        p.iter().zip(centroid).map(|(a, b)| (a - b) * (a - b)).sum();
+                    let d: f64 = p.iter().zip(centroid).map(|(a, b)| (a - b) * (a - b)).sum();
                     if d < best.1 {
                         best = (c, d);
                     }
@@ -124,7 +125,7 @@ pub fn distributed_kmeans(
         // Secure aggregation of per-cluster sums and counts.
         let mut new_centroids = Vec::with_capacity(config.k);
         let mut moved = 0.0f64;
-        for c in 0..config.k {
+        for (c, centroid_c) in centroids.iter().enumerate() {
             // Each site contributes (sum_vector, count) in fixed point.
             let contributions: Vec<Vec<i64>> = local_points
                 .iter()
@@ -155,13 +156,16 @@ pub fn distributed_kmeans(
             )?;
             let count = codec.decode(aggregated[dim]);
             let centroid: Vec<f64> = if count > 0.5 {
-                aggregated[..dim].iter().map(|&s| codec.decode(s) / count).collect()
+                aggregated[..dim]
+                    .iter()
+                    .map(|&s| codec.decode(s) / count)
+                    .collect()
             } else {
-                centroids[c].clone()
+                centroid_c.clone()
             };
             moved += centroid
                 .iter()
-                .zip(&centroids[c])
+                .zip(centroid_c)
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum::<f64>();
             new_centroids.push(centroid);
@@ -189,7 +193,11 @@ mod tests {
     #[test]
     fn recovers_clusters_on_numeric_workload() {
         let w = Workload::customer_segmentation(45, 3, 3, 21).unwrap();
-        let config = DistributedKMeansConfig { k: 3, max_iterations: 50, seed: 5 };
+        let config = DistributedKMeansConfig {
+            k: 3,
+            max_iterations: 50,
+            seed: 5,
+        };
         let result = distributed_kmeans(w.schema(), &w.partitions, &config).unwrap();
         assert_eq!(result.assignment.len(), 45);
         let truth = ClusterAssignment::from_labels(&w.ground_truth_in_site_order());
@@ -202,22 +210,38 @@ mod tests {
     #[test]
     fn rejects_workloads_without_numeric_attributes() {
         let w = Workload::dna_only(12, 2, 2, 16, 1).unwrap();
-        let config = DistributedKMeansConfig { k: 2, max_iterations: 10, seed: 1 };
+        let config = DistributedKMeansConfig {
+            k: 2,
+            max_iterations: 10,
+            seed: 1,
+        };
         assert!(distributed_kmeans(w.schema(), &w.partitions, &config).is_err());
     }
 
     #[test]
     fn parameter_validation() {
         let w = Workload::numeric_only(10, 2, 2, 3).unwrap();
-        let bad_k = DistributedKMeansConfig { k: 0, max_iterations: 10, seed: 1 };
-        assert!(distributed_kmeans(w.schema(), &w.partitions, &bad_k).is_err());
-        let too_many = DistributedKMeansConfig { k: 100, max_iterations: 10, seed: 1 };
-        assert!(distributed_kmeans(w.schema(), &w.partitions, &too_many).is_err());
-        assert!(distributed_kmeans(w.schema(), &w.partitions[..1], &DistributedKMeansConfig {
-            k: 2,
+        let bad_k = DistributedKMeansConfig {
+            k: 0,
             max_iterations: 10,
-            seed: 1
-        })
+            seed: 1,
+        };
+        assert!(distributed_kmeans(w.schema(), &w.partitions, &bad_k).is_err());
+        let too_many = DistributedKMeansConfig {
+            k: 100,
+            max_iterations: 10,
+            seed: 1,
+        };
+        assert!(distributed_kmeans(w.schema(), &w.partitions, &too_many).is_err());
+        assert!(distributed_kmeans(
+            w.schema(),
+            &w.partitions[..1],
+            &DistributedKMeansConfig {
+                k: 2,
+                max_iterations: 10,
+                seed: 1
+            }
+        )
         .is_err());
     }
 }

@@ -62,6 +62,8 @@ mod tests {
         assert!(e.to_string().contains("clustering"));
         let e: BaselineError = DataError::InvalidParameter("x".into()).into();
         assert!(e.to_string().contains("data"));
-        assert!(BaselineError::InvalidParameter("p".into()).to_string().contains("p"));
+        assert!(BaselineError::InvalidParameter("p".into())
+            .to_string()
+            .contains("p"));
     }
 }

@@ -38,7 +38,11 @@ impl SanitizationBaseline {
                 "noise level {noise_level} outside [0, 1]"
             )));
         }
-        Ok(SanitizationBaseline { schema, noise_level, seed })
+        Ok(SanitizationBaseline {
+            schema,
+            noise_level,
+            seed,
+        })
     }
 
     /// Sanitises one partition: the data holder perturbs every value before
@@ -81,7 +85,10 @@ impl SanitizationBaseline {
         &self,
         partitions: &[HorizontalPartition],
     ) -> Result<Vec<HorizontalPartition>, BaselineError> {
-        partitions.iter().map(|p| self.sanitize_partition(p)).collect()
+        partitions
+            .iter()
+            .map(|p| self.sanitize_partition(p))
+            .collect()
     }
 
     fn perturb(&self, value: &AttributeValue, range: f64, rng: &mut StdRng) -> AttributeValue {
@@ -112,9 +119,7 @@ impl SanitizationBaseline {
                             .chars()
                             .map(|c| {
                                 if rng.gen_bool(self.noise_level) {
-                                    alphabet
-                                        .char_at(rng.gen_range(0..size))
-                                        .unwrap_or(c)
+                                    alphabet.char_at(rng.gen_range(0..size)).unwrap_or(c)
                                 } else {
                                     c
                                 }
@@ -162,7 +167,12 @@ mod tests {
         let truth = ClusterAssignment::from_labels(&w.ground_truth_in_site_order());
         let central = CentralizedBaseline::new(w.schema().clone());
         let clean = central
-            .run(&w.partitions, &w.schema().uniform_weights(), Linkage::Average, 3)
+            .run(
+                &w.partitions,
+                &w.schema().uniform_weights(),
+                Linkage::Average,
+                3,
+            )
             .unwrap();
         let clean_ari = adjusted_rand_index(&clean.assignment, &truth).unwrap();
 
@@ -171,7 +181,12 @@ mod tests {
         // Values actually change.
         assert_ne!(sanitized[0].matrix(), w.partitions[0].matrix());
         let noisy = central
-            .run(&sanitized, &w.schema().uniform_weights(), Linkage::Average, 3)
+            .run(
+                &sanitized,
+                &w.schema().uniform_weights(),
+                Linkage::Average,
+                3,
+            )
             .unwrap();
         let noisy_ari = adjusted_rand_index(&noisy.assignment, &truth).unwrap();
         assert!(

@@ -91,9 +91,7 @@ mod tests {
     fn validation() {
         assert!(secure_sum(&[1], &Seed::from_u64(1)).is_err());
         assert!(secure_vector_sum(&[vec![1]], &Seed::from_u64(1)).is_err());
-        assert!(
-            secure_vector_sum(&[vec![1, 2], vec![1]], &Seed::from_u64(1)).is_err()
-        );
+        assert!(secure_vector_sum(&[vec![1, 2], vec![1]], &Seed::from_u64(1)).is_err());
     }
 
     #[test]

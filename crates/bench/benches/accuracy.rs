@@ -27,7 +27,13 @@ fn bench_accuracy(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("privacy_preserving_protocol", |b| {
         b.iter(|| {
-            run_session(black_box(&workload), NumericMode::Batch, 3, Linkage::Average).unwrap()
+            run_session(
+                black_box(&workload),
+                NumericMode::Batch,
+                3,
+                Linkage::Average,
+            )
+            .unwrap()
         })
     });
     let schema = workload.schema().clone();
@@ -47,7 +53,9 @@ fn bench_accuracy(c: &mut Criterion) {
     let sanitizer = SanitizationBaseline::new(schema.clone(), 0.3, 7).unwrap();
     group.bench_function("sanitization_baseline", |b| {
         b.iter(|| {
-            let sanitized = sanitizer.sanitize_all(black_box(&workload.partitions)).unwrap();
+            let sanitized = sanitizer
+                .sanitize_all(black_box(&workload.partitions))
+                .unwrap();
             central
                 .run(&sanitized, &schema.uniform_weights(), Linkage::Average, 3)
                 .unwrap()

@@ -10,7 +10,11 @@ use ppc_crypto::{PairwiseSeeds, RngAlgorithm, Seed};
 
 fn strings(count: usize, length: usize, alphabet: &Alphabet) -> Vec<Vec<u32>> {
     (0..count)
-        .map(|i| (0..length).map(|p| ((i * 31 + p * 7) as u32) % alphabet.size()).collect())
+        .map(|i| {
+            (0..length)
+                .map(|p| ((i * 31 + p * 7) as u32) % alphabet.size())
+                .collect()
+        })
         .collect()
 }
 
@@ -23,25 +27,33 @@ fn bench_alphanumeric(c: &mut Criterion) {
     for &length in &[16usize, 32, 64] {
         let j = strings(12, length, &alphabet);
         let k = strings(8, length, &alphabet);
-        group.bench_with_input(BenchmarkId::new("initiator_mask", length), &length, |b, _| {
-            b.iter(|| {
-                alphanumeric::initiator_mask_strings(
-                    black_box(&j),
-                    alphabet.size(),
-                    &seeds,
-                    algorithm,
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("initiator_mask", length),
+            &length,
+            |b, _| {
+                b.iter(|| {
+                    alphanumeric::initiator_mask_strings(
+                        black_box(&j),
+                        alphabet.size(),
+                        &seeds,
+                        algorithm,
+                    )
+                    .unwrap()
+                })
+            },
+        );
         let masked =
             alphanumeric::initiator_mask_strings(&j, alphabet.size(), &seeds, algorithm).unwrap();
-        group.bench_with_input(BenchmarkId::new("responder_bundle", length), &length, |b, _| {
-            b.iter(|| {
-                alphanumeric::responder_build_bundle(black_box(&masked), &k, alphabet.size())
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("responder_bundle", length),
+            &length,
+            |b, _| {
+                b.iter(|| {
+                    alphanumeric::responder_build_bundle(black_box(&masked), &k, alphabet.size())
+                        .unwrap()
+                })
+            },
+        );
         let bundle = alphanumeric::responder_build_bundle(&masked, &k, alphabet.size()).unwrap();
         group.bench_with_input(
             BenchmarkId::new("third_party_edit_distances", length),

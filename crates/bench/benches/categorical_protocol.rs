@@ -8,7 +8,9 @@ use ppc_crypto::Prf128;
 
 fn labels(n: usize) -> Vec<String> {
     let vocabulary = ["A", "B", "AB", "O", "unknown"];
-    (0..n).map(|i| vocabulary[i % vocabulary.len()].to_string()).collect()
+    (0..n)
+        .map(|i| vocabulary[i % vocabulary.len()].to_string())
+        .collect()
 }
 
 fn bench_categorical(c: &mut Criterion) {
@@ -25,9 +27,11 @@ fn bench_categorical(c: &mut Criterion) {
         let sites: Vec<_> = (0..3)
             .map(|_| categorical::encrypt_column(&labels(n), &key))
             .collect();
-        group.bench_with_input(BenchmarkId::new("third_party_dissimilarity", 3 * n), &n, |b, _| {
-            b.iter(|| categorical::third_party_dissimilarity(black_box(&sites)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("third_party_dissimilarity", 3 * n),
+            &n,
+            |b, _| b.iter(|| categorical::third_party_dissimilarity(black_box(&sites)).unwrap()),
+        );
     }
     group.finish();
 }

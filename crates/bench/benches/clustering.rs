@@ -23,7 +23,11 @@ fn bench_linkages(c: &mut Criterion) {
     let matrix = blob_matrix(200);
     for linkage in Linkage::ALL {
         group.bench_function(BenchmarkId::new("fit", format!("{linkage:?}")), |b| {
-            b.iter(|| AgglomerativeClustering::new(linkage).fit(black_box(&matrix)).unwrap())
+            b.iter(|| {
+                AgglomerativeClustering::new(linkage)
+                    .fit(black_box(&matrix))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -36,7 +40,9 @@ fn bench_scaling(c: &mut Criterion) {
         let matrix = blob_matrix(n);
         group.bench_with_input(BenchmarkId::new("average_linkage", n), &n, |b, _| {
             b.iter(|| {
-                AgglomerativeClustering::new(Linkage::Average).fit_k(black_box(&matrix), 3).unwrap()
+                AgglomerativeClustering::new(Linkage::Average)
+                    .fit_k(black_box(&matrix), 3)
+                    .unwrap()
             })
         });
     }
@@ -51,12 +57,22 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| kmedoids(black_box(&matrix), &KMedoidsConfig::new(3)).unwrap())
     });
     group.bench_function("dbscan", |b| {
-        b.iter(|| dbscan(black_box(&matrix), &DbscanConfig { eps: 10.0, min_points: 3 }).unwrap())
+        b.iter(|| {
+            dbscan(
+                black_box(&matrix),
+                &DbscanConfig {
+                    eps: 10.0,
+                    min_points: 3,
+                },
+            )
+            .unwrap()
+        })
     });
     let truth: Vec<usize> = (0..150).map(|i| i % 3).collect();
     let truth = ClusterAssignment::from_labels(&truth);
-    let predicted =
-        AgglomerativeClustering::new(Linkage::Average).fit_k(&matrix, 3).unwrap();
+    let predicted = AgglomerativeClustering::new(Linkage::Average)
+        .fit_k(&matrix, 3)
+        .unwrap();
     group.bench_function("adjusted_rand_index", |b| {
         b.iter(|| adjusted_rand_index(black_box(&predicted), &truth).unwrap())
     });

@@ -21,24 +21,43 @@ fn bench_construction(c: &mut Criterion) {
         let setup =
             TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(1)).unwrap();
         let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
-        group.bench_with_input(BenchmarkId::new("driver_construct", objects), &objects, |b, _| {
-            b.iter(|| driver.construct(black_box(&setup.holders), &setup.third_party).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("driver_construct", objects),
+            &objects,
+            |b, _| {
+                b.iter(|| {
+                    driver
+                        .construct(black_box(&setup.holders), &setup.third_party)
+                        .unwrap()
+                })
+            },
+        );
         let request = ClusteringRequest {
             weights: schema.uniform_weights(),
             linkage: Linkage::Average,
             num_clusters: 3,
         };
-        group.bench_with_input(BenchmarkId::new("networked_session", objects), &objects, |b, _| {
-            b.iter(|| {
-                let session = ClusteringSession::new(schema.clone(), ProtocolConfig::default(), 3);
-                session.run(black_box(&setup.holders), &setup.third_party, &request).unwrap()
-            })
-        });
-        let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
-        group.bench_with_input(BenchmarkId::new("cluster_stage", objects), &objects, |b, _| {
-            b.iter(|| driver.cluster(black_box(&output), &request).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("networked_session", objects),
+            &objects,
+            |b, _| {
+                b.iter(|| {
+                    let session =
+                        ClusteringSession::new(schema.clone(), ProtocolConfig::default(), 3);
+                    session
+                        .run(black_box(&setup.holders), &setup.third_party, &request)
+                        .unwrap()
+                })
+            },
+        );
+        let output = driver
+            .construct(&setup.holders, &setup.third_party)
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("cluster_stage", objects),
+            &objects,
+            |b, _| b.iter(|| driver.cluster(black_box(&output), &request).unwrap()),
+        );
     }
     group.finish();
 }

@@ -8,7 +8,9 @@ use ppc_core::protocol::numeric;
 use ppc_crypto::{PairwiseSeeds, RngAlgorithm, Seed};
 
 fn column(n: usize) -> Vec<i64> {
-    (0..n as i64).map(|i| i.wrapping_mul(1_000_003) % 1_000_000).collect()
+    (0..n as i64)
+        .map(|i| i.wrapping_mul(1_000_003) % 1_000_000)
+        .collect()
 }
 
 fn seeds() -> PairwiseSeeds {
@@ -57,14 +59,17 @@ fn bench_rng_ablation(c: &mut Criterion) {
         RngAlgorithm::Xoshiro256PlusPlus,
         RngAlgorithm::SplitMix64,
     ] {
-        group.bench_function(BenchmarkId::new("full_pair", format!("{algorithm:?}")), |b| {
-            b.iter(|| {
-                let masked = numeric::initiator_mask(black_box(&j), &seeds, algorithm);
-                let pairwise =
-                    numeric::responder_fold(&masked, &k, &seeds.holder_holder, algorithm);
-                numeric::third_party_unmask(&pairwise, &seeds.holder_third_party, algorithm)
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("full_pair", format!("{algorithm:?}")),
+            |b| {
+                b.iter(|| {
+                    let masked = numeric::initiator_mask(black_box(&j), &seeds, algorithm);
+                    let pairwise =
+                        numeric::responder_fold(&masked, &k, &seeds.holder_holder, algorithm);
+                    numeric::third_party_unmask(&pairwise, &seeds.holder_third_party, algorithm)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -88,12 +93,18 @@ fn bench_batch_vs_per_pair(c: &mut Criterion) {
             let masked =
                 numeric::initiator_mask_per_pair(black_box(&j), k.len(), &seeds, algorithm);
             let pairwise =
-                numeric::responder_fold_per_pair(&masked, &k, &seeds.holder_holder, algorithm);
+                numeric::responder_fold_per_pair(&masked, &k, &seeds.holder_holder, algorithm)
+                    .unwrap();
             numeric::third_party_unmask_per_pair(&pairwise, &seeds.holder_third_party, algorithm)
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_roles, bench_rng_ablation, bench_batch_vs_per_pair);
+criterion_group!(
+    benches,
+    bench_roles,
+    bench_rng_ablation,
+    bench_batch_vs_per_pair
+);
 criterion_main!(benches);

@@ -43,7 +43,10 @@ pub fn run_session(
 ) -> Result<SessionSummary, CoreError> {
     let schema = workload.schema().clone();
     let setup = TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(0xA11CE))?;
-    let config = ProtocolConfig { numeric_mode: mode, ..ProtocolConfig::default() };
+    let config = ProtocolConfig {
+        numeric_mode: mode,
+        ..ProtocolConfig::default()
+    };
     let session = ClusteringSession::new(schema.clone(), config, workload.partitions.len());
     let request = ClusteringRequest {
         weights: schema.uniform_weights(),
@@ -53,12 +56,18 @@ pub fn run_session(
     let outcome = session.run(&setup.holders, &setup.third_party, &request)?;
 
     let truth = ClusterAssignment::from_labels(&workload.ground_truth_in_site_order());
-    let published = assignment_from_result(&outcome.result, &outcome.final_matrix.index().ids().len());
+    let published =
+        assignment_from_result(&outcome.result, &outcome.final_matrix.index().ids().len());
     let ari_vs_truth = adjusted_rand_index(&published, &truth).unwrap_or(0.0);
 
     let central = CentralizedBaseline::new(schema.clone());
     let central_out = central
-        .run(&workload.partitions, &schema.uniform_weights(), linkage, clusters)
+        .run(
+            &workload.partitions,
+            &schema.uniform_weights(),
+            linkage,
+            clusters,
+        )
         .map_err(|e| CoreError::Protocol(e.to_string()))?;
     let ari_vs_centralized =
         adjusted_rand_index(&published, &central_out.assignment).unwrap_or(0.0);
@@ -185,7 +194,12 @@ pub fn accuracy_comparison(
 
     let central = CentralizedBaseline::new(schema.clone());
     let central_out = central
-        .run(&workload.partitions, &schema.uniform_weights(), linkage, clusters)
+        .run(
+            &workload.partitions,
+            &schema.uniform_weights(),
+            linkage,
+            clusters,
+        )
         .map_err(|e| CoreError::Protocol(e.to_string()))?;
     let central_ari = adjusted_rand_index(&central_out.assignment, &truth).unwrap_or(0.0);
 

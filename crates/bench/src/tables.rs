@@ -46,7 +46,11 @@ pub struct ExperimentReport {
 
 impl ExperimentReport {
     fn new(id: &str, title: &str, body: String) -> Self {
-        ExperimentReport { id: id.to_string(), title: title.to_string(), body }
+        ExperimentReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            body,
+        }
     }
 }
 
@@ -71,8 +75,17 @@ pub fn e1_numeric_worked_example() -> Result<ExperimentReport, CoreError> {
         numeric::responder_fold(&masked, &[8], &seeds.holder_holder, RngAlgorithm::ChaCha20);
     let distances =
         numeric::third_party_unmask(&pairwise, &seeds.holder_third_party, RngAlgorithm::ChaCha20);
-    writeln!(body, "full protocol |3 - 8|               {}", distances[0][0]).unwrap();
-    Ok(ExperimentReport::new("E1", "Figure 3 — numeric comparison worked example", body))
+    writeln!(
+        body,
+        "full protocol |3 - 8|               {}",
+        distances.get(0, 0)
+    )
+    .unwrap();
+    Ok(ExperimentReport::new(
+        "E1",
+        "Figure 3 — numeric comparison worked example",
+        body,
+    ))
 }
 
 /// E2 — the paper's Figure 7 worked example of the alphanumeric protocol.
@@ -101,11 +114,15 @@ pub fn e2_alphanumeric_worked_example() -> Result<ExperimentReport, CoreError> {
     writeln!(body, "alphabet          {{a, b, c, d}}").unwrap();
     writeln!(body, "DH_J string S     {s}").unwrap();
     writeln!(body, "DH_K string T     {t}").unwrap();
-    writeln!(body, "masked S' sent to DH_K: {masked_str} (random over the alphabet)").unwrap();
+    writeln!(
+        body,
+        "masked S' sent to DH_K: {masked_str} (random over the alphabet)"
+    )
+    .unwrap();
     writeln!(
         body,
         "TP edit distance via CCM: {}   plaintext edit distance: {}",
-        distances[0][0],
+        distances.get(0, 0),
         edit_distance(s, t)
     )
     .unwrap();
@@ -114,16 +131,19 @@ pub fn e2_alphanumeric_worked_example() -> Result<ExperimentReport, CoreError> {
         "CCM reveals to TP only the character-equality pattern, never the symbols."
     )
     .unwrap();
-    Ok(ExperimentReport::new("E2", "Figure 7 — alphanumeric comparison worked example", body))
+    Ok(ExperimentReport::new(
+        "E2",
+        "Figure 7 — alphanumeric comparison worked example",
+        body,
+    ))
 }
 
 /// E3 — the published result format of Figure 13 on a 3-site mixed workload.
 pub fn e3_published_result() -> Result<ExperimentReport, CoreError> {
-    let workload = Workload::bird_flu(18, 3, 3, 2024)
-        .map_err(|e| CoreError::Protocol(e.to_string()))?;
+    let workload =
+        Workload::bird_flu(18, 3, 3, 2024).map_err(|e| CoreError::Protocol(e.to_string()))?;
     let schema = workload.schema().clone();
-    let setup =
-        TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(99))?;
+    let setup = TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(99))?;
     let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
     let output = driver.construct(&setup.holders, &setup.third_party)?;
     let (result, _) = driver.cluster(&output, &ClusteringRequest::uniform(&schema, 3))?;
@@ -133,9 +153,21 @@ pub fn e3_published_result() -> Result<ExperimentReport, CoreError> {
     let mut body = String::new();
     writeln!(body, "{result}").unwrap();
     writeln!(body).unwrap();
-    writeln!(body, "objects are labelled <site letter><local id> exactly as in Figure 13").unwrap();
-    writeln!(body, "adjusted Rand index vs ground-truth strains: {ari:.3}").unwrap();
-    Ok(ExperimentReport::new("E3", "Figure 13 — published clustering result (3 sites)", body))
+    writeln!(
+        body,
+        "objects are labelled <site letter><local id> exactly as in Figure 13"
+    )
+    .unwrap();
+    writeln!(
+        body,
+        "adjusted Rand index vs ground-truth strains: {ari:.3}"
+    )
+    .unwrap();
+    Ok(ExperimentReport::new(
+        "E3",
+        "Figure 13 — published clustering result (3 sites)",
+        body,
+    ))
 }
 
 /// E4 — numeric communication-cost sweep (the §4.1 cost analysis, measured).
@@ -198,7 +230,11 @@ pub fn e4_numeric_costs() -> Result<ExperimentReport, CoreError> {
         )
         .unwrap();
     }
-    Ok(ExperimentReport::new("E4", "Numeric protocol communication cost (§4.1)", body))
+    Ok(ExperimentReport::new(
+        "E4",
+        "Numeric protocol communication cost (§4.1)",
+        body,
+    ))
 }
 
 /// E5 — alphanumeric cost sweep and comparison with the Atallah protocol.
@@ -246,7 +282,11 @@ pub fn e5_alphanumeric_costs() -> Result<ExperimentReport, CoreError> {
         "DP cell (2048-bit modulus), hence the 2-3 orders of magnitude overhead column —"
     )
     .unwrap();
-    writeln!(body, "the paper's 'not feasible for clustering' argument, measured.").unwrap();
+    writeln!(
+        body,
+        "the paper's 'not feasible for clustering' argument, measured."
+    )
+    .unwrap();
     Ok(ExperimentReport::new(
         "E5",
         "Alphanumeric protocol communication cost vs Atallah et al. (§4.2)",
@@ -257,7 +297,12 @@ pub fn e5_alphanumeric_costs() -> Result<ExperimentReport, CoreError> {
 /// E6 — categorical cost (O(n) per site) measured over growing sites.
 pub fn e6_categorical_costs() -> Result<ExperimentReport, CoreError> {
     let mut body = String::new();
-    writeln!(body, "{:>8} {:>16} {:>16}", "objects", "bytes per site", "bytes/object").unwrap();
+    writeln!(
+        body,
+        "{:>8} {:>16} {:>16}",
+        "objects", "bytes per site", "bytes/object"
+    )
+    .unwrap();
     for &n in &[64usize, 256, 1024, 4096] {
         // Build a categorical-only workload by hand.
         let workload = Workload::customer_segmentation(2 * n, 2, 3, 3)
@@ -290,17 +335,31 @@ pub fn e6_categorical_costs() -> Result<ExperimentReport, CoreError> {
         "paper: categorical cost is O(n) per site — bytes/object stays constant (~20 B:"
     )
     .unwrap();
-    writeln!(body, "16-byte deterministic ciphertext + 4-byte length framing).").unwrap();
-    Ok(ExperimentReport::new("E6", "Categorical protocol communication cost (§4.3)", body))
+    writeln!(
+        body,
+        "16-byte deterministic ciphertext + 4-byte length framing)."
+    )
+    .unwrap();
+    Ok(ExperimentReport::new(
+        "E6",
+        "Categorical protocol communication cost (§4.3)",
+        body,
+    ))
 }
 
 /// E7 — accuracy: protocol vs centralized vs sanitization.
 pub fn e7_accuracy() -> Result<ExperimentReport, CoreError> {
-    let workload = Workload::bird_flu(36, 3, 3, 31)
-        .map_err(|e| CoreError::Protocol(e.to_string()))?;
+    let workload =
+        Workload::bird_flu(36, 3, 3, 31).map_err(|e| CoreError::Protocol(e.to_string()))?;
     let rows = accuracy_comparison(&workload, 3, &[0.1, 0.3, 0.6])?;
     let mut body = String::new();
-    writeln!(body, "workload: {} ({} objects, 3 sites)", workload.name, workload.len()).unwrap();
+    writeln!(
+        body,
+        "workload: {} ({} objects, 3 sites)",
+        workload.name,
+        workload.len()
+    )
+    .unwrap();
     writeln!(
         body,
         "{:<44} {:>12} {:>16} {:>16}",
@@ -331,8 +390,16 @@ pub fn e7_accuracy() -> Result<ExperimentReport, CoreError> {
         "centralized row exactly (ARI 1.0, matrix diff ≈ fixed-point epsilon), while the"
     )
     .unwrap();
-    writeln!(body, "sanitization baselines trade accuracy for privacy as noise grows.").unwrap();
-    Ok(ExperimentReport::new("E7", "Accuracy: no loss vs centralized; sanitization degrades", body))
+    writeln!(
+        body,
+        "sanitization baselines trade accuracy for privacy as noise grows."
+    )
+    .unwrap();
+    Ok(ExperimentReport::new(
+        "E7",
+        "Accuracy: no loss vs centralized; sanitization degrades",
+        body,
+    ))
 }
 
 /// E8 — privacy: frequency-analysis attack and eavesdropping inferences.
@@ -358,15 +425,21 @@ pub fn e8_privacy() -> Result<ExperimentReport, CoreError> {
                     &k_values,
                     &seeds.holder_holder,
                     algorithm,
-                );
+                )?;
                 let mut rng = DynStreamRng::new(algorithm, &seeds.holder_third_party);
-                (pairwise.iter().map(|r| r[0]).collect::<Vec<_>>(), rng.next_u64())
+                (
+                    pairwise.iter_rows().map(|r| r[0]).collect::<Vec<_>>(),
+                    rng.next_u64(),
+                )
             } else {
                 let masked = numeric::initiator_mask(&j_values, &seeds, algorithm);
                 let pairwise =
                     numeric::responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
                 let mut rng = DynStreamRng::new(algorithm, &seeds.holder_third_party);
-                (pairwise.iter().map(|r| r[0]).collect::<Vec<_>>(), rng.next_u64())
+                (
+                    pairwise.iter_rows().map(|r| r[0]).collect::<Vec<_>>(),
+                    rng.next_u64(),
+                )
             };
             let outcome = frequency_attack_on_batch_column(&column, mask, (0, range - 1));
             writeln!(
@@ -395,7 +468,11 @@ pub fn e8_privacy() -> Result<ExperimentReport, CoreError> {
     // Eavesdropping inferences (why channels must be secured).
     let tp_view = eavesdrop_initiator_link(4, 7);
     let dhj_view = eavesdrop_responder_link(12, 7, 3);
-    writeln!(body, "eavesdropping on plaintext channels (Figure 3 values):").unwrap();
+    writeln!(
+        body,
+        "eavesdropping on plaintext channels (Figure 3 values):"
+    )
+    .unwrap();
     writeln!(
         body,
         "  TP on DH_J→DH_K sees x''=4, knows r=7  ⇒ x ∈ {:?} (true x = 3)",
@@ -408,8 +485,16 @@ pub fn e8_privacy() -> Result<ExperimentReport, CoreError> {
         dhj_view.candidates()
     )
     .unwrap();
-    writeln!(body, "with secured channels (the default) neither observation exists.").unwrap();
-    Ok(ExperimentReport::new("E8", "Privacy: frequency-analysis attack and eavesdropping", body))
+    writeln!(
+        body,
+        "with secured channels (the default) neither observation exists."
+    )
+    .unwrap();
+    Ok(ExperimentReport::new(
+        "E8",
+        "Privacy: frequency-analysis attack and eavesdropping",
+        body,
+    ))
 }
 
 /// E9 — scaling with the number of data holders (C(k,2) protocol runs).
@@ -450,7 +535,11 @@ pub fn e9_party_scaling() -> Result<ExperimentReport, CoreError> {
     )
     .unwrap();
     writeln!(body, "pair once, so total bytes stay in the same ballpark.").unwrap();
-    Ok(ExperimentReport::new("E9", "Scaling with the number of data holders (§4)", body))
+    Ok(ExperimentReport::new(
+        "E9",
+        "Scaling with the number of data holders (§4)",
+        body,
+    ))
 }
 
 /// E10 — hierarchical vs partitioning methods on non-spherical / string data.
@@ -479,8 +568,18 @@ pub fn e10_hierarchical_vs_partitioning() -> Result<ExperimentReport, CoreError>
     let single = AgglomerativeClustering::new(Linkage::Single).fit_k(&matrix, 2)?;
     let average = AgglomerativeClustering::new(Linkage::Average).fit_k(&matrix, 2)?;
     let medoids = kmedoids(&matrix, &KMedoidsConfig::new(2))?;
-    let density = dbscan(&matrix, &DbscanConfig { eps: 0.9, min_points: 3 })?;
-    writeln!(body, "two concentric rings (non-spherical clusters), 100 points:").unwrap();
+    let density = dbscan(
+        &matrix,
+        &DbscanConfig {
+            eps: 0.9,
+            min_points: 3,
+        },
+    )?;
+    writeln!(
+        body,
+        "two concentric rings (non-spherical clusters), 100 points:"
+    )
+    .unwrap();
     writeln!(body, "{:<36} {:>10}", "method", "ARI(truth)").unwrap();
     for (name, assignment) in [
         ("hierarchical, single linkage", &single),
@@ -494,15 +593,23 @@ pub fn e10_hierarchical_vs_partitioning() -> Result<ExperimentReport, CoreError>
     writeln!(body).unwrap();
 
     // Part 2: DNA strings — partitioning methods have no mean to work with.
-    let workload = Workload::dna_only(24, 2, 3, 24, 8)
-        .map_err(|e| CoreError::Protocol(e.to_string()))?;
+    let workload =
+        Workload::dna_only(24, 2, 3, 24, 8).map_err(|e| CoreError::Protocol(e.to_string()))?;
     let summary = run_session(&workload, NumericMode::Batch, 3, Linkage::Average)?;
     let kmeans_result = distributed_kmeans(
         workload.schema(),
         &workload.partitions,
-        &DistributedKMeansConfig { k: 3, max_iterations: 20, seed: 1 },
+        &DistributedKMeansConfig {
+            k: 3,
+            max_iterations: 20,
+            seed: 1,
+        },
     );
-    writeln!(body, "DNA strings (edit distance), 24 sequences across 2 sites:").unwrap();
+    writeln!(
+        body,
+        "DNA strings (edit distance), 24 sequences across 2 sites:"
+    )
+    .unwrap();
     writeln!(
         body,
         "  hierarchical on protocol-built dissimilarity matrix: ARI(truth) = {:.3}",
@@ -534,17 +641,21 @@ pub fn e10_hierarchical_vs_partitioning() -> Result<ExperimentReport, CoreError>
 
 /// E11 — internal quality parameters the third party can publish (§5).
 pub fn e11_quality_parameters() -> Result<ExperimentReport, CoreError> {
-    let workload = Workload::bird_flu(24, 3, 3, 77)
-        .map_err(|e| CoreError::Protocol(e.to_string()))?;
+    let workload =
+        Workload::bird_flu(24, 3, 3, 77).map_err(|e| CoreError::Protocol(e.to_string()))?;
     let schema = workload.schema().clone();
     let setup = TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(1))?;
     let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
     let output = driver.construct(&setup.holders, &setup.third_party)?;
     let mut body = String::new();
-    writeln!(body, "{:>3} {:>28} {:>14}", "k", "avg within-cluster sq dist", "silhouette").unwrap();
+    writeln!(
+        body,
+        "{:>3} {:>28} {:>14}",
+        "k", "avg within-cluster sq dist", "silhouette"
+    )
+    .unwrap();
     for k in 2..=6 {
-        let (result, matrix) =
-            driver.cluster(&output, &ClusteringRequest::uniform(&schema, k))?;
+        let (result, matrix) = driver.cluster(&output, &ClusteringRequest::uniform(&schema, k))?;
         let assignment = crate::runners::assignment_from_result(&result, &workload.len());
         let sil = silhouette(matrix.matrix(), &assignment).unwrap_or(0.0);
         writeln!(
@@ -560,8 +671,16 @@ pub fn e11_quality_parameters() -> Result<ExperimentReport, CoreError> {
         "the third party can publish these aggregates without leaking private values;"
     )
     .unwrap();
-    writeln!(body, "the silhouette peak identifies the ground-truth cluster count (3).").unwrap();
-    Ok(ExperimentReport::new("E11", "Published clustering-quality parameters (§5)", body))
+    writeln!(
+        body,
+        "the silhouette peak identifies the ground-truth cluster count (3)."
+    )
+    .unwrap();
+    Ok(ExperimentReport::new(
+        "E11",
+        "Published clustering-quality parameters (§5)",
+        body,
+    ))
 }
 
 /// Runs every experiment in order.
@@ -590,7 +709,9 @@ mod tests {
         let e1 = e1_numeric_worked_example().unwrap();
         assert!(e1.body.contains("matches paper: true"));
         let e2 = e2_alphanumeric_worked_example().unwrap();
-        assert!(e2.body.contains("TP edit distance via CCM: 2   plaintext edit distance: 2"));
+        assert!(e2
+            .body
+            .contains("TP edit distance via CCM: 2   plaintext edit distance: 2"));
     }
 
     #[test]

@@ -31,7 +31,10 @@ fn check_lengths(a: &ClusterAssignment, b: &ClusterAssignment) -> Result<(), Clu
         return Err(ClusterError::EmptyInput);
     }
     if a.len() != b.len() {
-        return Err(ClusterError::DimensionMismatch { expected: a.len(), got: b.len() });
+        return Err(ClusterError::DimensionMismatch {
+            expected: a.len(),
+            got: b.len(),
+        });
     }
     Ok(())
 }

@@ -25,7 +25,10 @@ impl ClusterAssignment {
             let id = *mapping.entry(l).or_insert(next);
             dense.push(id);
         }
-        ClusterAssignment { labels: dense, clusters: mapping.len() }
+        ClusterAssignment {
+            labels: dense,
+            clusters: mapping.len(),
+        }
     }
 
     /// Number of objects.
@@ -72,7 +75,10 @@ impl ClusterAssignment {
         if self.labels.len() == n {
             Ok(())
         } else {
-            Err(ClusterError::DimensionMismatch { expected: n, got: self.labels.len() })
+            Err(ClusterError::DimensionMismatch {
+                expected: n,
+                got: self.labels.len(),
+            })
         }
     }
 

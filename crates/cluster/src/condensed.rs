@@ -21,14 +21,20 @@ pub struct CondensedDistanceMatrix {
 impl CondensedDistanceMatrix {
     /// Creates an all-zero matrix over `n` objects.
     pub fn zeros(n: usize) -> Self {
-        CondensedDistanceMatrix { n, values: vec![0.0; n * (n.saturating_sub(1)) / 2] }
+        CondensedDistanceMatrix {
+            n,
+            values: vec![0.0; n * (n.saturating_sub(1)) / 2],
+        }
     }
 
     /// Creates a matrix from the packed lower-triangular values.
     pub fn from_condensed(n: usize, values: Vec<f64>) -> Result<Self, ClusterError> {
         let expected = n * n.saturating_sub(1) / 2;
         if values.len() != expected {
-            return Err(ClusterError::DimensionMismatch { expected, got: values.len() });
+            return Err(ClusterError::DimensionMismatch {
+                expected,
+                got: values.len(),
+            });
         }
         Ok(CondensedDistanceMatrix { n, values })
     }
@@ -80,10 +86,16 @@ impl CondensedDistanceMatrix {
     /// Checked variant of [`get`](Self::get).
     pub fn try_get(&self, i: usize, j: usize) -> Result<f64, ClusterError> {
         if i >= self.n {
-            return Err(ClusterError::IndexOutOfBounds { index: i, size: self.n });
+            return Err(ClusterError::IndexOutOfBounds {
+                index: i,
+                size: self.n,
+            });
         }
         if j >= self.n {
-            return Err(ClusterError::IndexOutOfBounds { index: j, size: self.n });
+            return Err(ClusterError::IndexOutOfBounds {
+                index: j,
+                size: self.n,
+            });
         }
         Ok(self.get(i, j))
     }
@@ -119,6 +131,34 @@ impl CondensedDistanceMatrix {
         }
     }
 
+    /// Adds `scale · other` element-wise into `self` without allocating.
+    ///
+    /// This is the building block of the paper's §5 merge: callers fold
+    /// `weight / max` of each per-attribute matrix straight into one
+    /// accumulator, so neither a normalised copy of the attribute matrix nor
+    /// an intermediate weighted matrix is ever materialised.
+    pub fn accumulate_scaled(
+        &mut self,
+        other: &CondensedDistanceMatrix,
+        scale: f64,
+    ) -> Result<(), ClusterError> {
+        if other.n != self.n {
+            return Err(ClusterError::DimensionMismatch {
+                expected: self.n,
+                got: other.n,
+            });
+        }
+        if scale < 0.0 || !scale.is_finite() {
+            return Err(ClusterError::InvalidParameter(format!(
+                "accumulation scale must be finite and non-negative, got {scale}"
+            )));
+        }
+        for (o, &v) in self.values.iter_mut().zip(&other.values) {
+            *o += scale * v;
+        }
+        Ok(())
+    }
+
     /// Returns a weighted element-wise combination of per-attribute
     /// matrices: `Σ w_a · d_a`, the paper's merge of per-attribute
     /// dissimilarity matrices under a weight vector.
@@ -138,7 +178,10 @@ impl CondensedDistanceMatrix {
         let n = matrices[0].n;
         for m in matrices {
             if m.n != n {
-                return Err(ClusterError::DimensionMismatch { expected: n, got: m.n });
+                return Err(ClusterError::DimensionMismatch {
+                    expected: n,
+                    got: m.n,
+                });
             }
         }
         let mut out = CondensedDistanceMatrix::zeros(n);
@@ -243,7 +286,7 @@ mod tests {
         let b = CondensedDistanceMatrix::zeros(4);
         assert!(CondensedDistanceMatrix::weighted_merge(&[], &[]).is_err());
         assert!(
-            CondensedDistanceMatrix::weighted_merge(&[a.clone()], &[0.5, 0.5]).is_err()
+            CondensedDistanceMatrix::weighted_merge(std::slice::from_ref(&a), &[0.5, 0.5]).is_err()
         );
         assert!(CondensedDistanceMatrix::weighted_merge(&[a.clone(), b], &[1.0, 1.0]).is_err());
         assert!(CondensedDistanceMatrix::weighted_merge(&[a], &[-1.0]).is_err());

@@ -44,15 +44,18 @@ pub fn dbscan(
         return Err(ClusterError::EmptyInput);
     }
     if config.eps < 0.0 {
-        return Err(ClusterError::InvalidParameter("eps must be non-negative".into()));
+        return Err(ClusterError::InvalidParameter(
+            "eps must be non-negative".into(),
+        ));
     }
     if config.min_points == 0 {
-        return Err(ClusterError::InvalidParameter("min_points must be positive".into()));
+        return Err(ClusterError::InvalidParameter(
+            "min_points must be positive".into(),
+        ));
     }
 
-    let neighbours = |i: usize| -> Vec<usize> {
-        (0..n).filter(|&j| matrix.get(i, j) <= config.eps).collect()
-    };
+    let neighbours =
+        |i: usize| -> Vec<usize> { (0..n).filter(|&j| matrix.get(i, j) <= config.eps).collect() };
 
     let mut raw: Vec<Option<usize>> = vec![None; n];
     let mut visited = vec![false; n];
@@ -144,7 +147,14 @@ mod tests {
     fn separates_concentric_rings() {
         let pts = two_rings();
         let m = matrix_from_points(&pts);
-        let r = dbscan(&m, &DbscanConfig { eps: 0.8, min_points: 3 }).unwrap();
+        let r = dbscan(
+            &m,
+            &DbscanConfig {
+                eps: 0.8,
+                min_points: 3,
+            },
+        )
+        .unwrap();
         assert_eq!(r.clusters, 2);
         assert_eq!(r.noise, 0);
         // All inner-ring points share a cluster distinct from the outer ring.
@@ -156,7 +166,14 @@ mod tests {
     fn isolated_points_become_noise() {
         let pts = vec![(0.0, 0.0), (0.1, 0.0), (0.2, 0.0), (50.0, 50.0)];
         let m = matrix_from_points(&pts);
-        let r = dbscan(&m, &DbscanConfig { eps: 0.5, min_points: 2 }).unwrap();
+        let r = dbscan(
+            &m,
+            &DbscanConfig {
+                eps: 0.5,
+                min_points: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(r.clusters, 1);
         assert_eq!(r.noise, 1);
         assert_eq!(r.raw[3], None);
@@ -167,17 +184,44 @@ mod tests {
     #[test]
     fn parameter_validation() {
         let m = matrix_from_points(&[(0.0, 0.0), (1.0, 1.0)]);
-        assert!(dbscan(&m, &DbscanConfig { eps: -1.0, min_points: 2 }).is_err());
-        assert!(dbscan(&m, &DbscanConfig { eps: 1.0, min_points: 0 }).is_err());
-        assert!(dbscan(&CondensedDistanceMatrix::zeros(0), &DbscanConfig { eps: 1.0, min_points: 1 })
-            .is_err());
+        assert!(dbscan(
+            &m,
+            &DbscanConfig {
+                eps: -1.0,
+                min_points: 2
+            }
+        )
+        .is_err());
+        assert!(dbscan(
+            &m,
+            &DbscanConfig {
+                eps: 1.0,
+                min_points: 0
+            }
+        )
+        .is_err());
+        assert!(dbscan(
+            &CondensedDistanceMatrix::zeros(0),
+            &DbscanConfig {
+                eps: 1.0,
+                min_points: 1
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn all_points_one_dense_cluster() {
         let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64 * 0.01, 0.0)).collect();
         let m = matrix_from_points(&pts);
-        let r = dbscan(&m, &DbscanConfig { eps: 0.5, min_points: 3 }).unwrap();
+        let r = dbscan(
+            &m,
+            &DbscanConfig {
+                eps: 0.5,
+                min_points: 3,
+            },
+        )
+        .unwrap();
         assert_eq!(r.clusters, 1);
         assert_eq!(r.noise, 0);
         assert_eq!(r.assignment.num_clusters(), 1);

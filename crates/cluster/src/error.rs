@@ -36,7 +36,10 @@ impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClusterError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: expected {expected} entries, got {got}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} entries, got {got}"
+                )
             }
             ClusterError::IndexOutOfBounds { index, size } => {
                 write!(f, "index {index} out of bounds for {size} objects")
@@ -58,12 +61,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(ClusterError::DimensionMismatch { expected: 10, got: 9 }
-            .to_string()
-            .contains("10"));
-        assert!(ClusterError::InvalidClusterCount { requested: 5, objects: 3 }
-            .to_string()
-            .contains("5"));
+        assert!(ClusterError::DimensionMismatch {
+            expected: 10,
+            got: 9
+        }
+        .to_string()
+        .contains("10"));
+        assert!(ClusterError::InvalidClusterCount {
+            requested: 5,
+            objects: 3
+        }
+        .to_string()
+        .contains("5"));
         assert!(ClusterError::EmptyInput.to_string().contains("empty"));
     }
 }

@@ -48,7 +48,10 @@ impl Dendrogram {
     /// last `k − 1` merges.
     pub fn cut_into(&self, k: usize) -> Result<ClusterAssignment, ClusterError> {
         if k == 0 || k > self.n {
-            return Err(ClusterError::InvalidClusterCount { requested: k, objects: self.n });
+            return Err(ClusterError::InvalidClusterCount {
+                requested: k,
+                objects: self.n,
+            });
         }
         let merges_to_apply = self.n - k;
         self.assignment_after(merges_to_apply)
@@ -57,7 +60,11 @@ impl Dendrogram {
     /// Cuts the dendrogram at a distance threshold: merges with distance
     /// strictly greater than `threshold` are not applied.
     pub fn cut_at_distance(&self, threshold: f64) -> Result<ClusterAssignment, ClusterError> {
-        let merges_to_apply = self.merges.iter().take_while(|m| m.distance <= threshold).count();
+        let merges_to_apply = self
+            .merges
+            .iter()
+            .take_while(|m| m.distance <= threshold)
+            .count();
         self.assignment_after(merges_to_apply)
     }
 
@@ -124,9 +131,24 @@ mod tests {
         Dendrogram::new(
             4,
             vec![
-                Merge { left: 0, right: 1, distance: 1.0, size: 2 },
-                Merge { left: 2, right: 3, distance: 2.0, size: 2 },
-                Merge { left: 4, right: 5, distance: 5.0, size: 4 },
+                Merge {
+                    left: 0,
+                    right: 1,
+                    distance: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    left: 2,
+                    right: 3,
+                    distance: 2.0,
+                    size: 2,
+                },
+                Merge {
+                    left: 4,
+                    right: 5,
+                    distance: 5.0,
+                    size: 4,
+                },
             ],
         )
     }
@@ -173,7 +195,12 @@ mod tests {
     fn partial_dendrogram_gives_infinite_cophenetic_distance() {
         let d = Dendrogram::new(
             3,
-            vec![Merge { left: 0, right: 1, distance: 1.0, size: 2 }],
+            vec![Merge {
+                left: 0,
+                right: 1,
+                distance: 1.0,
+                size: 2,
+            }],
         );
         assert!(d.cophenetic_distance(0, 2).is_infinite());
     }

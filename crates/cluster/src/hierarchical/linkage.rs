@@ -13,13 +13,14 @@
 use serde::{Deserialize, Serialize};
 
 /// Linkage criterion for agglomerative clustering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Linkage {
     /// Nearest neighbour (minimum) linkage.
     Single,
     /// Furthest neighbour (maximum) linkage.
     Complete,
     /// Unweighted average linkage (UPGMA).
+    #[default]
     Average,
     /// Weighted average linkage (WPGMA / McQuitty).
     Weighted,
@@ -29,12 +30,6 @@ pub enum Linkage {
     Centroid,
     /// Median linkage (WPGMC).
     Median,
-}
-
-impl Default for Linkage {
-    fn default() -> Self {
-        Linkage::Average
-    }
 }
 
 impl Linkage {
@@ -48,6 +43,25 @@ impl Linkage {
         Linkage::Centroid,
         Linkage::Median,
     ];
+
+    /// Whether the nearest-neighbor-chain algorithm is exact for this
+    /// linkage.
+    ///
+    /// True for the *reducible* criteria — those whose Lance–Williams update
+    /// satisfies `d(i∪j, k) ≥ min(d(i,k), d(j,k))`, so merging two clusters
+    /// never pulls a third one closer. Centroid and median linkage violate
+    /// reducibility (their dendrograms can contain inversions) and must use
+    /// the textbook scan.
+    pub fn nn_chain_exact(&self) -> bool {
+        matches!(
+            self,
+            Linkage::Single
+                | Linkage::Complete
+                | Linkage::Average
+                | Linkage::Weighted
+                | Linkage::Ward
+        )
+    }
 
     /// Applies the Lance–Williams update.
     ///

@@ -5,9 +5,21 @@
 //! module implements the classic agglomerative scheme driven by
 //! Lance–Williams distance updates so the whole family of standard linkages
 //! is available.
+//!
+//! Two engines back [`AgglomerativeClustering::fit`]:
+//!
+//! * the **nearest-neighbor-chain** algorithm ([`nnchain`]) — O(n²) time and
+//!   O(n) extra space, exact for the reducible linkages (single, complete,
+//!   average, weighted, Ward); used automatically whenever
+//!   [`Linkage::nn_chain_exact`] holds;
+//! * the **textbook O(n³) scan** ([`AgglomerativeClustering::fit_naive`]) —
+//!   retained both as the engine for the non-reducible centroid/median
+//!   linkages (whose inversions break the chain invariant) and as the
+//!   auditable test oracle the NN-chain output is property-tested against.
 
 pub mod dendrogram;
 pub mod linkage;
+mod nnchain;
 
 pub use dendrogram::{Dendrogram, Merge};
 pub use linkage::Linkage;
@@ -35,11 +47,25 @@ impl AgglomerativeClustering {
 
     /// Builds the full dendrogram for `matrix`.
     ///
-    /// Uses the O(n³) textbook algorithm (scan for the closest active pair,
-    /// merge, update distances with the Lance–Williams formula), which is
-    /// ample for the data sizes the protocols produce and keeps the code
-    /// auditable.
+    /// Dispatches to the O(n²) nearest-neighbor-chain algorithm for the
+    /// reducible linkages ([`Linkage::nn_chain_exact`]) and to the O(n³)
+    /// textbook scan ([`Self::fit_naive`]) for centroid and median linkage,
+    /// whose inversions the chain cannot handle.
     pub fn fit(&self, matrix: &CondensedDistanceMatrix) -> Result<Dendrogram, ClusterError> {
+        if self.linkage.nn_chain_exact() {
+            let merges = nnchain::nn_chain(matrix, self.linkage)?;
+            return Ok(Dendrogram::new(matrix.len(), merges));
+        }
+        self.fit_naive(matrix)
+    }
+
+    /// Builds the full dendrogram with the O(n³) textbook algorithm (scan
+    /// for the closest active pair, merge, update distances with the
+    /// Lance–Williams formula).
+    ///
+    /// Kept public as the auditable oracle the NN-chain engine is verified
+    /// against, and as the engine for non-reducible linkages.
+    pub fn fit_naive(&self, matrix: &CondensedDistanceMatrix) -> Result<Dendrogram, ClusterError> {
         let n = matrix.len();
         if n == 0 {
             return Err(ClusterError::EmptyInput);
@@ -92,9 +118,9 @@ impl AgglomerativeClustering {
                 }
                 let d_ka = dist[idx(k, a)];
                 let d_kb = dist[idx(k, b)];
-                let updated =
-                    self.linkage
-                        .lance_williams(d_ka, d_kb, d, size_a, size_b, sizes[k]);
+                let updated = self
+                    .linkage
+                    .lance_williams(d_ka, d_kb, d, size_a, size_b, sizes[k]);
                 dist[idx(k, new_id)] = updated;
             }
             active[a] = false;
@@ -170,13 +196,16 @@ mod tests {
     fn single_linkage_chains_and_complete_does_not() {
         // A chain of points each 1 apart, plus one point 1.5 from the end.
         let coords: [f64; 5] = [0.0, 1.0, 2.0, 3.0, 4.5];
-        let m = CondensedDistanceMatrix::from_fn(coords.len(), |i, j| {
-            (coords[i] - coords[j]).abs()
-        });
-        let single = AgglomerativeClustering::new(Linkage::Single).fit_k(&m, 2).unwrap();
+        let m =
+            CondensedDistanceMatrix::from_fn(coords.len(), |i, j| (coords[i] - coords[j]).abs());
+        let single = AgglomerativeClustering::new(Linkage::Single)
+            .fit_k(&m, 2)
+            .unwrap();
         // Single linkage keeps the chain 0..=3 together.
         assert!(single.same_cluster(0, 3));
-        let complete = AgglomerativeClustering::new(Linkage::Complete).fit(&m).unwrap();
+        let complete = AgglomerativeClustering::new(Linkage::Complete)
+            .fit(&m)
+            .unwrap();
         // Complete linkage's final merge happens at the full diameter.
         let last = complete.merges().last().unwrap();
         assert!((last.distance - 4.5).abs() < 1e-9);
@@ -185,9 +214,47 @@ mod tests {
     #[test]
     fn ward_prefers_compact_clusters() {
         let m = two_group_matrix();
-        let assignment = AgglomerativeClustering::new(Linkage::Ward).fit_k(&m, 3).unwrap();
+        let assignment = AgglomerativeClustering::new(Linkage::Ward)
+            .fit_k(&m, 3)
+            .unwrap();
         assert_eq!(assignment.num_clusters(), 3);
         // Splitting into 3 keeps each original group intact on one side.
         assert!(assignment.same_cluster(3, 4) && assignment.same_cluster(4, 5));
+    }
+
+    /// Regression: under massive distance ties, floating-point noise can sort
+    /// an NN-chain merge marginally before the merge that produced one of its
+    /// operands; the union-find relabelling must still produce a well-formed
+    /// dendrogram (n − 1 merges, final size n, monotone heights, clean cuts).
+    #[test]
+    fn nn_chain_stays_well_formed_under_massive_ties() {
+        let n = 60;
+        let m = CondensedDistanceMatrix::from_fn(n, |i, j| {
+            ((i as i64 - j as i64).abs() % 7) as f64 + 1.0
+        });
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Weighted,
+            Linkage::Ward,
+        ] {
+            let d = AgglomerativeClustering::new(linkage).fit(&m).unwrap();
+            assert_eq!(d.merges().len(), n - 1, "{linkage:?}");
+            assert_eq!(d.merges().last().unwrap().size, n, "{linkage:?}");
+            assert!(
+                d.merges()
+                    .windows(2)
+                    .all(|w| w[0].distance <= w[1].distance + 1e-12),
+                "{linkage:?}: heights must be non-decreasing"
+            );
+            for k in [1, 2, 5, n] {
+                assert_eq!(
+                    d.cut_into(k).unwrap().num_clusters(),
+                    k,
+                    "{linkage:?} k={k}"
+                );
+            }
+        }
     }
 }

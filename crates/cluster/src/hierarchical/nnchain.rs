@@ -1,0 +1,152 @@
+//! Nearest-neighbor-chain agglomeration (O(n²) time, O(n) extra space).
+//!
+//! The textbook agglomerative loop re-scans every active pair each step,
+//! costing O(n³). For *reducible* linkages — single, complete, average
+//! (UPGMA), weighted (WPGMA) and Ward, i.e. those whose Lance–Williams
+//! update satisfies `d(i∪j, k) ≥ min(d(i,k), d(j,k))` — merging two clusters
+//! never makes a third cluster closer to the merged pair than it was to
+//! either part. Under that guarantee, following nearest-neighbor links until
+//! a *reciprocal* pair is found always discovers a pair that the textbook
+//! algorithm would eventually merge at the same height, so merging
+//! reciprocal pairs greedily produces the exact same dendrogram heights
+//! (Benzécri 1982, Murtagh 1983 — the algorithm scipy and fastcluster use).
+//!
+//! The chain emits merges out of height order, so the merge list is stably
+//! sorted by height afterwards and relabelled with a union-find into the
+//! SciPy id convention ([`Merge`]'s contract).
+//!
+//! Tie semantics: when all pairwise and derived distances are distinct (the
+//! generic case — continuous dissimilarities), the dendrogram is unique and
+//! NN-chain reproduces the textbook scan's heights exactly. Under massive
+//! ties the merge order is ambiguous; both engines then return *a* valid
+//! dendrogram of the linkage, but history-dependent criteria (notably
+//! weighted/WPGMA) may disagree on heights between any two valid orders.
+//! The union-find relabelling keeps the NN-chain output a well-formed tree
+//! in every case.
+
+use crate::condensed::CondensedDistanceMatrix;
+use crate::error::ClusterError;
+use crate::hierarchical::dendrogram::Merge;
+use crate::hierarchical::linkage::Linkage;
+
+/// Index of pair `(i, j)`, `i != j`, in the condensed working buffer.
+#[inline]
+fn cond(i: usize, j: usize) -> usize {
+    let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+    hi * (hi - 1) / 2 + lo
+}
+
+/// Runs the NN-chain algorithm, returning the merge list in SciPy id
+/// convention sorted by non-decreasing height.
+///
+/// Caller contract: `matrix.len() >= 1` and `linkage` is reducible
+/// ([`Linkage::nn_chain_exact`]).
+pub(super) fn nn_chain(
+    matrix: &CondensedDistanceMatrix,
+    linkage: Linkage,
+) -> Result<Vec<Merge>, ClusterError> {
+    let n = matrix.len();
+    if n == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    debug_assert!(
+        linkage.nn_chain_exact(),
+        "NN-chain is only exact for reducible linkages"
+    );
+
+    // Working distances between *slots* (original object indices). A merged
+    // cluster keeps living in one of its constituent slots, so the buffer
+    // never grows beyond the initial n(n−1)/2 entries.
+    let mut d: Vec<f64> = matrix.condensed_values().to_vec();
+    // size[slot] > 0 marks an active slot.
+    let mut size: Vec<usize> = vec![1; n];
+    // Raw merges as (slot_x, slot_y, height); the merged cluster stays in
+    // slot_y.
+    let mut raw: Vec<(usize, usize, f64)> = Vec::with_capacity(n.saturating_sub(1));
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+
+    for _ in 0..n.saturating_sub(1) {
+        // (Re)start the chain from any active slot.
+        if chain.is_empty() {
+            let start = size
+                .iter()
+                .position(|&s| s > 0)
+                .expect("an active slot remains");
+            chain.push(start);
+        }
+        // Follow nearest-neighbor links until they are reciprocal. Ties
+        // prefer the chain predecessor, which guarantees termination.
+        let (x, y, height) = loop {
+            let x = *chain.last().expect("chain is non-empty");
+            let mut y = usize::MAX;
+            let mut best = f64::INFINITY;
+            if chain.len() >= 2 {
+                y = chain[chain.len() - 2];
+                best = d[cond(x, y)];
+            }
+            for i in 0..n {
+                if size[i] > 0 && i != x && d[cond(x, i)] < best {
+                    best = d[cond(x, i)];
+                    y = i;
+                }
+            }
+            debug_assert!(y != usize::MAX, "every active slot has a nearest neighbor");
+            if chain.len() >= 2 && y == chain[chain.len() - 2] {
+                chain.pop();
+                chain.pop();
+                break (x, y, best);
+            }
+            chain.push(y);
+        };
+
+        // Lance–Williams update of every other active slot against the
+        // merged cluster, written into slot y.
+        let (size_x, size_y) = (size[x], size[y]);
+        for i in 0..n {
+            if size[i] > 0 && i != x && i != y {
+                let d_ix = d[cond(i, x)];
+                let d_iy = d[cond(i, y)];
+                d[cond(i, y)] = linkage.lance_williams(d_ix, d_iy, height, size_x, size_y, size[i]);
+            }
+        }
+        size[y] = size_x + size_y;
+        size[x] = 0;
+        raw.push((x, y, height));
+    }
+
+    // Stable sort by height, then relabel slots into SciPy cluster ids. The
+    // raw merges form a spanning tree over the slots (every merge retires a
+    // distinct slot), so resolving each slot through a union-find yields a
+    // valid dendrogram in *any* processing order — which matters when
+    // floating-point ties let a chain's later merge sort marginally before
+    // the merge that produced one of its operands.
+    raw.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let total_ids = 2 * n - 1;
+    let mut parent: Vec<usize> = (0..total_ids).collect();
+    let mut id_size: Vec<usize> = vec![1; total_ids];
+    fn find(parent: &mut [usize], mut id: usize) -> usize {
+        while parent[id] != id {
+            parent[id] = parent[parent[id]];
+            id = parent[id];
+        }
+        id
+    }
+    let mut merges = Vec::with_capacity(raw.len());
+    for (step, (x, y, height)) in raw.into_iter().enumerate() {
+        let new_id = n + step;
+        let id_x = find(&mut parent, x);
+        let id_y = find(&mut parent, y);
+        debug_assert_ne!(id_x, id_y, "spanning-tree edges never close a cycle");
+        let merged_size = id_size[id_x] + id_size[id_y];
+        id_size[new_id] = merged_size;
+        parent[id_x] = new_id;
+        parent[id_y] = new_id;
+        merges.push(Merge {
+            left: id_x.min(id_y),
+            right: id_x.max(id_y),
+            distance: height,
+            size: merged_size,
+        });
+    }
+    Ok(merges)
+}

@@ -24,7 +24,12 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// Default configuration for `k` clusters.
     pub fn new(k: usize) -> Self {
-        KMeansConfig { k, max_iterations: 100, tolerance: 1e-9, seed: 0x5eed }
+        KMeansConfig {
+            k,
+            max_iterations: 100,
+            tolerance: 1e-9,
+            seed: 0x5eed,
+        }
     }
 }
 

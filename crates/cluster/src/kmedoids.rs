@@ -23,7 +23,11 @@ pub struct KMedoidsConfig {
 impl KMedoidsConfig {
     /// Default configuration for `k` clusters.
     pub fn new(k: usize) -> Self {
-        KMedoidsConfig { k, max_iterations: 50, seed: 0x6d65_646f }
+        KMedoidsConfig {
+            k,
+            max_iterations: 50,
+            seed: 0x6d65_646f,
+        }
     }
 }
 
@@ -48,13 +52,10 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn assign_and_cost(
-    matrix: &CondensedDistanceMatrix,
-    medoids: &[usize],
-) -> (Vec<usize>, f64) {
+fn assign_and_cost(matrix: &CondensedDistanceMatrix, medoids: &[usize]) -> (Vec<usize>, f64) {
     let mut labels = vec![0usize; matrix.len()];
     let mut cost = 0.0;
-    for i in 0..matrix.len() {
+    for (i, label) in labels.iter_mut().enumerate() {
         let mut best = (0usize, f64::INFINITY);
         for (c, &m) in medoids.iter().enumerate() {
             let d = matrix.get(i, m);
@@ -62,7 +63,7 @@ fn assign_and_cost(
                 best = (c, d);
             }
         }
-        labels[i] = best.0;
+        *label = best.0;
         cost += best.1;
     }
     (labels, cost)
@@ -78,7 +79,10 @@ pub fn kmedoids(
         return Err(ClusterError::EmptyInput);
     }
     if config.k == 0 || config.k > n {
-        return Err(ClusterError::InvalidClusterCount { requested: config.k, objects: n });
+        return Err(ClusterError::InvalidClusterCount {
+            requested: config.k,
+            objects: n,
+        });
     }
     // Deterministic distinct initial medoids.
     let mut state = config.seed;

@@ -32,15 +32,28 @@ impl OutlierScores {
     }
 
     /// Indices of objects whose score exceeds `mean + factor · stddev`.
+    ///
+    /// Scores within floating-point rounding of the threshold count as
+    /// inliers: data that lands *exactly* at `mean + factor·σ` (common for
+    /// symmetric synthetic inputs) must not flip to "outlier" because of the
+    /// last bit of a division.
     pub fn above_sigma(&self, factor: f64) -> Vec<usize> {
         if self.scores.is_empty() {
             return Vec::new();
         }
         let n = self.scores.len() as f64;
         let mean = self.scores.iter().sum::<f64>() / n;
-        let variance = self.scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        let variance = self
+            .scores
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
         let threshold = mean + factor * variance.sqrt();
-        (0..self.scores.len()).filter(|&i| self.scores[i] > threshold).collect()
+        let tolerance = 1e-9 * threshold.abs().max(1.0);
+        (0..self.scores.len())
+            .filter(|&i| self.scores[i] > threshold + tolerance)
+            .collect()
     }
 }
 

@@ -129,7 +129,11 @@ mod tests {
         CondensedDistanceMatrix::from_fn(coords.len(), |i, j| (coords[i] - coords[j]).abs())
     }
 
-    fn good_and_bad() -> (CondensedDistanceMatrix, ClusterAssignment, ClusterAssignment) {
+    fn good_and_bad() -> (
+        CondensedDistanceMatrix,
+        ClusterAssignment,
+        ClusterAssignment,
+    ) {
         let m = line_matrix(&[0.0, 0.5, 1.0, 20.0, 20.5, 21.0]);
         let good = ClusterAssignment::from_labels(&[0, 0, 0, 1, 1, 1]);
         let bad = ClusterAssignment::from_labels(&[0, 1, 0, 1, 0, 1]);

@@ -71,6 +71,47 @@ proptest! {
         prop_assert!((first.distance - matrix.min_value()).abs() < 1e-9);
     }
 
+    /// The O(n²) NN-chain engine produces dendrograms whose merge heights
+    /// equal the retained O(n³) textbook oracle's, for every reducible
+    /// linkage, on arbitrary condensed matrices. (With continuous random
+    /// distances the dendrogram is almost surely unique, so height equality
+    /// pins down the whole tree.)
+    #[test]
+    fn nn_chain_matches_naive_oracle_merge_heights(
+        values in prop::collection::vec(0.001f64..100.0, 1..64),
+        linkage_index in 0usize..5,
+    ) {
+        let matrix = matrix_from_values(&values);
+        let linkage = [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Weighted,
+            Linkage::Ward,
+        ][linkage_index];
+        prop_assert!(linkage.nn_chain_exact());
+        let algo = AgglomerativeClustering::new(linkage);
+        let fast = algo.fit(&matrix).unwrap();
+        let oracle = algo.fit_naive(&matrix).unwrap();
+        prop_assert_eq!(fast.merges().len(), oracle.merges().len());
+        for (f, o) in fast.merges().iter().zip(oracle.merges()) {
+            prop_assert!(
+                (f.distance - o.distance).abs() <= 1e-9 * o.distance.abs().max(1.0),
+                "{linkage:?}: NN-chain height {} vs oracle height {}",
+                f.distance,
+                o.distance
+            );
+            prop_assert_eq!(f.size, o.size, "{linkage:?}: merged sizes diverge");
+        }
+        // Flat cuts agree as well (cluster counts are height-determined).
+        let n = matrix.len();
+        for k in 1..=n.min(5) {
+            let a = fast.cut_into(k).unwrap();
+            let b = oracle.cut_into(k).unwrap();
+            prop_assert_eq!(a.num_clusters(), b.num_clusters());
+        }
+    }
+
     /// The published quality metric is zero exactly when every cluster is a
     /// singleton, and non-negative otherwise.
     #[test]

@@ -32,7 +32,11 @@ impl CharacterComparisonMatrix {
                 mismatch.push(sc != tc);
             }
         }
-        CharacterComparisonMatrix { source_len: s.len(), target_len: t.len(), mismatch }
+        CharacterComparisonMatrix {
+            source_len: s.len(),
+            target_len: t.len(),
+            mismatch,
+        }
     }
 
     /// Builds a CCM from a row-major mismatch bitmap.
@@ -48,7 +52,11 @@ impl CharacterComparisonMatrix {
                 source_len * target_len
             )));
         }
-        Ok(CharacterComparisonMatrix { source_len, target_len, mismatch })
+        Ok(CharacterComparisonMatrix {
+            source_len,
+            target_len,
+            mismatch,
+        })
     }
 
     /// Length of the source string.
@@ -92,9 +100,8 @@ mod tests {
     #[test]
     fn from_mismatches_validates_dimensions() {
         assert!(CharacterComparisonMatrix::from_mismatches(2, 2, vec![true; 3]).is_err());
-        let ccm =
-            CharacterComparisonMatrix::from_mismatches(2, 2, vec![false, true, true, false])
-                .unwrap();
+        let ccm = CharacterComparisonMatrix::from_mismatches(2, 2, vec![false, true, true, false])
+            .unwrap();
         assert!(!ccm.differs(0, 0));
         assert!(ccm.differs(0, 1));
         assert!(!ccm.differs(1, 1));

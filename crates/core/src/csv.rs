@@ -68,7 +68,11 @@ pub fn parse_csv(schema: &Schema, text: &str) -> Result<DataMatrix, CoreError> {
         .next()
         .ok_or_else(|| CoreError::Protocol("CSV input has no header row".into()))?;
     let header_fields = split_line(header)?;
-    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    let expected: Vec<&str> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     if header_fields != expected {
         return Err(CoreError::SchemaMismatch(format!(
             "CSV header {header_fields:?} does not match schema attributes {expected:?}"
@@ -78,7 +82,10 @@ pub fn parse_csv(schema: &Schema, text: &str) -> Result<DataMatrix, CoreError> {
     for (line_number, line) in lines.enumerate() {
         let fields = split_line(line)?;
         if fields.len() != schema.len() {
-            return Err(CoreError::ArityMismatch { expected: schema.len(), got: fields.len() });
+            return Err(CoreError::ArityMismatch {
+                expected: schema.len(),
+                got: fields.len(),
+            });
         }
         let mut values = Vec::with_capacity(fields.len());
         for (field, descriptor) in fields.iter().zip(schema.attributes()) {
@@ -107,8 +114,12 @@ pub fn parse_csv(schema: &Schema, text: &str) -> Result<DataMatrix, CoreError> {
 /// Serialises a [`DataMatrix`] to CSV text (header + one row per object).
 pub fn to_csv(matrix: &DataMatrix) -> String {
     let mut out = String::new();
-    let header: Vec<String> =
-        matrix.schema().attributes().iter().map(|a| quote(&a.name)).collect();
+    let header: Vec<String> = matrix
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| quote(&a.name))
+        .collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in matrix.rows() {

@@ -25,6 +25,12 @@ pub struct ObjectIndex {
     site_sizes: Vec<(u32, usize)>,
     /// Flattened object ids, global order.
     ids: Vec<ObjectId>,
+    /// Precomputed `site → (global offset, count)` lookup, so that
+    /// [`global_index`](Self::global_index) and
+    /// [`site_range`](Self::site_range) — which sit on the condensed-matrix
+    /// addressing hot path — cost one hash probe instead of a linear scan
+    /// over the site list.
+    site_offsets: std::collections::HashMap<u32, (usize, usize)>,
 }
 
 impl ObjectIndex {
@@ -32,12 +38,21 @@ impl ObjectIndex {
     /// third party concatenates partitions.
     pub fn from_site_sizes(site_sizes: &[(u32, usize)]) -> Self {
         let mut ids = Vec::new();
+        let mut site_offsets = std::collections::HashMap::with_capacity(site_sizes.len());
+        let mut offset = 0usize;
         for &(site, count) in site_sizes {
             for i in 0..count {
                 ids.push(ObjectId::new(site, i));
             }
+            // First occurrence wins, matching the scan order of the seed.
+            site_offsets.entry(site).or_insert((offset, count));
+            offset += count;
         }
-        ObjectIndex { site_sizes: site_sizes.to_vec(), ids }
+        ObjectIndex {
+            site_sizes: site_sizes.to_vec(),
+            ids,
+            site_offsets,
+        }
     }
 
     /// Total number of objects.
@@ -60,21 +75,23 @@ impl ObjectIndex {
         &self.site_sizes
     }
 
-    /// Global index of a site-qualified object id.
+    /// Global index of a site-qualified object id (O(1) via the offset map).
     pub fn global_index(&self, id: ObjectId) -> Result<usize, CoreError> {
-        let mut offset = 0usize;
-        for &(site, count) in &self.site_sizes {
-            if site == id.site {
+        match self.site_offsets.get(&id.site) {
+            Some(&(offset, count)) => {
                 if id.local_index < count {
-                    return Ok(offset + id.local_index);
+                    Ok(offset + id.local_index)
+                } else {
+                    Err(CoreError::Protocol(format!(
+                        "object {id} outside site partition of size {count}"
+                    )))
                 }
-                return Err(CoreError::Protocol(format!(
-                    "object {id} outside site partition of size {count}"
-                )));
             }
-            offset += count;
+            None => Err(CoreError::Protocol(format!(
+                "unknown site {} for object {id}",
+                id.site
+            ))),
         }
-        Err(CoreError::Protocol(format!("unknown site {} for object {id}", id.site)))
     }
 
     /// Object id at a global index.
@@ -90,16 +107,12 @@ impl ObjectIndex {
         &self.ids
     }
 
-    /// Range of global indices covered by `site`.
+    /// Range of global indices covered by `site` (O(1) via the offset map).
     pub fn site_range(&self, site: u32) -> Result<std::ops::Range<usize>, CoreError> {
-        let mut offset = 0usize;
-        for &(s, count) in &self.site_sizes {
-            if s == site {
-                return Ok(offset..offset + count);
-            }
-            offset += count;
-        }
-        Err(CoreError::Protocol(format!("unknown site {site}")))
+        self.site_offsets
+            .get(&site)
+            .map(|&(offset, count)| offset..offset + count)
+            .ok_or_else(|| CoreError::Protocol(format!("unknown site {site}")))
     }
 }
 
@@ -116,7 +129,10 @@ pub struct AttributeDissimilarity {
 impl AttributeDissimilarity {
     /// Creates the per-attribute matrix.
     pub fn new(attribute: impl Into<String>, matrix: CondensedDistanceMatrix) -> Self {
-        AttributeDissimilarity { attribute: attribute.into(), matrix }
+        AttributeDissimilarity {
+            attribute: attribute.into(),
+            matrix,
+        }
     }
 
     /// Normalises the matrix into `[0, 1]` by dividing by its maximum
@@ -151,6 +167,10 @@ impl DissimilarityMatrix {
     /// Every per-attribute matrix is normalised (idempotent if already done),
     /// then combined as `Σ w_a · d_a`. The weight vector must cover exactly
     /// the schema's attributes, in order.
+    ///
+    /// Normalisation and weighting happen *in one pass over the condensed
+    /// accumulator*: each attribute contributes `(w_a / max_a) · d_a`
+    /// directly, so no per-attribute matrix is ever cloned or mutated.
     pub fn merge(
         index: ObjectIndex,
         per_attribute: &[AttributeDissimilarity],
@@ -173,15 +193,15 @@ impl DissimilarityMatrix {
                 )));
             }
         }
-        let normalised: Vec<CondensedDistanceMatrix> = per_attribute
-            .iter()
-            .map(|d| {
-                let mut m = d.matrix.clone();
-                m.normalize_max();
-                m
-            })
-            .collect();
-        let merged = CondensedDistanceMatrix::weighted_merge(&normalised, weights.weights())?;
+        let mut merged = CondensedDistanceMatrix::zeros(index.len());
+        for (d, &w) in per_attribute.iter().zip(weights.weights()) {
+            // Dividing the weight by the attribute's maximum is exactly the
+            // paper's "normalise, then weight" (§5 step 4) without the copy;
+            // an all-zero matrix contributes nothing either way.
+            let max = d.matrix.max_value();
+            let scale = if max > 0.0 { w / max } else { w };
+            merged.accumulate_scaled(&d.matrix, scale)?;
+        }
         DissimilarityMatrix::new(index, merged)
     }
 
@@ -260,16 +280,74 @@ mod tests {
             CondensedDistanceMatrix::from_condensed(3, vec![1000.0, 0.0, 1000.0]).unwrap(),
         );
         let weights = WeightVector::new(vec![1.0, 3.0]).unwrap();
-        let merged =
-            DissimilarityMatrix::merge(idx, &[age, income], &schema, &weights).unwrap();
+        let merged = DissimilarityMatrix::merge(idx, &[age, income], &schema, &weights).unwrap();
         // (1,0): 0.25·(10/10) + 0.75·(1000/1000) = 1.0
-        assert!((merged.distance(ObjectId::new(0, 1), ObjectId::new(0, 0)).unwrap() - 1.0).abs()
-            < 1e-12);
+        assert!(
+            (merged
+                .distance(ObjectId::new(0, 1), ObjectId::new(0, 0))
+                .unwrap()
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
         // (2,0): 0.25·0.5 + 0.75·0 = 0.125
-        assert!((merged.distance(ObjectId::new(0, 2), ObjectId::new(0, 0)).unwrap() - 0.125)
-            .abs()
-            < 1e-12);
+        assert!(
+            (merged
+                .distance(ObjectId::new(0, 2), ObjectId::new(0, 0))
+                .unwrap()
+                - 0.125)
+                .abs()
+                < 1e-12
+        );
         assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn merge_of_already_normalised_matrices_is_idempotent() {
+        let schema = Schema::new(vec![
+            AttributeDescriptor::numeric("age"),
+            AttributeDescriptor::numeric("income"),
+        ])
+        .unwrap();
+        let idx = ObjectIndex::from_site_sizes(&[(0, 4)]);
+        let raw = vec![
+            AttributeDissimilarity::new(
+                "age",
+                CondensedDistanceMatrix::from_condensed(4, vec![8.0, 2.0, 4.0, 6.0, 1.0, 8.0])
+                    .unwrap(),
+            ),
+            AttributeDissimilarity::new(
+                "income",
+                CondensedDistanceMatrix::from_condensed(
+                    4,
+                    vec![0.5, 100.0, 25.0, 75.0, 50.0, 10.0],
+                )
+                .unwrap(),
+            ),
+        ];
+        let weights = WeightVector::new(vec![2.0, 1.0]).unwrap();
+        let merged_raw = DissimilarityMatrix::merge(idx.clone(), &raw, &schema, &weights).unwrap();
+        // Pre-normalise every attribute, then merge again: the result must
+        // be identical, because merge normalises internally and
+        // normalisation is idempotent.
+        let normalised: Vec<AttributeDissimilarity> = raw
+            .iter()
+            .map(|d| {
+                let mut n = d.clone();
+                n.normalize();
+                assert!((n.matrix.max_value() - 1.0).abs() < 1e-12);
+                n
+            })
+            .collect();
+        let merged_normalised =
+            DissimilarityMatrix::merge(idx, &normalised, &schema, &weights).unwrap();
+        assert!(
+            merged_raw
+                .matrix()
+                .max_abs_difference(merged_normalised.matrix())
+                < 1e-12,
+            "merge must be idempotent under pre-normalisation"
+        );
     }
 
     #[test]
@@ -284,7 +362,7 @@ mod tests {
         // Too few matrices.
         assert!(DissimilarityMatrix::merge(
             idx.clone(),
-            &[one.clone()],
+            std::slice::from_ref(&one),
             &schema,
             &schema.uniform_weights()
         )
@@ -301,13 +379,9 @@ mod tests {
         // Weight vector of the wrong size.
         let a = AttributeDissimilarity::new("a", CondensedDistanceMatrix::zeros(2));
         let b = AttributeDissimilarity::new("b", CondensedDistanceMatrix::zeros(2));
-        assert!(DissimilarityMatrix::merge(
-            idx,
-            &[a, b],
-            &schema,
-            &WeightVector::uniform(3)
-        )
-        .is_err());
+        assert!(
+            DissimilarityMatrix::merge(idx, &[a, b], &schema, &WeightVector::uniform(3)).is_err()
+        );
     }
 
     #[test]

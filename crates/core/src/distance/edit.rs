@@ -19,7 +19,9 @@ pub fn edit_distance(source: &str, target: &str) -> u32 {
 /// Edit distance computed from a character comparison matrix, the way the
 /// third party does it in the alphanumeric protocol.
 pub fn edit_distance_from_ccm(ccm: &CharacterComparisonMatrix) -> u32 {
-    edit_distance_by(ccm.source_len(), ccm.target_len(), |i, j| ccm.substitution_cost(i, j))
+    edit_distance_by(ccm.source_len(), ccm.target_len(), |i, j| {
+        ccm.substitution_cost(i, j)
+    })
 }
 
 /// Shared dynamic program: `cost(i, j)` returns the substitution cost of
@@ -86,7 +88,11 @@ mod tests {
         ];
         for (s, t) in pairs {
             let ccm = CharacterComparisonMatrix::from_strings(s, t);
-            assert_eq!(edit_distance_from_ccm(&ccm), edit_distance(s, t), "{s} vs {t}");
+            assert_eq!(
+                edit_distance_from_ccm(&ccm),
+                edit_distance(s, t),
+                "{s} vs {t}"
+            );
         }
     }
 

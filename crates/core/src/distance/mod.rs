@@ -88,8 +88,12 @@ mod tests {
         let cat = AttributeDescriptor::categorical("blood");
         let dna = AttributeDescriptor::alphanumeric("dna", Alphabet::dna());
         assert_eq!(
-            attribute_distance(&num, &AttributeValue::numeric(3.0), &AttributeValue::numeric(8.0))
-                .unwrap(),
+            attribute_distance(
+                &num,
+                &AttributeValue::numeric(3.0),
+                &AttributeValue::numeric(8.0)
+            )
+            .unwrap(),
             5.0
         );
         assert_eq!(

@@ -57,12 +57,19 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::TypeMismatch { attribute, expected, found } => write!(
+            CoreError::TypeMismatch {
+                attribute,
+                expected,
+                found,
+            } => write!(
                 f,
                 "attribute '{attribute}' expects {expected} values, found {found}"
             ),
             CoreError::ArityMismatch { expected, got } => {
-                write!(f, "record has {got} values but the schema declares {expected}")
+                write!(
+                    f,
+                    "record has {got} values but the schema declares {expected}"
+                )
             }
             CoreError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             CoreError::UnknownAttribute(name) => write!(f, "unknown attribute '{name}'"),
@@ -124,7 +131,9 @@ mod tests {
             found: "categorical".into(),
         };
         assert!(e.to_string().contains("age"));
-        assert!(CoreError::UnknownAttribute("dna".into()).to_string().contains("dna"));
+        assert!(CoreError::UnknownAttribute("dna".into())
+            .to_string()
+            .contains("dna"));
         assert!(CoreError::FixedPointOverflow { value: 1e300 }
             .to_string()
             .contains("cannot be represented"));

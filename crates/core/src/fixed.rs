@@ -125,6 +125,9 @@ mod tests {
     fn encode_column_propagates_errors() {
         let codec = FixedPointCodec::default();
         assert!(codec.encode_column(&[1.0, 2.0, f64::NAN]).is_err());
-        assert_eq!(codec.encode_column(&[1.0, 2.0]).unwrap(), vec![1_000_000, 2_000_000]);
+        assert_eq!(
+            codec.encode_column(&[1.0, 2.0]).unwrap(),
+            vec![1_000_000, 2_000_000]
+        );
     }
 }

@@ -41,6 +41,8 @@ pub mod error;
 pub mod fixed;
 pub mod linkage;
 pub mod matrix;
+pub mod pairwise;
+pub mod par;
 pub mod privacy;
 pub mod protocol;
 pub mod record;
@@ -55,6 +57,7 @@ pub use error::CoreError;
 pub use fixed::FixedPointCodec;
 pub use linkage::{greedy_one_to_one_linkage, threshold_linkage, MatchedPair};
 pub use matrix::{DataMatrix, HorizontalPartition};
+pub use pairwise::PairwiseBlock;
 pub use record::{ObjectId, Record};
 pub use result::ClusteringResult;
 pub use schema::{AttributeDescriptor, Schema, WeightVector};

@@ -53,7 +53,11 @@ pub fn threshold_linkage(
             let right = matrix.index().object_id(b)?;
             let distance = matrix.matrix().get(a, b);
             if distance <= threshold {
-                matches.push(MatchedPair { left, right, distance });
+                matches.push(MatchedPair {
+                    left,
+                    right,
+                    distance,
+                });
             }
         }
     }
@@ -138,12 +142,23 @@ mod tests {
         assert_eq!(matches.len(), 2);
         let lefts: Vec<ObjectId> = matches.iter().map(|m| m.left).collect();
         let rights: Vec<ObjectId> = matches.iter().map(|m| m.right).collect();
-        assert_eq!(lefts.len(), lefts.iter().collect::<std::collections::HashSet<_>>().len());
-        assert_eq!(rights.len(), rights.iter().collect::<std::collections::HashSet<_>>().len());
-        assert!(matches.iter().any(|m| m.left == ObjectId::new(0, 0)
-            && m.right == ObjectId::new(1, 0)));
-        assert!(matches.iter().any(|m| m.left == ObjectId::new(0, 2)
-            && m.right == ObjectId::new(1, 1)));
+        assert_eq!(
+            lefts.len(),
+            lefts.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+        assert_eq!(
+            rights.len(),
+            rights
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        );
+        assert!(matches
+            .iter()
+            .any(|m| m.left == ObjectId::new(0, 0) && m.right == ObjectId::new(1, 0)));
+        assert!(matches
+            .iter()
+            .any(|m| m.left == ObjectId::new(0, 2) && m.right == ObjectId::new(1, 1)));
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct DataMatrix {
 impl DataMatrix {
     /// Creates an empty matrix over `schema`.
     pub fn new(schema: Schema) -> Self {
-        DataMatrix { schema, rows: Vec::new() }
+        DataMatrix {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Creates a matrix from validated rows.
@@ -80,7 +83,11 @@ impl DataMatrix {
         Ok(self
             .rows
             .iter()
-            .map(|r| r.value_at(attribute_index).and_then(|v| v.as_numeric()).expect("validated"))
+            .map(|r| {
+                r.value_at(attribute_index)
+                    .and_then(|v| v.as_numeric())
+                    .expect("validated")
+            })
             .collect())
     }
 
@@ -165,7 +172,9 @@ impl HorizontalPartition {
 
     /// Site-qualified ids of this partition's objects, in row order.
     pub fn object_ids(&self) -> Vec<ObjectId> {
-        (0..self.matrix.len()).map(|i| ObjectId::new(self.site, i)).collect()
+        (0..self.matrix.len())
+            .map(|i| ObjectId::new(self.site, i))
+            .collect()
     }
 
     /// Checks that this partition's schema equals `schema` (the protocol
@@ -257,7 +266,10 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
         assert_eq!(
-            p.object_ids().iter().map(ToString::to_string).collect::<Vec<_>>(),
+            p.object_ids()
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>(),
             vec!["B1", "B2"]
         );
         assert!(p.validate_schema(&schema()).is_ok());

@@ -1,0 +1,156 @@
+//! Flat row-major pairwise comparison blocks.
+//!
+//! Every comparison protocol materialises, per attribute and per ordered
+//! holder pair `(DH_J, DH_K)`, a `|DH_K| × |DH_J|` matrix: masked differences
+//! (numeric), edit distances (alphanumeric) or decoded attribute-unit
+//! distances (both, on the third party's side). The seed implementation
+//! carried these as `Vec<Vec<_>>`, costing one heap allocation per row and
+//! scattering rows across the heap.
+//!
+//! [`PairwiseBlock`] replaces that shape everywhere: a single contiguous
+//! buffer of `rows · cols` cells in **row-major** order (row `m` = the
+//! responder `DH_K`'s object `m`, column `n` = the initiator `DH_J`'s object
+//! `n`, matching Figures 5–6). One allocation per holder pair, cache-linear
+//! iteration, and the flat buffer is exactly the wire layout of
+//! [`PairwiseMatrixMsg`](crate::protocol::messages::PairwiseMatrixMsg), so
+//! the codec moves it without re-chunking.
+//!
+//! ## Layout
+//!
+//! ```text
+//! cell (m, n)  ->  values[m * cols + n]         (0 ≤ m < rows, 0 ≤ n < cols)
+//! row m        ->  values[m * cols .. (m + 1) * cols]
+//! ```
+
+use crate::error::CoreError;
+
+/// A dense `rows × cols` pairwise matrix stored row-major in one allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairwiseBlock<T> {
+    rows: usize,
+    cols: usize,
+    values: Vec<T>,
+}
+
+impl<T> PairwiseBlock<T> {
+    /// Wraps a flat row-major buffer, validating its length.
+    pub fn new(rows: usize, cols: usize, values: Vec<T>) -> Result<Self, CoreError> {
+        if values.len() != rows * cols {
+            return Err(CoreError::Protocol(format!(
+                "pairwise block claims {rows}×{cols} but carries {} values",
+                values.len()
+            )));
+        }
+        Ok(PairwiseBlock { rows, cols, values })
+    }
+
+    /// Builds a block by evaluating `f(m, n)` for every cell, row-major.
+    pub fn from_fn<F: FnMut(usize, usize) -> T>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut values = Vec::with_capacity(rows * cols);
+        for m in 0..rows {
+            for n in 0..cols {
+                values.push(f(m, n));
+            }
+        }
+        PairwiseBlock { rows, cols, values }
+    }
+
+    /// Number of rows (responder objects).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (initiator objects).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the block holds zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The flat row-major buffer.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Consumes the block, returning the flat buffer (wire layout).
+    pub fn into_values(self) -> Vec<T> {
+        self.values
+    }
+
+    /// Row `m` as a contiguous slice.
+    pub fn row(&self, m: usize) -> &[T] {
+        &self.values[m * self.cols..(m + 1) * self.cols]
+    }
+
+    /// Iterator over the rows as contiguous slices (zero-width rows are
+    /// yielded as empty slices, so the row count is always `rows`).
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[T]> {
+        (0..self.rows).map(move |m| &self.values[m * self.cols..(m + 1) * self.cols])
+    }
+
+    /// Cell `(m, n)`.
+    pub fn get(&self, m: usize, n: usize) -> &T {
+        &self.values[m * self.cols + n]
+    }
+
+    /// Maps every cell into a new block of the same shape, preserving
+    /// row-major order (single pass, single allocation).
+    pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> PairwiseBlock<U> {
+        PairwiseBlock {
+            rows: self.rows,
+            cols: self.cols,
+            values: self.values.iter().map(f).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_shape() {
+        assert!(PairwiseBlock::new(2, 3, vec![0i64; 6]).is_ok());
+        assert!(PairwiseBlock::new(2, 3, vec![0i64; 5]).is_err());
+        assert!(PairwiseBlock::new(0, 5, Vec::<i64>::new()).is_ok());
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let block = PairwiseBlock::from_fn(3, 2, |m, n| (m * 10 + n) as i64);
+        assert_eq!(block.values(), &[0, 1, 10, 11, 20, 21]);
+        assert_eq!(*block.get(2, 1), 21);
+        assert_eq!(block.row(1), &[10, 11]);
+        let rows: Vec<&[i64]> = block.iter_rows().collect();
+        assert_eq!(rows, vec![&[0, 1][..], &[10, 11], &[20, 21]]);
+    }
+
+    #[test]
+    fn zero_row_blocks_keep_an_explicit_column_count() {
+        let empty = PairwiseBlock::<i64>::new(0, 4, vec![]).unwrap();
+        assert_eq!((empty.rows(), empty.cols()), (0, 4));
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter_rows().count(), 0);
+    }
+
+    #[test]
+    fn zero_width_rows_iterate_cleanly() {
+        let block = PairwiseBlock::<u32>::new(2, 0, vec![]).unwrap();
+        assert_eq!(block.rows(), 2);
+        assert_eq!(block.iter_rows().count(), 2);
+        assert!(block.iter_rows().all(<[u32]>::is_empty));
+        assert!(block.is_empty());
+    }
+
+    #[test]
+    fn map_preserves_shape_and_order() {
+        let block = PairwiseBlock::from_fn(2, 2, |m, n| (m + n) as i64);
+        let doubled = block.map(|&v| (v * 2) as u64);
+        assert_eq!((doubled.rows(), doubled.cols()), (2, 2));
+        assert_eq!(doubled.values(), &[0, 2, 2, 4]);
+        assert_eq!(doubled.clone().into_values(), vec![0, 2, 2, 4]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fan-out helper for the third party's independent work items.
+//!
+//! The construction driver's unmask/fold work factors into independent
+//! tasks: one per attribute, and within a pairwise attribute one per ordered
+//! holder pair. With the `parallel` cargo feature enabled,
+//! [`try_par_map`] distributes those tasks over `std::thread::scope` workers
+//! (the offline build environment has no crates.io access, so this plays the
+//! role rayon's `par_iter` would); without the feature it degrades to a
+//! plain sequential loop, which keeps protocol traces deterministic for the
+//! byte-level session tests.
+//!
+//! Tasks only *read* shared protocol state, so the closure takes `&self`-ish
+//! captures via `Sync` and returns owned results that are re-assembled in
+//! index order — output ordering is identical in both modes.
+
+use crate::error::CoreError;
+
+/// Applies `f` to every index in `0..n`, returning results in index order or
+/// the first error encountered (by index, so error selection is
+/// deterministic across both modes).
+#[cfg(not(feature = "parallel"))]
+pub fn try_par_map<T, F>(n: usize, f: F) -> Result<Vec<T>, CoreError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, CoreError> + Sync,
+{
+    (0..n).map(f).collect()
+}
+
+/// Applies `f` to every index in `0..n` on scoped worker threads, returning
+/// results in index order or the lowest-index error.
+///
+/// Nested calls (a task body that itself calls `try_par_map`, as the
+/// construction driver does for holder pairs inside attributes) run
+/// sequentially: only the outermost level fans out, so the worker count
+/// stays bounded by `available_parallelism` instead of multiplying per
+/// nesting level.
+#[cfg(feature = "parallel")]
+pub fn try_par_map<T, F>(n: usize, f: F) -> Result<Vec<T>, CoreError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, CoreError> + Sync,
+{
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    thread_local! {
+        static INSIDE_PAR: Cell<bool> = const { Cell::new(false) };
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 || n <= 1 || INSIDE_PAR.with(Cell::get) {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let mut per_worker: Vec<Vec<(usize, Result<T, CoreError>)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    INSIDE_PAR.with(|flag| flag.set(true));
+                    let mut produced = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        produced.push((index, f(index)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            per_worker.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut indexed: Vec<(usize, Result<T, CoreError>)> =
+        per_worker.into_iter().flatten().collect();
+    indexed.sort_by_key(|&(index, _)| index);
+    debug_assert_eq!(indexed.len(), n);
+    indexed.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_index_order() {
+        let out = try_par_map(100, |i| Ok(i * 2)).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = try_par_map(0, |_| unreachable!()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_maps_stay_correct() {
+        // Inner calls run sequentially under `parallel` (depth guard), but
+        // results must be identical either way.
+        let out = try_par_map(8, |i| try_par_map(8, move |j| Ok(i * 8 + j))).unwrap();
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (i * 8..(i + 1) * 8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let result: Result<Vec<usize>, _> = try_par_map(10, |i| {
+            if i == 7 {
+                Err(CoreError::Protocol("task 7 failed".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(result.is_err());
+    }
+}

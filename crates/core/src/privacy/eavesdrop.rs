@@ -55,7 +55,11 @@ pub fn eavesdrop_initiator_link(observed: i64, known_mask: u64) -> EavesdropInfe
 /// `DH_J`'s inference about `DH_K`'s value `y` from an eavesdropped
 /// `m = r ± (x − y)` on the `DH_K → TP` channel, given that it knows both
 /// `r` and its own `x`.
-pub fn eavesdrop_responder_link(observed: i64, known_mask: u64, own_value: i64) -> EavesdropInference {
+pub fn eavesdrop_responder_link(
+    observed: i64,
+    known_mask: u64,
+    own_value: i64,
+) -> EavesdropInference {
     let delta = observed.wrapping_sub(known_mask as i64); // = ±(x − y)
     EavesdropInference {
         candidate_a: own_value.wrapping_sub(delta),
@@ -102,7 +106,7 @@ mod tests {
         let tp_view = eavesdrop_initiator_link(masked[0], r);
         assert!(tp_view.contains(x));
         // DH_J eavesdropping on DH_K → TP.
-        let dhj_view = eavesdrop_responder_link(pairwise[0][0], r, x);
+        let dhj_view = eavesdrop_responder_link(*pairwise.get(0, 0), r, x);
         assert!(dhj_view.contains(y));
     }
 
@@ -120,7 +124,10 @@ mod tests {
 
     #[test]
     fn duplicate_candidates_collapse() {
-        let inf = EavesdropInference { candidate_a: 9, candidate_b: 9 };
+        let inf = EavesdropInference {
+            candidate_a: 9,
+            candidate_b: 9,
+        };
         assert_eq!(inf.candidates(), vec![9]);
         assert!(inf.contains(9));
         assert!(!inf.contains(8));

@@ -70,12 +70,17 @@ pub fn frequency_attack_on_batch_column(
 ) -> FrequencyAttackOutcome {
     let (lo, hi) = value_range;
     if column.is_empty() || lo > hi {
-        return FrequencyAttackOutcome { candidates: Vec::new(), consistent_candidates: 0 };
+        return FrequencyAttackOutcome {
+            candidates: Vec::new(),
+            consistent_candidates: 0,
+        };
     }
     // Cancel the known mask: residual[m] = ±(x − y_m) for the unknown
     // initiator value x and the responder's private values y_m.
-    let residual: Vec<i64> =
-        column.iter().map(|&v| v.wrapping_sub(initiator_mask as i64)).collect();
+    let residual: Vec<i64> = column
+        .iter()
+        .map(|&v| v.wrapping_sub(initiator_mask as i64))
+        .collect();
 
     let mut candidates: Vec<Vec<i64>> = Vec::new();
     let mut consistent = 0usize;
@@ -98,7 +103,10 @@ pub fn frequency_attack_on_batch_column(
             shift += 1;
         }
     }
-    FrequencyAttackOutcome { candidates, consistent_candidates: consistent }
+    FrequencyAttackOutcome {
+        candidates,
+        consistent_candidates: consistent,
+    }
 }
 
 #[cfg(test)]
@@ -128,9 +136,8 @@ mod tests {
         let j_values: Vec<i64> = vec![2];
         let k_values: Vec<i64> = vec![0, 5, 3, 3, 1, 4, 0, 2];
         let masked = numeric::initiator_mask(&j_values, &seeds, algorithm);
-        let pairwise =
-            numeric::responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
-        let column: Vec<i64> = pairwise.iter().map(|row| row[0]).collect();
+        let pairwise = numeric::responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
+        let column: Vec<i64> = pairwise.iter_rows().map(|row| row[0]).collect();
         let outcome = frequency_attack_on_batch_column(
             &column,
             tp_mask_for_column_zero(&seeds, algorithm),
@@ -138,7 +145,11 @@ mod tests {
         );
         // The attacker is left with a handful of candidates, one of which is
         // the responder's exact private column.
-        assert!(outcome.consistent_candidates <= 4, "{}", outcome.consistent_candidates);
+        assert!(
+            outcome.consistent_candidates <= 4,
+            "{}",
+            outcome.consistent_candidates
+        );
         assert!(outcome.contains_truth(&k_values));
         assert!(outcome.recovery_rate(&k_values) >= 0.99);
     }
@@ -150,15 +161,11 @@ mod tests {
         let seeds = seeds();
         let j_values: Vec<i64> = vec![2];
         let k_values: Vec<i64> = vec![0, 5, 3, 3, 1, 4, 0, 2];
-        let masked =
-            numeric::initiator_mask_per_pair(&j_values, k_values.len(), &seeds, algorithm);
-        let pairwise = numeric::responder_fold_per_pair(
-            &masked,
-            &k_values,
-            &seeds.holder_holder,
-            algorithm,
-        );
-        let column: Vec<i64> = pairwise.iter().map(|row| row[0]).collect();
+        let masked = numeric::initiator_mask_per_pair(&j_values, k_values.len(), &seeds, algorithm);
+        let pairwise =
+            numeric::responder_fold_per_pair(&masked, &k_values, &seeds.holder_holder, algorithm)
+                .expect("masked copies match the responder column");
+        let column: Vec<i64> = pairwise.iter_rows().map(|row| row[0]).collect();
         let outcome = frequency_attack_on_batch_column(
             &column,
             tp_mask_for_column_zero(&seeds, algorithm),
@@ -178,7 +185,10 @@ mod tests {
         assert_eq!(out.recovery_rate(&[]), 0.0);
         let out = frequency_attack_on_batch_column(&[1, 2], 0, (5, 0));
         assert_eq!(out.consistent_candidates, 0);
-        let o = FrequencyAttackOutcome { candidates: vec![vec![1]], consistent_candidates: 1 };
+        let o = FrequencyAttackOutcome {
+            candidates: vec![vec![1]],
+            consistent_candidates: 1,
+        };
         assert_eq!(o.recovery_rate(&[1, 2]), 0.0);
         assert!(!o.contains_truth(&[1, 2]));
     }
@@ -193,9 +203,8 @@ mod tests {
         let j_values: Vec<i64> = vec![123_456];
         let k_values: Vec<i64> = vec![1_000_000, -2_000_000, 3_000_000];
         let masked = numeric::initiator_mask(&j_values, &seeds, algorithm);
-        let pairwise =
-            numeric::responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
-        let column: Vec<i64> = pairwise.iter().map(|row| row[0]).collect();
+        let pairwise = numeric::responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
+        let column: Vec<i64> = pairwise.iter_rows().map(|row| row[0]).collect();
         let outcome = frequency_attack_on_batch_column(
             &column,
             tp_mask_for_column_zero(&seeds, algorithm),

@@ -25,6 +25,7 @@ use ppc_crypto::{AlphabetMasker, PairwiseSeeds, RngAlgorithm, Seed};
 use crate::ccm::CharacterComparisonMatrix;
 use crate::distance::edit_distance_from_ccm;
 use crate::error::CoreError;
+use crate::pairwise::PairwiseBlock;
 
 /// The intermediary (still masked) comparison matrix for one string pair, as
 /// built by `DH_K`: entry `[q][p]` corresponds to `DH_K`'s character `q` and
@@ -59,19 +60,22 @@ pub fn initiator_mask_strings(
     algorithm: RngAlgorithm,
 ) -> Result<Vec<Vec<u32>>, CoreError> {
     let masker = AlphabetMasker::new(alphabet_size)?;
+    // "DHJ re-initializes its pseudo-random number generator with the same
+    // seed after disguising each input string" — every string is masked
+    // against the same offset prefix, so one draw of the longest prefix
+    // serves all strings (identical stream values, drawn once).
     let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+    let max_len = strings.iter().map(Vec::len).max().unwrap_or(0);
+    let offsets: Vec<u32> = (0..max_len)
+        .map(|_| (rng_jt.next_u64() % alphabet_size as u64) as u32)
+        .collect();
     let mut out = Vec::with_capacity(strings.len());
     for s in strings {
         let masked: Vec<u32> = s
             .iter()
-            .map(|&symbol| {
-                let offset = (rng_jt.next_u64() % alphabet_size as u64) as u32;
-                masker.mask(symbol, offset)
-            })
+            .zip(&offsets)
+            .map(|(&symbol, &offset)| masker.mask(symbol, offset))
             .collect();
-        // "DHJ re-initializes its pseudo-random number generator with the
-        // same seed after disguising each input string."
-        rng_jt.reseed();
         out.push(masked);
     }
     Ok(out)
@@ -111,13 +115,14 @@ pub fn responder_build_bundle(
 /// `TP` (Figure 10): unmasks every intermediary matrix into a character
 /// comparison matrix and evaluates the edit distance on it.
 ///
-/// Returns the `responder_count × initiator_count` matrix of edit distances.
+/// Returns the `responder_count × initiator_count` block of edit distances
+/// (flat row-major, one allocation).
 pub fn third_party_edit_distances(
     bundle: &MaskedCcmBundle,
     alphabet_size: u32,
     seed_jt: &Seed,
     algorithm: RngAlgorithm,
-) -> Result<Vec<Vec<u32>>, CoreError> {
+) -> Result<PairwiseBlock<u32>, CoreError> {
     let masker = AlphabetMasker::new(alphabet_size)?;
     if bundle.ccms.len() != bundle.responder_count * bundle.initiator_count {
         return Err(CoreError::Protocol(format!(
@@ -126,39 +131,45 @@ pub fn third_party_edit_distances(
             bundle.responder_count * bundle.initiator_count
         )));
     }
+    // Every CCM row is decoded against the same offset sequence — the
+    // stream is re-initialised per row (Figure 10, step 5) and again per
+    // matrix — so the whole bundle consumes one shared offset prefix. Draw
+    // the longest prefix once instead of regenerating it for every row of
+    // every matrix: the unmasking below is value-identical while the cipher
+    // work drops from Σ rows·cols draws to max(cols).
     let mut rng_jt = DynStreamRng::new(algorithm, seed_jt);
-    let mut distances = vec![vec![0u32; bundle.initiator_count]; bundle.responder_count];
-    for m in 0..bundle.responder_count {
-        for n in 0..bundle.initiator_count {
-            let masked = &bundle.ccms[m * bundle.initiator_count + n];
-            if masked.cells.len() != masked.responder_len * masked.initiator_len {
-                return Err(CoreError::Protocol(
-                    "masked CCM cell count does not match its dimensions".into(),
-                ));
-            }
-            let mut mismatch = Vec::with_capacity(masked.cells.len());
-            for q in 0..masked.responder_len {
-                for p in 0..masked.initiator_len {
-                    let offset = (rng_jt.next_u64() % alphabet_size as u64) as u32;
-                    let cell = masked.cells[q * masked.initiator_len + p];
-                    mismatch.push(!masker.is_match(cell, offset));
-                }
-                // Every row of the CCM is decoded against the same offset
-                // sequence, so the stream is re-initialised per row
-                // (Figure 10, step 5).
-                rng_jt.reseed();
-            }
-            // CCM convention: source = DH_K's string (rows), target = DH_J's.
-            let ccm = CharacterComparisonMatrix::from_mismatches(
-                masked.responder_len,
-                masked.initiator_len,
-                mismatch,
-            )?;
-            distances[m][n] = edit_distance_from_ccm(&ccm);
-            rng_jt.reseed();
+    let max_cols = bundle
+        .ccms
+        .iter()
+        .map(|c| c.initiator_len)
+        .max()
+        .unwrap_or(0);
+    let offsets: Vec<u32> = (0..max_cols)
+        .map(|_| (rng_jt.next_u64() % alphabet_size as u64) as u32)
+        .collect();
+    let mut distances = Vec::with_capacity(bundle.ccms.len());
+    for masked in &bundle.ccms {
+        if masked.cells.len() != masked.responder_len * masked.initiator_len {
+            return Err(CoreError::Protocol(
+                "masked CCM cell count does not match its dimensions".into(),
+            ));
         }
+        let row_offsets = &offsets[..masked.initiator_len];
+        let mut mismatch = Vec::with_capacity(masked.cells.len());
+        for row in masked.cells.chunks_exact(masked.initiator_len.max(1)) {
+            for (&cell, &offset) in row.iter().zip(row_offsets) {
+                mismatch.push(!masker.is_match(cell, offset));
+            }
+        }
+        // CCM convention: source = DH_K's string (rows), target = DH_J's.
+        let ccm = CharacterComparisonMatrix::from_mismatches(
+            masked.responder_len,
+            masked.initiator_len,
+            mismatch,
+        )?;
+        distances.push(edit_distance_from_ccm(&ccm));
     }
-    Ok(distances)
+    PairwiseBlock::new(bundle.responder_count, bundle.initiator_count, distances)
 }
 
 #[cfg(test)]
@@ -177,16 +188,26 @@ mod tests {
         j_strings: &[&str],
         k_strings: &[&str],
         algorithm: RngAlgorithm,
-    ) -> Vec<Vec<u32>> {
+    ) -> PairwiseBlock<u32> {
         let seeds = seeds();
-        let j_encoded: Vec<Vec<u32>> =
-            j_strings.iter().map(|s| alphabet.encode(s).unwrap()).collect();
-        let k_encoded: Vec<Vec<u32>> =
-            k_strings.iter().map(|s| alphabet.encode(s).unwrap()).collect();
+        let j_encoded: Vec<Vec<u32>> = j_strings
+            .iter()
+            .map(|s| alphabet.encode(s).unwrap())
+            .collect();
+        let k_encoded: Vec<Vec<u32>> = k_strings
+            .iter()
+            .map(|s| alphabet.encode(s).unwrap())
+            .collect();
         let masked =
             initiator_mask_strings(&j_encoded, alphabet.size(), &seeds, algorithm).unwrap();
         let bundle = responder_build_bundle(&masked, &k_encoded, alphabet.size()).unwrap();
-        third_party_edit_distances(&bundle, alphabet.size(), &seeds.holder_third_party, algorithm).unwrap()
+        third_party_edit_distances(
+            &bundle,
+            alphabet.size(),
+            &seeds.holder_third_party,
+            algorithm,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -194,8 +215,8 @@ mod tests {
         // S = "abc" at DH_J, T = "bd" at DH_K over alphabet {a,b,c,d}.
         let alphabet = Alphabet::abcd();
         let distances = run_protocol(&alphabet, &["abc"], &["bd"], RngAlgorithm::ChaCha20);
-        assert_eq!(distances, vec![vec![edit_distance("bd", "abc")]]);
-        assert_eq!(distances[0][0], 2);
+        assert_eq!(distances.values(), &[edit_distance("bd", "abc")]);
+        assert_eq!(*distances.get(0, 0), 2);
     }
 
     #[test]
@@ -208,7 +229,7 @@ mod tests {
             for (m, t) in k.iter().enumerate() {
                 for (n, s) in j.iter().enumerate() {
                     assert_eq!(
-                        distances[m][n],
+                        *distances.get(m, n),
                         edit_distance(s, t),
                         "{s} vs {t} with {algorithm:?}"
                     );
@@ -221,13 +242,9 @@ mod tests {
     fn masked_strings_stay_inside_the_alphabet_and_differ_from_plaintext() {
         let alphabet = Alphabet::lowercase();
         let strings = vec![alphabet.encode("confidential").unwrap()];
-        let masked = initiator_mask_strings(
-            &strings,
-            alphabet.size(),
-            &seeds(),
-            RngAlgorithm::ChaCha20,
-        )
-        .unwrap();
+        let masked =
+            initiator_mask_strings(&strings, alphabet.size(), &seeds(), RngAlgorithm::ChaCha20)
+                .unwrap();
         assert_eq!(masked[0].len(), strings[0].len());
         assert!(masked[0].iter().all(|&c| c < alphabet.size()));
         // With 12 characters over a 26-letter alphabet the chance that the
@@ -251,7 +268,11 @@ mod tests {
         )
         .is_err());
         bundle.ccms = vec![
-            MaskedCcm { responder_len: 1, initiator_len: 1, cells: vec![0, 1] };
+            MaskedCcm {
+                responder_len: 1,
+                initiator_len: 1,
+                cells: vec![0, 1]
+            };
             4
         ];
         assert!(third_party_edit_distances(
@@ -267,9 +288,9 @@ mod tests {
     fn empty_string_sets_are_handled() {
         let alphabet = Alphabet::dna();
         let distances = run_protocol(&alphabet, &[], &["acgt"], RngAlgorithm::ChaCha20);
-        assert_eq!(distances.len(), 1);
-        assert!(distances[0].is_empty());
+        assert_eq!((distances.rows(), distances.cols()), (1, 0));
         let distances = run_protocol(&alphabet, &["acgt"], &[], RngAlgorithm::ChaCha20);
+        assert_eq!((distances.rows(), distances.cols()), (0, 1));
         assert!(distances.is_empty());
     }
 
@@ -279,10 +300,8 @@ mod tests {
         let encoded = vec![alphabet.encode("acgtacgt").unwrap()];
         let s1 = PairwiseSeeds::new(Seed::from_u64(1), Seed::from_u64(2));
         let s2 = PairwiseSeeds::new(Seed::from_u64(3), Seed::from_u64(4));
-        let m1 =
-            initiator_mask_strings(&encoded, 4, &s1, RngAlgorithm::ChaCha20).unwrap();
-        let m2 =
-            initiator_mask_strings(&encoded, 4, &s2, RngAlgorithm::ChaCha20).unwrap();
+        let m1 = initiator_mask_strings(&encoded, 4, &s1, RngAlgorithm::ChaCha20).unwrap();
+        let m2 = initiator_mask_strings(&encoded, 4, &s2, RngAlgorithm::ChaCha20).unwrap();
         assert_ne!(m1, m2);
         for (seeds, masked) in [(s1, m1), (s2, m2)] {
             let bundle =
@@ -294,7 +313,7 @@ mod tests {
                 RngAlgorithm::ChaCha20,
             )
             .unwrap();
-            assert_eq!(d[0][0], edit_distance("acgtacgt", "aggt"));
+            assert_eq!(*d.get(0, 0), edit_distance("acgtacgt", "aggt"));
         }
     }
 }

@@ -23,7 +23,9 @@ pub struct EncryptedColumn {
 /// Data-holder side: deterministically encrypts a categorical column under
 /// the holders' shared key.
 pub fn encrypt_column(values: &[String], key: &Prf128) -> EncryptedColumn {
-    EncryptedColumn { tags: values.iter().map(|v| key.tag_str(v)).collect() }
+    EncryptedColumn {
+        tags: values.iter().map(|v| key.tag_str(v)).collect(),
+    }
 }
 
 /// Third-party side: merges the encrypted columns of all sites (in site
@@ -31,11 +33,16 @@ pub fn encrypt_column(values: &[String], key: &Prf128) -> EncryptedColumn {
 ///
 /// The output is *not* a local matrix of any single site — as the paper
 /// notes, "data from all parties is input to the algorithm".
-pub fn third_party_dissimilarity(columns: &[EncryptedColumn]) -> Result<CondensedDistanceMatrix, CoreError> {
+pub fn third_party_dissimilarity(
+    columns: &[EncryptedColumn],
+) -> Result<CondensedDistanceMatrix, CoreError> {
     if columns.is_empty() {
         return Err(CoreError::EmptyInput);
     }
-    let merged: Vec<Tag128> = columns.iter().flat_map(|c| c.tags.iter().copied()).collect();
+    let merged: Vec<Tag128> = columns
+        .iter()
+        .flat_map(|c| c.tags.iter().copied())
+        .collect();
     let n = merged.len();
     Ok(CondensedDistanceMatrix::from_fn(n, |i, j| {
         if merged[i] == merged[j] {

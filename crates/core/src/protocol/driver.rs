@@ -6,12 +6,21 @@
 //! reference implementation the networked [`super::session`] is tested
 //! against, and the convenient entry point for library users who only want
 //! the result.
+//!
+//! With the `parallel` cargo feature enabled, independent attributes and
+//! independent holder pairs mask/fold/unmask concurrently (the work items
+//! commute: every task writes a disjoint block of the global matrix, and the
+//! RNG streams are scoped per `(pair, attribute)`), so the output is
+//! identical to the sequential run. The networked session stays sequential
+//! so its protocol traces remain byte-for-byte deterministic.
 
 use ppc_cluster::quality::{average_within_cluster_squared_distance, silhouette};
 use ppc_cluster::{AgglomerativeClustering, CondensedDistanceMatrix, Linkage};
 
 use crate::dissimilarity::{AttributeDissimilarity, DissimilarityMatrix, ObjectIndex};
 use crate::error::CoreError;
+use crate::pairwise::PairwiseBlock;
+use crate::par::try_par_map;
 use crate::protocol::party::{DataHolder, ThirdPartyKeys};
 use crate::protocol::{alphanumeric, categorical, local, numeric, NumericMode, ProtocolConfig};
 use crate::result::ClusteringResult;
@@ -93,25 +102,33 @@ impl ThirdPartyDriver {
         for holder in holders {
             holder.validate_schema(&self.schema)?;
         }
-        let site_sizes: Vec<(u32, usize)> =
-            holders.iter().map(|h| (h.site(), h.len())).collect();
+        let site_sizes: Vec<(u32, usize)> = holders.iter().map(|h| (h.site(), h.len())).collect();
         let index = ObjectIndex::from_site_sizes(&site_sizes);
         if index.is_empty() {
             return Err(CoreError::EmptyInput);
         }
 
-        let mut per_attribute = Vec::with_capacity(self.schema.len());
-        for (attribute_index, descriptor) in self.schema.attributes().iter().enumerate() {
-            let matrix = match descriptor.kind {
-                AttributeKind::Categorical => {
-                    self.construct_categorical(holders, attribute_index)?
+        // Attributes are independent of each other: with the `parallel`
+        // feature enabled their construction fans out over worker threads
+        // (see [`crate::par`]); results come back in schema order either way.
+        let descriptors = self.schema.attributes();
+        let matrices = try_par_map(descriptors.len(), |attribute_index| {
+            match descriptors[attribute_index].kind {
+                AttributeKind::Categorical => self.construct_categorical(holders, attribute_index),
+                AttributeKind::Numeric | AttributeKind::Alphanumeric => {
+                    self.construct_pairwise(holders, keys, &index, attribute_index)
                 }
-                AttributeKind::Numeric | AttributeKind::Alphanumeric => self
-                    .construct_pairwise(holders, keys, &index, attribute_index)?,
-            };
-            per_attribute.push(AttributeDissimilarity::new(descriptor.name.clone(), matrix));
-        }
-        Ok(ConstructionOutput { index, per_attribute })
+            }
+        })?;
+        let per_attribute = descriptors
+            .iter()
+            .zip(matrices)
+            .map(|(d, m)| AttributeDissimilarity::new(d.name.clone(), m))
+            .collect();
+        Ok(ConstructionOutput {
+            index,
+            per_attribute,
+        })
     }
 
     /// Categorical attributes: every holder encrypts its column under the
@@ -123,8 +140,14 @@ impl ThirdPartyDriver {
     ) -> Result<CondensedDistanceMatrix, CoreError> {
         let mut columns = Vec::with_capacity(holders.len());
         for holder in holders {
-            let values = holder.partition().matrix().categorical_column(attribute_index)?;
-            columns.push(categorical::encrypt_column(&values, &holder.categorical_key()));
+            let values = holder
+                .partition()
+                .matrix()
+                .categorical_column(attribute_index)?;
+            columns.push(categorical::encrypt_column(
+                &values,
+                &holder.categorical_key(),
+            ));
         }
         categorical::third_party_dissimilarity(&columns)
     }
@@ -152,30 +175,32 @@ impl ThirdPartyDriver {
             }
         }
 
-        // Step 2: pairwise comparison protocol for each holder pair.
-        for (j_pos, holder_j) in holders.iter().enumerate() {
-            for holder_k in holders.iter().skip(j_pos + 1) {
-                let distances = match descriptor.kind {
-                    AttributeKind::Numeric => self.run_numeric_pair(
-                        holder_j,
-                        holder_k,
-                        keys,
-                        attribute_index,
-                    )?,
-                    AttributeKind::Alphanumeric => self.run_alphanumeric_pair(
-                        holder_j,
-                        holder_k,
-                        keys,
-                        attribute_index,
-                    )?,
-                    AttributeKind::Categorical => unreachable!("handled separately"),
-                };
-                let range_j = index.site_range(holder_j.site())?;
-                let range_k = index.site_range(holder_k.site())?;
-                for (m, row) in distances.iter().enumerate() {
-                    for (n, &d) in row.iter().enumerate() {
-                        global.set(range_k.start + m, range_j.start + n, d);
-                    }
+        // Step 2: pairwise comparison protocol for each ordered holder pair
+        // `(J, K)`, `J < K`. Pairs are mutually independent, so they unmask
+        // and fold concurrently under the `parallel` feature; the blocks are
+        // scattered into the global matrix sequentially afterwards.
+        let pairs: Vec<(usize, usize)> = (0..holders.len())
+            .flat_map(|j| ((j + 1)..holders.len()).map(move |k| (j, k)))
+            .collect();
+        let blocks = try_par_map(pairs.len(), |p| {
+            let (j_pos, k_pos) = pairs[p];
+            let (holder_j, holder_k) = (&holders[j_pos], &holders[k_pos]);
+            match descriptor.kind {
+                AttributeKind::Numeric => {
+                    self.run_numeric_pair(holder_j, holder_k, keys, attribute_index)
+                }
+                AttributeKind::Alphanumeric => {
+                    self.run_alphanumeric_pair(holder_j, holder_k, keys, attribute_index)
+                }
+                AttributeKind::Categorical => unreachable!("handled separately"),
+            }
+        })?;
+        for (&(j_pos, k_pos), block) in pairs.iter().zip(&blocks) {
+            let range_j = index.site_range(holders[j_pos].site())?;
+            let range_k = index.site_range(holders[k_pos].site())?;
+            for (m, row) in block.iter_rows().enumerate() {
+                for (n, &d) in row.iter().enumerate() {
+                    global.set(range_k.start + m, range_j.start + n, d);
                 }
             }
         }
@@ -190,7 +215,7 @@ impl ThirdPartyDriver {
         holder_k: &DataHolder,
         keys: &ThirdPartyKeys,
         attribute_index: usize,
-    ) -> Result<Vec<Vec<f64>>, CoreError> {
+    ) -> Result<PairwiseBlock<f64>, CoreError> {
         let descriptor = self.schema.attribute_at(attribute_index)?;
         let attribute = descriptor.name.as_str();
         let codec = self.config.fixed_point;
@@ -198,12 +223,18 @@ impl ThirdPartyDriver {
 
         // DH_J side.
         let j_values = codec.encode_column(
-            &holder_j.partition().matrix().numeric_column(attribute_index)?,
+            &holder_j
+                .partition()
+                .matrix()
+                .numeric_column(attribute_index)?,
         )?;
         let initiator_seeds = holder_j.pairwise_seeds(holder_k.site(), attribute)?;
         // DH_K side.
         let k_values = codec.encode_column(
-            &holder_k.partition().matrix().numeric_column(attribute_index)?,
+            &holder_k
+                .partition()
+                .matrix()
+                .numeric_column(attribute_index)?,
         )?;
         let responder_seed = holder_k.responder_seed(holder_j.site(), attribute)?;
         // TP side.
@@ -228,14 +259,11 @@ impl ThirdPartyDriver {
                     &k_values,
                     &responder_seed,
                     algorithm,
-                );
+                )?;
                 numeric::third_party_unmask_per_pair(&pairwise, &tp_seed, algorithm)
             }
         };
-        Ok(distances
-            .into_iter()
-            .map(|row| row.into_iter().map(|d| codec.decode_distance(d)).collect())
-            .collect())
+        Ok(distances.map(|&d| codec.decode_distance(d)))
     }
 
     /// One alphanumeric protocol run between initiator `holder_j` and
@@ -246,7 +274,7 @@ impl ThirdPartyDriver {
         holder_k: &DataHolder,
         keys: &ThirdPartyKeys,
         attribute_index: usize,
-    ) -> Result<Vec<Vec<f64>>, CoreError> {
+    ) -> Result<PairwiseBlock<f64>, CoreError> {
         let descriptor = self.schema.attribute_at(attribute_index)?;
         let attribute = descriptor.name.as_str();
         let alphabet = descriptor.require_alphabet()?;
@@ -275,18 +303,14 @@ impl ThirdPartyDriver {
             &initiator_seeds,
             algorithm,
         )?;
-        let bundle =
-            alphanumeric::responder_build_bundle(&masked, &k_encoded, alphabet.size())?;
+        let bundle = alphanumeric::responder_build_bundle(&masked, &k_encoded, alphabet.size())?;
         let distances = alphanumeric::third_party_edit_distances(
             &bundle,
             alphabet.size(),
             &tp_seed,
             algorithm,
         )?;
-        Ok(distances
-            .into_iter()
-            .map(|row| row.into_iter().map(f64::from).collect())
-            .collect())
+        Ok(distances.map(|&d| f64::from(d)))
     }
 
     /// Clustering stage (§5): merge under the requested weights, run the
@@ -300,14 +324,13 @@ impl ThirdPartyDriver {
         let final_matrix = output.merge(&self.schema, &request.weights)?;
         let clustering = AgglomerativeClustering::new(request.linkage);
         let assignment = clustering.fit_k(final_matrix.matrix(), request.num_clusters)?;
-        let scatter =
-            average_within_cluster_squared_distance(final_matrix.matrix(), &assignment)?;
-        let sil = if assignment.num_clusters() >= 2 && final_matrix.len() > assignment.num_clusters()
-        {
-            silhouette(final_matrix.matrix(), &assignment).ok()
-        } else {
-            None
-        };
+        let scatter = average_within_cluster_squared_distance(final_matrix.matrix(), &assignment)?;
+        let sil =
+            if assignment.num_clusters() >= 2 && final_matrix.len() > assignment.num_clusters() {
+                silhouette(final_matrix.matrix(), &assignment).ok()
+            } else {
+                None
+            };
         let result =
             ClusteringResult::from_assignment(&assignment, final_matrix.index(), scatter, sil)?;
         Ok((result, final_matrix))
@@ -359,7 +382,9 @@ mod tests {
     fn construction_matches_centralized_distances() {
         let setup = TrustedSetup::deterministic(partitions(), &Seed::from_u64(2024)).unwrap();
         let driver = ThirdPartyDriver::new(schema(), ProtocolConfig::default());
-        let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+        let output = driver
+            .construct(&setup.holders, &setup.third_party)
+            .unwrap();
         assert_eq!(output.per_attribute.len(), 3);
         assert_eq!(output.index.len(), 5);
 
@@ -382,10 +407,17 @@ mod tests {
         let batch_driver = ThirdPartyDriver::new(schema(), ProtocolConfig::default());
         let per_pair_driver = ThirdPartyDriver::new(
             schema(),
-            ProtocolConfig { numeric_mode: NumericMode::PerPair, ..ProtocolConfig::default() },
+            ProtocolConfig {
+                numeric_mode: NumericMode::PerPair,
+                ..ProtocolConfig::default()
+            },
         );
-        let a = batch_driver.construct(&setup.holders, &setup.third_party).unwrap();
-        let b = per_pair_driver.construct(&setup.holders, &setup.third_party).unwrap();
+        let a = batch_driver
+            .construct(&setup.holders, &setup.third_party)
+            .unwrap();
+        let b = per_pair_driver
+            .construct(&setup.holders, &setup.third_party)
+            .unwrap();
         for (x, y) in a.per_attribute.iter().zip(&b.per_attribute) {
             assert!(x.matrix.max_abs_difference(&y.matrix) < 1e-9);
         }
@@ -395,7 +427,9 @@ mod tests {
     fn clustering_publishes_site_qualified_results() {
         let setup = TrustedSetup::deterministic(partitions(), &Seed::from_u64(1)).unwrap();
         let driver = ThirdPartyDriver::new(schema(), ProtocolConfig::default());
-        let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+        let output = driver
+            .construct(&setup.holders, &setup.third_party)
+            .unwrap();
         let request = ClusteringRequest::uniform(&schema(), 2);
         let (result, matrix) = driver.cluster(&output, &request).unwrap();
         assert_eq!(result.num_clusters(), 2);
@@ -416,22 +450,30 @@ mod tests {
     fn construct_validates_inputs() {
         let setup = TrustedSetup::deterministic(partitions(), &Seed::from_u64(9)).unwrap();
         let driver = ThirdPartyDriver::new(schema(), ProtocolConfig::default());
-        assert!(driver.construct(&setup.holders[..1], &setup.third_party).is_err());
+        assert!(driver
+            .construct(&setup.holders[..1], &setup.third_party)
+            .is_err());
         // Mismatched schema.
         let other_schema = Schema::new(vec![AttributeDescriptor::numeric("age")]).unwrap();
         let other_driver = ThirdPartyDriver::new(other_schema, ProtocolConfig::default());
-        assert!(other_driver.construct(&setup.holders, &setup.third_party).is_err());
+        assert!(other_driver
+            .construct(&setup.holders, &setup.third_party)
+            .is_err());
     }
 
     #[test]
     fn weighting_affects_the_final_matrix() {
         let setup = TrustedSetup::deterministic(partitions(), &Seed::from_u64(4)).unwrap();
         let driver = ThirdPartyDriver::new(schema(), ProtocolConfig::default());
-        let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
-        let age_only =
-            output.merge(&schema(), &WeightVector::new(vec![1.0, 0.0, 0.0]).unwrap()).unwrap();
-        let dna_only =
-            output.merge(&schema(), &WeightVector::new(vec![0.0, 0.0, 1.0]).unwrap()).unwrap();
+        let output = driver
+            .construct(&setup.holders, &setup.third_party)
+            .unwrap();
+        let age_only = output
+            .merge(&schema(), &WeightVector::new(vec![1.0, 0.0, 0.0]).unwrap())
+            .unwrap();
+        let dna_only = output
+            .merge(&schema(), &WeightVector::new(vec![0.0, 0.0, 1.0]).unwrap())
+            .unwrap();
         let a = ObjectId::new(0, 0);
         let b = ObjectId::new(1, 1); // same age-ish, same dna as A1
         assert!(age_only.distance(a, b).unwrap() < 0.05);

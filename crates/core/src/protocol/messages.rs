@@ -10,6 +10,7 @@
 use ppc_net::{WireReader, WireWriter};
 
 use crate::error::CoreError;
+use crate::pairwise::PairwiseBlock;
 use crate::protocol::alphanumeric::{MaskedCcm, MaskedCcmBundle};
 
 /// A data holder's local dissimilarity matrix for one attribute (Figure 12
@@ -28,7 +29,9 @@ impl LocalMatrixMsg {
     /// Serialises the message.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::with_capacity(16 + self.condensed.len() * 8);
-        w.put_str(&self.attribute).put_u32(self.objects).put_f64_slice(&self.condensed);
+        w.put_str(&self.attribute)
+            .put_u32(self.objects)
+            .put_f64_slice(&self.condensed);
         w.finish()
     }
 
@@ -39,29 +42,36 @@ impl LocalMatrixMsg {
         let objects = r.get_u32()?;
         let condensed = r.get_f64_vec()?;
         r.expect_end()?;
-        Ok(LocalMatrixMsg { attribute, objects, condensed })
+        Ok(LocalMatrixMsg {
+            attribute,
+            objects,
+            condensed,
+        })
     }
 }
 
-/// `DH_J → DH_K`: the masked numeric column (batch mode), or the masked
-/// copies (per-pair mode, `rows > 1`).
+/// `DH_J → DH_K`: the masked numeric column (batch mode, one row), or the
+/// masked copies (per-pair mode, `|DH_K|` rows).
+///
+/// The payload carries the [`PairwiseBlock`] buffer verbatim: the row-major
+/// flat layout *is* the wire layout, so encoding and decoding move one
+/// contiguous slice instead of re-chunking nested vectors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MaskedNumericMsg {
     /// Attribute name.
     pub attribute: String,
-    /// Number of masked copies (1 in batch mode, `|DH_K|` in per-pair mode).
-    pub rows: u32,
-    /// Number of values per copy (`|DH_J|`).
-    pub cols: u32,
-    /// Row-major masked values.
-    pub values: Vec<i64>,
+    /// Masked copies: `rows × |DH_J|`, row-major.
+    pub block: PairwiseBlock<i64>,
 }
 
 impl MaskedNumericMsg {
     /// Serialises the message.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::with_capacity(16 + self.values.len() * 8);
-        w.put_str(&self.attribute).put_u32(self.rows).put_u32(self.cols).put_i64_slice(&self.values);
+        let mut w = WireWriter::with_capacity(16 + self.block.values().len() * 8);
+        w.put_str(&self.attribute)
+            .put_u32(self.block.rows() as u32)
+            .put_u32(self.block.cols() as u32)
+            .put_i64_slice(self.block.values());
         w.finish()
     }
 
@@ -69,38 +79,35 @@ impl MaskedNumericMsg {
     pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
         let mut r = WireReader::new(payload);
         let attribute = r.get_str()?;
-        let rows = r.get_u32()?;
-        let cols = r.get_u32()?;
+        let rows = r.get_u32()? as usize;
+        let cols = r.get_u32()? as usize;
         let values = r.get_i64_vec()?;
         r.expect_end()?;
-        if values.len() != (rows as usize) * (cols as usize) {
-            return Err(CoreError::Protocol(format!(
-                "masked numeric message claims {rows}×{cols} but carries {} values",
-                values.len()
-            )));
-        }
-        Ok(MaskedNumericMsg { attribute, rows, cols, values })
+        let block = PairwiseBlock::new(rows, cols, values)?;
+        Ok(MaskedNumericMsg { attribute, block })
     }
 }
 
 /// `DH_K → TP`: the pairwise comparison matrix `s` (`|DH_K| × |DH_J|`).
+///
+/// Like [`MaskedNumericMsg`], the flat [`PairwiseBlock`] buffer is the wire
+/// layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PairwiseMatrixMsg {
     /// Attribute name.
     pub attribute: String,
-    /// Rows (= responder's object count).
-    pub rows: u32,
-    /// Columns (= initiator's object count).
-    pub cols: u32,
-    /// Row-major masked differences.
-    pub values: Vec<i64>,
+    /// Masked differences: responder rows × initiator columns, row-major.
+    pub block: PairwiseBlock<i64>,
 }
 
 impl PairwiseMatrixMsg {
     /// Serialises the message.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::with_capacity(16 + self.values.len() * 8);
-        w.put_str(&self.attribute).put_u32(self.rows).put_u32(self.cols).put_i64_slice(&self.values);
+        let mut w = WireWriter::with_capacity(16 + self.block.values().len() * 8);
+        w.put_str(&self.attribute)
+            .put_u32(self.block.rows() as u32)
+            .put_u32(self.block.cols() as u32)
+            .put_i64_slice(self.block.values());
         w.finish()
     }
 
@@ -108,22 +115,12 @@ impl PairwiseMatrixMsg {
     pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
         let mut r = WireReader::new(payload);
         let attribute = r.get_str()?;
-        let rows = r.get_u32()?;
-        let cols = r.get_u32()?;
+        let rows = r.get_u32()? as usize;
+        let cols = r.get_u32()? as usize;
         let values = r.get_i64_vec()?;
         r.expect_end()?;
-        if values.len() != (rows as usize) * (cols as usize) {
-            return Err(CoreError::Protocol(format!(
-                "pairwise matrix message claims {rows}×{cols} but carries {} values",
-                values.len()
-            )));
-        }
-        Ok(PairwiseMatrixMsg { attribute, rows, cols, values })
-    }
-
-    /// Splits the flat values back into rows.
-    pub fn rows_vec(&self) -> Vec<Vec<i64>> {
-        self.values.chunks(self.cols as usize).map(|c| c.to_vec()).collect()
+        let block = PairwiseBlock::new(rows, cols, values)?;
+        Ok(PairwiseMatrixMsg { attribute, block })
     }
 }
 
@@ -140,7 +137,8 @@ impl MaskedStringsMsg {
     /// Serialises the message.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
-        w.put_str(&self.attribute).put_u32(self.strings.len() as u32);
+        w.put_str(&self.attribute)
+            .put_u32(self.strings.len() as u32);
         for s in &self.strings {
             w.put_u32_slice(s);
         }
@@ -174,13 +172,15 @@ pub struct CcmBundleMsg {
 impl CcmBundleMsg {
     /// Serialises the message.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+        let cells: usize = self.bundle.ccms.iter().map(|c| c.cells.len()).sum();
+        let mut w = WireWriter::with_capacity(32 + self.bundle.ccms.len() * 12 + cells * 4);
         w.put_str(&self.attribute)
             .put_u32(self.bundle.responder_count as u32)
             .put_u32(self.bundle.initiator_count as u32)
             .put_u32(self.bundle.ccms.len() as u32);
         for ccm in &self.bundle.ccms {
-            w.put_u32(ccm.responder_len as u32).put_u32(ccm.initiator_len as u32);
+            w.put_u32(ccm.responder_len as u32)
+                .put_u32(ccm.initiator_len as u32);
             w.put_u32_slice(&ccm.cells);
         }
         w.finish()
@@ -198,12 +198,20 @@ impl CcmBundleMsg {
             let responder_len = r.get_u32()? as usize;
             let initiator_len = r.get_u32()? as usize;
             let cells = r.get_u32_vec()?;
-            ccms.push(MaskedCcm { responder_len, initiator_len, cells });
+            ccms.push(MaskedCcm {
+                responder_len,
+                initiator_len,
+                cells,
+            });
         }
         r.expect_end()?;
         Ok(CcmBundleMsg {
             attribute,
-            bundle: MaskedCcmBundle { responder_count, initiator_count, ccms },
+            bundle: MaskedCcmBundle {
+                responder_count,
+                initiator_count,
+                ccms,
+            },
         })
     }
 }
@@ -261,7 +269,9 @@ impl ClusteringChoiceMsg {
     /// Serialises the message.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
-        w.put_f64_slice(&self.weights).put_u32(self.num_clusters).put_str(&self.linkage);
+        w.put_f64_slice(&self.weights)
+            .put_u32(self.num_clusters)
+            .put_str(&self.linkage);
         w.finish()
     }
 
@@ -272,7 +282,11 @@ impl ClusteringChoiceMsg {
         let num_clusters = r.get_u32()?;
         let linkage = r.get_str()?;
         r.expect_end()?;
-        Ok(ClusteringChoiceMsg { weights, num_clusters, linkage })
+        Ok(ClusteringChoiceMsg {
+            weights,
+            num_clusters,
+            linkage,
+        })
     }
 }
 
@@ -315,7 +329,10 @@ impl PublishedResultMsg {
         }
         let scatter = r.get_f64()?;
         r.expect_end()?;
-        Ok(PublishedResultMsg { clusters, average_within_cluster_squared_distance: scatter })
+        Ok(PublishedResultMsg {
+            clusters,
+            average_within_cluster_squared_distance: scatter,
+        })
     }
 }
 
@@ -340,27 +357,34 @@ mod tests {
     fn masked_numeric_roundtrip_and_validation() {
         let msg = MaskedNumericMsg {
             attribute: "age".into(),
-            rows: 2,
-            cols: 3,
-            values: vec![1, -2, 3, 4, -5, 6],
+            block: PairwiseBlock::new(2, 3, vec![1, -2, 3, 4, -5, 6]).unwrap(),
         };
         assert_eq!(MaskedNumericMsg::decode(&msg.encode()).unwrap(), msg);
-        let bad = MaskedNumericMsg { rows: 9, ..msg.clone() };
-        assert!(MaskedNumericMsg::decode(&bad.encode()).is_err());
+        // Hand-craft a payload whose claimed shape disagrees with the buffer.
+        let mut w = WireWriter::new();
+        w.put_str("age")
+            .put_u32(9)
+            .put_u32(3)
+            .put_i64_slice(&[1, -2, 3, 4, -5, 6]);
+        assert!(MaskedNumericMsg::decode(&w.finish()).is_err());
     }
 
     #[test]
     fn pairwise_matrix_roundtrip_and_rows() {
         let msg = PairwiseMatrixMsg {
             attribute: "age".into(),
-            rows: 2,
-            cols: 2,
-            values: vec![10, 20, 30, 40],
+            block: PairwiseBlock::new(2, 2, vec![10, 20, 30, 40]).unwrap(),
         };
         let back = PairwiseMatrixMsg::decode(&msg.encode()).unwrap();
-        assert_eq!(back.rows_vec(), vec![vec![10, 20], vec![30, 40]]);
-        let bad = PairwiseMatrixMsg { cols: 3, ..msg };
-        assert!(PairwiseMatrixMsg::decode(&bad.encode()).is_err());
+        assert_eq!(back.block.row(0), &[10, 20]);
+        assert_eq!(back.block.row(1), &[30, 40]);
+        // Hand-craft a payload whose claimed shape disagrees with the buffer.
+        let mut w = WireWriter::new();
+        w.put_str("age")
+            .put_u32(2)
+            .put_u32(3)
+            .put_i64_slice(&[10, 20, 30, 40]);
+        assert!(PairwiseMatrixMsg::decode(&w.finish()).is_err());
     }
 
     #[test]
@@ -380,8 +404,16 @@ mod tests {
                 responder_count: 1,
                 initiator_count: 2,
                 ccms: vec![
-                    MaskedCcm { responder_len: 2, initiator_len: 3, cells: vec![0, 1, 2, 3, 0, 1] },
-                    MaskedCcm { responder_len: 1, initiator_len: 1, cells: vec![2] },
+                    MaskedCcm {
+                        responder_len: 2,
+                        initiator_len: 3,
+                        cells: vec![0, 1, 2, 3, 0, 1],
+                    },
+                    MaskedCcm {
+                        responder_len: 1,
+                        initiator_len: 1,
+                        cells: vec![2],
+                    },
                 ],
             },
         };
@@ -408,17 +440,26 @@ mod tests {
             num_clusters: 3,
             linkage: "average".into(),
         };
-        assert_eq!(ClusteringChoiceMsg::decode(&choice.encode()).unwrap(), choice);
+        assert_eq!(
+            ClusteringChoiceMsg::decode(&choice.encode()).unwrap(),
+            choice
+        );
         let result = PublishedResultMsg {
             clusters: vec![vec![(0, 0), (1, 3)], vec![(2, 2)]],
             average_within_cluster_squared_distance: 0.125,
         };
-        assert_eq!(PublishedResultMsg::decode(&result.encode()).unwrap(), result);
+        assert_eq!(
+            PublishedResultMsg::decode(&result.encode()).unwrap(),
+            result
+        );
     }
 
     #[test]
     fn truncated_messages_error() {
-        let msg = MaskedStringsMsg { attribute: "dna".into(), strings: vec![vec![1, 2, 3]] };
+        let msg = MaskedStringsMsg {
+            attribute: "dna".into(),
+            strings: vec![vec![1, 2, 3]],
+        };
         let bytes = msg.encode();
         assert!(MaskedStringsMsg::decode(&bytes[..bytes.len() - 2]).is_err());
         assert!(LocalMatrixMsg::decode(&[]).is_err());

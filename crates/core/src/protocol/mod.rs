@@ -30,22 +30,17 @@ use ppc_crypto::RngAlgorithm;
 use crate::fixed::FixedPointCodec;
 
 /// How numeric columns are masked.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum NumericMode {
     /// The paper's batch protocol: each of `DH_J`'s values is masked once and
     /// reused against every one of `DH_K`'s values (cheap, but §4.1 notes a
     /// frequency-analysis risk when the value range is small).
+    #[default]
     Batch,
     /// Hardened variant: fresh randomness for every object pair, as the paper
     /// suggests `DH_K` may request. Costs a factor `m` more traffic from
     /// `DH_J`.
     PerPair,
-}
-
-impl Default for NumericMode {
-    fn default() -> Self {
-        NumericMode::Batch
-    }
 }
 
 /// Configuration shared by all protocol runs of one clustering session.

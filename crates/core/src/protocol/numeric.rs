@@ -21,16 +21,21 @@
 //! draws fresh randomness for every `(m, n)` pair instead of reusing one
 //! masked vector, which is the mitigation the paper offers against the
 //! frequency-analysis attack on batch mode.
+//!
+//! All pairwise matrices are carried as flat row-major
+//! [`PairwiseBlock`]s — one allocation per holder pair, iterated
+//! cache-linearly in exactly the RNG-stream order the paper prescribes, and
+//! already in the wire layout of
+//! [`PairwiseMatrixMsg`](crate::protocol::messages::PairwiseMatrixMsg).
 
 use ppc_crypto::prng::DynStreamRng;
 use ppc_crypto::{Negator, NumericMasker, PairwiseSeeds, RngAlgorithm, Seed};
 
+use crate::error::CoreError;
+use crate::pairwise::PairwiseBlock;
+
 /// `DH_J` (Figure 4): masks its column once for batch processing.
-pub fn initiator_mask(
-    values: &[i64],
-    seeds: &PairwiseSeeds,
-    algorithm: RngAlgorithm,
-) -> Vec<i64> {
+pub fn initiator_mask(values: &[i64], seeds: &PairwiseSeeds, algorithm: RngAlgorithm) -> Vec<i64> {
     let mut rng_jk = DynStreamRng::new(algorithm, &seeds.holder_holder);
     let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
     values
@@ -50,46 +55,48 @@ pub fn responder_fold(
     own_values: &[i64],
     seed_jk: &Seed,
     algorithm: RngAlgorithm,
-) -> Vec<Vec<i64>> {
+) -> PairwiseBlock<i64> {
+    // "At the end of each row, DHK should re-initialize rngJK" — i.e. every
+    // row replays the *same* negation prefix. Drawing it once and reusing
+    // the slice is stream-for-stream identical to reseeding per row, and
+    // turns rows·cols cipher draws into cols.
     let mut rng_jk = DynStreamRng::new(algorithm, seed_jk);
-    own_values
+    let negators: Vec<Negator> = masked_initiator
         .iter()
-        .map(|&y| {
-            let row: Vec<i64> = masked_initiator
-                .iter()
-                .map(|&masked_x| {
-                    let negator = Negator::from_random(rng_jk.next_u64());
-                    NumericMasker::fold_responder(masked_x, y, negator)
-                })
-                .collect();
-            // "At the end of each row, DHK should re-initialize rngJK."
-            rng_jk.reseed();
-            row
-        })
-        .collect()
+        .map(|_| Negator::from_random(rng_jk.next_u64()))
+        .collect();
+    let rows = own_values.len();
+    let cols = masked_initiator.len();
+    let mut values = Vec::with_capacity(rows * cols);
+    for &y in own_values {
+        for (&masked_x, &negator) in masked_initiator.iter().zip(&negators) {
+            values.push(NumericMasker::fold_responder(masked_x, y, negator));
+        }
+    }
+    PairwiseBlock::new(rows, cols, values).expect("row-major fill matches the claimed shape")
 }
 
 /// `TP` (Figure 6): removes the additive masks, recovering
 /// `|DH_J[n] − DH_K[m]|` for every pair.
 pub fn third_party_unmask(
-    pairwise: &[Vec<i64>],
+    pairwise: &PairwiseBlock<i64>,
     seed_jt: &Seed,
     algorithm: RngAlgorithm,
-) -> Vec<Vec<u64>> {
+) -> PairwiseBlock<u64> {
+    // All values in a column are disguised with the same random number (the
+    // stream is re-initialised per row), so the mask prefix is drawn once
+    // and reused across rows — identical output, cols draws instead of
+    // rows·cols.
     let mut rng_jt = DynStreamRng::new(algorithm, seed_jt);
-    pairwise
-        .iter()
-        .map(|row| {
-            let out: Vec<u64> = row
-                .iter()
-                .map(|&m| NumericMasker::unmask_distance(m, rng_jt.next_u64()))
-                .collect();
-            // All values in a column are disguised with the same random
-            // number, so the stream is re-initialised per row.
-            rng_jt.reseed();
-            out
-        })
-        .collect()
+    let masks: Vec<u64> = (0..pairwise.cols()).map(|_| rng_jt.next_u64()).collect();
+    let mut values = Vec::with_capacity(pairwise.values().len());
+    for row in pairwise.iter_rows() {
+        for (&m, &mask) in row.iter().zip(&masks) {
+            values.push(NumericMasker::unmask_distance(m, mask));
+        }
+    }
+    PairwiseBlock::new(pairwise.rows(), pairwise.cols(), values)
+        .expect("unmasking preserves the block shape")
 }
 
 /// `DH_J`, per-pair hardened mode: produces one freshly masked copy of its
@@ -99,61 +106,63 @@ pub fn initiator_mask_per_pair(
     responder_count: usize,
     seeds: &PairwiseSeeds,
     algorithm: RngAlgorithm,
-) -> Vec<Vec<i64>> {
+) -> PairwiseBlock<i64> {
     let mut rng_jk = DynStreamRng::new(algorithm, &seeds.holder_holder);
     let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
-    (0..responder_count)
-        .map(|_| {
-            values
-                .iter()
-                .map(|&x| {
-                    let negator = Negator::from_random(rng_jk.next_u64());
-                    let mask = rng_jt.next_u64();
-                    NumericMasker::mask_initiator(x, mask, negator)
-                })
-                .collect()
-        })
-        .collect()
+    let cols = values.len();
+    let mut out = Vec::with_capacity(responder_count * cols);
+    for _ in 0..responder_count {
+        for &x in values {
+            let negator = Negator::from_random(rng_jk.next_u64());
+            let mask = rng_jt.next_u64();
+            out.push(NumericMasker::mask_initiator(x, mask, negator));
+        }
+    }
+    PairwiseBlock::new(responder_count, cols, out)
+        .expect("row-major fill matches the claimed shape")
 }
 
 /// `DH_K`, per-pair hardened mode: folds row `m` of the masked copies with
 /// its `m`-th value.
+///
+/// Errors when the initiator sent a different number of masked copies than
+/// `DH_K` has objects — a silent truncation here would leave part of the
+/// third party's global matrix at its zero default.
 pub fn responder_fold_per_pair(
-    masked_rows: &[Vec<i64>],
+    masked_rows: &PairwiseBlock<i64>,
     own_values: &[i64],
     seed_jk: &Seed,
     algorithm: RngAlgorithm,
-) -> Vec<Vec<i64>> {
+) -> Result<PairwiseBlock<i64>, CoreError> {
+    if masked_rows.rows() != own_values.len() {
+        return Err(CoreError::Protocol(format!(
+            "per-pair masked block has {} rows for {} responder objects",
+            masked_rows.rows(),
+            own_values.len()
+        )));
+    }
     let mut rng_jk = DynStreamRng::new(algorithm, seed_jk);
-    masked_rows
-        .iter()
-        .zip(own_values)
-        .map(|(row, &y)| {
-            row.iter()
-                .map(|&masked_x| {
-                    let negator = Negator::from_random(rng_jk.next_u64());
-                    NumericMasker::fold_responder(masked_x, y, negator)
-                })
-                .collect()
-        })
-        .collect()
+    let mut values = Vec::with_capacity(own_values.len() * masked_rows.cols());
+    for (row, &y) in masked_rows.iter_rows().zip(own_values) {
+        for &masked_x in row {
+            let negator = Negator::from_random(rng_jk.next_u64());
+            values.push(NumericMasker::fold_responder(masked_x, y, negator));
+        }
+    }
+    Ok(
+        PairwiseBlock::new(own_values.len(), masked_rows.cols(), values)
+            .expect("row-major fill matches the claimed shape"),
+    )
 }
 
 /// `TP`, per-pair hardened mode: strips the per-pair masks.
 pub fn third_party_unmask_per_pair(
-    pairwise: &[Vec<i64>],
+    pairwise: &PairwiseBlock<i64>,
     seed_jt: &Seed,
     algorithm: RngAlgorithm,
-) -> Vec<Vec<u64>> {
+) -> PairwiseBlock<u64> {
     let mut rng_jt = DynStreamRng::new(algorithm, seed_jt);
-    pairwise
-        .iter()
-        .map(|row| {
-            row.iter()
-                .map(|&m| NumericMasker::unmask_distance(m, rng_jt.next_u64()))
-                .collect()
-        })
-        .collect()
+    pairwise.map(|&m| NumericMasker::unmask_distance(m, rng_jt.next_u64()))
 }
 
 #[cfg(test)]
@@ -165,10 +174,8 @@ mod tests {
         PairwiseSeeds::new(Seed::from_u64(5), Seed::from_u64(7))
     }
 
-    fn expected_distances(j: &[i64], k: &[i64]) -> Vec<Vec<u64>> {
-        k.iter()
-            .map(|&y| j.iter().map(|&x| x.abs_diff(y)).collect())
-            .collect()
+    fn expected_distances(j: &[i64], k: &[i64]) -> PairwiseBlock<u64> {
+        PairwiseBlock::from_fn(k.len(), j.len(), |m, n| j[n].abs_diff(k[m]))
     }
 
     #[test]
@@ -184,7 +191,11 @@ mod tests {
             let masked = initiator_mask(&j_values, &seeds, algorithm);
             let pairwise = responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
             let distances = third_party_unmask(&pairwise, &seeds.holder_third_party, algorithm);
-            assert_eq!(distances, expected_distances(&j_values, &k_values), "{algorithm:?}");
+            assert_eq!(
+                distances,
+                expected_distances(&j_values, &k_values),
+                "{algorithm:?}"
+            );
         }
     }
 
@@ -195,10 +206,32 @@ mod tests {
         let seeds = seeds();
         let algorithm = RngAlgorithm::ChaCha20;
         let masked = initiator_mask_per_pair(&j_values, k_values.len(), &seeds, algorithm);
-        assert_eq!(masked.len(), k_values.len());
-        let pairwise = responder_fold_per_pair(&masked, &k_values, &seeds.holder_holder, algorithm);
-        let distances = third_party_unmask_per_pair(&pairwise, &seeds.holder_third_party, algorithm);
+        assert_eq!(masked.rows(), k_values.len());
+        assert_eq!(masked.cols(), j_values.len());
+        let pairwise =
+            responder_fold_per_pair(&masked, &k_values, &seeds.holder_holder, algorithm).unwrap();
+        let distances =
+            third_party_unmask_per_pair(&pairwise, &seeds.holder_third_party, algorithm);
         assert_eq!(distances, expected_distances(&j_values, &k_values));
+    }
+
+    #[test]
+    fn per_pair_fold_rejects_row_count_mismatch() {
+        // A masked block claiming more (or fewer) copies than the responder
+        // has objects must be rejected, not silently truncated — truncation
+        // would leave part of the third party's global matrix at zero.
+        let seeds = seeds();
+        let algorithm = RngAlgorithm::ChaCha20;
+        let masked = initiator_mask_per_pair(&[1, 2, 3], 5, &seeds, algorithm);
+        let too_few = responder_fold_per_pair(&masked, &[7, 7], &seeds.holder_holder, algorithm);
+        assert!(too_few.is_err());
+        let too_many = responder_fold_per_pair(
+            &masked,
+            &[7, 7, 7, 7, 7, 7],
+            &seeds.holder_holder,
+            algorithm,
+        );
+        assert!(too_many.is_err());
     }
 
     #[test]
@@ -233,8 +266,8 @@ mod tests {
             &seeds.holder_third_party,
             algorithm,
         );
-        assert_eq!(d_a[0][0], 60);
-        assert_eq!(d_b[0][0], 60);
+        assert_eq!(*d_a.get(0, 0), 60);
+        assert_eq!(*d_b.get(0, 0), 60);
     }
 
     #[test]
@@ -259,7 +292,8 @@ mod tests {
                 &k_values,
                 &seeds.holder_holder,
                 algorithm,
-            ),
+            )
+            .unwrap(),
             &seeds.holder_third_party,
             algorithm,
         );
@@ -273,9 +307,10 @@ mod tests {
         let masked = initiator_mask(&[], &seeds, algorithm);
         assert!(masked.is_empty());
         let pairwise = responder_fold(&masked, &[1, 2], &seeds.holder_holder, algorithm);
-        assert_eq!(pairwise, vec![Vec::<i64>::new(), Vec::<i64>::new()]);
+        assert_eq!((pairwise.rows(), pairwise.cols()), (2, 0));
         let distances = third_party_unmask(&pairwise, &seeds.holder_third_party, algorithm);
-        assert_eq!(distances.len(), 2);
-        assert!(distances.iter().all(Vec::is_empty));
+        assert_eq!(distances.rows(), 2);
+        assert!(distances.is_empty());
+        assert!(distances.iter_rows().all(<[u64]>::is_empty));
     }
 }

@@ -42,7 +42,12 @@ impl DataHolder {
         tp_seed: Seed,
         categorical_key_material: [u8; 32],
     ) -> Self {
-        DataHolder { partition, holder_seeds, tp_seed, categorical_key_material }
+        DataHolder {
+            partition,
+            holder_seeds,
+            tp_seed,
+            categorical_key_material,
+        }
     }
 
     /// The owned partition.
@@ -88,8 +93,10 @@ impl DataHolder {
     /// Both seeds needed to *initiate* a comparison with `other`, derived for
     /// `attribute`.
     pub fn pairwise_seeds(&self, other: u32, attribute: &str) -> Result<PairwiseSeeds, CoreError> {
-        Ok(PairwiseSeeds::new(self.seed_with_holder(other)?, self.tp_seed)
-            .for_attribute(attribute))
+        Ok(
+            PairwiseSeeds::new(self.seed_with_holder(other)?, self.tp_seed)
+                .for_attribute(attribute),
+        )
     }
 
     /// The `r_JK` seed with `other`, derived for `attribute` (the responder's
@@ -124,9 +131,7 @@ impl ThirdPartyKeys {
         self.tp_seeds
             .get(&site)
             .map(|s| s.derive(&format!("jt/{attribute}")))
-            .ok_or_else(|| {
-                CoreError::Protocol(format!("third party has no seed for site {site}"))
-            })
+            .ok_or_else(|| CoreError::Protocol(format!("third party has no seed for site {site}")))
     }
 
     /// Sites covered by this key store.
@@ -175,7 +180,11 @@ impl TrustedSetup {
                 if other == site {
                     continue;
                 }
-                let (lo, hi) = if site < other { (site, other) } else { (other, site) };
+                let (lo, hi) = if site < other {
+                    (site, other)
+                } else {
+                    (other, site)
+                };
                 holder_seeds.insert(other, master.derive(&format!("jk-seed/{lo}/{hi}")));
             }
             holders.push(DataHolder::new(
@@ -185,7 +194,10 @@ impl TrustedSetup {
                 categorical_key_material,
             ));
         }
-        Ok(TrustedSetup { holders, third_party: ThirdPartyKeys::new(tp_seeds) })
+        Ok(TrustedSetup {
+            holders,
+            third_party: ThirdPartyKeys::new(tp_seeds),
+        })
     }
 
     /// Dealer-free setup: every pair of parties (holder–holder and
@@ -206,7 +218,10 @@ impl TrustedSetup {
         let sites: Vec<u32> = partitions.iter().map(|p| p.site()).collect();
         // Each party (holders + TP) generates an ephemeral key pair per peer.
         let keypair = |a: &str, b: &str| -> Result<DhKeyPair, CoreError> {
-            Ok(DhKeyPair::generate(params, &entropy.derive(&format!("dh/{a}/{b}")))?)
+            Ok(DhKeyPair::generate(
+                params,
+                &entropy.derive(&format!("dh/{a}/{b}")),
+            )?)
         };
         let mut tp_seeds = BTreeMap::new();
         let mut holder_seed_map: BTreeMap<u32, BTreeMap<u32, Seed>> = BTreeMap::new();
@@ -231,8 +246,8 @@ impl TrustedSetup {
         // lowest-indexed holders (never known to the third party).
         let mut sorted_sites = sites.clone();
         sorted_sites.sort_unstable();
-        let key_seed = holder_seed_map[&sorted_sites[0]][&sorted_sites[1]]
-            .derive("categorical-key");
+        let key_seed =
+            holder_seed_map[&sorted_sites[0]][&sorted_sites[1]].derive("categorical-key");
         let mut categorical_key_material = [0u8; 32];
         categorical_key_material.copy_from_slice(&key_seed.0);
 
@@ -246,7 +261,10 @@ impl TrustedSetup {
                 categorical_key_material,
             ));
         }
-        Ok(TrustedSetup { holders, third_party: ThirdPartyKeys::new(tp_seeds) })
+        Ok(TrustedSetup {
+            holders,
+            third_party: ThirdPartyKeys::new(tp_seeds),
+        })
     }
 }
 
@@ -265,13 +283,18 @@ mod tests {
     fn partition(site: u32, values: &[f64]) -> HorizontalPartition {
         let mut m = DataMatrix::new(schema());
         for &v in values {
-            m.push(Record::new(vec![AttributeValue::numeric(v)])).unwrap();
+            m.push(Record::new(vec![AttributeValue::numeric(v)]))
+                .unwrap();
         }
         HorizontalPartition::new(site, m)
     }
 
     fn partitions() -> Vec<HorizontalPartition> {
-        vec![partition(0, &[1.0, 2.0]), partition(1, &[3.0]), partition(2, &[4.0, 5.0])]
+        vec![
+            partition(0, &[1.0, 2.0]),
+            partition(1, &[3.0]),
+            partition(2, &[4.0, 5.0]),
+        ]
     }
 
     #[test]
@@ -302,15 +325,18 @@ mod tests {
 
     #[test]
     fn setup_requires_two_holders_and_unique_sites() {
-        assert!(TrustedSetup::deterministic(vec![partition(0, &[1.0])], &Seed::from_u64(1))
-            .is_err());
+        assert!(
+            TrustedSetup::deterministic(vec![partition(0, &[1.0])], &Seed::from_u64(1)).is_err()
+        );
         assert!(TrustedSetup::deterministic(
             vec![partition(0, &[1.0]), partition(0, &[2.0])],
             &Seed::from_u64(1)
         )
         .is_err());
-        assert!(TrustedSetup::via_diffie_hellman(vec![partition(0, &[1.0])], &Seed::from_u64(1))
-            .is_err());
+        assert!(
+            TrustedSetup::via_diffie_hellman(vec![partition(0, &[1.0])], &Seed::from_u64(1))
+                .is_err()
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ use ppc_cluster::Linkage;
 
 use crate::dissimilarity::{AttributeDissimilarity, DissimilarityMatrix, ObjectIndex};
 use crate::error::CoreError;
+use crate::pairwise::PairwiseBlock;
 use crate::protocol::driver::{ClusteringRequest, ConstructionOutput, ThirdPartyDriver};
 use crate::protocol::messages::{
     CcmBundleMsg, ClusteringChoiceMsg, EncryptedColumnMsg, LocalMatrixMsg, MaskedNumericMsg,
@@ -57,13 +58,21 @@ impl ClusteringSession {
     /// Creates a session over a fresh in-memory network with one endpoint per
     /// holder plus the third party.
     pub fn new(schema: Schema, config: ProtocolConfig, holders: usize) -> Self {
-        ClusteringSession { schema, config, network: Network::with_parties(holders as u32) }
+        ClusteringSession {
+            schema,
+            config,
+            network: Network::with_parties(holders as u32),
+        }
     }
 
     /// Creates a session over an existing network (e.g. one with custom
     /// channel-security settings for the eavesdropping experiments).
     pub fn with_network(schema: Schema, config: ProtocolConfig, network: Network) -> Self {
-        ClusteringSession { schema, config, network }
+        ClusteringSession {
+            schema,
+            config,
+            network,
+        }
     }
 
     /// The underlying network (for security settings and inspection).
@@ -92,8 +101,7 @@ impl ClusteringSession {
         }
         self.network.reset_report();
 
-        let site_sizes: Vec<(u32, usize)> =
-            holders.iter().map(|h| (h.site(), h.len())).collect();
+        let site_sizes: Vec<(u32, usize)> = holders.iter().map(|h| (h.site(), h.len())).collect();
         let index = ObjectIndex::from_site_sizes(&site_sizes);
         if index.is_empty() {
             return Err(CoreError::EmptyInput);
@@ -136,7 +144,10 @@ impl ClusteringSession {
 
         // Merge, cluster and publish — reusing the driver's clustering stage.
         let driver = ThirdPartyDriver::new(self.schema.clone(), self.config);
-        let output = ConstructionOutput { index, per_attribute };
+        let output = ConstructionOutput {
+            index,
+            per_attribute,
+        };
         let (result, final_matrix) = driver.cluster(&output, &agreed)?;
 
         // Publish membership lists to every data holder (Figure 13).
@@ -145,11 +156,13 @@ impl ClusteringSession {
                 .clusters
                 .iter()
                 .map(|members| {
-                    members.iter().map(|o| (o.site, o.local_index as u32)).collect()
+                    members
+                        .iter()
+                        .map(|o| (o.site, o.local_index as u32))
+                        .collect()
                 })
                 .collect(),
-            average_within_cluster_squared_distance: result
-                .average_within_cluster_squared_distance,
+            average_within_cluster_squared_distance: result.average_within_cluster_squared_distance,
         };
         for holder in holders {
             tp.send(
@@ -180,7 +193,10 @@ impl ClusteringSession {
         let descriptor = self.schema.attribute_at(attribute_index)?;
         let topic = format!("categorical/{}", descriptor.name);
         for holder in holders {
-            let values = holder.partition().matrix().categorical_column(attribute_index)?;
+            let values = holder
+                .partition()
+                .matrix()
+                .categorical_column(attribute_index)?;
             let column = categorical::encrypt_column(&values, &holder.categorical_key());
             let msg = EncryptedColumnMsg {
                 attribute: descriptor.name.clone(),
@@ -267,7 +283,7 @@ impl ClusteringSession {
                 };
                 let range_j = index.site_range(holder_j.site())?;
                 let range_k = index.site_range(holder_k.site())?;
-                for (m, row) in distances.iter().enumerate() {
+                for (m, row) in distances.iter_rows().enumerate() {
                     for (n, &d) in row.iter().enumerate() {
                         global.set(range_k.start + m, range_j.start + n, d);
                     }
@@ -284,7 +300,7 @@ impl ClusteringSession {
         keys: &ThirdPartyKeys,
         tp: &Endpoint,
         attribute_index: usize,
-    ) -> Result<Vec<Vec<f64>>, CoreError> {
+    ) -> Result<PairwiseBlock<f64>, CoreError> {
         let descriptor = self.schema.attribute_at(attribute_index)?;
         let attribute = descriptor.name.as_str();
         let codec = self.config.fixed_point;
@@ -296,35 +312,32 @@ impl ClusteringSession {
         let j_party = PartyId::DataHolder(holder_j.site());
         let k_party = PartyId::DataHolder(holder_k.site());
 
-        // DH_J masks and sends to DH_K.
+        // DH_J masks and sends to DH_K. The masked copies travel as one flat
+        // row-major block — the same bytes the seed's nested vectors
+        // flattened to.
         let j_values = codec.encode_column(
-            &holder_j.partition().matrix().numeric_column(attribute_index)?,
+            &holder_j
+                .partition()
+                .matrix()
+                .numeric_column(attribute_index)?,
         )?;
         let initiator_seeds = holder_j.pairwise_seeds(holder_k.site(), attribute)?;
-        let masked_msg = match self.config.numeric_mode {
+        let masked_block = match self.config.numeric_mode {
             NumericMode::Batch => {
                 let masked = numeric::initiator_mask(&j_values, &initiator_seeds, algorithm);
-                MaskedNumericMsg {
-                    attribute: attribute.to_string(),
-                    rows: 1,
-                    cols: masked.len() as u32,
-                    values: masked,
-                }
+                let cols = masked.len();
+                PairwiseBlock::new(1, cols, masked)?
             }
-            NumericMode::PerPair => {
-                let masked = numeric::initiator_mask_per_pair(
-                    &j_values,
-                    holder_k.len(),
-                    &initiator_seeds,
-                    algorithm,
-                );
-                MaskedNumericMsg {
-                    attribute: attribute.to_string(),
-                    rows: masked.len() as u32,
-                    cols: masked.first().map(Vec::len).unwrap_or(0) as u32,
-                    values: masked.into_iter().flatten().collect(),
-                }
-            }
+            NumericMode::PerPair => numeric::initiator_mask_per_pair(
+                &j_values,
+                holder_k.len(),
+                &initiator_seeds,
+                algorithm,
+            ),
+        };
+        let masked_msg = MaskedNumericMsg {
+            attribute: attribute.to_string(),
+            block: masked_block,
         };
         let masked_topic = format!("numeric/{attribute}/{pair_tag}/masked");
         j_endpoint.send(k_party, masked_topic.clone(), masked_msg.encode())?;
@@ -333,47 +346,48 @@ impl ClusteringSession {
         let received = k_endpoint.receive(j_party, &masked_topic)?;
         let masked = MaskedNumericMsg::decode(&received.payload)?;
         let k_values = codec.encode_column(
-            &holder_k.partition().matrix().numeric_column(attribute_index)?,
+            &holder_k
+                .partition()
+                .matrix()
+                .numeric_column(attribute_index)?,
         )?;
         let responder_seed = holder_k.responder_seed(holder_j.site(), attribute)?;
-        let pairwise_rows = match self.config.numeric_mode {
-            NumericMode::Batch => {
-                numeric::responder_fold(&masked.values, &k_values, &responder_seed, algorithm)
-            }
-            NumericMode::PerPair => {
-                let rows: Vec<Vec<i64>> = masked
-                    .values
-                    .chunks(masked.cols as usize)
-                    .map(|c| c.to_vec())
-                    .collect();
-                numeric::responder_fold_per_pair(&rows, &k_values, &responder_seed, algorithm)
-            }
+        let pairwise_block = match self.config.numeric_mode {
+            NumericMode::Batch => numeric::responder_fold(
+                masked.block.values(),
+                &k_values,
+                &responder_seed,
+                algorithm,
+            ),
+            NumericMode::PerPair => numeric::responder_fold_per_pair(
+                &masked.block,
+                &k_values,
+                &responder_seed,
+                algorithm,
+            )?,
         };
         let pairwise_msg = PairwiseMatrixMsg {
             attribute: attribute.to_string(),
-            rows: pairwise_rows.len() as u32,
-            cols: pairwise_rows.first().map(Vec::len).unwrap_or(0) as u32,
-            values: pairwise_rows.iter().flatten().copied().collect(),
+            block: pairwise_block,
         };
         let pairwise_topic = format!("numeric/{attribute}/{pair_tag}/pairwise");
-        k_endpoint.send(PartyId::ThirdParty, pairwise_topic.clone(), pairwise_msg.encode())?;
+        k_endpoint.send(
+            PartyId::ThirdParty,
+            pairwise_topic.clone(),
+            pairwise_msg.encode(),
+        )?;
 
         // TP unmasks.
         let received = tp.receive(k_party, &pairwise_topic)?;
         let pairwise = PairwiseMatrixMsg::decode(&received.payload)?;
         let tp_seed = keys.seed_for(holder_j.site(), attribute)?;
         let distances = match self.config.numeric_mode {
-            NumericMode::Batch => {
-                numeric::third_party_unmask(&pairwise.rows_vec(), &tp_seed, algorithm)
-            }
+            NumericMode::Batch => numeric::third_party_unmask(&pairwise.block, &tp_seed, algorithm),
             NumericMode::PerPair => {
-                numeric::third_party_unmask_per_pair(&pairwise.rows_vec(), &tp_seed, algorithm)
+                numeric::third_party_unmask_per_pair(&pairwise.block, &tp_seed, algorithm)
             }
         };
-        Ok(distances
-            .into_iter()
-            .map(|row| row.into_iter().map(|d| codec.decode_distance(d)).collect())
-            .collect())
+        Ok(distances.map(|&d| codec.decode_distance(d)))
     }
 
     fn run_alphanumeric_pair_networked(
@@ -383,7 +397,7 @@ impl ClusteringSession {
         keys: &ThirdPartyKeys,
         tp: &Endpoint,
         attribute_index: usize,
-    ) -> Result<Vec<Vec<f64>>, CoreError> {
+    ) -> Result<PairwiseBlock<f64>, CoreError> {
         let descriptor = self.schema.attribute_at(attribute_index)?;
         let attribute = descriptor.name.clone();
         let alphabet = descriptor.require_alphabet()?.clone();
@@ -411,7 +425,10 @@ impl ClusteringSession {
             algorithm,
         )?;
         let masked_topic = format!("alphanumeric/{attribute}/{pair_tag}/masked");
-        let masked_msg = MaskedStringsMsg { attribute: attribute.clone(), strings: masked };
+        let masked_msg = MaskedStringsMsg {
+            attribute: attribute.clone(),
+            strings: masked,
+        };
         j_endpoint.send(k_party, masked_topic.clone(), masked_msg.encode())?;
 
         // DH_K builds the masked CCM bundle and sends it to TP.
@@ -427,8 +444,15 @@ impl ClusteringSession {
         let bundle =
             alphanumeric::responder_build_bundle(&masked.strings, &k_encoded, alphabet.size())?;
         let bundle_topic = format!("alphanumeric/{attribute}/{pair_tag}/ccms");
-        let bundle_msg = CcmBundleMsg { attribute: attribute.clone(), bundle };
-        k_endpoint.send(PartyId::ThirdParty, bundle_topic.clone(), bundle_msg.encode())?;
+        let bundle_msg = CcmBundleMsg {
+            attribute: attribute.clone(),
+            bundle,
+        };
+        k_endpoint.send(
+            PartyId::ThirdParty,
+            bundle_topic.clone(),
+            bundle_msg.encode(),
+        )?;
 
         // TP unmasks and evaluates the edit distances.
         let received = tp.receive(k_party, &bundle_topic)?;
@@ -440,10 +464,7 @@ impl ClusteringSession {
             &tp_seed,
             algorithm,
         )?;
-        Ok(distances
-            .into_iter()
-            .map(|row| row.into_iter().map(f64::from).collect())
-            .collect())
+        Ok(distances.map(|&d| f64::from(d)))
     }
 }
 
@@ -507,18 +528,24 @@ mod tests {
         let setup = setup();
         let request = ClusteringRequest::uniform(&schema(), 2);
         let session = ClusteringSession::new(schema(), ProtocolConfig::default(), 3);
-        let outcome = session.run(&setup.holders, &setup.third_party, &request).unwrap();
+        let outcome = session
+            .run(&setup.holders, &setup.third_party, &request)
+            .unwrap();
 
         let driver = ThirdPartyDriver::new(schema(), ProtocolConfig::default());
-        let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+        let output = driver
+            .construct(&setup.holders, &setup.third_party)
+            .unwrap();
         let (reference, reference_matrix) = driver.cluster(&output, &request).unwrap();
 
         assert_eq!(outcome.result.clusters, reference.clusters);
-        assert!(outcome
-            .final_matrix
-            .matrix()
-            .max_abs_difference(reference_matrix.matrix())
-            < 1e-9);
+        assert!(
+            outcome
+                .final_matrix
+                .matrix()
+                .max_abs_difference(reference_matrix.matrix())
+                < 1e-9
+        );
         assert!(outcome.communication.total_bytes() > 0);
         assert!(outcome.communication.total_messages() > 0);
     }
@@ -528,7 +555,9 @@ mod tests {
         let setup = setup();
         let request = ClusteringRequest::uniform(&schema(), 2);
         let session = ClusteringSession::new(schema(), ProtocolConfig::default(), 3);
-        let outcome = session.run(&setup.holders, &setup.third_party, &request).unwrap();
+        let outcome = session
+            .run(&setup.holders, &setup.third_party, &request)
+            .unwrap();
         let report = &outcome.communication;
         // Every data holder talks to the third party.
         for site in 0..3u32 {
@@ -540,7 +569,10 @@ mod tests {
         assert!(report.bytes_on_link(PartyId::DataHolder(0), PartyId::DataHolder(1)) > 0);
         assert!(report.bytes_on_link(PartyId::DataHolder(0), PartyId::DataHolder(2)) > 0);
         assert!(report.bytes_on_link(PartyId::DataHolder(1), PartyId::DataHolder(2)) > 0);
-        assert_eq!(report.bytes_on_link(PartyId::DataHolder(1), PartyId::DataHolder(0)), 0);
+        assert_eq!(
+            report.bytes_on_link(PartyId::DataHolder(1), PartyId::DataHolder(0)),
+            0
+        );
         // The third party never sends bulk data to holders other than results.
         assert!(
             report.bytes_on_link(PartyId::ThirdParty, PartyId::DataHolder(0))
@@ -555,8 +587,10 @@ mod tests {
         let batch = ClusteringSession::new(schema(), ProtocolConfig::default(), 3)
             .run(&setup.holders, &setup.third_party, &request)
             .unwrap();
-        let per_pair_config =
-            ProtocolConfig { numeric_mode: NumericMode::PerPair, ..ProtocolConfig::default() };
+        let per_pair_config = ProtocolConfig {
+            numeric_mode: NumericMode::PerPair,
+            ..ProtocolConfig::default()
+        };
         let per_pair = ClusteringSession::new(schema(), per_pair_config, 3)
             .run(&setup.holders, &setup.third_party, &request)
             .unwrap();
@@ -564,7 +598,8 @@ mod tests {
         assert_eq!(batch.result.clusters, per_pair.result.clusters);
         // …but strictly more initiator → responder traffic.
         let link = |o: &SessionOutcome| {
-            o.communication.bytes_on_link(PartyId::DataHolder(0), PartyId::DataHolder(1))
+            o.communication
+                .bytes_on_link(PartyId::DataHolder(0), PartyId::DataHolder(1))
         };
         assert!(link(&per_pair) > link(&batch));
     }
@@ -583,6 +618,8 @@ mod tests {
         let setup = setup();
         let session = ClusteringSession::new(schema(), ProtocolConfig::default(), 3);
         let request = ClusteringRequest::uniform(&schema(), 2);
-        assert!(session.run(&setup.holders[..1], &setup.third_party, &request).is_err());
+        assert!(session
+            .run(&setup.holders[..1], &setup.third_party, &request)
+            .is_err());
     }
 }

@@ -141,7 +141,10 @@ mod tests {
             AttributeValue::categorical("x"),
             AttributeValue::alphanumeric("acgt"),
         ]);
-        assert!(matches!(wrong_type.validate(&schema), Err(CoreError::TypeMismatch { .. })));
+        assert!(matches!(
+            wrong_type.validate(&schema),
+            Err(CoreError::TypeMismatch { .. })
+        ));
         let bad_symbol = Record::new(vec![
             AttributeValue::numeric(41.0),
             AttributeValue::alphanumeric("zzz"),

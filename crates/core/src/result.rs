@@ -69,7 +69,9 @@ impl ClusteringResult {
 
     /// The cluster id containing `object`, if any.
     pub fn cluster_of(&self, object: ObjectId) -> Option<usize> {
-        self.clusters.iter().position(|members| members.contains(&object))
+        self.clusters
+            .iter()
+            .position(|members| members.contains(&object))
     }
 
     /// Only the objects owned by `site` in each cluster — what a single data

@@ -26,7 +26,11 @@ pub struct AttributeDescriptor {
 impl AttributeDescriptor {
     /// Declares a numeric attribute.
     pub fn numeric(name: impl Into<String>) -> Self {
-        AttributeDescriptor { name: name.into(), kind: AttributeKind::Numeric, alphabet: None }
+        AttributeDescriptor {
+            name: name.into(),
+            kind: AttributeKind::Numeric,
+            alphabet: None,
+        }
     }
 
     /// Declares a categorical attribute.
@@ -174,12 +178,16 @@ impl WeightVector {
         if sum <= 0.0 {
             return Err(CoreError::InvalidWeights("weights sum to zero".into()));
         }
-        Ok(WeightVector { weights: weights.into_iter().map(|w| w / sum).collect() })
+        Ok(WeightVector {
+            weights: weights.into_iter().map(|w| w / sum).collect(),
+        })
     }
 
     /// Uniform weights over `n` attributes.
     pub fn uniform(n: usize) -> Self {
-        WeightVector { weights: vec![1.0 / n.max(1) as f64; n.max(1)] }
+        WeightVector {
+            weights: vec![1.0 / n.max(1) as f64; n.max(1)],
+        }
     }
 
     /// Normalised weights (they sum to 1).
@@ -230,7 +238,10 @@ mod tests {
         assert!(!schema.is_empty());
         assert_eq!(schema.index_of("blood_type").unwrap(), 1);
         assert!(schema.index_of("missing").is_err());
-        assert_eq!(schema.attribute("dna").unwrap().kind, AttributeKind::Alphanumeric);
+        assert_eq!(
+            schema.attribute("dna").unwrap().kind,
+            AttributeKind::Alphanumeric
+        );
         assert!(schema.attribute_at(2).is_ok());
         assert!(schema.attribute_at(3).is_err());
     }
@@ -256,10 +267,16 @@ mod tests {
         let schema = sample_schema();
         let age = schema.attribute("age").unwrap();
         assert!(age.validate_value(&AttributeValue::numeric(30.0)).is_ok());
-        assert!(age.validate_value(&AttributeValue::categorical("x")).is_err());
+        assert!(age
+            .validate_value(&AttributeValue::categorical("x"))
+            .is_err());
         let dna = schema.attribute("dna").unwrap();
-        assert!(dna.validate_value(&AttributeValue::alphanumeric("acgt")).is_ok());
-        assert!(dna.validate_value(&AttributeValue::alphanumeric("xyz")).is_err());
+        assert!(dna
+            .validate_value(&AttributeValue::alphanumeric("acgt"))
+            .is_ok());
+        assert!(dna
+            .validate_value(&AttributeValue::alphanumeric("xyz"))
+            .is_err());
         assert!(dna.require_alphabet().is_ok());
         assert!(age.require_alphabet().is_err());
     }

@@ -30,7 +30,10 @@ pub struct DhParams {
 impl Default for DhParams {
     fn default() -> Self {
         // 7 generates a large subgroup of Z_p^* for p = 2^61 - 1.
-        DhParams { prime: MERSENNE_61, generator: 7 }
+        DhParams {
+            prime: MERSENNE_61,
+            generator: 7,
+        }
     }
 }
 
@@ -94,7 +97,11 @@ impl DhKeyPair {
         // Secret exponent in [2, p-2].
         let secret = 2 + rng.next_below(params.prime - 3);
         let public = pow_mod(params.generator, secret, params.prime);
-        Ok(DhKeyPair { params, secret, public })
+        Ok(DhKeyPair {
+            params,
+            secret,
+            public,
+        })
     }
 
     /// Completes the exchange with the peer's public value.
@@ -104,7 +111,11 @@ impl DhKeyPair {
                 "peer public value out of range".into(),
             ));
         }
-        Ok(DhSharedSecret(pow_mod(peer_public, self.secret, self.params.prime)))
+        Ok(DhSharedSecret(pow_mod(
+            peer_public,
+            self.secret,
+            self.params.prime,
+        )))
     }
 }
 
@@ -158,9 +169,15 @@ mod tests {
 
     #[test]
     fn invalid_params_and_publics_rejected() {
-        let params = DhParams { prime: 2, generator: 5 };
+        let params = DhParams {
+            prime: 2,
+            generator: 5,
+        };
         assert!(params.validate().is_err());
-        let params = DhParams { prime: MERSENNE_61, generator: 1 };
+        let params = DhParams {
+            prime: MERSENNE_61,
+            generator: 1,
+        };
         assert!(params.validate().is_err());
         let good = DhKeyPair::generate(DhParams::default(), &Seed::from_u64(3)).unwrap();
         assert!(good.agree(0).is_err());

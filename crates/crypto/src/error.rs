@@ -27,7 +27,10 @@ impl fmt::Display for CryptoError {
         match self {
             CryptoError::InvalidSeed(msg) => write!(f, "invalid seed: {msg}"),
             CryptoError::InvalidKeyLength { expected, got } => {
-                write!(f, "invalid key length: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "invalid key length: expected {expected} bytes, got {got}"
+                )
             }
             CryptoError::InvalidCiphertext(msg) => write!(f, "invalid ciphertext: {msg}"),
             CryptoError::InvalidDhParameter(msg) => write!(f, "invalid DH parameter: {msg}"),
@@ -44,7 +47,10 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = CryptoError::InvalidKeyLength { expected: 16, got: 3 };
+        let e = CryptoError::InvalidKeyLength {
+            expected: 16,
+            got: 3,
+        };
         assert!(e.to_string().contains("16"));
         assert!(e.to_string().contains("3"));
         let e = CryptoError::InvalidSeed("too short".into());

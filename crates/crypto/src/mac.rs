@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn hash_u64_matches_hash_of_le_bytes() {
         let h = SipHash24::new(11, 22);
-        assert_eq!(h.hash_u64(0xdead_beef), h.hash(&0xdead_beefu64.to_le_bytes()));
+        assert_eq!(
+            h.hash_u64(0xdead_beef),
+            h.hash(&0xdead_beefu64.to_le_bytes())
+        );
     }
 
     #[test]

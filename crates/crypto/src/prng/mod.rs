@@ -92,25 +92,24 @@ impl Seed {
 impl std::fmt::Debug for Seed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print full seed material in logs.
-        write!(f, "Seed({:02x}{:02x}..{:02x})", self.0[0], self.0[1], self.0[31])
+        write!(
+            f,
+            "Seed({:02x}{:02x}..{:02x})",
+            self.0[0], self.0[1], self.0[31]
+        )
     }
 }
 
 /// Which generator algorithm a protocol run should use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum RngAlgorithm {
     /// ChaCha20 stream cipher (cryptographic, default).
+    #[default]
     ChaCha20,
     /// Xoshiro256++ (fast statistical generator).
     Xoshiro256PlusPlus,
     /// SplitMix64 (tiny; tests and seed expansion only).
     SplitMix64,
-}
-
-impl Default for RngAlgorithm {
-    fn default() -> Self {
-        RngAlgorithm::ChaCha20
-    }
 }
 
 /// A deterministic, resettable pseudo-random stream.

@@ -36,7 +36,10 @@ pub struct PairwiseSeeds {
 impl PairwiseSeeds {
     /// Creates the seed pair from two independent secrets.
     pub fn new(holder_holder: Seed, holder_third_party: Seed) -> Self {
-        PairwiseSeeds { holder_holder, holder_third_party }
+        PairwiseSeeds {
+            holder_holder,
+            holder_third_party,
+        }
     }
 
     /// Derives per-attribute seeds so each attribute's protocol run uses an
@@ -98,7 +101,9 @@ pub struct SeedRegistry {
 impl SeedRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
-        SeedRegistry { seeds: HashMap::new() }
+        SeedRegistry {
+            seeds: HashMap::new(),
+        }
     }
 
     /// Creates a registry with deterministic seeds for every pair among

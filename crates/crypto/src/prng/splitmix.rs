@@ -17,7 +17,10 @@ pub struct SplitMix64 {
 impl SplitMix64 {
     /// Constructs the generator directly from a 64-bit state.
     pub fn from_u64(state: u64) -> Self {
-        SplitMix64 { state, initial: state }
+        SplitMix64 {
+            state,
+            initial: state,
+        }
     }
 
     /// Mixes an additional value into the state (used for label derivation).
@@ -38,9 +41,14 @@ impl StreamRng for SplitMix64 {
         let mut state = 0xD6E8_FEB8_6659_FD93u64;
         for chunk in seed.0.chunks_exact(8) {
             let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-            state = (state ^ word).wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(17);
+            state = (state ^ word)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                .rotate_left(17);
         }
-        SplitMix64 { state, initial: state }
+        SplitMix64 {
+            state,
+            initial: state,
+        }
     }
 
     fn next_u64(&mut self) -> u64 {

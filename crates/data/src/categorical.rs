@@ -18,10 +18,14 @@ impl CategoricalGenerator {
     /// Creates the generator; every cluster's weights are normalised.
     pub fn new(labels: Vec<String>, per_cluster: Vec<Vec<f64>>) -> Result<Self, DataError> {
         if labels.is_empty() {
-            return Err(DataError::InvalidParameter("label vocabulary is empty".into()));
+            return Err(DataError::InvalidParameter(
+                "label vocabulary is empty".into(),
+            ));
         }
         if per_cluster.is_empty() {
-            return Err(DataError::InvalidParameter("no cluster distributions given".into()));
+            return Err(DataError::InvalidParameter(
+                "no cluster distributions given".into(),
+            ));
         }
         let mut normalised = Vec::with_capacity(per_cluster.len());
         for weights in per_cluster {
@@ -39,25 +43,40 @@ impl CategoricalGenerator {
             }
             let sum: f64 = weights.iter().sum();
             if sum <= 0.0 {
-                return Err(DataError::InvalidParameter("label weights sum to zero".into()));
+                return Err(DataError::InvalidParameter(
+                    "label weights sum to zero".into(),
+                ));
             }
             normalised.push(weights.iter().map(|w| w / sum).collect());
         }
-        Ok(CategoricalGenerator { labels, per_cluster: normalised })
+        Ok(CategoricalGenerator {
+            labels,
+            per_cluster: normalised,
+        })
     }
 
     /// A generator where cluster `c` strongly prefers label `c % labels`
     /// (probability `1 − noise`) and spreads `noise` over the other labels.
-    pub fn dominant_label(labels: Vec<String>, clusters: usize, noise: f64) -> Result<Self, DataError> {
+    pub fn dominant_label(
+        labels: Vec<String>,
+        clusters: usize,
+        noise: f64,
+    ) -> Result<Self, DataError> {
         if !(0.0..1.0).contains(&noise) {
-            return Err(DataError::InvalidParameter("noise must be in [0, 1)".into()));
+            return Err(DataError::InvalidParameter(
+                "noise must be in [0, 1)".into(),
+            ));
         }
         if clusters == 0 {
-            return Err(DataError::InvalidParameter("at least one cluster required".into()));
+            return Err(DataError::InvalidParameter(
+                "at least one cluster required".into(),
+            ));
         }
         let l = labels.len();
         if l == 0 {
-            return Err(DataError::InvalidParameter("label vocabulary is empty".into()));
+            return Err(DataError::InvalidParameter(
+                "label vocabulary is empty".into(),
+            ));
         }
         let per_cluster = (0..clusters)
             .map(|c| {
@@ -127,14 +146,16 @@ mod tests {
             let hits = (0..500)
                 .filter(|_| generator.sample(cluster, &mut rng) == expected)
                 .count();
-            assert!(hits > 400, "cluster {cluster} only hit its label {hits}/500 times");
+            assert!(
+                hits > 400,
+                "cluster {cluster} only hit its label {hits}/500 times"
+            );
         }
     }
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let generator =
-            CategoricalGenerator::dominant_label(labels(&["x", "y"]), 2, 0.2).unwrap();
+        let generator = CategoricalGenerator::dominant_label(labels(&["x", "y"]), 2, 0.2).unwrap();
         let run = |seed| -> Vec<String> {
             let mut rng = rng_from_seed(seed);
             (0..20).map(|i| generator.sample(i % 2, &mut rng)).collect()

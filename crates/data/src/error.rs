@@ -36,7 +36,9 @@ mod tests {
 
     #[test]
     fn display_and_conversion() {
-        assert!(DataError::InvalidParameter("k".into()).to_string().contains("k"));
+        assert!(DataError::InvalidParameter("k".into())
+            .to_string()
+            .contains("k"));
         let e: DataError = CoreError::EmptyInput.into();
         assert!(matches!(e, DataError::Core(_)));
     }

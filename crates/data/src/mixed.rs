@@ -3,9 +3,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use ppc_core::{
-    AttributeDescriptor, AttributeValue, DataMatrix, Record, Schema,
-};
+use ppc_core::{AttributeDescriptor, AttributeValue, DataMatrix, Record, Schema};
 
 use crate::categorical::CategoricalGenerator;
 use crate::error::DataError;
@@ -94,28 +92,42 @@ impl MixedDatasetSpec {
     /// its per-cluster generator.
     pub fn generate(&self) -> Result<GeneratedDataset, DataError> {
         if self.attributes.is_empty() {
-            return Err(DataError::InvalidParameter("no attributes specified".into()));
+            return Err(DataError::InvalidParameter(
+                "no attributes specified".into(),
+            ));
         }
         if self.clusters == 0 || self.objects == 0 {
             return Err(DataError::InvalidParameter(
                 "clusters and objects must be positive".into(),
             ));
         }
-        let schema = Schema::new(self.attributes.iter().map(AttributeSpec::descriptor).collect())?;
+        let schema = Schema::new(
+            self.attributes
+                .iter()
+                .map(AttributeSpec::descriptor)
+                .collect(),
+        )?;
         let mut rng = rng_from_seed(self.seed);
         let mut data = DataMatrix::new(schema);
         let mut labels = Vec::with_capacity(self.objects);
         for i in 0..self.objects {
             let cluster = i % self.clusters;
             labels.push(cluster);
-            let values: Vec<AttributeValue> =
-                self.attributes.iter().map(|a| a.sample(cluster, &mut rng)).collect();
+            let values: Vec<AttributeValue> = self
+                .attributes
+                .iter()
+                .map(|a| a.sample(cluster, &mut rng))
+                .collect();
             data.push(Record::new(values))?;
         }
         // Shuffle object order so sites do not trivially receive contiguous
         // clusters (Fisher–Yates on rows and labels in lockstep).
-        let mut rows: Vec<(Record, usize)> =
-            data.rows().iter().cloned().zip(labels.iter().copied()).collect();
+        let mut rows: Vec<(Record, usize)> = data
+            .rows()
+            .iter()
+            .cloned()
+            .zip(labels.iter().copied())
+            .collect();
         for i in (1..rows.len()).rev() {
             let j = rng.gen_range(0..=i);
             rows.swap(i, j);
@@ -127,14 +139,17 @@ impl MixedDatasetSpec {
             shuffled.push(record)?;
             shuffled_labels.push(label);
         }
-        Ok(GeneratedDataset { data: shuffled, labels: shuffled_labels })
+        Ok(GeneratedDataset {
+            data: shuffled,
+            labels: shuffled_labels,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppc_core::{AttributeKind, Alphabet};
+    use ppc_core::{Alphabet, AttributeKind};
 
     fn spec(objects: usize, seed: u64) -> MixedDatasetSpec {
         let mut rng = rng_from_seed(seed ^ 0xF00D);
@@ -181,7 +196,10 @@ mod tests {
         for c in 0..3 {
             assert_eq!(dataset.labels.iter().filter(|&&l| l == c).count(), 10);
         }
-        assert_eq!(dataset.data.schema().attribute("dna").unwrap().kind, AttributeKind::Alphanumeric);
+        assert_eq!(
+            dataset.data.schema().attribute("dna").unwrap().kind,
+            AttributeKind::Alphanumeric
+        );
     }
 
     #[test]
@@ -202,7 +220,12 @@ mod tests {
         let mut s = spec(10, 1);
         s.objects = 0;
         assert!(s.generate().is_err());
-        let s = MixedDatasetSpec { attributes: vec![], clusters: 2, objects: 5, seed: 0 };
+        let s = MixedDatasetSpec {
+            attributes: vec![],
+            clusters: 2,
+            objects: 5,
+            seed: 0,
+        };
         assert!(s.generate().is_err());
     }
 }

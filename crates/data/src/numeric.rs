@@ -25,9 +25,14 @@ impl GaussianMixture {
     /// Creates a mixture from its components (one per cluster).
     pub fn new(components: Vec<GaussianComponent>) -> Result<Self, DataError> {
         if components.is_empty() {
-            return Err(DataError::InvalidParameter("mixture needs at least one component".into()));
+            return Err(DataError::InvalidParameter(
+                "mixture needs at least one component".into(),
+            ));
         }
-        if components.iter().any(|c| c.std_dev < 0.0 || !c.mean.is_finite()) {
+        if components
+            .iter()
+            .any(|c| c.std_dev < 0.0 || !c.mean.is_finite())
+        {
             return Err(DataError::InvalidParameter(
                 "component means must be finite and deviations non-negative".into(),
             ));
@@ -44,11 +49,16 @@ impl GaussianMixture {
         std_dev: f64,
     ) -> Result<Self, DataError> {
         if clusters == 0 {
-            return Err(DataError::InvalidParameter("at least one cluster required".into()));
+            return Err(DataError::InvalidParameter(
+                "at least one cluster required".into(),
+            ));
         }
         GaussianMixture::new(
             (0..clusters)
-                .map(|i| GaussianComponent { mean: start + i as f64 * separation, std_dev })
+                .map(|i| GaussianComponent {
+                    mean: start + i as f64 * separation,
+                    std_dev,
+                })
                 .collect(),
         )
     }
@@ -84,13 +94,21 @@ mod tests {
     #[test]
     fn construction_validation() {
         assert!(GaussianMixture::new(vec![]).is_err());
-        assert!(GaussianMixture::new(vec![GaussianComponent { mean: f64::NAN, std_dev: 1.0 }])
-            .is_err());
-        assert!(GaussianMixture::new(vec![GaussianComponent { mean: 0.0, std_dev: -1.0 }])
-            .is_err());
+        assert!(GaussianMixture::new(vec![GaussianComponent {
+            mean: f64::NAN,
+            std_dev: 1.0
+        }])
+        .is_err());
+        assert!(GaussianMixture::new(vec![GaussianComponent {
+            mean: 0.0,
+            std_dev: -1.0
+        }])
+        .is_err());
         assert!(GaussianMixture::evenly_spaced(0, 0.0, 1.0, 0.1).is_err());
         assert_eq!(
-            GaussianMixture::evenly_spaced(3, 0.0, 10.0, 0.1).unwrap().num_components(),
+            GaussianMixture::evenly_spaced(3, 0.0, 10.0, 0.1)
+                .unwrap()
+                .num_components(),
             3
         );
     }
@@ -100,19 +118,26 @@ mod tests {
         let mixture = GaussianMixture::evenly_spaced(3, 0.0, 100.0, 1.0).unwrap();
         let mut rng = rng_from_seed(7);
         for cluster in 0..3 {
-            let samples: Vec<f64> = (0..500).map(|_| mixture.sample(cluster, &mut rng)).collect();
+            let samples: Vec<f64> = (0..500)
+                .map(|_| mixture.sample(cluster, &mut rng))
+                .collect();
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            assert!((mean - cluster as f64 * 100.0).abs() < 1.0, "cluster {cluster} mean {mean}");
+            assert!(
+                (mean - cluster as f64 * 100.0).abs() < 1.0,
+                "cluster {cluster} mean {mean}"
+            );
         }
     }
 
     #[test]
     fn standard_normal_has_roughly_unit_variance() {
         let mut rng = rng_from_seed(3);
-        let samples: Vec<f64> = (0..4000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let samples: Vec<f64> = (0..4000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 1.0).abs() < 0.15, "variance {var}");
     }

@@ -65,8 +65,7 @@ pub fn partition(
                     "skew fraction must be strictly between 0 and 1".into(),
                 ));
             }
-            let first = ((n as f64 * fraction).round() as usize)
-                .clamp(1, n - (sites as usize - 1));
+            let first = ((n as f64 * fraction).round() as usize).clamp(1, n - (sites as usize - 1));
             (0..n)
                 .map(|i| {
                     if i < first {
@@ -79,8 +78,9 @@ pub fn partition(
         }
     };
 
-    let mut matrices: Vec<DataMatrix> =
-        (0..sites).map(|_| DataMatrix::new(data.schema().clone())).collect();
+    let mut matrices: Vec<DataMatrix> = (0..sites)
+        .map(|_| DataMatrix::new(data.schema().clone()))
+        .collect();
     let mut origins: Vec<Vec<usize>> = vec![Vec::new(); sites as usize];
     for (i, row) in data.rows().iter().enumerate() {
         let site = assignment[i] as usize;
@@ -136,8 +136,12 @@ mod tests {
 
     #[test]
     fn skewed_partition_gives_site_zero_the_lion_share() {
-        let (parts, _) =
-            partition(&dataset(100), 3, PartitionStrategy::Skewed { fraction: 0.8 }).unwrap();
+        let (parts, _) = partition(
+            &dataset(100),
+            3,
+            PartitionStrategy::Skewed { fraction: 0.8 },
+        )
+        .unwrap();
         assert_eq!(parts[0].len(), 80);
         assert_eq!(parts[1].len() + parts[2].len(), 20);
         assert!(parts.iter().all(|p| !p.is_empty()));

@@ -32,7 +32,13 @@ impl Workload {
 
     /// Number of ground-truth clusters.
     pub fn num_clusters(&self) -> usize {
-        self.dataset.labels.iter().copied().max().map(|m| m + 1).unwrap_or(0)
+        self.dataset
+            .labels
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0)
     }
 
     /// Ground-truth labels in the protocol's global object order (site 0's
@@ -58,7 +64,12 @@ impl Workload {
     /// The paper's bird-flu scenario: several institutions each hold DNA
     /// sequences (plus patient age and test outcome) of infected individuals
     /// and want to cluster strains without pooling raw data.
-    pub fn bird_flu(objects: usize, sites: u32, clusters: usize, seed: u64) -> Result<Self, DataError> {
+    pub fn bird_flu(
+        objects: usize,
+        sites: u32,
+        clusters: usize,
+        seed: u64,
+    ) -> Result<Self, DataError> {
         let mut rng = rng_from_seed(seed ^ 0xB12D);
         let spec = MixedDatasetSpec {
             attributes: vec![
@@ -91,9 +102,17 @@ impl Workload {
             seed,
         };
         let dataset = spec.generate()?;
-        let (partitions, origins) =
-            partition(&dataset.data, sites, PartitionStrategy::Random { seed: seed ^ 0x51 })?;
-        Ok(Workload { name: "bird-flu-dna".into(), dataset, partitions, origins })
+        let (partitions, origins) = partition(
+            &dataset.data,
+            sites,
+            PartitionStrategy::Random { seed: seed ^ 0x51 },
+        )?;
+        Ok(Workload {
+            name: "bird-flu-dna".into(),
+            dataset,
+            partitions,
+            origins,
+        })
     }
 
     /// Customer segmentation across retailers: numeric spend/visits with
@@ -133,11 +152,21 @@ impl Workload {
             sites,
             PartitionStrategy::Skewed { fraction: 0.5 },
         )?;
-        Ok(Workload { name: "customer-segmentation".into(), dataset, partitions, origins })
+        Ok(Workload {
+            name: "customer-segmentation".into(),
+            dataset,
+            partitions,
+            origins,
+        })
     }
 
     /// Purely numeric workload used by the communication-cost sweeps.
-    pub fn numeric_only(objects: usize, sites: u32, clusters: usize, seed: u64) -> Result<Self, DataError> {
+    pub fn numeric_only(
+        objects: usize,
+        sites: u32,
+        clusters: usize,
+        seed: u64,
+    ) -> Result<Self, DataError> {
         let spec = MixedDatasetSpec {
             attributes: vec![AttributeSpec::Numeric {
                 name: "value".into(),
@@ -148,9 +177,13 @@ impl Workload {
             seed,
         };
         let dataset = spec.generate()?;
-        let (partitions, origins) =
-            partition(&dataset.data, sites, PartitionStrategy::RoundRobin)?;
-        Ok(Workload { name: "numeric-only".into(), dataset, partitions, origins })
+        let (partitions, origins) = partition(&dataset.data, sites, PartitionStrategy::RoundRobin)?;
+        Ok(Workload {
+            name: "numeric-only".into(),
+            dataset,
+            partitions,
+            origins,
+        })
     }
 
     /// Purely alphanumeric workload (string length ~ `length`) used by the
@@ -180,9 +213,13 @@ impl Workload {
             seed,
         };
         let dataset = spec.generate()?;
-        let (partitions, origins) =
-            partition(&dataset.data, sites, PartitionStrategy::RoundRobin)?;
-        Ok(Workload { name: "dna-only".into(), dataset, partitions, origins })
+        let (partitions, origins) = partition(&dataset.data, sites, PartitionStrategy::RoundRobin)?;
+        Ok(Workload {
+            name: "dna-only".into(),
+            dataset,
+            partitions,
+            origins,
+        })
     }
 }
 
@@ -199,7 +236,10 @@ mod tests {
         assert_eq!(w.partitions.len(), 3);
         assert_eq!(w.num_clusters(), 3);
         assert_eq!(w.schema().len(), 3);
-        assert_eq!(w.schema().attribute("dna").unwrap().kind, AttributeKind::Alphanumeric);
+        assert_eq!(
+            w.schema().attribute("dna").unwrap().kind,
+            AttributeKind::Alphanumeric
+        );
         let truth = w.ground_truth_in_site_order();
         assert_eq!(truth.len(), 30);
         // Site order ground truth must be a permutation of the raw labels.
@@ -227,6 +267,9 @@ mod tests {
         let a = Workload::bird_flu(20, 2, 3, 5).unwrap();
         let b = Workload::bird_flu(20, 2, 3, 5).unwrap();
         assert_eq!(a.dataset.data, b.dataset.data);
-        assert_eq!(a.ground_truth_in_site_order(), b.ground_truth_in_site_order());
+        assert_eq!(
+            a.ground_truth_in_site_order(),
+            b.ground_truth_in_site_order()
+        );
     }
 }

@@ -20,12 +20,16 @@ pub struct WireWriter {
 impl WireWriter {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        WireWriter { buf: BytesMut::new() }
+        WireWriter {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Creates a writer with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        WireWriter { buf: BytesMut::with_capacity(capacity) }
+        WireWriter {
+            buf: BytesMut::with_capacity(capacity),
+        }
     }
 
     /// Appends a `u8`.
@@ -71,7 +75,13 @@ impl WireWriter {
     }
 
     /// Appends a length-prefixed vector of `u64`.
+    ///
+    /// Slice writers reserve the whole run up front: protocol messages ship
+    /// entire flat pairwise-block buffers through these methods, so one
+    /// reservation covers what would otherwise be thousands of incremental
+    /// grows.
     pub fn put_u64_slice(&mut self, v: &[u64]) -> &mut Self {
+        self.buf.reserve(4 + v.len() * 8);
         self.buf.put_u32_le(v.len() as u32);
         for &x in v {
             self.buf.put_u64_le(x);
@@ -79,8 +89,9 @@ impl WireWriter {
         self
     }
 
-    /// Appends a length-prefixed vector of `i64`.
+    /// Appends a length-prefixed vector of `i64` (bulk-reserved).
     pub fn put_i64_slice(&mut self, v: &[i64]) -> &mut Self {
+        self.buf.reserve(4 + v.len() * 8);
         self.buf.put_u32_le(v.len() as u32);
         for &x in v {
             self.buf.put_i64_le(x);
@@ -88,8 +99,9 @@ impl WireWriter {
         self
     }
 
-    /// Appends a length-prefixed vector of `u32`.
+    /// Appends a length-prefixed vector of `u32` (bulk-reserved).
     pub fn put_u32_slice(&mut self, v: &[u32]) -> &mut Self {
+        self.buf.reserve(4 + v.len() * 4);
         self.buf.put_u32_le(v.len() as u32);
         for &x in v {
             self.buf.put_u32_le(x);
@@ -97,8 +109,9 @@ impl WireWriter {
         self
     }
 
-    /// Appends a length-prefixed vector of `f64`.
+    /// Appends a length-prefixed vector of `f64` (bulk-reserved).
     pub fn put_f64_slice(&mut self, v: &[f64]) -> &mut Self {
+        self.buf.reserve(4 + v.len() * 8);
         self.buf.put_u32_le(v.len() as u32);
         for &x in v {
             self.buf.put_f64_le(x);
@@ -116,9 +129,9 @@ impl WireWriter {
         self.buf.is_empty()
     }
 
-    /// Finalises the payload.
+    /// Finalises the payload, handing the buffer over without copying.
     pub fn finish(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf.into()
     }
 }
 
@@ -191,46 +204,59 @@ impl<'a> WireReader<'a> {
     }
 
     /// Reads a length-prefixed vector of `u64`.
+    ///
+    /// The vector getters decode straight off the payload slice in fixed
+    /// 8-/4-byte chunks (one bounds check up front, no per-element cursor
+    /// bookkeeping): protocol sessions move whole pairwise blocks and CCM
+    /// bundles through these calls, so they sit on the hot path.
     pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, NetError> {
         let len = self.get_u32()? as usize;
-        self.need(len.saturating_mul(8))?;
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            out.push(self.buf.get_u64_le());
-        }
+        let bytes = len.saturating_mul(8);
+        self.need(bytes)?;
+        let out = self.buf[..bytes]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        self.buf.advance(bytes);
         Ok(out)
     }
 
-    /// Reads a length-prefixed vector of `i64`.
+    /// Reads a length-prefixed vector of `i64` (bulk-decoded).
     pub fn get_i64_vec(&mut self) -> Result<Vec<i64>, NetError> {
         let len = self.get_u32()? as usize;
-        self.need(len.saturating_mul(8))?;
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            out.push(self.buf.get_i64_le());
-        }
+        let bytes = len.saturating_mul(8);
+        self.need(bytes)?;
+        let out = self.buf[..bytes]
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        self.buf.advance(bytes);
         Ok(out)
     }
 
-    /// Reads a length-prefixed vector of `u32`.
+    /// Reads a length-prefixed vector of `u32` (bulk-decoded).
     pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, NetError> {
         let len = self.get_u32()? as usize;
-        self.need(len.saturating_mul(4))?;
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            out.push(self.buf.get_u32_le());
-        }
+        let bytes = len.saturating_mul(4);
+        self.need(bytes)?;
+        let out = self.buf[..bytes]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect();
+        self.buf.advance(bytes);
         Ok(out)
     }
 
-    /// Reads a length-prefixed vector of `f64`.
+    /// Reads a length-prefixed vector of `f64` (bulk-decoded).
     pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, NetError> {
         let len = self.get_u32()? as usize;
-        self.need(len.saturating_mul(8))?;
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            out.push(self.buf.get_f64_le());
-        }
+        let bytes = len.saturating_mul(8);
+        self.need(bytes)?;
+        let out = self.buf[..bytes]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        self.buf.advance(bytes);
         Ok(out)
     }
 
@@ -244,7 +270,10 @@ impl<'a> WireReader<'a> {
         if self.remaining() == 0 {
             Ok(())
         } else {
-            Err(NetError::Decode(format!("{} trailing bytes", self.remaining())))
+            Err(NetError::Decode(format!(
+                "{} trailing bytes",
+                self.remaining()
+            )))
         }
     }
 }

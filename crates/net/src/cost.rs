@@ -22,18 +22,27 @@ pub struct CostModel {
 impl CostModel {
     /// 1 Gbit/s LAN with 0.2 ms latency.
     pub fn lan() -> Self {
-        CostModel { bandwidth_bytes_per_sec: 125_000_000.0, latency_sec: 0.0002 }
+        CostModel {
+            bandwidth_bytes_per_sec: 125_000_000.0,
+            latency_sec: 0.0002,
+        }
     }
 
     /// 100 Mbit/s WAN with 20 ms latency.
     pub fn wan() -> Self {
-        CostModel { bandwidth_bytes_per_sec: 12_500_000.0, latency_sec: 0.020 }
+        CostModel {
+            bandwidth_bytes_per_sec: 12_500_000.0,
+            latency_sec: 0.020,
+        }
     }
 
     /// 10 Mbit/s consumer uplink with 50 ms latency (the 2006 setting the
     /// paper was written in).
     pub fn dsl_2006() -> Self {
-        CostModel { bandwidth_bytes_per_sec: 1_250_000.0, latency_sec: 0.050 }
+        CostModel {
+            bandwidth_bytes_per_sec: 1_250_000.0,
+            latency_sec: 0.050,
+        }
     }
 
     /// Estimated time to ship all traffic in `report`, assuming links are
@@ -69,7 +78,10 @@ mod tests {
 
     #[test]
     fn estimate_combines_bandwidth_and_latency() {
-        let model = CostModel { bandwidth_bytes_per_sec: 1000.0, latency_sec: 0.5 };
+        let model = CostModel {
+            bandwidth_bytes_per_sec: 1000.0,
+            latency_sec: 0.5,
+        };
         let t = model.estimate_seconds(&report(2000, 4));
         assert!((t - (2.0 + 2.0)).abs() < 1e-9);
     }

@@ -34,7 +34,10 @@ impl Eavesdropper {
 
     /// Captured envelopes whose topic contains `fragment`.
     pub fn captured_matching(&self, fragment: &str) -> Vec<&Envelope> {
-        self.captured.iter().filter(|e| e.topic.contains(fragment)).collect()
+        self.captured
+            .iter()
+            .filter(|e| e.topic.contains(fragment))
+            .collect()
     }
 
     /// Number of captured envelopes.

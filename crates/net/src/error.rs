@@ -29,7 +29,11 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::UnknownParty(p) => write!(f, "unknown party {p}"),
-            NetError::NoMessage { receiver, sender, topic } => write!(
+            NetError::NoMessage {
+                receiver,
+                sender,
+                topic,
+            } => write!(
                 f,
                 "no message for {receiver} from {sender} with topic '{topic}'"
             ),

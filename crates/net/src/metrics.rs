@@ -149,7 +149,10 @@ mod tests {
             r.messages_on_link(PartyId::DataHolder(1), PartyId::ThirdParty),
             2
         );
-        assert_eq!(r.bytes_on_link(PartyId::ThirdParty, PartyId::DataHolder(0)), 0);
+        assert_eq!(
+            r.bytes_on_link(PartyId::ThirdParty, PartyId::DataHolder(0)),
+            0
+        );
     }
 
     #[test]

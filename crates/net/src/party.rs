@@ -34,9 +34,7 @@ impl PartyId {
     /// `A`, `B`, `C`, …). Holders beyond 26 fall back to `DH<i>`.
     pub fn site_label(&self) -> String {
         match self {
-            PartyId::DataHolder(i) if *i < 26 => {
-                char::from(b'A' + *i as u8).to_string()
-            }
+            PartyId::DataHolder(i) if *i < 26 => char::from(b'A' + *i as u8).to_string(),
             PartyId::DataHolder(i) => format!("DH{i}"),
             PartyId::ThirdParty => "TP".to_string(),
         }
@@ -76,11 +74,19 @@ mod tests {
 
     #[test]
     fn ordering_is_stable() {
-        let mut parties = vec![PartyId::ThirdParty, PartyId::DataHolder(1), PartyId::DataHolder(0)];
+        let mut parties = vec![
+            PartyId::ThirdParty,
+            PartyId::DataHolder(1),
+            PartyId::DataHolder(0),
+        ];
         parties.sort();
         assert_eq!(
             parties,
-            vec![PartyId::DataHolder(0), PartyId::DataHolder(1), PartyId::ThirdParty]
+            vec![
+                PartyId::DataHolder(0),
+                PartyId::DataHolder(1),
+                PartyId::ThirdParty
+            ]
         );
     }
 }

@@ -49,14 +49,20 @@ impl Network {
             return Err(NetError::DuplicateParty(party));
         }
         inner.queues.insert(party, VecDeque::new());
-        Ok(Endpoint { party, network: self.clone() })
+        Ok(Endpoint {
+            party,
+            network: self.clone(),
+        })
     }
 
     /// Returns an endpoint for an already-registered party.
     pub fn endpoint(&self, party: PartyId) -> Result<Endpoint, NetError> {
         let inner = self.inner.lock();
         if inner.queues.contains_key(&party) {
-            Ok(Endpoint { party, network: self.clone() })
+            Ok(Endpoint {
+                party,
+                network: self.clone(),
+            })
         } else {
             Err(NetError::UnknownParty(party))
         }
@@ -125,10 +131,17 @@ impl Network {
             .queues
             .get_mut(&receiver)
             .ok_or(NetError::UnknownParty(receiver))?;
-        if let Some(pos) = queue.iter().position(|e| e.from == sender && e.topic == topic) {
+        if let Some(pos) = queue
+            .iter()
+            .position(|e| e.from == sender && e.topic == topic)
+        {
             Ok(queue.remove(pos).expect("position valid"))
         } else {
-            Err(NetError::NoMessage { receiver, sender, topic: topic.to_string() })
+            Err(NetError::NoMessage {
+                receiver,
+                sender,
+                topic: topic.to_string(),
+            })
         }
     }
 
@@ -174,8 +187,14 @@ impl Endpoint {
     }
 
     /// Sends `payload` to `to` under `topic`.
-    pub fn send(&self, to: PartyId, topic: impl Into<String>, payload: Vec<u8>) -> Result<(), NetError> {
-        self.network.send(Envelope::new(self.party, to, topic, payload))
+    pub fn send(
+        &self,
+        to: PartyId,
+        topic: impl Into<String>,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        self.network
+            .send(Envelope::new(self.party, to, topic, payload))
     }
 
     /// Receives the message sent by `from` under `topic`.
@@ -244,8 +263,10 @@ mod tests {
     fn report_accumulates_and_resets() {
         let net = Network::with_parties(2);
         let dh0 = net.endpoint(PartyId::DataHolder(0)).unwrap();
-        dh0.send(PartyId::ThirdParty, "local-matrix", vec![0; 64]).unwrap();
-        dh0.send(PartyId::DataHolder(1), "masked", vec![0; 32]).unwrap();
+        dh0.send(PartyId::ThirdParty, "local-matrix", vec![0; 64])
+            .unwrap();
+        dh0.send(PartyId::DataHolder(1), "masked", vec![0; 32])
+            .unwrap();
         let report = net.report();
         assert_eq!(report.total_messages(), 2);
         assert!(report.bytes_sent_by(PartyId::DataHolder(0)) > 96);
@@ -260,7 +281,8 @@ mod tests {
     fn eavesdropper_only_sees_plaintext_links() {
         let net = Network::with_parties(2);
         let dh0 = net.endpoint(PartyId::DataHolder(0)).unwrap();
-        dh0.send(PartyId::DataHolder(1), "secret", vec![9; 8]).unwrap();
+        dh0.send(PartyId::DataHolder(1), "secret", vec![9; 8])
+            .unwrap();
         assert!(net.eavesdropped().is_empty());
         net.set_channel_security(
             PartyId::DataHolder(0),
@@ -271,7 +293,8 @@ mod tests {
             net.channel_security(PartyId::DataHolder(1), PartyId::DataHolder(0)),
             ChannelSecurity::Plaintext
         );
-        dh0.send(PartyId::DataHolder(1), "secret", vec![9; 8]).unwrap();
+        dh0.send(PartyId::DataHolder(1), "secret", vec![9; 8])
+            .unwrap();
         let captured = net.eavesdropped();
         assert_eq!(captured.len(), 1);
         assert_eq!(captured[0].topic, "secret");
@@ -284,7 +307,10 @@ mod tests {
         dh0.send(PartyId::ThirdParty, "first", vec![]).unwrap();
         dh0.send(PartyId::ThirdParty, "second", vec![]).unwrap();
         assert_eq!(net.receive_any(PartyId::ThirdParty).unwrap().topic, "first");
-        assert_eq!(net.receive_any(PartyId::ThirdParty).unwrap().topic, "second");
+        assert_eq!(
+            net.receive_any(PartyId::ThirdParty).unwrap().topic,
+            "second"
+        );
         assert!(net.receive_any(PartyId::ThirdParty).is_none());
     }
 }

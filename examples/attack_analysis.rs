@@ -31,7 +31,7 @@ fn main() {
         "TP listening on DH_J->DH_K (knows r): x is one of {:?}  (true x = {x})",
         tp_view.candidates()
     );
-    let dhj_view = eavesdrop_responder_link(pairwise[0][0], r, x);
+    let dhj_view = eavesdrop_responder_link(*pairwise.get(0, 0), r, x);
     println!(
         "DH_J listening on DH_K->TP (knows r and x): y is one of {:?}  (true y = {y})",
         dhj_view.candidates()
@@ -52,15 +52,22 @@ fn main() {
                 &k_values,
                 &seeds.holder_holder,
                 algorithm,
-            );
+            )
+            .expect("masked copies match the responder column");
             let mut rng = DynStreamRng::new(algorithm, &seeds.holder_third_party);
-            (pairwise.iter().map(|row| row[0]).collect::<Vec<_>>(), rng.next_u64())
+            (
+                pairwise.iter_rows().map(|row| row[0]).collect::<Vec<_>>(),
+                rng.next_u64(),
+            )
         } else {
             let masked = numeric::initiator_mask(&j_values, &seeds, algorithm);
             let pairwise =
                 numeric::responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
             let mut rng = DynStreamRng::new(algorithm, &seeds.holder_third_party);
-            (pairwise.iter().map(|row| row[0]).collect::<Vec<_>>(), rng.next_u64())
+            (
+                pairwise.iter_rows().map(|row| row[0]).collect::<Vec<_>>(),
+                rng.next_u64(),
+            )
         };
         let outcome = frequency_attack_on_batch_column(&column, mask, (0, 5));
         println!(

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workload.name,
         workload.len(),
         workload.partitions.len(),
-        schema.attributes().iter().map(|a| a.name.clone()).collect::<Vec<_>>()
+        schema
+            .attributes()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect::<Vec<_>>()
     );
 
     // Dealer-free setup: every pair of parties agrees on seeds via

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{} customers across {} retailers; site sizes: {:?}",
         workload.len(),
         workload.partitions.len(),
-        workload.partitions.iter().map(|p| p.len()).collect::<Vec<_>>()
+        workload
+            .partitions
+            .iter()
+            .map(|p| p.len())
+            .collect::<Vec<_>>()
     );
 
     let setup = TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(3))?;
@@ -37,12 +41,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weight_choices = [
         ("uniform weights", schema.uniform_weights()),
         ("spend-heavy", WeightVector::new(vec![0.7, 0.2, 0.1])?),
-        ("behaviour-only (ignore region)", WeightVector::new(vec![0.5, 0.5, 0.0])?),
+        (
+            "behaviour-only (ignore region)",
+            WeightVector::new(vec![0.5, 0.5, 0.0])?,
+        ),
     ];
-    let linkages = [Linkage::Single, Linkage::Average, Linkage::Complete, Linkage::Ward];
+    let linkages = [
+        Linkage::Single,
+        Linkage::Average,
+        Linkage::Complete,
+        Linkage::Ward,
+    ];
 
     println!();
-    println!("{:<34} {:<10} {:>12} {:>12}", "weights", "linkage", "ARI(truth)", "scatter");
+    println!(
+        "{:<34} {:<10} {:>12} {:>12}",
+        "weights", "linkage", "ARI(truth)", "scatter"
+    );
     for (weight_name, weights) in &weight_choices {
         for &linkage in &linkages {
             let request = ClusteringRequest {

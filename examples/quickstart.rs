@@ -16,7 +16,10 @@ use ppclust::core::{
 use ppclust::crypto::Seed;
 
 fn record(age: f64, plan: &str) -> Record {
-    Record::new(vec![AttributeValue::numeric(age), AttributeValue::categorical(plan)])
+    Record::new(vec![
+        AttributeValue::numeric(age),
+        AttributeValue::categorical(plan),
+    ])
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,14 +35,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0,
         DataMatrix::with_rows(
             schema.clone(),
-            vec![record(24.0, "basic"), record(27.0, "basic"), record(61.0, "premium")],
+            vec![
+                record(24.0, "basic"),
+                record(27.0, "basic"),
+                record(61.0, "premium"),
+            ],
         )?,
     );
     let site_b = HorizontalPartition::new(
         1,
         DataMatrix::with_rows(
             schema.clone(),
-            vec![record(25.0, "basic"), record(65.0, "premium"), record(59.0, "premium")],
+            vec![
+                record(25.0, "basic"),
+                record(65.0, "premium"),
+                record(59.0, "premium"),
+            ],
         )?,
     );
 

@@ -21,7 +21,10 @@ use ppclust::core::{
 use ppclust::crypto::Seed;
 
 fn person(name: &str, age: f64) -> Record {
-    Record::new(vec![AttributeValue::alphanumeric(name), AttributeValue::numeric(age)])
+    Record::new(vec![
+        AttributeValue::alphanumeric(name),
+        AttributeValue::numeric(age),
+    ])
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

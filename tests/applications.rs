@@ -22,7 +22,10 @@ fn person_schema() -> Schema {
 }
 
 fn person(name: &str, age: f64) -> Record {
-    Record::new(vec![AttributeValue::alphanumeric(name), AttributeValue::numeric(age)])
+    Record::new(vec![
+        AttributeValue::alphanumeric(name),
+        AttributeValue::numeric(age),
+    ])
 }
 
 fn linkage_setup() -> (Schema, TrustedSetup) {
@@ -59,18 +62,32 @@ fn linkage_setup() -> (Schema, TrustedSetup) {
 fn record_linkage_finds_true_matches_and_rejects_non_matches() {
     let (schema, setup) = linkage_setup();
     let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
-    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
-    let matrix = output.merge(&schema, &WeightVector::new(vec![0.8, 0.2]).unwrap()).unwrap();
+    let output = driver
+        .construct(&setup.holders, &setup.third_party)
+        .unwrap();
+    let matrix = output
+        .merge(&schema, &WeightVector::new(vec![0.8, 0.2]).unwrap())
+        .unwrap();
 
     let d = |a: usize, b: usize| {
-        matrix.distance(ObjectId::new(0, a), ObjectId::new(1, b)).unwrap()
+        matrix
+            .distance(ObjectId::new(0, a), ObjectId::new(1, b))
+            .unwrap()
     };
     // True matches are much closer than any non-match.
     let maria = d(0, 0);
     let john = d(1, 2);
-    let best_non_match = [d(0, 1), d(0, 2), d(1, 0), d(1, 1), d(2, 0), d(2, 1), d(2, 2)]
-        .into_iter()
-        .fold(f64::INFINITY, f64::min);
+    let best_non_match = [
+        d(0, 1),
+        d(0, 2),
+        d(1, 0),
+        d(1, 1),
+        d(2, 0),
+        d(2, 1),
+        d(2, 2),
+    ]
+    .into_iter()
+    .fold(f64::INFINITY, f64::min);
     assert!(maria < 0.3, "maria pair distance {maria}");
     assert!(john < 0.3, "john pair distance {john}");
     assert!(
@@ -83,12 +100,18 @@ fn record_linkage_finds_true_matches_and_rejects_non_matches() {
 fn attribute_weights_change_the_linkage_decision() {
     let (schema, setup) = linkage_setup();
     let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
-    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+    let output = driver
+        .construct(&setup.holders, &setup.third_party)
+        .unwrap();
     // Under a name-only weighting, "john smith" vs "jon smith" is nearly 0;
     // under an age-only weighting, people with similar ages collapse even if
     // their names are unrelated.
-    let name_only = output.merge(&schema, &WeightVector::new(vec![1.0, 0.0]).unwrap()).unwrap();
-    let age_only = output.merge(&schema, &WeightVector::new(vec![0.0, 1.0]).unwrap()).unwrap();
+    let name_only = output
+        .merge(&schema, &WeightVector::new(vec![1.0, 0.0]).unwrap())
+        .unwrap();
+    let age_only = output
+        .merge(&schema, &WeightVector::new(vec![0.0, 1.0]).unwrap())
+        .unwrap();
     let john = ObjectId::new(0, 1);
     let jon = ObjectId::new(1, 2);
     let paulo = ObjectId::new(1, 1);
@@ -96,9 +119,7 @@ fn attribute_weights_change_the_linkage_decision() {
     assert!(name_only.distance(john, paulo).unwrap() > 0.5);
     // Age-only: John (52) and Paulo (47) are fairly close, far closer than
     // under the name-only view.
-    assert!(
-        age_only.distance(john, paulo).unwrap() < name_only.distance(john, paulo).unwrap()
-    );
+    assert!(age_only.distance(john, paulo).unwrap() < name_only.distance(john, paulo).unwrap());
 }
 
 #[test]
@@ -110,13 +131,21 @@ fn outlier_detection_on_the_protocol_built_matrix() {
     ])
     .unwrap();
     let record = |age: f64, lab: f64| {
-        Record::new(vec![AttributeValue::numeric(age), AttributeValue::numeric(lab)])
+        Record::new(vec![
+            AttributeValue::numeric(age),
+            AttributeValue::numeric(lab),
+        ])
     };
     let site_a = HorizontalPartition::new(
         0,
         DataMatrix::with_rows(
             schema.clone(),
-            vec![record(30.0, 1.0), record(32.0, 1.2), record(29.0, 0.9), record(31.0, 1.1)],
+            vec![
+                record(30.0, 1.0),
+                record(32.0, 1.2),
+                record(29.0, 0.9),
+                record(31.0, 1.1),
+            ],
         )
         .unwrap(),
     );
@@ -130,7 +159,9 @@ fn outlier_detection_on_the_protocol_built_matrix() {
     );
     let setup = TrustedSetup::deterministic(vec![site_a, site_b], &Seed::from_u64(5)).unwrap();
     let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
-    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+    let output = driver
+        .construct(&setup.holders, &setup.third_party)
+        .unwrap();
     let matrix = output.merge(&schema, &schema.uniform_weights()).unwrap();
 
     let scores = knn_outlier_scores(matrix.matrix(), 2).unwrap();
@@ -145,7 +176,9 @@ fn outlier_detection_on_the_protocol_built_matrix() {
 fn per_site_result_views_only_contain_that_sites_objects() {
     let (schema, setup) = linkage_setup();
     let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
-    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+    let output = driver
+        .construct(&setup.holders, &setup.third_party)
+        .unwrap();
     let (result, _) = driver
         .cluster(
             &output,

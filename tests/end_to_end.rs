@@ -30,7 +30,9 @@ fn assert_matches_centralized(workload: &Workload, clusters: usize, config: Prot
     let setup =
         TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(0xEE)).unwrap();
     let driver = ThirdPartyDriver::new(schema.clone(), config);
-    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+    let output = driver
+        .construct(&setup.holders, &setup.third_party)
+        .unwrap();
     let request = ClusteringRequest {
         weights: schema.uniform_weights(),
         linkage: Linkage::Average,
@@ -40,11 +42,18 @@ fn assert_matches_centralized(workload: &Workload, clusters: usize, config: Prot
 
     let central = CentralizedBaseline::new(schema.clone());
     let reference = central
-        .run(&workload.partitions, &schema.uniform_weights(), Linkage::Average, clusters)
+        .run(
+            &workload.partitions,
+            &schema.uniform_weights(),
+            Linkage::Average,
+            clusters,
+        )
         .unwrap();
 
     // The dissimilarity matrices agree to fixed-point precision...
-    let diff = matrix.matrix().max_abs_difference(reference.final_matrix.matrix());
+    let diff = matrix
+        .matrix()
+        .max_abs_difference(reference.final_matrix.matrix());
     assert!(diff < 1e-6, "matrix deviation {diff}");
     // ...and the published clustering is identical to the centralized one.
     let published = published_assignment(&result, workload.len());
@@ -69,8 +78,10 @@ fn protocol_matches_centralized_on_customer_workload_with_four_sites() {
 #[test]
 fn protocol_matches_centralized_in_per_pair_mode() {
     let workload = Workload::numeric_only(30, 3, 3, 8).unwrap();
-    let config =
-        ProtocolConfig { numeric_mode: NumericMode::PerPair, ..ProtocolConfig::default() };
+    let config = ProtocolConfig {
+        numeric_mode: NumericMode::PerPair,
+        ..ProtocolConfig::default()
+    };
     assert_matches_centralized(&workload, 3, config);
 }
 
@@ -97,15 +108,23 @@ fn networked_session_equals_in_memory_driver_and_counts_traffic() {
     };
 
     let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
-    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+    let output = driver
+        .construct(&setup.holders, &setup.third_party)
+        .unwrap();
     let (reference, reference_matrix) = driver.cluster(&output, &request).unwrap();
 
     let session = ClusteringSession::new(schema.clone(), ProtocolConfig::default(), 3);
-    let outcome = session.run(&setup.holders, &setup.third_party, &request).unwrap();
+    let outcome = session
+        .run(&setup.holders, &setup.third_party, &request)
+        .unwrap();
 
     assert_eq!(outcome.result.clusters, reference.clusters);
     assert!(
-        outcome.final_matrix.matrix().max_abs_difference(reference_matrix.matrix()) < 1e-12
+        outcome
+            .final_matrix
+            .matrix()
+            .max_abs_difference(reference_matrix.matrix())
+            < 1e-12
     );
     assert!(outcome.communication.total_bytes() > 0);
     // Every attribute produced a matrix.
@@ -123,19 +142,32 @@ fn diffie_hellman_setup_produces_the_same_result_as_dealer_setup() {
     };
     let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
 
-    let dealer = TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(1))
-        .unwrap();
-    let dh = TrustedSetup::via_diffie_hellman(workload.partitions.clone(), &Seed::from_u64(2))
-        .unwrap();
+    let dealer =
+        TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(1)).unwrap();
+    let dh =
+        TrustedSetup::via_diffie_hellman(workload.partitions.clone(), &Seed::from_u64(2)).unwrap();
     let (dealer_result, dealer_matrix) = driver
-        .cluster(&driver.construct(&dealer.holders, &dealer.third_party).unwrap(), &request)
+        .cluster(
+            &driver
+                .construct(&dealer.holders, &dealer.third_party)
+                .unwrap(),
+            &request,
+        )
         .unwrap();
     let (dh_result, dh_matrix) = driver
-        .cluster(&driver.construct(&dh.holders, &dh.third_party).unwrap(), &request)
+        .cluster(
+            &driver.construct(&dh.holders, &dh.third_party).unwrap(),
+            &request,
+        )
         .unwrap();
     // The masks differ, but the recovered distances — hence everything the
     // third party publishes — are identical.
-    assert!(dealer_matrix.matrix().max_abs_difference(dh_matrix.matrix()) < 1e-9);
+    assert!(
+        dealer_matrix
+            .matrix()
+            .max_abs_difference(dh_matrix.matrix())
+            < 1e-9
+    );
     assert_eq!(dealer_result.clusters, dh_result.clusters);
 }
 
@@ -146,7 +178,9 @@ fn ground_truth_is_recovered_on_well_separated_data() {
     let setup =
         TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(4)).unwrap();
     let driver = ThirdPartyDriver::new(schema.clone(), ProtocolConfig::default());
-    let output = driver.construct(&setup.holders, &setup.third_party).unwrap();
+    let output = driver
+        .construct(&setup.holders, &setup.third_party)
+        .unwrap();
     let (result, _) = driver
         .cluster(
             &output,
@@ -160,5 +194,8 @@ fn ground_truth_is_recovered_on_well_separated_data() {
     let truth = ClusterAssignment::from_labels(&workload.ground_truth_in_site_order());
     let published = published_assignment(&result, workload.len());
     let ari = adjusted_rand_index(&published, &truth).unwrap();
-    assert!(ari > 0.8, "expected near-perfect strain recovery, ARI {ari}");
+    assert!(
+        ari > 0.8,
+        "expected near-perfect strain recovery, ARI {ari}"
+    );
 }

@@ -2,9 +2,7 @@
 //! attack, channel security) and the measured communication-cost claims.
 
 use ppclust::cluster::Linkage;
-use ppclust::core::privacy::{
-    eavesdrop_initiator_link, frequency_attack_on_batch_column,
-};
+use ppclust::core::privacy::{eavesdrop_initiator_link, frequency_attack_on_batch_column};
 use ppclust::core::protocol::driver::ClusteringRequest;
 use ppclust::core::protocol::party::TrustedSetup;
 use ppclust::core::protocol::session::ClusteringSession;
@@ -31,7 +29,9 @@ fn run_networked(
         linkage: Linkage::Average,
         num_clusters: workload.num_clusters().max(2),
     };
-    session.run(&setup.holders, &setup.third_party, &request).unwrap()
+    session
+        .run(&setup.holders, &setup.third_party, &request)
+        .unwrap()
 }
 
 #[test]
@@ -60,8 +60,9 @@ fn plaintext_channels_expose_masked_traffic_and_enable_the_paper_inference() {
     let _ = run_networked(&workload, ProtocolConfig::default(), Some(network.clone()));
     let captured = network.eavesdropped();
     assert!(!captured.is_empty());
-    assert!(captured.iter().all(|e| e.from == PartyId::DataHolder(0)
-        && e.to == PartyId::DataHolder(1)));
+    assert!(captured
+        .iter()
+        .all(|e| e.from == PartyId::DataHolder(0) && e.to == PartyId::DataHolder(1)));
     // The captured payload is the masked vector; together with the rng_JT
     // stream (which the third party has) it narrows each value to two
     // candidates — demonstrated directly on a hand-run protocol below.
@@ -84,7 +85,7 @@ fn frequency_attack_succeeds_on_batch_and_fails_on_per_pair() {
     // Batch mode: the column leaks.
     let masked = numeric::initiator_mask(&j_values, &seeds, algorithm);
     let pairwise = numeric::responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
-    let column: Vec<i64> = pairwise.iter().map(|r| r[0]).collect();
+    let column: Vec<i64> = pairwise.iter_rows().map(|r| r[0]).collect();
     let mut rng = DynStreamRng::new(algorithm, &seeds.holder_third_party);
     let mask = rng.next_u64();
     let outcome = frequency_attack_on_batch_column(&column, mask, (0, 5));
@@ -94,8 +95,9 @@ fn frequency_attack_succeeds_on_batch_and_fails_on_per_pair() {
     // Per-pair mode: the same attack recovers nothing.
     let masked = numeric::initiator_mask_per_pair(&j_values, k_values.len(), &seeds, algorithm);
     let pairwise =
-        numeric::responder_fold_per_pair(&masked, &k_values, &seeds.holder_holder, algorithm);
-    let column: Vec<i64> = pairwise.iter().map(|r| r[0]).collect();
+        numeric::responder_fold_per_pair(&masked, &k_values, &seeds.holder_holder, algorithm)
+            .unwrap();
+    let column: Vec<i64> = pairwise.iter_rows().map(|r| r[0]).collect();
     let mut rng = DynStreamRng::new(algorithm, &seeds.holder_third_party);
     let mask = rng.next_u64();
     let outcome = frequency_attack_on_batch_column(&column, mask, (0, 5));
@@ -114,8 +116,8 @@ fn numeric_cost_scales_quadratically_per_site_as_the_paper_claims() {
     };
     let (j_small, k_small) = bytes_for(64);
     let (j_large, k_large) = bytes_for(256); // 4× the objects per site
-    // O(n²) dominated: 4× objects ⇒ ~16× bytes; allow generous slack for the
-    // O(n) and framing terms.
+                                             // O(n²) dominated: 4× objects ⇒ ~16× bytes; allow generous slack for the
+                                             // O(n) and framing terms.
     let j_ratio = j_large as f64 / j_small as f64;
     let k_ratio = k_large as f64 / k_small as f64;
     assert!(j_ratio > 8.0 && j_ratio < 24.0, "DH_J ratio {j_ratio}");
@@ -128,12 +130,16 @@ fn per_pair_mode_multiplies_initiator_traffic_but_not_results() {
     let batch = run_networked(&workload, ProtocolConfig::default(), None);
     let per_pair = run_networked(
         &workload,
-        ProtocolConfig { numeric_mode: NumericMode::PerPair, ..ProtocolConfig::default() },
+        ProtocolConfig {
+            numeric_mode: NumericMode::PerPair,
+            ..ProtocolConfig::default()
+        },
         None,
     );
     assert_eq!(batch.result.clusters, per_pair.result.clusters);
     let link = |o: &ppclust::core::protocol::session::SessionOutcome| {
-        o.communication.bytes_on_link(PartyId::DataHolder(0), PartyId::DataHolder(1))
+        o.communication
+            .bytes_on_link(PartyId::DataHolder(0), PartyId::DataHolder(1))
     };
     // The initiator ships ~m copies of its masked column instead of one.
     assert!(link(&per_pair) > 10 * link(&batch));
@@ -151,7 +157,10 @@ fn categorical_traffic_is_linear_in_the_number_of_objects() {
     let key = ppclust::crypto::Prf128::new(&[3u8; 32]);
     let column_bytes = |objects: usize| {
         let workload = Workload::customer_segmentation(objects, 2, 3, 9).unwrap();
-        let column = workload.partitions[0].matrix().categorical_column(2).unwrap();
+        let column = workload.partitions[0]
+            .matrix()
+            .categorical_column(2)
+            .unwrap();
         let encrypted = ppclust::core::protocol::categorical::encrypt_column(&column, &key);
         ppclust::core::protocol::messages::EncryptedColumnMsg {
             attribute: "region".into(),

@@ -1,0 +1,234 @@
+//! Offline stand-in for the parts of `criterion` the bench crate uses.
+//!
+//! Measures wall-clock medians instead of criterion's full statistical
+//! pipeline, prints one line per benchmark and appends a JSON record to the
+//! file named by the `PPC_BENCH_JSON` environment variable (if set) so the
+//! repository's `BENCH_*.json` snapshots can be regenerated without network
+//! access.
+//!
+//! Environment knobs:
+//!
+//! * `PPC_BENCH_JSON=path` — append `{"id": ..., "median_ns": ...}` lines.
+//! * `PPC_BENCH_QUICK=1`   — cap sampling at 5 samples ≤ 50 ms each (CI).
+
+use std::fmt::{self, Display};
+use std::fs::OpenOptions;
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+fn quick_mode() -> bool {
+    std::env::var("PPC_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// Benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a name and a displayable parameter.
+    pub fn new<N: Into<String>, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parameter.is_empty() {
+            write!(f, "{}", self.name)
+        } else {
+            write!(f, "{}/{}", self.name, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// Per-iteration timer handed to the bench closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    median_ns: f64,
+    samples: usize,
+    max_sample_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration cost estimate.
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        // Choose iterations per sample so one sample stays under the cap.
+        let iters = (self.max_sample_time.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut sample_medians: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            sample_medians.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        sample_medians.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = sample_medians[sample_medians.len() / 2];
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let quick = quick_mode();
+        let mut bencher = Bencher {
+            median_ns: f64::NAN,
+            samples: if quick {
+                self.sample_size.min(5)
+            } else {
+                self.sample_size
+            },
+            max_sample_time: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(200)
+            },
+        };
+        f(&mut bencher);
+        self.criterion
+            .record(&format!("{}/{}", self.name, id), bencher.median_ns);
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into().to_string();
+        self.run(id, f);
+        self
+    }
+
+    /// Benchmarks a closure against an input value.
+    pub fn bench_with_input<Ident, I, F>(&mut self, id: Ident, input: &I, mut f: F) -> &mut Self
+    where
+        Ident: Into<BenchmarkId>,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into().to_string();
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            sample_size: 10,
+        };
+        group.run(name.to_string(), f);
+        self
+    }
+
+    fn record(&mut self, id: &str, median_ns: f64) {
+        let id = id.trim_start_matches('/');
+        println!("bench: {id:<60} median {}", format_ns(median_ns));
+        if let Ok(path) = std::env::var("PPC_BENCH_JSON") {
+            if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(file, "{{\"id\": \"{id}\", \"median_ns\": {median_ns:.1}}}");
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares the benchmark entry functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
