@@ -1,0 +1,69 @@
+//! Multi-session engine throughput: wall-clock cost of completing 1 / 4 / 8
+//! concurrent clustering sessions over one in-memory transport, chunked vs
+//! whole-matrix streaming.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppc_cluster::Linkage;
+use ppc_core::protocol::driver::ClusteringRequest;
+use ppc_core::protocol::engine::{SessionEngine, SessionSpec};
+use ppc_core::protocol::party::TrustedSetup;
+use ppc_core::protocol::ProtocolConfig;
+use ppc_crypto::Seed;
+use ppc_data::Workload;
+use ppc_net::Network;
+
+fn spec(seed: u64, chunk_rows: Option<usize>) -> SessionSpec {
+    let workload = Workload::bird_flu(24, 3, 3, seed).unwrap();
+    let schema = workload.schema().clone();
+    let setup =
+        TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(seed)).unwrap();
+    SessionSpec {
+        schema: schema.clone(),
+        config: ProtocolConfig::default(),
+        holders: setup.holders,
+        keys: setup.third_party,
+        request: ClusteringRequest {
+            weights: schema.uniform_weights(),
+            linkage: Linkage::Average,
+            num_clusters: 3,
+        },
+        chunk_rows,
+    }
+}
+
+fn run_engine(specs: &[SessionSpec]) -> usize {
+    let mut engine = SessionEngine::new(Network::with_parties(3));
+    for spec in specs {
+        engine.add_session(spec.clone());
+    }
+    engine.run().unwrap().len()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for &sessions in &[1usize, 4, 8] {
+        let specs: Vec<SessionSpec> = (0..sessions)
+            .map(|i| spec(40 + i as u64, Some(4)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_sessions", sessions),
+            &sessions,
+            |b, _| b.iter(|| run_engine(black_box(&specs))),
+        );
+    }
+    let whole: Vec<SessionSpec> = vec![spec(40, None)];
+    group.bench_function("one_session_whole_matrix", |b| {
+        b.iter(|| run_engine(black_box(&whole)))
+    });
+    let chunked: Vec<SessionSpec> = vec![spec(40, Some(4))];
+    group.bench_function("one_session_chunked_w4", |b| {
+        b.iter(|| run_engine(black_box(&chunked)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

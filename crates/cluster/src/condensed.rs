@@ -198,6 +198,54 @@ impl CondensedDistanceMatrix {
         Ok(out)
     }
 
+    /// Scatters a rectangular cross-block of distances into the condensed
+    /// triangle: entry `(row_offset + m, col_offset + n)` takes
+    /// `values[m · cols + n]`.
+    ///
+    /// This is the incremental counterpart of merging a whole
+    /// `rows × cols` pairwise block at the end: the chunked protocol
+    /// streams deliver a few rows at a time (`row_offset` advancing with
+    /// each chunk) and the accumulator absorbs them as they arrive. The
+    /// block must sit strictly below the diagonal
+    /// (`col_offset + cols ≤ row_offset`).
+    pub fn set_block(
+        &mut self,
+        row_offset: usize,
+        col_offset: usize,
+        cols: usize,
+        values: &[f64],
+    ) -> Result<(), ClusterError> {
+        if cols == 0 {
+            return Ok(());
+        }
+        if !values.len().is_multiple_of(cols) {
+            return Err(ClusterError::DimensionMismatch {
+                expected: cols,
+                got: values.len(),
+            });
+        }
+        let rows = values.len() / cols;
+        if col_offset + cols > row_offset {
+            return Err(ClusterError::InvalidParameter(format!(
+                "block columns {}..{} overlap rows starting at {row_offset}",
+                col_offset,
+                col_offset + cols
+            )));
+        }
+        if row_offset + rows > self.n {
+            return Err(ClusterError::IndexOutOfBounds {
+                index: row_offset + rows,
+                size: self.n,
+            });
+        }
+        for (m, row) in values.chunks_exact(cols).enumerate() {
+            let i = row_offset + m;
+            let base = i * (i - 1) / 2 + col_offset;
+            self.values[base..base + cols].copy_from_slice(row);
+        }
+        Ok(())
+    }
+
     /// Maximum absolute element-wise difference to another matrix of the
     /// same size (∞ if sizes differ). Used by the accuracy experiments to
     /// show the privacy-preserving matrix equals the centralized one.
@@ -210,6 +258,56 @@ impl CondensedDistanceMatrix {
             .zip(&other.values)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max)
+    }
+}
+
+/// Incrementally merges normalised, weighted per-attribute matrices into
+/// one final matrix.
+///
+/// The whole-matrix path collects every per-attribute matrix and merges
+/// them at the end; a streaming session instead folds each attribute in as
+/// soon as it completes and then drops it, so at most one per-attribute
+/// matrix is alive alongside the accumulator. Pushing
+/// `(weight / max) · d_a` here performs exactly the same float operations
+/// in the same order as the batch merge, so the two paths produce
+/// bit-identical results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeAccumulator {
+    acc: CondensedDistanceMatrix,
+    attributes: usize,
+}
+
+impl MergeAccumulator {
+    /// Creates an empty accumulator over `n` objects.
+    pub fn new(n: usize) -> Self {
+        MergeAccumulator {
+            acc: CondensedDistanceMatrix::zeros(n),
+            attributes: 0,
+        }
+    }
+
+    /// Folds one completed attribute matrix in under `weight`, normalising
+    /// by the matrix's maximum (the paper's §5 step 4, without a copy).
+    pub fn push_normalized(
+        &mut self,
+        matrix: &CondensedDistanceMatrix,
+        weight: f64,
+    ) -> Result<(), ClusterError> {
+        let max = matrix.max_value();
+        let scale = if max > 0.0 { weight / max } else { weight };
+        self.acc.accumulate_scaled(matrix, scale)?;
+        self.attributes += 1;
+        Ok(())
+    }
+
+    /// Number of attributes folded so far.
+    pub fn attributes(&self) -> usize {
+        self.attributes
+    }
+
+    /// Consumes the accumulator, yielding the merged matrix.
+    pub fn finish(self) -> CondensedDistanceMatrix {
+        self.acc
     }
 }
 
@@ -290,6 +388,63 @@ mod tests {
         );
         assert!(CondensedDistanceMatrix::weighted_merge(&[a.clone(), b], &[1.0, 1.0]).is_err());
         assert!(CondensedDistanceMatrix::weighted_merge(&[a], &[-1.0]).is_err());
+    }
+
+    #[test]
+    fn set_block_scatters_chunked_rows() {
+        // Sites of sizes 2 and 3: the cross block is 3×2 at (2, 0).
+        let mut whole = CondensedDistanceMatrix::zeros(5);
+        let block: Vec<f64> = (0..6).map(|v| v as f64 + 1.0).collect();
+        for (m, row) in block.chunks_exact(2).enumerate() {
+            for (n, &d) in row.iter().enumerate() {
+                whole.set(2 + m, n, d);
+            }
+        }
+        // Deliver the same block as a 2-row chunk followed by a 1-row chunk.
+        let mut chunked = CondensedDistanceMatrix::zeros(5);
+        chunked.set_block(2, 0, 2, &block[..4]).unwrap();
+        chunked.set_block(4, 0, 2, &block[4..]).unwrap();
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn set_block_validates_shape_and_bounds() {
+        let mut m = CondensedDistanceMatrix::zeros(5);
+        // Ragged value count.
+        assert!(m.set_block(2, 0, 2, &[1.0, 2.0, 3.0]).is_err());
+        // Block reaching onto/above the diagonal.
+        assert!(m.set_block(1, 0, 2, &[1.0, 2.0]).is_err());
+        // Rows past the end of the matrix.
+        assert!(m.set_block(4, 0, 2, &[1.0, 2.0, 3.0, 4.0]).is_err());
+        // Zero columns is a no-op.
+        assert!(m.set_block(2, 0, 0, &[]).is_ok());
+    }
+
+    #[test]
+    fn merge_accumulator_matches_batch_weighted_merge() {
+        let a = CondensedDistanceMatrix::from_fn(4, |i, j| (i * 3 + j) as f64);
+        let b = CondensedDistanceMatrix::from_fn(4, |i, j| (10 + i + j) as f64);
+        // Batch path: normalise by max, then weight (the DissimilarityMatrix
+        // merge semantics).
+        let mut batch = CondensedDistanceMatrix::zeros(4);
+        for (m, w) in [(&a, 0.25), (&b, 0.75)] {
+            batch.accumulate_scaled(m, w / m.max_value()).unwrap();
+        }
+        // Streaming path: one attribute at a time.
+        let mut acc = MergeAccumulator::new(4);
+        acc.push_normalized(&a, 0.25).unwrap();
+        acc.push_normalized(&b, 0.75).unwrap();
+        assert_eq!(acc.attributes(), 2);
+        let streamed = acc.finish();
+        assert_eq!(batch, streamed);
+        // All-zero attribute matrices contribute nothing but still count.
+        let mut acc = MergeAccumulator::new(4);
+        acc.push_normalized(&CondensedDistanceMatrix::zeros(4), 1.0)
+            .unwrap();
+        assert_eq!(acc.finish().max_value(), 0.0);
+        // Size mismatches are rejected.
+        let mut acc = MergeAccumulator::new(3);
+        assert!(acc.push_normalized(&a, 1.0).is_err());
     }
 
     #[test]

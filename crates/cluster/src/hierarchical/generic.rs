@@ -1,0 +1,213 @@
+//! Priority-queue ("generic") agglomerative algorithm.
+//!
+//! The nearest-neighbor-chain engine is O(n²) but only exact for
+//! *reducible* linkages; centroid and median linkage violate reducibility
+//! (their Lance–Williams update can pull a third cluster closer than the
+//! pair being merged), which previously forced them onto the O(n³)
+//! textbook scan. This module implements Müllner's "generic" algorithm:
+//! every candidate pair sits in a min-heap keyed by
+//! `(distance, lower id, higher id)`, stale entries (an endpoint already
+//! merged away) are discarded lazily on pop, and each merge pushes the
+//! Lance–Williams distances from the new cluster to every survivor. Each
+//! of the `n − 1` merges therefore pops/pushes O(n) heap entries:
+//! **O(n² log n)** total, valid for *all* linkages because it always
+//! extracts the true global minimum — inversions and all.
+//!
+//! The O(n³) scan stays available as
+//! [`fit_naive`](crate::hierarchical::AgglomerativeClustering::fit_naive),
+//! the oracle this engine is property-tested against.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::condensed::CondensedDistanceMatrix;
+use crate::error::ClusterError;
+use crate::hierarchical::dendrogram::Merge;
+use crate::hierarchical::linkage::Linkage;
+
+/// A candidate merge between active clusters `a < b` at `distance`.
+///
+/// Ordered so that a max-[`BinaryHeap`] pops the *smallest*
+/// `(distance, a, b)` triple first — the same pair the textbook scan's
+/// first-strict-minimum selection picks, so the two engines agree even
+/// under distance ties.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    distance: f64,
+    a: usize,
+    b: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the smallest triple must win the max-heap.
+        other
+            .distance
+            .total_cmp(&self.distance)
+            .then_with(|| other.a.cmp(&self.a))
+            .then_with(|| other.b.cmp(&self.b))
+    }
+}
+
+/// Runs the generic algorithm, returning merges in chronological order
+/// with the same cluster-id convention as the naive scan (singletons
+/// `0..n`, merge `s` creates id `n + s`).
+pub fn generic_linkage(
+    matrix: &CondensedDistanceMatrix,
+    linkage: Linkage,
+) -> Result<Vec<Merge>, ClusterError> {
+    let n = matrix.len();
+    if n == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    let total_ids = 2 * n - 1;
+    let mut active = vec![false; total_ids];
+    let mut sizes = vec![0usize; total_ids];
+    for i in 0..n {
+        active[i] = true;
+        sizes[i] = 1;
+    }
+    // Dense distance lookup keyed by (min, max) id — the same layout the
+    // naive scan uses; entries are written once and never mutated, which is
+    // what makes lazy heap invalidation sound.
+    let mut dist = vec![f64::NAN; total_ids * total_ids];
+    let idx = |a: usize, b: usize| -> usize {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        lo * total_ids + hi
+    };
+    let mut heap = BinaryHeap::with_capacity(n * (n.saturating_sub(1)) / 2 + n);
+    for i in 1..n {
+        for j in 0..i {
+            let d = matrix.get(i, j);
+            dist[idx(i, j)] = d;
+            heap.push(Candidate {
+                distance: d,
+                a: j,
+                b: i,
+            });
+        }
+    }
+
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut active_ids: Vec<usize> = (0..n).collect();
+    for step in 0..n.saturating_sub(1) {
+        // Pop until the top candidate joins two still-active clusters.
+        let (a, b, d) = loop {
+            let candidate = heap.pop().ok_or_else(|| {
+                ClusterError::InvalidParameter(
+                    "candidate heap drained before the dendrogram completed \
+                     (non-finite distance?)"
+                        .into(),
+                )
+            })?;
+            if active[candidate.a] && active[candidate.b] {
+                break (candidate.a, candidate.b, candidate.distance);
+            }
+        };
+        let new_id = n + step;
+        let size_a = sizes[a];
+        let size_b = sizes[b];
+        sizes[new_id] = size_a + size_b;
+        active[a] = false;
+        active[b] = false;
+        active_ids.retain(|&x| x != a && x != b);
+        for &k in &active_ids {
+            let updated = linkage.lance_williams(
+                dist[idx(k, a)],
+                dist[idx(k, b)],
+                d,
+                size_a,
+                size_b,
+                sizes[k],
+            );
+            dist[idx(k, new_id)] = updated;
+            heap.push(Candidate {
+                distance: updated,
+                a: k,
+                b: new_id,
+            });
+        }
+        active[new_id] = true;
+        active_ids.push(new_id);
+        merges.push(Merge {
+            left: a.min(b),
+            right: a.max(b),
+            distance: d,
+            size: size_a + size_b,
+        });
+    }
+    Ok(merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical::AgglomerativeClustering;
+
+    fn pseudo_random_matrix(n: usize, seed: u64) -> CondensedDistanceMatrix {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        };
+        CondensedDistanceMatrix::from_fn(n, |_, _| next() * 10.0 + 0.01)
+    }
+
+    #[test]
+    fn generic_matches_naive_for_every_linkage() {
+        for seed in 0..4u64 {
+            let m = pseudo_random_matrix(24, seed);
+            for linkage in Linkage::ALL {
+                let naive = AgglomerativeClustering::new(linkage).fit_naive(&m).unwrap();
+                let generic = generic_linkage(&m, linkage).unwrap();
+                assert_eq!(naive.merges().len(), generic.len(), "{linkage:?}");
+                for (a, b) in naive.merges().iter().zip(&generic) {
+                    assert_eq!((a.left, a.right, a.size), (b.left, b.right, b.size));
+                    assert!((a.distance - b.distance).abs() < 1e-9, "{linkage:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generic_matches_naive_under_heavy_ties() {
+        // Integer-quantised distances produce massive ties; the heap's
+        // (distance, a, b) order must coincide with the scan's
+        // first-strict-minimum choice.
+        let m = CondensedDistanceMatrix::from_fn(30, |i, j| {
+            ((i as i64 - j as i64).abs() % 5) as f64 + 1.0
+        });
+        for linkage in [Linkage::Centroid, Linkage::Median, Linkage::Average] {
+            let naive = AgglomerativeClustering::new(linkage).fit_naive(&m).unwrap();
+            let generic = generic_linkage(&m, linkage).unwrap();
+            for (a, b) in naive.merges().iter().zip(&generic) {
+                assert_eq!((a.left, a.right, a.size), (b.left, b.right, b.size));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(generic_linkage(&CondensedDistanceMatrix::zeros(0), Linkage::Centroid).is_err());
+        let merges = generic_linkage(&CondensedDistanceMatrix::zeros(1), Linkage::Median).unwrap();
+        assert!(merges.is_empty());
+    }
+}

@@ -6,18 +6,22 @@
 //! Lance–Williams distance updates so the whole family of standard linkages
 //! is available.
 //!
-//! Two engines back [`AgglomerativeClustering::fit`]:
+//! Three engines back [`AgglomerativeClustering::fit`]:
 //!
 //! * the **nearest-neighbor-chain** algorithm ([`nnchain`]) — O(n²) time and
 //!   O(n) extra space, exact for the reducible linkages (single, complete,
 //!   average, weighted, Ward); used automatically whenever
 //!   [`Linkage::nn_chain_exact`] holds;
+//! * the **priority-queue "generic"** algorithm ([`generic`]) — O(n² log n),
+//!   exact for *every* linkage because it always extracts the global-minimum
+//!   pair; used for the non-reducible centroid/median linkages, whose
+//!   inversions break the chain invariant;
 //! * the **textbook O(n³) scan** ([`AgglomerativeClustering::fit_naive`]) —
-//!   retained both as the engine for the non-reducible centroid/median
-//!   linkages (whose inversions break the chain invariant) and as the
-//!   auditable test oracle the NN-chain output is property-tested against.
+//!   retained as the auditable test oracle both faster engines are
+//!   property-tested against.
 
 pub mod dendrogram;
+mod generic;
 pub mod linkage;
 mod nnchain;
 
@@ -48,15 +52,16 @@ impl AgglomerativeClustering {
     /// Builds the full dendrogram for `matrix`.
     ///
     /// Dispatches to the O(n²) nearest-neighbor-chain algorithm for the
-    /// reducible linkages ([`Linkage::nn_chain_exact`]) and to the O(n³)
-    /// textbook scan ([`Self::fit_naive`]) for centroid and median linkage,
-    /// whose inversions the chain cannot handle.
+    /// reducible linkages ([`Linkage::nn_chain_exact`]) and to the
+    /// O(n² log n) priority-queue generic algorithm for centroid and median
+    /// linkage, whose inversions the chain cannot handle.
     pub fn fit(&self, matrix: &CondensedDistanceMatrix) -> Result<Dendrogram, ClusterError> {
         if self.linkage.nn_chain_exact() {
             let merges = nnchain::nn_chain(matrix, self.linkage)?;
             return Ok(Dendrogram::new(matrix.len(), merges));
         }
-        self.fit_naive(matrix)
+        let merges = generic::generic_linkage(matrix, self.linkage)?;
+        Ok(Dendrogram::new(matrix.len(), merges))
     }
 
     /// Builds the full dendrogram with the O(n³) textbook algorithm (scan

@@ -40,6 +40,6 @@ pub mod outlier;
 pub mod quality;
 
 pub use assignment::ClusterAssignment;
-pub use condensed::CondensedDistanceMatrix;
+pub use condensed::{CondensedDistanceMatrix, MergeAccumulator};
 pub use error::ClusterError;
 pub use hierarchical::{AgglomerativeClustering, Dendrogram, Linkage};

@@ -112,6 +112,38 @@ proptest! {
         }
     }
 
+    /// The O(n² log n) priority-queue generic engine reproduces the O(n³)
+    /// textbook oracle exactly — merge pairs, heights and sizes — for the
+    /// non-reducible centroid and median linkages it now serves (and, as a
+    /// sanity check, for a reducible one).
+    #[test]
+    fn generic_engine_matches_naive_oracle_for_non_reducible_linkages(
+        values in prop::collection::vec(0.001f64..100.0, 1..64),
+        linkage_index in 0usize..3,
+    ) {
+        let matrix = matrix_from_values(&values);
+        let linkage = [Linkage::Centroid, Linkage::Median, Linkage::Complete][linkage_index];
+        let algo = AgglomerativeClustering::new(linkage);
+        let fast = algo.fit(&matrix).unwrap();
+        let oracle = algo.fit_naive(&matrix).unwrap();
+        prop_assert_eq!(fast.merges().len(), oracle.merges().len());
+        for (f, o) in fast.merges().iter().zip(oracle.merges()) {
+            prop_assert!(
+                (f.distance - o.distance).abs() <= 1e-9 * o.distance.abs().max(1.0),
+                "{linkage:?}: generic height {} vs oracle height {}",
+                f.distance,
+                o.distance
+            );
+            prop_assert_eq!(f.size, o.size, "{linkage:?}: merged sizes diverge");
+        }
+        let n = matrix.len();
+        for k in 1..=n.min(5) {
+            let a = fast.cut_into(k).unwrap();
+            let b = oracle.cut_into(k).unwrap();
+            prop_assert_eq!(a.num_clusters(), b.num_clusters());
+        }
+    }
+
     /// The published quality metric is zero exactly when every cluster is a
     /// singleton, and non-negative otherwise.
     #[test]

@@ -322,6 +322,19 @@ impl ThirdPartyDriver {
         request: &ClusteringRequest,
     ) -> Result<(ClusteringResult, DissimilarityMatrix), CoreError> {
         let final_matrix = output.merge(&self.schema, &request.weights)?;
+        Self::cluster_matrix(final_matrix, request)
+    }
+
+    /// Clustering stage on an already-merged matrix.
+    ///
+    /// Split out of [`cluster`](Self::cluster) so the streaming session
+    /// engine — which folds attributes into the final matrix incrementally
+    /// instead of retaining per-attribute matrices — shares the exact same
+    /// clustering and publication code path.
+    pub fn cluster_matrix(
+        final_matrix: DissimilarityMatrix,
+        request: &ClusteringRequest,
+    ) -> Result<(ClusteringResult, DissimilarityMatrix), CoreError> {
         let clustering = AgglomerativeClustering::new(request.linkage);
         let assignment = clustering.fit_k(final_matrix.matrix(), request.num_clusters)?;
         let scatter = average_within_cluster_squared_distance(final_matrix.matrix(), &assignment)?;

@@ -1,0 +1,432 @@
+//! Multi-session protocol engine.
+//!
+//! [`SessionEngine`] multiplexes any number of independent clustering
+//! sessions over **one** [`Transport`], scheduling them with fair
+//! round-robin and per-stream backpressure:
+//!
+//! * every scheduling round gives every live session one turn;
+//! * a turn first drains the session's inbound envelopes (delivering each
+//!   to the owning [`machine`](super::machines)), then polls each party
+//!   machine once — so a chunk stream advances by at most one window per
+//!   round and in-flight data per session stays bounded by the configured
+//!   chunk window;
+//! * topics are prefixed `s{id}/` when more than one session shares the
+//!   transport. A single-session engine uses bare legacy topics and is
+//!   envelope-identical to [`ClusteringSession`](super::session).
+//!
+//! The engine never blocks: it only uses [`Transport::try_receive`], so it
+//! composes with the in-memory [`Network`](ppc_net::Network), the
+//! simulated WAN, framed byte streams, or anything else implementing the
+//! trait.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use ppc_net::{Envelope, PartyId, Transport};
+
+use crate::dissimilarity::DissimilarityMatrix;
+use crate::error::CoreError;
+use crate::protocol::driver::ClusteringRequest;
+use crate::protocol::machines::{HolderMachine, SessionContext, ThirdPartyMachine};
+use crate::protocol::party::{DataHolder, ThirdPartyKeys};
+use crate::protocol::ProtocolConfig;
+use crate::result::ClusteringResult;
+use crate::schema::Schema;
+
+/// One clustering request to run over the shared transport.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The agreed schema.
+    pub schema: Schema,
+    /// Protocol configuration.
+    pub config: ProtocolConfig,
+    /// The participating data holders (≥ 2).
+    pub holders: Vec<DataHolder>,
+    /// The third party's seed store.
+    pub keys: ThirdPartyKeys,
+    /// What to cluster and how.
+    pub request: ClusteringRequest,
+    /// `Some(w)`: stream pairwise blocks in windows of at most `w` rows,
+    /// bounding per-session peak buffering. `None`: legacy whole-matrix
+    /// messages.
+    pub chunk_rows: Option<usize>,
+}
+
+/// Per-session scheduling and memory statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Scheduling rounds the session was live for.
+    pub rounds: u64,
+    /// Envelopes the session's parties sent.
+    pub messages_sent: u64,
+    /// Largest number of pairwise-block rows any party of this session
+    /// ever buffered in a single message (the quantity the chunk window
+    /// bounds).
+    pub peak_buffered_rows: usize,
+}
+
+/// A completed session's published outcome.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// Published clustering result.
+    pub result: ClusteringResult,
+    /// The final merged dissimilarity matrix (kept secret by the third
+    /// party in a deployment; exposed for experiments and verification).
+    pub final_matrix: DissimilarityMatrix,
+    /// Scheduling and buffering statistics.
+    pub stats: SessionStats,
+}
+
+struct SessionRuntime {
+    prefix: String,
+    tp: ThirdPartyMachine,
+    holders: Vec<HolderMachine>,
+    inbound: HashMap<PartyId, VecDeque<Envelope>>,
+    stats: SessionStats,
+}
+
+impl SessionRuntime {
+    fn is_done(&self) -> bool {
+        self.tp.is_done() && self.holders.iter().all(HolderMachine::is_done)
+    }
+}
+
+/// Multiplexes N clustering sessions over one transport.
+#[derive(Debug)]
+pub struct SessionEngine<T: Transport> {
+    transport: T,
+    specs: Vec<SessionSpec>,
+    /// Safety valve against protocol deadlocks: a round that neither
+    /// delivers nor emits anything while sessions are unfinished aborts
+    /// the run instead of spinning.
+    max_idle_rounds: u32,
+}
+
+impl<T: Transport> SessionEngine<T> {
+    /// Creates an engine over `transport` with no sessions yet.
+    pub fn new(transport: T) -> Self {
+        SessionEngine {
+            transport,
+            specs: Vec::new(),
+            max_idle_rounds: 2,
+        }
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Queues a session, returning its id (also its topic prefix index).
+    pub fn add_session(&mut self, spec: SessionSpec) -> usize {
+        self.specs.push(spec);
+        self.specs.len() - 1
+    }
+
+    /// Number of queued sessions.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether no sessions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    fn build_runtime(spec: &SessionSpec, prefix: String) -> Result<SessionRuntime, CoreError> {
+        if spec.holders.len() < 2 {
+            return Err(CoreError::Protocol(
+                "the protocol requires at least two data holders".into(),
+            ));
+        }
+        let site_sizes: Vec<(u32, usize)> =
+            spec.holders.iter().map(|h| (h.site(), h.len())).collect();
+        let ctx = SessionContext {
+            schema: spec.schema.clone(),
+            config: spec.config,
+            request: spec.request.clone(),
+            chunk_rows: spec.chunk_rows,
+            topic_prefix: prefix.clone(),
+            retain_attributes: false,
+        };
+        let tp = ThirdPartyMachine::new(ctx.clone(), spec.keys.clone(), &site_sizes)?;
+        let holders = spec
+            .holders
+            .iter()
+            .map(|h| HolderMachine::new(ctx.clone(), h.clone(), &site_sizes))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut inbound = HashMap::new();
+        for machine in &holders {
+            inbound.insert(machine.party(), VecDeque::new());
+        }
+        inbound.insert(PartyId::ThirdParty, VecDeque::new());
+        Ok(SessionRuntime {
+            prefix,
+            tp,
+            holders,
+            inbound,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// Runs every queued session to completion, returning outcomes in
+    /// session order.
+    pub fn run(&mut self) -> Result<Vec<EngineOutcome>, CoreError> {
+        let multi = self.specs.len() > 1;
+        let mut sessions = Vec::with_capacity(self.specs.len());
+        for (id, spec) in self.specs.iter().enumerate() {
+            let prefix = if multi {
+                format!("s{id}/")
+            } else {
+                String::new()
+            };
+            sessions.push(Self::build_runtime(spec, prefix)?);
+        }
+        // Every party that appears in any session; the engine drains each
+        // of their transport mailboxes every round.
+        let parties: BTreeSet<PartyId> = sessions
+            .iter()
+            .flat_map(|s| s.inbound.keys().copied())
+            .collect();
+
+        let mut idle_rounds = 0u32;
+        while sessions.iter().any(|s| !s.is_done()) {
+            let mut progressed = false;
+
+            // Pump the transport into per-session inbound queues, routing
+            // by topic prefix.
+            for &party in &parties {
+                while let Some(envelope) = self.transport.try_receive(party)? {
+                    let target = sessions
+                        .iter_mut()
+                        .find(|s| s.prefix.is_empty() || envelope.topic.starts_with(&s.prefix))
+                        .ok_or_else(|| {
+                            CoreError::Protocol(format!(
+                                "no session claims topic '{}'",
+                                envelope.topic
+                            ))
+                        })?;
+                    target
+                        .inbound
+                        .get_mut(&party)
+                        .expect("session registered this party")
+                        .push_back(envelope);
+                    progressed = true;
+                }
+            }
+
+            // One fair turn per session: deliver everything queued, then a
+            // single poll per party machine.
+            for session in &mut sessions {
+                if session.is_done() {
+                    continue;
+                }
+                session.stats.rounds += 1;
+                let mut outgoing = Vec::new();
+                for machine in &mut session.holders {
+                    let party = machine.party();
+                    while let Some(envelope) = session
+                        .inbound
+                        .get_mut(&party)
+                        .and_then(VecDeque::pop_front)
+                    {
+                        let out = machine.step(Some(&envelope))?;
+                        progressed = true;
+                        outgoing.extend(out.outgoing);
+                    }
+                    let out = machine.step(None)?;
+                    progressed |= out.progressed;
+                    outgoing.extend(out.outgoing);
+                }
+                let tp_party = session.tp.party();
+                while let Some(envelope) = session
+                    .inbound
+                    .get_mut(&tp_party)
+                    .and_then(VecDeque::pop_front)
+                {
+                    let out = session.tp.step(Some(&envelope))?;
+                    progressed = true;
+                    outgoing.extend(out.outgoing);
+                }
+                let out = session.tp.step(None)?;
+                progressed |= out.progressed;
+                outgoing.extend(out.outgoing);
+
+                session.stats.messages_sent += outgoing.len() as u64;
+                for envelope in outgoing {
+                    self.transport.send(envelope)?;
+                }
+            }
+            self.transport.flush()?;
+
+            if progressed {
+                idle_rounds = 0;
+            } else {
+                idle_rounds += 1;
+                if idle_rounds > self.max_idle_rounds {
+                    let stuck: Vec<usize> = sessions
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| !s.is_done())
+                        .map(|(i, _)| i)
+                        .collect();
+                    return Err(CoreError::Protocol(format!(
+                        "session engine stalled with unfinished sessions {stuck:?}"
+                    )));
+                }
+            }
+        }
+
+        sessions
+            .into_iter()
+            .map(|session| {
+                let mut stats = session.stats;
+                stats.peak_buffered_rows = session
+                    .holders
+                    .iter()
+                    .map(HolderMachine::peak_buffered_rows)
+                    .max()
+                    .unwrap_or(0)
+                    .max(session.tp.peak_buffered_rows());
+                let (result, final_matrix, _) = session.tp.into_outcome()?;
+                Ok(EngineOutcome {
+                    result,
+                    final_matrix,
+                    stats,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::matrix::{DataMatrix, HorizontalPartition};
+    use crate::protocol::driver::ThirdPartyDriver;
+    use crate::protocol::party::TrustedSetup;
+    use crate::record::Record;
+    use crate::schema::AttributeDescriptor;
+    use crate::value::AttributeValue;
+    use ppc_crypto::Seed;
+    use ppc_net::Network;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDescriptor::numeric("age"),
+            AttributeDescriptor::categorical("blood"),
+            AttributeDescriptor::alphanumeric("dna", Alphabet::dna()),
+        ])
+        .unwrap()
+    }
+
+    fn record(age: f64, blood: &str, dna: &str) -> Record {
+        Record::new(vec![
+            AttributeValue::numeric(age),
+            AttributeValue::categorical(blood),
+            AttributeValue::alphanumeric(dna),
+        ])
+    }
+
+    fn setup(seed: u64) -> TrustedSetup {
+        let rows_a = vec![record(30.0, "A", "acgt"), record(31.0, "A", "acga")];
+        let rows_b = vec![record(65.0, "B", "ttcg"), record(29.5, "A", "acgt")];
+        let rows_c = vec![record(66.0, "B", "ttgg")];
+        let partitions = vec![
+            HorizontalPartition::new(0, DataMatrix::with_rows(schema(), rows_a).unwrap()),
+            HorizontalPartition::new(1, DataMatrix::with_rows(schema(), rows_b).unwrap()),
+            HorizontalPartition::new(2, DataMatrix::with_rows(schema(), rows_c).unwrap()),
+        ];
+        TrustedSetup::deterministic(partitions, &Seed::from_u64(seed)).unwrap()
+    }
+
+    fn spec(seed: u64, chunk_rows: Option<usize>) -> SessionSpec {
+        let setup = setup(seed);
+        SessionSpec {
+            schema: schema(),
+            config: ProtocolConfig::default(),
+            holders: setup.holders,
+            keys: setup.third_party,
+            request: ClusteringRequest::uniform(&schema(), 2),
+            chunk_rows,
+        }
+    }
+
+    fn driver_reference(seed: u64) -> (ClusteringResult, DissimilarityMatrix) {
+        let setup = setup(seed);
+        let driver = ThirdPartyDriver::new(schema(), ProtocolConfig::default());
+        let output = driver
+            .construct(&setup.holders, &setup.third_party)
+            .unwrap();
+        driver
+            .cluster(&output, &ClusteringRequest::uniform(&schema(), 2))
+            .unwrap()
+    }
+
+    #[test]
+    fn single_session_engine_matches_the_driver() {
+        let mut engine = SessionEngine::new(Network::with_parties(3));
+        engine.add_session(spec(77, None));
+        let outcomes = engine.run().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        let (reference, reference_matrix) = driver_reference(77);
+        assert_eq!(outcomes[0].result.clusters, reference.clusters);
+        assert!(
+            outcomes[0]
+                .final_matrix
+                .matrix()
+                .max_abs_difference(reference_matrix.matrix())
+                < 1e-9
+        );
+        assert!(outcomes[0].stats.messages_sent > 0);
+    }
+
+    #[test]
+    fn chunked_session_is_value_identical_and_bounds_buffering() {
+        let mut whole = SessionEngine::new(Network::with_parties(3));
+        whole.add_session(spec(77, None));
+        let whole_out = &whole.run().unwrap()[0];
+
+        let mut chunked = SessionEngine::new(Network::with_parties(3));
+        chunked.add_session(spec(77, Some(1)));
+        let chunked_out = &chunked.run().unwrap()[0];
+
+        assert_eq!(whole_out.result.clusters, chunked_out.result.clusters);
+        assert!(
+            whole_out
+                .final_matrix
+                .matrix()
+                .max_abs_difference(chunked_out.final_matrix.matrix())
+                < 1e-12
+        );
+        assert_eq!(chunked_out.stats.peak_buffered_rows, 1);
+        assert!(whole_out.stats.peak_buffered_rows > 1);
+        // Chunking splits the bulk transfers into more envelopes.
+        assert!(chunked_out.stats.messages_sent > whole_out.stats.messages_sent);
+    }
+
+    #[test]
+    fn concurrent_sessions_multiplex_over_one_transport() {
+        let seeds = [1u64, 2, 3, 4];
+        let mut engine = SessionEngine::new(Network::with_parties(3));
+        for &seed in &seeds {
+            engine.add_session(spec(seed, Some(2)));
+        }
+        let outcomes = engine.run().unwrap();
+        assert_eq!(outcomes.len(), seeds.len());
+        for (outcome, &seed) in outcomes.iter().zip(&seeds) {
+            let (reference, _) = driver_reference(seed);
+            assert_eq!(outcome.result.clusters, reference.clusters, "seed {seed}");
+            assert!(outcome.stats.peak_buffered_rows <= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn engine_rejects_single_holder_sessions() {
+        let mut engine = SessionEngine::new(Network::with_parties(3));
+        let mut bad = spec(5, None);
+        bad.holders.truncate(1);
+        engine.add_session(bad);
+        assert!(engine.run().is_err());
+    }
+}

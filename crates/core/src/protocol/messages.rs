@@ -13,6 +13,26 @@ use crate::error::CoreError;
 use crate::pairwise::PairwiseBlock;
 use crate::protocol::alphanumeric::{MaskedCcm, MaskedCcmBundle};
 
+/// Guards count-prefixed decode loops against huge-allocation attacks: a
+/// declared element count whose minimum encoding cannot fit in the
+/// remaining payload is rejected *before* any `Vec::with_capacity` call.
+/// (The codec's slice getters validate this internally; this covers the
+/// element-by-element loops.)
+fn check_count(
+    count: usize,
+    min_elem_bytes: usize,
+    reader: &WireReader<'_>,
+) -> Result<(), CoreError> {
+    if count.saturating_mul(min_elem_bytes) > reader.remaining() {
+        return Err(CoreError::Protocol(format!(
+            "declared count {count} needs at least {} bytes, only {} remain",
+            count.saturating_mul(min_elem_bytes),
+            reader.remaining()
+        )));
+    }
+    Ok(())
+}
+
 /// A data holder's local dissimilarity matrix for one attribute (Figure 12
 /// output, shipped to the third party).
 #[derive(Debug, Clone, PartialEq)]
@@ -124,6 +144,172 @@ impl PairwiseMatrixMsg {
     }
 }
 
+/// A row-windowed slice of a pairwise `i64` block (chunked streaming).
+///
+/// Used on two links when a chunk window is configured: `DH_J → DH_K`
+/// carries masked per-pair copies (`masked-chunk` topics) and `DH_K → TP`
+/// carries pairwise comparison rows (`pairwise-chunk` topics). The header
+/// names the window so the receiver can fold rows into its condensed
+/// accumulator as they arrive, and the `total_rows` field lets it detect
+/// stream completion without a separate end-of-stream message. Chunks of
+/// one stream must be delivered in row order (transports guarantee
+/// per-link FIFO).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairwiseChunkMsg {
+    /// Attribute name.
+    pub attribute: String,
+    /// First responder row this chunk covers.
+    pub start_row: u32,
+    /// Rows carried by this chunk (explicit so zero-column streams still
+    /// account progress).
+    pub rows: u32,
+    /// Total rows of the full stream (the responder's object count).
+    pub total_rows: u32,
+    /// Columns per row (the initiator's object count).
+    pub cols: u32,
+    /// `rows × cols` cells, row-major.
+    pub values: Vec<i64>,
+}
+
+impl PairwiseChunkMsg {
+    /// Rows carried by this chunk.
+    pub fn rows(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// Serialises the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(28 + self.values.len() * 8);
+        w.put_str(&self.attribute)
+            .put_u32(self.start_row)
+            .put_u32(self.rows)
+            .put_u32(self.total_rows)
+            .put_u32(self.cols)
+            .put_i64_slice(&self.values);
+        w.finish()
+    }
+
+    /// Deserialises the message.
+    pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
+        let mut r = WireReader::new(payload);
+        let attribute = r.get_str()?;
+        let start_row = r.get_u32()?;
+        let rows = r.get_u32()?;
+        let total_rows = r.get_u32()?;
+        let cols = r.get_u32()?;
+        let values = r.get_i64_vec()?;
+        r.expect_end()?;
+        if values.len() != rows as usize * cols as usize {
+            return Err(CoreError::Protocol(format!(
+                "pairwise chunk carries {} cells for a {rows}×{cols} window",
+                values.len()
+            )));
+        }
+        if start_row as usize + rows as usize > total_rows as usize {
+            return Err(CoreError::Protocol(format!(
+                "pairwise chunk rows {start_row}..{} exceed the declared total of {total_rows}",
+                start_row as usize + rows as usize
+            )));
+        }
+        Ok(PairwiseChunkMsg {
+            attribute,
+            start_row,
+            rows,
+            total_rows,
+            cols,
+            values,
+        })
+    }
+}
+
+/// A responder-row window of the masked CCM bundle (chunked streaming,
+/// `DH_K → TP` on `ccms-chunk` topics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcmChunkMsg {
+    /// Attribute name.
+    pub attribute: String,
+    /// First responder row (responder string index) this chunk covers.
+    pub start_row: u32,
+    /// Responder rows carried by this chunk.
+    pub rows: u32,
+    /// Total responder rows of the full stream.
+    pub total_rows: u32,
+    /// The initiator's object count (CCMs per responder row).
+    pub initiator_count: u32,
+    /// `rows · initiator_count` matrices, row-major.
+    pub ccms: Vec<MaskedCcm>,
+}
+
+impl CcmChunkMsg {
+    /// Responder rows carried by this chunk.
+    pub fn rows(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// Serialises the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let cells: usize = self.ccms.iter().map(|c| c.cells.len()).sum();
+        let mut w = WireWriter::with_capacity(36 + self.ccms.len() * 12 + cells * 4);
+        w.put_str(&self.attribute)
+            .put_u32(self.start_row)
+            .put_u32(self.rows)
+            .put_u32(self.total_rows)
+            .put_u32(self.initiator_count)
+            .put_u32(self.ccms.len() as u32);
+        for ccm in &self.ccms {
+            w.put_u32(ccm.responder_len as u32)
+                .put_u32(ccm.initiator_len as u32);
+            w.put_u32_slice(&ccm.cells);
+        }
+        w.finish()
+    }
+
+    /// Deserialises the message.
+    pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
+        let mut r = WireReader::new(payload);
+        let attribute = r.get_str()?;
+        let start_row = r.get_u32()?;
+        let rows = r.get_u32()?;
+        let total_rows = r.get_u32()?;
+        let initiator_count = r.get_u32()?;
+        let ccm_count = r.get_u32()? as usize;
+        // Each CCM needs at least two u32 headers and a length prefix.
+        check_count(ccm_count, 12, &r)?;
+        let mut ccms = Vec::with_capacity(ccm_count);
+        for _ in 0..ccm_count {
+            let responder_len = r.get_u32()? as usize;
+            let initiator_len = r.get_u32()? as usize;
+            let cells = r.get_u32_vec()?;
+            ccms.push(MaskedCcm {
+                responder_len,
+                initiator_len,
+                cells,
+            });
+        }
+        r.expect_end()?;
+        if ccms.len() != rows as usize * initiator_count as usize {
+            return Err(CoreError::Protocol(format!(
+                "CCM chunk carries {} matrices for a {rows}-row window of {initiator_count}",
+                ccms.len()
+            )));
+        }
+        if start_row as usize + rows as usize > total_rows as usize {
+            return Err(CoreError::Protocol(format!(
+                "CCM chunk rows {start_row}..{} exceed the declared total of {total_rows}",
+                start_row as usize + rows as usize
+            )));
+        }
+        Ok(CcmChunkMsg {
+            attribute,
+            start_row,
+            rows,
+            total_rows,
+            initiator_count,
+            ccms,
+        })
+    }
+}
+
 /// `DH_J → DH_K`: masked alphanumeric strings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MaskedStringsMsg {
@@ -150,6 +336,7 @@ impl MaskedStringsMsg {
         let mut r = WireReader::new(payload);
         let attribute = r.get_str()?;
         let count = r.get_u32()? as usize;
+        check_count(count, 4, &r)?;
         let mut strings = Vec::with_capacity(count);
         for _ in 0..count {
             strings.push(r.get_u32_vec()?);
@@ -193,6 +380,8 @@ impl CcmBundleMsg {
         let responder_count = r.get_u32()? as usize;
         let initiator_count = r.get_u32()? as usize;
         let ccm_count = r.get_u32()? as usize;
+        // Each CCM needs at least two u32 headers and a length prefix.
+        check_count(ccm_count, 12, &r)?;
         let mut ccms = Vec::with_capacity(ccm_count);
         for _ in 0..ccm_count {
             let responder_len = r.get_u32()? as usize;
@@ -241,6 +430,8 @@ impl EncryptedColumnMsg {
         let mut r = WireReader::new(payload);
         let attribute = r.get_str()?;
         let count = r.get_u32()? as usize;
+        // Each tag is a 4-byte length prefix plus 16 bytes.
+        check_count(count, 20, &r)?;
         let mut tags = Vec::with_capacity(count);
         for _ in 0..count {
             let raw = r.get_bytes()?;
@@ -318,9 +509,11 @@ impl PublishedResultMsg {
     pub fn decode(payload: &[u8]) -> Result<Self, CoreError> {
         let mut r = WireReader::new(payload);
         let cluster_count = r.get_u32()? as usize;
+        check_count(cluster_count, 4, &r)?;
         let mut clusters = Vec::with_capacity(cluster_count);
         for _ in 0..cluster_count {
             let len = r.get_u32()? as usize;
+            check_count(len, 8, &r)?;
             let mut members = Vec::with_capacity(len);
             for _ in 0..len {
                 members.push((r.get_u32()?, r.get_u32()?));
@@ -452,6 +645,80 @@ mod tests {
             PublishedResultMsg::decode(&result.encode()).unwrap(),
             result
         );
+    }
+
+    #[test]
+    fn pairwise_chunk_roundtrip_and_validation() {
+        let msg = PairwiseChunkMsg {
+            attribute: "age".into(),
+            start_row: 2,
+            rows: 2,
+            total_rows: 7,
+            cols: 3,
+            values: vec![1, -2, 3, 4, -5, 6],
+        };
+        assert_eq!(msg.rows(), 2);
+        assert_eq!(PairwiseChunkMsg::decode(&msg.encode()).unwrap(), msg);
+        // A zero-column stream still accounts its rows explicitly.
+        let zero_cols = PairwiseChunkMsg {
+            attribute: "age".into(),
+            start_row: 0,
+            rows: 4,
+            total_rows: 4,
+            cols: 0,
+            values: vec![],
+        };
+        let back = PairwiseChunkMsg::decode(&zero_cols.encode()).unwrap();
+        assert_eq!(back.rows(), 4);
+        // Cell counts that disagree with the window shape are rejected.
+        let ragged = PairwiseChunkMsg {
+            attribute: "age".into(),
+            start_row: 0,
+            rows: 2,
+            total_rows: 4,
+            cols: 3,
+            values: vec![1, 2, 3, 4],
+        };
+        assert!(PairwiseChunkMsg::decode(&ragged.encode()).is_err());
+        // Rows overflowing the declared total are rejected.
+        let overflow = PairwiseChunkMsg {
+            attribute: "age".into(),
+            start_row: 6,
+            rows: 2,
+            total_rows: 7,
+            cols: 3,
+            values: vec![0; 6],
+        };
+        assert!(PairwiseChunkMsg::decode(&overflow.encode()).is_err());
+    }
+
+    #[test]
+    fn ccm_chunk_roundtrip_and_validation() {
+        let ccm = MaskedCcm {
+            responder_len: 2,
+            initiator_len: 2,
+            cells: vec![0, 1, 2, 3],
+        };
+        let msg = CcmChunkMsg {
+            attribute: "dna".into(),
+            start_row: 1,
+            rows: 1,
+            total_rows: 3,
+            initiator_count: 2,
+            ccms: vec![ccm.clone(), ccm.clone()],
+        };
+        assert_eq!(msg.rows(), 1);
+        assert_eq!(CcmChunkMsg::decode(&msg.encode()).unwrap(), msg);
+        // A matrix count that disagrees with the window shape is rejected.
+        let ragged = CcmChunkMsg {
+            attribute: "dna".into(),
+            start_row: 0,
+            rows: 1,
+            total_rows: 3,
+            initiator_count: 2,
+            ccms: vec![ccm],
+        };
+        assert!(CcmChunkMsg::decode(&ragged.encode()).is_err());
     }
 
     #[test]

@@ -5,19 +5,26 @@
 //! initiator), `DH_K` (the responder) and `TP` (the third party) each
 //! compute — operating on plain data and returning the exact values the
 //! paper's pseudocode produces (Figures 4–6 for numeric, 8–10 for
-//! alphanumeric). Two orchestrators drive the roles:
+//! alphanumeric). Three orchestrators drive the roles:
 //!
 //! * [`driver::ThirdPartyDriver`] — in-memory construction of all
 //!   per-attribute dissimilarity matrices and the final clustering,
 //!   convenient for library users and tests;
 //! * [`session::ClusteringSession`] — the same construction executed as
-//!   messages over a [`ppc_net::Network`], which is what the
-//!   communication-cost and eavesdropping experiments measure.
+//!   messages over a [`ppc_net::Network`] by the per-party state machines
+//!   of [`machines`], scheduled sequentially in the legacy order so its
+//!   protocol traces stay byte-identical to the pre-refactor session;
+//! * [`engine::SessionEngine`] — the same machines multiplexed N sessions
+//!   at a time over any [`ppc_net::Transport`], with fair round-robin
+//!   scheduling and chunked attribute-block streaming that bounds every
+//!   party's buffering by a configurable window of pairwise rows.
 
 pub mod alphanumeric;
 pub mod categorical;
 pub mod driver;
+pub mod engine;
 pub mod local;
+pub mod machines;
 pub mod messages;
 pub mod numeric;
 pub mod party;

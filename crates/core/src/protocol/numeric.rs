@@ -99,6 +99,114 @@ pub fn third_party_unmask(
         .expect("unmasking preserves the block shape")
 }
 
+/// The responder's negation prefix (batch mode): the choices `rng_JK`
+/// replays for every row. Materialising it once lets row *windows* of the
+/// pairwise matrix be folded independently — the chunked streams build on
+/// this.
+pub fn responder_negator_prefix(
+    cols: usize,
+    seed_jk: &Seed,
+    algorithm: RngAlgorithm,
+) -> Vec<Negator> {
+    let mut rng_jk = DynStreamRng::new(algorithm, seed_jk);
+    (0..cols)
+        .map(|_| Negator::from_random(rng_jk.next_u64()))
+        .collect()
+}
+
+/// Folds a window of the responder's own values against the masked vector
+/// (batch mode), producing `own_window.len() · masked_initiator.len()`
+/// row-major cells. Composing windows in row order reproduces
+/// [`responder_fold`] exactly.
+pub fn responder_fold_window(
+    masked_initiator: &[i64],
+    own_window: &[i64],
+    negators: &[Negator],
+) -> Vec<i64> {
+    let mut values = Vec::with_capacity(own_window.len() * masked_initiator.len());
+    for &y in own_window {
+        for (&masked_x, &negator) in masked_initiator.iter().zip(negators) {
+            values.push(NumericMasker::fold_responder(masked_x, y, negator));
+        }
+    }
+    values
+}
+
+/// The third party's additive-mask prefix (batch mode): the masks `rng_JT`
+/// replays for every row, drawn once so any row window can be unmasked
+/// independently.
+pub fn third_party_mask_prefix(cols: usize, seed_jt: &Seed, algorithm: RngAlgorithm) -> Vec<u64> {
+    let mut rng_jt = DynStreamRng::new(algorithm, seed_jt);
+    (0..cols).map(|_| rng_jt.next_u64()).collect()
+}
+
+/// Unmasks a row window of the pairwise matrix (batch mode). `values` must
+/// hold whole rows (`values.len() % masks.len() == 0`).
+pub fn third_party_unmask_window(values: &[i64], masks: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(values.len());
+    for row in values.chunks_exact(masks.len().max(1)) {
+        for (&m, &mask) in row.iter().zip(masks) {
+            out.push(NumericMasker::unmask_distance(m, mask));
+        }
+    }
+    out
+}
+
+/// `DH_J`, per-pair hardened mode, streaming: masks the next `rows` copies
+/// of its column, continuing both random streams. Composing windows in row
+/// order reproduces [`initiator_mask_per_pair`] exactly.
+pub fn initiator_mask_per_pair_window(
+    values: &[i64],
+    rows: usize,
+    rng_jk: &mut DynStreamRng,
+    rng_jt: &mut DynStreamRng,
+) -> Vec<i64> {
+    let mut out = Vec::with_capacity(rows * values.len());
+    for _ in 0..rows {
+        for &x in values {
+            let negator = Negator::from_random(rng_jk.next_u64());
+            let mask = rng_jt.next_u64();
+            out.push(NumericMasker::mask_initiator(x, mask, negator));
+        }
+    }
+    out
+}
+
+/// `DH_K`, per-pair hardened mode, streaming: folds a window of masked rows
+/// with the matching window of its own values, continuing the `rng_JK`
+/// stream.
+pub fn responder_fold_per_pair_window(
+    masked_window: &[i64],
+    cols: usize,
+    own_window: &[i64],
+    rng_jk: &mut DynStreamRng,
+) -> Result<Vec<i64>, CoreError> {
+    if masked_window.len() != own_window.len() * cols {
+        return Err(CoreError::Protocol(format!(
+            "per-pair masked window of {} cells does not match {} rows × {cols} columns",
+            masked_window.len(),
+            own_window.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(masked_window.len());
+    for (row, &y) in masked_window.chunks_exact(cols.max(1)).zip(own_window) {
+        for &masked_x in row {
+            let negator = Negator::from_random(rng_jk.next_u64());
+            values.push(NumericMasker::fold_responder(masked_x, y, negator));
+        }
+    }
+    Ok(values)
+}
+
+/// `TP`, per-pair hardened mode, streaming: strips the masks from a row
+/// window, continuing the `rng_JT` stream.
+pub fn third_party_unmask_per_pair_window(values: &[i64], rng_jt: &mut DynStreamRng) -> Vec<u64> {
+    values
+        .iter()
+        .map(|&m| NumericMasker::unmask_distance(m, rng_jt.next_u64()))
+        .collect()
+}
+
 /// `DH_J`, per-pair hardened mode: produces one freshly masked copy of its
 /// column per responder object (`responder_count` rows).
 pub fn initiator_mask_per_pair(
@@ -298,6 +406,67 @@ mod tests {
             algorithm,
         );
         assert_eq!(batch, per_pair);
+    }
+
+    #[test]
+    fn windowed_batch_pipeline_composes_to_the_whole_matrix() {
+        let j_values: Vec<i64> = (0..9).map(|i| i * 31 - 100).collect();
+        let k_values: Vec<i64> = (0..7).map(|i| 400 - i * 55).collect();
+        let seeds = seeds();
+        let algorithm = RngAlgorithm::ChaCha20;
+        let masked = initiator_mask(&j_values, &seeds, algorithm);
+        let whole = third_party_unmask(
+            &responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm),
+            &seeds.holder_third_party,
+            algorithm,
+        );
+        // Fold and unmask in windows of 3 rows; the concatenation must be
+        // cell-identical.
+        let negators = responder_negator_prefix(j_values.len(), &seeds.holder_holder, algorithm);
+        let masks = third_party_mask_prefix(j_values.len(), &seeds.holder_third_party, algorithm);
+        let mut streamed = Vec::new();
+        for window in k_values.chunks(3) {
+            let folded = responder_fold_window(&masked, window, &negators);
+            streamed.extend(third_party_unmask_window(&folded, &masks));
+        }
+        assert_eq!(streamed, whole.values());
+    }
+
+    #[test]
+    fn windowed_per_pair_pipeline_composes_to_the_whole_matrix() {
+        let j_values: Vec<i64> = (0..5).map(|i| i * 17 - 30).collect();
+        let k_values: Vec<i64> = (0..8).map(|i| 90 - i * 13).collect();
+        let seeds = seeds();
+        let algorithm = RngAlgorithm::Xoshiro256PlusPlus;
+        let whole = third_party_unmask_per_pair(
+            &responder_fold_per_pair(
+                &initiator_mask_per_pair(&j_values, k_values.len(), &seeds, algorithm),
+                &k_values,
+                &seeds.holder_holder,
+                algorithm,
+            )
+            .unwrap(),
+            &seeds.holder_third_party,
+            algorithm,
+        );
+        // Same pipeline, streamed in 3-row windows with persistent RNGs.
+        let attr_seeds = &seeds;
+        let mut init_jk = DynStreamRng::new(algorithm, &attr_seeds.holder_holder);
+        let mut init_jt = DynStreamRng::new(algorithm, &attr_seeds.holder_third_party);
+        let mut resp_jk = DynStreamRng::new(algorithm, &attr_seeds.holder_holder);
+        let mut tp_jt = DynStreamRng::new(algorithm, &attr_seeds.holder_third_party);
+        let mut streamed = Vec::new();
+        for window in k_values.chunks(3) {
+            let masked =
+                initiator_mask_per_pair_window(&j_values, window.len(), &mut init_jk, &mut init_jt);
+            let folded =
+                responder_fold_per_pair_window(&masked, j_values.len(), window, &mut resp_jk)
+                    .unwrap();
+            streamed.extend(third_party_unmask_per_pair_window(&folded, &mut tp_jt));
+        }
+        assert_eq!(streamed, whole.values());
+        // A window whose masked cells disagree with its row count errors.
+        assert!(responder_fold_per_pair_window(&[1, 2, 3], 2, &[7, 7], &mut resp_jk).is_err());
     }
 
     #[test]

@@ -1,36 +1,35 @@
-//! Networked clustering session.
+//! Networked clustering session (the sequential oracle path).
 //!
 //! Runs the full Figure 11 construction with every inter-party transfer
 //! going through a [`ppc_net::Network`], so per-link byte counts, channel
-//! security settings and eavesdroppers all apply. The message order and
-//! contents are exactly those of the in-memory
-//! [`ThirdPartyDriver`](super::driver::ThirdPartyDriver); the session's
-//! results are asserted equal to the driver's in the integration tests.
+//! security settings and eavesdroppers all apply.
 //!
-//! The session is executed single-threaded: the orchestrator plays each role
-//! in turn through that party's [`Endpoint`]. This keeps the control flow
-//! auditable while the transport still measures exactly what would cross the
-//! wire in a real deployment.
+//! Since the protocol engine refactor the session no longer owns any role
+//! logic: each party is one of the non-blocking state machines in
+//! [`super::machines`], and this orchestrator merely *schedules* them in
+//! the exact order the pre-refactor monolithic session used — poll the
+//! initiator, deliver to the responder, deliver to the third party, one
+//! protocol step at a time. Driven this way over the default in-memory
+//! transport, the machines produce **byte-identical envelopes** to the
+//! pre-refactor session (pinned by the golden-trace integration test), so
+//! recorded protocol traces remain a valid oracle. For concurrent,
+//! chunked, or alternative-transport workloads use
+//! [`SessionEngine`](super::engine) instead, which schedules the same
+//! machines with round-robin fairness and bounded buffering.
 
-use ppc_net::{CommReport, Endpoint, Network, PartyId};
+use ppc_net::{CommReport, Network, PartyId};
 
 use ppc_cluster::Linkage;
 
-use crate::dissimilarity::{AttributeDissimilarity, DissimilarityMatrix, ObjectIndex};
+use crate::dissimilarity::{AttributeDissimilarity, DissimilarityMatrix};
 use crate::error::CoreError;
-use crate::pairwise::PairwiseBlock;
-use crate::protocol::driver::{ClusteringRequest, ConstructionOutput, ThirdPartyDriver};
-use crate::protocol::messages::{
-    CcmBundleMsg, ClusteringChoiceMsg, EncryptedColumnMsg, LocalMatrixMsg, MaskedNumericMsg,
-    MaskedStringsMsg, PairwiseMatrixMsg, PublishedResultMsg,
-};
+use crate::protocol::driver::ClusteringRequest;
+use crate::protocol::machines::{HolderMachine, SessionContext, ThirdPartyMachine};
 use crate::protocol::party::{DataHolder, ThirdPartyKeys};
-use crate::protocol::{alphanumeric, categorical, local, numeric, NumericMode, ProtocolConfig};
+use crate::protocol::ProtocolConfig;
 use crate::result::ClusteringResult;
-use crate::schema::{Schema, WeightVector};
+use crate::schema::Schema;
 use crate::value::AttributeKind;
-use ppc_cluster::CondensedDistanceMatrix;
-use ppc_crypto::det::Tag128;
 
 /// Outcome of a networked session.
 #[derive(Debug, Clone)]
@@ -80,10 +79,6 @@ impl ClusteringSession {
         &self.network
     }
 
-    fn endpoint(&self, party: PartyId) -> Result<Endpoint, CoreError> {
-        Ok(self.network.endpoint(party)?)
-    }
-
     /// Runs the full protocol and clustering.
     pub fn run(
         &self,
@@ -102,373 +97,99 @@ impl ClusteringSession {
         self.network.reset_report();
 
         let site_sizes: Vec<(u32, usize)> = holders.iter().map(|h| (h.site(), h.len())).collect();
-        let index = ObjectIndex::from_site_sizes(&site_sizes);
-        if index.is_empty() {
-            return Err(CoreError::EmptyInput);
-        }
+        let ctx = SessionContext::oracle(self.schema.clone(), self.config, request.clone());
+        let mut tp = ThirdPartyMachine::new(ctx.clone(), keys.clone(), &site_sizes)?;
+        let mut machines: Vec<HolderMachine> = holders
+            .iter()
+            .map(|h| HolderMachine::new(ctx.clone(), h.clone(), &site_sizes))
+            .collect::<Result<_, _>>()?;
 
-        let tp = self.endpoint(PartyId::ThirdParty)?;
-        let mut per_attribute = Vec::with_capacity(self.schema.len());
-        for (attribute_index, descriptor) in self.schema.attributes().iter().enumerate() {
-            let matrix = match descriptor.kind {
-                AttributeKind::Categorical => {
-                    self.run_categorical(holders, &tp, attribute_index)?
-                }
-                _ => self.run_pairwise(holders, keys, &tp, &index, attribute_index)?,
-            };
-            per_attribute.push(AttributeDissimilarity::new(descriptor.name.clone(), matrix));
-        }
-
-        // §5: the third party asks for weight vectors and clustering choices;
-        // every holder sends its own, the third party applies the agreed one
-        // (here: the caller-provided request, which each holder echoes).
-        let choice = ClusteringChoiceMsg {
-            weights: request.weights.weights().to_vec(),
-            num_clusters: request.num_clusters as u32,
-            linkage: format!("{:?}", request.linkage).to_lowercase(),
-        };
-        for holder in holders {
-            let endpoint = self.endpoint(PartyId::DataHolder(holder.site()))?;
-            endpoint.send(PartyId::ThirdParty, "clustering-choice", choice.encode())?;
-        }
-        let mut agreed = request.clone();
-        for holder in holders {
-            let received = tp.receive(PartyId::DataHolder(holder.site()), "clustering-choice")?;
-            let decoded = ClusteringChoiceMsg::decode(&received.payload)?;
-            agreed = ClusteringRequest {
-                weights: WeightVector::new(decoded.weights.clone())?,
-                linkage: parse_linkage(&decoded.linkage)?,
-                num_clusters: decoded.num_clusters as usize,
-            };
-        }
-
-        // Merge, cluster and publish — reusing the driver's clustering stage.
-        let driver = ThirdPartyDriver::new(self.schema.clone(), self.config);
-        let output = ConstructionOutput {
-            index,
-            per_attribute,
-        };
-        let (result, final_matrix) = driver.cluster(&output, &agreed)?;
-
-        // Publish membership lists to every data holder (Figure 13).
-        let publish = PublishedResultMsg {
-            clusters: result
-                .clusters
-                .iter()
-                .map(|members| {
-                    members
-                        .iter()
-                        .map(|o| (o.site, o.local_index as u32))
-                        .collect()
-                })
-                .collect(),
-            average_within_cluster_squared_distance: result.average_within_cluster_squared_distance,
-        };
-        for holder in holders {
-            tp.send(
-                PartyId::DataHolder(holder.site()),
-                "published-result",
-                publish.encode(),
-            )?;
-            let endpoint = self.endpoint(PartyId::DataHolder(holder.site()))?;
-            let received = endpoint.receive(PartyId::ThirdParty, "published-result")?;
-            PublishedResultMsg::decode(&received.payload)?;
-        }
-
-        Ok(SessionOutcome {
-            result,
-            final_matrix,
-            per_attribute: output.per_attribute,
-            communication: self.network.report(),
-        })
-    }
-
-    /// Categorical attribute over the network.
-    fn run_categorical(
-        &self,
-        holders: &[DataHolder],
-        tp: &Endpoint,
-        attribute_index: usize,
-    ) -> Result<CondensedDistanceMatrix, CoreError> {
-        let descriptor = self.schema.attribute_at(attribute_index)?;
-        let topic = format!("categorical/{}", descriptor.name);
-        for holder in holders {
-            let values = holder
-                .partition()
-                .matrix()
-                .categorical_column(attribute_index)?;
-            let column = categorical::encrypt_column(&values, &holder.categorical_key());
-            let msg = EncryptedColumnMsg {
-                attribute: descriptor.name.clone(),
-                tags: column.tags.iter().map(|t| t.to_bytes()).collect(),
-            };
-            let endpoint = self.endpoint(PartyId::DataHolder(holder.site()))?;
-            endpoint.send(PartyId::ThirdParty, topic.clone(), msg.encode())?;
-        }
-        let mut columns = Vec::with_capacity(holders.len());
-        for holder in holders {
-            let received = tp.receive(PartyId::DataHolder(holder.site()), &topic)?;
-            let decoded = EncryptedColumnMsg::decode(&received.payload)?;
-            columns.push(categorical::EncryptedColumn {
-                tags: decoded
-                    .tags
-                    .iter()
-                    .map(|raw| Tag128 {
-                        lo: u64::from_le_bytes(raw[0..8].try_into().expect("16-byte tag")),
-                        hi: u64::from_le_bytes(raw[8..16].try_into().expect("16-byte tag")),
-                    })
-                    .collect(),
-            });
-        }
-        categorical::third_party_dissimilarity(&columns)
-    }
-
-    /// Numeric / alphanumeric attribute over the network.
-    fn run_pairwise(
-        &self,
-        holders: &[DataHolder],
-        keys: &ThirdPartyKeys,
-        tp: &Endpoint,
-        index: &ObjectIndex,
-        attribute_index: usize,
-    ) -> Result<CondensedDistanceMatrix, CoreError> {
-        let descriptor = self.schema.attribute_at(attribute_index)?.clone();
-        let attribute = descriptor.name.clone();
-        let mut global = CondensedDistanceMatrix::zeros(index.len());
-
-        // Local dissimilarity matrices, shipped to the third party.
-        for holder in holders {
-            let local = local::local_dissimilarity(holder.partition().matrix(), attribute_index)?;
-            let msg = LocalMatrixMsg {
-                attribute: attribute.clone(),
-                objects: local.len() as u32,
-                condensed: local.condensed_values().to_vec(),
-            };
-            let topic = format!("local/{attribute}/{}", holder.site());
-            let endpoint = self.endpoint(PartyId::DataHolder(holder.site()))?;
-            endpoint.send(PartyId::ThirdParty, topic.clone(), msg.encode())?;
-            let received = tp.receive(PartyId::DataHolder(holder.site()), &topic)?;
-            let decoded = LocalMatrixMsg::decode(&received.payload)?;
-            let matrix = CondensedDistanceMatrix::from_condensed(
-                decoded.objects as usize,
-                decoded.condensed,
-            )?;
-            let range = index.site_range(holder.site())?;
-            for i in 1..matrix.len() {
-                for j in 0..i {
-                    global.set(range.start + i, range.start + j, matrix.get(i, j));
-                }
+        // Legacy schedule. Each closure moves exactly one protocol step:
+        // `poll` asks a machine for its next unprompted emission and
+        // transmits it; `pump` delivers everything queued for a party and
+        // transmits any reactive output.
+        let send_all = |outgoing: Vec<ppc_net::Envelope>| -> Result<(), CoreError> {
+            for envelope in outgoing {
+                self.network.send(envelope)?;
             }
-        }
+            Ok(())
+        };
+        let poll_holder = |machines: &mut Vec<HolderMachine>, i: usize| -> Result<(), CoreError> {
+            let out = machines[i].step(None)?;
+            send_all(out.outgoing)
+        };
+        let pump_holder = |machines: &mut Vec<HolderMachine>, i: usize| -> Result<(), CoreError> {
+            let party = machines[i].party();
+            while let Some(envelope) = self.network.receive_any(party) {
+                let out = machines[i].step(Some(&envelope))?;
+                send_all(out.outgoing)?;
+            }
+            Ok(())
+        };
+        let pump_tp = |tp: &mut ThirdPartyMachine| -> Result<(), CoreError> {
+            while let Some(envelope) = self.network.receive_any(PartyId::ThirdParty) {
+                let out = tp.step(Some(&envelope))?;
+                send_all(out.outgoing)?;
+            }
+            Ok(())
+        };
 
-        // Pairwise protocol runs.
-        for (j_pos, holder_j) in holders.iter().enumerate() {
-            for holder_k in holders.iter().skip(j_pos + 1) {
-                let distances = match descriptor.kind {
-                    AttributeKind::Numeric => self.run_numeric_pair_networked(
-                        holder_j,
-                        holder_k,
-                        keys,
-                        tp,
-                        attribute_index,
-                    )?,
-                    AttributeKind::Alphanumeric => self.run_alphanumeric_pair_networked(
-                        holder_j,
-                        holder_k,
-                        keys,
-                        tp,
-                        attribute_index,
-                    )?,
-                    AttributeKind::Categorical => unreachable!("handled separately"),
-                };
-                let range_j = index.site_range(holder_j.site())?;
-                let range_k = index.site_range(holder_k.site())?;
-                for (m, row) in distances.iter_rows().enumerate() {
-                    for (n, &d) in row.iter().enumerate() {
-                        global.set(range_k.start + m, range_j.start + n, d);
+        for descriptor in self.schema.attributes() {
+            match descriptor.kind {
+                AttributeKind::Categorical => {
+                    for i in 0..machines.len() {
+                        poll_holder(&mut machines, i)?;
+                    }
+                    pump_tp(&mut tp)?;
+                }
+                _ => {
+                    // Local matrices, then one pairwise run per ordered
+                    // holder pair (J, K), J < K — each run fully completed
+                    // before the next starts, exactly like the monolithic
+                    // session.
+                    for i in 0..machines.len() {
+                        poll_holder(&mut machines, i)?;
+                        pump_tp(&mut tp)?;
+                    }
+                    for j in 0..machines.len() {
+                        for k in (j + 1)..machines.len() {
+                            poll_holder(&mut machines, j)?;
+                            pump_holder(&mut machines, k)?;
+                            pump_tp(&mut tp)?;
+                        }
                     }
                 }
             }
         }
-        Ok(global)
-    }
+        // §5: every holder sends its weight vector and clustering choice;
+        // the third party applies the agreed one, clusters and publishes.
+        for i in 0..machines.len() {
+            poll_holder(&mut machines, i)?;
+        }
+        pump_tp(&mut tp)?;
+        let out = tp.step(None)?;
+        send_all(out.outgoing)?;
+        for i in 0..machines.len() {
+            pump_holder(&mut machines, i)?;
+        }
 
-    fn run_numeric_pair_networked(
-        &self,
-        holder_j: &DataHolder,
-        holder_k: &DataHolder,
-        keys: &ThirdPartyKeys,
-        tp: &Endpoint,
-        attribute_index: usize,
-    ) -> Result<PairwiseBlock<f64>, CoreError> {
-        let descriptor = self.schema.attribute_at(attribute_index)?;
-        let attribute = descriptor.name.as_str();
-        let codec = self.config.fixed_point;
-        let algorithm = self.config.rng_algorithm;
-        let pair_tag = format!("{}-{}", holder_j.site(), holder_k.site());
-
-        let j_endpoint = self.endpoint(PartyId::DataHolder(holder_j.site()))?;
-        let k_endpoint = self.endpoint(PartyId::DataHolder(holder_k.site()))?;
-        let j_party = PartyId::DataHolder(holder_j.site());
-        let k_party = PartyId::DataHolder(holder_k.site());
-
-        // DH_J masks and sends to DH_K. The masked copies travel as one flat
-        // row-major block — the same bytes the seed's nested vectors
-        // flattened to.
-        let j_values = codec.encode_column(
-            &holder_j
-                .partition()
-                .matrix()
-                .numeric_column(attribute_index)?,
-        )?;
-        let initiator_seeds = holder_j.pairwise_seeds(holder_k.site(), attribute)?;
-        let masked_block = match self.config.numeric_mode {
-            NumericMode::Batch => {
-                let masked = numeric::initiator_mask(&j_values, &initiator_seeds, algorithm);
-                let cols = masked.len();
-                PairwiseBlock::new(1, cols, masked)?
-            }
-            NumericMode::PerPair => numeric::initiator_mask_per_pair(
-                &j_values,
-                holder_k.len(),
-                &initiator_seeds,
-                algorithm,
-            ),
-        };
-        let masked_msg = MaskedNumericMsg {
-            attribute: attribute.to_string(),
-            block: masked_block,
-        };
-        let masked_topic = format!("numeric/{attribute}/{pair_tag}/masked");
-        j_endpoint.send(k_party, masked_topic.clone(), masked_msg.encode())?;
-
-        // DH_K folds and sends the pairwise matrix to TP.
-        let received = k_endpoint.receive(j_party, &masked_topic)?;
-        let masked = MaskedNumericMsg::decode(&received.payload)?;
-        let k_values = codec.encode_column(
-            &holder_k
-                .partition()
-                .matrix()
-                .numeric_column(attribute_index)?,
-        )?;
-        let responder_seed = holder_k.responder_seed(holder_j.site(), attribute)?;
-        let pairwise_block = match self.config.numeric_mode {
-            NumericMode::Batch => numeric::responder_fold(
-                masked.block.values(),
-                &k_values,
-                &responder_seed,
-                algorithm,
-            ),
-            NumericMode::PerPair => numeric::responder_fold_per_pair(
-                &masked.block,
-                &k_values,
-                &responder_seed,
-                algorithm,
-            )?,
-        };
-        let pairwise_msg = PairwiseMatrixMsg {
-            attribute: attribute.to_string(),
-            block: pairwise_block,
-        };
-        let pairwise_topic = format!("numeric/{attribute}/{pair_tag}/pairwise");
-        k_endpoint.send(
-            PartyId::ThirdParty,
-            pairwise_topic.clone(),
-            pairwise_msg.encode(),
-        )?;
-
-        // TP unmasks.
-        let received = tp.receive(k_party, &pairwise_topic)?;
-        let pairwise = PairwiseMatrixMsg::decode(&received.payload)?;
-        let tp_seed = keys.seed_for(holder_j.site(), attribute)?;
-        let distances = match self.config.numeric_mode {
-            NumericMode::Batch => numeric::third_party_unmask(&pairwise.block, &tp_seed, algorithm),
-            NumericMode::PerPair => {
-                numeric::third_party_unmask_per_pair(&pairwise.block, &tp_seed, algorithm)
-            }
-        };
-        Ok(distances.map(|&d| codec.decode_distance(d)))
-    }
-
-    fn run_alphanumeric_pair_networked(
-        &self,
-        holder_j: &DataHolder,
-        holder_k: &DataHolder,
-        keys: &ThirdPartyKeys,
-        tp: &Endpoint,
-        attribute_index: usize,
-    ) -> Result<PairwiseBlock<f64>, CoreError> {
-        let descriptor = self.schema.attribute_at(attribute_index)?;
-        let attribute = descriptor.name.clone();
-        let alphabet = descriptor.require_alphabet()?.clone();
-        let algorithm = self.config.rng_algorithm;
-        let pair_tag = format!("{}-{}", holder_j.site(), holder_k.site());
-
-        let j_endpoint = self.endpoint(PartyId::DataHolder(holder_j.site()))?;
-        let k_endpoint = self.endpoint(PartyId::DataHolder(holder_k.site()))?;
-        let j_party = PartyId::DataHolder(holder_j.site());
-        let k_party = PartyId::DataHolder(holder_k.site());
-
-        // DH_J masks its strings and sends them to DH_K.
-        let j_encoded: Vec<Vec<u32>> = holder_j
-            .partition()
-            .matrix()
-            .string_column(attribute_index)?
-            .iter()
-            .map(|s| alphabet.encode(s))
-            .collect::<Result<_, _>>()?;
-        let initiator_seeds = holder_j.pairwise_seeds(holder_k.site(), &attribute)?;
-        let masked = alphanumeric::initiator_mask_strings(
-            &j_encoded,
-            alphabet.size(),
-            &initiator_seeds,
-            algorithm,
-        )?;
-        let masked_topic = format!("alphanumeric/{attribute}/{pair_tag}/masked");
-        let masked_msg = MaskedStringsMsg {
-            attribute: attribute.clone(),
-            strings: masked,
-        };
-        j_endpoint.send(k_party, masked_topic.clone(), masked_msg.encode())?;
-
-        // DH_K builds the masked CCM bundle and sends it to TP.
-        let received = k_endpoint.receive(j_party, &masked_topic)?;
-        let masked = MaskedStringsMsg::decode(&received.payload)?;
-        let k_encoded: Vec<Vec<u32>> = holder_k
-            .partition()
-            .matrix()
-            .string_column(attribute_index)?
-            .iter()
-            .map(|s| alphabet.encode(s))
-            .collect::<Result<_, _>>()?;
-        let bundle =
-            alphanumeric::responder_build_bundle(&masked.strings, &k_encoded, alphabet.size())?;
-        let bundle_topic = format!("alphanumeric/{attribute}/{pair_tag}/ccms");
-        let bundle_msg = CcmBundleMsg {
-            attribute: attribute.clone(),
-            bundle,
-        };
-        k_endpoint.send(
-            PartyId::ThirdParty,
-            bundle_topic.clone(),
-            bundle_msg.encode(),
-        )?;
-
-        // TP unmasks and evaluates the edit distances.
-        let received = tp.receive(k_party, &bundle_topic)?;
-        let bundle = CcmBundleMsg::decode(&received.payload)?;
-        let tp_seed = keys.seed_for(holder_j.site(), &attribute)?;
-        let distances = alphanumeric::third_party_edit_distances(
-            &bundle.bundle,
-            alphabet.size(),
-            &tp_seed,
-            algorithm,
-        )?;
-        Ok(distances.map(|&d| f64::from(d)))
+        if !tp.is_done() || machines.iter().any(|m| !m.is_done()) {
+            return Err(CoreError::Protocol(
+                "session finished its schedule with unfinished parties".into(),
+            ));
+        }
+        let (result, final_matrix, per_attribute) = tp.into_outcome()?;
+        Ok(SessionOutcome {
+            result,
+            final_matrix,
+            per_attribute,
+            communication: self.network.report(),
+        })
     }
 }
 
-/// Parses a linkage name sent in a [`ClusteringChoiceMsg`].
+/// Parses a linkage name sent in a
+/// [`ClusteringChoiceMsg`](super::messages::ClusteringChoiceMsg).
 pub fn parse_linkage(name: &str) -> Result<Linkage, CoreError> {
     match name.to_ascii_lowercase().as_str() {
         "single" => Ok(Linkage::Single),
@@ -488,7 +209,9 @@ mod tests {
     use crate::alphabet::Alphabet;
     use crate::matrix::DataMatrix;
     use crate::matrix::HorizontalPartition;
+    use crate::protocol::driver::ThirdPartyDriver;
     use crate::protocol::party::TrustedSetup;
+    use crate::protocol::NumericMode;
     use crate::record::Record;
     use crate::schema::AttributeDescriptor;
     use crate::value::AttributeValue;

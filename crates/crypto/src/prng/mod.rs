@@ -186,6 +186,13 @@ pub struct DynStreamRng {
     inner: Box<dyn StreamRngObject + Send>,
 }
 
+impl std::fmt::Debug for DynStreamRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The stream state is secret key material; expose nothing.
+        f.debug_struct("DynStreamRng").finish_non_exhaustive()
+    }
+}
+
 trait StreamRngObject {
     fn next_u64_dyn(&mut self) -> u64;
     fn reseed_dyn(&mut self);

@@ -23,6 +23,8 @@ pub enum NetError {
     Decode(String),
     /// A party was registered twice.
     DuplicateParty(PartyId),
+    /// An underlying byte stream failed.
+    Io(String),
 }
 
 impl fmt::Display for NetError {
@@ -39,6 +41,7 @@ impl fmt::Display for NetError {
             ),
             NetError::Decode(msg) => write!(f, "wire decode error: {msg}"),
             NetError::DuplicateParty(p) => write!(f, "party {p} registered twice"),
+            NetError::Io(msg) => write!(f, "stream i/o error: {msg}"),
         }
     }
 }

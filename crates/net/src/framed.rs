@@ -1,0 +1,387 @@
+//! Length-prefixed envelope framing over byte streams.
+//!
+//! The in-memory [`Network`](crate::transport::Network) moves [`Envelope`]
+//! structs directly; a real deployment moves bytes over sockets. This module
+//! provides the byte-stream half of the [`Transport`] abstraction:
+//!
+//! * [`encode_frame`] / [`FrameDecoder`] — a deterministic, length-prefixed
+//!   frame format (`u32` body length, then sender, receiver, topic and
+//!   payload via the [`crate::codec`] wire primitives). The decoder is
+//!   incremental: bytes can be fed in arbitrary fragments (partial reads)
+//!   and frames pop out exactly when complete.
+//! * [`StreamTransport`] — a [`Transport`] over one `io::Read + io::Write`
+//!   duplex per party, so anything socket-shaped slots in without touching
+//!   protocol code.
+//! * [`memory_duplex`] — an in-memory, optionally fragmenting duplex pair
+//!   for tests and simulations.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::codec::{WireReader, WireWriter};
+use crate::error::NetError;
+use crate::message::Envelope;
+use crate::party::PartyId;
+use crate::transport::Transport;
+
+/// Upper bound on a single frame body; larger length prefixes are treated
+/// as stream corruption rather than honoured with a giant allocation.
+pub const MAX_FRAME_BODY: usize = 1 << 30;
+
+const PARTY_HOLDER: u8 = 0;
+const PARTY_THIRD: u8 = 1;
+
+fn put_party(w: &mut WireWriter, party: PartyId) {
+    match party {
+        PartyId::DataHolder(i) => {
+            w.put_u8(PARTY_HOLDER).put_u32(i);
+        }
+        PartyId::ThirdParty => {
+            w.put_u8(PARTY_THIRD).put_u32(0);
+        }
+    }
+}
+
+fn get_party(r: &mut WireReader<'_>) -> Result<PartyId, NetError> {
+    let tag = r.get_u8()?;
+    let index = r.get_u32()?;
+    match tag {
+        PARTY_HOLDER => Ok(PartyId::DataHolder(index)),
+        PARTY_THIRD => Ok(PartyId::ThirdParty),
+        other => Err(NetError::Decode(format!("unknown party tag {other}"))),
+    }
+}
+
+/// Serialises an envelope into one length-prefixed frame.
+pub fn encode_frame(envelope: &Envelope) -> Vec<u8> {
+    let mut body = WireWriter::with_capacity(14 + envelope.topic.len() + envelope.payload.len());
+    put_party(&mut body, envelope.from);
+    put_party(&mut body, envelope.to);
+    body.put_str(&envelope.topic).put_bytes(&envelope.payload);
+    let body = body.finish();
+    let mut frame = WireWriter::with_capacity(4 + body.len());
+    frame.put_u32(body.len() as u32);
+    let mut out = frame.finish();
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Incremental decoder turning a byte stream back into envelopes.
+///
+/// Feed fragments of any size with [`feed`](Self::feed); call
+/// [`next_frame`](Self::next_frame) until it returns `None` to drain every
+/// envelope whose frame has fully arrived.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: VecDeque<u8>,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw stream bytes to the internal buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete envelope, or `None` if more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Envelope>, NetError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let header: Vec<u8> = self.buf.iter().take(4).copied().collect();
+        let body_len = u32::from_le_bytes(header.try_into().expect("4 bytes")) as usize;
+        if body_len > MAX_FRAME_BODY {
+            return Err(NetError::Decode(format!(
+                "frame body of {body_len} bytes exceeds the {MAX_FRAME_BODY}-byte cap"
+            )));
+        }
+        if self.buf.len() < 4 + body_len {
+            return Ok(None);
+        }
+        self.buf.drain(..4);
+        let body: Vec<u8> = self.buf.drain(..body_len).collect();
+        let mut r = WireReader::new(&body);
+        let from = get_party(&mut r)?;
+        let to = get_party(&mut r)?;
+        let topic = r.get_str()?;
+        let payload = r.get_bytes()?;
+        r.expect_end()?;
+        Ok(Some(Envelope {
+            from,
+            to,
+            topic,
+            payload,
+        }))
+    }
+}
+
+struct StreamLink<S> {
+    stream: S,
+    decoder: FrameDecoder,
+}
+
+/// A [`Transport`] over one framed byte stream per party.
+///
+/// Each registered party owns a duplex stream (its "socket"): sending to a
+/// party writes a frame onto that party's stream, receiving for a party
+/// reads whatever bytes are available and decodes complete frames. Streams
+/// must be non-blocking in the `io::ErrorKind::WouldBlock` sense (or return
+/// `Ok(0)` when idle) for `try_receive` to honour its never-blocks contract.
+pub struct StreamTransport<S> {
+    links: Mutex<HashMap<PartyId, StreamLink<S>>>,
+}
+
+impl<S> Default for StreamTransport<S> {
+    fn default() -> Self {
+        StreamTransport {
+            links: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for StreamTransport<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamTransport")
+            .field("parties", &self.links.lock().len())
+            .finish()
+    }
+}
+
+impl<S: Read + Write> StreamTransport<S> {
+    /// Creates a transport with no parties attached.
+    pub fn new() -> Self {
+        StreamTransport::default()
+    }
+
+    /// Attaches `party`'s duplex stream.
+    pub fn attach(&self, party: PartyId, stream: S) -> Result<(), NetError> {
+        let mut links = self.links.lock();
+        if links.contains_key(&party) {
+            return Err(NetError::DuplicateParty(party));
+        }
+        links.insert(
+            party,
+            StreamLink {
+                stream,
+                decoder: FrameDecoder::new(),
+            },
+        );
+        Ok(())
+    }
+}
+
+impl<S: Read + Write> Transport for StreamTransport<S> {
+    fn send(&self, envelope: Envelope) -> Result<(), NetError> {
+        let mut links = self.links.lock();
+        let link = links
+            .get_mut(&envelope.to)
+            .ok_or(NetError::UnknownParty(envelope.to))?;
+        let frame = encode_frame(&envelope);
+        link.stream
+            .write_all(&frame)
+            .map_err(|e| NetError::Io(e.to_string()))
+    }
+
+    fn try_receive(&self, receiver: PartyId) -> Result<Option<Envelope>, NetError> {
+        let mut links = self.links.lock();
+        let link = links
+            .get_mut(&receiver)
+            .ok_or(NetError::UnknownParty(receiver))?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(envelope) = link.decoder.next_frame()? {
+                return Ok(Some(envelope));
+            }
+            match link.stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => link.decoder.feed(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(NetError::Io(e.to_string())),
+            }
+        }
+    }
+
+    fn flush(&self) -> Result<(), NetError> {
+        let mut links = self.links.lock();
+        for link in links.values_mut() {
+            link.stream
+                .flush()
+                .map_err(|e| NetError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Pipe {
+    bytes: VecDeque<u8>,
+}
+
+/// One half of an in-memory duplex byte stream.
+///
+/// Reads return `io::ErrorKind::WouldBlock` when no bytes are queued, and
+/// an optional `chunk_limit` caps how many bytes a single `read` hands
+/// over — deliberately fragmenting frames to exercise partial-read paths.
+#[derive(Debug, Clone)]
+pub struct MemoryDuplex {
+    incoming: Arc<Mutex<Pipe>>,
+    outgoing: Arc<Mutex<Pipe>>,
+    chunk_limit: Option<usize>,
+}
+
+/// Creates a connected pair of in-memory duplex streams.
+pub fn memory_duplex() -> (MemoryDuplex, MemoryDuplex) {
+    let a_to_b = Arc::new(Mutex::new(Pipe::default()));
+    let b_to_a = Arc::new(Mutex::new(Pipe::default()));
+    (
+        MemoryDuplex {
+            incoming: Arc::clone(&b_to_a),
+            outgoing: Arc::clone(&a_to_b),
+            chunk_limit: None,
+        },
+        MemoryDuplex {
+            incoming: a_to_b,
+            outgoing: b_to_a,
+            chunk_limit: None,
+        },
+    )
+}
+
+impl MemoryDuplex {
+    /// Caps every `read` at `limit` bytes, forcing partial frame reads.
+    pub fn with_chunk_limit(mut self, limit: usize) -> Self {
+        self.chunk_limit = Some(limit.max(1));
+        self
+    }
+
+    /// Bytes queued for this side to read.
+    pub fn pending(&self) -> usize {
+        self.incoming.lock().bytes.len()
+    }
+}
+
+impl Read for MemoryDuplex {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut pipe = self.incoming.lock();
+        if pipe.bytes.is_empty() {
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        let mut limit = buf.len().min(pipe.bytes.len());
+        if let Some(cap) = self.chunk_limit {
+            limit = limit.min(cap);
+        }
+        for slot in buf.iter_mut().take(limit) {
+            *slot = pipe.bytes.pop_front().expect("length checked");
+        }
+        Ok(limit)
+    }
+}
+
+impl Write for MemoryDuplex {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.outgoing.lock().bytes.extend(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope(topic: &str, payload: Vec<u8>) -> Envelope {
+        Envelope::new(PartyId::DataHolder(0), PartyId::ThirdParty, topic, payload)
+    }
+
+    #[test]
+    fn frame_roundtrip_through_incremental_decoder() {
+        let e = envelope("numeric/age/0-1/masked", vec![1, 2, 3, 4]);
+        let frame = encode_frame(&e);
+        let mut decoder = FrameDecoder::new();
+        // Feed one byte at a time: no frame until the last byte lands.
+        for (i, &b) in frame.iter().enumerate() {
+            decoder.feed(&[b]);
+            let done = decoder.next_frame().unwrap();
+            if i + 1 < frame.len() {
+                assert!(done.is_none(), "frame complete early at byte {i}");
+            } else {
+                assert_eq!(done.unwrap(), e);
+            }
+        }
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&u32::MAX.to_le_bytes());
+        assert!(decoder.next_frame().is_err());
+    }
+
+    #[test]
+    fn corrupt_party_tag_is_rejected() {
+        let e = envelope("t", vec![]);
+        let mut frame = encode_frame(&e);
+        frame[4] = 9; // from-party tag
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame);
+        assert!(decoder.next_frame().is_err());
+    }
+
+    #[test]
+    fn stream_transport_delivers_over_fragmenting_duplex() {
+        let transport = StreamTransport::new();
+        let (tp_side, _remote) = memory_duplex();
+        // Loop the stream back on itself: what the transport writes to the
+        // third party it later reads for the third party. The 3-byte chunk
+        // limit forces many partial reads per frame.
+        let loopback = MemoryDuplex {
+            incoming: tp_side.outgoing.clone(),
+            outgoing: tp_side.outgoing.clone(),
+            chunk_limit: Some(3),
+        };
+        transport.attach(PartyId::ThirdParty, loopback).unwrap();
+        let sent: Vec<Envelope> = (0..5)
+            .map(|i| envelope(&format!("topic/{i}"), vec![i as u8; i]))
+            .collect();
+        for e in &sent {
+            transport.send(e.clone()).unwrap();
+        }
+        transport.flush().unwrap();
+        let mut received = Vec::new();
+        while let Some(e) = transport.try_receive(PartyId::ThirdParty).unwrap() {
+            received.push(e);
+        }
+        assert_eq!(received, sent);
+        assert!(transport
+            .try_receive(PartyId::ThirdParty)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn unknown_parties_and_duplicates_error() {
+        let transport: StreamTransport<MemoryDuplex> = StreamTransport::new();
+        assert!(transport.try_receive(PartyId::DataHolder(0)).is_err());
+        assert!(transport.send(envelope("t", vec![])).is_err());
+        let (a, _b) = memory_duplex();
+        transport.attach(PartyId::DataHolder(0), a.clone()).unwrap();
+        assert!(transport.attach(PartyId::DataHolder(0), a).is_err());
+    }
+}

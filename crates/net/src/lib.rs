@@ -9,8 +9,14 @@
 //! * [`party::PartyId`] — participant identities (`DH_0`, `DH_1`, …, `TP`).
 //! * [`message::Envelope`] — a typed, length-accounted message.
 //! * [`codec`] — a compact binary wire format so byte counts are meaningful.
+//! * [`transport::Transport`] — the transport abstraction every higher layer
+//!   programs against (send / try_receive / flush).
 //! * [`transport::Network`] / [`transport::Endpoint`] — an in-memory network
 //!   with per-link byte/message accounting and per-link security settings.
+//! * [`sim::SimulatedWan`] — a virtual-clock latency/bandwidth/loss wrapper
+//!   around any transport, for the cost experiments.
+//! * [`framed`] — length-prefixed envelope frames over `io::Read + Write`
+//!   byte streams, so real sockets can slot in later.
 //! * [`eavesdrop::Eavesdropper`] — captures traffic on plaintext links,
 //!   used by the privacy experiments to demonstrate the inference the paper
 //!   warns about when channels are left unsecured.
@@ -26,16 +32,20 @@ pub mod codec;
 pub mod cost;
 pub mod eavesdrop;
 pub mod error;
+pub mod framed;
 pub mod message;
 pub mod metrics;
 pub mod party;
+pub mod sim;
 pub mod transport;
 
 pub use codec::{WireReader, WireWriter};
 pub use cost::CostModel;
 pub use eavesdrop::Eavesdropper;
 pub use error::NetError;
+pub use framed::{encode_frame, memory_duplex, FrameDecoder, MemoryDuplex, StreamTransport};
 pub use message::{ChannelSecurity, Envelope};
 pub use metrics::{CommReport, LinkStats};
 pub use party::PartyId;
-pub use transport::{Endpoint, Network};
+pub use sim::{SimulatedWan, WanProfile, WanStats};
+pub use transport::{Endpoint, Instrumented, Network, Transport};

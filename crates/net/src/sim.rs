@@ -1,0 +1,258 @@
+//! Simulated-WAN transport wrapper.
+//!
+//! Wraps any [`Transport`] with a *virtual-clock* network model: every
+//! envelope pays a per-message latency plus a bandwidth-proportional
+//! transfer time, and an optional loss probability forces (accounted)
+//! retransmissions. Nothing ever sleeps — the model advances a virtual
+//! clock so the communication-cost experiments can report "what this
+//! protocol run would cost on a WAN" deterministically and instantly.
+//!
+//! Losses are modelled at the *cost* level: a lost transmission is retried
+//! until it succeeds (counting the wasted bytes and round trips), so
+//! delivery semantics — including the per-link FIFO order the chunked
+//! streams depend on — are identical to the wrapped transport's.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::NetError;
+use crate::message::Envelope;
+use crate::party::PartyId;
+use crate::transport::Transport;
+
+/// Link characteristics for the WAN model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WanProfile {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Per-transmission one-way latency in seconds.
+    pub latency_sec: f64,
+    /// Probability that a single transmission is lost and must be resent
+    /// (`0.0 ≤ p < 1.0`).
+    pub loss_probability: f64,
+}
+
+impl WanProfile {
+    /// 100 Mbit/s WAN, 20 ms latency, lossless.
+    pub fn wan() -> Self {
+        WanProfile {
+            bandwidth_bytes_per_sec: 12_500_000.0,
+            latency_sec: 0.020,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// 10 Mbit/s uplink, 50 ms latency, 1% loss (the flaky-consumer-link
+    /// setting).
+    pub fn lossy_dsl() -> Self {
+        WanProfile {
+            bandwidth_bytes_per_sec: 1_250_000.0,
+            latency_sec: 0.050,
+            loss_probability: 0.01,
+        }
+    }
+}
+
+impl Default for WanProfile {
+    fn default() -> Self {
+        WanProfile::wan()
+    }
+}
+
+/// Accumulated virtual costs of a [`SimulatedWan`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WanStats {
+    /// Envelopes delivered.
+    pub messages: u64,
+    /// Transmissions attempted (≥ `messages`; the excess is retransmits).
+    pub transmissions: u64,
+    /// Bytes that crossed the wire, including retransmitted copies.
+    pub bytes_on_wire: u64,
+    /// Total virtual transfer time in seconds.
+    pub virtual_seconds: f64,
+}
+
+impl WanStats {
+    /// Transmissions that were repeats of a lost message.
+    pub fn retransmissions(&self) -> u64 {
+        self.transmissions - self.messages
+    }
+}
+
+#[derive(Debug)]
+struct WanState {
+    rng: u64,
+    stats: WanStats,
+}
+
+/// A [`Transport`] decorator charging every envelope against a WAN model.
+#[derive(Debug, Clone)]
+pub struct SimulatedWan<T> {
+    inner: T,
+    profile: WanProfile,
+    state: Arc<Mutex<WanState>>,
+}
+
+impl<T: Transport> SimulatedWan<T> {
+    /// Wraps `inner` under `profile`, seeding the deterministic loss
+    /// process with `seed`.
+    pub fn new(inner: T, profile: WanProfile, seed: u64) -> Result<Self, NetError> {
+        if !(0.0..1.0).contains(&profile.loss_probability) {
+            return Err(NetError::Decode(format!(
+                "loss probability must be in [0, 1), got {}",
+                profile.loss_probability
+            )));
+        }
+        if profile.bandwidth_bytes_per_sec <= 0.0 || profile.latency_sec < 0.0 {
+            return Err(NetError::Decode(
+                "WAN profile needs positive bandwidth and non-negative latency".into(),
+            ));
+        }
+        Ok(SimulatedWan {
+            inner,
+            profile,
+            state: Arc::new(Mutex::new(WanState {
+                rng: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+                stats: WanStats::default(),
+            })),
+        })
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The profile in force.
+    pub fn profile(&self) -> WanProfile {
+        self.profile
+    }
+
+    /// Snapshot of the accumulated virtual costs.
+    pub fn stats(&self) -> WanStats {
+        self.state.lock().stats
+    }
+
+    fn next_unit(state: &mut WanState) -> f64 {
+        // splitmix64; good enough for a loss coin and fully deterministic.
+        state.rng = state.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: Transport> Transport for SimulatedWan<T> {
+    fn send(&self, envelope: Envelope) -> Result<(), NetError> {
+        let size = envelope.wire_size() as u64;
+        {
+            let mut state = self.state.lock();
+            let mut attempts = 1u64;
+            while self.profile.loss_probability > 0.0
+                && Self::next_unit(&mut state) < self.profile.loss_probability
+            {
+                attempts += 1;
+            }
+            state.stats.messages += 1;
+            state.stats.transmissions += attempts;
+            state.stats.bytes_on_wire += attempts * size;
+            state.stats.virtual_seconds += attempts as f64
+                * (self.profile.latency_sec + size as f64 / self.profile.bandwidth_bytes_per_sec);
+        }
+        self.inner.send(envelope)
+    }
+
+    fn try_receive(&self, receiver: PartyId) -> Result<Option<Envelope>, NetError> {
+        self.inner.try_receive(receiver)
+    }
+
+    fn flush(&self) -> Result<(), NetError> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Network;
+
+    fn envelope(bytes: usize) -> Envelope {
+        Envelope::new(
+            PartyId::DataHolder(0),
+            PartyId::ThirdParty,
+            "t",
+            vec![0; bytes],
+        )
+    }
+
+    #[test]
+    fn lossless_wan_charges_latency_plus_bandwidth() {
+        let net = Network::with_parties(1);
+        let profile = WanProfile {
+            bandwidth_bytes_per_sec: 1000.0,
+            latency_sec: 0.5,
+            loss_probability: 0.0,
+        };
+        let wan = SimulatedWan::new(net.clone(), profile, 1).unwrap();
+        let e = envelope(100);
+        let size = e.wire_size() as f64;
+        wan.send(e).unwrap();
+        let stats = wan.stats();
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.transmissions, 1);
+        assert_eq!(stats.retransmissions(), 0);
+        assert!((stats.virtual_seconds - (0.5 + size / 1000.0)).abs() < 1e-9);
+        // Delivery still works through the wrapper.
+        assert!(wan.try_receive(PartyId::ThirdParty).unwrap().is_some());
+    }
+
+    #[test]
+    fn lossy_wan_retransmits_deterministically_and_still_delivers() {
+        let net = Network::with_parties(1);
+        let profile = WanProfile {
+            bandwidth_bytes_per_sec: 1_000_000.0,
+            latency_sec: 0.01,
+            loss_probability: 0.5,
+        };
+        let wan = SimulatedWan::new(net.clone(), profile, 42).unwrap();
+        for _ in 0..200 {
+            wan.send(envelope(10)).unwrap();
+        }
+        let stats = wan.stats();
+        assert_eq!(stats.messages, 200);
+        // With p = 0.5 the expected transmission count is 2 per message.
+        assert!(stats.retransmissions() > 50, "{stats:?}");
+        // Every message still arrives, in order.
+        let mut delivered = 0;
+        while wan.try_receive(PartyId::ThirdParty).unwrap().is_some() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 200);
+        // Same seed, same costs.
+        let again = SimulatedWan::new(Network::with_parties(1), profile, 42).unwrap();
+        for _ in 0..200 {
+            again.send(envelope(10)).unwrap();
+        }
+        assert_eq!(again.stats(), stats);
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        let net = Network::with_parties(1);
+        let mut profile = WanProfile::wan();
+        profile.loss_probability = 1.0;
+        assert!(SimulatedWan::new(net.clone(), profile, 0).is_err());
+        let mut profile = WanProfile::wan();
+        profile.bandwidth_bytes_per_sec = 0.0;
+        assert!(SimulatedWan::new(net, profile, 0).is_err());
+    }
+
+    #[test]
+    fn builtin_profiles_are_sane() {
+        assert_eq!(WanProfile::default(), WanProfile::wan());
+        assert!(WanProfile::lossy_dsl().loss_probability > 0.0);
+    }
+}

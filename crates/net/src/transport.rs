@@ -1,15 +1,63 @@
-//! In-memory network with byte accounting and per-link security.
+//! Transport abstraction and the in-memory network implementation.
+//!
+//! [`Transport`] is the seam every higher layer programs against: the
+//! multi-session [`SessionEngine`](../../ppc-core) drives any transport, and
+//! metrics/eavesdropping attach to the trait (via [`Instrumented`]) rather
+//! than to a concrete struct. Three implementations ship with the crate:
+//!
+//! * [`Network`] — the in-memory mailbox network (per-link byte accounting
+//!   and channel security built in, since it predates the trait and the
+//!   experiments rely on its reports);
+//! * [`SimulatedWan`](crate::sim::SimulatedWan) — wraps any transport with a
+//!   virtual-clock latency/bandwidth/loss model for cost experiments;
+//! * [`StreamTransport`](crate::framed::StreamTransport) — length-prefixed
+//!   frames over `io::Read + io::Write` byte streams, so real sockets can
+//!   slot in without touching protocol code.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::eavesdrop::Eavesdropper;
 use crate::error::NetError;
 use crate::message::{ChannelSecurity, Envelope};
 use crate::metrics::CommReport;
 use crate::party::PartyId;
+
+/// A message transport between protocol parties.
+///
+/// Implementations must preserve per-link FIFO order: two envelopes sent
+/// from the same party to the same party arrive in send order. The chunked
+/// protocol streams rely on this (chunk `i + 1` may only be decoded after
+/// chunk `i`).
+pub trait Transport {
+    /// Enqueues an envelope for delivery.
+    fn send(&self, envelope: Envelope) -> Result<(), NetError>;
+
+    /// Removes and returns the next envelope queued for `receiver`, if one
+    /// is available right now. Never blocks.
+    fn try_receive(&self, receiver: PartyId) -> Result<Option<Envelope>, NetError>;
+
+    /// Pushes any buffered writes towards the peer (a no-op for in-memory
+    /// transports).
+    fn flush(&self) -> Result<(), NetError>;
+}
+
+impl<T: Transport + ?Sized> Transport for &T {
+    fn send(&self, envelope: Envelope) -> Result<(), NetError> {
+        (**self).send(envelope)
+    }
+
+    fn try_receive(&self, receiver: PartyId) -> Result<Option<Envelope>, NetError> {
+        (**self).try_receive(receiver)
+    }
+
+    fn flush(&self) -> Result<(), NetError> {
+        (**self).flush()
+    }
+}
 
 #[derive(Debug, Default)]
 struct NetworkInner {
@@ -23,6 +71,9 @@ struct NetworkInner {
 #[derive(Debug, Clone, Default)]
 pub struct Network {
     inner: Arc<Mutex<NetworkInner>>,
+    /// Signalled on every delivery so blocked receivers wake without
+    /// polling.
+    arrivals: Arc<Condvar>,
 }
 
 impl Network {
@@ -115,6 +166,10 @@ impl Network {
             .get_mut(&envelope.to)
             .expect("checked above")
             .push_back(envelope);
+        drop(inner);
+        // Wake every party blocked in a condvar receive; each re-checks its
+        // own queue under the lock.
+        self.arrivals.notify_all();
         Ok(())
     }
 
@@ -151,6 +206,60 @@ impl Network {
         inner.queues.get_mut(&receiver)?.pop_front()
     }
 
+    /// Blocking variant of [`receive`](Self::receive): parks the calling
+    /// thread on a condition variable until a matching message arrives or
+    /// `timeout` elapses, so idle parties burn no CPU while they wait.
+    pub fn receive_blocking(
+        &self,
+        receiver: PartyId,
+        sender: PartyId,
+        topic: &str,
+        timeout: Duration,
+    ) -> Result<Envelope, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            let queue = inner
+                .queues
+                .get_mut(&receiver)
+                .ok_or(NetError::UnknownParty(receiver))?;
+            if let Some(pos) = queue
+                .iter()
+                .position(|e| e.from == sender && e.topic == topic)
+            {
+                return Ok(queue.remove(pos).expect("position valid"));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::NoMessage {
+                    receiver,
+                    sender,
+                    topic: topic.to_string(),
+                });
+            }
+            let (guard, _) = self.arrivals.wait_timeout(inner, deadline - now);
+            inner = guard;
+        }
+    }
+
+    /// Blocking variant of [`receive_any`](Self::receive_any): parks until
+    /// any message is queued for `receiver` or `timeout` elapses.
+    pub fn receive_any_blocking(&self, receiver: PartyId, timeout: Duration) -> Option<Envelope> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(envelope) = inner.queues.get_mut(&receiver)?.pop_front() {
+                return Some(envelope);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.arrivals.wait_timeout(inner, deadline - now);
+            inner = guard;
+        }
+    }
+
     /// Number of queued (undelivered) messages for `receiver`.
     pub fn pending(&self, receiver: PartyId) -> usize {
         let inner = self.inner.lock();
@@ -170,6 +279,106 @@ impl Network {
     /// Envelopes captured on plaintext channels so far.
     pub fn eavesdropped(&self) -> Vec<Envelope> {
         self.inner.lock().eavesdropper.captured().to_vec()
+    }
+}
+
+impl Transport for Network {
+    fn send(&self, envelope: Envelope) -> Result<(), NetError> {
+        Network::send(self, envelope)
+    }
+
+    fn try_receive(&self, receiver: PartyId) -> Result<Option<Envelope>, NetError> {
+        let mut inner = self.inner.lock();
+        match inner.queues.get_mut(&receiver) {
+            Some(queue) => Ok(queue.pop_front()),
+            None => Err(NetError::UnknownParty(receiver)),
+        }
+    }
+
+    fn flush(&self) -> Result<(), NetError> {
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct InstrumentState {
+    report: CommReport,
+    eavesdropper: Eavesdropper,
+    security: HashMap<(PartyId, PartyId), ChannelSecurity>,
+}
+
+/// Metrics and eavesdropping as a layer over *any* [`Transport`].
+///
+/// [`Network`] keeps its built-in accounting for backwards compatibility,
+/// but every other transport (framed streams, WAN simulation, future
+/// sockets) gets byte counting, per-link security settings and plaintext
+/// capture by wrapping it in `Instrumented` — the hooks live on the trait
+/// seam, not inside any one struct.
+#[derive(Debug, Clone, Default)]
+pub struct Instrumented<T> {
+    inner: T,
+    state: Arc<Mutex<InstrumentState>>,
+}
+
+impl<T: Transport> Instrumented<T> {
+    /// Wraps `inner`, counting and (on plaintext links) capturing every
+    /// envelope that passes through.
+    pub fn new(inner: T) -> Self {
+        Instrumented {
+            inner,
+            state: Arc::default(),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Sets the security of the undirected channel between `a` and `b`.
+    pub fn set_channel_security(&self, a: PartyId, b: PartyId, security: ChannelSecurity) {
+        let mut state = self.state.lock();
+        state.security.insert((a, b), security);
+        state.security.insert((b, a), security);
+    }
+
+    /// Snapshot of the communication counters.
+    pub fn report(&self) -> CommReport {
+        self.state.lock().report.clone()
+    }
+
+    /// Resets the communication counters.
+    pub fn reset_report(&self) {
+        self.state.lock().report = CommReport::default();
+    }
+
+    /// Envelopes captured on plaintext channels so far.
+    pub fn eavesdropped(&self) -> Vec<Envelope> {
+        self.state.lock().eavesdropper.captured().to_vec()
+    }
+}
+
+impl<T: Transport> Transport for Instrumented<T> {
+    fn send(&self, envelope: Envelope) -> Result<(), NetError> {
+        {
+            let mut state = self.state.lock();
+            let link = (envelope.from, envelope.to);
+            let size = envelope.wire_size() as u64;
+            state.report.links.entry(link).or_default().record(size);
+            let security = state.security.get(&link).copied().unwrap_or_default();
+            if security == ChannelSecurity::Plaintext {
+                state.eavesdropper.capture(envelope.clone());
+            }
+        }
+        self.inner.send(envelope)
+    }
+
+    fn try_receive(&self, receiver: PartyId) -> Result<Option<Envelope>, NetError> {
+        self.inner.try_receive(receiver)
+    }
+
+    fn flush(&self) -> Result<(), NetError> {
+        self.inner.flush()
     }
 }
 
@@ -298,6 +507,109 @@ mod tests {
         let captured = net.eavesdropped();
         assert_eq!(captured.len(), 1);
         assert_eq!(captured[0].topic, "secret");
+    }
+
+    #[test]
+    fn blocking_receive_wakes_on_arrival_without_polling() {
+        let net = Network::with_parties(2);
+        let receiver = net.clone();
+        let waiter = std::thread::spawn(move || {
+            receiver
+                .receive_blocking(
+                    PartyId::DataHolder(1),
+                    PartyId::DataHolder(0),
+                    "late",
+                    Duration::from_secs(5),
+                )
+                .unwrap()
+        });
+        // Let the waiter park, then deliver.
+        std::thread::sleep(Duration::from_millis(20));
+        let dh0 = net.endpoint(PartyId::DataHolder(0)).unwrap();
+        dh0.send(PartyId::DataHolder(1), "late", vec![7]).unwrap();
+        let envelope = waiter.join().unwrap();
+        assert_eq!(envelope.payload, vec![7]);
+    }
+
+    #[test]
+    fn blocking_receive_times_out_cleanly() {
+        let net = Network::with_parties(2);
+        let err = net.receive_blocking(
+            PartyId::DataHolder(1),
+            PartyId::DataHolder(0),
+            "never",
+            Duration::from_millis(10),
+        );
+        assert!(matches!(err, Err(NetError::NoMessage { .. })));
+        assert!(net
+            .receive_any_blocking(PartyId::DataHolder(1), Duration::from_millis(10))
+            .is_none());
+    }
+
+    #[test]
+    fn transport_trait_surface_matches_mailbox_behaviour() {
+        let net = Network::with_parties(2);
+        let transport: &dyn Transport = &net;
+        assert!(transport
+            .try_receive(PartyId::DataHolder(1))
+            .unwrap()
+            .is_none());
+        transport
+            .send(Envelope::new(
+                PartyId::DataHolder(0),
+                PartyId::DataHolder(1),
+                "t",
+                vec![1, 2],
+            ))
+            .unwrap();
+        let received = transport.try_receive(PartyId::DataHolder(1)).unwrap();
+        assert_eq!(received.unwrap().payload, vec![1, 2]);
+        assert!(transport.try_receive(PartyId::DataHolder(9)).is_err());
+        assert!(transport.flush().is_ok());
+    }
+
+    #[test]
+    fn instrumented_counts_and_eavesdrops_over_any_transport() {
+        let net = Network::with_parties(2);
+        let instrumented = Instrumented::new(net.clone());
+        instrumented
+            .send(Envelope::new(
+                PartyId::DataHolder(0),
+                PartyId::ThirdParty,
+                "secured",
+                vec![0; 16],
+            ))
+            .unwrap();
+        assert!(instrumented.eavesdropped().is_empty());
+        instrumented.set_channel_security(
+            PartyId::DataHolder(0),
+            PartyId::ThirdParty,
+            ChannelSecurity::Plaintext,
+        );
+        instrumented
+            .send(Envelope::new(
+                PartyId::DataHolder(0),
+                PartyId::ThirdParty,
+                "open",
+                vec![0; 8],
+            ))
+            .unwrap();
+        let report = instrumented.report();
+        assert_eq!(report.total_messages(), 2);
+        assert_eq!(
+            report.bytes_sent_by(PartyId::DataHolder(0)),
+            net.report().bytes_sent_by(PartyId::DataHolder(0))
+        );
+        let captured = instrumented.eavesdropped();
+        assert_eq!(captured.len(), 1);
+        assert_eq!(captured[0].topic, "open");
+        instrumented.reset_report();
+        assert_eq!(instrumented.report().total_messages(), 0);
+        // Both queued messages are still deliverable through the wrapper.
+        assert!(instrumented
+            .try_receive(PartyId::ThirdParty)
+            .unwrap()
+            .is_some());
     }
 
     #[test]

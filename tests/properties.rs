@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use ppclust::cluster::CondensedDistanceMatrix;
 use ppclust::core::ccm::CharacterComparisonMatrix;
 use ppclust::core::distance::{edit_distance, edit_distance_from_ccm};
+use ppclust::core::protocol::messages::PairwiseChunkMsg;
 use ppclust::core::protocol::{alphanumeric, numeric};
 use ppclust::core::{Alphabet, FixedPointCodec};
 use ppclust::crypto::{PairwiseSeeds, Prf128, RngAlgorithm, Seed};
@@ -35,6 +36,42 @@ proptest! {
             for (n, &x) in j_values.iter().enumerate() {
                 prop_assert_eq!(*distances.get(m, n), x.abs_diff(y));
             }
+        }
+    }
+
+    /// Chunk headers round-trip for every window shape, and the declared
+    /// row accounting always matches the carried cells — including the
+    /// zero-column streams an empty initiator produces.
+    #[test]
+    fn pairwise_chunk_headers_roundtrip_for_every_window_shape(
+        start_row in 0u32..50,
+        rows in 0u32..20,
+        cols in 0u32..12,
+        slack in 0u32..30,
+        cell_seed in any::<i64>(),
+    ) {
+        let total_rows = start_row + rows + slack;
+        let values: Vec<i64> = (0..(rows * cols) as i64)
+            .map(|i| cell_seed.wrapping_mul(31).wrapping_add(i))
+            .collect();
+        let msg = PairwiseChunkMsg {
+            attribute: "attr".into(),
+            start_row,
+            rows,
+            total_rows,
+            cols,
+            values,
+        };
+        let back = PairwiseChunkMsg::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(back.rows(), rows as usize);
+        // A chunk claiming rows beyond the declared total must be rejected.
+        let overflow = PairwiseChunkMsg {
+            total_rows: start_row + rows.saturating_sub(1),
+            ..msg
+        };
+        if rows > 0 {
+            prop_assert!(PairwiseChunkMsg::decode(&overflow.encode()).is_err());
         }
     }
 

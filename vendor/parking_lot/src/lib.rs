@@ -1,8 +1,9 @@
 //! Offline stand-in for `parking_lot`: a [`Mutex`] with the poison-free
-//! `lock()` signature, backed by `std::sync::Mutex`.
+//! `lock()` signature and a matching [`Condvar`], backed by `std::sync`.
 
 use std::fmt;
 use std::sync::MutexGuard;
+use std::time::Duration;
 
 /// Mutual-exclusion lock whose `lock()` never returns a poison error.
 #[derive(Default)]
@@ -40,9 +41,78 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (rather than a
+    /// notification).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable with parking_lot's poison-free signatures, paired with
+/// [`Mutex`] guards.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    /// Blocks until notified, releasing the guard while parked.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until notified or until `timeout` elapses.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let (guard, result) = self
+            .inner
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        (
+            guard,
+            WaitTimeoutResult {
+                timed_out: result.timed_out(),
+            },
+        )
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn lock_and_mutate() {
@@ -50,5 +120,31 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_a_blocked_waiter() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let other = Arc::clone(&shared);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*other;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (lock, cv) = &*shared;
+        *lock.lock() = true;
+        cv.notify_all();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_timeout_reports_elapsed() {
+        let pair = (Mutex::new(()), Condvar::new());
+        let guard = pair.0.lock();
+        let (_guard, result) = pair.1.wait_timeout(guard, Duration::from_millis(5));
+        assert!(result.timed_out());
     }
 }
