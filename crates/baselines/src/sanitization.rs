@@ -1,7 +1,7 @@
 //! Sanitization (perturbation) baseline.
 //!
 //! Stands in for the data-transformation line of work the paper contrasts
-//! itself with ([1]–[5] in its related work): each data holder perturbs its
+//! itself with (\[1\]–\[5\] in its related work): each data holder perturbs its
 //! values before sharing them with the party that clusters. Privacy comes
 //! from the noise; the price is accuracy. We implement additive Gaussian
 //! noise for numeric attributes, random label flips for categorical

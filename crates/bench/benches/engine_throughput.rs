@@ -1,6 +1,7 @@
 //! Multi-session engine throughput: wall-clock cost of completing 1 / 4 / 8
 //! concurrent clustering sessions over one in-memory transport, chunked vs
-//! whole-matrix streaming.
+//! whole-matrix streaming, plus the sharded engine at 1 / 2 / 4 worker
+//! threads over in-memory and loopback-TCP transports.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -9,10 +10,11 @@ use ppc_cluster::Linkage;
 use ppc_core::protocol::driver::ClusteringRequest;
 use ppc_core::protocol::engine::{SessionEngine, SessionSpec};
 use ppc_core::protocol::party::TrustedSetup;
+use ppc_core::protocol::sharded::ShardedEngine;
 use ppc_core::protocol::ProtocolConfig;
 use ppc_crypto::Seed;
 use ppc_data::Workload;
-use ppc_net::Network;
+use ppc_net::{Backoff, Network, PartyId, TcpRouter, TcpTransport};
 
 fn spec(seed: u64, chunk_rows: Option<usize>) -> SessionSpec {
     let workload = Workload::bird_flu(24, 3, 3, seed).unwrap();
@@ -65,5 +67,61 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+fn run_sharded_memory(specs: &[SessionSpec], shards: usize) -> usize {
+    let transports: Vec<Network> = (0..shards).map(|_| Network::with_parties(3)).collect();
+    let mut engine = ShardedEngine::new(transports).unwrap();
+    for spec in specs {
+        engine.add_session(spec.clone());
+    }
+    engine.run().unwrap().outcomes.len()
+}
+
+fn run_sharded_tcp(specs: &[SessionSpec], addr: std::net::SocketAddr, shards: usize) -> usize {
+    let parties: Vec<PartyId> = (0..3u32)
+        .map(PartyId::DataHolder)
+        .chain([PartyId::ThirdParty])
+        .collect();
+    let transports: Vec<TcpTransport> = (0..shards)
+        .map(|_| {
+            let t = TcpTransport::new(parties.iter().copied());
+            t.connect(addr, &Backoff::default()).unwrap();
+            t
+        })
+        .collect();
+    let mut engine = ShardedEngine::new(transports).unwrap();
+    for spec in specs {
+        engine.add_session(spec.clone());
+    }
+    engine.set_stall_budget(std::time::Duration::from_millis(100), 100);
+    let count = engine.run().unwrap().outcomes.len();
+    for transport in engine.transports() {
+        transport.shutdown();
+    }
+    count
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let specs: Vec<SessionSpec> = (0..8).map(|i| spec(40 + i as u64, Some(4))).collect();
+    let mut group = c.benchmark_group("sharded");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("memory/shards", shards),
+            &shards,
+            |b, &shards| b.iter(|| run_sharded_memory(black_box(&specs), shards)),
+        );
+    }
+    let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+    for &shards in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("loopback_tcp/shards", shards),
+            &shards,
+            |b, &shards| b.iter(|| run_sharded_tcp(black_box(&specs), addr, shards)),
+        );
+    }
+    router.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_sharded);
 criterion_main!(benches);

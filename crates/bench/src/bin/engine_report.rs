@@ -1,5 +1,7 @@
-//! Generates `BENCH_pr2.json`: engine throughput at 1/4/8 concurrent
-//! sessions and chunked-vs-whole peak buffering, measured on this machine.
+//! Generates `BENCH_pr3.json`: sharded-engine throughput across a
+//! 1 / 2 / 4-shard × {in-memory, simulated-WAN, loopback-TCP} matrix, the
+//! single-threaded engine baseline at 1 / 4 / 8 concurrent sessions, and
+//! chunked-vs-whole peak buffering — measured on this machine.
 //!
 //! ```text
 //! cargo run --release -p ppc-bench --bin engine_report [output.json]
@@ -9,15 +11,20 @@ use std::time::Instant;
 
 use ppc_cluster::Linkage;
 use ppc_core::protocol::driver::ClusteringRequest;
-use ppc_core::protocol::engine::{EngineOutcome, SessionEngine, SessionSpec};
+use ppc_core::protocol::engine::{SessionEngine, SessionSpec};
 use ppc_core::protocol::party::TrustedSetup;
+use ppc_core::protocol::sharded::ShardedEngine;
 use ppc_core::protocol::ProtocolConfig;
 use ppc_crypto::Seed;
 use ppc_data::Workload;
-use ppc_net::Network;
+use ppc_net::{
+    Backoff, Network, PartyId, SimulatedWan, TcpRouter, TcpTransport, WaitTransport, WanProfile,
+};
 
 const OBJECTS: usize = 48;
 const WINDOW: usize = 4;
+const MATRIX_SESSIONS: usize = 8;
+const REPS: usize = 5;
 
 fn spec(seed: u64, chunk_rows: Option<usize>) -> SessionSpec {
     let workload = Workload::bird_flu(OBJECTS, 3, 3, seed).unwrap();
@@ -38,7 +45,7 @@ fn spec(seed: u64, chunk_rows: Option<usize>) -> SessionSpec {
     }
 }
 
-fn run(specs: &[SessionSpec]) -> Vec<EngineOutcome> {
+fn run_single(specs: &[SessionSpec]) -> Vec<ppc_core::protocol::engine::EngineOutcome> {
     let mut engine = SessionEngine::new(Network::with_parties(3));
     for s in specs {
         engine.add_session(s.clone());
@@ -46,13 +53,22 @@ fn run(specs: &[SessionSpec]) -> Vec<EngineOutcome> {
     engine.run().unwrap()
 }
 
-/// Median wall-clock seconds over `reps` runs.
-fn median_seconds(specs: &[SessionSpec], reps: usize) -> f64 {
-    let mut samples: Vec<f64> = (0..reps)
+fn run_sharded<T: WaitTransport + Sync>(specs: &[SessionSpec], transports: Vec<T>) {
+    let mut engine = ShardedEngine::new(transports).unwrap();
+    for s in specs {
+        engine.add_session(s.clone());
+    }
+    engine.set_stall_budget(std::time::Duration::from_millis(100), 100);
+    let run = engine.run().unwrap();
+    assert_eq!(run.outcomes.len(), specs.len());
+}
+
+/// Median wall-clock seconds of `run` over [`REPS`] repetitions.
+fn median_seconds(mut run: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..REPS)
         .map(|_| {
             let started = Instant::now();
-            let outcomes = run(specs);
-            assert_eq!(outcomes.len(), specs.len());
+            run();
             started.elapsed().as_secs_f64()
         })
         .collect();
@@ -60,16 +76,27 @@ fn median_seconds(specs: &[SessionSpec], reps: usize) -> f64 {
     samples[samples.len() / 2]
 }
 
+fn all_parties() -> Vec<PartyId> {
+    (0..3u32)
+        .map(PartyId::DataHolder)
+        .chain([PartyId::ThirdParty])
+        .collect()
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
     let mut rows = Vec::new();
+
+    // Baseline: the single-threaded engine at increasing concurrency.
     for &sessions in &[1usize, 4, 8] {
         let specs: Vec<SessionSpec> = (0..sessions)
             .map(|i| spec(40 + i as u64, Some(WINDOW)))
             .collect();
-        let median = median_seconds(&specs, 7);
+        let median = median_seconds(|| {
+            assert_eq!(run_single(&specs).len(), specs.len());
+        });
         rows.push(format!(
             "    {{\"id\": \"engine/concurrent_sessions/{sessions}\", \
              \"median_seconds\": {median:.6}, \
@@ -77,8 +104,72 @@ fn main() {
             sessions as f64 / median
         ));
     }
-    let whole = run(&[spec(40, None)]);
-    let chunked = run(&[spec(40, Some(WINDOW))]);
+
+    // The sharding matrix: 8 sessions at 1/2/4 shards over three
+    // transports.
+    let matrix_specs: Vec<SessionSpec> = (0..MATRIX_SESSIONS)
+        .map(|i| spec(40 + i as u64, Some(WINDOW)))
+        .collect();
+    for &shards in &[1usize, 2, 4] {
+        let median = median_seconds(|| {
+            let transports: Vec<Network> = (0..shards).map(|_| Network::with_parties(3)).collect();
+            run_sharded(&matrix_specs, transports);
+        });
+        rows.push(format!(
+            "    {{\"id\": \"sharded/memory/shards{shards}\", \
+             \"sessions\": {MATRIX_SESSIONS}, \"median_seconds\": {median:.6}, \
+             \"sessions_per_second\": {:.2}}}",
+            MATRIX_SESSIONS as f64 / median
+        ));
+    }
+    for &shards in &[1usize, 2, 4] {
+        let median = median_seconds(|| {
+            let transports: Vec<SimulatedWan<Network>> = (0..shards)
+                .map(|i| {
+                    SimulatedWan::new(
+                        Network::with_parties(3),
+                        WanProfile::lossy_dsl(),
+                        99 + i as u64,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            run_sharded(&matrix_specs, transports);
+        });
+        rows.push(format!(
+            "    {{\"id\": \"sharded/wan_sim/shards{shards}\", \
+             \"sessions\": {MATRIX_SESSIONS}, \"median_seconds\": {median:.6}, \
+             \"sessions_per_second\": {:.2}}}",
+            MATRIX_SESSIONS as f64 / median
+        ));
+    }
+    {
+        let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+        let parties = all_parties();
+        for &shards in &[1usize, 2, 4] {
+            let median = median_seconds(|| {
+                let transports: Vec<TcpTransport> = (0..shards)
+                    .map(|_| {
+                        let t = TcpTransport::new(parties.iter().copied());
+                        t.connect(addr, &Backoff::default()).unwrap();
+                        t
+                    })
+                    .collect();
+                run_sharded(&matrix_specs, transports);
+            });
+            rows.push(format!(
+                "    {{\"id\": \"sharded/loopback_tcp/shards{shards}\", \
+                 \"sessions\": {MATRIX_SESSIONS}, \"median_seconds\": {median:.6}, \
+                 \"sessions_per_second\": {:.2}}}",
+                MATRIX_SESSIONS as f64 / median
+            ));
+        }
+        router.shutdown();
+    }
+
+    // Peak buffering: the quantity the chunk window bounds.
+    let whole = run_single(&[spec(40, None)]);
+    let chunked = run_single(&[spec(40, Some(WINDOW))]);
     rows.push(format!(
         "    {{\"id\": \"engine/peak_buffered_rows/whole_matrix\", \"rows\": {}}}",
         whole[0].stats.peak_buffered_rows
@@ -87,13 +178,19 @@ fn main() {
         "    {{\"id\": \"engine/peak_buffered_rows/chunked_w{WINDOW}\", \"rows\": {}}}",
         chunked[0].stats.peak_buffered_rows
     ));
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"pr\": 2,\n  \"title\": \"Transport-abstracted, chunked multi-session protocol \
-         engine\",\n  \"workload\": \"bird_flu {OBJECTS} objects, 3 sites, 3 attributes \
-         (numeric + categorical + dna), average linkage, k=3\",\n  \"harness\": \"engine_report \
-         binary, wall-clock medians of 7 runs, in-memory transport\",\n  \"notes\": \"chunk \
-         window {WINDOW} rows; peak_buffered_rows is the largest pairwise-row window any party \
-         materialised — the quantity the chunk window bounds\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"pr\": 3,\n  \"title\": \"Threaded session sharding over real TCP/UDS \
+         transports\",\n  \"workload\": \"bird_flu {OBJECTS} objects, 3 sites, 3 attributes \
+         (numeric + categorical + dna), average linkage, k=3, chunk window {WINDOW}\",\n  \
+         \"harness\": \"engine_report binary, wall-clock medians of {REPS} runs; loopback-TCP \
+         rows include per-run connect/handshake\",\n  \"cores\": {cores},\n  \"notes\": \
+         \"sharded rows drive {MATRIX_SESSIONS} sessions hash-sharded across N worker threads; \
+         on a 1-core container shard scaling is purely scheduling overhead — re-measure on \
+         multi-core hardware\",\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     std::fs::write(&out_path, &json).unwrap();

@@ -8,11 +8,11 @@
 //!
 //! Three engines back [`AgglomerativeClustering::fit`]:
 //!
-//! * the **nearest-neighbor-chain** algorithm ([`nnchain`]) — O(n²) time and
+//! * the **nearest-neighbor-chain** algorithm (`nnchain`) — O(n²) time and
 //!   O(n) extra space, exact for the reducible linkages (single, complete,
 //!   average, weighted, Ward); used automatically whenever
 //!   [`Linkage::nn_chain_exact`] holds;
-//! * the **priority-queue "generic"** algorithm ([`generic`]) — O(n² log n),
+//! * the **priority-queue "generic"** algorithm (`generic`) — O(n² log n),
 //!   exact for *every* linkage because it always extracts the global-minimum
 //!   pair; used for the non-reducible centroid/median linkages, whose
 //!   inversions break the chain invariant;

@@ -25,7 +25,7 @@ const MAX_KEPT_CANDIDATES: usize = 64;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FrequencyAttackOutcome {
     /// Candidate private columns consistent with the observation (at most
-    /// [`MAX_KEPT_CANDIDATES`] are kept).
+    /// `MAX_KEPT_CANDIDATES` are kept).
     pub candidates: Vec<Vec<i64>>,
     /// Total number of consistent placements found. A small number (1–2)
     /// means the responder's column is essentially recovered; a huge number

@@ -76,7 +76,19 @@ pub struct EngineOutcome {
     pub stats: SessionStats,
 }
 
-struct SessionRuntime {
+/// What one scheduling turn of a session produced.
+pub(crate) struct TurnOutput {
+    /// Envelopes the session's machines emitted this turn, in send order.
+    pub(crate) outgoing: Vec<Envelope>,
+    /// Whether any machine delivered or advanced.
+    pub(crate) progressed: bool,
+}
+
+/// One live session: its party machines, per-party inbound queues and
+/// stats. Shared by the single-threaded [`SessionEngine`] and the
+/// worker-thread shards of
+/// [`ShardedEngine`](crate::protocol::sharded::ShardedEngine).
+pub(crate) struct SessionRuntime {
     prefix: String,
     tp: ThirdPartyMachine,
     holders: Vec<HolderMachine>,
@@ -85,8 +97,127 @@ struct SessionRuntime {
 }
 
 impl SessionRuntime {
-    fn is_done(&self) -> bool {
+    /// Instantiates the per-party machines for `spec`, topic-prefixing
+    /// every envelope with `prefix`.
+    pub(crate) fn build(spec: &SessionSpec, prefix: String) -> Result<Self, CoreError> {
+        if spec.holders.len() < 2 {
+            return Err(CoreError::Protocol(
+                "the protocol requires at least two data holders".into(),
+            ));
+        }
+        let site_sizes: Vec<(u32, usize)> =
+            spec.holders.iter().map(|h| (h.site(), h.len())).collect();
+        let ctx = SessionContext {
+            schema: spec.schema.clone(),
+            config: spec.config,
+            request: spec.request.clone(),
+            chunk_rows: spec.chunk_rows,
+            topic_prefix: prefix.clone(),
+            retain_attributes: false,
+        };
+        let tp = ThirdPartyMachine::new(ctx.clone(), spec.keys.clone(), &site_sizes)?;
+        let holders = spec
+            .holders
+            .iter()
+            .map(|h| HolderMachine::new(ctx.clone(), h.clone(), &site_sizes))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut inbound = HashMap::new();
+        for machine in &holders {
+            inbound.insert(machine.party(), VecDeque::new());
+        }
+        inbound.insert(PartyId::ThirdParty, VecDeque::new());
+        Ok(SessionRuntime {
+            prefix,
+            tp,
+            holders,
+            inbound,
+            stats: SessionStats::default(),
+        })
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
         self.tp.is_done() && self.holders.iter().all(HolderMachine::is_done)
+    }
+
+    /// Whether this session claims envelopes under `topic`.
+    pub(crate) fn accepts(&self, topic: &str) -> bool {
+        self.prefix.is_empty() || topic.starts_with(&self.prefix)
+    }
+
+    /// Every party participating in this session.
+    pub(crate) fn parties(&self) -> impl Iterator<Item = PartyId> + '_ {
+        self.inbound.keys().copied()
+    }
+
+    /// Queues a transport envelope for delivery on this session's next
+    /// turn. Fails if the addressee is not one of the session's parties.
+    pub(crate) fn enqueue(&mut self, envelope: Envelope) -> Result<(), CoreError> {
+        let queue = self.inbound.get_mut(&envelope.to).ok_or_else(|| {
+            CoreError::Protocol(format!(
+                "party {} is not part of the session claiming topic '{}'",
+                envelope.to, envelope.topic
+            ))
+        })?;
+        queue.push_back(envelope);
+        Ok(())
+    }
+
+    /// One fair turn: every holder machine drains its queued envelopes and
+    /// is polled once, then the third party does the same. Returns the
+    /// emitted envelopes in send order.
+    pub(crate) fn turn(&mut self) -> Result<TurnOutput, CoreError> {
+        self.stats.rounds += 1;
+        let mut progressed = false;
+        let mut outgoing = Vec::new();
+        for machine in &mut self.holders {
+            let party = machine.party();
+            while let Some(envelope) = self.inbound.get_mut(&party).and_then(VecDeque::pop_front) {
+                let out = machine.step(Some(&envelope))?;
+                progressed = true;
+                outgoing.extend(out.outgoing);
+            }
+            let out = machine.step(None)?;
+            progressed |= out.progressed;
+            outgoing.extend(out.outgoing);
+        }
+        let tp_party = self.tp.party();
+        while let Some(envelope) = self
+            .inbound
+            .get_mut(&tp_party)
+            .and_then(VecDeque::pop_front)
+        {
+            let out = self.tp.step(Some(&envelope))?;
+            progressed = true;
+            outgoing.extend(out.outgoing);
+        }
+        let out = self.tp.step(None)?;
+        progressed |= out.progressed;
+        outgoing.extend(out.outgoing);
+
+        self.stats.messages_sent += outgoing.len() as u64;
+        Ok(TurnOutput {
+            outgoing,
+            progressed,
+        })
+    }
+
+    /// Consumes the finished session, rolling peak buffering into its
+    /// stats and extracting the third party's published outcome.
+    pub(crate) fn finish(self) -> Result<EngineOutcome, CoreError> {
+        let mut stats = self.stats;
+        stats.peak_buffered_rows = self
+            .holders
+            .iter()
+            .map(HolderMachine::peak_buffered_rows)
+            .max()
+            .unwrap_or(0)
+            .max(self.tp.peak_buffered_rows());
+        let (result, final_matrix, _) = self.tp.into_outcome()?;
+        Ok(EngineOutcome {
+            result,
+            final_matrix,
+            stats,
+        })
     }
 }
 
@@ -132,42 +263,6 @@ impl<T: Transport> SessionEngine<T> {
         self.specs.is_empty()
     }
 
-    fn build_runtime(spec: &SessionSpec, prefix: String) -> Result<SessionRuntime, CoreError> {
-        if spec.holders.len() < 2 {
-            return Err(CoreError::Protocol(
-                "the protocol requires at least two data holders".into(),
-            ));
-        }
-        let site_sizes: Vec<(u32, usize)> =
-            spec.holders.iter().map(|h| (h.site(), h.len())).collect();
-        let ctx = SessionContext {
-            schema: spec.schema.clone(),
-            config: spec.config,
-            request: spec.request.clone(),
-            chunk_rows: spec.chunk_rows,
-            topic_prefix: prefix.clone(),
-            retain_attributes: false,
-        };
-        let tp = ThirdPartyMachine::new(ctx.clone(), spec.keys.clone(), &site_sizes)?;
-        let holders = spec
-            .holders
-            .iter()
-            .map(|h| HolderMachine::new(ctx.clone(), h.clone(), &site_sizes))
-            .collect::<Result<Vec<_>, _>>()?;
-        let mut inbound = HashMap::new();
-        for machine in &holders {
-            inbound.insert(machine.party(), VecDeque::new());
-        }
-        inbound.insert(PartyId::ThirdParty, VecDeque::new());
-        Ok(SessionRuntime {
-            prefix,
-            tp,
-            holders,
-            inbound,
-            stats: SessionStats::default(),
-        })
-    }
-
     /// Runs every queued session to completion, returning outcomes in
     /// session order.
     pub fn run(&mut self) -> Result<Vec<EngineOutcome>, CoreError> {
@@ -179,14 +274,12 @@ impl<T: Transport> SessionEngine<T> {
             } else {
                 String::new()
             };
-            sessions.push(Self::build_runtime(spec, prefix)?);
+            sessions.push(SessionRuntime::build(spec, prefix)?);
         }
         // Every party that appears in any session; the engine drains each
         // of their transport mailboxes every round.
-        let parties: BTreeSet<PartyId> = sessions
-            .iter()
-            .flat_map(|s| s.inbound.keys().copied())
-            .collect();
+        let parties: BTreeSet<PartyId> =
+            sessions.iter().flat_map(SessionRuntime::parties).collect();
 
         let mut idle_rounds = 0u32;
         while sessions.iter().any(|s| !s.is_done()) {
@@ -198,18 +291,14 @@ impl<T: Transport> SessionEngine<T> {
                 while let Some(envelope) = self.transport.try_receive(party)? {
                     let target = sessions
                         .iter_mut()
-                        .find(|s| s.prefix.is_empty() || envelope.topic.starts_with(&s.prefix))
+                        .find(|s| s.accepts(&envelope.topic))
                         .ok_or_else(|| {
                             CoreError::Protocol(format!(
                                 "no session claims topic '{}'",
                                 envelope.topic
                             ))
                         })?;
-                    target
-                        .inbound
-                        .get_mut(&party)
-                        .expect("session registered this party")
-                        .push_back(envelope);
+                    target.enqueue(envelope)?;
                     progressed = true;
                 }
             }
@@ -220,39 +309,9 @@ impl<T: Transport> SessionEngine<T> {
                 if session.is_done() {
                     continue;
                 }
-                session.stats.rounds += 1;
-                let mut outgoing = Vec::new();
-                for machine in &mut session.holders {
-                    let party = machine.party();
-                    while let Some(envelope) = session
-                        .inbound
-                        .get_mut(&party)
-                        .and_then(VecDeque::pop_front)
-                    {
-                        let out = machine.step(Some(&envelope))?;
-                        progressed = true;
-                        outgoing.extend(out.outgoing);
-                    }
-                    let out = machine.step(None)?;
-                    progressed |= out.progressed;
-                    outgoing.extend(out.outgoing);
-                }
-                let tp_party = session.tp.party();
-                while let Some(envelope) = session
-                    .inbound
-                    .get_mut(&tp_party)
-                    .and_then(VecDeque::pop_front)
-                {
-                    let out = session.tp.step(Some(&envelope))?;
-                    progressed = true;
-                    outgoing.extend(out.outgoing);
-                }
-                let out = session.tp.step(None)?;
-                progressed |= out.progressed;
-                outgoing.extend(out.outgoing);
-
-                session.stats.messages_sent += outgoing.len() as u64;
-                for envelope in outgoing {
+                let turn = session.turn()?;
+                progressed |= turn.progressed;
+                for envelope in turn.outgoing {
                     self.transport.send(envelope)?;
                 }
             }
@@ -276,25 +335,7 @@ impl<T: Transport> SessionEngine<T> {
             }
         }
 
-        sessions
-            .into_iter()
-            .map(|session| {
-                let mut stats = session.stats;
-                stats.peak_buffered_rows = session
-                    .holders
-                    .iter()
-                    .map(HolderMachine::peak_buffered_rows)
-                    .max()
-                    .unwrap_or(0)
-                    .max(session.tp.peak_buffered_rows());
-                let (result, final_matrix, _) = session.tp.into_outcome()?;
-                Ok(EngineOutcome {
-                    result,
-                    final_matrix,
-                    stats,
-                })
-            })
-            .collect()
+        sessions.into_iter().map(SessionRuntime::finish).collect()
     }
 }
 
@@ -361,6 +402,91 @@ mod tests {
         driver
             .cluster(&output, &ClusteringRequest::uniform(&schema(), 2))
             .unwrap()
+    }
+
+    /// Runs a session runtime to completion, injecting one duplicate of
+    /// the first envelope whose topic starts with `replay_topic`. Returns
+    /// the error the replay must provoke.
+    fn run_with_replay(replay_topic: &str) -> CoreError {
+        let mut runtime = SessionRuntime::build(&spec(77, None), String::new()).unwrap();
+        let mut injected = false;
+        for _ in 0..10_000 {
+            let turn = match runtime.turn() {
+                Ok(turn) => turn,
+                Err(err) => return err,
+            };
+            for envelope in turn.outgoing {
+                if !injected && envelope.topic.starts_with(replay_topic) {
+                    injected = true;
+                    runtime.enqueue(envelope.clone()).unwrap();
+                }
+                runtime.enqueue(envelope).unwrap();
+            }
+            if runtime.is_done() {
+                panic!("session completed despite the replayed '{replay_topic}' envelope");
+            }
+        }
+        panic!("session neither completed nor rejected the replay");
+    }
+
+    /// Replayed envelopes (duplicated by a buggy or malicious transport)
+    /// must fail the session loudly instead of double-counting completion
+    /// gates and publishing a silently wrong clustering.
+    #[test]
+    fn replayed_envelopes_are_rejected_not_double_counted() {
+        for topic in ["local/", "clustering-choice", "categorical/"] {
+            let err = run_with_replay(topic);
+            assert!(
+                err.to_string().contains("twice"),
+                "replaying '{topic}' produced the wrong error: {err}"
+            );
+        }
+        let err = run_with_replay("numeric/");
+        assert!(
+            err.to_string().contains("duplicate") || err.to_string().contains("twice"),
+            "replaying a numeric envelope produced the wrong error: {err}"
+        );
+    }
+
+    /// A pairwise result replayed under a transposed pair tag (`k-j` for a
+    /// canonical `j-k` initiation) must be rejected outright — it would
+    /// otherwise bypass per-pair deduplication and decrement the
+    /// completion gate for a pair that never ran.
+    #[test]
+    fn transposed_pair_tags_are_rejected() {
+        let mut runtime = SessionRuntime::build(&spec(77, None), String::new()).unwrap();
+        for _ in 0..10_000 {
+            let turn = runtime.turn().unwrap();
+            for envelope in turn.outgoing {
+                if let Some(rest) = envelope.topic.strip_prefix("numeric/") {
+                    if rest.ends_with("/pairwise") {
+                        let mut transposed = envelope.clone();
+                        let parts: Vec<&str> = rest.split('/').collect();
+                        let (j, k) = parts[1].split_once('-').unwrap();
+                        transposed.topic = format!("numeric/{}/{k}-{j}/pairwise", parts[0]);
+                        runtime.enqueue(transposed).unwrap();
+                        runtime.enqueue(envelope).unwrap();
+                        loop {
+                            match runtime.turn() {
+                                Ok(_) => assert!(
+                                    !runtime.is_done(),
+                                    "session completed despite the transposed pair tag"
+                                ),
+                                Err(err) => {
+                                    assert!(
+                                        err.to_string().contains("canonical"),
+                                        "wrong error: {err}"
+                                    );
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+                runtime.enqueue(envelope).unwrap();
+            }
+        }
+        panic!("no pairwise envelope was ever emitted");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Each data holder compares its own objects in the clear — the third party
 //! never needs to intervene for intra-site pairs — and ships the resulting
 //! local matrix to the third party. Publishing a local dissimilarity matrix
-//! leaks no private values (the paper cites the proof of [3]: given only the
+//! leaks no private values (the paper cites the proof of \[3\]: given only the
 //! distance between two secret points there are infinitely many candidate
 //! pairs).
 

@@ -22,7 +22,7 @@
 //! accumulator on arrival, and no party ever materialises more than `w`
 //! rows of any cross-site block.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use ppc_cluster::{CondensedDistanceMatrix, MergeAccumulator};
 use ppc_crypto::det::Tag128;
@@ -870,6 +870,10 @@ struct AttrProgress {
     locals_pending: usize,
     pairs_pending: usize,
     pairs: HashMap<(u32, u32), PairProgress>,
+    /// Sites whose local matrix has been folded (duplicate rejection).
+    locals_received: BTreeSet<u32>,
+    /// Pairs whose cross-site block has completed (duplicate rejection).
+    pairs_done: BTreeSet<(u32, u32)>,
     complete: bool,
 }
 
@@ -887,6 +891,10 @@ pub struct ThirdPartyMachine {
     keys: ThirdPartyKeys,
     index: ObjectIndex,
     site_sizes: Vec<(u32, usize)>,
+    /// Canonical initiation pairs (earlier site-list position initiates to
+    /// later), the only pair tags the machine accepts: a transposed tag
+    /// would otherwise bypass deduplication and fold into wrong ranges.
+    expected_pairs: BTreeSet<(u32, u32)>,
     attrs: Vec<AttrProgress>,
     /// Completed attribute matrices not yet folded/retained, keyed by
     /// attribute index (attributes can complete slightly out of schema
@@ -897,7 +905,9 @@ pub struct ThirdPartyMachine {
     retained: Vec<Option<AttributeDissimilarity>>,
     merge: MergeAccumulator,
     agreed: Option<ClusteringRequest>,
-    choices: usize,
+    /// Sites whose clustering choice has arrived (duplicate rejection: the
+    /// all-holders gate must count distinct holders, not messages).
+    choice_sites: BTreeSet<u32>,
     outcome: Option<(ClusteringResult, DissimilarityMatrix)>,
     publish_pending: bool,
     done: bool,
@@ -922,6 +932,12 @@ impl ThirdPartyMachine {
         }
         let holder_count = site_sizes.len();
         let pair_count = holder_count * (holder_count - 1) / 2;
+        let mut expected_pairs = BTreeSet::new();
+        for (i, &(initiator, _)) in site_sizes.iter().enumerate() {
+            for &(responder, _) in site_sizes.iter().skip(i + 1) {
+                expected_pairs.insert((initiator, responder));
+            }
+        }
         let attrs = ctx
             .schema
             .attributes()
@@ -935,6 +951,8 @@ impl ThirdPartyMachine {
                 locals_pending: holder_count,
                 pairs_pending: pair_count,
                 pairs: HashMap::new(),
+                locals_received: BTreeSet::new(),
+                pairs_done: BTreeSet::new(),
                 complete: false,
             })
             .collect();
@@ -945,13 +963,14 @@ impl ThirdPartyMachine {
             keys,
             index,
             site_sizes: site_sizes.to_vec(),
+            expected_pairs,
             attrs,
             finished: BTreeMap::new(),
             next_fold: 0,
             retained: (0..attr_count).map(|_| None).collect(),
             merge: MergeAccumulator::new(n),
             agreed: None,
-            choices: 0,
+            choice_sites: BTreeSet::new(),
             outcome: None,
             publish_pending: false,
             done: false,
@@ -1069,13 +1088,30 @@ impl ThirdPartyMachine {
             .unwrap_or(&envelope.topic)
             .to_string();
         if topic == "clustering-choice" {
+            let site = match envelope.from {
+                PartyId::DataHolder(site) => site,
+                PartyId::ThirdParty => {
+                    return Err(CoreError::Protocol(
+                        "third party cannot send itself a clustering choice".into(),
+                    ))
+                }
+            };
+            if !self.site_sizes.iter().any(|&(s, _)| s == site) {
+                return Err(CoreError::Protocol(format!(
+                    "clustering choice from unknown site {site}"
+                )));
+            }
             let decoded = ClusteringChoiceMsg::decode(&envelope.payload)?;
             self.agreed = Some(ClusteringRequest {
                 weights: WeightVector::new(decoded.weights.clone())?,
                 linkage: parse_linkage(&decoded.linkage)?,
                 num_clusters: decoded.num_clusters as usize,
             });
-            self.choices += 1;
+            if !self.choice_sites.insert(site) {
+                return Err(CoreError::Protocol(format!(
+                    "site {site} sent its clustering choice twice"
+                )));
+            }
             return self.try_cluster();
         }
         if let Some(attr_name) = topic.strip_prefix("categorical/") {
@@ -1096,6 +1132,7 @@ impl ThirdPartyMachine {
             let (attr_name, tag, kind) = split_pair_topic(rest)?;
             let attribute = attribute_index(&self.ctx.schema, attr_name)?;
             let pair = parse_pair_tag(tag)?;
+            self.check_expected_pair(pair)?;
             return match kind {
                 "pairwise" => self.on_numeric_whole(attribute, pair, envelope),
                 "pairwise-chunk" => self.on_numeric_chunk(attribute, pair, envelope),
@@ -1108,6 +1145,7 @@ impl ThirdPartyMachine {
             let (attr_name, tag, kind) = split_pair_topic(rest)?;
             let attribute = attribute_index(&self.ctx.schema, attr_name)?;
             let pair = parse_pair_tag(tag)?;
+            self.check_expected_pair(pair)?;
             return match kind {
                 "ccms" => self.on_alpha_whole(attribute, pair, envelope),
                 "ccms-chunk" => self.on_alpha_chunk(attribute, pair, envelope),
@@ -1142,7 +1180,11 @@ impl ThirdPartyMachine {
             })
             .collect();
         let attr = &mut self.attrs[attribute];
-        attr.columns.insert(pos, tags);
+        if attr.complete || attr.columns.insert(pos, tags).is_some() {
+            return Err(CoreError::Protocol(format!(
+                "site {site} sent its encrypted column twice for attribute {attribute}"
+            )));
+        }
         if attr.columns.len() == self.site_sizes.len() {
             let columns: Vec<categorical::EncryptedColumn> = attr
                 .columns
@@ -1184,6 +1226,11 @@ impl ThirdPartyMachine {
                 matrix.set(range.start + i, range.start + j, local.get(i, j));
             }
         }
+        if !attr.locals_received.insert(site) {
+            return Err(CoreError::Protocol(format!(
+                "site {site} sent its local matrix twice for attribute {attribute}"
+            )));
+        }
         attr.locals_pending -= 1;
         self.check_pairwise_attr_complete(attribute)
     }
@@ -1219,8 +1266,28 @@ impl ThirdPartyMachine {
             .ok_or_else(|| CoreError::Protocol(format!("unknown site {responder}")))
     }
 
+    /// Rejects pair tags that are not canonical initiations (earlier
+    /// site-list position → later): a transposed or self-referential tag
+    /// would bypass per-pair bookkeeping and fold into wrong ranges.
+    fn check_expected_pair(&self, pair: (u32, u32)) -> Result<(), CoreError> {
+        if self.expected_pairs.contains(&pair) {
+            Ok(())
+        } else {
+            Err(CoreError::Protocol(format!(
+                "unexpected pair tag {}-{}: not a canonical initiation pair",
+                pair.0, pair.1
+            )))
+        }
+    }
+
     fn complete_pair(&mut self, attribute: usize, pair: (u32, u32)) -> Result<(), CoreError> {
         let attr = &mut self.attrs[attribute];
+        if !attr.pairs_done.insert(pair) {
+            return Err(CoreError::Protocol(format!(
+                "duplicate pairwise result {}-{} for attribute {attribute}",
+                pair.0, pair.1
+            )));
+        }
         attr.pairs.remove(&pair);
         attr.pairs_pending -= 1;
         self.check_pairwise_attr_complete(attribute)
@@ -1488,7 +1555,7 @@ impl ThirdPartyMachine {
 
     fn try_cluster(&mut self) -> Result<(), CoreError> {
         if self.outcome.is_some()
-            || self.choices < self.site_sizes.len()
+            || self.choice_sites.len() < self.site_sizes.len()
             || self.attrs.iter().any(|a| !a.complete)
         {
             return Ok(());

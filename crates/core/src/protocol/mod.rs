@@ -17,7 +17,11 @@
 //! * [`engine::SessionEngine`] — the same machines multiplexed N sessions
 //!   at a time over any [`ppc_net::Transport`], with fair round-robin
 //!   scheduling and chunked attribute-block streaming that bounds every
-//!   party's buffering by a configurable window of pairwise rows.
+//!   party's buffering by a configurable window of pairwise rows;
+//! * [`sharded::ShardedEngine`] — N sessions hash-sharded across a pool of
+//!   worker threads, one [`ppc_net::WaitTransport`] per shard, parking idle
+//!   shards in condvar-blocking receives; the deployable tier that runs
+//!   over real TCP / Unix-domain sockets.
 
 pub mod alphanumeric;
 pub mod categorical;
@@ -29,6 +33,7 @@ pub mod messages;
 pub mod numeric;
 pub mod party;
 pub mod session;
+pub mod sharded;
 
 use serde::{Deserialize, Serialize};
 

@@ -26,7 +26,7 @@ use crate::codec::{WireReader, WireWriter};
 use crate::error::NetError;
 use crate::message::Envelope;
 use crate::party::PartyId;
-use crate::transport::Transport;
+use crate::transport::{Transport, WaitTransport};
 
 /// Upper bound on a single frame body; larger length prefixes are treated
 /// as stream corruption rather than honoured with a giant allocation.
@@ -35,7 +35,7 @@ pub const MAX_FRAME_BODY: usize = 1 << 30;
 const PARTY_HOLDER: u8 = 0;
 const PARTY_THIRD: u8 = 1;
 
-fn put_party(w: &mut WireWriter, party: PartyId) {
+pub(crate) fn put_party(w: &mut WireWriter, party: PartyId) {
     match party {
         PartyId::DataHolder(i) => {
             w.put_u8(PARTY_HOLDER).put_u32(i);
@@ -46,7 +46,7 @@ fn put_party(w: &mut WireWriter, party: PartyId) {
     }
 }
 
-fn get_party(r: &mut WireReader<'_>) -> Result<PartyId, NetError> {
+pub(crate) fn get_party(r: &mut WireReader<'_>) -> Result<PartyId, NetError> {
     let tag = r.get_u8()?;
     let index = r.get_u32()?;
     match tag {
@@ -57,17 +57,30 @@ fn get_party(r: &mut WireReader<'_>) -> Result<PartyId, NetError> {
 }
 
 /// Serialises an envelope into one length-prefixed frame.
-pub fn encode_frame(envelope: &Envelope) -> Vec<u8> {
+///
+/// Fails if the encoded body would exceed [`MAX_FRAME_BODY`] — the
+/// decoder treats such length prefixes as stream corruption, so emitting
+/// one would poison the link. Envelopes that large mean a whole-matrix
+/// transfer that should use chunked streaming (`chunk_rows`) instead.
+pub fn encode_frame(envelope: &Envelope) -> Result<Vec<u8>, NetError> {
     let mut body = WireWriter::with_capacity(14 + envelope.topic.len() + envelope.payload.len());
     put_party(&mut body, envelope.from);
     put_party(&mut body, envelope.to);
     body.put_str(&envelope.topic).put_bytes(&envelope.payload);
     let body = body.finish();
+    if body.len() > MAX_FRAME_BODY {
+        return Err(NetError::Io(format!(
+            "envelope on topic '{}' encodes to {} bytes, over the {MAX_FRAME_BODY}-byte frame \
+             cap; stream it in chunks instead",
+            envelope.topic,
+            body.len()
+        )));
+    }
     let mut frame = WireWriter::with_capacity(4 + body.len());
     frame.put_u32(body.len() as u32);
     let mut out = frame.finish();
     out.extend_from_slice(&body);
-    out
+    Ok(out)
 }
 
 /// Incremental decoder turning a byte stream back into envelopes.
@@ -189,7 +202,7 @@ impl<S: Read + Write> Transport for StreamTransport<S> {
         let link = links
             .get_mut(&envelope.to)
             .ok_or(NetError::UnknownParty(envelope.to))?;
-        let frame = encode_frame(&envelope);
+        let frame = encode_frame(&envelope)?;
         link.stream
             .write_all(&frame)
             .map_err(|e| NetError::Io(e.to_string()))
@@ -206,7 +219,18 @@ impl<S: Read + Write> Transport for StreamTransport<S> {
                 return Ok(Some(envelope));
             }
             match link.stream.read(&mut chunk) {
-                Ok(0) => return Ok(None),
+                // EOF on a frame boundary is a clean hangup; EOF with a
+                // partial frame buffered means the peer died mid-send.
+                Ok(0) => {
+                    return if link.decoder.buffered() == 0 {
+                        Ok(None)
+                    } else {
+                        Err(NetError::Io(format!(
+                            "peer {receiver} hung up mid-frame with {} bytes buffered",
+                            link.decoder.buffered()
+                        )))
+                    }
+                }
                 Ok(n) => link.decoder.feed(&chunk[..n]),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
                 Err(e) => return Err(NetError::Io(e.to_string())),
@@ -224,6 +248,11 @@ impl<S: Read + Write> Transport for StreamTransport<S> {
         Ok(())
     }
 }
+
+/// Raw framed streams have no wakeup primitive, so blocking receives fall
+/// back to the trait's short-interval poll. The socket transports in
+/// [`crate::socket`] provide the condvar-backed alternative.
+impl<S: Read + Write> WaitTransport for StreamTransport<S> {}
 
 #[derive(Debug, Default)]
 struct Pipe {
@@ -312,7 +341,7 @@ mod tests {
     #[test]
     fn frame_roundtrip_through_incremental_decoder() {
         let e = envelope("numeric/age/0-1/masked", vec![1, 2, 3, 4]);
-        let frame = encode_frame(&e);
+        let frame = encode_frame(&e).unwrap();
         let mut decoder = FrameDecoder::new();
         // Feed one byte at a time: no frame until the last byte lands.
         for (i, &b) in frame.iter().enumerate() {
@@ -337,7 +366,7 @@ mod tests {
     #[test]
     fn corrupt_party_tag_is_rejected() {
         let e = envelope("t", vec![]);
-        let mut frame = encode_frame(&e);
+        let mut frame = encode_frame(&e).unwrap();
         frame[4] = 9; // from-party tag
         let mut decoder = FrameDecoder::new();
         decoder.feed(&frame);

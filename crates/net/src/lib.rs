@@ -16,7 +16,11 @@
 //! * [`sim::SimulatedWan`] — a virtual-clock latency/bandwidth/loss wrapper
 //!   around any transport, for the cost experiments.
 //! * [`framed`] — length-prefixed envelope frames over `io::Read + Write`
-//!   byte streams, so real sockets can slot in later.
+//!   byte streams (the frame layout is specified in `docs/WIRE_FORMAT.md`).
+//! * [`socket`] — real TCP and Unix-domain bindings over those frames:
+//!   party-announcing handshake, condvar-waking [`socket::SocketTransport`],
+//!   connect/accept with [`socket::Backoff`], and a standalone frame router
+//!   for loopback and hub-and-spoke deployments.
 //! * [`eavesdrop::Eavesdropper`] — captures traffic on plaintext links,
 //!   used by the privacy experiments to demonstrate the inference the paper
 //!   warns about when channels are left unsecured.
@@ -37,6 +41,7 @@ pub mod message;
 pub mod metrics;
 pub mod party;
 pub mod sim;
+pub mod socket;
 pub mod transport;
 
 pub use codec::{WireReader, WireWriter};
@@ -48,4 +53,7 @@ pub use message::{ChannelSecurity, Envelope};
 pub use metrics::{CommReport, LinkStats};
 pub use party::PartyId;
 pub use sim::{SimulatedWan, WanProfile, WanStats};
-pub use transport::{Endpoint, Instrumented, Network, Transport};
+pub use socket::{Backoff, SocketTransport, TcpAcceptor, TcpRouter, TcpTransport};
+#[cfg(unix)]
+pub use socket::{UdsAcceptor, UdsRouter, UdsTransport};
+pub use transport::{Endpoint, Instrumented, Network, Transport, WaitTransport};

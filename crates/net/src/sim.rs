@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use crate::error::NetError;
 use crate::message::Envelope;
 use crate::party::PartyId;
-use crate::transport::Transport;
+use crate::transport::{Transport, WaitTransport};
 
 /// Link characteristics for the WAN model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -171,6 +171,18 @@ impl<T: Transport> Transport for SimulatedWan<T> {
 
     fn flush(&self) -> Result<(), NetError> {
         self.inner.flush()
+    }
+}
+
+impl<T: WaitTransport> WaitTransport for SimulatedWan<T> {
+    /// Costs are charged on the send side, so blocking receives delegate
+    /// straight to the wrapped transport's wait primitive.
+    fn receive_any_of(
+        &self,
+        receivers: &[PartyId],
+        timeout: std::time::Duration,
+    ) -> Result<Option<Envelope>, NetError> {
+        self.inner.receive_any_of(receivers, timeout)
     }
 }
 

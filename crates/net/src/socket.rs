@@ -1,0 +1,1427 @@
+//! Real socket bindings: TCP and Unix-domain transports, acceptors and a
+//! frame router.
+//!
+//! [`StreamTransport`](crate::framed::StreamTransport) frames envelopes over
+//! any byte stream but knows nothing about establishing connections. This
+//! module binds that framing to actual sockets and upgrades it to a
+//! condvar-waking, multi-link transport:
+//!
+//! * a **handshake** ([`HELLO_MAGIC`]) in which each endpoint announces the
+//!   set of parties it hosts, so peers and routers learn where to deliver;
+//! * [`SocketTransport`] — one framed stream per peer link, each drained by
+//!   a dedicated blocking reader thread into a condvar-signalled inbox, so
+//!   [`WaitTransport::receive_any_of`] parks without spinning;
+//! * [`Backoff`] — retry policy for transient connect/send errors
+//!   (connection refused while the peer is still binding, broken pipes on
+//!   links that can be re-dialled);
+//! * [`TcpAcceptor`] / [`UdsAcceptor`] — listener-side halves that complete
+//!   the handshake and attach the inbound stream to an existing transport;
+//! * [`TcpRouter`] / [`UdsRouter`] — a standalone frame router: every
+//!   connection announces its parties, and the router forwards each inbound
+//!   frame to the connection hosting `envelope.to` (preferring the
+//!   originating connection when it hosts the destination itself, which is
+//!   what makes single-process loopback benchmarks traverse a real socket).
+//!
+//! The wire format is specified normatively in `docs/WIRE_FORMAT.md` at the
+//! repository root; the frame layout is the one produced by
+//! [`encode_frame`].
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::codec::{WireReader, WireWriter};
+use crate::error::NetError;
+use crate::framed::{encode_frame, get_party, put_party, FrameDecoder};
+use crate::message::Envelope;
+use crate::party::PartyId;
+use crate::transport::{Transport, WaitTransport};
+
+/// First bytes of every connection: the handshake magic.
+pub const HELLO_MAGIC: [u8; 4] = *b"PPCH";
+
+/// Version byte following the magic; bumped on incompatible wire changes.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Retry policy for transient socket errors.
+///
+/// Used when dialling a peer that may not be listening yet (the classic
+/// distributed-startup race) and when re-dialling a link whose previous
+/// stream broke mid-run. Delays double from [`initial`](Self::initial) up
+/// to [`max_delay`](Self::max_delay), for at most
+/// [`max_attempts`](Self::max_attempts) attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the second attempt.
+    pub initial: Duration,
+    /// Upper bound any single delay is clamped to.
+    pub max_delay: Duration,
+    /// Total connection attempts (≥ 1) before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for Backoff {
+    /// 2 ms doubling to 250 ms, 12 attempts (~1.5 s worst case).
+    fn default() -> Self {
+        Backoff {
+            initial: Duration::from_millis(2),
+            max_delay: Duration::from_millis(250),
+            max_attempts: 12,
+        }
+    }
+}
+
+impl Backoff {
+    /// A policy that fails immediately on the first error.
+    pub fn none() -> Self {
+        Backoff {
+            initial: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            max_attempts: 1,
+        }
+    }
+
+    /// Runs `attempt` until it succeeds, a non-transient error occurs, or
+    /// the attempt budget is exhausted.
+    fn retry<T>(&self, mut attempt: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        let mut delay = self.initial;
+        let attempts = self.max_attempts.max(1);
+        let mut last_err = None;
+        for i in 0..attempts {
+            if i > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(self.max_delay);
+            }
+            match attempt() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
+}
+
+/// Errors worth retrying: the peer is not (yet / any more) there, but may
+/// come back.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::NotFound
+            | std::io::ErrorKind::NotConnected
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::AddrNotAvailable
+    )
+}
+
+/// Socket-like duplex streams the transport can split into a blocking
+/// reader half and a writer half.
+///
+/// Implemented for [`std::net::TcpStream`] and
+/// [`std::os::unix::net::UnixStream`]; both clones refer to the same OS
+/// socket, so shutting one down unblocks a reader parked in `read`.
+pub trait SocketStream: Read + Write + Send + Sized + 'static {
+    /// Clones the underlying OS handle.
+    fn try_clone_stream(&self) -> std::io::Result<Self>;
+    /// Shuts down both directions.
+    fn shutdown_stream(&self) -> std::io::Result<()>;
+    /// Sets or clears the read timeout (used to bound the handshake).
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl SocketStream for TcpStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+
+    fn shutdown_stream(&self) -> std::io::Result<()> {
+        self.shutdown(Shutdown::Both)
+    }
+
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+#[cfg(unix)]
+impl SocketStream for std::os::unix::net::UnixStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+
+    fn shutdown_stream(&self) -> std::io::Result<()> {
+        self.shutdown(Shutdown::Both)
+    }
+
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+/// Serialises a hello announcing `parties` (see `docs/WIRE_FORMAT.md` §3).
+fn encode_hello(parties: &BTreeSet<PartyId>) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(6 + parties.len() * 5);
+    for &b in &HELLO_MAGIC {
+        w.put_u8(b);
+    }
+    w.put_u8(WIRE_VERSION);
+    w.put_u8(parties.len() as u8);
+    for &party in parties {
+        put_party(&mut w, party);
+    }
+    w.finish()
+}
+
+/// Blocking handshake: writes our hello, reads and validates the peer's,
+/// returning the party set the peer announced.
+fn exchange_hello<S: SocketStream>(
+    stream: &mut S,
+    locals: &BTreeSet<PartyId>,
+) -> Result<BTreeSet<PartyId>, NetError> {
+    if locals.len() > u8::MAX as usize {
+        return Err(NetError::Io(format!(
+            "an endpoint may announce at most 255 parties, got {}",
+            locals.len()
+        )));
+    }
+    let io_err = |e: std::io::Error| NetError::Io(format!("handshake failed: {e}"));
+    stream
+        .set_stream_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(io_err)?;
+    stream.write_all(&encode_hello(locals)).map_err(io_err)?;
+    stream.flush().map_err(io_err)?;
+
+    let mut header = [0u8; 6];
+    stream.read_exact(&mut header).map_err(io_err)?;
+    if header[..4] != HELLO_MAGIC {
+        return Err(NetError::Decode(format!(
+            "bad handshake magic {:02x?} (expected {HELLO_MAGIC:02x?})",
+            &header[..4]
+        )));
+    }
+    if header[4] != WIRE_VERSION {
+        return Err(NetError::Decode(format!(
+            "peer speaks wire version {}, this build speaks {WIRE_VERSION}",
+            header[4]
+        )));
+    }
+    let count = header[5] as usize;
+    let mut body = vec![0u8; count * 5];
+    stream.read_exact(&mut body).map_err(io_err)?;
+    let mut r = WireReader::new(&body);
+    let mut parties = BTreeSet::new();
+    for _ in 0..count {
+        parties.insert(get_party(&mut r)?);
+    }
+    stream.set_stream_read_timeout(None).map_err(io_err)?;
+    Ok(parties)
+}
+
+/// A peer link: the writer half plus routing metadata. The reader half
+/// lives on a dedicated thread.
+struct Link<S> {
+    /// Parties the peer announced in its hello.
+    peer_parties: BTreeSet<PartyId>,
+    /// Whether this link is a default route (the peer announced no parties
+    /// of its own, i.e. it is a router).
+    gateway: bool,
+    /// Writer half behind its own lock, so a blocking write on one link
+    /// never stalls routing, flushing or other links' sends.
+    writer: Arc<Mutex<S>>,
+    /// OS-handle clone used for shutdown, reachable without taking the
+    /// writer lock (a writer blocked in `write_all` holds that lock).
+    control: S,
+    /// Address to re-dial if the stream breaks (outbound links only).
+    redial: Option<RedialTarget>,
+    /// Set when this link's stream is replaced by a re-dial, so the stale
+    /// reader's death doesn't poison the fresh link with a fatal error.
+    reader_retired: Arc<AtomicBool>,
+}
+
+/// How to re-establish an outbound link.
+#[derive(Debug, Clone)]
+enum RedialTarget {
+    /// TCP peer address.
+    Tcp(SocketAddr),
+    /// Unix-domain socket path.
+    #[cfg(unix)]
+    Uds(std::path::PathBuf),
+}
+
+/// A fatal error recorded by one link's reader thread, tagged with that
+/// reader's retirement token so a re-dial can clear exactly its own
+/// link's error and never erase another link's.
+#[derive(Debug)]
+struct LinkFailure {
+    token: Arc<AtomicBool>,
+    error: NetError,
+}
+
+/// Shared mailbox state behind the transport's condvar.
+#[derive(Debug, Default)]
+struct SocketInbox {
+    queues: HashMap<PartyId, VecDeque<Envelope>>,
+    /// First fatal link error; surfaced by `try_receive` once the queues
+    /// drain so already-delivered envelopes are not lost.
+    failed: Option<LinkFailure>,
+}
+
+/// A [`Transport`] over real sockets, one framed stream per peer link.
+///
+/// Every link's reader half runs on its own thread doing blocking reads;
+/// decoded envelopes land in a per-party inbox guarded by a mutex and
+/// signalled through a condvar, so [`receive_any_of`] parks idle workers
+/// without polling. Sends route by `envelope.to`: a link whose peer
+/// announced the party wins, then a gateway (router) link, then — for
+/// parties this endpoint hosts itself — the local inbox.
+///
+/// Use the aliases [`TcpTransport`] and [`UdsTransport`]; construction goes
+/// through [`TcpTransport::connect`] / [`TcpAcceptor::accept_into`] and the
+/// UDS equivalents.
+///
+/// [`receive_any_of`]: WaitTransport::receive_any_of
+pub struct SocketTransport<S: SocketStream> {
+    locals: BTreeSet<PartyId>,
+    inbox: Arc<Mutex<SocketInbox>>,
+    arrivals: Arc<Condvar>,
+    links: Mutex<Vec<Link<S>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    shutting_down: Arc<AtomicBool>,
+    /// Policy for re-dialling broken outbound links at send time.
+    reconnect: Backoff,
+}
+
+impl<S: SocketStream> std::fmt::Debug for SocketTransport<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketTransport")
+            .field("locals", &self.locals)
+            .field("links", &self.links.lock().len())
+            .finish()
+    }
+}
+
+impl<S: SocketStream> SocketTransport<S> {
+    /// Creates a transport hosting `locals` with no peer links yet.
+    pub fn new(locals: impl IntoIterator<Item = PartyId>) -> Self {
+        let locals: BTreeSet<PartyId> = locals.into_iter().collect();
+        let mut inbox = SocketInbox::default();
+        for &party in &locals {
+            inbox.queues.insert(party, VecDeque::new());
+        }
+        SocketTransport {
+            locals,
+            inbox: Arc::new(Mutex::new(inbox)),
+            arrivals: Arc::new(Condvar::new()),
+            links: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            reconnect: Backoff::default(),
+        }
+    }
+
+    /// Overrides the send-time re-dial policy (default: [`Backoff::default`]).
+    pub fn set_reconnect_policy(&mut self, policy: Backoff) {
+        self.reconnect = policy;
+    }
+
+    /// The parties this endpoint hosts.
+    pub fn locals(&self) -> &BTreeSet<PartyId> {
+        &self.locals
+    }
+
+    /// Number of live peer links.
+    pub fn link_count(&self) -> usize {
+        self.links.lock().len()
+    }
+
+    /// Attaches a connected, handshaken stream as a peer link and spawns
+    /// its reader thread.
+    fn attach_link(
+        &self,
+        stream: S,
+        peer_parties: BTreeSet<PartyId>,
+        redial: Option<RedialTarget>,
+    ) -> Result<(), NetError> {
+        let reader = stream
+            .try_clone_stream()
+            .map_err(|e| NetError::Io(format!("cannot split stream: {e}")))?;
+        let control = stream
+            .try_clone_stream()
+            .map_err(|e| NetError::Io(format!("cannot split stream: {e}")))?;
+        let gateway = peer_parties.is_empty();
+        let reader_retired = Arc::new(AtomicBool::new(false));
+        self.links.lock().push(Link {
+            peer_parties,
+            gateway,
+            writer: Arc::new(Mutex::new(stream)),
+            control,
+            redial,
+            reader_retired: Arc::clone(&reader_retired),
+        });
+        let handle = spawn_reader(
+            reader,
+            Arc::clone(&self.inbox),
+            Arc::clone(&self.arrivals),
+            Arc::clone(&self.shutting_down),
+            reader_retired,
+        );
+        let mut readers = self.readers.lock();
+        readers.retain(|h| !h.is_finished());
+        readers.push(handle);
+        Ok(())
+    }
+
+    /// Delivers an envelope into the local inbox and wakes waiters.
+    fn deliver_local(&self, envelope: Envelope) {
+        let mut inbox = self.inbox.lock();
+        inbox
+            .queues
+            .entry(envelope.to)
+            .or_default()
+            .push_back(envelope);
+        drop(inbox);
+        self.arrivals.notify_all();
+    }
+
+    /// Index of the link that should carry traffic for `to`, if any.
+    fn route(links: &[Link<S>], to: PartyId) -> Option<usize> {
+        links
+            .iter()
+            .position(|l| l.peer_parties.contains(&to))
+            .or_else(|| links.iter().position(|l| l.gateway))
+    }
+
+    /// Re-dials a broken outbound link in place, replacing its stream and
+    /// spawning a fresh reader. Envelopes written into the dead stream are
+    /// lost (TCP offers at-most-once per write); higher layers detect the
+    /// resulting stall and restart the affected sessions.
+    fn redial_link(&self, links: &mut [Link<S>], index: usize) -> Result<(), NetError>
+    where
+        S: Redial,
+    {
+        let target = links[index]
+            .redial
+            .clone()
+            .ok_or_else(|| NetError::Io("link broke and cannot be re-dialled".into()))?;
+        let mut stream = self
+            .reconnect
+            .retry(|| S::redial(&target))
+            .map_err(|e| NetError::Io(format!("reconnect failed: {e}")))?;
+        let peer_parties = exchange_hello(&mut stream, &self.locals)?;
+        let reader = stream
+            .try_clone_stream()
+            .map_err(|e| NetError::Io(format!("cannot split stream: {e}")))?;
+        let control = stream
+            .try_clone_stream()
+            .map_err(|e| NetError::Io(format!("cannot split stream: {e}")))?;
+        // Retire the dead stream's reader before it can record a fatal
+        // error against the fresh link.
+        let old_token = Arc::clone(&links[index].reader_retired);
+        old_token.store(true, Ordering::SeqCst);
+        let reader_retired = Arc::new(AtomicBool::new(false));
+        links[index] = Link {
+            gateway: peer_parties.is_empty(),
+            peer_parties,
+            writer: Arc::new(Mutex::new(stream)),
+            control,
+            redial: Some(target),
+            reader_retired: Arc::clone(&reader_retired),
+        };
+        // A fresh link invalidates a fatal error *this* link's dead reader
+        // left — never one recorded by a different link's reader.
+        {
+            let mut inbox = self.inbox.lock();
+            if let Some(failure) = &inbox.failed {
+                if Arc::ptr_eq(&failure.token, &old_token) {
+                    inbox.failed = None;
+                }
+            }
+        }
+        let handle = spawn_reader(
+            reader,
+            Arc::clone(&self.inbox),
+            Arc::clone(&self.arrivals),
+            Arc::clone(&self.shutting_down),
+            reader_retired,
+        );
+        let mut readers = self.readers.lock();
+        readers.retain(|h| !h.is_finished());
+        readers.push(handle);
+        Ok(())
+    }
+
+    /// Tears down every link: shuts the sockets down (unblocking reader
+    /// threads) and joins them. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for link in self.links.lock().iter() {
+            let _ = link.control.shutdown_stream();
+        }
+        let handles: Vec<JoinHandle<()>> = self.readers.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.arrivals.notify_all();
+    }
+}
+
+impl<S: SocketStream> Drop for SocketTransport<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Streams that know how to re-establish themselves from a [`RedialTarget`].
+trait Redial: SocketStream {
+    fn redial(target: &RedialTarget) -> std::io::Result<Self>;
+}
+
+impl Redial for TcpStream {
+    fn redial(target: &RedialTarget) -> std::io::Result<Self> {
+        match target {
+            RedialTarget::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Ok(stream)
+            }
+            #[cfg(unix)]
+            RedialTarget::Uds(_) => Err(std::io::Error::other("TCP link with a UDS target")),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Redial for std::os::unix::net::UnixStream {
+    fn redial(target: &RedialTarget) -> std::io::Result<Self> {
+        match target {
+            RedialTarget::Uds(path) => std::os::unix::net::UnixStream::connect(path),
+            RedialTarget::Tcp(_) => Err(std::io::Error::other("UDS link with a TCP target")),
+        }
+    }
+}
+
+/// Spawns the blocking reader loop for one link.
+fn spawn_reader<S: SocketStream>(
+    mut stream: S,
+    inbox: Arc<Mutex<SocketInbox>>,
+    arrivals: Arc<Condvar>,
+    shutting_down: Arc<AtomicBool>,
+    retired: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut decoder = FrameDecoder::new();
+        let mut buf = [0u8; 16 * 1024];
+        let token = Arc::clone(&retired);
+        let fail = move |inbox: &Mutex<SocketInbox>, arrivals: &Condvar, err: NetError| {
+            let mut guard = inbox.lock();
+            if guard.failed.is_none() {
+                guard.failed = Some(LinkFailure {
+                    token: Arc::clone(&token),
+                    error: err,
+                });
+            }
+            drop(guard);
+            arrivals.notify_all();
+        };
+        let silenced = |shutting_down: &AtomicBool, retired: &AtomicBool| {
+            shutting_down.load(Ordering::SeqCst) || retired.load(Ordering::SeqCst)
+        };
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    if decoder.buffered() > 0 && !silenced(&shutting_down, &retired) {
+                        fail(
+                            &inbox,
+                            &arrivals,
+                            NetError::Io(format!(
+                                "peer hung up mid-frame with {} bytes buffered",
+                                decoder.buffered()
+                            )),
+                        );
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    decoder.feed(&buf[..n]);
+                    let mut delivered = false;
+                    loop {
+                        match decoder.next_frame() {
+                            Ok(Some(envelope)) => {
+                                let mut guard = inbox.lock();
+                                guard
+                                    .queues
+                                    .entry(envelope.to)
+                                    .or_default()
+                                    .push_back(envelope);
+                                delivered = true;
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                fail(&inbox, &arrivals, e);
+                                return;
+                            }
+                        }
+                    }
+                    if delivered {
+                        arrivals.notify_all();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Reader streams are blocking; WouldBlock only appears
+                    // if a handshake read timeout leaked through. Retry.
+                    continue;
+                }
+                Err(e) => {
+                    if !silenced(&shutting_down, &retired) {
+                        fail(&inbox, &arrivals, NetError::Io(e.to_string()));
+                    }
+                    return;
+                }
+            }
+        }
+    })
+}
+
+impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
+    fn send(&self, envelope: Envelope) -> Result<(), NetError> {
+        // Resolve the route under the global lock, then write under the
+        // link's own lock so one slow peer never stalls the others.
+        let routed = {
+            let links = self.links.lock();
+            Self::route(&links, envelope.to).map(|index| {
+                (
+                    index,
+                    Arc::clone(&links[index].writer),
+                    links[index].redial.is_some(),
+                )
+            })
+        };
+        let (index, writer, can_redial) = match routed {
+            Some(route) => route,
+            None if self.locals.contains(&envelope.to) => {
+                self.deliver_local(envelope);
+                return Ok(());
+            }
+            None => return Err(NetError::UnknownParty(envelope.to)),
+        };
+        let frame = encode_frame(&envelope)?;
+        let write_error = match writer.lock().write_all(&frame) {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        if !(is_transient(&write_error) && can_redial) {
+            return Err(NetError::Io(write_error.to_string()));
+        }
+        // The stream died under us. Re-dial with backoff (under the global
+        // lock: redials are rare and must not race each other) and retry
+        // the write once on the current stream — a concurrent sender may
+        // have already replaced it.
+        let mut links = self.links.lock();
+        let fresh = Arc::clone(&links[index].writer);
+        if Arc::ptr_eq(&fresh, &writer) {
+            self.redial_link(&mut links, index)?;
+        }
+        let fresh = Arc::clone(&links[index].writer);
+        drop(links);
+        let result = fresh.lock().write_all(&frame);
+        result.map_err(|e| NetError::Io(e.to_string()))
+    }
+
+    fn try_receive(&self, receiver: PartyId) -> Result<Option<Envelope>, NetError> {
+        if !self.locals.contains(&receiver) {
+            return Err(NetError::UnknownParty(receiver));
+        }
+        let mut inbox = self.inbox.lock();
+        if let Some(envelope) = inbox
+            .queues
+            .get_mut(&receiver)
+            .and_then(VecDeque::pop_front)
+        {
+            return Ok(Some(envelope));
+        }
+        match &inbox.failed {
+            Some(failure) => Err(failure.error.clone()),
+            None => Ok(None),
+        }
+    }
+
+    fn flush(&self) -> Result<(), NetError> {
+        let writers: Vec<Arc<Mutex<S>>> = self
+            .links
+            .lock()
+            .iter()
+            .map(|link| Arc::clone(&link.writer))
+            .collect();
+        for writer in writers {
+            writer
+                .lock()
+                .flush()
+                .map_err(|e| NetError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
+}
+
+impl<S: SocketStream + Redial> WaitTransport for SocketTransport<S> {
+    /// Parks on the inbox condvar; reader threads wake it on every frame.
+    fn receive_any_of(
+        &self,
+        receivers: &[PartyId],
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, NetError> {
+        for &receiver in receivers {
+            if !self.locals.contains(&receiver) {
+                return Err(NetError::UnknownParty(receiver));
+            }
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inbox = self.inbox.lock();
+        loop {
+            for &receiver in receivers {
+                if let Some(envelope) = inbox
+                    .queues
+                    .get_mut(&receiver)
+                    .and_then(VecDeque::pop_front)
+                {
+                    return Ok(Some(envelope));
+                }
+            }
+            if let Some(failure) = &inbox.failed {
+                return Err(failure.error.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (guard, _) = self.arrivals.wait_timeout(inbox, deadline - now);
+            inbox = guard;
+        }
+    }
+}
+
+/// [`SocketTransport`] over TCP.
+pub type TcpTransport = SocketTransport<TcpStream>;
+
+/// [`SocketTransport`] over Unix-domain sockets.
+#[cfg(unix)]
+pub type UdsTransport = SocketTransport<std::os::unix::net::UnixStream>;
+
+impl TcpTransport {
+    /// Dials `addr` with `backoff`, handshakes, and attaches the link.
+    ///
+    /// Returns the party set the peer announced (empty for a router, which
+    /// makes the link the default route). `TCP_NODELAY` is enabled: the
+    /// protocol exchanges many small request/response frames and Nagle
+    /// batching would serialise every round trip.
+    pub fn connect(
+        &self,
+        addr: impl ToSocketAddrs,
+        backoff: &Backoff,
+    ) -> Result<BTreeSet<PartyId>, NetError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| NetError::Io(format!("bad address: {e}")))?
+            .next()
+            .ok_or_else(|| NetError::Io("address resolved to nothing".into()))?;
+        let mut stream = backoff
+            .retry(|| {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Ok(stream)
+            })
+            .map_err(|e| NetError::Io(format!("connect to {addr} failed: {e}")))?;
+        let peer_parties = exchange_hello(&mut stream, &self.locals)?;
+        self.attach_link(stream, peer_parties.clone(), Some(RedialTarget::Tcp(addr)))?;
+        Ok(peer_parties)
+    }
+}
+
+#[cfg(unix)]
+impl UdsTransport {
+    /// Dials the Unix-domain socket at `path` with `backoff`, handshakes,
+    /// and attaches the link. Returns the peer's announced party set.
+    pub fn connect(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        backoff: &Backoff,
+    ) -> Result<BTreeSet<PartyId>, NetError> {
+        let path = path.as_ref().to_path_buf();
+        let mut stream = backoff
+            .retry(|| std::os::unix::net::UnixStream::connect(&path))
+            .map_err(|e| NetError::Io(format!("connect to {} failed: {e}", path.display())))?;
+        let peer_parties = exchange_hello(&mut stream, &self.locals)?;
+        self.attach_link(stream, peer_parties.clone(), Some(RedialTarget::Uds(path)))?;
+        Ok(peer_parties)
+    }
+}
+
+/// Listener-side half of a TCP link: accepts one connection at a time and
+/// attaches it to an existing [`TcpTransport`].
+#[derive(Debug)]
+pub struct TcpAcceptor {
+    listener: TcpListener,
+}
+
+impl TcpAcceptor {
+    /// Binds `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| NetError::Io(format!("bind failed: {e}")))?;
+        Ok(TcpAcceptor { listener })
+    }
+
+    /// The bound address (interesting when binding port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| NetError::Io(e.to_string()))
+    }
+
+    /// Blocks for one inbound connection, completes the handshake on
+    /// behalf of `transport`, and attaches the stream as a peer link.
+    /// Returns the party set the peer announced.
+    pub fn accept_into(&self, transport: &TcpTransport) -> Result<BTreeSet<PartyId>, NetError> {
+        let (mut stream, _) = self
+            .listener
+            .accept()
+            .map_err(|e| NetError::Io(format!("accept failed: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        let peer_parties = exchange_hello(&mut stream, transport.locals())?;
+        transport.attach_link(stream, peer_parties.clone(), None)?;
+        Ok(peer_parties)
+    }
+}
+
+/// Listener-side half of a Unix-domain link; see [`TcpAcceptor`].
+#[cfg(unix)]
+#[derive(Debug)]
+pub struct UdsAcceptor {
+    listener: std::os::unix::net::UnixListener,
+}
+
+#[cfg(unix)]
+impl UdsAcceptor {
+    /// Binds the socket file at `path` (removing a stale one first).
+    pub fn bind(path: impl AsRef<std::path::Path>) -> Result<Self, NetError> {
+        let path = path.as_ref();
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)
+            .map_err(|e| NetError::Io(format!("bind {} failed: {e}", path.display())))?;
+        Ok(UdsAcceptor { listener })
+    }
+
+    /// Blocks for one inbound connection, handshakes on behalf of
+    /// `transport`, and attaches it. Returns the peer's announced parties.
+    pub fn accept_into(&self, transport: &UdsTransport) -> Result<BTreeSet<PartyId>, NetError> {
+        let (mut stream, _) = self
+            .listener
+            .accept()
+            .map_err(|e| NetError::Io(format!("accept failed: {e}")))?;
+        let peer_parties = exchange_hello(&mut stream, transport.locals())?;
+        transport.attach_link(stream, peer_parties.clone(), None)?;
+        Ok(peer_parties)
+    }
+}
+
+/// One router connection: who it hosts and its guarded writer half.
+struct RouterPeer<S> {
+    parties: BTreeSet<PartyId>,
+    writer: Mutex<S>,
+}
+
+/// Shared router state: connections and drop accounting.
+struct RouterState<S> {
+    peers: Mutex<Vec<Arc<RouterPeer<S>>>>,
+    unroutable: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+/// A standalone frame router.
+///
+/// Every inbound connection handshakes and announces the parties it hosts;
+/// the router then forwards each received frame to the connection hosting
+/// `envelope.to`. A connection that itself hosts the destination gets its
+/// own frames reflected back — so N single-process endpoints can share one
+/// router without their identically-named parties colliding, and loopback
+/// benchmarks genuinely traverse the kernel's TCP stack. Frames for parties
+/// no connection hosts are counted and dropped (senders observe the loss as
+/// a session stall, the same failure mode as a crashed peer).
+///
+/// Use via the aliases [`TcpRouter`] / [`UdsRouter`].
+pub struct SocketRouter<S: SocketStream> {
+    state: Arc<RouterState<S>>,
+    accept_thread: Option<JoinHandle<()>>,
+    reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown_listener: Box<dyn Fn() + Send + Sync>,
+}
+
+impl<S: SocketStream> std::fmt::Debug for SocketRouter<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketRouter")
+            .field("connections", &self.state.peers.lock().len())
+            .field("unroutable", &self.unroutable_frames())
+            .finish()
+    }
+}
+
+impl<S: SocketStream> SocketRouter<S> {
+    /// Frames dropped because no connection hosted their destination.
+    pub fn unroutable_frames(&self) -> u64 {
+        self.state.unroutable.load(Ordering::Relaxed)
+    }
+
+    /// Live connections.
+    pub fn connection_count(&self) -> usize {
+        self.state.peers.lock().len()
+    }
+
+    /// Stops accepting, closes every connection and joins all threads.
+    pub fn shutdown(&mut self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        (self.shutdown_listener)();
+        for peer in self.state.peers.lock().iter() {
+            let _ = peer.writer.lock().shutdown_stream();
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = self.reader_threads.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S: SocketStream> Drop for SocketRouter<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Handles one accepted router connection: handshake, register, then pump
+/// frames to their destinations until the stream closes.
+fn router_serve_connection<S: SocketStream>(mut stream: S, state: &RouterState<S>) {
+    // The router announces no parties of its own: an empty hello is what
+    // marks the link as a gateway on the client side.
+    let announced = match exchange_hello(&mut stream, &BTreeSet::new()) {
+        Ok(parties) => parties,
+        Err(_) => return,
+    };
+    let reader = match stream.try_clone_stream() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let peer = Arc::new(RouterPeer {
+        parties: announced,
+        writer: Mutex::new(stream),
+    });
+    state.peers.lock().push(Arc::clone(&peer));
+    pump_router_frames(reader, &peer, state);
+    // The connection is gone: drop it from the routing table so a stale
+    // entry can never shadow a reconnected peer announcing the same
+    // parties (lookups take the first match), and long-lived routers
+    // don't leak an entry per dropped connection.
+    state.peers.lock().retain(|p| !Arc::ptr_eq(p, &peer));
+}
+
+/// Reads `peer`'s frames until its stream closes, forwarding each to the
+/// connection hosting its destination.
+fn pump_router_frames<S: SocketStream>(
+    mut reader: S,
+    peer: &Arc<RouterPeer<S>>,
+    state: &RouterState<S>,
+) {
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                decoder.feed(&buf[..n]);
+                loop {
+                    let envelope = match decoder.next_frame() {
+                        Ok(Some(envelope)) => envelope,
+                        Ok(None) => break,
+                        // Corrupt framing (e.g. an over-cap length prefix
+                        // that is never consumed): close the connection
+                        // instead of spinning on a growing buffer.
+                        Err(_) => return,
+                    };
+                    // Prefer reflecting to the originating connection when
+                    // it hosts the destination itself; otherwise look the
+                    // destination up across all connections.
+                    let target = if peer.parties.contains(&envelope.to) {
+                        Some(Arc::clone(peer))
+                    } else {
+                        state
+                            .peers
+                            .lock()
+                            .iter()
+                            .find(|p| p.parties.contains(&envelope.to))
+                            .cloned()
+                    };
+                    // Re-encoding a frame the decoder just accepted cannot
+                    // exceed the cap, but stay defensive in the router.
+                    let forwarded = target.and_then(|target| {
+                        let frame = encode_frame(&envelope).ok()?;
+                        target.writer.lock().write_all(&frame).ok()
+                    });
+                    if forwarded.is_none() {
+                        state.unroutable.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// [`SocketRouter`] over TCP.
+pub type TcpRouter = SocketRouter<TcpStream>;
+
+impl TcpRouter {
+    /// Binds `addr` and spawns the accept loop. Returns the router and its
+    /// bound address (bind port 0 for an ephemeral port).
+    pub fn spawn(addr: impl ToSocketAddrs) -> Result<(Self, SocketAddr), NetError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| NetError::Io(format!("bind failed: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        let state: Arc<RouterState<TcpStream>> = Arc::new(RouterState {
+            peers: Mutex::new(Vec::new()),
+            unroutable: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_state = Arc::clone(&state);
+        let accept_readers = Arc::clone(&reader_threads);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_state.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        let conn_state = Arc::clone(&accept_state);
+                        let handle = std::thread::spawn(move || {
+                            router_serve_connection(stream, &conn_state);
+                        });
+                        let mut readers = accept_readers.lock();
+                        readers.retain(|h| !h.is_finished());
+                        readers.push(handle);
+                    }
+                    // Transient accept failures (ECONNABORTED, fd
+                    // exhaustion) must not silently kill the router for
+                    // all future connections; back off briefly and keep
+                    // accepting.
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        });
+
+        // Unblocking a blocking accept loop portably: dial ourselves once
+        // at shutdown so `incoming()` yields and observes the flag.
+        let shutdown_listener = Box::new(move || {
+            let _ = TcpStream::connect(local_addr);
+        });
+
+        Ok((
+            TcpRouter {
+                state,
+                accept_thread: Some(accept_thread),
+                reader_threads,
+                shutdown_listener,
+            },
+            local_addr,
+        ))
+    }
+}
+
+/// [`SocketRouter`] over Unix-domain sockets.
+#[cfg(unix)]
+pub type UdsRouter = SocketRouter<std::os::unix::net::UnixStream>;
+
+#[cfg(unix)]
+impl UdsRouter {
+    /// Binds the socket file at `path` (removing a stale one) and spawns
+    /// the accept loop.
+    pub fn spawn(path: impl AsRef<std::path::Path>) -> Result<Self, NetError> {
+        use std::os::unix::net::{UnixListener, UnixStream};
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)
+            .map_err(|e| NetError::Io(format!("bind {} failed: {e}", path.display())))?;
+        let state: Arc<RouterState<UnixStream>> = Arc::new(RouterState {
+            peers: Mutex::new(Vec::new()),
+            unroutable: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_state = Arc::clone(&state);
+        let accept_readers = Arc::clone(&reader_threads);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_state.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let conn_state = Arc::clone(&accept_state);
+                        let handle = std::thread::spawn(move || {
+                            router_serve_connection(stream, &conn_state);
+                        });
+                        let mut readers = accept_readers.lock();
+                        readers.retain(|h| !h.is_finished());
+                        readers.push(handle);
+                    }
+                    // Transient accept failures must not kill the router;
+                    // back off briefly and keep accepting.
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        });
+
+        let shutdown_path = path.clone();
+        let shutdown_listener = Box::new(move || {
+            let _ = UnixStream::connect(&shutdown_path);
+        });
+
+        Ok(UdsRouter {
+            state,
+            accept_thread: Some(accept_thread),
+            reader_threads,
+            shutdown_listener,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope(from: PartyId, to: PartyId, topic: &str, payload: Vec<u8>) -> Envelope {
+        Envelope::new(from, to, topic, payload)
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let parties: BTreeSet<PartyId> = [PartyId::DataHolder(0), PartyId::ThirdParty]
+            .into_iter()
+            .collect();
+        let bytes = encode_hello(&parties);
+        assert_eq!(&bytes[..4], &HELLO_MAGIC);
+        assert_eq!(bytes[4], WIRE_VERSION);
+        assert_eq!(bytes[5], 2);
+        assert_eq!(bytes.len(), 6 + 2 * 5);
+    }
+
+    #[test]
+    fn backoff_defaults_are_sane() {
+        let b = Backoff::default();
+        assert!(b.max_attempts > 1);
+        assert!(b.initial <= b.max_delay);
+        assert_eq!(Backoff::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn direct_tcp_link_delivers_both_ways() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+
+        let holder = TcpTransport::new([PartyId::DataHolder(0)]);
+        let tp = TcpTransport::new([PartyId::ThirdParty]);
+
+        let dial = std::thread::spawn(move || {
+            let announced = holder.connect(addr, &Backoff::default()).unwrap();
+            assert_eq!(
+                announced,
+                [PartyId::ThirdParty].into_iter().collect::<BTreeSet<_>>()
+            );
+            holder
+        });
+        let announced = acceptor.accept_into(&tp).unwrap();
+        assert_eq!(
+            announced,
+            [PartyId::DataHolder(0)]
+                .into_iter()
+                .collect::<BTreeSet<_>>()
+        );
+        let holder = dial.join().unwrap();
+
+        holder
+            .send(envelope(
+                PartyId::DataHolder(0),
+                PartyId::ThirdParty,
+                "local/age/0",
+                vec![1, 2, 3],
+            ))
+            .unwrap();
+        holder.flush().unwrap();
+        let got = tp
+            .receive_any_of(&[PartyId::ThirdParty], Duration::from_secs(5))
+            .unwrap()
+            .expect("frame crosses the socket");
+        assert_eq!(got.topic, "local/age/0");
+        assert_eq!(got.payload, vec![1, 2, 3]);
+
+        tp.send(envelope(
+            PartyId::ThirdParty,
+            PartyId::DataHolder(0),
+            "published-result",
+            vec![9],
+        ))
+        .unwrap();
+        let back = holder
+            .receive_any_of(&[PartyId::DataHolder(0)], Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.topic, "published-result");
+
+        holder.shutdown();
+        tp.shutdown();
+    }
+
+    #[test]
+    fn connect_backoff_survives_a_late_listener() {
+        // Reserve a port, then release it so nothing is listening.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+
+        let dial = std::thread::spawn(move || {
+            let holder = TcpTransport::new([PartyId::DataHolder(0)]);
+            let backoff = Backoff {
+                initial: Duration::from_millis(5),
+                max_delay: Duration::from_millis(50),
+                max_attempts: 60,
+            };
+            holder.connect(addr, &backoff).map(|_| holder)
+        });
+        // Let the dialler fail a few times before the listener appears.
+        std::thread::sleep(Duration::from_millis(60));
+        let acceptor = TcpAcceptor::bind(addr).unwrap();
+        let tp = TcpTransport::new([PartyId::ThirdParty]);
+        acceptor.accept_into(&tp).unwrap();
+        let holder = dial.join().unwrap().expect("backoff outlasts the gap");
+        assert_eq!(holder.link_count(), 1);
+    }
+
+    #[test]
+    fn connect_without_listener_exhausts_backoff() {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let holder = TcpTransport::new([PartyId::DataHolder(0)]);
+        let policy = Backoff {
+            initial: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            max_attempts: 3,
+        };
+        assert!(matches!(
+            holder.connect(addr, &policy),
+            Err(NetError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn router_routes_between_connections_and_reflects_self_traffic() {
+        let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+
+        let holders = TcpTransport::new([PartyId::DataHolder(0), PartyId::DataHolder(1)]);
+        let tp = TcpTransport::new([PartyId::ThirdParty]);
+        assert!(holders
+            .connect(addr, &Backoff::default())
+            .unwrap()
+            .is_empty());
+        assert!(tp.connect(addr, &Backoff::default()).unwrap().is_empty());
+
+        // Cross-connection route: DH0 → TP lands on the TP connection.
+        holders
+            .send(envelope(
+                PartyId::DataHolder(0),
+                PartyId::ThirdParty,
+                "categorical/blood",
+                vec![42],
+            ))
+            .unwrap();
+        let got = tp
+            .receive_any_of(&[PartyId::ThirdParty], Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.payload, vec![42]);
+
+        // Self-reflection: DH0 → DH1 goes out over TCP and comes back to
+        // the same connection (both parties live on `holders`).
+        holders
+            .send(envelope(
+                PartyId::DataHolder(0),
+                PartyId::DataHolder(1),
+                "numeric/age/0-1/masked",
+                vec![7; 8],
+            ))
+            .unwrap();
+        let got = holders
+            .receive_any_of(&[PartyId::DataHolder(1)], Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.from, PartyId::DataHolder(0));
+        assert_eq!(got.payload, vec![7; 8]);
+
+        // Unroutable destinations are counted, not delivered.
+        holders
+            .send(envelope(
+                PartyId::DataHolder(0),
+                PartyId::DataHolder(9),
+                "nowhere",
+                vec![],
+            ))
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while router.unroutable_frames() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(router.unroutable_frames(), 1);
+        assert_eq!(router.connection_count(), 2);
+
+        holders.shutdown();
+        tp.shutdown();
+        router.shutdown();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_router_delivers_over_the_socket_file() {
+        let dir = std::env::temp_dir().join(format!("ppc-uds-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("router.sock");
+        let mut router = UdsRouter::spawn(&path).unwrap();
+
+        let all = UdsTransport::new([PartyId::DataHolder(0), PartyId::ThirdParty]);
+        all.connect(&path, &Backoff::default()).unwrap();
+        all.send(envelope(
+            PartyId::DataHolder(0),
+            PartyId::ThirdParty,
+            "local/age/0",
+            vec![5; 16],
+        ))
+        .unwrap();
+        let got = all
+            .receive_any_of(&[PartyId::ThirdParty], Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.payload, vec![5; 16]);
+
+        all.shutdown();
+        router.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn router_drops_corrupt_connections_and_keeps_serving_others() {
+        let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+
+        // A rogue client: valid handshake, then a corrupt over-cap length
+        // prefix. The router must close that connection (not spin on a
+        // growing buffer) while other connections keep working.
+        let mut rogue = TcpStream::connect(addr).unwrap();
+        let hello: BTreeSet<PartyId> = [PartyId::DataHolder(9)].into_iter().collect();
+        rogue.write_all(&encode_hello(&hello)).unwrap();
+        let mut reply = [0u8; 6];
+        rogue.read_exact(&mut reply).unwrap();
+        assert_eq!(&reply[..4], &HELLO_MAGIC);
+        rogue.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        rogue.flush().unwrap();
+
+        // The rogue connection gets pruned from the routing table.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while router.connection_count() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(router.connection_count(), 0, "corrupt connection pruned");
+
+        // A well-behaved transport still gets full service afterwards.
+        let all = TcpTransport::new([PartyId::DataHolder(0), PartyId::ThirdParty]);
+        all.connect(addr, &Backoff::default()).unwrap();
+        all.send(envelope(
+            PartyId::DataHolder(0),
+            PartyId::ThirdParty,
+            "after-corruption",
+            vec![1],
+        ))
+        .unwrap();
+        let got = all
+            .receive_any_of(&[PartyId::ThirdParty], Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.topic, "after-corruption");
+
+        all.shutdown();
+        router.shutdown();
+    }
+
+    #[test]
+    fn local_parties_without_links_deliver_in_process() {
+        let t = TcpTransport::new([PartyId::DataHolder(0), PartyId::DataHolder(1)]);
+        t.send(envelope(
+            PartyId::DataHolder(0),
+            PartyId::DataHolder(1),
+            "t",
+            vec![1],
+        ))
+        .unwrap();
+        assert_eq!(
+            t.try_receive(PartyId::DataHolder(1))
+                .unwrap()
+                .unwrap()
+                .payload,
+            vec![1]
+        );
+        assert!(t.try_receive(PartyId::DataHolder(1)).unwrap().is_none());
+        assert!(t.try_receive(PartyId::ThirdParty).is_err());
+        assert!(matches!(
+            t.send(envelope(
+                PartyId::DataHolder(0),
+                PartyId::ThirdParty,
+                "t",
+                vec![]
+            )),
+            Err(NetError::UnknownParty(PartyId::ThirdParty))
+        ));
+    }
+
+    #[test]
+    fn mismatched_magic_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let rogue = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream.write_all(b"HTTP/1.1 200 OK\r\n\r\n").unwrap();
+            // Drain whatever the client sent, then drop.
+            let mut sink = [0u8; 64];
+            let _ = stream.read(&mut sink);
+        });
+        let t = TcpTransport::new([PartyId::DataHolder(0)]);
+        let err = t.connect(addr, &Backoff::none()).unwrap_err();
+        assert!(matches!(err, NetError::Decode(_)), "{err}");
+        rogue.join().unwrap();
+    }
+}

@@ -59,6 +59,49 @@ impl<T: Transport + ?Sized> Transport for &T {
     }
 }
 
+/// A [`Transport`] whose receivers can park until traffic arrives.
+///
+/// The sharded engine drives each shard's sessions from a worker thread;
+/// when a whole scheduling round makes no progress the worker blocks here
+/// instead of spinning. Condvar-backed transports ([`Network`], the socket
+/// transports) override [`receive_any_of`](Self::receive_any_of) with a
+/// true no-spin wait; the default implementation is a short-interval poll
+/// for transports with no wakeup primitive of their own (virtual-clock
+/// simulations, raw framed streams).
+pub trait WaitTransport: Transport {
+    /// Blocks until an envelope is queued for any of `receivers`, popping
+    /// and returning the first one found (scanning `receivers` in order),
+    /// or returns `None` once `timeout` elapses.
+    fn receive_any_of(
+        &self,
+        receivers: &[PartyId],
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            for &receiver in receivers {
+                if let Some(envelope) = self.try_receive(receiver)? {
+                    return Ok(Some(envelope));
+                }
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+impl<T: WaitTransport + ?Sized> WaitTransport for &T {
+    fn receive_any_of(
+        &self,
+        receivers: &[PartyId],
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, NetError> {
+        (**self).receive_any_of(receivers, timeout)
+    }
+}
+
 #[derive(Debug, Default)]
 struct NetworkInner {
     queues: HashMap<PartyId, VecDeque<Envelope>>,
@@ -300,6 +343,35 @@ impl Transport for Network {
     }
 }
 
+impl WaitTransport for Network {
+    /// Parks on the network's arrival condvar — no polling.
+    fn receive_any_of(
+        &self,
+        receivers: &[PartyId],
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            for &receiver in receivers {
+                let queue = inner
+                    .queues
+                    .get_mut(&receiver)
+                    .ok_or(NetError::UnknownParty(receiver))?;
+                if let Some(envelope) = queue.pop_front() {
+                    return Ok(Some(envelope));
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (guard, _) = self.arrivals.wait_timeout(inner, deadline - now);
+            inner = guard;
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct InstrumentState {
     report: CommReport,
@@ -379,6 +451,16 @@ impl<T: Transport> Transport for Instrumented<T> {
 
     fn flush(&self) -> Result<(), NetError> {
         self.inner.flush()
+    }
+}
+
+impl<T: WaitTransport> WaitTransport for Instrumented<T> {
+    fn receive_any_of(
+        &self,
+        receivers: &[PartyId],
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, NetError> {
+        self.inner.receive_any_of(receivers, timeout)
     }
 }
 

@@ -66,7 +66,7 @@ proptest! {
         let envelopes = envelopes_from(&topics, &payloads, &froms, &tos);
         let mut stream = Vec::new();
         for e in &envelopes {
-            stream.extend_from_slice(&encode_frame(e));
+            stream.extend_from_slice(&encode_frame(e).unwrap());
         }
         let decoded = decode_fragmented(&stream, fragment);
         prop_assert_eq!(decoded, envelopes);
@@ -97,7 +97,7 @@ proptest! {
             .collect();
         let mut stream = Vec::new();
         for e in &envelopes {
-            stream.extend_from_slice(&encode_frame(e));
+            stream.extend_from_slice(&encode_frame(e).unwrap());
         }
         let decoded = decode_fragmented(&stream, fragment);
         prop_assert_eq!(decoded.len(), envelopes.len());
@@ -129,7 +129,7 @@ proptest! {
             topic,
             payload,
         );
-        let frame = encode_frame(&envelope);
+        let frame = encode_frame(&envelope).unwrap();
         let cut = ((frame.len() - 1) as f64 * cut_fraction) as usize;
         let mut decoder = FrameDecoder::new();
         decoder.feed(&frame[..cut]);

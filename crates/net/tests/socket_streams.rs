@@ -1,0 +1,189 @@
+//! `StreamTransport` error paths over real loopback TCP sockets: peer
+//! hangup mid-frame, oversized frame rejection, and interleaved partial
+//! reads across two sessions' streams. The frame layout these tests pin
+//! down is specified in `docs/WIRE_FORMAT.md`.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use ppc_net::framed::MAX_FRAME_BODY;
+use ppc_net::{encode_frame, Envelope, NetError, PartyId, StreamTransport, Transport};
+
+/// A connected loopback TCP pair; the receive side is non-blocking, as
+/// `StreamTransport::try_receive` requires.
+fn tcp_pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let sender = TcpStream::connect(addr).unwrap();
+    sender.set_nodelay(true).unwrap();
+    let (receiver, _) = listener.accept().unwrap();
+    receiver.set_nonblocking(true).unwrap();
+    (sender, receiver)
+}
+
+/// Polls `try_receive` until an envelope, an error, or the deadline.
+fn receive_within(
+    transport: &StreamTransport<TcpStream>,
+    party: PartyId,
+    timeout: Duration,
+) -> Result<Option<Envelope>, NetError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match transport.try_receive(party) {
+            Ok(Some(envelope)) => return Ok(Some(envelope)),
+            Ok(None) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(1)),
+            Ok(None) => return Ok(None),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[test]
+fn peer_hangup_mid_frame_is_an_error_not_silence() {
+    let (mut sender, receiver) = tcp_pair();
+    let transport = StreamTransport::new();
+    transport.attach(PartyId::ThirdParty, receiver).unwrap();
+
+    // A complete frame followed by a truncated one, then hang up.
+    let good = Envelope::new(
+        PartyId::DataHolder(0),
+        PartyId::ThirdParty,
+        "local/age/0",
+        vec![1, 2, 3],
+    );
+    sender.write_all(&encode_frame(&good).unwrap()).unwrap();
+    let partial_envelope = Envelope::new(
+        PartyId::DataHolder(0),
+        PartyId::ThirdParty,
+        "local/age/1",
+        vec![9; 64],
+    );
+    let partial = encode_frame(&partial_envelope).unwrap();
+    sender.write_all(&partial[..partial.len() / 2]).unwrap();
+    sender.flush().unwrap();
+    drop(sender); // FIN with half a frame in flight
+
+    // The complete frame is still delivered...
+    let delivered = receive_within(&transport, PartyId::ThirdParty, Duration::from_secs(5))
+        .unwrap()
+        .expect("complete frame survives the hangup");
+    assert_eq!(delivered, good);
+
+    // ...then the mid-frame EOF surfaces as an I/O error, not Ok(None).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let err = loop {
+        match transport.try_receive(PartyId::ThirdParty) {
+            Err(e) => break e,
+            Ok(Some(_)) => panic!("no further complete frame exists"),
+            Ok(None) => {
+                assert!(Instant::now() < deadline, "hangup never surfaced");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    };
+    match err {
+        NetError::Io(msg) => assert!(msg.contains("mid-frame"), "unexpected message: {msg}"),
+        other => panic!("expected Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn clean_hangup_on_a_frame_boundary_is_quiet() {
+    let (mut sender, receiver) = tcp_pair();
+    let transport = StreamTransport::new();
+    transport.attach(PartyId::ThirdParty, receiver).unwrap();
+    let e = Envelope::new(PartyId::DataHolder(0), PartyId::ThirdParty, "t", vec![1]);
+    sender.write_all(&encode_frame(&e).unwrap()).unwrap();
+    drop(sender);
+    assert_eq!(
+        receive_within(&transport, PartyId::ThirdParty, Duration::from_secs(5)).unwrap(),
+        Some(e)
+    );
+    // EOF with nothing buffered: a clean end of stream, not an error.
+    assert_eq!(transport.try_receive(PartyId::ThirdParty).unwrap(), None);
+}
+
+#[test]
+fn oversized_frame_is_rejected_over_the_socket() {
+    let (mut sender, receiver) = tcp_pair();
+    let transport = StreamTransport::new();
+    transport.attach(PartyId::ThirdParty, receiver).unwrap();
+
+    // A length prefix past the cap must be treated as corruption before
+    // any allocation happens.
+    let huge = (MAX_FRAME_BODY as u32) + 1;
+    sender.write_all(&huge.to_le_bytes()).unwrap();
+    sender.flush().unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let err = loop {
+        match transport.try_receive(PartyId::ThirdParty) {
+            Err(e) => break e,
+            Ok(Some(_)) => panic!("corrupt stream produced a frame"),
+            Ok(None) => {
+                assert!(Instant::now() < deadline, "oversized prefix never rejected");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    };
+    assert!(matches!(err, NetError::Decode(_)), "{err:?}");
+}
+
+#[test]
+fn interleaved_partial_reads_across_two_sessions_demultiplex_in_order() {
+    let (mut sender, receiver) = tcp_pair();
+    let transport = StreamTransport::new();
+    transport.attach(PartyId::ThirdParty, receiver).unwrap();
+
+    // Two sessions' chunk streams (`s0/`, `s1/`) interleaved on one
+    // socket, written in deliberately tiny fragments with pauses so the
+    // receiver sees partial frames mid-decode.
+    let frames: Vec<Envelope> = (0..6)
+        .map(|i| {
+            Envelope::new(
+                PartyId::DataHolder(0),
+                PartyId::ThirdParty,
+                format!("s{}/numeric/age/0-1/pairwise-chunk", i % 2),
+                vec![i as u8; 32 + i],
+            )
+        })
+        .collect();
+    let wire: Vec<u8> = frames
+        .iter()
+        .flat_map(|e| encode_frame(e).unwrap())
+        .collect();
+
+    let writer = std::thread::spawn(move || {
+        for fragment in wire.chunks(7) {
+            sender.write_all(fragment).unwrap();
+            sender.flush().unwrap();
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        sender
+    });
+
+    let mut received = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while received.len() < frames.len() {
+        assert!(Instant::now() < deadline, "frames never completed");
+        match transport.try_receive(PartyId::ThirdParty).unwrap() {
+            Some(envelope) => received.push(envelope),
+            None => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    let _sender = writer.join().unwrap();
+
+    // Global order survives (one TCP stream is one FIFO), so per-session
+    // order does too.
+    assert_eq!(received, frames);
+    let session0: Vec<&Envelope> = received
+        .iter()
+        .filter(|e| e.topic.starts_with("s0/"))
+        .collect();
+    let expected0: Vec<&Envelope> = frames
+        .iter()
+        .filter(|e| e.topic.starts_with("s0/"))
+        .collect();
+    assert_eq!(session0, expected0);
+}

@@ -92,6 +92,11 @@ fn decode_golden_fixture(bytes: &[u8]) -> Vec<Envelope> {
 /// The refactored, state-machine-driven session must emit **byte-identical
 /// envelopes in identical order** to the pre-refactor monolithic session,
 /// whose trace was captured into the committed fixture before the refactor.
+///
+/// The message layouts and topics this fixture pins down are specified
+/// normatively in `docs/WIRE_FORMAT.md`. If this test fails because of a
+/// *deliberate* wire change, re-capture the fixture, bump `WIRE_VERSION`
+/// in `ppc-net::socket`, and update `docs/WIRE_FORMAT.md` in the same PR.
 #[test]
 fn session_trace_is_byte_identical_to_the_pre_refactor_fixture() {
     let fixture = std::fs::read(concat!(

@@ -1,0 +1,249 @@
+//! End-to-end tests for the threaded, socket-backed engine tier: sessions
+//! hash-sharded across worker threads must produce results identical to
+//! the single-threaded `SessionEngine` oracle over every transport —
+//! in-memory, simulated WAN, loopback TCP through a frame router, and
+//! (on Unix) a Unix-domain socket router.
+
+use std::time::Duration;
+
+use ppclust::cluster::Linkage;
+use ppclust::core::protocol::driver::ClusteringRequest;
+use ppclust::core::protocol::engine::{EngineOutcome, SessionEngine, SessionSpec};
+use ppclust::core::protocol::party::TrustedSetup;
+use ppclust::core::protocol::sharded::ShardedEngine;
+use ppclust::core::protocol::{NumericMode, ProtocolConfig};
+use ppclust::crypto::Seed;
+use ppclust::data::Workload;
+use ppclust::net::{Backoff, Network, PartyId, SimulatedWan, TcpRouter, TcpTransport, WanProfile};
+
+const HOLDERS: u32 = 3;
+
+fn bird_flu_spec(seed: u64, chunk_rows: Option<usize>, mode: NumericMode) -> SessionSpec {
+    let workload = Workload::bird_flu(15, HOLDERS, 3, seed).unwrap();
+    let schema = workload.schema().clone();
+    let setup =
+        TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(seed)).unwrap();
+    SessionSpec {
+        schema: schema.clone(),
+        config: ProtocolConfig {
+            numeric_mode: mode,
+            ..ProtocolConfig::default()
+        },
+        holders: setup.holders,
+        keys: setup.third_party,
+        request: ClusteringRequest {
+            weights: schema.uniform_weights(),
+            linkage: Linkage::Average,
+            num_clusters: 3,
+        },
+        chunk_rows,
+    }
+}
+
+/// A mixed six-session workload: chunked and whole-matrix, batch and
+/// per-pair numeric modes.
+fn mixed_specs() -> Vec<SessionSpec> {
+    vec![
+        bird_flu_spec(201, Some(2), NumericMode::Batch),
+        bird_flu_spec(202, None, NumericMode::Batch),
+        bird_flu_spec(203, Some(1), NumericMode::PerPair),
+        bird_flu_spec(204, Some(3), NumericMode::Batch),
+        bird_flu_spec(205, None, NumericMode::PerPair),
+        bird_flu_spec(206, Some(2), NumericMode::Batch),
+    ]
+}
+
+/// The sequential oracle: every spec run alone on the single-threaded
+/// engine over a fresh in-memory network.
+fn oracle_outcomes(specs: &[SessionSpec]) -> Vec<EngineOutcome> {
+    specs
+        .iter()
+        .map(|spec| {
+            let mut engine = SessionEngine::new(Network::with_parties(HOLDERS));
+            engine.add_session(spec.clone());
+            engine.run().unwrap().remove(0)
+        })
+        .collect()
+}
+
+fn assert_matches_oracle(outcomes: &[EngineOutcome], oracle: &[EngineOutcome]) {
+    assert_eq!(outcomes.len(), oracle.len());
+    for (i, (sharded, reference)) in outcomes.iter().zip(oracle).enumerate() {
+        assert_eq!(
+            sharded.result.clusters, reference.result.clusters,
+            "session {i}: sharded clusters diverge from the sequential oracle"
+        );
+        assert!(
+            sharded
+                .final_matrix
+                .matrix()
+                .max_abs_difference(reference.final_matrix.matrix())
+                < 1e-12,
+            "session {i}: sharded dissimilarity matrix diverges"
+        );
+        assert_eq!(
+            sharded.stats.peak_buffered_rows, reference.stats.peak_buffered_rows,
+            "session {i}: chunk-window buffering differs"
+        );
+    }
+}
+
+#[test]
+fn two_shards_over_in_memory_networks_match_the_sequential_oracle() {
+    let specs = mixed_specs();
+    let oracle = oracle_outcomes(&specs);
+    let transports = vec![
+        Network::with_parties(HOLDERS),
+        Network::with_parties(HOLDERS),
+    ];
+    let mut engine = ShardedEngine::new(transports).unwrap();
+    for spec in &specs {
+        engine.add_session(spec.clone());
+    }
+    let run = engine.run().unwrap();
+    assert_matches_oracle(&run.outcomes, &oracle);
+    assert_eq!(run.shards.len(), 2);
+    assert_eq!(run.shards[0].sessions, vec![0, 2, 4]);
+    assert_eq!(run.shards[1].sessions, vec![1, 3, 5]);
+}
+
+#[test]
+fn four_shards_over_simulated_wans_match_the_sequential_oracle() {
+    let specs = mixed_specs();
+    let oracle = oracle_outcomes(&specs);
+    let profile = WanProfile {
+        loss_probability: 0.05,
+        ..WanProfile::lossy_dsl()
+    };
+    let transports: Vec<SimulatedWan<Network>> = (0..4)
+        .map(|i| SimulatedWan::new(Network::with_parties(HOLDERS), profile, 7 + i).unwrap())
+        .collect();
+    let mut engine = ShardedEngine::new(transports).unwrap();
+    for spec in &specs {
+        engine.add_session(spec.clone());
+    }
+    let run = engine.run().unwrap();
+    assert_matches_oracle(&run.outcomes, &oracle);
+    // The WAN wrapper accounted virtual costs on every shard that sent.
+    for transport in engine.transports() {
+        let stats = transport.stats();
+        assert!(stats.messages > 0);
+        assert!(stats.virtual_seconds > 0.0);
+    }
+}
+
+/// The acceptance-criterion test: ≥ 4 concurrent sessions across ≥ 2
+/// shards over **loopback TCP** — every envelope leaves the process
+/// through the kernel's TCP stack, crosses the frame router (wire format
+/// per `docs/WIRE_FORMAT.md`) and comes back — with results identical to
+/// the single-threaded `SessionEngine`.
+#[test]
+fn sharded_sessions_over_loopback_tcp_match_the_single_threaded_engine() {
+    let specs = mixed_specs();
+    let oracle = oracle_outcomes(&specs);
+
+    let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+    let parties: Vec<PartyId> = (0..HOLDERS)
+        .map(PartyId::DataHolder)
+        .chain([PartyId::ThirdParty])
+        .collect();
+    let transports: Vec<TcpTransport> = (0..2)
+        .map(|_| {
+            let transport = TcpTransport::new(parties.iter().copied());
+            let announced = transport.connect(addr, &Backoff::default()).unwrap();
+            assert!(announced.is_empty(), "the router announces no parties");
+            transport
+        })
+        .collect();
+
+    let mut engine = ShardedEngine::new(transports).unwrap();
+    for spec in &specs {
+        engine.add_session(spec.clone());
+    }
+    // Loopback frames round-trip through the kernel; give stalls a real
+    // timeout budget rather than the in-memory default.
+    engine.set_stall_budget(Duration::from_millis(100), 100);
+    let run = engine.run().unwrap();
+
+    assert_matches_oracle(&run.outcomes, &oracle);
+    assert_eq!(run.shards.len(), 2);
+    for stats in &run.shards {
+        assert_eq!(stats.sessions.len(), 3);
+        assert!(stats.messages_sent > 0);
+    }
+    assert_eq!(router.unroutable_frames(), 0, "every frame found its party");
+    assert_eq!(router.connection_count(), 2);
+
+    for transport in engine.transports() {
+        transport.shutdown();
+    }
+    router.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn sharded_sessions_over_unix_domain_sockets_match_the_oracle() {
+    use ppclust::net::{UdsRouter, UdsTransport};
+
+    let specs = vec![
+        bird_flu_spec(301, Some(2), NumericMode::Batch),
+        bird_flu_spec(302, None, NumericMode::Batch),
+        bird_flu_spec(303, Some(2), NumericMode::Batch),
+        bird_flu_spec(304, Some(1), NumericMode::Batch),
+    ];
+    let oracle = oracle_outcomes(&specs);
+
+    let dir = std::env::temp_dir().join(format!("ppc-sharded-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.sock");
+    let mut router = UdsRouter::spawn(&path).unwrap();
+
+    let parties: Vec<PartyId> = (0..HOLDERS)
+        .map(PartyId::DataHolder)
+        .chain([PartyId::ThirdParty])
+        .collect();
+    let transports: Vec<UdsTransport> = (0..2)
+        .map(|_| {
+            let transport = UdsTransport::new(parties.iter().copied());
+            transport.connect(&path, &Backoff::default()).unwrap();
+            transport
+        })
+        .collect();
+
+    let mut engine = ShardedEngine::new(transports).unwrap();
+    for spec in &specs {
+        engine.add_session(spec.clone());
+    }
+    engine.set_stall_budget(Duration::from_millis(100), 100);
+    let run = engine.run().unwrap();
+    assert_matches_oracle(&run.outcomes, &oracle);
+
+    for transport in engine.transports() {
+        transport.shutdown();
+    }
+    router.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// One shard is the degenerate case: the sharded engine over a single
+/// transport must agree with `SessionEngine` multiplexing the same
+/// sessions (both use `s{id}/` prefixes when more than one session runs).
+#[test]
+fn one_shard_degenerates_to_the_multiplexing_engine() {
+    let specs: Vec<SessionSpec> = (0..4)
+        .map(|i| bird_flu_spec(400 + i, Some(2), NumericMode::Batch))
+        .collect();
+
+    let mut multiplexed = SessionEngine::new(Network::with_parties(HOLDERS));
+    for spec in &specs {
+        multiplexed.add_session(spec.clone());
+    }
+    let reference = multiplexed.run().unwrap();
+
+    let mut engine = ShardedEngine::new(vec![Network::with_parties(HOLDERS)]).unwrap();
+    for spec in &specs {
+        engine.add_session(spec.clone());
+    }
+    let run = engine.run().unwrap();
+    assert_matches_oracle(&run.outcomes, &reference);
+}
