@@ -84,21 +84,53 @@ pub(crate) struct TurnOutput {
     pub(crate) progressed: bool,
 }
 
-/// One live session: its party machines, per-party inbound queues and
-/// stats. Shared by the single-threaded [`SessionEngine`] and the
-/// worker-thread shards of
-/// [`ShardedEngine`](crate::protocol::sharded::ShardedEngine).
-pub(crate) struct SessionRuntime {
+/// One live session *as seen by one process*: the party machines this
+/// process drives, their per-party inbound queues and stats.
+///
+/// The single-threaded [`SessionEngine`] and the worker-thread shards of
+/// [`ShardedEngine`](crate::protocol::sharded::ShardedEngine) build it
+/// with every party of the session ([`build`](Self::build)); the
+/// multi-process [`PartyEngine`](crate::protocol::party_engine::PartyEngine)
+/// builds it with only its local party set
+/// ([`from_machines`](Self::from_machines)) — the runtime itself is
+/// party-agnostic: it delivers, polls and collects emissions for whatever
+/// machines it owns.
+pub(crate) struct PartyRuntime {
     prefix: String,
-    tp: ThirdPartyMachine,
+    tp: Option<ThirdPartyMachine>,
     holders: Vec<HolderMachine>,
     inbound: HashMap<PartyId, VecDeque<Envelope>>,
     stats: SessionStats,
 }
 
-impl SessionRuntime {
-    /// Instantiates the per-party machines for `spec`, topic-prefixing
-    /// every envelope with `prefix`.
+impl PartyRuntime {
+    /// Assembles a runtime from already-built machines (any subset of a
+    /// session's parties), topic-prefixing every envelope with `prefix`.
+    /// Turn order is holders in the given order, then the third party —
+    /// the order the full-session engines have always used.
+    pub(crate) fn from_machines(
+        prefix: String,
+        holders: Vec<HolderMachine>,
+        tp: Option<ThirdPartyMachine>,
+    ) -> Self {
+        let mut inbound = HashMap::new();
+        for machine in &holders {
+            inbound.insert(machine.party(), VecDeque::new());
+        }
+        if let Some(tp) = &tp {
+            inbound.insert(tp.party(), VecDeque::new());
+        }
+        PartyRuntime {
+            prefix,
+            tp,
+            holders,
+            inbound,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Instantiates *every* party machine for `spec` (the single-process
+    /// path), topic-prefixing every envelope with `prefix`.
     pub(crate) fn build(spec: &SessionSpec, prefix: String) -> Result<Self, CoreError> {
         if spec.holders.len() < 2 {
             return Err(CoreError::Protocol(
@@ -121,22 +153,12 @@ impl SessionRuntime {
             .iter()
             .map(|h| HolderMachine::new(ctx.clone(), h.clone(), &site_sizes))
             .collect::<Result<Vec<_>, _>>()?;
-        let mut inbound = HashMap::new();
-        for machine in &holders {
-            inbound.insert(machine.party(), VecDeque::new());
-        }
-        inbound.insert(PartyId::ThirdParty, VecDeque::new());
-        Ok(SessionRuntime {
-            prefix,
-            tp,
-            holders,
-            inbound,
-            stats: SessionStats::default(),
-        })
+        Ok(Self::from_machines(prefix, holders, Some(tp)))
     }
 
     pub(crate) fn is_done(&self) -> bool {
-        self.tp.is_done() && self.holders.iter().all(HolderMachine::is_done)
+        self.tp.as_ref().is_none_or(ThirdPartyMachine::is_done)
+            && self.holders.iter().all(HolderMachine::is_done)
     }
 
     /// Whether this session claims envelopes under `topic`.
@@ -180,19 +202,21 @@ impl SessionRuntime {
             progressed |= out.progressed;
             outgoing.extend(out.outgoing);
         }
-        let tp_party = self.tp.party();
-        while let Some(envelope) = self
-            .inbound
-            .get_mut(&tp_party)
-            .and_then(VecDeque::pop_front)
-        {
-            let out = self.tp.step(Some(&envelope))?;
-            progressed = true;
+        if let Some(tp) = &mut self.tp {
+            let tp_party = tp.party();
+            while let Some(envelope) = self
+                .inbound
+                .get_mut(&tp_party)
+                .and_then(VecDeque::pop_front)
+            {
+                let out = tp.step(Some(&envelope))?;
+                progressed = true;
+                outgoing.extend(out.outgoing);
+            }
+            let out = tp.step(None)?;
+            progressed |= out.progressed;
             outgoing.extend(out.outgoing);
         }
-        let out = self.tp.step(None)?;
-        progressed |= out.progressed;
-        outgoing.extend(out.outgoing);
 
         self.stats.messages_sent += outgoing.len() as u64;
         Ok(TurnOutput {
@@ -201,9 +225,8 @@ impl SessionRuntime {
         })
     }
 
-    /// Consumes the finished session, rolling peak buffering into its
-    /// stats and extracting the third party's published outcome.
-    pub(crate) fn finish(self) -> Result<EngineOutcome, CoreError> {
+    /// Stats with peak buffering rolled in from every owned machine.
+    pub(crate) fn final_stats(&self) -> SessionStats {
         let mut stats = self.stats;
         stats.peak_buffered_rows = self
             .holders
@@ -211,8 +234,34 @@ impl SessionRuntime {
             .map(HolderMachine::peak_buffered_rows)
             .max()
             .unwrap_or(0)
-            .max(self.tp.peak_buffered_rows());
-        let (result, final_matrix, _) = self.tp.into_outcome()?;
+            .max(
+                self.tp
+                    .as_ref()
+                    .map(ThirdPartyMachine::peak_buffered_rows)
+                    .unwrap_or(0),
+            );
+        stats
+    }
+
+    /// Consumes the runtime, returning its machines and rolled-up stats —
+    /// the party-scoped engines extract per-party outcomes from these.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (Vec<HolderMachine>, Option<ThirdPartyMachine>, SessionStats) {
+        let stats = self.final_stats();
+        (self.holders, self.tp, stats)
+    }
+
+    /// Consumes the finished session, rolling peak buffering into its
+    /// stats and extracting the third party's published outcome. Requires
+    /// a runtime driving the third party (the full-session engines always
+    /// do).
+    pub(crate) fn finish(self) -> Result<EngineOutcome, CoreError> {
+        let (_, tp, stats) = self.into_parts();
+        let tp = tp.ok_or_else(|| {
+            CoreError::Protocol("this runtime does not drive the third party".into())
+        })?;
+        let (result, final_matrix, _) = tp.into_outcome()?;
         Ok(EngineOutcome {
             result,
             final_matrix,
@@ -274,12 +323,11 @@ impl<T: Transport> SessionEngine<T> {
             } else {
                 String::new()
             };
-            sessions.push(SessionRuntime::build(spec, prefix)?);
+            sessions.push(PartyRuntime::build(spec, prefix)?);
         }
         // Every party that appears in any session; the engine drains each
         // of their transport mailboxes every round.
-        let parties: BTreeSet<PartyId> =
-            sessions.iter().flat_map(SessionRuntime::parties).collect();
+        let parties: BTreeSet<PartyId> = sessions.iter().flat_map(PartyRuntime::parties).collect();
 
         let mut idle_rounds = 0u32;
         while sessions.iter().any(|s| !s.is_done()) {
@@ -335,7 +383,7 @@ impl<T: Transport> SessionEngine<T> {
             }
         }
 
-        sessions.into_iter().map(SessionRuntime::finish).collect()
+        sessions.into_iter().map(PartyRuntime::finish).collect()
     }
 }
 
@@ -408,7 +456,7 @@ mod tests {
     /// the first envelope whose topic starts with `replay_topic`. Returns
     /// the error the replay must provoke.
     fn run_with_replay(replay_topic: &str) -> CoreError {
-        let mut runtime = SessionRuntime::build(&spec(77, None), String::new()).unwrap();
+        let mut runtime = PartyRuntime::build(&spec(77, None), String::new()).unwrap();
         let mut injected = false;
         for _ in 0..10_000 {
             let turn = match runtime.turn() {
@@ -454,7 +502,7 @@ mod tests {
     /// completion gate for a pair that never ran.
     #[test]
     fn transposed_pair_tags_are_rejected() {
-        let mut runtime = SessionRuntime::build(&spec(77, None), String::new()).unwrap();
+        let mut runtime = PartyRuntime::build(&spec(77, None), String::new()).unwrap();
         for _ in 0..10_000 {
             let turn = runtime.turn().unwrap();
             for envelope in turn.outgoing {

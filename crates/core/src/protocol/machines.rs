@@ -219,6 +219,7 @@ pub struct HolderMachine {
     duties: VecDeque<HolderDuty>,
     streams: VecDeque<HolderStream>,
     per_pair_responses: HashMap<(usize, u32), PerPairResponderState>,
+    published: Option<PublishedResultMsg>,
     done: bool,
     peak_rows: usize,
 }
@@ -262,6 +263,7 @@ impl HolderMachine {
             duties,
             streams: VecDeque::new(),
             per_pair_responses: HashMap::new(),
+            published: None,
             done: false,
             peak_rows: 0,
         })
@@ -275,6 +277,12 @@ impl HolderMachine {
     /// Whether the holder has received the published result.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// The published result this holder received, once done — what a data
+    /// holder process reports and prints in a multi-process deployment.
+    pub fn published_result(&self) -> Option<&PublishedResultMsg> {
+        self.published.as_ref()
     }
 
     /// Largest number of pairwise-block rows this machine ever held in one
@@ -599,7 +607,7 @@ impl HolderMachine {
             .strip_prefix(&self.ctx.topic_prefix)
             .unwrap_or(&envelope.topic);
         if topic == "published-result" {
-            PublishedResultMsg::decode(&envelope.payload)?;
+            self.published = Some(PublishedResultMsg::decode(&envelope.payload)?);
             self.done = true;
             return Ok(StepOutput {
                 outgoing: Vec::new(),

@@ -32,8 +32,10 @@ pub mod machines;
 pub mod messages;
 pub mod numeric;
 pub mod party;
+pub mod party_engine;
 pub mod session;
 pub mod sharded;
+pub mod topic;
 
 use serde::{Deserialize, Serialize};
 

@@ -150,53 +150,94 @@ pub struct TrustedSetup {
 }
 
 impl TrustedSetup {
+    /// Validates a site roster: at least two distinct holder sites.
+    fn validate_sites(sites: &[u32]) -> Result<(), CoreError> {
+        if sites.len() < 2 {
+            return Err(CoreError::Protocol(
+                "the protocol requires at least two data holders".into(),
+            ));
+        }
+        for (i, s) in sites.iter().enumerate() {
+            if sites[..i].contains(s) {
+                return Err(CoreError::Protocol(format!("duplicate site index {s}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Derives exactly the secrets [`deterministic`](Self::deterministic)
+    /// would hand the holder owning `partition`, given the full site
+    /// roster — without needing any other holder's data. This is what lets
+    /// each *process* of a multi-process deployment provision its own
+    /// party from a shared master seed: secrets never travel on the wire.
+    pub fn derive_holder(
+        partition: HorizontalPartition,
+        sites: &[u32],
+        master: &Seed,
+    ) -> Result<DataHolder, CoreError> {
+        Self::validate_sites(sites)?;
+        let site = partition.site();
+        if !sites.contains(&site) {
+            return Err(CoreError::Protocol(format!(
+                "holder site {site} is not in the session roster {sites:?}"
+            )));
+        }
+        let mut categorical_key_material = [0u8; 32];
+        categorical_key_material.copy_from_slice(&master.derive("categorical-key").0);
+        let tp_seed = master.derive(&format!("jt-seed/{site}/{THIRD_PARTY_TAG}"));
+        let mut holder_seeds = BTreeMap::new();
+        for &other in sites {
+            if other == site {
+                continue;
+            }
+            let (lo, hi) = if site < other {
+                (site, other)
+            } else {
+                (other, site)
+            };
+            holder_seeds.insert(other, master.derive(&format!("jk-seed/{lo}/{hi}")));
+        }
+        Ok(DataHolder::new(
+            partition,
+            holder_seeds,
+            tp_seed,
+            categorical_key_material,
+        ))
+    }
+
+    /// Derives exactly the third-party key store
+    /// [`deterministic`](Self::deterministic) would produce for the given
+    /// site roster (the per-process counterpart of
+    /// [`derive_holder`](Self::derive_holder); note the third party never
+    /// learns the holders' categorical key or `r_JK` seeds).
+    pub fn derive_third_party(sites: &[u32], master: &Seed) -> Result<ThirdPartyKeys, CoreError> {
+        Self::validate_sites(sites)?;
+        let mut tp_seeds = BTreeMap::new();
+        for &site in sites {
+            tp_seeds.insert(
+                site,
+                master.derive(&format!("jt-seed/{site}/{THIRD_PARTY_TAG}")),
+            );
+        }
+        Ok(ThirdPartyKeys::new(tp_seeds))
+    }
+
     /// Deterministic setup: all seeds and the categorical key are derived
     /// from a master seed. Reproducible, used by tests and experiments.
     pub fn deterministic(
         partitions: Vec<HorizontalPartition>,
         master: &Seed,
     ) -> Result<Self, CoreError> {
-        if partitions.len() < 2 {
-            return Err(CoreError::Protocol(
-                "the protocol requires at least two data holders".into(),
-            ));
-        }
-        let mut categorical_key_material = [0u8; 32];
-        categorical_key_material.copy_from_slice(&master.derive("categorical-key").0);
         let sites: Vec<u32> = partitions.iter().map(|p| p.site()).collect();
-        for (i, s) in sites.iter().enumerate() {
-            if sites[..i].contains(s) {
-                return Err(CoreError::Protocol(format!("duplicate site index {s}")));
-            }
-        }
-        let mut tp_seeds = BTreeMap::new();
-        let mut holders = Vec::with_capacity(partitions.len());
-        for partition in partitions {
-            let site = partition.site();
-            let tp_seed = master.derive(&format!("jt-seed/{site}/{THIRD_PARTY_TAG}"));
-            tp_seeds.insert(site, tp_seed);
-            let mut holder_seeds = BTreeMap::new();
-            for &other in &sites {
-                if other == site {
-                    continue;
-                }
-                let (lo, hi) = if site < other {
-                    (site, other)
-                } else {
-                    (other, site)
-                };
-                holder_seeds.insert(other, master.derive(&format!("jk-seed/{lo}/{hi}")));
-            }
-            holders.push(DataHolder::new(
-                partition,
-                holder_seeds,
-                tp_seed,
-                categorical_key_material,
-            ));
-        }
+        Self::validate_sites(&sites)?;
+        let third_party = Self::derive_third_party(&sites, master)?;
+        let holders = partitions
+            .into_iter()
+            .map(|partition| Self::derive_holder(partition, &sites, master))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(TrustedSetup {
             holders,
-            third_party: ThirdPartyKeys::new(tp_seeds),
+            third_party,
         })
     }
 
@@ -356,6 +397,52 @@ mod tests {
         assert_eq!(
             setup.holders[1].categorical_key().tag_str("v"),
             setup.holders[2].categorical_key().tag_str("v")
+        );
+    }
+
+    /// Per-process derivation must be indistinguishable from the
+    /// all-in-one trusted setup: same seeds in every role, same
+    /// categorical key — this is what makes a multi-process run
+    /// byte-identical to the in-process oracle.
+    #[test]
+    fn per_party_derivation_matches_the_trusted_setup() {
+        let master = Seed::from_u64(4242);
+        let all = TrustedSetup::deterministic(partitions(), &master).unwrap();
+        let sites = [0u32, 1, 2];
+        for reference in &all.holders {
+            let solo = TrustedSetup::derive_holder(reference.partition().clone(), &sites, &master)
+                .unwrap();
+            assert_eq!(
+                solo.seed_with_third_party(),
+                reference.seed_with_third_party()
+            );
+            for &other in &sites {
+                if other == solo.site() {
+                    continue;
+                }
+                assert_eq!(
+                    solo.seed_with_holder(other).unwrap(),
+                    reference.seed_with_holder(other).unwrap()
+                );
+            }
+            assert_eq!(
+                solo.categorical_key().tag_str("probe"),
+                reference.categorical_key().tag_str("probe")
+            );
+        }
+        let tp = TrustedSetup::derive_third_party(&sites, &master).unwrap();
+        for &site in &sites {
+            assert_eq!(
+                tp.seed_for(site, "x").unwrap(),
+                all.third_party.seed_for(site, "x").unwrap()
+            );
+        }
+        // Roster validation carries over.
+        assert!(TrustedSetup::derive_third_party(&[0], &master).is_err());
+        assert!(TrustedSetup::derive_third_party(&[0, 0], &master).is_err());
+        assert!(
+            TrustedSetup::derive_holder(partition(5, &[1.0]), &sites, &master).is_err(),
+            "a holder outside the roster must be rejected"
         );
     }
 

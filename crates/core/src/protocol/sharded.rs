@@ -28,7 +28,7 @@ use std::time::Duration;
 use ppc_net::{PartyId, WaitTransport};
 
 use crate::error::CoreError;
-use crate::protocol::engine::{EngineOutcome, SessionRuntime, SessionSpec};
+use crate::protocol::engine::{EngineOutcome, PartyRuntime, SessionSpec};
 
 /// What one shard worker returns: its sessions' outcomes (tagged with
 /// their global ids) plus the shard's scheduling stats.
@@ -220,9 +220,9 @@ fn drive_shard<T: WaitTransport>(
     // Sessions always carry their global `s{id}/` prefix: ids are unique
     // across shards, so shards can share one router or WAN without their
     // topics colliding.
-    let mut runtimes: Vec<(usize, SessionRuntime)> = sessions
+    let mut runtimes: Vec<(usize, PartyRuntime)> = sessions
         .iter()
-        .map(|(id, spec)| Ok((*id, SessionRuntime::build(spec, format!("s{id}/"))?)))
+        .map(|(id, spec)| Ok((*id, PartyRuntime::build(spec, format!("s{id}/"))?)))
         .collect::<Result<_, CoreError>>()?;
     let parties: Vec<PartyId> = {
         let mut parties: Vec<PartyId> = runtimes
@@ -234,7 +234,7 @@ fn drive_shard<T: WaitTransport>(
         parties
     };
 
-    let route = |runtimes: &mut Vec<(usize, SessionRuntime)>,
+    let route = |runtimes: &mut Vec<(usize, PartyRuntime)>,
                  envelope: ppc_net::Envelope|
      -> Result<(), CoreError> {
         let (_, target) = runtimes

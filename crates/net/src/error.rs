@@ -25,6 +25,14 @@ pub enum NetError {
     DuplicateParty(PartyId),
     /// An underlying byte stream failed.
     Io(String),
+    /// A peer could not be reached after exhausting the reconnect backoff
+    /// (or its link lost more frames than the replay window retains).
+    PeerUnreachable {
+        /// The party the undeliverable traffic was addressed to.
+        party: PartyId,
+        /// What the last recovery attempt failed with.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -42,6 +50,9 @@ impl fmt::Display for NetError {
             NetError::Decode(msg) => write!(f, "wire decode error: {msg}"),
             NetError::DuplicateParty(p) => write!(f, "party {p} registered twice"),
             NetError::Io(msg) => write!(f, "stream i/o error: {msg}"),
+            NetError::PeerUnreachable { party, detail } => {
+                write!(f, "peer hosting {party} is unreachable: {detail}")
+            }
         }
     }
 }

@@ -18,9 +18,15 @@
 //! * [`framed`] — length-prefixed envelope frames over `io::Read + Write`
 //!   byte streams (the frame layout is specified in `docs/WIRE_FORMAT.md`).
 //! * [`socket`] — real TCP and Unix-domain bindings over those frames:
-//!   party-announcing handshake, condvar-waking [`socket::SocketTransport`],
-//!   connect/accept with [`socket::Backoff`], and a standalone frame router
-//!   for loopback and hub-and-spoke deployments.
+//!   party-announcing handshake, condvar-waking [`socket::SocketTransport`]
+//!   with lossless reconnects (per-link sequence numbers and a bounded
+//!   replay window), connect/accept with [`socket::Backoff`], and a
+//!   standalone store-and-forward frame router for loopback and
+//!   hub-and-spoke deployments.
+//! * [`control`] — the session control plane: `SessionAnnounce` /
+//!   `SessionReady` / `SessionDone` messages on the reserved `ctl/` topic,
+//!   so a coordinating party opens sessions against remote peers without
+//!   out-of-band configuration.
 //! * [`eavesdrop::Eavesdropper`] — captures traffic on plaintext links,
 //!   used by the privacy experiments to demonstrate the inference the paper
 //!   warns about when channels are left unsecured.
@@ -33,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod control;
 pub mod cost;
 pub mod eavesdrop;
 pub mod error;
@@ -45,6 +52,10 @@ pub mod socket;
 pub mod transport;
 
 pub use codec::{WireReader, WireWriter};
+pub use control::{
+    is_control_topic, ControlMsg, SessionAnnounce, SessionDone, SessionReady, CTL_PREFIX,
+    TOPIC_ANNOUNCE, TOPIC_DONE, TOPIC_READY,
+};
 pub use cost::CostModel;
 pub use eavesdrop::Eavesdropper;
 pub use error::NetError;

@@ -7,10 +7,15 @@
 //! condvar-waking, multi-link transport:
 //!
 //! * a **handshake** ([`HELLO_MAGIC`]) in which each endpoint announces the
-//!   set of parties it hosts, so peers and routers learn where to deliver;
+//!   set of parties it hosts plus the number of frames it has received on
+//!   the logical link, so peers and routers learn where to deliver and how
+//!   much to retransmit after a reconnect;
 //! * [`SocketTransport`] — one framed stream per peer link, each drained by
 //!   a dedicated blocking reader thread into a condvar-signalled inbox, so
-//!   [`WaitTransport::receive_any_of`] parks without spinning;
+//!   [`WaitTransport::receive_any_of`] parks without spinning. Every link
+//!   keeps a bounded replay window of sent frames (implicit per-link
+//!   sequence numbers), making re-dials and re-accepts **lossless**: the
+//!   resume handshake retransmits exactly the suffix the other side lost;
 //! * [`Backoff`] — retry policy for transient connect/send errors
 //!   (connection refused while the peer is still binding, broken pipes on
 //!   links that can be re-dialled);
@@ -47,7 +52,23 @@ use crate::transport::{Transport, WaitTransport};
 pub const HELLO_MAGIC: [u8; 4] = *b"PPCH";
 
 /// Version byte following the magic; bumped on incompatible wire changes.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version 2 added the resume exchange (§3 of `docs/WIRE_FORMAT.md`): after
+/// the hellos, each side sends the number of frames it has received on this
+/// logical link so the other side can retransmit the lost suffix from its
+/// replay window.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Default number of recently sent frames every link retains for
+/// retransmission after a reconnect. Override with
+/// [`SocketTransport::set_replay_window`].
+pub const DEFAULT_REPLAY_FRAMES: usize = 1024;
+
+/// Default byte budget of a link's replay window (64 MiB): whichever of
+/// the frame-count and byte bounds is hit first evicts the oldest frames
+/// (always keeping at least one), so links carrying huge frames do not
+/// retain gigabytes. A reconnect needing evicted frames fails loudly.
+pub const DEFAULT_REPLAY_BYTES: usize = 64 << 20;
 
 /// Retry policy for transient socket errors.
 ///
@@ -125,6 +146,82 @@ fn is_transient(e: &std::io::Error) -> bool {
     )
 }
 
+/// A bounded window of the most recently sent frames on one logical link,
+/// indexed by implicit per-link sequence number (frame `i` is simply the
+/// `i`-th frame ever written onto the link; per-link FIFO makes the
+/// numbering unambiguous without putting sequence numbers on the wire).
+///
+/// After a reconnect, the peer announces how many frames it has received;
+/// [`unacked`](Self::unacked) yields exactly the lost suffix for
+/// retransmission. If the suffix no longer fits the window the link is
+/// unrecoverable and the caller must fail loudly instead of resuming with a
+/// gap.
+#[derive(Debug)]
+struct ReplayWindow {
+    frames: VecDeque<Vec<u8>>,
+    /// Total frames ever recorded (the sequence number of the newest frame).
+    sent: u64,
+    capacity: usize,
+    /// Byte budget across the retained frames (at least one frame is
+    /// always kept so the most recent send stays retransmittable).
+    byte_budget: usize,
+    bytes: usize,
+}
+
+impl ReplayWindow {
+    fn new(capacity: usize, byte_budget: usize) -> Self {
+        ReplayWindow {
+            frames: VecDeque::new(),
+            sent: 0,
+            capacity: capacity.max(1),
+            byte_budget: byte_budget.max(1),
+            bytes: 0,
+        }
+    }
+
+    /// Records one sent frame, evicting the oldest beyond the frame or
+    /// byte bound (keeping at least the newest frame).
+    fn record(&mut self, frame: Vec<u8>) {
+        self.sent += 1;
+        self.bytes += frame.len();
+        self.frames.push_back(frame);
+        while self.frames.len() > self.capacity
+            || (self.bytes > self.byte_budget && self.frames.len() > 1)
+        {
+            if let Some(evicted) = self.frames.pop_front() {
+                self.bytes -= evicted.len();
+            }
+        }
+    }
+
+    /// The frames the peer has not acknowledged (received fewer than
+    /// `sent`), oldest first. `Err` carries a description when the suffix
+    /// has been partially evicted (frames irrecoverably lost) or the peer
+    /// claims more frames than were ever sent (protocol violation).
+    fn unacked(&self, peer_received: u64) -> Result<Vec<&[u8]>, String> {
+        if peer_received > self.sent {
+            return Err(format!(
+                "peer claims {peer_received} received frames, only {} were sent",
+                self.sent
+            ));
+        }
+        let pending = (self.sent - peer_received) as usize;
+        if pending > self.frames.len() {
+            return Err(format!(
+                "{} unacknowledged frames evicted from the {}-frame replay window",
+                pending - self.frames.len(),
+                self.capacity
+            ));
+        }
+        Ok(self
+            .frames
+            .iter()
+            .skip(self.frames.len() - pending)
+            .map(Vec::as_slice)
+            .collect())
+    }
+}
+
 /// Socket-like duplex streams the transport can split into a blocking
 /// reader half and a writer half.
 ///
@@ -169,13 +266,34 @@ impl SocketStream for std::os::unix::net::UnixStream {
     }
 }
 
-/// Serialises a hello announcing `parties` (see `docs/WIRE_FORMAT.md` §3).
-fn encode_hello(parties: &BTreeSet<PartyId>) -> Vec<u8> {
-    let mut w = WireWriter::with_capacity(6 + parties.len() * 5);
+/// Generates a practically unique endpoint id: carried in the hello so the
+/// far side can tell two endpoints announcing identical party sets apart
+/// (logical links are keyed by endpoint id + party set). A restarted
+/// process draws a fresh id, so it gets a clean link instead of a bogus
+/// resume of its predecessor's.
+fn endpoint_nonce() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    (u64::from(std::process::id()))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31)
+        ^ nanos.wrapping_mul(0xD1B5_4A32_D192_ED03)
+        ^ count.rotate_left(17)
+}
+
+/// Serialises a hello announcing `endpoint` and `parties` (see
+/// `docs/WIRE_FORMAT.md` §3).
+fn encode_hello(endpoint: u64, parties: &BTreeSet<PartyId>) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(14 + parties.len() * 5);
     for &b in &HELLO_MAGIC {
         w.put_u8(b);
     }
     w.put_u8(WIRE_VERSION);
+    w.put_u64(endpoint);
     w.put_u8(parties.len() as u8);
     for &party in parties {
         put_party(&mut w, party);
@@ -183,12 +301,14 @@ fn encode_hello(parties: &BTreeSet<PartyId>) -> Vec<u8> {
     w.finish()
 }
 
-/// Blocking handshake: writes our hello, reads and validates the peer's,
-/// returning the party set the peer announced.
+/// Handshake stage 1: writes our hello, reads and validates the peer's,
+/// returning the endpoint id and party set the peer announced. Arms a read
+/// timeout that [`exchange_resume`] clears once stage 2 completes.
 fn exchange_hello<S: SocketStream>(
     stream: &mut S,
+    endpoint: u64,
     locals: &BTreeSet<PartyId>,
-) -> Result<BTreeSet<PartyId>, NetError> {
+) -> Result<(u64, BTreeSet<PartyId>), NetError> {
     if locals.len() > u8::MAX as usize {
         return Err(NetError::Io(format!(
             "an endpoint may announce at most 255 parties, got {}",
@@ -199,10 +319,12 @@ fn exchange_hello<S: SocketStream>(
     stream
         .set_stream_read_timeout(Some(Duration::from_secs(5)))
         .map_err(io_err)?;
-    stream.write_all(&encode_hello(locals)).map_err(io_err)?;
+    stream
+        .write_all(&encode_hello(endpoint, locals))
+        .map_err(io_err)?;
     stream.flush().map_err(io_err)?;
 
-    let mut header = [0u8; 6];
+    let mut header = [0u8; 14];
     stream.read_exact(&mut header).map_err(io_err)?;
     if header[..4] != HELLO_MAGIC {
         return Err(NetError::Decode(format!(
@@ -216,7 +338,8 @@ fn exchange_hello<S: SocketStream>(
             header[4]
         )));
     }
-    let count = header[5] as usize;
+    let peer_endpoint = u64::from_le_bytes(header[5..13].try_into().expect("8 bytes"));
+    let count = header[13] as usize;
     let mut body = vec![0u8; count * 5];
     stream.read_exact(&mut body).map_err(io_err)?;
     let mut r = WireReader::new(&body);
@@ -224,13 +347,58 @@ fn exchange_hello<S: SocketStream>(
     for _ in 0..count {
         parties.insert(get_party(&mut r)?);
     }
+    Ok((peer_endpoint, parties))
+}
+
+/// Handshake stage 2 (the resume exchange): announces how many frames this
+/// endpoint has received on the logical link and reads the peer's count,
+/// then clears the handshake read timeout. The stages are split so
+/// listener-side endpoints can look up per-peer link state between reading
+/// the hello and answering with their received count.
+fn exchange_resume<S: SocketStream>(stream: &mut S, received: u64) -> Result<u64, NetError> {
+    let io_err = |e: std::io::Error| NetError::Io(format!("resume handshake failed: {e}"));
+    stream.write_all(&received.to_le_bytes()).map_err(io_err)?;
+    stream.flush().map_err(io_err)?;
+    let mut raw = [0u8; 8];
+    stream.read_exact(&mut raw).map_err(io_err)?;
     stream.set_stream_read_timeout(None).map_err(io_err)?;
-    Ok(parties)
+    Ok(u64::from_le_bytes(raw))
+}
+
+/// Full handshake (both stages) for endpoints that know their received
+/// count up front (diallers and re-diallers). Returns the peer's announced
+/// endpoint id, party set and received-frame count.
+fn handshake<S: SocketStream>(
+    stream: &mut S,
+    endpoint: u64,
+    locals: &BTreeSet<PartyId>,
+    received: u64,
+) -> Result<(u64, BTreeSet<PartyId>, u64), NetError> {
+    let (peer_endpoint, parties) = exchange_hello(stream, endpoint, locals)?;
+    let peer_received = exchange_resume(stream, received)?;
+    Ok((peer_endpoint, parties, peer_received))
+}
+
+/// The writer half of one link: the current OS stream plus the replay
+/// window that makes reconnects lossless. Recording a frame and writing it
+/// happen under one lock, so the replay order always equals the stream
+/// order.
+struct LinkWriter<S> {
+    stream: S,
+    replay: ReplayWindow,
+    /// Bumped on every successful stream replacement; a sender whose write
+    /// failed checks it to learn whether a concurrent sender already
+    /// re-dialled (and therefore already retransmitted the failed frame).
+    generation: u64,
 }
 
 /// A peer link: the writer half plus routing metadata. The reader half
-/// lives on a dedicated thread.
+/// lives on a dedicated thread whose handle the link keeps, so resuming the
+/// link can retire and join exactly its own reader.
 struct Link<S> {
+    /// The endpoint id the peer announced in its hello; together with the
+    /// party set it identifies the logical link across reconnects.
+    peer_endpoint: u64,
     /// Parties the peer announced in its hello.
     peer_parties: BTreeSet<PartyId>,
     /// Whether this link is a default route (the peer announced no parties
@@ -238,7 +406,7 @@ struct Link<S> {
     gateway: bool,
     /// Writer half behind its own lock, so a blocking write on one link
     /// never stalls routing, flushing or other links' sends.
-    writer: Arc<Mutex<S>>,
+    writer: Arc<Mutex<LinkWriter<S>>>,
     /// OS-handle clone used for shutdown, reachable without taking the
     /// writer lock (a writer blocked in `write_all` holds that lock).
     control: S,
@@ -247,10 +415,16 @@ struct Link<S> {
     /// Set when this link's stream is replaced by a re-dial, so the stale
     /// reader's death doesn't poison the fresh link with a fatal error.
     reader_retired: Arc<AtomicBool>,
+    /// Frames received on this logical link across every stream it has had;
+    /// announced in the resume handshake so the peer retransmits exactly
+    /// the lost suffix.
+    received: Arc<AtomicU64>,
+    /// The current stream's reader thread.
+    reader: Option<JoinHandle<()>>,
 }
 
 /// How to re-establish an outbound link.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum RedialTarget {
     /// TCP peer address.
     Tcp(SocketAddr),
@@ -292,14 +466,19 @@ struct SocketInbox {
 ///
 /// [`receive_any_of`]: WaitTransport::receive_any_of
 pub struct SocketTransport<S: SocketStream> {
+    /// This endpoint's unique id, announced in every hello.
+    endpoint: u64,
     locals: BTreeSet<PartyId>,
     inbox: Arc<Mutex<SocketInbox>>,
     arrivals: Arc<Condvar>,
     links: Mutex<Vec<Link<S>>>,
-    readers: Mutex<Vec<JoinHandle<()>>>,
     shutting_down: Arc<AtomicBool>,
     /// Policy for re-dialling broken outbound links at send time.
     reconnect: Backoff,
+    /// Frames each link retains for retransmission after a reconnect.
+    replay_frames: usize,
+    /// Byte budget of each link's replay window.
+    replay_bytes: usize,
 }
 
 impl<S: SocketStream> std::fmt::Debug for SocketTransport<S> {
@@ -320,19 +499,32 @@ impl<S: SocketStream> SocketTransport<S> {
             inbox.queues.insert(party, VecDeque::new());
         }
         SocketTransport {
+            endpoint: endpoint_nonce(),
             locals,
             inbox: Arc::new(Mutex::new(inbox)),
             arrivals: Arc::new(Condvar::new()),
             links: Mutex::new(Vec::new()),
-            readers: Mutex::new(Vec::new()),
             shutting_down: Arc::new(AtomicBool::new(false)),
             reconnect: Backoff::default(),
+            replay_frames: DEFAULT_REPLAY_FRAMES,
+            replay_bytes: DEFAULT_REPLAY_BYTES,
         }
     }
 
     /// Overrides the send-time re-dial policy (default: [`Backoff::default`]).
     pub fn set_reconnect_policy(&mut self, policy: Backoff) {
         self.reconnect = policy;
+    }
+
+    /// Overrides the per-link replay window (default:
+    /// [`DEFAULT_REPLAY_FRAMES`] frames / [`DEFAULT_REPLAY_BYTES`] bytes —
+    /// whichever bound is hit first evicts, always keeping the newest
+    /// frame). Applies to links attached after the call. A reconnect whose
+    /// lost suffix exceeds the window fails loudly instead of resuming
+    /// with a gap.
+    pub fn set_replay_window(&mut self, frames: usize, max_bytes: usize) {
+        self.replay_frames = frames.max(1);
+        self.replay_bytes = max_bytes.max(1);
     }
 
     /// The parties this endpoint hosts.
@@ -345,11 +537,13 @@ impl<S: SocketStream> SocketTransport<S> {
         self.links.lock().len()
     }
 
-    /// Attaches a connected, handshaken stream as a peer link and spawns
-    /// its reader thread.
-    fn attach_link(
+    /// Attaches a fully handshaken stream as a fresh peer link and spawns
+    /// its reader thread. `links` is the already-held link table.
+    fn attach_link_locked(
         &self,
+        links: &mut Vec<Link<S>>,
         stream: S,
+        peer_endpoint: u64,
         peer_parties: BTreeSet<PartyId>,
         redial: Option<RedialTarget>,
     ) -> Result<(), NetError> {
@@ -361,25 +555,237 @@ impl<S: SocketStream> SocketTransport<S> {
             .map_err(|e| NetError::Io(format!("cannot split stream: {e}")))?;
         let gateway = peer_parties.is_empty();
         let reader_retired = Arc::new(AtomicBool::new(false));
-        self.links.lock().push(Link {
-            peer_parties,
-            gateway,
-            writer: Arc::new(Mutex::new(stream)),
-            control,
-            redial,
-            reader_retired: Arc::clone(&reader_retired),
-        });
+        let received = Arc::new(AtomicU64::new(0));
+        let recoverable = redial.is_some();
         let handle = spawn_reader(
             reader,
             Arc::clone(&self.inbox),
             Arc::clone(&self.arrivals),
             Arc::clone(&self.shutting_down),
-            reader_retired,
+            Arc::clone(&reader_retired),
+            Arc::clone(&received),
+            recoverable,
         );
-        let mut readers = self.readers.lock();
-        readers.retain(|h| !h.is_finished());
-        readers.push(handle);
+        links.push(Link {
+            peer_endpoint,
+            peer_parties,
+            gateway,
+            writer: Arc::new(Mutex::new(LinkWriter {
+                stream,
+                replay: ReplayWindow::new(self.replay_frames, self.replay_bytes),
+                generation: 0,
+            })),
+            control,
+            redial,
+            reader_retired,
+            received,
+            reader: Some(handle),
+        });
         Ok(())
+    }
+
+    /// Retires and joins the current reader of `links[index]`, returning
+    /// the final received-frame count for the resume handshake. Joining
+    /// first guarantees the announced count can no longer move.
+    fn quiesce_reader(links: &mut [Link<S>], index: usize) -> u64 {
+        let link = &mut links[index];
+        link.reader_retired.store(true, Ordering::SeqCst);
+        let _ = link.control.shutdown_stream();
+        if let Some(handle) = link.reader.take() {
+            let _ = handle.join();
+        }
+        link.received.load(Ordering::SeqCst)
+    }
+
+    /// Installs `stream` (already through stage 1 plus the resume exchange,
+    /// whose `peer_received` is given) as the new stream of `links[index]`:
+    /// retransmits the unacknowledged suffix, swaps the stream in and
+    /// spawns a fresh reader. The old reader must already be quiesced.
+    fn resume_link_at(
+        &self,
+        links: &mut [Link<S>],
+        index: usize,
+        mut stream: S,
+        peer_endpoint: u64,
+        peer_parties: BTreeSet<PartyId>,
+        peer_received: u64,
+    ) -> Result<(), NetError> {
+        if peer_endpoint != links[index].peer_endpoint {
+            // The address answered with a different endpoint id: the peer
+            // process restarted and lost its link state. Resuming would
+            // silently drop or duplicate frames, so only a link with no
+            // history may proceed (as a de-facto fresh link).
+            let clean = links[index].received.load(Ordering::SeqCst) == 0
+                && links[index].writer.lock().replay.sent == 0;
+            if !clean {
+                return Err(NetError::Io(
+                    "peer endpoint changed (peer restarted?); the logical link cannot be \
+                     resumed losslessly"
+                        .into(),
+                ));
+            }
+        }
+        links[index].peer_endpoint = peer_endpoint;
+        let reader = stream
+            .try_clone_stream()
+            .map_err(|e| NetError::Io(format!("cannot split stream: {e}")))?;
+        let control = stream
+            .try_clone_stream()
+            .map_err(|e| NetError::Io(format!("cannot split stream: {e}")))?;
+        // Spawn the new stream's reader *before* retransmitting: the peer
+        // is symmetrically retransmitting its own lost suffix, and draining
+        // it while we write is what keeps a large mutual resync from
+        // deadlocking on full socket buffers.
+        let old_token = Arc::clone(&links[index].reader_retired);
+        let reader_retired = Arc::new(AtomicBool::new(false));
+        let recoverable = links[index].redial.is_some();
+        let handle = spawn_reader(
+            reader,
+            Arc::clone(&self.inbox),
+            Arc::clone(&self.arrivals),
+            Arc::clone(&self.shutting_down),
+            Arc::clone(&reader_retired),
+            Arc::clone(&links[index].received),
+            recoverable,
+        );
+        let retransmission = {
+            // Retransmit under the writer lock so concurrent senders queue
+            // behind the resync and stream order keeps matching replay
+            // order.
+            let mut writer = links[index].writer.lock();
+            let result = writer
+                .replay
+                .unacked(peer_received)
+                .map_err(NetError::Io)
+                .and_then(|unacked| {
+                    for frame in &unacked {
+                        stream
+                            .write_all(frame)
+                            .map_err(|e| NetError::Io(format!("retransmission failed: {e}")))?;
+                    }
+                    stream
+                        .flush()
+                        .map_err(|e| NetError::Io(format!("retransmission failed: {e}")))
+                });
+            if result.is_ok() {
+                writer.stream = stream;
+                writer.generation += 1;
+            }
+            result
+        };
+        if let Err(e) = retransmission {
+            // Abandon the fresh stream; the link keeps its (dead) old
+            // stream and intact replay, so a later reconnect can retry.
+            reader_retired.store(true, Ordering::SeqCst);
+            let _ = control.shutdown_stream();
+            let _ = handle.join();
+            return Err(e);
+        }
+        let link = &mut links[index];
+        link.gateway = peer_parties.is_empty();
+        link.peer_parties = peer_parties;
+        link.control = control;
+        link.reader_retired = reader_retired;
+        link.reader = Some(handle);
+        // A resumed link invalidates a fatal error *its own* dead reader
+        // left — never one recorded by a different link's reader.
+        let mut inbox = self.inbox.lock();
+        if let Some(failure) = &inbox.failed {
+            if Arc::ptr_eq(&failure.token, &old_token) {
+                inbox.failed = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Handshakes a freshly dialled stream and attaches it. If a link with
+    /// the same dial target already exists (an explicit reconnect after a
+    /// network cut), the logical link is *resumed*: the peer learns our
+    /// received count and retransmits what we lost, and we retransmit what
+    /// it lost.
+    fn connect_stream(
+        &self,
+        mut stream: S,
+        target: RedialTarget,
+    ) -> Result<BTreeSet<PartyId>, NetError> {
+        let mut links = self.links.lock();
+        let existing = links
+            .iter()
+            .position(|l| l.redial.as_ref() == Some(&target));
+        match existing {
+            Some(index) => {
+                let received = Self::quiesce_reader(&mut links, index);
+                let (peer_endpoint, peer_parties, peer_received) =
+                    handshake(&mut stream, self.endpoint, &self.locals, received)?;
+                self.resume_link_at(
+                    &mut links,
+                    index,
+                    stream,
+                    peer_endpoint,
+                    peer_parties.clone(),
+                    peer_received,
+                )?;
+                Ok(peer_parties)
+            }
+            None => {
+                let (peer_endpoint, peer_parties, peer_received) =
+                    handshake(&mut stream, self.endpoint, &self.locals, 0)?;
+                if peer_received != 0 {
+                    return Err(NetError::Io(format!(
+                        "peer expects to resume at frame {peer_received} on a link this \
+                         endpoint has no state for (frames are irrecoverably lost)"
+                    )));
+                }
+                self.attach_link_locked(
+                    &mut links,
+                    stream,
+                    peer_endpoint,
+                    peer_parties.clone(),
+                    Some(target),
+                )?;
+                Ok(peer_parties)
+            }
+        }
+    }
+
+    /// Completes stage 2 of the handshake for an accepted connection and
+    /// either resumes the existing logical link with the same announced
+    /// endpoint id and party set (retransmitting whatever the peer lost)
+    /// or attaches a fresh link.
+    fn accept_stream(
+        &self,
+        mut stream: S,
+        peer_endpoint: u64,
+        peer_parties: BTreeSet<PartyId>,
+    ) -> Result<(), NetError> {
+        let mut links = self.links.lock();
+        let existing = links
+            .iter()
+            .position(|l| l.peer_endpoint == peer_endpoint && l.peer_parties == peer_parties);
+        match existing {
+            Some(index) => {
+                let received = Self::quiesce_reader(&mut links, index);
+                let peer_received = exchange_resume(&mut stream, received)?;
+                self.resume_link_at(
+                    &mut links,
+                    index,
+                    stream,
+                    peer_endpoint,
+                    peer_parties,
+                    peer_received,
+                )
+            }
+            None => {
+                let peer_received = exchange_resume(&mut stream, 0)?;
+                if peer_received != 0 {
+                    return Err(NetError::Io(format!(
+                        "peer expects to resume at frame {peer_received}, but this endpoint \
+                         holds no state for its link (frames are irrecoverably lost)"
+                    )));
+                }
+                self.attach_link_locked(&mut links, stream, peer_endpoint, peer_parties, None)
+            }
+        }
     }
 
     /// Delivers an envelope into the local inbox and wakes waiters.
@@ -402,10 +808,13 @@ impl<S: SocketStream> SocketTransport<S> {
             .or_else(|| links.iter().position(|l| l.gateway))
     }
 
-    /// Re-dials a broken outbound link in place, replacing its stream and
-    /// spawning a fresh reader. Envelopes written into the dead stream are
-    /// lost (TCP offers at-most-once per write); higher layers detect the
-    /// resulting stall and restart the affected sessions.
+    /// Re-dials a broken outbound link in place, resuming the logical link:
+    /// the resume handshake tells this side how many frames the peer
+    /// actually received, and the lost suffix is retransmitted from the
+    /// replay window before any new traffic, so nothing written into the
+    /// dying socket is lost (at-least-never-dropped; duplicates are
+    /// impossible because retransmission starts exactly at the peer's
+    /// count).
     fn redial_link(&self, links: &mut [Link<S>], index: usize) -> Result<(), NetError>
     where
         S: Redial,
@@ -414,64 +823,50 @@ impl<S: SocketStream> SocketTransport<S> {
             .redial
             .clone()
             .ok_or_else(|| NetError::Io("link broke and cannot be re-dialled".into()))?;
+        // Quiesce the dead stream's reader first so the received count we
+        // announce is final (and the dead reader cannot poison the fresh
+        // link with a fatal error).
+        let received = Self::quiesce_reader(links, index);
         let mut stream = self
             .reconnect
             .retry(|| S::redial(&target))
             .map_err(|e| NetError::Io(format!("reconnect failed: {e}")))?;
-        let peer_parties = exchange_hello(&mut stream, &self.locals)?;
-        let reader = stream
-            .try_clone_stream()
-            .map_err(|e| NetError::Io(format!("cannot split stream: {e}")))?;
-        let control = stream
-            .try_clone_stream()
-            .map_err(|e| NetError::Io(format!("cannot split stream: {e}")))?;
-        // Retire the dead stream's reader before it can record a fatal
-        // error against the fresh link.
-        let old_token = Arc::clone(&links[index].reader_retired);
-        old_token.store(true, Ordering::SeqCst);
-        let reader_retired = Arc::new(AtomicBool::new(false));
-        links[index] = Link {
-            gateway: peer_parties.is_empty(),
+        let (peer_endpoint, peer_parties, peer_received) =
+            handshake(&mut stream, self.endpoint, &self.locals, received)?;
+        self.resume_link_at(
+            links,
+            index,
+            stream,
+            peer_endpoint,
             peer_parties,
-            writer: Arc::new(Mutex::new(stream)),
-            control,
-            redial: Some(target),
-            reader_retired: Arc::clone(&reader_retired),
-        };
-        // A fresh link invalidates a fatal error *this* link's dead reader
-        // left — never one recorded by a different link's reader.
-        {
-            let mut inbox = self.inbox.lock();
-            if let Some(failure) = &inbox.failed {
-                if Arc::ptr_eq(&failure.token, &old_token) {
-                    inbox.failed = None;
-                }
-            }
+            peer_received,
+        )
+    }
+
+    /// Tears down the OS stream of every link while keeping the logical
+    /// link state (received counters, replay windows), simulating a network
+    /// cut: the next send re-dials outbound links, and a listener can
+    /// re-accept inbound ones, in both cases retransmitting the lost
+    /// suffix. Used by tests and fail-over drills.
+    pub fn sever_links(&self) {
+        let mut links = self.links.lock();
+        for index in 0..links.len() {
+            let _ = Self::quiesce_reader(&mut links, index);
         }
-        let handle = spawn_reader(
-            reader,
-            Arc::clone(&self.inbox),
-            Arc::clone(&self.arrivals),
-            Arc::clone(&self.shutting_down),
-            reader_retired,
-        );
-        let mut readers = self.readers.lock();
-        readers.retain(|h| !h.is_finished());
-        readers.push(handle);
-        Ok(())
     }
 
     /// Tears down every link: shuts the sockets down (unblocking reader
     /// threads) and joins them. Idempotent; also runs on drop.
     pub fn shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
-        for link in self.links.lock().iter() {
+        let mut links = self.links.lock();
+        for link in links.iter_mut() {
             let _ = link.control.shutdown_stream();
+            if let Some(handle) = link.reader.take() {
+                let _ = handle.join();
+            }
         }
-        let handles: Vec<JoinHandle<()>> = self.readers.lock().drain(..).collect();
-        for handle in handles {
-            let _ = handle.join();
-        }
+        drop(links);
         self.arrivals.notify_all();
     }
 }
@@ -512,12 +907,22 @@ impl Redial for std::os::unix::net::UnixStream {
 }
 
 /// Spawns the blocking reader loop for one link.
+///
+/// Every complete frame increments the link's `received` counter (the
+/// number announced in resume handshakes) under the inbox lock, so a
+/// quiesced reader's final count exactly matches the delivered envelopes.
+/// On `recoverable` links (those with a re-dial target) stream I/O failures
+/// are *not* recorded as fatal: the next send re-dials and retransmits, so
+/// the receive path must not kill the session first. Decode failures
+/// (corrupt framing) are always fatal.
 fn spawn_reader<S: SocketStream>(
     mut stream: S,
     inbox: Arc<Mutex<SocketInbox>>,
     arrivals: Arc<Condvar>,
     shutting_down: Arc<AtomicBool>,
     retired: Arc<AtomicBool>,
+    received: Arc<AtomicU64>,
+    recoverable: bool,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let mut decoder = FrameDecoder::new();
@@ -540,7 +945,12 @@ fn spawn_reader<S: SocketStream>(
         loop {
             match stream.read(&mut buf) {
                 Ok(0) => {
-                    if decoder.buffered() > 0 && !silenced(&shutting_down, &retired) {
+                    // EOF. A partial frame in the buffer means the peer (or
+                    // the network) died mid-send; on a recoverable link the
+                    // retransmission after re-dial replaces the torn frame,
+                    // so only unrecoverable links surface it as fatal.
+                    if decoder.buffered() > 0 && !recoverable && !silenced(&shutting_down, &retired)
+                    {
                         fail(
                             &inbox,
                             &arrivals,
@@ -564,6 +974,7 @@ fn spawn_reader<S: SocketStream>(
                                     .entry(envelope.to)
                                     .or_default()
                                     .push_back(envelope);
+                                received.fetch_add(1, Ordering::SeqCst);
                                 delivered = true;
                             }
                             Ok(None) => break,
@@ -584,7 +995,7 @@ fn spawn_reader<S: SocketStream>(
                     continue;
                 }
                 Err(e) => {
-                    if !silenced(&shutting_down, &retired) {
+                    if !recoverable && !silenced(&shutting_down, &retired) {
                         fail(&inbox, &arrivals, NetError::Io(e.to_string()));
                     }
                     return;
@@ -617,26 +1028,38 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
             None => return Err(NetError::UnknownParty(envelope.to)),
         };
         let frame = encode_frame(&envelope)?;
-        let write_error = match writer.lock().write_all(&frame) {
-            Ok(()) => return Ok(()),
-            Err(e) => e,
+        // Record the frame in the replay window *before* attempting the
+        // write (both under the writer lock, so replay order equals stream
+        // order): whatever happens to the write, the frame is now part of
+        // the link's history and any resume retransmits it.
+        let (generation, write_error) = {
+            let mut guard = writer.lock();
+            let w = &mut *guard;
+            w.replay.record(frame);
+            let frame = w.replay.frames.back().expect("just recorded");
+            match w.stream.write_all(frame) {
+                Ok(()) => return Ok(()),
+                Err(e) => (w.generation, e),
+            }
         };
         if !(is_transient(&write_error) && can_redial) {
             return Err(NetError::Io(write_error.to_string()));
         }
         // The stream died under us. Re-dial with backoff (under the global
-        // lock: redials are rare and must not race each other) and retry
-        // the write once on the current stream — a concurrent sender may
-        // have already replaced it.
+        // lock: redials are rare and must not race each other) unless a
+        // concurrent sender already replaced the stream — its resume
+        // retransmitted our recorded frame along with the rest.
         let mut links = self.links.lock();
-        let fresh = Arc::clone(&links[index].writer);
-        if Arc::ptr_eq(&fresh, &writer) {
-            self.redial_link(&mut links, index)?;
+        if links[index].writer.lock().generation != generation {
+            return Ok(());
         }
-        let fresh = Arc::clone(&links[index].writer);
-        drop(links);
-        let result = fresh.lock().write_all(&frame);
-        result.map_err(|e| NetError::Io(e.to_string()))
+        self.redial_link(&mut links, index).map_err(|e| match e {
+            NetError::Io(detail) => NetError::PeerUnreachable {
+                party: envelope.to,
+                detail,
+            },
+            other => other,
+        })
     }
 
     fn try_receive(&self, receiver: PartyId) -> Result<Option<Envelope>, NetError> {
@@ -658,17 +1081,20 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
     }
 
     fn flush(&self) -> Result<(), NetError> {
-        let writers: Vec<Arc<Mutex<S>>> = self
+        let writers: Vec<(Arc<Mutex<LinkWriter<S>>>, bool)> = self
             .links
             .lock()
             .iter()
-            .map(|link| Arc::clone(&link.writer))
+            .map(|link| (Arc::clone(&link.writer), link.redial.is_some()))
             .collect();
-        for writer in writers {
-            writer
-                .lock()
-                .flush()
-                .map_err(|e| NetError::Io(e.to_string()))?;
+        for (writer, recoverable) in writers {
+            if let Err(e) = writer.lock().stream.flush() {
+                // A dead-but-redialable link flushes again after the next
+                // send resumes it; only unrecoverable links fail the flush.
+                if !(recoverable && is_transient(&e)) {
+                    return Err(NetError::Io(e.to_string()));
+                }
+            }
         }
         Ok(())
     }
@@ -735,16 +1161,14 @@ impl TcpTransport {
             .map_err(|e| NetError::Io(format!("bad address: {e}")))?
             .next()
             .ok_or_else(|| NetError::Io("address resolved to nothing".into()))?;
-        let mut stream = backoff
+        let stream = backoff
             .retry(|| {
                 let stream = TcpStream::connect(addr)?;
                 stream.set_nodelay(true)?;
                 Ok(stream)
             })
             .map_err(|e| NetError::Io(format!("connect to {addr} failed: {e}")))?;
-        let peer_parties = exchange_hello(&mut stream, &self.locals)?;
-        self.attach_link(stream, peer_parties.clone(), Some(RedialTarget::Tcp(addr)))?;
-        Ok(peer_parties)
+        self.connect_stream(stream, RedialTarget::Tcp(addr))
     }
 }
 
@@ -758,12 +1182,10 @@ impl UdsTransport {
         backoff: &Backoff,
     ) -> Result<BTreeSet<PartyId>, NetError> {
         let path = path.as_ref().to_path_buf();
-        let mut stream = backoff
+        let stream = backoff
             .retry(|| std::os::unix::net::UnixStream::connect(&path))
             .map_err(|e| NetError::Io(format!("connect to {} failed: {e}", path.display())))?;
-        let peer_parties = exchange_hello(&mut stream, &self.locals)?;
-        self.attach_link(stream, peer_parties.clone(), Some(RedialTarget::Uds(path)))?;
-        Ok(peer_parties)
+        self.connect_stream(stream, RedialTarget::Uds(path))
     }
 }
 
@@ -790,7 +1212,9 @@ impl TcpAcceptor {
     }
 
     /// Blocks for one inbound connection, completes the handshake on
-    /// behalf of `transport`, and attaches the stream as a peer link.
+    /// behalf of `transport`, and attaches the stream as a peer link — or,
+    /// when the peer's announced party set matches an existing link,
+    /// *resumes* that link (retransmitting the frames the peer lost).
     /// Returns the party set the peer announced.
     pub fn accept_into(&self, transport: &TcpTransport) -> Result<BTreeSet<PartyId>, NetError> {
         let (mut stream, _) = self
@@ -800,8 +1224,9 @@ impl TcpAcceptor {
         stream
             .set_nodelay(true)
             .map_err(|e| NetError::Io(e.to_string()))?;
-        let peer_parties = exchange_hello(&mut stream, transport.locals())?;
-        transport.attach_link(stream, peer_parties.clone(), None)?;
+        let (peer_endpoint, peer_parties) =
+            exchange_hello(&mut stream, transport.endpoint, transport.locals())?;
+        transport.accept_stream(stream, peer_endpoint, peer_parties.clone())?;
         Ok(peer_parties)
     }
 }
@@ -825,29 +1250,74 @@ impl UdsAcceptor {
     }
 
     /// Blocks for one inbound connection, handshakes on behalf of
-    /// `transport`, and attaches it. Returns the peer's announced parties.
+    /// `transport`, and attaches it — resuming an existing link when the
+    /// announced party set matches. Returns the peer's announced parties.
     pub fn accept_into(&self, transport: &UdsTransport) -> Result<BTreeSet<PartyId>, NetError> {
         let (mut stream, _) = self
             .listener
             .accept()
             .map_err(|e| NetError::Io(format!("accept failed: {e}")))?;
-        let peer_parties = exchange_hello(&mut stream, transport.locals())?;
-        transport.attach_link(stream, peer_parties.clone(), None)?;
+        let (peer_endpoint, peer_parties) =
+            exchange_hello(&mut stream, transport.endpoint, transport.locals())?;
+        transport.accept_stream(stream, peer_endpoint, peer_parties.clone())?;
         Ok(peer_parties)
     }
 }
 
-/// One router connection: who it hosts and its guarded writer half.
-struct RouterPeer<S> {
-    parties: BTreeSet<PartyId>,
-    writer: Mutex<S>,
+/// The outbound half of one router logical link: the replay window plus
+/// the currently live stream (if any). Recording and writing happen under
+/// one lock so replay order equals stream order; when no stream is live,
+/// frames are recorded only (store-and-forward) and delivered by the
+/// resume retransmission when the peer reconnects.
+struct RouterOutbound<S> {
+    replay: ReplayWindow,
+    stream: Option<S>,
+    /// Bumped per successful (re)connection; a pump only tears down the
+    /// stream it was spawned for.
+    generation: u64,
 }
 
-/// Shared router state: connections and drop accounting.
+/// Persistent per-logical-link state the router keeps for every party set
+/// that has ever connected. Entries are keyed by the announced party set
+/// and survive disconnects, which is what makes reconnects through the
+/// router lossless; memory is bounded by the number of distinct party sets
+/// times the replay window.
+struct RouterLink<S> {
+    /// The endpoint id the peer announced; distinguishes two endpoints
+    /// announcing identical party sets (e.g. shard transports that each
+    /// host every party).
+    endpoint: u64,
+    parties: BTreeSet<PartyId>,
+    /// Frames received from this peer across all its connections.
+    received: AtomicU64,
+    out: Mutex<RouterOutbound<S>>,
+    /// Live pump threads for this link (0 or 1 in steady state); a resume
+    /// waits for the old pump to exit before reading `received`.
+    pumps: AtomicU64,
+}
+
+/// Shared router state: logical links and drop accounting.
 struct RouterState<S> {
-    peers: Mutex<Vec<Arc<RouterPeer<S>>>>,
+    /// The router's own endpoint id, announced in its (party-less) hello.
+    endpoint: u64,
+    links: Mutex<Vec<Arc<RouterLink<S>>>>,
     unroutable: AtomicU64,
     shutting_down: AtomicBool,
+    replay_frames: usize,
+    replay_bytes: usize,
+}
+
+impl<S: SocketStream> RouterState<S> {
+    fn new() -> Self {
+        RouterState {
+            endpoint: endpoint_nonce(),
+            links: Mutex::new(Vec::new()),
+            unroutable: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            replay_frames: DEFAULT_REPLAY_FRAMES,
+            replay_bytes: DEFAULT_REPLAY_BYTES,
+        }
+    }
 }
 
 /// A standalone frame router.
@@ -872,29 +1342,38 @@ pub struct SocketRouter<S: SocketStream> {
 impl<S: SocketStream> std::fmt::Debug for SocketRouter<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SocketRouter")
-            .field("connections", &self.state.peers.lock().len())
+            .field("connections", &self.connection_count())
             .field("unroutable", &self.unroutable_frames())
             .finish()
     }
 }
 
 impl<S: SocketStream> SocketRouter<S> {
-    /// Frames dropped because no connection hosted their destination.
+    /// Frames dropped because no party set ever announced their
+    /// destination (frames for a *temporarily* disconnected peer are
+    /// store-and-forwarded instead, bounded by the replay window).
     pub fn unroutable_frames(&self) -> u64 {
         self.state.unroutable.load(Ordering::Relaxed)
     }
 
-    /// Live connections.
+    /// Logical links with a live connection right now.
     pub fn connection_count(&self) -> usize {
-        self.state.peers.lock().len()
+        self.state
+            .links
+            .lock()
+            .iter()
+            .filter(|l| l.out.lock().stream.is_some())
+            .count()
     }
 
     /// Stops accepting, closes every connection and joins all threads.
     pub fn shutdown(&mut self) {
         self.state.shutting_down.store(true, Ordering::SeqCst);
         (self.shutdown_listener)();
-        for peer in self.state.peers.lock().iter() {
-            let _ = peer.writer.lock().shutdown_stream();
+        for link in self.state.links.lock().iter() {
+            if let Some(stream) = link.out.lock().stream.take() {
+                let _ = stream.shutdown_stream();
+            }
         }
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
@@ -912,37 +1391,174 @@ impl<S: SocketStream> Drop for SocketRouter<S> {
     }
 }
 
-/// Handles one accepted router connection: handshake, register, then pump
-/// frames to their destinations until the stream closes.
+/// Handles one accepted router connection: hello, logical-link lookup (or
+/// creation), resume exchange with retransmission, then pump frames to
+/// their destinations until the stream closes.
 fn router_serve_connection<S: SocketStream>(mut stream: S, state: &RouterState<S>) {
     // The router announces no parties of its own: an empty hello is what
     // marks the link as a gateway on the client side.
-    let announced = match exchange_hello(&mut stream, &BTreeSet::new()) {
-        Ok(parties) => parties,
+    let (peer_endpoint, announced) =
+        match exchange_hello(&mut stream, state.endpoint, &BTreeSet::new()) {
+            Ok(hello) => hello,
+            Err(_) => return,
+        };
+    // Find or create the logical link for this endpoint + party set.
+    let link = {
+        let mut links = state.links.lock();
+        match links
+            .iter()
+            .find(|l| l.endpoint == peer_endpoint && l.parties == announced)
+        {
+            Some(link) => Arc::clone(link),
+            None => {
+                // A new endpoint announcing this party set supersedes any
+                // *dead* logical link with the same set (a restarted
+                // process draws a fresh endpoint id by design): drop the
+                // defunct link so it can never shadow the live one in the
+                // forwarding lookup. Its undelivered replay is lost — the
+                // old endpoint's machines died with it, so those frames
+                // are undeliverable anyway. Links with a live stream or
+                // pump (e.g. shard transports sharing the party set) are
+                // never touched.
+                links.retain(|l| {
+                    l.parties != announced
+                        || l.pumps.load(Ordering::SeqCst) != 0
+                        || l.out.lock().stream.is_some()
+                });
+                let link = Arc::new(RouterLink {
+                    endpoint: peer_endpoint,
+                    parties: announced,
+                    received: AtomicU64::new(0),
+                    out: Mutex::new(RouterOutbound {
+                        replay: ReplayWindow::new(state.replay_frames, state.replay_bytes),
+                        stream: None,
+                        generation: 0,
+                    }),
+                    pumps: AtomicU64::new(0),
+                });
+                links.push(Arc::clone(&link));
+                link
+            }
+        }
+    };
+    // A fast reconnect can race the old connection's pump: tear its stream
+    // down and wait for the pump to exit, so the received count announced
+    // below is final and retransmission cannot duplicate frames.
+    if let Some(old) = link.out.lock().stream.take() {
+        let _ = old.shutdown_stream();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while link.pumps.load(Ordering::SeqCst) != 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if link.pumps.load(Ordering::SeqCst) != 0 {
+        // The old pump is wedged: proceeding would announce a stale
+        // received count and provoke duplicate retransmissions. Drop the
+        // new connection; the peer's backoff will try again.
+        return;
+    }
+    let received = link.received.load(Ordering::SeqCst);
+    let peer_received = match exchange_resume(&mut stream, received) {
+        Ok(count) => count,
         Err(_) => return,
     };
     let reader = match stream.try_clone_stream() {
         Ok(r) => r,
         Err(_) => return,
     };
-    let peer = Arc::new(RouterPeer {
-        parties: announced,
-        writer: Mutex::new(stream),
-    });
-    state.peers.lock().push(Arc::clone(&peer));
-    pump_router_frames(reader, &peer, state);
-    // The connection is gone: drop it from the routing table so a stale
-    // entry can never shadow a reconnected peer announcing the same
-    // parties (lookups take the first match), and long-lived routers
-    // don't leak an entry per dropped connection.
-    state.peers.lock().retain(|p| !Arc::ptr_eq(p, &peer));
+    // Retransmit the suffix the peer lost, then install the new stream —
+    // all under the outbound lock, so concurrent forwards queue behind the
+    // resync in replay order.
+    let generation = {
+        let mut out = link.out.lock();
+        let unacked = match out.replay.unacked(peer_received) {
+            Ok(frames) => frames,
+            // The suffix was evicted (or the peer's count is impossible):
+            // the link cannot be resumed without a gap. Drop the
+            // connection; the peer observes the hangup.
+            Err(_) => return,
+        };
+        for frame in &unacked {
+            if stream.write_all(frame).is_err() {
+                return;
+            }
+        }
+        if stream.flush().is_err() {
+            return;
+        }
+        out.stream = Some(stream);
+        out.generation += 1;
+        out.generation
+    };
+    link.pumps.fetch_add(1, Ordering::SeqCst);
+    pump_router_frames(reader, &link, state);
+    // The connection is gone. Tear down our stream (unless a resume already
+    // replaced it) but keep the logical link: its replay window and
+    // counters are what make the peer's reconnect lossless.
+    {
+        let mut out = link.out.lock();
+        if out.generation == generation {
+            if let Some(stream) = out.stream.take() {
+                let _ = stream.shutdown_stream();
+            }
+        }
+    }
+    link.pumps.fetch_sub(1, Ordering::SeqCst);
 }
 
-/// Reads `peer`'s frames until its stream closes, forwarding each to the
-/// connection hosting its destination.
+/// Forwards one decoded envelope: self-preference for the originating
+/// link, then any link announcing the destination. Frames for a link with
+/// no live stream are recorded in its replay window (store-and-forward);
+/// frames for parties no link ever announced are counted and dropped.
+fn router_forward<S: SocketStream>(
+    state: &RouterState<S>,
+    origin: &Arc<RouterLink<S>>,
+    envelope: Envelope,
+) {
+    let target = if origin.parties.contains(&envelope.to) {
+        Some(Arc::clone(origin))
+    } else {
+        // Prefer the *newest* link with a live connection (links are in
+        // creation order, and a peer that crashed without a FIN can leave
+        // an older zombie whose stream still looks live — the most recent
+        // connection is the one actually reachable); fall back to the
+        // newest link announcing the destination at all (store-and-forward
+        // for a briefly offline peer).
+        let links = state.links.lock();
+        let hosting = || links.iter().filter(|l| l.parties.contains(&envelope.to));
+        hosting()
+            .rfind(|l| l.out.lock().stream.is_some())
+            .or_else(|| hosting().next_back())
+            .cloned()
+    };
+    let Some(target) = target else {
+        state.unroutable.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    // Re-encoding a frame the decoder just accepted cannot exceed the cap,
+    // but stay defensive in the router.
+    let Ok(frame) = encode_frame(&envelope) else {
+        state.unroutable.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let mut out = target.out.lock();
+    out.replay.record(frame.clone());
+    if let Some(stream) = out.stream.as_mut() {
+        if stream.write_all(&frame).is_err() {
+            // The stream died mid-write; the frame is in the replay window
+            // and will be retransmitted when the peer reconnects.
+            if let Some(stream) = out.stream.take() {
+                let _ = stream.shutdown_stream();
+            }
+        }
+    }
+}
+
+/// Reads one connection's frames until its stream closes, forwarding each
+/// and counting them into the logical link's received counter.
 fn pump_router_frames<S: SocketStream>(
     mut reader: S,
-    peer: &Arc<RouterPeer<S>>,
+    link: &Arc<RouterLink<S>>,
     state: &RouterState<S>,
 ) {
     let mut decoder = FrameDecoder::new();
@@ -961,28 +1577,8 @@ fn pump_router_frames<S: SocketStream>(
                         // instead of spinning on a growing buffer.
                         Err(_) => return,
                     };
-                    // Prefer reflecting to the originating connection when
-                    // it hosts the destination itself; otherwise look the
-                    // destination up across all connections.
-                    let target = if peer.parties.contains(&envelope.to) {
-                        Some(Arc::clone(peer))
-                    } else {
-                        state
-                            .peers
-                            .lock()
-                            .iter()
-                            .find(|p| p.parties.contains(&envelope.to))
-                            .cloned()
-                    };
-                    // Re-encoding a frame the decoder just accepted cannot
-                    // exceed the cap, but stay defensive in the router.
-                    let forwarded = target.and_then(|target| {
-                        let frame = encode_frame(&envelope).ok()?;
-                        target.writer.lock().write_all(&frame).ok()
-                    });
-                    if forwarded.is_none() {
-                        state.unroutable.fetch_add(1, Ordering::Relaxed);
-                    }
+                    router_forward(state, link, envelope);
+                    link.received.fetch_add(1, Ordering::SeqCst);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -1003,11 +1599,7 @@ impl TcpRouter {
         let local_addr = listener
             .local_addr()
             .map_err(|e| NetError::Io(e.to_string()))?;
-        let state: Arc<RouterState<TcpStream>> = Arc::new(RouterState {
-            peers: Mutex::new(Vec::new()),
-            unroutable: AtomicU64::new(0),
-            shutting_down: AtomicBool::new(false),
-        });
+        let state: Arc<RouterState<TcpStream>> = Arc::new(RouterState::new());
         let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept_state = Arc::clone(&state);
@@ -1069,11 +1661,7 @@ impl UdsRouter {
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)
             .map_err(|e| NetError::Io(format!("bind {} failed: {e}", path.display())))?;
-        let state: Arc<RouterState<UnixStream>> = Arc::new(RouterState {
-            peers: Mutex::new(Vec::new()),
-            unroutable: AtomicU64::new(0),
-            shutting_down: AtomicBool::new(false),
-        });
+        let state: Arc<RouterState<UnixStream>> = Arc::new(RouterState::new());
         let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept_state = Arc::clone(&state);
@@ -1127,11 +1715,22 @@ mod tests {
         let parties: BTreeSet<PartyId> = [PartyId::DataHolder(0), PartyId::ThirdParty]
             .into_iter()
             .collect();
-        let bytes = encode_hello(&parties);
+        let bytes = encode_hello(0xDEAD_BEEF_0123_4567, &parties);
         assert_eq!(&bytes[..4], &HELLO_MAGIC);
         assert_eq!(bytes[4], WIRE_VERSION);
-        assert_eq!(bytes[5], 2);
-        assert_eq!(bytes.len(), 6 + 2 * 5);
+        assert_eq!(
+            u64::from_le_bytes(bytes[5..13].try_into().unwrap()),
+            0xDEAD_BEEF_0123_4567
+        );
+        assert_eq!(bytes[13], 2);
+        assert_eq!(bytes.len(), 14 + 2 * 5);
+    }
+
+    #[test]
+    fn endpoint_nonces_are_distinct() {
+        let a = endpoint_nonce();
+        let b = endpoint_nonce();
+        assert_ne!(a, b);
     }
 
     #[test]
@@ -1339,15 +1938,20 @@ mod tests {
     fn router_drops_corrupt_connections_and_keeps_serving_others() {
         let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
 
-        // A rogue client: valid handshake, then a corrupt over-cap length
-        // prefix. The router must close that connection (not spin on a
-        // growing buffer) while other connections keep working.
+        // A rogue client: valid handshake (hello + resume exchange), then a
+        // corrupt over-cap length prefix. The router must close that
+        // connection (not spin on a growing buffer) while other connections
+        // keep working.
         let mut rogue = TcpStream::connect(addr).unwrap();
         let hello: BTreeSet<PartyId> = [PartyId::DataHolder(9)].into_iter().collect();
-        rogue.write_all(&encode_hello(&hello)).unwrap();
-        let mut reply = [0u8; 6];
+        rogue.write_all(&encode_hello(99, &hello)).unwrap();
+        let mut reply = [0u8; 14];
         rogue.read_exact(&mut reply).unwrap();
         assert_eq!(&reply[..4], &HELLO_MAGIC);
+        rogue.write_all(&0u64.to_le_bytes()).unwrap();
+        let mut resume = [0u8; 8];
+        rogue.read_exact(&mut resume).unwrap();
+        assert_eq!(u64::from_le_bytes(resume), 0);
         rogue.write_all(&u32::MAX.to_le_bytes()).unwrap();
         rogue.flush().unwrap();
 
@@ -1406,6 +2010,275 @@ mod tests {
             )),
             Err(NetError::UnknownParty(PartyId::ThirdParty))
         ));
+    }
+
+    #[test]
+    fn replay_window_yields_exactly_the_unacked_suffix() {
+        let mut w = ReplayWindow::new(3, usize::MAX);
+        for i in 0..5u8 {
+            w.record(vec![i]);
+        }
+        assert_eq!(w.sent, 5);
+        // Peer has 3 of 5: frames 4 and 5 are pending.
+        let unacked = w.unacked(3).unwrap();
+        assert_eq!(unacked, vec![&[3u8][..], &[4u8][..]]);
+        // Fully acknowledged: nothing to resend.
+        assert!(w.unacked(5).unwrap().is_empty());
+        // Peer has 1 of 5 but the window kept only the last 3: loss.
+        assert!(w.unacked(1).is_err());
+        // A peer claiming more than was ever sent is a protocol violation.
+        assert!(w.unacked(9).is_err());
+
+        // The byte budget evicts too — but always keeps the newest frame,
+        // even one over budget.
+        let mut w = ReplayWindow::new(1024, 10);
+        w.record(vec![0; 6]);
+        w.record(vec![1; 6]);
+        assert_eq!(w.frames.len(), 1, "6+6 bytes exceed the 10-byte budget");
+        assert_eq!(w.unacked(1).unwrap(), vec![&[1u8; 6][..]]);
+        assert!(w.unacked(0).is_err(), "the evicted first frame is gone");
+        w.record(vec![2; 99]);
+        assert_eq!(w.frames.len(), 1, "an over-budget frame is still kept");
+        assert_eq!(w.bytes, 99);
+    }
+
+    /// The reconnect-durability satellite: kill the OS stream of a live
+    /// loopback link mid-session, re-accept it, and assert that every
+    /// frame written into the dying socket arrives exactly once, in order.
+    #[test]
+    fn severed_direct_link_resumes_losslessly() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let holder = TcpTransport::new([PartyId::DataHolder(0)]);
+        let tp = TcpTransport::new([PartyId::ThirdParty]);
+
+        let dial = std::thread::spawn(move || {
+            holder.connect(addr, &Backoff::default()).unwrap();
+            holder
+        });
+        acceptor.accept_into(&tp).unwrap();
+        let holder = dial.join().unwrap();
+
+        let send = |topic: &str| {
+            holder
+                .send(envelope(
+                    PartyId::DataHolder(0),
+                    PartyId::ThirdParty,
+                    topic,
+                    vec![7; 32],
+                ))
+                .unwrap();
+        };
+        send("a");
+        let got = tp
+            .receive_any_of(&[PartyId::ThirdParty], Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.topic, "a");
+
+        // Network cut: the third party loses its socket but keeps the
+        // logical link state, and re-accepts in the background.
+        tp.sever_links();
+        let reaccept = {
+            let acceptor = acceptor;
+            let tp_ref = &tp;
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(move || acceptor.accept_into(tp_ref).unwrap());
+                // Frames written into the dying socket: early writes may
+                // still "succeed" into the doomed buffer; a later one hits
+                // the reset and triggers the re-dial + retransmission.
+                send("b");
+                send("c");
+                send("d");
+                let mut seen = Vec::new();
+                for i in 0..200 {
+                    send(&format!("pad/{i}"));
+                    if let Some(e) = tp
+                        .receive_any_of(&[PartyId::ThirdParty], Duration::from_millis(50))
+                        .unwrap()
+                    {
+                        seen.push(e.topic);
+                    }
+                    if seen.contains(&"d".to_string()) {
+                        break;
+                    }
+                }
+                // Drain whatever padding is still queued.
+                while let Some(e) = tp.try_receive(PartyId::ThirdParty).unwrap() {
+                    seen.push(e.topic);
+                }
+                handle.join().unwrap();
+                seen
+            })
+        };
+        let core: Vec<&String> = reaccept
+            .iter()
+            .filter(|t| ["b", "c", "d"].contains(&t.as_str()))
+            .collect();
+        assert_eq!(
+            core,
+            vec!["b", "c", "d"],
+            "frames written into the dying socket must arrive exactly once, in order \
+             (got {reaccept:?})"
+        );
+        holder.shutdown();
+        tp.shutdown();
+    }
+
+    /// When the peer never comes back, exhausting the reconnect backoff
+    /// surfaces as a `PeerUnreachable` naming the destination party — the
+    /// distinguishable outcome the engines report upward.
+    #[test]
+    fn reconnect_exhaustion_reports_peer_unreachable() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let mut holder = TcpTransport::new([PartyId::DataHolder(0)]);
+        holder.set_reconnect_policy(Backoff {
+            initial: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            max_attempts: 2,
+        });
+        let tp = TcpTransport::new([PartyId::ThirdParty]);
+        let dial = std::thread::spawn(move || {
+            holder.connect(addr, &Backoff::default()).unwrap();
+            holder
+        });
+        acceptor.accept_into(&tp).unwrap();
+        let holder = dial.join().unwrap();
+        // The peer dies for good: transport and listener both gone.
+        tp.shutdown();
+        drop(tp);
+        drop(acceptor);
+        let mut last = Ok(());
+        for i in 0..200 {
+            last = holder.send(envelope(
+                PartyId::DataHolder(0),
+                PartyId::ThirdParty,
+                &format!("doomed/{i}"),
+                vec![0; 16],
+            ));
+            if last.is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        match last {
+            Err(NetError::PeerUnreachable { party, .. }) => {
+                assert_eq!(party, PartyId::ThirdParty);
+            }
+            other => panic!("expected PeerUnreachable, got {other:?}"),
+        }
+        holder.shutdown();
+    }
+
+    /// Router store-and-forward: frames addressed to a briefly
+    /// disconnected peer are retained in the router's replay window and
+    /// delivered exactly once when the peer reconnects.
+    #[test]
+    fn router_stores_and_forwards_across_reconnects() {
+        let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+        let a = TcpTransport::new([PartyId::DataHolder(0)]);
+        let b = TcpTransport::new([PartyId::DataHolder(1)]);
+        a.connect(addr, &Backoff::default()).unwrap();
+        b.connect(addr, &Backoff::default()).unwrap();
+
+        let send = |topic: &str| {
+            a.send(envelope(
+                PartyId::DataHolder(0),
+                PartyId::DataHolder(1),
+                topic,
+                vec![1, 2, 3],
+            ))
+            .unwrap();
+        };
+        send("one");
+        assert_eq!(
+            b.receive_any_of(&[PartyId::DataHolder(1)], Duration::from_secs(5))
+                .unwrap()
+                .unwrap()
+                .topic,
+            "one"
+        );
+
+        // B drops off the network; A keeps sending.
+        b.sever_links();
+        // Give the router a moment to notice the hangup (its pump exits).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while router.connection_count() > 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        send("two");
+        send("three");
+        // B re-dials the router: the resume handshake announces one
+        // received frame, and the router retransmits exactly two and three.
+        b.connect(addr, &Backoff::default()).unwrap();
+        let mut got = Vec::new();
+        while let Some(e) = b
+            .receive_any_of(&[PartyId::DataHolder(1)], Duration::from_secs(5))
+            .unwrap()
+        {
+            got.push(e.topic);
+            if got.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(got, vec!["two", "three"]);
+        assert!(b.try_receive(PartyId::DataHolder(1)).unwrap().is_none());
+        assert_eq!(router.unroutable_frames(), 0);
+
+        a.shutdown();
+        b.shutdown();
+        router.shutdown();
+    }
+
+    /// A *restarted* process (fresh endpoint id, same party set) must
+    /// supersede its predecessor's dead logical link at the router — the
+    /// stale link may not shadow the live one and black-hole traffic.
+    #[test]
+    fn router_serves_a_restarted_peer_instead_of_its_dead_predecessor() {
+        let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+        let a = TcpTransport::new([PartyId::DataHolder(0)]);
+        a.connect(addr, &Backoff::default()).unwrap();
+
+        let first_b = TcpTransport::new([PartyId::DataHolder(1)]);
+        first_b.connect(addr, &Backoff::default()).unwrap();
+        a.send(envelope(
+            PartyId::DataHolder(0),
+            PartyId::DataHolder(1),
+            "before-restart",
+            vec![1],
+        ))
+        .unwrap();
+        assert!(first_b
+            .receive_any_of(&[PartyId::DataHolder(1)], Duration::from_secs(5))
+            .unwrap()
+            .is_some());
+        // The DH1 process dies for good...
+        first_b.shutdown();
+        drop(first_b);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while router.connection_count() > 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // ...and is relaunched: a new transport, hence a new endpoint id.
+        let second_b = TcpTransport::new([PartyId::DataHolder(1)]);
+        second_b.connect(addr, &Backoff::default()).unwrap();
+        a.send(envelope(
+            PartyId::DataHolder(0),
+            PartyId::DataHolder(1),
+            "after-restart",
+            vec![2],
+        ))
+        .unwrap();
+        let got = second_b
+            .receive_any_of(&[PartyId::DataHolder(1)], Duration::from_secs(5))
+            .unwrap()
+            .expect("the restarted peer must receive traffic");
+        assert_eq!(got.topic, "after-restart");
+
+        a.shutdown();
+        second_b.shutdown();
+        router.shutdown();
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Generates `BENCH_pr4.json`: sessions/s of the same workload run
+//! single-process (in-memory engine, and one sharded worker over loopback
+//! TCP) versus **three real OS processes** (coordinating holder, serving
+//! holder, serving third party) connected through a loopback-TCP frame
+//! router — measured on this machine.
+//!
+//! ```text
+//! cargo build --release -p ppc-party
+//! cargo run --release -p ppc-party --bin party_report [output.json]
+//! ```
+//!
+//! The three-process rows spawn the sibling `ppc-party` binary, so build
+//! it (same profile) first.
+
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+use ppc_cluster::Linkage;
+use ppc_core::csv::to_csv;
+use ppc_core::protocol::driver::ClusteringRequest;
+use ppc_core::protocol::engine::{SessionEngine, SessionSpec};
+use ppc_core::protocol::party::TrustedSetup;
+use ppc_core::protocol::sharded::ShardedEngine;
+use ppc_core::protocol::ProtocolConfig;
+use ppc_crypto::Seed;
+use ppc_data::Workload;
+use ppc_net::{Backoff, Network, PartyId, TcpRouter, TcpTransport};
+
+const OBJECTS: usize = 32;
+const SITES: u32 = 2;
+const CLUSTERS: usize = 3;
+const SESSIONS: usize = 6;
+const WINDOW: usize = 4;
+const SEED: u64 = 77;
+const REPS: usize = 3;
+const SCHEMA_FLAG: &str = "dna:alphanumeric:dna,age:numeric,outcome:categorical";
+
+fn spec(seed: u64) -> SessionSpec {
+    let workload = Workload::bird_flu(OBJECTS, SITES, CLUSTERS, seed).unwrap();
+    let schema = workload.schema().clone();
+    let setup =
+        TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(SEED)).unwrap();
+    SessionSpec {
+        schema: schema.clone(),
+        config: ProtocolConfig::default(),
+        holders: setup.holders,
+        keys: setup.third_party,
+        request: ClusteringRequest {
+            weights: schema.uniform_weights(),
+            linkage: Linkage::Average,
+            num_clusters: CLUSTERS,
+        },
+        chunk_rows: Some(WINDOW),
+    }
+}
+
+fn median_seconds(mut run: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let started = Instant::now();
+            run();
+            started.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn sibling(name: &str) -> std::path::PathBuf {
+    let mut path = std::env::current_exe().expect("current exe");
+    path.set_file_name(name);
+    path
+}
+
+fn spawn_party(binary: &std::path::Path, args: &[String]) -> Child {
+    Command::new(binary)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", binary.display()))
+}
+
+fn drain(child: Child, label: &str) {
+    let output = child.wait_with_output().expect("child waited");
+    if !output.status.success() {
+        let mut text = String::new();
+        let _ = (&output.stdout[..]).read_to_string(&mut text);
+        panic!("{label} failed ({}): {text}", output.status);
+    }
+}
+
+/// One full three-process federation run over loopback TCP; returns the
+/// wall-clock seconds from serve spawn to coordinator exit (so process
+/// startup and the control-plane handshake are included — that is the real
+/// deployment cost).
+fn three_process_run(binary: &std::path::Path, csv_dir: &std::path::Path) -> f64 {
+    let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+    let connect = format!("tcp:{addr}");
+    let common = |rest: &[&str]| -> Vec<String> {
+        let mut args = vec![];
+        args.extend(rest.iter().map(|s| s.to_string()));
+        args.extend([
+            "--connect".into(),
+            connect.clone(),
+            "--seed".into(),
+            SEED.to_string(),
+            "--schema".into(),
+            SCHEMA_FLAG.into(),
+        ]);
+        args
+    };
+    let csv = |site: u32| {
+        csv_dir
+            .join(format!("site{site}.csv"))
+            .display()
+            .to_string()
+    };
+    let started = Instant::now();
+    let serve_dh1 = spawn_party(
+        binary,
+        &common(&[
+            "serve",
+            "--party",
+            "DH1",
+            "--coordinator",
+            "DH0",
+            "--csv",
+            &csv(1),
+        ]),
+    );
+    let serve_tp = spawn_party(
+        binary,
+        &common(&["serve", "--party", "TP", "--coordinator", "DH0"]),
+    );
+    let coordinate = spawn_party(
+        binary,
+        &common(&[
+            "coordinate",
+            "--party",
+            "DH0",
+            "--remote",
+            "DH1,TP",
+            "--csv",
+            &csv(0),
+            "--sessions",
+            &SESSIONS.to_string(),
+            "--clusters",
+            &CLUSTERS.to_string(),
+            "--chunk-rows",
+            &WINDOW.to_string(),
+        ]),
+    );
+    drain(coordinate, "coordinate");
+    let elapsed = started.elapsed().as_secs_f64();
+    drain(serve_dh1, "serve DH1");
+    drain(serve_tp, "serve TP");
+    router.shutdown();
+    elapsed
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let mut rows = Vec::new();
+
+    let specs: Vec<SessionSpec> = (0..SESSIONS).map(|i| spec(900 + i as u64)).collect();
+
+    // Baseline: single process, in-memory transport.
+    let median = median_seconds(|| {
+        let mut engine = SessionEngine::new(Network::with_parties(SITES));
+        for s in &specs {
+            engine.add_session(s.clone());
+        }
+        assert_eq!(engine.run().unwrap().len(), SESSIONS);
+    });
+    rows.push(format!(
+        "    {{\"id\": \"single_process/memory\", \"sessions\": {SESSIONS}, \
+         \"median_seconds\": {median:.6}, \"sessions_per_second\": {:.2}}}",
+        SESSIONS as f64 / median
+    ));
+
+    // Single process over loopback TCP (one sharded worker through the
+    // router: same kernel socket path, no process boundaries).
+    let parties: Vec<PartyId> = (0..SITES)
+        .map(PartyId::DataHolder)
+        .chain([PartyId::ThirdParty])
+        .collect();
+    let median = median_seconds(|| {
+        let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+        let transport = TcpTransport::new(parties.iter().copied());
+        transport.connect(addr, &Backoff::default()).unwrap();
+        let mut engine = ShardedEngine::new(vec![transport]).unwrap();
+        for s in &specs {
+            engine.add_session(s.clone());
+        }
+        engine.set_stall_budget(std::time::Duration::from_millis(100), 100);
+        let run = engine.run().unwrap();
+        assert_eq!(run.outcomes.len(), SESSIONS);
+        for t in engine.transports() {
+            t.shutdown();
+        }
+        router.shutdown();
+    });
+    rows.push(format!(
+        "    {{\"id\": \"single_process/loopback_tcp\", \"sessions\": {SESSIONS}, \
+         \"median_seconds\": {median:.6}, \"sessions_per_second\": {:.2}}}",
+        SESSIONS as f64 / median
+    ));
+
+    // Three real OS processes over loopback TCP via the control plane.
+    let binary = sibling("ppc-party");
+    if binary.exists() {
+        let csv_dir = std::env::temp_dir().join(format!("ppc-party-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&csv_dir).unwrap();
+        let workload = Workload::bird_flu(OBJECTS, SITES, CLUSTERS, 900).unwrap();
+        for partition in &workload.partitions {
+            std::fs::write(
+                csv_dir.join(format!("site{}.csv", partition.site())),
+                to_csv(partition.matrix()),
+            )
+            .unwrap();
+        }
+        // NOTE: every session of a three-process run uses the coordinator's
+        // one CSV workload (seed 900); the in-process rows above cycle
+        // seeds, which does not change the message/compute volume.
+        let mut samples: Vec<f64> = (0..REPS)
+            .map(|_| three_process_run(&binary, &csv_dir))
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        rows.push(format!(
+            "    {{\"id\": \"three_process/loopback_tcp\", \"sessions\": {SESSIONS}, \
+             \"median_seconds\": {median:.6}, \"sessions_per_second\": {:.2}, \
+             \"note\": \"includes process spawn + control-plane handshake\"}}",
+            SESSIONS as f64 / median
+        ));
+        let _ = std::fs::remove_dir_all(&csv_dir);
+    } else {
+        rows.push(format!(
+            "    {{\"id\": \"three_process/loopback_tcp\", \"skipped\": \
+             \"{} not built; run cargo build --release -p ppc-party first\"}}",
+            binary.display()
+        ));
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"pr\": 4,\n  \"title\": \"Per-party multi-process deployment with a session \
+         control plane\",\n  \"workload\": \"bird_flu {OBJECTS} objects, {SITES} sites, 3 \
+         attributes (dna + numeric + categorical), average linkage, k={CLUSTERS}, chunk window \
+         {WINDOW}, {SESSIONS} sessions\",\n  \"harness\": \"party_report binary, wall-clock \
+         medians of {REPS} runs; three-process rows spawn real ppc-party OS processes against \
+         an in-harness TCP router\",\n  \"cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).unwrap();
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,457 @@
+//! `ppc-party` — the per-party deployment binary.
+//!
+//! Each OS process plays exactly the parties it is configured for (one
+//! data holder, or the third party) and speaks to the rest of the
+//! federation over TCP or Unix-domain sockets, with sessions opened
+//! in-band through the `ctl/` control plane — see
+//! `ppc_core::protocol::party_engine` and `docs/WIRE_FORMAT.md` §7.
+//!
+//! Three modes:
+//!
+//! ```text
+//! ppc-party route      --listen tcp:127.0.0.1:7000
+//! ppc-party serve      --connect tcp:127.0.0.1:7000 --party TP  --coordinator DH0 \
+//!                      --seed 77 --schema age:numeric,blood:categorical
+//! ppc-party serve      --connect tcp:127.0.0.1:7000 --party DH1 --coordinator DH0 \
+//!                      --seed 77 --schema age:numeric,blood:categorical --csv site_b.csv
+//! ppc-party coordinate --connect tcp:127.0.0.1:7000 --party DH0 --remote DH1,TP \
+//!                      --seed 77 --schema age:numeric,blood:categorical --csv site_a.csv \
+//!                      --sessions 4 --clusters 3 [--linkage average] [--chunk-rows 4] \
+//!                      [--numeric-mode batch|per-pair]
+//! ```
+//!
+//! All processes must share `--seed` (the trusted-setup master seed each
+//! party derives *its own* secrets from — secrets never cross the wire)
+//! and `--schema`. Data holders load their partition from `--csv`
+//! (`ppc_core::csv` dialect; header row matching the schema). Results are
+//! printed as stable machine-parseable lines (`RESULT …`, `MATRIX …`,
+//! `DONE …`, `FAILED …`), which the multi-process integration test
+//! compares byte-for-byte against the in-process oracle.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::time::Duration;
+
+use ppc_cluster::Linkage;
+use ppc_core::csv::parse_csv;
+use ppc_core::matrix::HorizontalPartition;
+use ppc_core::protocol::driver::ClusteringRequest;
+use ppc_core::protocol::party_engine::{
+    PartyEngine, PartyOutcome, PartyRunReport, PartySeat, SessionFailure, SessionPlan, TpOutcome,
+};
+use ppc_core::protocol::session::parse_linkage;
+use ppc_core::protocol::{NumericMode, ProtocolConfig};
+use ppc_core::schema::{AttributeDescriptor, Schema};
+use ppc_core::Alphabet;
+use ppc_crypto::Seed;
+use ppc_net::{Backoff, PartyId, TcpRouter, TcpTransport, WaitTransport};
+#[cfg(unix)]
+use ppc_net::{UdsRouter, UdsTransport};
+
+/// A parsed `--flag value` map.
+pub type Flags = BTreeMap<String, String>;
+
+/// Parses `--key value` pairs.
+pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{key}'"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        if flags.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!("--{key} given twice"));
+        }
+    }
+    Ok(flags)
+}
+
+fn require<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+/// `DH<n>` or `TP`.
+pub fn parse_party(text: &str) -> Result<PartyId, String> {
+    if text == "TP" {
+        return Ok(PartyId::ThirdParty);
+    }
+    text.strip_prefix("DH")
+        .and_then(|n| n.parse().ok())
+        .map(PartyId::DataHolder)
+        .ok_or_else(|| format!("'{text}' is not a party (expected DH<n> or TP)"))
+}
+
+/// `tcp:host:port` or `uds:/path/to.sock`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Uds(String),
+}
+
+/// Parses an endpoint specifier.
+pub fn parse_endpoint(text: &str) -> Result<Endpoint, String> {
+    if let Some(addr) = text.strip_prefix("tcp:") {
+        return Ok(Endpoint::Tcp(addr.to_string()));
+    }
+    if let Some(path) = text.strip_prefix("uds:") {
+        return Ok(Endpoint::Uds(path.to_string()));
+    }
+    Err(format!(
+        "'{text}' is not an endpoint (expected tcp:host:port or uds:/path)"
+    ))
+}
+
+fn parse_alphabet(name: &str) -> Result<Alphabet, String> {
+    match name {
+        "dna" => Ok(Alphabet::dna()),
+        "abcd" => Ok(Alphabet::abcd()),
+        "lowercase" => Ok(Alphabet::lowercase()),
+        "alphanumeric-lower" => Ok(Alphabet::alphanumeric_lower()),
+        other => Err(format!(
+            "unknown alphabet '{other}' (expected dna, abcd, lowercase or alphanumeric-lower)"
+        )),
+    }
+}
+
+/// `name:numeric | name:categorical | name:alphanumeric:<alphabet>`,
+/// comma-separated, schema order.
+pub fn parse_schema(spec: &str) -> Result<Schema, String> {
+    let mut attributes = Vec::new();
+    for field in spec.split(',') {
+        let mut parts = field.splitn(3, ':');
+        let name = parts
+            .next()
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| format!("empty attribute name in schema field '{field}'"))?;
+        let kind = parts
+            .next()
+            .ok_or_else(|| format!("schema field '{field}' has no kind"))?;
+        attributes.push(match kind {
+            "numeric" => AttributeDescriptor::numeric(name),
+            "categorical" => AttributeDescriptor::categorical(name),
+            "alphanumeric" => {
+                let alphabet = parts
+                    .next()
+                    .ok_or_else(|| format!("schema field '{field}' names no alphabet"))?;
+                AttributeDescriptor::alphanumeric(name, parse_alphabet(alphabet)?)
+            }
+            other => return Err(format!("unknown attribute kind '{other}' in '{field}'")),
+        });
+    }
+    Schema::new(attributes).map_err(|e| e.to_string())
+}
+
+/// Stable rendering of published cluster membership: `[[0:0,0:1],[1:0]]`
+/// (site:index pairs). The integration test compares these strings between
+/// the process output and the in-process oracle.
+pub fn render_clusters(clusters: &[Vec<(u32, u32)>]) -> String {
+    let body: Vec<String> = clusters
+        .iter()
+        .map(|members| {
+            let inner: Vec<String> = members
+                .iter()
+                .map(|(site, index)| format!("{site}:{index}"))
+                .collect();
+            format!("[{}]", inner.join(","))
+        })
+        .collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Exact (bit-level) rendering of a float slice: lowercase hex of the
+/// IEEE-754 bits, comma-separated. "Byte-identical" comparisons are string
+/// comparisons of this form.
+pub fn render_f64_bits(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{:016x}", v.to_bits()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn print_tp_outcome(session: u64, party: PartyId, tp: &TpOutcome) {
+    println!(
+        "RESULT party={party} session={session} clusters={} avg={:016x}",
+        render_clusters(&tp.result.clusters),
+        tp.result.average_within_cluster_squared_distance.to_bits()
+    );
+    println!(
+        "MATRIX party={party} session={session} objects={} values={}",
+        tp.objects,
+        render_f64_bits(&tp.condensed)
+    );
+}
+
+/// Prints a finished run's outcomes as stable stdout lines.
+pub fn print_report(report: &PartyRunReport) {
+    for row in &report.outcomes {
+        let (session, party) = (row.session, row.party);
+        match &row.outcome {
+            PartyOutcome::Holder(published) => println!(
+                "RESULT party={party} session={session} clusters={} avg={:016x}",
+                render_clusters(&published.clusters),
+                published.average_within_cluster_squared_distance.to_bits()
+            ),
+            PartyOutcome::ThirdParty(outcome) => {
+                print_tp_outcome(session, party, &TpOutcome::from_engine_outcome(outcome));
+            }
+            PartyOutcome::Remote(Some(tp)) => print_tp_outcome(session, party, tp),
+            PartyOutcome::Remote(None) => println!("DONE party={party} session={session}"),
+            PartyOutcome::Failed(SessionFailure::PeerUnreachable { party: gone }) => {
+                println!("FAILED party={party} session={session} reason=peer-unreachable:{gone}")
+            }
+            PartyOutcome::Failed(SessionFailure::Error(e)) => {
+                println!("FAILED party={party} session={session} reason={e}")
+            }
+        }
+    }
+    let stats = &report.stats;
+    println!(
+        "STATS rounds={} blocking_waits={} messages_sent={} peak_buffered_rows={} completed={} \
+         failed={}",
+        stats.rounds,
+        stats.blocking_waits,
+        stats.messages_sent,
+        stats.peak_buffered_rows,
+        stats.sessions_completed,
+        stats.sessions_failed
+    );
+}
+
+/// Connect-time backoff generous enough to survive the federation's
+/// startup race (the router or coordinator may come up seconds later).
+pub fn startup_backoff() -> Backoff {
+    Backoff {
+        initial: Duration::from_millis(10),
+        max_delay: Duration::from_millis(500),
+        max_attempts: 120,
+    }
+}
+
+fn seat_from_flags(flags: &Flags, party: PartyId, schema: &Schema) -> Result<PartySeat, String> {
+    let master = Seed::from_u64(
+        require(flags, "seed")?
+            .parse()
+            .map_err(|_| "--seed must be an unsigned integer".to_string())?,
+    );
+    match party {
+        PartyId::ThirdParty => Ok(PartySeat::ThirdParty { master }),
+        PartyId::DataHolder(site) => {
+            let path = require(flags, "csv")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read --csv {path}: {e}"))?;
+            let matrix = parse_csv(schema, &text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(PartySeat::Holder {
+                partition: HorizontalPartition::new(site, matrix),
+                master,
+            })
+        }
+    }
+}
+
+fn build_engine<T: WaitTransport>(
+    transport: T,
+    seat: PartySeat,
+) -> Result<PartyEngine<T>, Box<dyn Error>> {
+    let mut engine = PartyEngine::new(transport, vec![seat])?;
+    // Multi-process runs cross real schedulers and kernels: give stalls a
+    // generous budget (100 ms × 600 ≈ one minute of true silence).
+    engine.set_stall_budget(Duration::from_millis(100), 600);
+    Ok(engine)
+}
+
+fn run_serve(flags: &Flags) -> Result<(), Box<dyn Error>> {
+    let party = parse_party(require(flags, "party")?)?;
+    let coordinator = parse_party(require(flags, "coordinator")?)?;
+    let schema = parse_schema(require(flags, "schema")?)?;
+    let seat = seat_from_flags(flags, party, &schema)?;
+    let endpoint = parse_endpoint(require(flags, "connect")?)?;
+    let report = match endpoint {
+        Endpoint::Tcp(addr) => {
+            let transport = TcpTransport::new([party]);
+            transport.connect(addr.as_str(), &startup_backoff())?;
+            build_engine(transport, seat)?.serve(coordinator)?
+        }
+        #[cfg(unix)]
+        Endpoint::Uds(path) => {
+            let transport = UdsTransport::new([party]);
+            transport.connect(&path, &startup_backoff())?;
+            build_engine(transport, seat)?.serve(coordinator)?
+        }
+        #[cfg(not(unix))]
+        Endpoint::Uds(_) => return Err("uds endpoints need a unix platform".into()),
+    };
+    print_report(&report);
+    Ok(())
+}
+
+fn run_coordinate(flags: &Flags) -> Result<(), Box<dyn Error>> {
+    let party = parse_party(require(flags, "party")?)?;
+    let schema = parse_schema(require(flags, "schema")?)?;
+    let seat = seat_from_flags(flags, party, &schema)?;
+    let remote: Vec<PartyId> = require(flags, "remote")?
+        .split(',')
+        .map(parse_party)
+        .collect::<Result<_, _>>()?;
+    let sessions: usize = require(flags, "sessions")?
+        .parse()
+        .map_err(|_| "--sessions must be a positive integer".to_string())?;
+    let num_clusters: usize = require(flags, "clusters")?
+        .parse()
+        .map_err(|_| "--clusters must be a positive integer".to_string())?;
+    let linkage: Linkage = match flags.get("linkage") {
+        Some(name) => parse_linkage(name)?,
+        None => Linkage::Average,
+    };
+    let chunk_rows: Option<usize> = match flags.get("chunk-rows") {
+        Some(text) => Some(
+            text.parse()
+                .map_err(|_| "--chunk-rows must be a positive integer".to_string())?,
+        ),
+        None => None,
+    };
+    let numeric_mode = match flags.get("numeric-mode").map(String::as_str) {
+        None | Some("batch") => NumericMode::Batch,
+        Some("per-pair") => NumericMode::PerPair,
+        Some(other) => return Err(format!("unknown --numeric-mode '{other}'").into()),
+    };
+    let plan = SessionPlan {
+        config: ProtocolConfig {
+            numeric_mode,
+            ..ProtocolConfig::default()
+        },
+        request: ClusteringRequest {
+            weights: schema.uniform_weights(),
+            linkage,
+            num_clusters,
+        },
+        chunk_rows,
+    };
+    let plans = vec![plan; sessions];
+    let endpoint = parse_endpoint(require(flags, "connect")?)?;
+    let report = match endpoint {
+        Endpoint::Tcp(addr) => {
+            let transport = TcpTransport::new([party]);
+            transport.connect(addr.as_str(), &startup_backoff())?;
+            build_engine(transport, seat)?.coordinate(schema, remote, plans)?
+        }
+        #[cfg(unix)]
+        Endpoint::Uds(path) => {
+            let transport = UdsTransport::new([party]);
+            transport.connect(&path, &startup_backoff())?;
+            build_engine(transport, seat)?.coordinate(schema, remote, plans)?
+        }
+        #[cfg(not(unix))]
+        Endpoint::Uds(_) => return Err("uds endpoints need a unix platform".into()),
+    };
+    print_report(&report);
+    if report.stats.sessions_failed > 0 {
+        return Err(format!("{} session(s) failed", report.stats.sessions_failed).into());
+    }
+    Ok(())
+}
+
+fn run_route(flags: &Flags) -> Result<(), Box<dyn Error>> {
+    match parse_endpoint(require(flags, "listen")?)? {
+        Endpoint::Tcp(addr) => {
+            let (router, bound) = TcpRouter::spawn(addr.as_str())?;
+            println!("ROUTER listening=tcp:{bound}");
+            park_forever(router);
+        }
+        #[cfg(unix)]
+        Endpoint::Uds(path) => {
+            let router = UdsRouter::spawn(&path)?;
+            println!("ROUTER listening=uds:{path}");
+            park_forever(router);
+        }
+        #[cfg(not(unix))]
+        Endpoint::Uds(_) => Err("uds endpoints need a unix platform".into()),
+    }
+}
+
+fn park_forever<R>(_router: R) -> ! {
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+const USAGE: &str = "usage: ppc-party <route|serve|coordinate> --flag value ...\n\
+  route      --listen tcp:HOST:PORT | uds:PATH\n\
+  serve      --connect ENDPOINT --party DH<n>|TP --coordinator DH<n> --seed N \\\n\
+             --schema SPEC [--csv FILE]\n\
+  coordinate --connect ENDPOINT --party DH<n> --remote P1,P2,... --seed N \\\n\
+             --schema SPEC --csv FILE --sessions N --clusters K \\\n\
+             [--linkage L] [--chunk-rows W] [--numeric-mode batch|per-pair]";
+
+/// Entry point shared by the binary and tests.
+pub fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let mode = args.first().ok_or(USAGE)?;
+    let flags = parse_flags(&args[1..])?;
+    match mode.as_str() {
+        "route" => run_route(&flags),
+        "serve" => run_serve(&flags),
+        "coordinate" => run_coordinate(&flags),
+        other => Err(format!("unknown mode '{other}'\n{USAGE}").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_and_reject_malformed_input() {
+        let flags =
+            parse_flags(&["--party".into(), "DH0".into(), "--seed".into(), "77".into()]).unwrap();
+        assert_eq!(flags.get("party").unwrap(), "DH0");
+        assert!(parse_flags(&["party".into()]).is_err());
+        assert!(parse_flags(&["--party".into()]).is_err());
+        assert!(parse_flags(&["--a".into(), "1".into(), "--a".into(), "2".into()]).is_err());
+    }
+
+    #[test]
+    fn parties_and_endpoints_parse() {
+        assert_eq!(parse_party("DH3").unwrap(), PartyId::DataHolder(3));
+        assert_eq!(parse_party("TP").unwrap(), PartyId::ThirdParty);
+        assert!(parse_party("DHx").is_err());
+        assert!(parse_party("dh0").is_err());
+        assert_eq!(
+            parse_endpoint("tcp:127.0.0.1:7000").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7000".into())
+        );
+        assert_eq!(
+            parse_endpoint("uds:/tmp/x.sock").unwrap(),
+            Endpoint::Uds("/tmp/x.sock".into())
+        );
+        assert!(parse_endpoint("http:nope").is_err());
+    }
+
+    #[test]
+    fn schemas_parse_with_alphabets() {
+        let schema = parse_schema("age:numeric,blood:categorical,dna:alphanumeric:dna").unwrap();
+        assert_eq!(schema.len(), 3);
+        assert!(parse_schema("age").is_err());
+        assert!(parse_schema("age:float").is_err());
+        assert!(parse_schema("dna:alphanumeric").is_err());
+        assert!(parse_schema("dna:alphanumeric:klingon").is_err());
+    }
+
+    #[test]
+    fn renderings_are_stable() {
+        assert_eq!(
+            render_clusters(&[vec![(0, 0), (1, 2)], vec![(0, 1)]]),
+            "[[0:0,1:2],[0:1]]"
+        );
+        assert_eq!(render_f64_bits(&[1.0]), "3ff0000000000000");
+        assert_eq!(
+            render_f64_bits(&[0.5, -0.0]),
+            "3fe0000000000000,8000000000000000"
+        );
+    }
+}

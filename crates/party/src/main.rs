@@ -1,0 +1,9 @@
+//! The `ppc-party` binary: see the crate docs (`src/lib.rs`) for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = ppc_party::run(&args) {
+        eprintln!("ERROR: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,170 @@
+//! The per-party engine tier and its session control plane, end to end
+//! over loopback TCP — the in-process twin of a real three-process
+//! `ppc-party` deployment (see the README quickstart for the actual
+//! processes).
+//!
+//! ```text
+//! cargo run --release --example party_control_plane
+//! ```
+//!
+//! What happens:
+//!
+//! * a [`TcpRouter`] binds an ephemeral loopback port;
+//! * three [`PartyEngine`]s — a *coordinating* data holder, a *serving*
+//!   data holder and a *serving* third party — each dial the router with a
+//!   transport hosting **only their own party**, exactly as three separate
+//!   OS processes would;
+//! * the serving engines announce readiness on the reserved `ctl/` topic;
+//!   the coordinator gathers the roster, announces four sessions
+//!   (schema, config, request, chunk window and site sizes all in-band),
+//!   and every engine derives its own secrets from the shared master seed
+//!   — no secret ever crosses a socket;
+//! * each session's published clusters are asserted identical to the
+//!   in-memory reference driver, and the third party's final matrix is
+//!   compared bit for bit against the oracle through its `ctl/done`
+//!   export.
+
+use ppclust::cluster::Linkage;
+use ppclust::core::protocol::driver::{ClusteringRequest, ThirdPartyDriver};
+use ppclust::core::protocol::party::TrustedSetup;
+use ppclust::core::protocol::party_engine::{PartyEngine, PartyOutcome, PartySeat, SessionPlan};
+use ppclust::core::protocol::ProtocolConfig;
+use ppclust::crypto::Seed;
+use ppclust::data::Workload;
+use ppclust::net::{Backoff, PartyId, TcpRouter, TcpTransport};
+
+const SESSIONS: usize = 4;
+const CHUNK_ROWS: usize = 3;
+const MASTER: u64 = 4242;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two hospitals' horizontal partitions of one synthetic dataset.
+    let workload = Workload::bird_flu(24, 2, 3, 99)?;
+    let schema = workload.schema().clone();
+    let master = Seed::from_u64(MASTER);
+    let parts = workload.partitions.clone();
+
+    let plan = SessionPlan {
+        config: ProtocolConfig::default(),
+        request: ClusteringRequest {
+            weights: schema.uniform_weights(),
+            linkage: Linkage::Average,
+            num_clusters: 3,
+        },
+        chunk_rows: Some(CHUNK_ROWS),
+    };
+
+    // Reference: the in-memory driver on the full dataset.
+    let setup = TrustedSetup::deterministic(parts.clone(), &master)?;
+    let driver = ThirdPartyDriver::new(schema.clone(), plan.config);
+    let constructed = driver.construct(&setup.holders, &setup.third_party)?;
+    let (reference, reference_matrix) = driver.cluster(&constructed, &plan.request)?;
+
+    // The router is the only listener — every party dials it.
+    let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0")?;
+    println!("frame router listening on {addr}");
+
+    let connect = |party: PartyId| -> Result<TcpTransport, Box<dyn std::error::Error>> {
+        let transport = TcpTransport::new([party]);
+        transport.connect(addr, &Backoff::default())?;
+        println!("{party} connected");
+        Ok(transport)
+    };
+
+    let coordinator = PartyEngine::new(
+        connect(PartyId::DataHolder(0))?,
+        vec![PartySeat::Holder {
+            partition: parts[0].clone(),
+            master,
+        }],
+    )?;
+    let holder = PartyEngine::new(
+        connect(PartyId::DataHolder(1))?,
+        vec![PartySeat::Holder {
+            partition: parts[1].clone(),
+            master,
+        }],
+    )?;
+    let third_party = PartyEngine::new(
+        connect(PartyId::ThirdParty)?,
+        vec![PartySeat::ThirdParty { master }],
+    )?;
+
+    let started = std::time::Instant::now();
+    let (report, holder_report, tp_report) = std::thread::scope(|scope| {
+        let holder = scope.spawn(|| holder.serve(PartyId::DataHolder(0)));
+        let tp = scope.spawn(|| third_party.serve(PartyId::DataHolder(0)));
+        let report = coordinator.coordinate(
+            schema.clone(),
+            [PartyId::DataHolder(1), PartyId::ThirdParty],
+            vec![plan.clone(); SESSIONS],
+        );
+        (report, holder.join().unwrap(), tp.join().unwrap())
+    });
+    let (report, holder_report, tp_report) = (report?, holder_report?, tp_report?);
+    let elapsed = started.elapsed();
+
+    println!("\n=== {SESSIONS} sessions, 3 party engines over loopback TCP ===\n");
+    for id in 0..SESSIONS as u64 {
+        for row in report.session(id) {
+            match &row.outcome {
+                PartyOutcome::Holder(published) => {
+                    let clusters: Vec<usize> = published.clusters.iter().map(Vec::len).collect();
+                    println!(
+                        "session {id}: coordinator {} published clusters of sizes {clusters:?}",
+                        row.party
+                    );
+                }
+                PartyOutcome::Remote(Some(tp)) => {
+                    let reference_bits: Vec<u64> = reference_matrix
+                        .matrix()
+                        .condensed_values()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    let got_bits: Vec<u64> = tp.condensed.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(got_bits, reference_bits, "final matrix diverged");
+                    println!(
+                        "session {id}: remote {} exported a bit-identical final matrix \
+                         ({} objects)",
+                        row.party, tp.objects
+                    );
+                }
+                PartyOutcome::Remote(None) => {
+                    println!("session {id}: remote {} confirmed completion", row.party);
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+    // Every engine saw every session complete; published clusters match
+    // the driver.
+    for (label, r) in [
+        ("coordinator", &report),
+        ("serving holder", &holder_report),
+        ("third party", &tp_report),
+    ] {
+        assert_eq!(r.stats.sessions_completed, SESSIONS, "{label}");
+        assert_eq!(r.stats.sessions_failed, 0, "{label}");
+        println!(
+            "{label}: {} rounds, {} blocking waits, {} messages, peak {} buffered rows",
+            r.stats.rounds,
+            r.stats.blocking_waits,
+            r.stats.messages_sent,
+            r.stats.peak_buffered_rows
+        );
+    }
+    for row in tp_report.outcomes.iter() {
+        if let PartyOutcome::ThirdParty(outcome) = &row.outcome {
+            assert_eq!(outcome.result.clusters, reference.clusters);
+        }
+    }
+    println!(
+        "\nall {SESSIONS} sessions match the in-memory driver; wall clock {elapsed:?} \
+         (router: {} connections, {} unroutable frames)",
+        router.connection_count(),
+        router.unroutable_frames()
+    );
+    router.shutdown();
+    Ok(())
+}

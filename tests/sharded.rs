@@ -247,3 +247,55 @@ fn one_shard_degenerates_to_the_multiplexing_engine() {
     let run = engine.run().unwrap();
     assert_matches_oracle(&run.outcomes, &reference);
 }
+
+/// When a remote party dies for good mid-run, the sharded engine must
+/// surface a `PeerUnreachable` error *naming the unreachable party* —
+/// distinguishable from a generic protocol stall — once the socket layer's
+/// reconnect backoff is exhausted.
+#[test]
+fn a_dead_peer_is_reported_as_unreachable_not_as_a_stall() {
+    use ppclust::core::error::CoreError;
+    use ppclust::net::{NetError, TcpAcceptor};
+
+    // The shard registers every party locally (the sharded engine drives
+    // whole sessions) but holds a direct TCP link to a peer announcing the
+    // third party — announced routes win over local delivery, so all
+    // TP-bound traffic crosses the link.
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+    let addr = acceptor.local_addr().unwrap();
+    let shard_parties: Vec<PartyId> = (0..HOLDERS)
+        .map(PartyId::DataHolder)
+        .chain([PartyId::ThirdParty])
+        .collect();
+    let mut shard = TcpTransport::new(shard_parties);
+    shard.set_reconnect_policy(Backoff {
+        initial: Duration::from_millis(1),
+        max_delay: Duration::from_millis(2),
+        max_attempts: 2,
+    });
+    let tp_side = TcpTransport::new([PartyId::ThirdParty]);
+    let dial = std::thread::spawn(move || {
+        shard.connect(addr, &Backoff::default()).unwrap();
+        shard
+    });
+    acceptor.accept_into(&tp_side).unwrap();
+    let shard = dial.join().unwrap();
+
+    // The third party dies before the session starts and never comes back.
+    tp_side.shutdown();
+    drop(tp_side);
+    drop(acceptor);
+
+    let mut engine = ShardedEngine::new(vec![shard]).unwrap();
+    engine.add_session(bird_flu_spec(500, Some(2), NumericMode::Batch));
+    engine.set_stall_budget(Duration::from_millis(20), 20);
+    match engine.run() {
+        Err(CoreError::Net(NetError::PeerUnreachable { party, .. })) => {
+            assert_eq!(party, PartyId::ThirdParty);
+        }
+        other => panic!("expected a PeerUnreachable error, got {other:?}"),
+    }
+    for transport in engine.transports() {
+        transport.shutdown();
+    }
+}
