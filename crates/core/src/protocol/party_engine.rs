@@ -49,7 +49,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 use ppc_crypto::{RngAlgorithm, Seed};
-use ppc_net::control::{SessionAnnounce, SessionDone, SessionReady};
+use ppc_net::control::{ControlAuth, SessionAnnounce, SessionDone, SessionReady};
 use ppc_net::{
     is_control_topic, ControlMsg, Envelope, NetError, PartyId, WaitTransport, WireReader,
     WireWriter, TOPIC_ANNOUNCE, TOPIC_DONE, TOPIC_READY,
@@ -327,6 +327,13 @@ impl PartySeat {
         }
     }
 
+    /// The federation master seed this seat derives its secrets from.
+    pub fn master(&self) -> &Seed {
+        match self {
+            PartySeat::Holder { master, .. } | PartySeat::ThirdParty { master } => master,
+        }
+    }
+
     /// Objects this seat holds (0 for the third party).
     pub fn rows(&self) -> u64 {
         match self {
@@ -345,6 +352,15 @@ pub enum SessionFailure {
     PeerUnreachable {
         /// The unreachable destination.
         party: PartyId,
+    },
+    /// The channel-security tier detected active interference: a sealed
+    /// frame was tampered with, truncated, replayed or reordered, a
+    /// plaintext frame arrived on a secured channel, or a control-plane
+    /// message failed its MAC. Distinguishable from both stalls and
+    /// crashes — something on the path *modified* traffic.
+    ChannelAuth {
+        /// What failed to authenticate.
+        detail: String,
     },
     /// Any other per-session error (remote failure text or local protocol
     /// error).
@@ -540,6 +556,10 @@ struct Flow<'a, T: WaitTransport> {
     locals: Vec<PartyId>,
     /// Our identity on the control plane (the first seat's party).
     control_party: PartyId,
+    /// MAC over every control payload, keyed from the master seed: a
+    /// multi-tenant router (or any rogue peer behind it) cannot forge
+    /// `ctl/` traffic (see `ppc_net::control::ControlAuth`).
+    control_auth: ControlAuth,
     coordinator: PartyId,
     is_coordinator: bool,
     idle_wait: Duration,
@@ -573,11 +593,13 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
     ) -> Self {
         let locals: Vec<PartyId> = engine.seats.iter().map(PartySeat::party).collect();
         let control_party = locals[0];
+        let control_auth = ControlAuth::from_master(engine.seats[0].master());
         Flow {
             transport: &engine.transport,
             seats: &engine.seats,
             locals,
             control_party,
+            control_auth,
             // The coordinator is the engine whose own identity the control
             // traffic converges on; `coordinate` passes itself.
             is_coordinator: coordinator == control_party,
@@ -597,8 +619,9 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
         }
     }
 
-    fn send_ctl(&mut self, to: PartyId, topic: &str, payload: Vec<u8>) -> Result<(), NetError> {
+    fn send_ctl(&mut self, to: PartyId, topic: &str, body: Vec<u8>) -> Result<(), NetError> {
         self.stats.messages_sent += 1;
+        let payload = self.control_auth.seal(topic, self.control_party, to, &body);
         self.transport
             .send(Envelope::new(self.control_party, to, topic, payload))
     }
@@ -745,7 +768,16 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
     /// session frames go to their runtime or the pre-announcement backlog.
     fn route(&mut self, envelope: Envelope) -> Result<(), CoreError> {
         if is_control_topic(&envelope.topic) {
-            let msg = ControlMsg::decode(&envelope.topic, &envelope.payload)?;
+            // Verify the control MAC before trusting a single byte: a
+            // failure here is active forgery, surfaced as the settled
+            // ChannelAuth outcome by the drive loop.
+            let body = self.control_auth.open(
+                &envelope.topic,
+                envelope.from,
+                envelope.to,
+                &envelope.payload,
+            )?;
+            let msg = ControlMsg::decode(&envelope.topic, &body)?;
             return match (msg, self.is_coordinator) {
                 (ControlMsg::Announce(announce), false) => self.handle_announce(announce),
                 (ControlMsg::Announce(_), true) => Err(CoreError::Protocol(
@@ -814,6 +846,9 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
         let text = match &failure {
             SessionFailure::PeerUnreachable { party } => {
                 format!("peer hosting {party} is unreachable")
+            }
+            SessionFailure::ChannelAuth { detail } => {
+                format!("channel authentication failure: {detail}")
             }
             SessionFailure::Error(e) => e.clone(),
         };
@@ -966,8 +1001,45 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
         })
     }
 
-    /// The main loop shared by both roles: pump, turn, flush, park.
+    /// Settles a run the channel-security tier has condemned: every
+    /// unfinished session becomes a [`SessionFailure::ChannelAuth`]
+    /// outcome — tamper is a *distinguishable result*, not a generic
+    /// stall. When nothing was ever announced there is nothing to settle
+    /// and the auth failure surfaces as the run error instead.
+    fn settle_auth_failure(&mut self, detail: String) -> Result<(), CoreError> {
+        let ids: Vec<u64> = match self.total {
+            Some(total) => (0..u64::from(total))
+                .filter(|id| !self.finished.contains(id))
+                .collect(),
+            None => self.sessions.keys().copied().collect(),
+        };
+        if ids.is_empty() {
+            return Err(CoreError::Net(NetError::AuthFailure { detail }));
+        }
+        for id in ids {
+            self.fail_session(
+                id,
+                SessionFailure::ChannelAuth {
+                    detail: detail.clone(),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// The main loop shared by both roles: pump, turn, flush, park —
+    /// settling instead of erroring when the channel tier reports
+    /// tampering.
     fn drive(&mut self) -> Result<(), CoreError> {
+        match self.drive_loop() {
+            Err(CoreError::Net(NetError::AuthFailure { detail })) => {
+                self.settle_auth_failure(detail)
+            }
+            other => other,
+        }
+    }
+
+    fn drive_loop(&mut self) -> Result<(), CoreError> {
         let mut idle = 0u32;
         loop {
             self.stats.rounds += 1;
@@ -1012,8 +1084,23 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
         }
     }
 
-    /// Coordinator entry: gather readiness, announce, drive.
+    /// Coordinator entry: gather readiness, announce, drive — settling
+    /// (like [`drive`](Self::drive)) when the channel tier reports
+    /// tampering during the readiness or announcement phases.
     fn coordinate(&mut self, schema: Schema, plans: Vec<SessionPlan>) -> Result<(), CoreError> {
+        match self.coordinate_phases(schema, plans) {
+            Err(CoreError::Net(NetError::AuthFailure { detail })) => {
+                self.settle_auth_failure(detail)
+            }
+            other => other,
+        }
+    }
+
+    fn coordinate_phases(
+        &mut self,
+        schema: Schema,
+        plans: Vec<SessionPlan>,
+    ) -> Result<(), CoreError> {
         self.total = Some(plans.len() as u32);
         // Phase 1: wait for every remote party's readiness.
         let mut idle = 0u32;
@@ -1416,16 +1503,22 @@ mod tests {
         });
         acceptor.accept_into(&tp_side).unwrap();
         let transport = dial.join().unwrap();
+        let body = SessionReady {
+            party: PartyId::ThirdParty,
+            rows: 0,
+        }
+        .encode();
         tp_side
             .send(Envelope::new(
                 PartyId::ThirdParty,
                 PartyId::DataHolder(0),
                 TOPIC_READY,
-                SessionReady {
-                    party: PartyId::ThirdParty,
-                    rows: 0,
-                }
-                .encode(),
+                ControlAuth::from_master(&master).seal(
+                    TOPIC_READY,
+                    PartyId::ThirdParty,
+                    PartyId::DataHolder(0),
+                    &body,
+                ),
             ))
             .unwrap();
         tp_side.flush().unwrap();
@@ -1509,11 +1602,156 @@ mod tests {
             PartyId::DataHolder(0),
             PartyId::DataHolder(1),
             TOPIC_ANNOUNCE,
-            announce.encode(),
+            ControlAuth::from_master(&master).seal(
+                TOPIC_ANNOUNCE,
+                PartyId::DataHolder(0),
+                PartyId::DataHolder(1),
+                &announce.encode(),
+            ),
         ))
         .unwrap();
         let err = engine.serve(PartyId::DataHolder(0)).unwrap_err();
         assert!(err.to_string().contains("outside 0..2"), "{err}");
+    }
+
+    /// A forged announcement (wrong MAC key) must surface as a channel
+    /// authentication failure — never be acted upon, and never look like
+    /// a stall.
+    #[test]
+    fn a_forged_announcement_is_a_distinguishable_auth_failure() {
+        use ppc_net::TOPIC_ANNOUNCE;
+
+        let master = Seed::from_u64(8);
+        let parts = partitions();
+        let net = Network::with_parties(2);
+        let engine = PartyEngine::new(
+            net.clone(),
+            vec![PartySeat::Holder {
+                partition: parts[1].clone(),
+                master,
+            }],
+        )
+        .unwrap();
+        let spec = PartySessionSpec {
+            schema: schema(),
+            config: ProtocolConfig::default(),
+            request: ClusteringRequest::uniform(&schema(), 2),
+            chunk_rows: None,
+            site_sizes: vec![(0, 4), (1, 2)],
+        };
+        let announce = ppc_net::SessionAnnounce {
+            session: 0,
+            sessions_total: 1,
+            body: spec.encode(),
+        };
+        // The forger does not know the master seed, so it MACs under its
+        // own key (an unkeyed payload fails identically).
+        net.send(Envelope::new(
+            PartyId::DataHolder(0),
+            PartyId::DataHolder(1),
+            TOPIC_ANNOUNCE,
+            ControlAuth::from_master(&Seed::from_u64(9999)).seal(
+                TOPIC_ANNOUNCE,
+                PartyId::DataHolder(0),
+                PartyId::DataHolder(1),
+                &announce.encode(),
+            ),
+        ))
+        .unwrap();
+        let err = engine.serve(PartyId::DataHolder(0)).unwrap_err();
+        match err {
+            CoreError::Net(NetError::AuthFailure { detail }) => {
+                assert!(detail.contains("MAC"), "{detail}");
+            }
+            other => panic!("expected a channel auth failure, got {other}"),
+        }
+    }
+
+    /// A forged completion report arriving mid-run settles the whole run
+    /// as `ChannelAuth` outcomes: tampering is a reported result, not a
+    /// stall or a bare error.
+    #[test]
+    fn a_forged_completion_settles_the_run_with_channel_auth_outcomes() {
+        use ppc_net::control::SessionDone;
+        use ppc_net::TOPIC_DONE;
+
+        let master = Seed::from_u64(21);
+        let parts = partitions();
+        let net = Network::with_parties(2);
+        // Inject the forged ctl/done *before* the run: the coordinator
+        // pumps it while gathering readiness, when no session is finished.
+        let done = SessionDone {
+            session: 0,
+            party: PartyId::DataHolder(1),
+            error: None,
+            payload: Vec::new(),
+        };
+        net.send(Envelope::new(
+            PartyId::DataHolder(1),
+            PartyId::DataHolder(0),
+            TOPIC_DONE,
+            ControlAuth::from_master(&Seed::from_u64(4444)).seal(
+                TOPIC_DONE,
+                PartyId::DataHolder(1),
+                PartyId::DataHolder(0),
+                &done.encode(),
+            ),
+        ))
+        .unwrap();
+
+        let coordinator = PartyEngine::new(
+            net.clone(),
+            vec![PartySeat::Holder {
+                partition: parts[0].clone(),
+                master,
+            }],
+        )
+        .unwrap();
+        let holder = PartyEngine::new(
+            net.clone(),
+            vec![PartySeat::Holder {
+                partition: parts[1].clone(),
+                master,
+            }],
+        )
+        .unwrap();
+        let tp = PartyEngine::new(net.clone(), vec![PartySeat::ThirdParty { master }]).unwrap();
+
+        let report = std::thread::scope(|scope| {
+            // The serving engines will stall out once the coordinator
+            // settles; their runs may end either way — only the
+            // coordinator's report is under test.
+            let mut holder = holder;
+            let mut tp = tp;
+            holder.set_stall_budget(Duration::from_millis(10), 20);
+            tp.set_stall_budget(Duration::from_millis(10), 20);
+            let h = scope.spawn(move || {
+                let _ = holder.serve(PartyId::DataHolder(0));
+            });
+            let t = scope.spawn(move || {
+                let _ = tp.serve(PartyId::DataHolder(0));
+            });
+            let report = coordinator
+                .coordinate(
+                    schema(),
+                    [PartyId::DataHolder(1), PartyId::ThirdParty],
+                    vec![plan(Some(2), NumericMode::Batch)],
+                )
+                .expect("tampering settles as outcomes, not an error");
+            h.join().unwrap();
+            t.join().unwrap();
+            report
+        });
+        assert_eq!(report.stats.sessions_failed, 1);
+        assert_eq!(report.stats.sessions_completed, 0);
+        let mut saw_channel_auth = false;
+        for row in &report.outcomes {
+            if let PartyOutcome::Failed(SessionFailure::ChannelAuth { detail }) = &row.outcome {
+                assert!(detail.contains("MAC"), "{detail}");
+                saw_channel_auth = true;
+            }
+        }
+        assert!(saw_channel_auth, "outcomes: {:?}", report.outcomes);
     }
 
     /// A serving engine with no coordinator in sight must hit its stall

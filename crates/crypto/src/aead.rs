@@ -1,0 +1,476 @@
+//! ChaCha20-Poly1305 authenticated encryption (RFC 8439).
+//!
+//! The paper assumes the pairwise channels between data holders and the
+//! third party "must be secured"; this module provides the sealing
+//! primitive the socket tier uses to make that assumption real. Like the
+//! rest of the crate it is implemented from scratch (the repository is a
+//! self-contained reproduction with no registry access): the ChaCha20
+//! block function is shared with the protocol stream generator
+//! ([`crate::prng::chacha`]) and Poly1305 follows the 26-bit-limb
+//! reference construction. Both halves and the composed AEAD are checked
+//! against the RFC 8439 test vectors.
+//!
+//! The construction is the standard one:
+//!
+//! * the one-time Poly1305 key is the first 32 bytes of the ChaCha20
+//!   keystream at counter 0;
+//! * the plaintext is XORed with the keystream starting at counter 1;
+//! * the tag authenticates `aad ‖ pad16 ‖ ciphertext ‖ pad16 ‖
+//!   len(aad) ‖ len(ciphertext)` (lengths as little-endian `u64`).
+//!
+//! Nonces are the caller's responsibility: a (key, nonce) pair must never
+//! seal two different messages. The socket tier derives nonces from a
+//! per-connection salt plus the implicit per-link frame sequence number,
+//! so retransmitted frames re-seal deterministically and fresh traffic
+//! never reuses a nonce (see `ppc-net::secure`).
+
+use crate::error::CryptoError;
+use crate::prng::chacha::chacha20_block;
+use crate::prng::Seed;
+
+/// AEAD key length in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// AEAD nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// Poly1305 tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// One-shot Poly1305 MAC over a byte string (RFC 8439 §2.5).
+///
+/// The key is one-time: it must never authenticate two messages. Inside
+/// the AEAD it is derived per nonce from the ChaCha20 keystream.
+#[derive(Debug, Clone)]
+pub struct Poly1305 {
+    /// Clamped `r`, radix-2^26 limbs.
+    r: [u32; 5],
+    /// The pad `s` (added after the modular reduction).
+    pad: [u32; 4],
+    /// Accumulator, radix-2^26 limbs.
+    h: [u32; 5],
+    /// Partial block carried between [`update`](Self::update) calls, so
+    /// incremental absorption is split-point independent.
+    buf: [u8; 16],
+    buffered: usize,
+}
+
+#[inline(always)]
+fn le32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
+}
+
+impl Poly1305 {
+    /// Creates the MAC from a 32-byte one-time key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        // r is clamped per the RFC; the shifted loads put it in 26-bit limbs.
+        Poly1305 {
+            r: [
+                le32(&key[0..4]) & 0x03ff_ffff,
+                (le32(&key[3..7]) >> 2) & 0x03ff_ff03,
+                (le32(&key[6..10]) >> 4) & 0x03ff_c0ff,
+                (le32(&key[9..13]) >> 6) & 0x03f0_3fff,
+                (le32(&key[12..16]) >> 8) & 0x000f_ffff,
+            ],
+            pad: [
+                le32(&key[16..20]),
+                le32(&key[20..24]),
+                le32(&key[24..28]),
+                le32(&key[28..32]),
+            ],
+            h: [0; 5],
+            buf: [0; 16],
+            buffered: 0,
+        }
+    }
+
+    /// Absorbs one 16-byte block; `hibit` is `1 << 24` for full blocks and
+    /// 0 for the already-padded final partial block.
+    fn block(&mut self, m: &[u8; 16], hibit: u32) {
+        let [r0, r1, r2, r3, r4] = self.r.map(u64::from);
+        let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
+        let h0 = u64::from(self.h[0] + (le32(&m[0..4]) & 0x03ff_ffff));
+        let h1 = u64::from(self.h[1] + ((le32(&m[3..7]) >> 2) & 0x03ff_ffff));
+        let h2 = u64::from(self.h[2] + ((le32(&m[6..10]) >> 4) & 0x03ff_ffff));
+        let h3 = u64::from(self.h[3] + ((le32(&m[9..13]) >> 6) & 0x03ff_ffff));
+        let h4 = u64::from(self.h[4] + ((le32(&m[12..16]) >> 8) | hibit));
+
+        // h *= r (mod 2^130 - 5): schoolbook multiply with the wraparound
+        // limbs pre-multiplied by 5.
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let mut d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let mut d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let mut d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let mut d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        let mut c = d0 >> 26;
+        self.h[0] = (d0 & 0x03ff_ffff) as u32;
+        d1 += c;
+        c = d1 >> 26;
+        self.h[1] = (d1 & 0x03ff_ffff) as u32;
+        d2 += c;
+        c = d2 >> 26;
+        self.h[2] = (d2 & 0x03ff_ffff) as u32;
+        d3 += c;
+        c = d3 >> 26;
+        self.h[3] = (d3 & 0x03ff_ffff) as u32;
+        d4 += c;
+        c = d4 >> 26;
+        self.h[4] = (d4 & 0x03ff_ffff) as u32;
+        self.h[0] += (c * 5) as u32;
+        let c = self.h[0] >> 26;
+        self.h[0] &= 0x03ff_ffff;
+        self.h[1] += c;
+    }
+
+    /// Absorbs `data`. Incremental and split-point independent: any
+    /// sequence of `update` calls produces the same tag as one call over
+    /// the concatenation (partial blocks are carried, not padded, until
+    /// [`finalize`](Self::finalize)).
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buffered > 0 {
+            let take = data.len().min(16 - self.buffered);
+            self.buf[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered < 16 {
+                return;
+            }
+            let block = self.buf;
+            self.block(&block, 1 << 24);
+            self.buffered = 0;
+        }
+        let mut chunks = data.chunks_exact(16);
+        for chunk in &mut chunks {
+            self.block(chunk.try_into().expect("16-byte chunk"), 1 << 24);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buffered = rem.len();
+    }
+
+    /// Finalises and returns the 16-byte tag (RFC padding: a trailing
+    /// partial block is terminated with an explicit 0x01 byte and
+    /// zero-padded).
+    pub fn finalize(mut self) -> [u8; 16] {
+        if self.buffered > 0 {
+            let mut last = [0u8; 16];
+            last[..self.buffered].copy_from_slice(&self.buf[..self.buffered]);
+            last[self.buffered] = 1;
+            self.block(&last, 0);
+        }
+        // Full carry propagation.
+        let mut c = self.h[1] >> 26;
+        self.h[1] &= 0x03ff_ffff;
+        self.h[2] += c;
+        c = self.h[2] >> 26;
+        self.h[2] &= 0x03ff_ffff;
+        self.h[3] += c;
+        c = self.h[3] >> 26;
+        self.h[3] &= 0x03ff_ffff;
+        self.h[4] += c;
+        c = self.h[4] >> 26;
+        self.h[4] &= 0x03ff_ffff;
+        self.h[0] += c * 5;
+        c = self.h[0] >> 26;
+        self.h[0] &= 0x03ff_ffff;
+        self.h[1] += c;
+
+        // Compute h + -p and select it if h >= p.
+        let mut g0 = self.h[0].wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= 0x03ff_ffff;
+        let mut g1 = self.h[1].wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= 0x03ff_ffff;
+        let mut g2 = self.h[2].wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= 0x03ff_ffff;
+        let mut g3 = self.h[3].wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= 0x03ff_ffff;
+        let g4 = self.h[4].wrapping_add(c).wrapping_sub(1 << 26);
+
+        // mask = all ones if h < p (keep h), all zeros if h >= p (take g).
+        let mask = (g4 >> 31).wrapping_mul(0xffff_ffff);
+        g0 = (self.h[0] & mask) | (g0 & !mask);
+        g1 = (self.h[1] & mask) | (g1 & !mask);
+        g2 = (self.h[2] & mask) | (g2 & !mask);
+        g3 = (self.h[3] & mask) | (g3 & !mask);
+        let g4 = (self.h[4] & mask) | (g4 & !mask);
+
+        // Repack into 32-bit words and add the pad mod 2^128.
+        let w0 = u64::from(g0 | (g1 << 26)) & 0xffff_ffff;
+        let w1 = u64::from((g1 >> 6) | (g2 << 20)) & 0xffff_ffff;
+        let w2 = u64::from((g2 >> 12) | (g3 << 14)) & 0xffff_ffff;
+        let w3 = u64::from((g3 >> 18) | (g4 << 8)) & 0xffff_ffff;
+
+        let mut tag = [0u8; 16];
+        let mut carry = 0u64;
+        for (i, w) in [w0, w1, w2, w3].into_iter().enumerate() {
+            let sum = w + u64::from(self.pad[i]) + carry;
+            tag[4 * i..4 * i + 4].copy_from_slice(&(sum as u32).to_le_bytes());
+            carry = sum >> 32;
+        }
+        tag
+    }
+
+    /// One-shot convenience: MAC of `data` under `key`.
+    pub fn tag(key: &[u8; 32], data: &[u8]) -> [u8; 16] {
+        let mut mac = Poly1305::new(key);
+        mac.update(data);
+        mac.finalize()
+    }
+}
+
+/// Constant-time 16-byte tag comparison.
+fn tags_equal(a: &[u8; 16], b: &[u8]) -> bool {
+    if b.len() != 16 {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// ChaCha20-Poly1305 AEAD cipher keyed once, sealing many frames under
+/// distinct nonces.
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u32; 8],
+}
+
+impl std::fmt::Debug for ChaCha20Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The key is secret material; expose nothing.
+        f.debug_struct("ChaCha20Poly1305").finish_non_exhaustive()
+    }
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates the cipher from a 32-byte key.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let mut words = [0u32; 8];
+        for (w, chunk) in words.iter_mut().zip(key.chunks_exact(4)) {
+            *w = le32(chunk);
+        }
+        ChaCha20Poly1305 { key: words }
+    }
+
+    /// Creates the cipher keyed by a 256-bit [`Seed`] (the PSK derivation
+    /// family hands link keys around as seeds).
+    pub fn from_seed(seed: &Seed) -> Self {
+        ChaCha20Poly1305::new(&seed.0)
+    }
+
+    fn nonce_words(nonce: &[u8; NONCE_LEN]) -> [u32; 3] {
+        [le32(&nonce[0..4]), le32(&nonce[4..8]), le32(&nonce[8..12])]
+    }
+
+    /// XORs `data` in place with the keystream starting at block `counter`.
+    fn xor_keystream(&self, nonce: &[u32; 3], mut counter: u32, data: &mut [u8]) {
+        for chunk in data.chunks_mut(64) {
+            let words = chacha20_block(&self.key, counter, nonce);
+            counter = counter.wrapping_add(1);
+            for (i, byte) in chunk.iter_mut().enumerate() {
+                *byte ^= (words[i / 4] >> (8 * (i % 4))) as u8;
+            }
+        }
+    }
+
+    /// The one-time Poly1305 key for `nonce` (keystream block 0).
+    fn poly_key(&self, nonce: &[u32; 3]) -> [u8; 32] {
+        let words = chacha20_block(&self.key, 0, nonce);
+        let mut key = [0u8; 32];
+        for (chunk, w) in key.chunks_exact_mut(4).zip(&words[..8]) {
+            chunk.copy_from_slice(&w.to_le_bytes());
+        }
+        key
+    }
+
+    /// The tag over `aad` and `ciphertext` (RFC 8439 §2.8 layout).
+    ///
+    /// The MAC input is one contiguous message of full 16-byte blocks
+    /// (aad and ciphertext are zero-padded to block boundaries), so the
+    /// standalone partial-block padding of [`Poly1305::update`] never
+    /// applies here.
+    fn tag(&self, nonce: &[u32; 3], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        let mut data = Vec::with_capacity(aad.len() + ciphertext.len() + 48);
+        data.extend_from_slice(aad);
+        data.resize(data.len() + (16 - aad.len() % 16) % 16, 0);
+        data.extend_from_slice(ciphertext);
+        data.resize(data.len() + (16 - ciphertext.len() % 16) % 16, 0);
+        data.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+        data.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+        Poly1305::tag(&self.poly_key(nonce), &data)
+    }
+
+    /// Seals `plaintext`, returning `ciphertext ‖ tag`.
+    ///
+    /// `aad` is authenticated but not encrypted (the socket tier binds the
+    /// routing metadata and the nonce schedule through it).
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let nonce = Self::nonce_words(nonce);
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        self.xor_keystream(&nonce, 1, &mut out);
+        let tag = self.tag(&nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Opens `sealed` (`ciphertext ‖ tag`), verifying the tag before
+    /// returning the plaintext. Any bit flip in the ciphertext, tag, aad
+    /// or nonce fails.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::InvalidCiphertext(format!(
+                "sealed frame of {} bytes is shorter than the {TAG_LEN}-byte tag",
+                sealed.len()
+            )));
+        }
+        let nonce = Self::nonce_words(nonce);
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.tag(&nonce, aad, ciphertext);
+        if !tags_equal(&expected, tag) {
+            return Err(CryptoError::InvalidCiphertext(
+                "authentication tag mismatch".into(),
+            ));
+        }
+        let mut out = ciphertext.to_vec();
+        self.xor_keystream(&nonce, 1, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.5.2: Poly1305 tag of "Cryptographic Forum Research
+    /// Group" under the reference one-time key.
+    #[test]
+    fn poly1305_rfc8439_vector() {
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let tag = Poly1305::tag(&key, b"Cryptographic Forum Research Group");
+        let expected: [u8; 16] = [
+            0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01,
+            0x27, 0xa9,
+        ];
+        assert_eq!(tag, expected);
+    }
+
+    #[test]
+    fn poly1305_is_split_point_independent() {
+        let key = [7u8; 32];
+        let data: Vec<u8> = (0..100u8).collect();
+        let whole = Poly1305::tag(&key, &data);
+        // Any split — block-aligned or not, including byte-at-a-time —
+        // must agree with the one-shot tag.
+        for split in [1usize, 7, 16, 17, 48, 50, 99] {
+            let mut mac = Poly1305::new(&key);
+            mac.update(&data[..split]);
+            mac.update(&data[split..]);
+            assert_eq!(mac.finalize(), whole, "split at {split}");
+        }
+        let mut mac = Poly1305::new(&key);
+        for byte in &data {
+            mac.update(std::slice::from_ref(byte));
+        }
+        assert_eq!(mac.finalize(), whole);
+    }
+
+    /// RFC 8439 §2.8.2: the full AEAD vector (plaintext, aad, key, nonce,
+    /// ciphertext and tag).
+    #[test]
+    fn chacha20poly1305_rfc8439_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| 0x80 + i as u8);
+        let nonce: [u8; 12] = [
+            0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
+        let aad: [u8; 12] = [
+            0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+        ];
+        let plaintext: &[u8] = b"Ladies and Gentlemen of the class of '99: \
+If I could offer you only one tip for the future, sunscreen would be it.";
+        let cipher = ChaCha20Poly1305::new(&key);
+        let sealed = cipher.seal(&nonce, &aad, plaintext);
+        let expected_ct: [u8; 114] = [
+            0xd3, 0x1a, 0x8d, 0x34, 0x64, 0x8e, 0x60, 0xdb, 0x7b, 0x86, 0xaf, 0xbc, 0x53, 0xef,
+            0x7e, 0xc2, 0xa4, 0xad, 0xed, 0x51, 0x29, 0x6e, 0x08, 0xfe, 0xa9, 0xe2, 0xb5, 0xa7,
+            0x36, 0xee, 0x62, 0xd6, 0x3d, 0xbe, 0xa4, 0x5e, 0x8c, 0xa9, 0x67, 0x12, 0x82, 0xfa,
+            0xfb, 0x69, 0xda, 0x92, 0x72, 0x8b, 0x1a, 0x71, 0xde, 0x0a, 0x9e, 0x06, 0x0b, 0x29,
+            0x05, 0xd6, 0xa5, 0xb6, 0x7e, 0xcd, 0x3b, 0x36, 0x92, 0xdd, 0xbd, 0x7f, 0x2d, 0x77,
+            0x8b, 0x8c, 0x98, 0x03, 0xae, 0xe3, 0x28, 0x09, 0x1b, 0x58, 0xfa, 0xb3, 0x24, 0xe4,
+            0xfa, 0xd6, 0x75, 0x94, 0x55, 0x85, 0x80, 0x8b, 0x48, 0x31, 0xd7, 0xbc, 0x3f, 0xf4,
+            0xde, 0xf0, 0x8e, 0x4b, 0x7a, 0x9d, 0xe5, 0x76, 0xd2, 0x65, 0x86, 0xce, 0xc6, 0x4b,
+            0x61, 0x16,
+        ];
+        let expected_tag: [u8; 16] = [
+            0x1a, 0xe1, 0x0b, 0x59, 0x4f, 0x09, 0xe2, 0x6a, 0x7e, 0x90, 0x2e, 0xcb, 0xd0, 0x60,
+            0x06, 0x91,
+        ];
+        assert_eq!(&sealed[..114], &expected_ct[..]);
+        assert_eq!(&sealed[114..], &expected_tag[..]);
+        let opened = cipher.open(&nonce, &aad, &sealed).unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn tampering_is_detected_everywhere() {
+        let cipher = ChaCha20Poly1305::from_seed(&Seed::from_u64(9));
+        let nonce = [1u8; 12];
+        let aad = b"DH0->TP";
+        let sealed = cipher.seal(&nonce, aad, b"masked row payload");
+
+        // Bit-flip anywhere in ciphertext or tag.
+        for i in [0, 5, sealed.len() - 1] {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x40;
+            assert!(cipher.open(&nonce, aad, &bad).is_err(), "byte {i}");
+        }
+        // Truncation, including below the tag length.
+        assert!(cipher
+            .open(&nonce, aad, &sealed[..sealed.len() - 1])
+            .is_err());
+        assert!(cipher.open(&nonce, aad, &sealed[..7]).is_err());
+        // Wrong aad and wrong nonce.
+        assert!(cipher.open(&nonce, b"DH1->TP", &sealed).is_err());
+        assert!(cipher.open(&[2u8; 12], aad, &sealed).is_err());
+        // Wrong key.
+        let other = ChaCha20Poly1305::from_seed(&Seed::from_u64(10));
+        assert!(other.open(&nonce, aad, &sealed).is_err());
+    }
+
+    #[test]
+    fn empty_plaintext_and_aad_roundtrip() {
+        let cipher = ChaCha20Poly1305::from_seed(&Seed::from_u64(3));
+        let nonce = [0u8; 12];
+        let sealed = cipher.seal(&nonce, &[], &[]);
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(cipher.open(&nonce, &[], &sealed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn long_messages_cross_many_blocks() {
+        let cipher = ChaCha20Poly1305::from_seed(&Seed::from_u64(5));
+        let nonce = [9u8; 12];
+        let plaintext: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let sealed = cipher.seal(&nonce, b"bulk", &plaintext);
+        assert_eq!(cipher.open(&nonce, b"bulk", &sealed).unwrap(), plaintext);
+        // Distinct nonces give unrelated ciphertexts.
+        let sealed2 = cipher.seal(&[8u8; 12], b"bulk", &plaintext);
+        assert_ne!(sealed[..32], sealed2[..32]);
+    }
+}

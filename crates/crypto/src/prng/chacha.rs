@@ -34,7 +34,10 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
 }
 
 /// Computes one 64-byte ChaCha20 block (RFC 8439 block function).
-fn chacha20_block(key: &[u32; 8], counter: u32, nonce: &[u32; 3]) -> [u32; 16] {
+///
+/// Shared with [`crate::aead`], which drives the same block function in
+/// counter mode with an explicit per-frame nonce.
+pub(crate) fn chacha20_block(key: &[u32; 8], counter: u32, nonce: &[u32; 3]) -> [u32; 16] {
     let mut state = [0u32; 16];
     state[0..4].copy_from_slice(&CONSTANTS);
     state[4..12].copy_from_slice(key);

@@ -22,6 +22,8 @@
 //! with `ctl/`, so control traffic demultiplexes unambiguously from
 //! protocol traffic sharing the same transport.
 
+use ppc_crypto::{Seed, SipHash24};
+
 use crate::codec::{WireReader, WireWriter};
 use crate::error::NetError;
 use crate::framed::{get_party, put_party};
@@ -225,6 +227,95 @@ impl ControlMsg {
     }
 }
 
+/// Control-plane message authentication, keyed from the federation master
+/// seed.
+///
+/// Transport identity is not enough on a shared frame router: a
+/// multi-tenant router (or any peer connected to it) could forge
+/// `ctl/announce` or `ctl/done` envelopes and open bogus sessions or
+/// fake completions. Every control payload therefore carries a MAC over
+/// the topic, the routing pair and the message body, keyed from a seed
+/// only the federation's parties hold. Channel sealing (`crate::secure`)
+/// additionally encrypts the control plane in transit; the MAC keeps the
+/// authenticity guarantee even on `--insecure` deployments.
+///
+/// Authenticated wire layout: `mac: u64 | body…` (the MAC prefixes the
+/// ordinary control-message encoding; see `docs/WIRE_FORMAT.md` §7).
+#[derive(Clone)]
+pub struct ControlAuth {
+    mac: SipHash24,
+}
+
+impl std::fmt::Debug for ControlAuth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The MAC key is secret material; expose nothing.
+        f.debug_struct("ControlAuth").finish_non_exhaustive()
+    }
+}
+
+impl ControlAuth {
+    /// Derives the control MAC key from the federation master seed (its
+    /// own derivation branch, independent of protocol and channel keys).
+    pub fn from_master(master: &Seed) -> Self {
+        let key = master.derive("ctl-mac");
+        ControlAuth {
+            mac: SipHash24::new(
+                key.low_u64(),
+                u64::from_le_bytes(key.0[8..16].try_into().expect("8 bytes")),
+            ),
+        }
+    }
+
+    fn tag(&self, topic: &str, from: PartyId, to: PartyId, body: &[u8]) -> u64 {
+        let mut w = WireWriter::with_capacity(18 + topic.len() + body.len());
+        w.put_str(topic);
+        put_party(&mut w, from);
+        put_party(&mut w, to);
+        w.put_bytes(body);
+        self.mac.hash(&w.finish())
+    }
+
+    /// Wraps an encoded control body with its MAC for sending `from → to`
+    /// on `topic`.
+    pub fn seal(&self, topic: &str, from: PartyId, to: PartyId, body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + body.len());
+        out.extend_from_slice(&self.tag(topic, from, to, body).to_le_bytes());
+        out.extend_from_slice(body);
+        out
+    }
+
+    /// Verifies and strips the MAC of a received control payload,
+    /// returning the body. Fails with [`NetError::AuthFailure`] on any
+    /// mismatch — a forged or replayed-across-link control message.
+    pub fn open(
+        &self,
+        topic: &str,
+        from: PartyId,
+        to: PartyId,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, NetError> {
+        if payload.len() < 8 {
+            return Err(NetError::AuthFailure {
+                detail: format!(
+                    "control message on '{topic}' is {} bytes, shorter than its MAC",
+                    payload.len()
+                ),
+            });
+        }
+        let (mac, body) = payload.split_at(8);
+        let got = u64::from_le_bytes(mac.try_into().expect("8 bytes"));
+        if got != self.tag(topic, from, to, body) {
+            return Err(NetError::AuthFailure {
+                detail: format!(
+                    "control message on '{topic}' ({from} → {to}) failed its MAC: forged or \
+                     corrupted control traffic"
+                ),
+            });
+        }
+        Ok(body.to_vec())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +387,49 @@ mod tests {
         let mut bytes = ok.encode();
         bytes[13] = 7;
         assert!(SessionDone::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn control_auth_accepts_genuine_and_rejects_forged_messages() {
+        let auth = ControlAuth::from_master(&Seed::from_u64(77));
+        let (from, to) = (PartyId::DataHolder(1), PartyId::DataHolder(0));
+        let body = SessionReady {
+            party: from,
+            rows: 31,
+        }
+        .encode();
+        let sealed = auth.seal(TOPIC_READY, from, to, &body);
+        assert_eq!(auth.open(TOPIC_READY, from, to, &sealed).unwrap(), body);
+
+        // Bit flip in the body.
+        let mut bad = sealed.clone();
+        *bad.last_mut().unwrap() ^= 1;
+        assert!(matches!(
+            auth.open(TOPIC_READY, from, to, &bad),
+            Err(NetError::AuthFailure { .. })
+        ));
+        // Bit flip in the MAC itself.
+        let mut bad = sealed.clone();
+        bad[0] ^= 1;
+        assert!(auth.open(TOPIC_READY, from, to, &bad).is_err());
+        // Replay on a different topic or routing pair.
+        assert!(auth.open(TOPIC_DONE, from, to, &sealed).is_err());
+        assert!(auth
+            .open(TOPIC_READY, PartyId::DataHolder(2), to, &sealed)
+            .is_err());
+        // A MAC keyed from a different master seed.
+        let rogue = ControlAuth::from_master(&Seed::from_u64(78));
+        assert!(rogue.open(TOPIC_READY, from, to, &sealed).is_err());
+        assert!(auth
+            .open(
+                TOPIC_READY,
+                from,
+                to,
+                &rogue.seal(TOPIC_READY, from, to, &body)
+            )
+            .is_err());
+        // Too short to even hold a MAC.
+        assert!(auth.open(TOPIC_READY, from, to, &sealed[..5]).is_err());
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! protocol semantics are known.
 
 use crate::message::Envelope;
+use crate::secure::SEALED_TOPIC;
+
+/// Naive byte-substring search, used to assert that known plaintext never
+/// appears in captured wire traffic.
+pub fn contains_bytes(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+}
 
 /// Collects copies of envelopes transmitted over plaintext channels.
 #[derive(Debug, Default)]
@@ -48,6 +55,45 @@ impl Eavesdropper {
     /// Whether nothing has been captured.
     pub fn is_empty(&self) -> bool {
         self.captured.is_empty()
+    }
+
+    /// Scans every capture for protocol plaintext: a capture leaks when
+    /// its topic is *not* the sealed marker (the whole cleartext envelope
+    /// was visible) or when any `needle` byte string appears in its topic
+    /// or payload. Returns a description of the first leak.
+    ///
+    /// This is the explicit check behind the channel-security contract:
+    /// an eavesdropper on a secured link must observe ciphertext only.
+    pub fn find_plaintext_leak(&self, needles: &[&[u8]]) -> Option<String> {
+        for (i, e) in self.captured.iter().enumerate() {
+            if e.topic != SEALED_TOPIC {
+                return Some(format!(
+                    "capture {i}: cleartext envelope on topic '{}' ({} → {})",
+                    e.topic, e.from, e.to
+                ));
+            }
+            for needle in needles {
+                if contains_bytes(e.payload.as_slice(), needle)
+                    || contains_bytes(e.topic.as_bytes(), needle)
+                {
+                    return Some(format!(
+                        "capture {i} ({} → {}): payload contains plaintext needle {:?}",
+                        e.from,
+                        e.to,
+                        String::from_utf8_lossy(needle)
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Panics with the leak description if any capture exposes plaintext
+    /// (see [`find_plaintext_leak`](Self::find_plaintext_leak)).
+    pub fn assert_no_plaintext_leak(&self, needles: &[&[u8]]) {
+        if let Some(leak) = self.find_plaintext_leak(needles) {
+            panic!("plaintext leak on a secured channel: {leak}");
+        }
     }
 }
 

@@ -33,6 +33,15 @@ pub enum NetError {
         /// What the last recovery attempt failed with.
         detail: String,
     },
+    /// A channel-security violation: a sealed frame failed authentication
+    /// (tampered, truncated, replayed or reordered), a plaintext frame
+    /// arrived on a secured channel, a control-plane MAC did not verify,
+    /// or the handshake's security negotiation was refused. Distinguishable
+    /// from transport loss — this is active interference, not a crash.
+    AuthFailure {
+        /// What failed to authenticate.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -52,6 +61,9 @@ impl fmt::Display for NetError {
             NetError::Io(msg) => write!(f, "stream i/o error: {msg}"),
             NetError::PeerUnreachable { party, detail } => {
                 write!(f, "peer hosting {party} is unreachable: {detail}")
+            }
+            NetError::AuthFailure { detail } => {
+                write!(f, "channel authentication failure: {detail}")
             }
         }
     }

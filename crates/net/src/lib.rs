@@ -23,10 +23,18 @@
 //!   replay window), connect/accept with [`socket::Backoff`], and a
 //!   standalone store-and-forward frame router for loopback and
 //!   hub-and-spoke deployments.
+//! * [`secure`] — the channel-security tier: per-party-pair AEAD sealing
+//!   (ChaCha20-Poly1305 from `ppc-crypto`) that
+//!   [`socket::SocketTransport::set_security`] installs so frames travel
+//!   encrypted and authenticated end-to-end, with nonces derived from the
+//!   implicit per-link sequence numbers so the reconnect/replay machinery
+//!   stays lossless.
 //! * [`control`] — the session control plane: `SessionAnnounce` /
 //!   `SessionReady` / `SessionDone` messages on the reserved `ctl/` topic,
 //!   so a coordinating party opens sessions against remote peers without
-//!   out-of-band configuration.
+//!   out-of-band configuration; [`control::ControlAuth`] MACs every
+//!   control payload under a master-seed-derived key so a multi-tenant
+//!   router cannot forge announcements or completions.
 //! * [`eavesdrop::Eavesdropper`] — captures traffic on plaintext links,
 //!   used by the privacy experiments to demonstrate the inference the paper
 //!   warns about when channels are left unsecured.
@@ -47,14 +55,15 @@ pub mod framed;
 pub mod message;
 pub mod metrics;
 pub mod party;
+pub mod secure;
 pub mod sim;
 pub mod socket;
 pub mod transport;
 
 pub use codec::{WireReader, WireWriter};
 pub use control::{
-    is_control_topic, ControlMsg, SessionAnnounce, SessionDone, SessionReady, CTL_PREFIX,
-    TOPIC_ANNOUNCE, TOPIC_DONE, TOPIC_READY,
+    is_control_topic, ControlAuth, ControlMsg, SessionAnnounce, SessionDone, SessionReady,
+    CTL_PREFIX, TOPIC_ANNOUNCE, TOPIC_DONE, TOPIC_READY,
 };
 pub use cost::CostModel;
 pub use eavesdrop::Eavesdropper;
@@ -63,6 +72,7 @@ pub use framed::{encode_frame, memory_duplex, FrameDecoder, MemoryDuplex, Stream
 pub use message::{ChannelSecurity, Envelope};
 pub use metrics::{CommReport, LinkStats};
 pub use party::PartyId;
+pub use secure::{ChannelKeyring, ChannelOpener, ChannelSealer, SecurityMode, SEALED_TOPIC};
 pub use sim::{SimulatedWan, WanProfile, WanStats};
 pub use socket::{Backoff, SocketTransport, TcpAcceptor, TcpRouter, TcpTransport};
 #[cfg(unix)]

@@ -1,0 +1,503 @@
+//! Channel sealing: the AEAD security tier over socket transports.
+//!
+//! The paper's §4.1 concludes the pairwise channels "must be secured";
+//! PRs 3–4 shipped them as plaintext TCP/UDS. This module closes that gap:
+//!
+//! * [`ChannelKeyring`] — per-party-pair, per-direction AEAD keys derived
+//!   from a shared channel PSK through the same labelled-derivation family
+//!   as the protocol's `TrustedSetup`, so **key material never crosses a
+//!   socket** (see `ppc_crypto::channel` for the derivation and for the
+//!   authenticated-DH alternative on direct links);
+//! * [`ChannelSealer`] / [`ChannelOpener`] — the stateful seal/open halves
+//!   a [`SocketTransport`](crate::socket::SocketTransport) installs via
+//!   `set_security`. Sealing is **end-to-end between parties**: the sealed
+//!   frame keeps `from`/`to` in the clear so frame routers forward it
+//!   opaquely, while topic and payload travel encrypted and authenticated.
+//!
+//! ## Sealed frame layout
+//!
+//! A sealed envelope is an ordinary wire frame whose topic is the reserved
+//! marker [`SEALED_TOPIC`] and whose payload is
+//!
+//! ```text
+//! salt: u32 | seq: u64 | ciphertext ‖ tag      (ChaCha20-Poly1305)
+//! ```
+//!
+//! where the plaintext is `topic: str, payload: bytes` of the inner
+//! envelope, the AEAD nonce is `salt ‖ seq` (12 bytes, little endian) and
+//! the AAD binds the routing metadata (`from ‖ to` party encodings).
+//!
+//! ## Nonce schedule
+//!
+//! `seq` is the implicit per-`(from, to)` frame sequence number: the
+//! sealer counts the frames it seals for each ordered party pair. Because
+//! the socket tier records **sealed** frames in its replay window, a
+//! reconnect retransmits the lost suffix byte-identically — the nonce a
+//! frame was sealed under is the nonce it is re-sent under, so the
+//! PR-4 lossless-resume machinery needs no re-keying. `salt` is drawn
+//! from the endpoint id, so a restarted process (fresh counters) seals
+//! under fresh nonces instead of reusing `(key, 0), (key, 1), …`.
+//!
+//! The opener enforces in-stream ordering: within one sender incarnation
+//! (one salt) sequence numbers must arrive exactly in order, so a relay
+//! that drops, reorders or replays sealed frames is detected. A salt
+//! change (sender restart) resets the expectation.
+
+use std::collections::HashMap;
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use ppc_crypto::{psk_direction_key, ChaCha20Poly1305, Seed, NONCE_LEN};
+
+use crate::codec::{WireReader, WireWriter};
+use crate::error::NetError;
+use crate::framed::put_party;
+use crate::message::Envelope;
+use crate::party::PartyId;
+
+/// The reserved topic marking a sealed frame. Never a valid session or
+/// control topic (the topic grammar admits neither `!` nor any prefix of
+/// it), so sealed and plaintext traffic cannot be confused.
+pub const SEALED_TOPIC: &str = "!";
+
+/// Derives the per-party-pair, per-direction AEAD keys of one federation's
+/// channel tier. Cheap to clone (a 32-byte seed).
+#[derive(Clone)]
+pub struct ChannelKeyring {
+    psk: Seed,
+}
+
+impl std::fmt::Debug for ChannelKeyring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Key material; expose nothing.
+        f.debug_struct("ChannelKeyring").finish_non_exhaustive()
+    }
+}
+
+impl ChannelKeyring {
+    /// Builds the keyring from a dedicated channel pre-shared secret.
+    pub fn from_psk(psk: Seed) -> Self {
+        ChannelKeyring { psk }
+    }
+
+    /// Builds the keyring from the federation master seed (the deployment
+    /// default: the channel PSK is a labelled derivation, so channel keys
+    /// and protocol secrets stay in independent derivation branches).
+    pub fn from_master(master: &Seed) -> Self {
+        ChannelKeyring::from_psk(master.derive("channel-psk"))
+    }
+
+    /// The AEAD cipher for traffic flowing `from → to`.
+    fn cipher(&self, from: PartyId, to: PartyId) -> ChaCha20Poly1305 {
+        ChaCha20Poly1305::from_seed(&psk_direction_key(
+            &self.psk,
+            &from.to_string(),
+            &to.to_string(),
+        ))
+    }
+}
+
+/// AAD binding the routing metadata of a sealed frame.
+fn routing_aad(from: PartyId, to: PartyId) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(10);
+    put_party(&mut w, from);
+    put_party(&mut w, to);
+    w.finish()
+}
+
+/// A per-pair shard map: brief outer lock to find the shard, per-pair
+/// inner lock for the actual AEAD work and schedule state.
+type PairMap<T> = Mutex<HashMap<(PartyId, PartyId), Arc<Mutex<T>>>>;
+
+fn nonce_bytes(salt: u32, seq: u64) -> [u8; NONCE_LEN] {
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce[0..4].copy_from_slice(&salt.to_le_bytes());
+    nonce[4..12].copy_from_slice(&seq.to_le_bytes());
+    nonce
+}
+
+/// One directed pair's sealing state: its cached cipher and the next
+/// sequence number.
+struct SealPair {
+    cipher: ChaCha20Poly1305,
+    next: u64,
+}
+
+/// The sealing half: owned by the sending transport.
+///
+/// State is sharded **per ordered party pair**, each shard behind its own
+/// lock: concurrent sends on different pairs (different links) encrypt in
+/// parallel; sends on one pair serialize, which is exactly what keeps the
+/// sequence schedule equal to the stream order. Callers must still ensure
+/// seal order equals write order per pair (the socket tier seals inside
+/// the per-link writer lock).
+pub struct ChannelSealer {
+    keyring: ChannelKeyring,
+    salt: u32,
+    pairs: PairMap<SealPair>,
+}
+
+impl std::fmt::Debug for ChannelSealer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelSealer")
+            .field("salt", &self.salt)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChannelSealer {
+    /// Creates a sealer; `salt` must be unique per sender incarnation
+    /// (the socket tier derives it from its endpoint id).
+    pub fn new(keyring: ChannelKeyring, salt: u32) -> Self {
+        ChannelSealer {
+            keyring,
+            salt,
+            pairs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Seals one envelope for the wire.
+    pub fn seal(&self, envelope: &Envelope) -> Envelope {
+        let pair = {
+            let mut pairs = self.pairs.lock();
+            Arc::clone(
+                pairs
+                    .entry((envelope.from, envelope.to))
+                    .or_insert_with(|| {
+                        Arc::new(Mutex::new(SealPair {
+                            cipher: self.keyring.cipher(envelope.from, envelope.to),
+                            next: 0,
+                        }))
+                    }),
+            )
+        };
+        let mut pair = pair.lock();
+        let seq = pair.next;
+        let mut inner =
+            WireWriter::with_capacity(8 + envelope.topic.len() + envelope.payload.len());
+        inner.put_str(&envelope.topic).put_bytes(&envelope.payload);
+        let sealed = pair.cipher.seal(
+            &nonce_bytes(self.salt, seq),
+            &routing_aad(envelope.from, envelope.to),
+            &inner.finish(),
+        );
+        let mut payload = Vec::with_capacity(12 + sealed.len());
+        payload.extend_from_slice(&self.salt.to_le_bytes());
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.extend_from_slice(&sealed);
+        pair.next += 1;
+        Envelope::new(envelope.from, envelope.to, SEALED_TOPIC, payload)
+    }
+}
+
+/// Per-`(from, to)` receive state: the cached cipher, the current sender
+/// incarnation's salt with the next expected sequence number, and the
+/// retired salts of past incarnations (so an old incarnation's frames
+/// cannot be replayed after a sender restart).
+struct OpenPair {
+    cipher: ChaCha20Poly1305,
+    current: Option<(u32, u64)>,
+    retired: std::collections::HashSet<u32>,
+}
+
+/// The opening half: shared by the receiving transport's reader threads.
+///
+/// Like the sealer, state is sharded per ordered party pair behind
+/// per-pair locks: each pair's frames arrive on one link (one reader
+/// thread), so the pair lock is uncontended in practice, while readers of
+/// *different* links never serialize on each other's AEAD work.
+pub struct ChannelOpener {
+    keyring: ChannelKeyring,
+    pairs: PairMap<OpenPair>,
+}
+
+impl std::fmt::Debug for ChannelOpener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelOpener").finish_non_exhaustive()
+    }
+}
+
+impl ChannelOpener {
+    /// Creates an opener over the federation keyring.
+    pub fn new(keyring: ChannelKeyring) -> Self {
+        ChannelOpener {
+            keyring,
+            pairs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Opens one wire envelope, returning the inner envelope.
+    ///
+    /// Fails with [`NetError::AuthFailure`] on plaintext frames (a secured
+    /// channel accepts nothing else), tag mismatches (any tampering with
+    /// payload, routing metadata or nonce), and out-of-order or replayed
+    /// sequence numbers within a sender incarnation.
+    pub fn open(&self, envelope: Envelope) -> Result<Envelope, NetError> {
+        let (from, to) = (envelope.from, envelope.to);
+        let fail = |detail: String| NetError::AuthFailure {
+            detail: format!("{from} -> {to}: {detail}"),
+        };
+        if envelope.topic != SEALED_TOPIC {
+            return Err(fail(format!(
+                "plaintext frame (topic '{}') on a secured channel",
+                envelope.topic
+            )));
+        }
+        if envelope.payload.len() < 12 {
+            return Err(fail(format!(
+                "sealed frame of {} bytes is too short for its header",
+                envelope.payload.len()
+            )));
+        }
+        let salt = u32::from_le_bytes(envelope.payload[0..4].try_into().expect("4 bytes"));
+        let seq = u64::from_le_bytes(envelope.payload[4..12].try_into().expect("8 bytes"));
+        let pair = {
+            let mut pairs = self.pairs.lock();
+            Arc::clone(pairs.entry((from, to)).or_insert_with(|| {
+                Arc::new(Mutex::new(OpenPair {
+                    cipher: self.keyring.cipher(from, to),
+                    current: None,
+                    retired: std::collections::HashSet::new(),
+                }))
+            }))
+        };
+        // Validate, decrypt and advance under the pair lock, so the
+        // check-then-advance of the sequence schedule is atomic per pair.
+        let mut pair = pair.lock();
+        match pair.current {
+            Some((current_salt, next)) if current_salt == salt && seq != next => {
+                return Err(fail(format!(
+                    "sealed frame out of order: got sequence {seq}, expected {next} \
+                     (replayed, dropped or reordered frame)"
+                )));
+            }
+            Some((current_salt, _)) if current_salt == salt => {}
+            _ if pair.retired.contains(&salt) => {
+                return Err(fail(format!(
+                    "sealed frame from retired sender incarnation {salt:#010x} \
+                     (replay of pre-restart traffic)"
+                )));
+            }
+            // First contact with this incarnation: accepted at any sequence
+            // (the receiver may have restarted mid-stream); strict in-order
+            // delivery is enforced from here on.
+            _ => {}
+        }
+        let inner = pair
+            .cipher
+            .open(
+                &nonce_bytes(salt, seq),
+                &routing_aad(from, to),
+                &envelope.payload[12..],
+            )
+            .map_err(|e| fail(e.to_string()))?;
+        // Only authenticated frames advance the stream state; a verified
+        // new incarnation retires its predecessor's salt for good.
+        if let Some((current_salt, _)) = pair.current {
+            if current_salt != salt {
+                pair.retired.insert(current_salt);
+            }
+        }
+        pair.current = Some((salt, seq + 1));
+        let mut r = WireReader::new(&inner);
+        let topic = r.get_str()?;
+        let payload = r.get_bytes()?;
+        r.expect_end()?;
+        Ok(Envelope::new(from, to, topic, payload))
+    }
+}
+
+/// The channel-security mode an endpoint announces in its handshake hello
+/// (`docs/WIRE_FORMAT.md` §3 and §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecurityMode {
+    /// Frames travel in the clear.
+    Plaintext,
+    /// Frames are sealed end-to-end with PSK-derived AEAD keys.
+    SealedPsk,
+    /// A forwarder (frame router): forwards frames opaquely and accepts
+    /// peers in any mode. Never an endpoint mode.
+    Transparent,
+}
+
+impl SecurityMode {
+    /// The wire encoding of the mode byte.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            SecurityMode::Plaintext => 0,
+            SecurityMode::SealedPsk => 1,
+            SecurityMode::Transparent => 0xFF,
+        }
+    }
+
+    /// Decodes a mode byte.
+    pub fn from_wire(byte: u8) -> Result<Self, NetError> {
+        match byte {
+            0 => Ok(SecurityMode::Plaintext),
+            1 => Ok(SecurityMode::SealedPsk),
+            0xFF => Ok(SecurityMode::Transparent),
+            other => Err(NetError::Decode(format!(
+                "unknown channel-security mode byte 0x{other:02x}"
+            ))),
+        }
+    }
+
+    /// Validates the handshake's security negotiation: a forwarder accepts
+    /// anything; endpoints must agree exactly. Mismatches are rejected
+    /// explicitly — there is no silent downgrade to plaintext.
+    pub fn negotiate(local: SecurityMode, peer: SecurityMode) -> Result<(), NetError> {
+        if local == SecurityMode::Transparent || peer == SecurityMode::Transparent {
+            return Ok(());
+        }
+        if local == peer {
+            return Ok(());
+        }
+        Err(NetError::AuthFailure {
+            detail: format!(
+                "channel security negotiation failed: this endpoint is {local:?}, the peer \
+                 announced {peer:?}; downgrade rejected"
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyring() -> ChannelKeyring {
+        ChannelKeyring::from_master(&Seed::from_u64(77))
+    }
+
+    fn envelope(topic: &str, payload: Vec<u8>) -> Envelope {
+        Envelope::new(PartyId::DataHolder(0), PartyId::ThirdParty, topic, payload)
+    }
+
+    #[test]
+    fn seal_open_roundtrip_hides_topic_and_payload() {
+        let sealer = ChannelSealer::new(keyring(), 7);
+        let opener = ChannelOpener::new(keyring());
+        for i in 0..5u8 {
+            let e = envelope(&format!("s0/numeric/age/0-1/masked/{i}"), vec![i; 40]);
+            let wire = sealer.seal(&e);
+            assert_eq!(wire.topic, SEALED_TOPIC);
+            assert_eq!((wire.from, wire.to), (e.from, e.to));
+            // Neither the topic nor the payload appear in the sealed bytes
+            // (checked past the clear salt/sequence header, whose zero
+            // bytes would otherwise false-positive on the i=0 needle).
+            assert!(!crate::eavesdrop::contains_bytes(
+                &wire.payload,
+                e.topic.as_bytes()
+            ));
+            assert!(!crate::eavesdrop::contains_bytes(
+                &wire.payload[12..],
+                &[i; 8]
+            ));
+            assert_eq!(opener.open(wire).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn bit_flips_truncation_and_metadata_tampering_fail() {
+        let sealer = ChannelSealer::new(keyring(), 1);
+        let e = envelope("s1/clustering-choice", vec![9; 24]);
+        let wire = sealer.seal(&e);
+
+        // Flip a ciphertext bit.
+        let mut bad = wire.clone();
+        bad.payload[20] ^= 1;
+        assert!(matches!(
+            ChannelOpener::new(keyring()).open(bad),
+            Err(NetError::AuthFailure { .. })
+        ));
+        // Truncate the tag.
+        let mut bad = wire.clone();
+        bad.payload.truncate(bad.payload.len() - 1);
+        assert!(ChannelOpener::new(keyring()).open(bad).is_err());
+        // Truncate below the header.
+        let mut bad = wire.clone();
+        bad.payload.truncate(5);
+        assert!(ChannelOpener::new(keyring()).open(bad).is_err());
+        // Redirect the frame: the AAD binds from/to.
+        let mut bad = wire.clone();
+        bad.to = PartyId::DataHolder(1);
+        assert!(ChannelOpener::new(keyring()).open(bad).is_err());
+        // A different federation's keyring cannot open it.
+        assert!(
+            ChannelOpener::new(ChannelKeyring::from_master(&Seed::from_u64(78)))
+                .open(wire)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn replay_and_reorder_within_an_incarnation_are_rejected() {
+        let sealer = ChannelSealer::new(keyring(), 3);
+        let opener = ChannelOpener::new(keyring());
+        let w0 = sealer.seal(&envelope("t/0", vec![0]));
+        let w1 = sealer.seal(&envelope("t/1", vec![1]));
+        let w2 = sealer.seal(&envelope("t/2", vec![2]));
+        assert!(opener.open(w0.clone()).is_ok());
+        // Replay of frame 0.
+        assert!(matches!(opener.open(w0), Err(NetError::AuthFailure { .. })));
+        // Skipping frame 1 (a dropped frame) is detected.
+        let err = opener.open(w2).unwrap_err();
+        assert!(err.to_string().contains("expected 1"), "{err}");
+        // In-order delivery still works afterwards.
+        assert!(opener.open(w1).is_ok());
+    }
+
+    #[test]
+    fn a_new_sender_incarnation_resets_the_stream() {
+        let opener = ChannelOpener::new(keyring());
+        let first = ChannelSealer::new(keyring(), 10);
+        assert!(opener.open(first.seal(&envelope("a", vec![]))).is_ok());
+        assert!(opener.open(first.seal(&envelope("b", vec![]))).is_ok());
+        // The sender restarts: fresh salt, counters back at zero.
+        let second = ChannelSealer::new(keyring(), 11);
+        assert!(opener.open(second.seal(&envelope("c", vec![]))).is_ok());
+        // Old-incarnation frames can no longer be slipped in.
+        assert!(opener.open(first.seal(&envelope("d", vec![]))).is_err());
+    }
+
+    #[test]
+    fn plaintext_frames_on_a_secured_channel_are_rejected() {
+        let opener = ChannelOpener::new(keyring());
+        let err = opener
+            .open(envelope("s0/local/age/0", vec![1, 2]))
+            .unwrap_err();
+        assert!(matches!(err, NetError::AuthFailure { .. }));
+        assert!(err.to_string().contains("plaintext"), "{err}");
+    }
+
+    #[test]
+    fn directions_use_independent_keys() {
+        let sealer = ChannelSealer::new(keyring(), 1);
+        let forward = sealer.seal(&envelope("t", vec![5; 16]));
+        // An attacker reflecting the frame with swapped routing cannot
+        // have it accepted as reverse-direction traffic.
+        let reflected = Envelope::new(forward.to, forward.from, SEALED_TOPIC, forward.payload);
+        assert!(ChannelOpener::new(keyring()).open(reflected).is_err());
+    }
+
+    #[test]
+    fn security_modes_roundtrip_and_negotiate() {
+        for mode in [
+            SecurityMode::Plaintext,
+            SecurityMode::SealedPsk,
+            SecurityMode::Transparent,
+        ] {
+            assert_eq!(SecurityMode::from_wire(mode.to_wire()).unwrap(), mode);
+        }
+        assert!(SecurityMode::from_wire(7).is_err());
+        assert!(SecurityMode::negotiate(SecurityMode::SealedPsk, SecurityMode::SealedPsk).is_ok());
+        assert!(SecurityMode::negotiate(SecurityMode::Plaintext, SecurityMode::Plaintext).is_ok());
+        assert!(
+            SecurityMode::negotiate(SecurityMode::SealedPsk, SecurityMode::Transparent).is_ok()
+        );
+        let err =
+            SecurityMode::negotiate(SecurityMode::SealedPsk, SecurityMode::Plaintext).unwrap_err();
+        assert!(err.to_string().contains("downgrade rejected"), "{err}");
+    }
+}

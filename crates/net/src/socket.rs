@@ -7,9 +7,18 @@
 //! condvar-waking, multi-link transport:
 //!
 //! * a **handshake** ([`HELLO_MAGIC`]) in which each endpoint announces the
-//!   set of parties it hosts plus the number of frames it has received on
-//!   the logical link, so peers and routers learn where to deliver and how
-//!   much to retransmit after a reconnect;
+//!   set of parties it hosts, its channel-security mode (negotiated
+//!   explicitly — a plaintext/sealed mismatch between endpoints is
+//!   rejected, never silently downgraded) and the number of frames it has
+//!   received on the logical link, so peers and routers learn where to
+//!   deliver and how much to retransmit after a reconnect;
+//! * optional **channel sealing** ([`SocketTransport::set_security`]): with
+//!   a [`ChannelKeyring`] installed, every
+//!   frame is AEAD-sealed end-to-end between the party pair it travels
+//!   between (routers forward the sealed bytes opaquely), the replay
+//!   window retains the *sealed* frames so reconnect retransmission reuses
+//!   the exact nonces, and tampered / plaintext / reordered inbound frames
+//!   surface as [`NetError::AuthFailure`];
 //! * [`SocketTransport`] — one framed stream per peer link, each drained by
 //!   a dedicated blocking reader thread into a condvar-signalled inbox, so
 //!   [`WaitTransport::receive_any_of`] parks without spinning. Every link
@@ -43,9 +52,10 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::codec::{WireReader, WireWriter};
 use crate::error::NetError;
-use crate::framed::{encode_frame, get_party, put_party, FrameDecoder};
+use crate::framed::{encode_frame, get_party, put_party, FrameDecoder, MAX_FRAME_BODY};
 use crate::message::Envelope;
 use crate::party::PartyId;
+use crate::secure::{ChannelKeyring, ChannelOpener, ChannelSealer, SecurityMode, SEALED_TOPIC};
 use crate::transport::{Transport, WaitTransport};
 
 /// First bytes of every connection: the handshake magic.
@@ -56,8 +66,11 @@ pub const HELLO_MAGIC: [u8; 4] = *b"PPCH";
 /// Version 2 added the resume exchange (§3 of `docs/WIRE_FORMAT.md`): after
 /// the hellos, each side sends the number of frames it has received on this
 /// logical link so the other side can retransmit the lost suffix from its
-/// replay window.
-pub const WIRE_VERSION: u8 = 2;
+/// replay window. Version 3 added the channel-security byte to the hello
+/// (§8): endpoints advertise `Plaintext` or `SealedPsk`, forwarders are
+/// `Transparent`, and any endpoint-level mismatch is rejected during the
+/// handshake — there is no silent downgrade.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Default number of recently sent frames every link retains for
 /// retransmission after a reconnect. Override with
@@ -285,14 +298,15 @@ fn endpoint_nonce() -> u64 {
         ^ count.rotate_left(17)
 }
 
-/// Serialises a hello announcing `endpoint` and `parties` (see
-/// `docs/WIRE_FORMAT.md` §3).
-fn encode_hello(endpoint: u64, parties: &BTreeSet<PartyId>) -> Vec<u8> {
-    let mut w = WireWriter::with_capacity(14 + parties.len() * 5);
+/// Serialises a hello announcing `endpoint`, `parties` and the endpoint's
+/// channel-security `mode` (see `docs/WIRE_FORMAT.md` §3 and §8).
+fn encode_hello(endpoint: u64, parties: &BTreeSet<PartyId>, mode: SecurityMode) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(15 + parties.len() * 5);
     for &b in &HELLO_MAGIC {
         w.put_u8(b);
     }
     w.put_u8(WIRE_VERSION);
+    w.put_u8(mode.to_wire());
     w.put_u64(endpoint);
     w.put_u8(parties.len() as u8);
     for &party in parties {
@@ -302,12 +316,14 @@ fn encode_hello(endpoint: u64, parties: &BTreeSet<PartyId>) -> Vec<u8> {
 }
 
 /// Handshake stage 1: writes our hello, reads and validates the peer's,
-/// returning the endpoint id and party set the peer announced. Arms a read
-/// timeout that [`exchange_resume`] clears once stage 2 completes.
+/// negotiates channel security, and returns the endpoint id and party set
+/// the peer announced. Arms a read timeout that [`exchange_resume`] clears
+/// once stage 2 completes.
 fn exchange_hello<S: SocketStream>(
     stream: &mut S,
     endpoint: u64,
     locals: &BTreeSet<PartyId>,
+    mode: SecurityMode,
 ) -> Result<(u64, BTreeSet<PartyId>), NetError> {
     if locals.len() > u8::MAX as usize {
         return Err(NetError::Io(format!(
@@ -320,11 +336,11 @@ fn exchange_hello<S: SocketStream>(
         .set_stream_read_timeout(Some(Duration::from_secs(5)))
         .map_err(io_err)?;
     stream
-        .write_all(&encode_hello(endpoint, locals))
+        .write_all(&encode_hello(endpoint, locals, mode))
         .map_err(io_err)?;
     stream.flush().map_err(io_err)?;
 
-    let mut header = [0u8; 14];
+    let mut header = [0u8; 15];
     stream.read_exact(&mut header).map_err(io_err)?;
     if header[..4] != HELLO_MAGIC {
         return Err(NetError::Decode(format!(
@@ -338,8 +354,10 @@ fn exchange_hello<S: SocketStream>(
             header[4]
         )));
     }
-    let peer_endpoint = u64::from_le_bytes(header[5..13].try_into().expect("8 bytes"));
-    let count = header[13] as usize;
+    let peer_mode = SecurityMode::from_wire(header[5])?;
+    SecurityMode::negotiate(mode, peer_mode)?;
+    let peer_endpoint = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
+    let count = header[14] as usize;
     let mut body = vec![0u8; count * 5];
     stream.read_exact(&mut body).map_err(io_err)?;
     let mut r = WireReader::new(&body);
@@ -373,8 +391,9 @@ fn handshake<S: SocketStream>(
     endpoint: u64,
     locals: &BTreeSet<PartyId>,
     received: u64,
+    mode: SecurityMode,
 ) -> Result<(u64, BTreeSet<PartyId>, u64), NetError> {
-    let (peer_endpoint, parties) = exchange_hello(stream, endpoint, locals)?;
+    let (peer_endpoint, parties) = exchange_hello(stream, endpoint, locals, mode)?;
     let peer_received = exchange_resume(stream, received)?;
     Ok((peer_endpoint, parties, peer_received))
 }
@@ -479,6 +498,17 @@ pub struct SocketTransport<S: SocketStream> {
     replay_frames: usize,
     /// Byte budget of each link's replay window.
     replay_bytes: usize,
+    /// Channel sealing state; `None` runs the links in plaintext.
+    security: Option<SecurityState>,
+}
+
+/// The AEAD halves of a secured transport. The sealer runs under its own
+/// lock (taken inside the per-link writer lock, so per-pair sequence
+/// numbers are assigned in stream order); the opener is shared with every
+/// link's reader thread.
+struct SecurityState {
+    sealer: ChannelSealer,
+    opener: Arc<ChannelOpener>,
 }
 
 impl<S: SocketStream> std::fmt::Debug for SocketTransport<S> {
@@ -508,12 +538,36 @@ impl<S: SocketStream> SocketTransport<S> {
             reconnect: Backoff::default(),
             replay_frames: DEFAULT_REPLAY_FRAMES,
             replay_bytes: DEFAULT_REPLAY_BYTES,
+            security: None,
         }
     }
 
     /// Overrides the send-time re-dial policy (default: [`Backoff::default`]).
     pub fn set_reconnect_policy(&mut self, policy: Backoff) {
         self.reconnect = policy;
+    }
+
+    /// Enables channel sealing: every frame leaving this endpoint is
+    /// AEAD-sealed end-to-end under `keyring`'s per-party-pair direction
+    /// keys, and every inbound frame must unseal (plaintext frames are an
+    /// [`NetError::AuthFailure`]). The handshake hello advertises
+    /// `SealedPsk` and rejects plaintext peers — call this **before**
+    /// attaching any link. See `docs/WIRE_FORMAT.md` §8.
+    pub fn set_security(&mut self, keyring: ChannelKeyring) {
+        let salt = (self.endpoint ^ (self.endpoint >> 32)) as u32;
+        self.security = Some(SecurityState {
+            sealer: ChannelSealer::new(keyring.clone(), salt),
+            opener: Arc::new(ChannelOpener::new(keyring)),
+        });
+    }
+
+    /// The security mode this endpoint announces in its hello.
+    pub fn security_mode(&self) -> SecurityMode {
+        if self.security.is_some() {
+            SecurityMode::SealedPsk
+        } else {
+            SecurityMode::Plaintext
+        }
     }
 
     /// Overrides the per-link replay window (default:
@@ -565,6 +619,7 @@ impl<S: SocketStream> SocketTransport<S> {
             Arc::clone(&reader_retired),
             Arc::clone(&received),
             recoverable,
+            self.security.as_ref().map(|s| Arc::clone(&s.opener)),
         );
         links.push(Link {
             peer_endpoint,
@@ -647,6 +702,7 @@ impl<S: SocketStream> SocketTransport<S> {
             Arc::clone(&reader_retired),
             Arc::clone(&links[index].received),
             recoverable,
+            self.security.as_ref().map(|s| Arc::clone(&s.opener)),
         );
         let retransmission = {
             // Retransmit under the writer lock so concurrent senders queue
@@ -715,8 +771,13 @@ impl<S: SocketStream> SocketTransport<S> {
         match existing {
             Some(index) => {
                 let received = Self::quiesce_reader(&mut links, index);
-                let (peer_endpoint, peer_parties, peer_received) =
-                    handshake(&mut stream, self.endpoint, &self.locals, received)?;
+                let (peer_endpoint, peer_parties, peer_received) = handshake(
+                    &mut stream,
+                    self.endpoint,
+                    &self.locals,
+                    received,
+                    self.security_mode(),
+                )?;
                 self.resume_link_at(
                     &mut links,
                     index,
@@ -728,8 +789,13 @@ impl<S: SocketStream> SocketTransport<S> {
                 Ok(peer_parties)
             }
             None => {
-                let (peer_endpoint, peer_parties, peer_received) =
-                    handshake(&mut stream, self.endpoint, &self.locals, 0)?;
+                let (peer_endpoint, peer_parties, peer_received) = handshake(
+                    &mut stream,
+                    self.endpoint,
+                    &self.locals,
+                    0,
+                    self.security_mode(),
+                )?;
                 if peer_received != 0 {
                     return Err(NetError::Io(format!(
                         "peer expects to resume at frame {peer_received} on a link this \
@@ -831,8 +897,13 @@ impl<S: SocketStream> SocketTransport<S> {
             .reconnect
             .retry(|| S::redial(&target))
             .map_err(|e| NetError::Io(format!("reconnect failed: {e}")))?;
-        let (peer_endpoint, peer_parties, peer_received) =
-            handshake(&mut stream, self.endpoint, &self.locals, received)?;
+        let (peer_endpoint, peer_parties, peer_received) = handshake(
+            &mut stream,
+            self.endpoint,
+            &self.locals,
+            received,
+            self.security_mode(),
+        )?;
         self.resume_link_at(
             links,
             index,
@@ -914,7 +985,10 @@ impl Redial for std::os::unix::net::UnixStream {
 /// On `recoverable` links (those with a re-dial target) stream I/O failures
 /// are *not* recorded as fatal: the next send re-dials and retransmits, so
 /// the receive path must not kill the session first. Decode failures
-/// (corrupt framing) are always fatal.
+/// (corrupt framing) and authentication failures (tampered or plaintext
+/// frames on a secured transport) are always fatal — active interference
+/// must surface, never be retried around.
+#[allow(clippy::too_many_arguments)]
 fn spawn_reader<S: SocketStream>(
     mut stream: S,
     inbox: Arc<Mutex<SocketInbox>>,
@@ -923,6 +997,7 @@ fn spawn_reader<S: SocketStream>(
     retired: Arc<AtomicBool>,
     received: Arc<AtomicU64>,
     recoverable: bool,
+    opener: Option<Arc<ChannelOpener>>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let mut decoder = FrameDecoder::new();
@@ -968,6 +1043,34 @@ fn spawn_reader<S: SocketStream>(
                     loop {
                         match decoder.next_frame() {
                             Ok(Some(envelope)) => {
+                                // Unseal (or reject) before delivery: a
+                                // secured transport accepts only sealed
+                                // frames, a plaintext one only cleartext.
+                                let envelope = match &opener {
+                                    Some(opener) => match opener.open(envelope) {
+                                        Ok(envelope) => envelope,
+                                        Err(e) => {
+                                            fail(&inbox, &arrivals, e);
+                                            return;
+                                        }
+                                    },
+                                    None if envelope.topic == SEALED_TOPIC => {
+                                        fail(
+                                            &inbox,
+                                            &arrivals,
+                                            NetError::AuthFailure {
+                                                detail: format!(
+                                                    "sealed frame from {} on a plaintext \
+                                                     transport (security mismatch across \
+                                                     the federation)",
+                                                    envelope.from
+                                                ),
+                                            },
+                                        );
+                                        return;
+                                    }
+                                    None => envelope,
+                                };
                                 let mut guard = inbox.lock();
                                 guard
                                     .queues
@@ -1022,18 +1125,37 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
         let (index, writer, can_redial) = match routed {
             Some(route) => route,
             None if self.locals.contains(&envelope.to) => {
+                // In-process delivery never touches a wire: no sealing.
                 self.deliver_local(envelope);
                 return Ok(());
             }
             None => return Err(NetError::UnknownParty(envelope.to)),
         };
-        let frame = encode_frame(&envelope)?;
-        // Record the frame in the replay window *before* attempting the
-        // write (both under the writer lock, so replay order equals stream
-        // order): whatever happens to the write, the frame is now part of
-        // the link's history and any resume retransmits it.
+        if self.security.is_some()
+            && envelope.topic.len() + envelope.payload.len() + 96 > MAX_FRAME_BODY
+        {
+            // Reject before sealing: consuming a nonce sequence number for
+            // a frame that can never be encoded would leave a permanent
+            // gap in the pair's stream.
+            return Err(NetError::Io(format!(
+                "envelope on topic '{}' is over the {MAX_FRAME_BODY}-byte frame cap once \
+                 sealed; stream it in chunks instead",
+                envelope.topic
+            )));
+        }
+        // Seal (on secured transports), encode and record the frame in the
+        // replay window *before* attempting the write — all under the
+        // writer lock, so replay order equals stream order and per-pair
+        // nonce sequence numbers are assigned in the order frames hit the
+        // stream: whatever happens to the write, the frame is now part of
+        // the link's history and any resume retransmits it byte-identically
+        // (same sealed bytes, same nonce).
         let (generation, write_error) = {
             let mut guard = writer.lock();
+            let frame = match &self.security {
+                Some(security) => encode_frame(&security.sealer.seal(&envelope))?,
+                None => encode_frame(&envelope)?,
+            };
             let w = &mut *guard;
             w.replay.record(frame);
             let frame = w.replay.frames.back().expect("just recorded");
@@ -1224,8 +1346,12 @@ impl TcpAcceptor {
         stream
             .set_nodelay(true)
             .map_err(|e| NetError::Io(e.to_string()))?;
-        let (peer_endpoint, peer_parties) =
-            exchange_hello(&mut stream, transport.endpoint, transport.locals())?;
+        let (peer_endpoint, peer_parties) = exchange_hello(
+            &mut stream,
+            transport.endpoint,
+            transport.locals(),
+            transport.security_mode(),
+        )?;
         transport.accept_stream(stream, peer_endpoint, peer_parties.clone())?;
         Ok(peer_parties)
     }
@@ -1257,8 +1383,12 @@ impl UdsAcceptor {
             .listener
             .accept()
             .map_err(|e| NetError::Io(format!("accept failed: {e}")))?;
-        let (peer_endpoint, peer_parties) =
-            exchange_hello(&mut stream, transport.endpoint, transport.locals())?;
+        let (peer_endpoint, peer_parties) = exchange_hello(
+            &mut stream,
+            transport.endpoint,
+            transport.locals(),
+            transport.security_mode(),
+        )?;
         transport.accept_stream(stream, peer_endpoint, peer_parties.clone())?;
         Ok(peer_parties)
     }
@@ -1396,12 +1526,18 @@ impl<S: SocketStream> Drop for SocketRouter<S> {
 /// their destinations until the stream closes.
 fn router_serve_connection<S: SocketStream>(mut stream: S, state: &RouterState<S>) {
     // The router announces no parties of its own: an empty hello is what
-    // marks the link as a gateway on the client side.
-    let (peer_endpoint, announced) =
-        match exchange_hello(&mut stream, state.endpoint, &BTreeSet::new()) {
-            Ok(hello) => hello,
-            Err(_) => return,
-        };
+    // marks the link as a gateway on the client side. It is security-
+    // transparent: sealed frames are forwarded opaquely (the router holds
+    // no keys), so it accepts endpoints in any mode.
+    let (peer_endpoint, announced) = match exchange_hello(
+        &mut stream,
+        state.endpoint,
+        &BTreeSet::new(),
+        SecurityMode::Transparent,
+    ) {
+        Ok(hello) => hello,
+        Err(_) => return,
+    };
     // Find or create the logical link for this endpoint + party set.
     let link = {
         let mut links = state.links.lock();
@@ -1715,15 +1851,16 @@ mod tests {
         let parties: BTreeSet<PartyId> = [PartyId::DataHolder(0), PartyId::ThirdParty]
             .into_iter()
             .collect();
-        let bytes = encode_hello(0xDEAD_BEEF_0123_4567, &parties);
+        let bytes = encode_hello(0xDEAD_BEEF_0123_4567, &parties, SecurityMode::SealedPsk);
         assert_eq!(&bytes[..4], &HELLO_MAGIC);
         assert_eq!(bytes[4], WIRE_VERSION);
+        assert_eq!(bytes[5], SecurityMode::SealedPsk.to_wire());
         assert_eq!(
-            u64::from_le_bytes(bytes[5..13].try_into().unwrap()),
+            u64::from_le_bytes(bytes[6..14].try_into().unwrap()),
             0xDEAD_BEEF_0123_4567
         );
-        assert_eq!(bytes[13], 2);
-        assert_eq!(bytes.len(), 14 + 2 * 5);
+        assert_eq!(bytes[14], 2);
+        assert_eq!(bytes.len(), 15 + 2 * 5);
     }
 
     #[test]
@@ -1944,8 +2081,10 @@ mod tests {
         // keep working.
         let mut rogue = TcpStream::connect(addr).unwrap();
         let hello: BTreeSet<PartyId> = [PartyId::DataHolder(9)].into_iter().collect();
-        rogue.write_all(&encode_hello(99, &hello)).unwrap();
-        let mut reply = [0u8; 14];
+        rogue
+            .write_all(&encode_hello(99, &hello, SecurityMode::Plaintext))
+            .unwrap();
+        let mut reply = [0u8; 15];
         rogue.read_exact(&mut reply).unwrap();
         assert_eq!(&reply[..4], &HELLO_MAGIC);
         rogue.write_all(&0u64.to_le_bytes()).unwrap();

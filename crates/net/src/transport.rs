@@ -175,6 +175,18 @@ impl Network {
     /// Channels default to [`ChannelSecurity::Secured`]; the privacy
     /// experiments flip individual links to plaintext to reproduce the
     /// paper's eavesdropping discussion.
+    ///
+    /// **Semantics, unified across transports:** `Secured` means an
+    /// eavesdropper observes message *sizes* at most, never topics or
+    /// payloads; `Plaintext` means it captures full envelopes. On this
+    /// in-memory network the flag is a modelling switch (the eavesdropper
+    /// is given a copy on plaintext links); on the socket tier the same
+    /// contract is enforced cryptographically —
+    /// [`SocketTransport::set_security`](crate::socket::SocketTransport::set_security)
+    /// seals every frame, so `Secured` there is AEAD, not an assumption.
+    /// [`Instrumented::set_sealing_keys`] bridges the two: it captures the
+    /// sealed wire image on secured links so tests can assert the
+    /// ciphertext-only property explicitly.
     pub fn set_channel_security(&self, a: PartyId, b: PartyId, security: ChannelSecurity) {
         let mut inner = self.inner.lock();
         inner.security.insert((a, b), security);
@@ -377,6 +389,10 @@ struct InstrumentState {
     report: CommReport,
     eavesdropper: Eavesdropper,
     security: HashMap<(PartyId, PartyId), ChannelSecurity>,
+    /// When present, envelopes on [`ChannelSecurity::Secured`] links are
+    /// captured as their sealed wire image (ciphertext), modelling what a
+    /// listener on an AEAD-protected socket actually observes.
+    sealer: Option<crate::secure::ChannelSealer>,
 }
 
 /// Metrics and eavesdropping as a layer over *any* [`Transport`].
@@ -408,10 +424,30 @@ impl<T: Transport> Instrumented<T> {
     }
 
     /// Sets the security of the undirected channel between `a` and `b`.
+    ///
+    /// Same semantics as [`Network::set_channel_security`]: `Plaintext`
+    /// links expose the full cleartext envelope to the eavesdropper,
+    /// `Secured` links expose ciphertext only (the sealed wire image, when
+    /// sealing keys are installed via
+    /// [`set_sealing_keys`](Self::set_sealing_keys)) or nothing (sizes are
+    /// still counted in the [`report`](Self::report)).
     pub fn set_channel_security(&self, a: PartyId, b: PartyId, security: ChannelSecurity) {
         let mut state = self.state.lock();
         state.security.insert((a, b), security);
         state.security.insert((b, a), security);
+    }
+
+    /// Installs the federation keyring so the eavesdropper observes the
+    /// *sealed wire image* of traffic on `Secured` links — exactly what a
+    /// listener on an AEAD-protected socket sees. Combine with
+    /// [`Eavesdropper::find_plaintext_leak`](crate::eavesdrop::Eavesdropper::find_plaintext_leak)
+    /// to assert that no protocol plaintext escapes a secured channel.
+    pub fn set_sealing_keys(&self, keyring: crate::secure::ChannelKeyring) {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // Each observer is its own "sender incarnation" for nonce purposes.
+        static OBSERVER_SALT: AtomicU32 = AtomicU32::new(0xEA00_0000);
+        let salt = OBSERVER_SALT.fetch_add(1, Ordering::Relaxed);
+        self.state.lock().sealer = Some(crate::secure::ChannelSealer::new(keyring, salt));
     }
 
     /// Snapshot of the communication counters.
@@ -428,18 +464,32 @@ impl<T: Transport> Instrumented<T> {
     pub fn eavesdropped(&self) -> Vec<Envelope> {
         self.state.lock().eavesdropper.captured().to_vec()
     }
+
+    /// The explicit plaintext-leak check over everything captured so far
+    /// (see [`Eavesdropper::find_plaintext_leak`]): returns a description
+    /// of the first capture that exposes cleartext or contains one of the
+    /// `needles`, or `None` when the eavesdropper saw ciphertext only.
+    pub fn find_plaintext_leak(&self, needles: &[&[u8]]) -> Option<String> {
+        self.state.lock().eavesdropper.find_plaintext_leak(needles)
+    }
 }
 
 impl<T: Transport> Transport for Instrumented<T> {
     fn send(&self, envelope: Envelope) -> Result<(), NetError> {
         {
             let mut state = self.state.lock();
+            let state = &mut *state;
             let link = (envelope.from, envelope.to);
             let size = envelope.wire_size() as u64;
             state.report.links.entry(link).or_default().record(size);
             let security = state.security.get(&link).copied().unwrap_or_default();
-            if security == ChannelSecurity::Plaintext {
-                state.eavesdropper.capture(envelope.clone());
+            match security {
+                ChannelSecurity::Plaintext => state.eavesdropper.capture(envelope.clone()),
+                ChannelSecurity::Secured => {
+                    if let Some(sealer) = state.sealer.as_ref() {
+                        state.eavesdropper.capture(sealer.seal(&envelope));
+                    }
+                }
             }
         }
         self.inner.send(envelope)
@@ -692,6 +742,54 @@ mod tests {
             .try_receive(PartyId::ThirdParty)
             .unwrap()
             .is_some());
+    }
+
+    /// The satellite contract: with sealing keys installed, an
+    /// eavesdropper on a `Secured` link observes the ciphertext wire
+    /// image only — the plaintext-leak helper finds nothing — while a
+    /// `Plaintext` link leaks the full envelope.
+    #[test]
+    fn instrumented_secured_links_expose_ciphertext_only() {
+        use crate::secure::{ChannelKeyring, SEALED_TOPIC};
+        use ppc_crypto::Seed;
+
+        let net = Network::with_parties(2);
+        let instrumented = Instrumented::new(net);
+        instrumented.set_sealing_keys(ChannelKeyring::from_master(&Seed::from_u64(7)));
+        let needles: &[&[u8]] = &[b"numeric/age", b"secret-payload"];
+
+        // Default (Secured) link: the capture is the sealed wire image.
+        instrumented
+            .send(Envelope::new(
+                PartyId::DataHolder(0),
+                PartyId::ThirdParty,
+                "numeric/age/0-1/masked",
+                b"secret-payload".to_vec(),
+            ))
+            .unwrap();
+        let captured = instrumented.eavesdropped();
+        assert_eq!(captured.len(), 1);
+        assert_eq!(captured[0].topic, SEALED_TOPIC);
+        assert_eq!(instrumented.find_plaintext_leak(needles), None);
+
+        // Flip the link to plaintext: now the leak is found and named.
+        instrumented.set_channel_security(
+            PartyId::DataHolder(0),
+            PartyId::ThirdParty,
+            ChannelSecurity::Plaintext,
+        );
+        instrumented
+            .send(Envelope::new(
+                PartyId::DataHolder(0),
+                PartyId::ThirdParty,
+                "numeric/age/0-1/masked",
+                b"secret-payload".to_vec(),
+            ))
+            .unwrap();
+        let leak = instrumented
+            .find_plaintext_leak(needles)
+            .expect("a plaintext link leaks");
+        assert!(leak.contains("cleartext"), "{leak}");
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Generates `BENCH_pr5.json`: the cost of the channel-security tier —
+//! sessions/s of the same workload over loopback TCP with plaintext
+//! versus AEAD-sealed frames, single-process (sharded engine through a
+//! frame router) and three-process (real `ppc-party` OS processes,
+//! sealed by default vs `--insecure`), plus the raw seal/open throughput
+//! of the vendored ChaCha20-Poly1305.
+//!
+//! ```text
+//! cargo build --release -p ppc-party
+//! cargo run --release -p ppc-party --bin secure_report [output.json]
+//! ```
+
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+use ppc_cluster::Linkage;
+use ppc_core::csv::to_csv;
+use ppc_core::protocol::driver::ClusteringRequest;
+use ppc_core::protocol::engine::SessionSpec;
+use ppc_core::protocol::party::TrustedSetup;
+use ppc_core::protocol::sharded::ShardedEngine;
+use ppc_core::protocol::ProtocolConfig;
+use ppc_crypto::{ChaCha20Poly1305, Seed};
+use ppc_data::Workload;
+use ppc_net::{Backoff, ChannelKeyring, PartyId, TcpRouter, TcpTransport};
+
+const OBJECTS: usize = 32;
+const SITES: u32 = 2;
+const CLUSTERS: usize = 3;
+const SESSIONS: usize = 6;
+const WINDOW: usize = 4;
+const SEED: u64 = 77;
+const REPS: usize = 3;
+const SCHEMA_FLAG: &str = "dna:alphanumeric:dna,age:numeric,outcome:categorical";
+
+fn spec(seed: u64) -> SessionSpec {
+    let workload = Workload::bird_flu(OBJECTS, SITES, CLUSTERS, seed).unwrap();
+    let schema = workload.schema().clone();
+    let setup =
+        TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(SEED)).unwrap();
+    SessionSpec {
+        schema: schema.clone(),
+        config: ProtocolConfig::default(),
+        holders: setup.holders,
+        keys: setup.third_party,
+        request: ClusteringRequest {
+            weights: schema.uniform_weights(),
+            linkage: Linkage::Average,
+            num_clusters: CLUSTERS,
+        },
+        chunk_rows: Some(WINDOW),
+    }
+}
+
+fn median_seconds(mut run: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let started = Instant::now();
+            run();
+            started.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One single-process sharded run over a loopback-TCP router, sealed or
+/// plaintext.
+fn sharded_tcp_run(specs: &[SessionSpec], sealed: bool) {
+    let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+    let parties: Vec<PartyId> = (0..SITES)
+        .map(PartyId::DataHolder)
+        .chain([PartyId::ThirdParty])
+        .collect();
+    let mut transport = TcpTransport::new(parties);
+    if sealed {
+        transport.set_security(ChannelKeyring::from_master(&Seed::from_u64(SEED)));
+    }
+    transport.connect(addr, &Backoff::default()).unwrap();
+    let mut engine = ShardedEngine::new(vec![transport]).unwrap();
+    for s in specs {
+        engine.add_session(s.clone());
+    }
+    engine.set_stall_budget(std::time::Duration::from_millis(100), 100);
+    let run = engine.run().unwrap();
+    assert_eq!(run.outcomes.len(), SESSIONS);
+    for t in engine.transports() {
+        t.shutdown();
+    }
+    router.shutdown();
+}
+
+fn sibling(name: &str) -> std::path::PathBuf {
+    let mut path = std::env::current_exe().expect("current exe");
+    path.set_file_name(name);
+    path
+}
+
+fn spawn_party(binary: &std::path::Path, args: &[String]) -> Child {
+    Command::new(binary)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", binary.display()))
+}
+
+fn drain(child: Child, label: &str) {
+    let output = child.wait_with_output().expect("child waited");
+    if !output.status.success() {
+        let mut text = String::new();
+        let _ = (&output.stdout[..]).read_to_string(&mut text);
+        panic!("{label} failed ({}): {text}", output.status);
+    }
+}
+
+/// One three-process federation run over loopback TCP, sealed (default)
+/// or `--insecure`.
+fn three_process_run(binary: &std::path::Path, csv_dir: &std::path::Path, insecure: bool) -> f64 {
+    let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+    let connect = format!("tcp:{addr}");
+    let common = |rest: &[&str]| -> Vec<String> {
+        let mut args: Vec<String> = rest.iter().map(|s| s.to_string()).collect();
+        args.extend([
+            "--connect".into(),
+            connect.clone(),
+            "--seed".into(),
+            SEED.to_string(),
+            "--schema".into(),
+            SCHEMA_FLAG.into(),
+        ]);
+        if insecure {
+            args.push("--insecure".into());
+        }
+        args
+    };
+    let csv = |site: u32| {
+        csv_dir
+            .join(format!("site{site}.csv"))
+            .display()
+            .to_string()
+    };
+    let started = Instant::now();
+    let serve_dh1 = spawn_party(
+        binary,
+        &common(&[
+            "serve",
+            "--party",
+            "DH1",
+            "--coordinator",
+            "DH0",
+            "--csv",
+            &csv(1),
+        ]),
+    );
+    let serve_tp = spawn_party(
+        binary,
+        &common(&["serve", "--party", "TP", "--coordinator", "DH0"]),
+    );
+    let coordinate = spawn_party(
+        binary,
+        &common(&[
+            "coordinate",
+            "--party",
+            "DH0",
+            "--remote",
+            "DH1,TP",
+            "--csv",
+            &csv(0),
+            "--sessions",
+            &SESSIONS.to_string(),
+            "--clusters",
+            &CLUSTERS.to_string(),
+            "--chunk-rows",
+            &WINDOW.to_string(),
+        ]),
+    );
+    drain(coordinate, "coordinate");
+    let elapsed = started.elapsed().as_secs_f64();
+    drain(serve_dh1, "serve DH1");
+    drain(serve_tp, "serve TP");
+    router.shutdown();
+    elapsed
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+    let mut rows = Vec::new();
+
+    // Raw AEAD throughput: seal + open of 1 MiB frames.
+    {
+        let cipher = ChaCha20Poly1305::from_seed(&Seed::from_u64(1));
+        let plaintext = vec![0xA5u8; 1 << 20];
+        let mut nonce = [0u8; 12];
+        let reps = 16u64;
+        let started = Instant::now();
+        for i in 0..reps {
+            nonce[0..8].copy_from_slice(&i.to_le_bytes());
+            let sealed = cipher.seal(&nonce, b"bench", &plaintext);
+            let opened = cipher.open(&nonce, b"bench", &sealed).unwrap();
+            assert_eq!(opened.len(), plaintext.len());
+        }
+        let secs = started.elapsed().as_secs_f64();
+        let mb = (reps as f64) * (plaintext.len() as f64) / (1 << 20) as f64;
+        rows.push(format!(
+            "    {{\"id\": \"aead/seal_open_roundtrip\", \"mb\": {mb:.0}, \
+             \"seconds\": {secs:.6}, \"mb_per_second\": {:.1}}}",
+            mb / secs
+        ));
+    }
+
+    let specs: Vec<SessionSpec> = (0..SESSIONS).map(|i| spec(900 + i as u64)).collect();
+    for sealed in [false, true] {
+        let median = median_seconds(|| sharded_tcp_run(&specs, sealed));
+        rows.push(format!(
+            "    {{\"id\": \"single_process/loopback_tcp/{}\", \"sessions\": {SESSIONS}, \
+             \"median_seconds\": {median:.6}, \"sessions_per_second\": {:.2}}}",
+            if sealed { "sealed" } else { "plaintext" },
+            SESSIONS as f64 / median
+        ));
+    }
+
+    let binary = sibling("ppc-party");
+    if binary.exists() {
+        let csv_dir = std::env::temp_dir().join(format!("ppc-secure-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&csv_dir).unwrap();
+        let workload = Workload::bird_flu(OBJECTS, SITES, CLUSTERS, 900).unwrap();
+        for partition in &workload.partitions {
+            std::fs::write(
+                csv_dir.join(format!("site{}.csv", partition.site())),
+                to_csv(partition.matrix()),
+            )
+            .unwrap();
+        }
+        for insecure in [true, false] {
+            let mut samples: Vec<f64> = (0..REPS)
+                .map(|_| three_process_run(&binary, &csv_dir, insecure))
+                .collect();
+            samples.sort_by(f64::total_cmp);
+            let median = samples[samples.len() / 2];
+            rows.push(format!(
+                "    {{\"id\": \"three_process/loopback_tcp/{}\", \"sessions\": {SESSIONS}, \
+                 \"median_seconds\": {median:.6}, \"sessions_per_second\": {:.2}, \
+                 \"note\": \"includes process spawn + control-plane handshake\"}}",
+                if insecure { "plaintext" } else { "sealed" },
+                SESSIONS as f64 / median
+            ));
+        }
+        let _ = std::fs::remove_dir_all(&csv_dir);
+    } else {
+        rows.push(format!(
+            "    {{\"id\": \"three_process/loopback_tcp\", \"skipped\": \
+             \"{} not built; run cargo build --release -p ppc-party first\"}}",
+            binary.display()
+        ));
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"title\": \"Channel security: plaintext vs AEAD-sealed loopback \
+         TCP\",\n  \"workload\": \"bird_flu {OBJECTS} objects, {SITES} sites, 3 attributes \
+         (dna + numeric + categorical), average linkage, k={CLUSTERS}, chunk window {WINDOW}, \
+         {SESSIONS} sessions\",\n  \"harness\": \"secure_report binary, wall-clock medians of \
+         {REPS} runs; sealed rows run ChaCha20-Poly1305 end-to-end per frame; three-process \
+         rows spawn real ppc-party OS processes against an in-harness TCP router\",\n  \
+         \"cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).unwrap();
+    println!("{json}");
+    println!("wrote {out_path}");
+}

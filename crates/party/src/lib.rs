@@ -27,6 +27,19 @@
 //! printed as stable machine-parseable lines (`RESULT …`, `MATRIX …`,
 //! `DONE …`, `FAILED …`), which the multi-process integration test
 //! compares byte-for-byte against the in-process oracle.
+//!
+//! **Channel security** is on by default: every socket frame is sealed
+//! end-to-end with ChaCha20-Poly1305 under keys derived from the master
+//! seed (or a dedicated `--psk N`), the handshake rejects plaintext peers
+//! (no silent downgrade), and tampering surfaces as
+//! `FAILED … reason=channel-auth:…` outcomes. `--insecure` opts the
+//! process out, with a loud warning. The frame router needs no keys — it
+//! forwards sealed frames opaquely.
+//!
+//! Instead of `--sessions N` identical sessions, `coordinate` accepts
+//! `--manifest FILE` with per-session overrides (linkage, weights,
+//! clusters, chunk window, numeric mode — see [`parse_manifest`]),
+//! making the CLI a batch front-end.
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -41,17 +54,20 @@ use ppc_core::protocol::party_engine::{
 };
 use ppc_core::protocol::session::parse_linkage;
 use ppc_core::protocol::{NumericMode, ProtocolConfig};
-use ppc_core::schema::{AttributeDescriptor, Schema};
+use ppc_core::schema::{AttributeDescriptor, Schema, WeightVector};
 use ppc_core::Alphabet;
 use ppc_crypto::Seed;
-use ppc_net::{Backoff, PartyId, TcpRouter, TcpTransport, WaitTransport};
+use ppc_net::{Backoff, ChannelKeyring, PartyId, TcpRouter, TcpTransport, WaitTransport};
 #[cfg(unix)]
 use ppc_net::{UdsRouter, UdsTransport};
 
 /// A parsed `--flag value` map.
 pub type Flags = BTreeMap<String, String>;
 
-/// Parses `--key value` pairs.
+/// Flags that take no value (presence flags).
+const BOOLEAN_FLAGS: &[&str] = &["insecure", "secure"];
+
+/// Parses `--key value` pairs (and bare boolean flags like `--insecure`).
 pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Flags::new();
     let mut it = args.iter();
@@ -59,8 +75,14 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let key = key
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{key}'"))?;
-        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        if flags.insert(key.to_string(), value.clone()).is_some() {
+        let value = if BOOLEAN_FLAGS.contains(&key) {
+            "true".to_string()
+        } else {
+            it.next()
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .clone()
+        };
+        if flags.insert(key.to_string(), value).is_some() {
             return Err(format!("--{key} given twice"));
         }
     }
@@ -206,6 +228,9 @@ pub fn print_report(report: &PartyRunReport) {
             PartyOutcome::Failed(SessionFailure::PeerUnreachable { party: gone }) => {
                 println!("FAILED party={party} session={session} reason=peer-unreachable:{gone}")
             }
+            PartyOutcome::Failed(SessionFailure::ChannelAuth { detail }) => {
+                println!("FAILED party={party} session={session} reason=channel-auth:{detail}")
+            }
             PartyOutcome::Failed(SessionFailure::Error(e)) => {
                 println!("FAILED party={party} session={session} reason={e}")
             }
@@ -234,12 +259,60 @@ pub fn startup_backoff() -> Backoff {
     }
 }
 
+/// The channel-security configuration resolved from the flags.
+///
+/// Default is **sealed**: every socket frame is AEAD-encrypted and
+/// authenticated end-to-end with keys derived from the master seed (or a
+/// dedicated `--psk`). `--insecure` opts out, loudly — the paper's §4.1
+/// spells out exactly what a listener learns on plaintext channels.
+#[derive(Debug, Clone)]
+pub enum ChannelConfig {
+    /// Seal frames with this keyring (the default).
+    Sealed(ChannelKeyring),
+    /// Plaintext sockets; requires an explicit `--insecure`.
+    Plaintext,
+}
+
+/// Resolves `--secure` / `--psk N` / `--insecure` against the master seed.
+pub fn channel_config(flags: &Flags) -> Result<ChannelConfig, String> {
+    let insecure = flags.contains_key("insecure");
+    match (insecure, flags.get("psk")) {
+        (true, Some(_)) => Err("--insecure conflicts with --psk".into()),
+        (true, None) => {
+            if flags.contains_key("secure") {
+                return Err("--insecure conflicts with --secure".into());
+            }
+            eprintln!(
+                "WARNING: --insecure selected: protocol traffic (masked rows, dissimilarity \
+                 blocks, control announcements) travels in PLAINTEXT over this socket. Any \
+                 on-path listener can mount the inference attacks of the source paper's \
+                 §4.1. Never use this outside loopback experiments."
+            );
+            Ok(ChannelConfig::Plaintext)
+        }
+        (false, Some(psk)) => {
+            let seed: u64 = psk
+                .parse()
+                .map_err(|_| "--psk must be an unsigned integer".to_string())?;
+            Ok(ChannelConfig::Sealed(ChannelKeyring::from_psk(
+                Seed::from_u64(seed),
+            )))
+        }
+        (false, None) => {
+            let master = master_seed(flags)?;
+            Ok(ChannelConfig::Sealed(ChannelKeyring::from_master(&master)))
+        }
+    }
+}
+
+fn master_seed(flags: &Flags) -> Result<Seed, String> {
+    Ok(Seed::from_u64(require(flags, "seed")?.parse().map_err(
+        |_| "--seed must be an unsigned integer".to_string(),
+    )?))
+}
+
 fn seat_from_flags(flags: &Flags, party: PartyId, schema: &Schema) -> Result<PartySeat, String> {
-    let master = Seed::from_u64(
-        require(flags, "seed")?
-            .parse()
-            .map_err(|_| "--seed must be an unsigned integer".to_string())?,
-    );
+    let master = master_seed(flags)?;
     match party {
         PartyId::ThirdParty => Ok(PartySeat::ThirdParty { master }),
         PartyId::DataHolder(site) => {
@@ -271,16 +344,23 @@ fn run_serve(flags: &Flags) -> Result<(), Box<dyn Error>> {
     let coordinator = parse_party(require(flags, "coordinator")?)?;
     let schema = parse_schema(require(flags, "schema")?)?;
     let seat = seat_from_flags(flags, party, &schema)?;
+    let security = channel_config(flags)?;
     let endpoint = parse_endpoint(require(flags, "connect")?)?;
     let report = match endpoint {
         Endpoint::Tcp(addr) => {
-            let transport = TcpTransport::new([party]);
+            let mut transport = TcpTransport::new([party]);
+            if let ChannelConfig::Sealed(keyring) = &security {
+                transport.set_security(keyring.clone());
+            }
             transport.connect(addr.as_str(), &startup_backoff())?;
             build_engine(transport, seat)?.serve(coordinator)?
         }
         #[cfg(unix)]
         Endpoint::Uds(path) => {
-            let transport = UdsTransport::new([party]);
+            let mut transport = UdsTransport::new([party]);
+            if let ChannelConfig::Sealed(keyring) = &security {
+                transport.set_security(keyring.clone());
+            }
             transport.connect(&path, &startup_backoff())?;
             build_engine(transport, seat)?.serve(coordinator)?
         }
@@ -288,20 +368,115 @@ fn run_serve(flags: &Flags) -> Result<(), Box<dyn Error>> {
         Endpoint::Uds(_) => return Err("uds endpoints need a unix platform".into()),
     };
     print_report(&report);
+    if report.stats.sessions_failed > 0 {
+        return Err(format!("{} session(s) failed", report.stats.sessions_failed).into());
+    }
     Ok(())
+}
+
+fn parse_numeric_mode(text: &str) -> Result<NumericMode, String> {
+    match text {
+        "batch" => Ok(NumericMode::Batch),
+        "per-pair" => Ok(NumericMode::PerPair),
+        other => Err(format!("unknown numeric mode '{other}'")),
+    }
+}
+
+/// Parses a session manifest: one session per non-empty, non-`#` line,
+/// each a whitespace-separated list of `key=value` overrides applied on
+/// top of `base` (the plan built from the command-line flags):
+///
+/// ```text
+/// # session 0: defaults, just more clusters
+/// clusters=4
+/// # session 1: Ward linkage, custom weights, chunked per-pair run
+/// linkage=ward weights=0.5,0.25,0.25 chunk-rows=2 numeric-mode=per-pair
+/// ```
+///
+/// Keys: `clusters`, `linkage`, `weights` (comma-separated, one per
+/// schema attribute), `chunk-rows` (`none` disables chunking),
+/// `numeric-mode` (`batch` | `per-pair`).
+pub fn parse_manifest(
+    schema: &Schema,
+    text: &str,
+    base: &SessionPlan,
+) -> Result<Vec<SessionPlan>, String> {
+    let mut plans = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut plan = base.clone();
+        for token in line.split_whitespace() {
+            let (key, value) = token.split_once('=').ok_or_else(|| {
+                format!("manifest line {}: '{token}' is not key=value", lineno + 1)
+            })?;
+            let err = |e: String| format!("manifest line {}: {key}: {e}", lineno + 1);
+            match key {
+                "clusters" => {
+                    plan.request.num_clusters = value
+                        .parse()
+                        .map_err(|_| err("must be a positive integer".into()))?;
+                }
+                "linkage" => {
+                    plan.request.linkage = parse_linkage(value).map_err(|e| err(e.to_string()))?
+                }
+                "weights" => {
+                    let weights: Vec<f64> = value
+                        .split(',')
+                        .map(str::parse)
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| err("must be comma-separated numbers".into()))?;
+                    if weights.len() != schema.len() {
+                        return Err(err(format!(
+                            "{} weights for a {}-attribute schema",
+                            weights.len(),
+                            schema.len()
+                        )));
+                    }
+                    plan.request.weights =
+                        WeightVector::new(weights).map_err(|e| err(e.to_string()))?;
+                }
+                "chunk-rows" => {
+                    plan.chunk_rows = if value == "none" {
+                        None
+                    } else {
+                        Some(
+                            value
+                                .parse()
+                                .map_err(|_| err("must be a positive integer or 'none'".into()))?,
+                        )
+                    };
+                }
+                "numeric-mode" => {
+                    plan.config.numeric_mode = parse_numeric_mode(value).map_err(err)?
+                }
+                other => {
+                    return Err(format!(
+                        "manifest line {}: unknown key '{other}'",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        plans.push(plan);
+    }
+    if plans.is_empty() {
+        return Err("manifest declares no sessions".into());
+    }
+    Ok(plans)
 }
 
 fn run_coordinate(flags: &Flags) -> Result<(), Box<dyn Error>> {
     let party = parse_party(require(flags, "party")?)?;
     let schema = parse_schema(require(flags, "schema")?)?;
     let seat = seat_from_flags(flags, party, &schema)?;
+    let security = channel_config(flags)?;
     let remote: Vec<PartyId> = require(flags, "remote")?
         .split(',')
         .map(parse_party)
         .collect::<Result<_, _>>()?;
-    let sessions: usize = require(flags, "sessions")?
-        .parse()
-        .map_err(|_| "--sessions must be a positive integer".to_string())?;
     let num_clusters: usize = require(flags, "clusters")?
         .parse()
         .map_err(|_| "--clusters must be a positive integer".to_string())?;
@@ -316,12 +491,11 @@ fn run_coordinate(flags: &Flags) -> Result<(), Box<dyn Error>> {
         ),
         None => None,
     };
-    let numeric_mode = match flags.get("numeric-mode").map(String::as_str) {
-        None | Some("batch") => NumericMode::Batch,
-        Some("per-pair") => NumericMode::PerPair,
-        Some(other) => return Err(format!("unknown --numeric-mode '{other}'").into()),
+    let numeric_mode = match flags.get("numeric-mode") {
+        Some(text) => parse_numeric_mode(text)?,
+        None => NumericMode::Batch,
     };
-    let plan = SessionPlan {
+    let base = SessionPlan {
         config: ProtocolConfig {
             numeric_mode,
             ..ProtocolConfig::default()
@@ -333,17 +507,43 @@ fn run_coordinate(flags: &Flags) -> Result<(), Box<dyn Error>> {
         },
         chunk_rows,
     };
-    let plans = vec![plan; sessions];
+    let plans = match (flags.get("manifest"), flags.get("sessions")) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--manifest conflicts with --sessions (the manifest defines the \
+                        session list)"
+                    .into(),
+            )
+        }
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read --manifest {path}: {e}"))?;
+            parse_manifest(&schema, &text, &base)?
+        }
+        (None, Some(text)) => {
+            let sessions: usize = text
+                .parse()
+                .map_err(|_| "--sessions must be a positive integer".to_string())?;
+            vec![base; sessions]
+        }
+        (None, None) => return Err("one of --sessions or --manifest is required".into()),
+    };
     let endpoint = parse_endpoint(require(flags, "connect")?)?;
     let report = match endpoint {
         Endpoint::Tcp(addr) => {
-            let transport = TcpTransport::new([party]);
+            let mut transport = TcpTransport::new([party]);
+            if let ChannelConfig::Sealed(keyring) = &security {
+                transport.set_security(keyring.clone());
+            }
             transport.connect(addr.as_str(), &startup_backoff())?;
             build_engine(transport, seat)?.coordinate(schema, remote, plans)?
         }
         #[cfg(unix)]
         Endpoint::Uds(path) => {
-            let transport = UdsTransport::new([party]);
+            let mut transport = UdsTransport::new([party]);
+            if let ChannelConfig::Sealed(keyring) = &security {
+                transport.set_security(keyring.clone());
+            }
             transport.connect(&path, &startup_backoff())?;
             build_engine(transport, seat)?.coordinate(schema, remote, plans)?
         }
@@ -384,10 +584,14 @@ fn park_forever<R>(_router: R) -> ! {
 const USAGE: &str = "usage: ppc-party <route|serve|coordinate> --flag value ...\n\
   route      --listen tcp:HOST:PORT | uds:PATH\n\
   serve      --connect ENDPOINT --party DH<n>|TP --coordinator DH<n> --seed N \\\n\
-             --schema SPEC [--csv FILE]\n\
+             --schema SPEC [--csv FILE] [--psk N | --insecure]\n\
   coordinate --connect ENDPOINT --party DH<n> --remote P1,P2,... --seed N \\\n\
-             --schema SPEC --csv FILE --sessions N --clusters K \\\n\
-             [--linkage L] [--chunk-rows W] [--numeric-mode batch|per-pair]";
+             --schema SPEC --csv FILE (--sessions N | --manifest FILE) --clusters K \\\n\
+             [--linkage L] [--chunk-rows W] [--numeric-mode batch|per-pair] \\\n\
+             [--psk N | --insecure]\n\
+channel security: sockets are AEAD-sealed by default (keys derived from --seed,\n\
+or from a dedicated --psk N shared by every process); --insecure sends plaintext\n\
+and warns loudly. All processes of one federation must agree.";
 
 /// Entry point shared by the binary and tests.
 pub fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
@@ -440,6 +644,73 @@ mod tests {
         assert!(parse_schema("age:float").is_err());
         assert!(parse_schema("dna:alphanumeric").is_err());
         assert!(parse_schema("dna:alphanumeric:klingon").is_err());
+    }
+
+    #[test]
+    fn boolean_and_security_flags_resolve() {
+        let flags = parse_flags(&["--insecure".into(), "--party".into(), "DH0".into()]).unwrap();
+        assert_eq!(flags.get("insecure").unwrap(), "true");
+        assert!(matches!(
+            channel_config(&flags).unwrap(),
+            ChannelConfig::Plaintext
+        ));
+
+        // Default: sealed from the master seed.
+        let flags = parse_flags(&["--seed".into(), "77".into()]).unwrap();
+        assert!(matches!(
+            channel_config(&flags).unwrap(),
+            ChannelConfig::Sealed(_)
+        ));
+        // Dedicated PSK needs no --seed.
+        let flags = parse_flags(&["--psk".into(), "99".into()]).unwrap();
+        assert!(matches!(
+            channel_config(&flags).unwrap(),
+            ChannelConfig::Sealed(_)
+        ));
+        // Contradictions are rejected.
+        let flags = parse_flags(&["--insecure".into(), "--psk".into(), "1".into()]).unwrap();
+        assert!(channel_config(&flags).is_err());
+        let flags = parse_flags(&["--insecure".into(), "--secure".into()]).unwrap();
+        assert!(channel_config(&flags).is_err());
+    }
+
+    #[test]
+    fn manifests_parse_with_overrides_and_reject_malformed_lines() {
+        let schema = parse_schema("age:numeric,blood:categorical,dna:alphanumeric:dna").unwrap();
+        let base = SessionPlan {
+            config: ProtocolConfig::default(),
+            request: ClusteringRequest {
+                weights: schema.uniform_weights(),
+                linkage: Linkage::Average,
+                num_clusters: 2,
+            },
+            chunk_rows: Some(4),
+        };
+        let text = "\
+# comment, then a blank line
+
+clusters=5
+linkage=ward weights=0.5,0.25,0.25 chunk-rows=2 numeric-mode=per-pair
+chunk-rows=none
+";
+        let plans = parse_manifest(&schema, text, &base).unwrap();
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans[0].request.num_clusters, 5);
+        assert_eq!(plans[0].request.linkage, Linkage::Average);
+        assert_eq!(plans[1].request.linkage, Linkage::Ward);
+        assert_eq!(plans[1].request.weights.weights(), &[0.5, 0.25, 0.25]);
+        assert_eq!(plans[1].chunk_rows, Some(2));
+        assert_eq!(plans[2].chunk_rows, None);
+        assert_eq!(plans[2].request.num_clusters, 2, "defaults carry over");
+
+        assert!(parse_manifest(&schema, "", &base).is_err(), "no sessions");
+        assert!(parse_manifest(&schema, "clusters", &base).is_err());
+        assert!(parse_manifest(&schema, "clusters=x", &base).is_err());
+        assert!(
+            parse_manifest(&schema, "weights=1,2", &base).is_err(),
+            "arity"
+        );
+        assert!(parse_manifest(&schema, "turbo=yes", &base).is_err());
     }
 
     #[test]

@@ -1,12 +1,22 @@
-//! The PR-4 acceptance test: three **separate OS processes** (two data
-//! holders and the third party) connected over loopback TCP through a
-//! frame router must complete ≥ 4 concurrent sessions with clusters and
-//! final dissimilarity matrix **byte-identical** to the in-process
-//! `SessionEngine` oracle — sessions opened purely through the in-band
-//! `ctl/` control plane, secrets derived per process from the shared
-//! master seed.
+//! The multi-process acceptance tests: three **separate OS processes**
+//! (two data holders and the third party) connected over loopback TCP
+//! through a frame router must complete ≥ 4 concurrent sessions with
+//! clusters and final dissimilarity matrix **byte-identical** to the
+//! in-process `SessionEngine` oracle — sessions opened purely through the
+//! in-band `ctl/` control plane, secrets derived per process from the
+//! shared master seed.
+//!
+//! Since PR 5 the federation runs **AEAD-sealed by default**: the secure
+//! test additionally taps the coordinator's raw TCP socket and asserts an
+//! eavesdropper sees no plaintext protocol bytes (topics, control
+//! announcements); the `--insecure` variant proves the tap *does* see
+//! them on plaintext sockets (so the needle check is meaningful) while
+//! results still match the oracle.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::{Child, Command, Output, Stdio};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ppc_cluster::Linkage;
@@ -137,12 +147,75 @@ fn field<'a>(stdout: &'a str, selectors: &[&str], key: &str) -> &'a str {
         .unwrap_or_else(|| panic!("no field {key}= on line '{line}'"))
 }
 
-#[test]
-fn three_os_processes_match_the_in_process_oracle_byte_for_byte() {
+/// A byte-logging TCP tap: accepts one connection, pipes it to
+/// `upstream`, and records every byte of both directions — the
+/// wire-level eavesdropper of the paper's §4.1.
+fn spawn_tap(upstream: SocketAddr) -> (SocketAddr, Arc<Mutex<Vec<u8>>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let captured: Arc<Mutex<Vec<u8>>> = Arc::default();
+    let log = Arc::clone(&captured);
+    std::thread::spawn(move || {
+        let (client, _) = listener.accept().unwrap();
+        let server = TcpStream::connect(upstream).unwrap();
+        client.set_nodelay(true).unwrap();
+        server.set_nodelay(true).unwrap();
+        let pump = |mut from: TcpStream, mut to: TcpStream, log: Arc<Mutex<Vec<u8>>>| {
+            std::thread::spawn(move || {
+                let mut buf = [0u8; 4096];
+                loop {
+                    let n = match from.read(&mut buf) {
+                        Ok(0) | Err(_) => {
+                            let _ = to.shutdown(std::net::Shutdown::Both);
+                            return;
+                        }
+                        Ok(n) => n,
+                    };
+                    log.lock().unwrap().extend_from_slice(&buf[..n]);
+                    if to.write_all(&buf[..n]).is_err() {
+                        return;
+                    }
+                }
+            })
+        };
+        pump(
+            client.try_clone().unwrap(),
+            server.try_clone().unwrap(),
+            Arc::clone(&log),
+        );
+        pump(server, client, log);
+    });
+    (addr, captured)
+}
+
+use ppc_net::eavesdrop::contains_bytes;
+
+/// Protocol plaintext an on-path listener must never see on sealed
+/// sockets: control topics and session-step topic fragments (all ≥ 8
+/// bytes, so an accidental ciphertext match is ~2⁻⁶⁴-improbable).
+const PLAINTEXT_NEEDLES: &[&[u8]] = &[
+    b"ctl/ready",
+    b"ctl/announce",
+    b"ctl/done",
+    b"numeric/age",
+    b"categorical/blood",
+    b"alphanumeric/dna",
+    b"published-result",
+    b"clustering-choice",
+];
+
+/// Runs the full three-process federation (optionally `--insecure`) with
+/// the coordinator's socket tapped, checks every process against the
+/// oracle, and returns the tapped bytes.
+fn run_federation_against_oracle(insecure: bool) -> Vec<u8> {
     let reference = oracle();
 
     // Partition CSVs on disk, the way real data holders keep them.
-    let dir = std::env::temp_dir().join(format!("ppc-party-test-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!(
+        "ppc-party-test-{}-{}",
+        std::process::id(),
+        if insecure { "plain" } else { "sealed" }
+    ));
     std::fs::create_dir_all(&dir).unwrap();
     for partition in &partitions() {
         std::fs::write(
@@ -152,57 +225,65 @@ fn three_os_processes_match_the_in_process_oracle_byte_for_byte() {
         .unwrap();
     }
 
-    // The frame router is the only listener; the three parties dial it.
+    // The frame router is the only listener; the three parties dial it —
+    // the coordinator through the eavesdropping tap.
     let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
-    let connect = format!("tcp:{addr}");
-    let common: Vec<String> = vec![
-        "--connect".into(),
-        connect,
+    let (tap_addr, captured) = spawn_tap(addr);
+    let mut common: Vec<String> = vec![
         "--seed".into(),
         MASTER.to_string(),
         "--schema".into(),
         SCHEMA_FLAG.into(),
     ];
-    let with_common = |rest: &[&str]| -> Vec<String> {
+    if insecure {
+        common.push("--insecure".into());
+    }
+    let with_common = |connect_to: &str, rest: &[&str]| -> Vec<String> {
         rest.iter()
             .map(|s| s.to_string())
+            .chain(["--connect".to_string(), format!("tcp:{connect_to}")])
             .chain(common.iter().cloned())
             .collect()
     };
+    let router_addr = addr.to_string();
+    let tapped_addr = tap_addr.to_string();
 
     let csv_a = dir.join("site0.csv").display().to_string();
     let csv_b = dir.join("site1.csv").display().to_string();
-    let serve_dh1 = spawn(&with_common(&[
-        "serve",
-        "--party",
-        "DH1",
-        "--coordinator",
-        "DH0",
-        "--csv",
-        &csv_b,
-    ]));
-    let serve_tp = spawn(&with_common(&[
-        "serve",
-        "--party",
-        "TP",
-        "--coordinator",
-        "DH0",
-    ]));
-    let coordinate = spawn(&with_common(&[
-        "coordinate",
-        "--party",
-        "DH0",
-        "--remote",
-        "DH1,TP",
-        "--csv",
-        &csv_a,
-        "--sessions",
-        &SESSIONS.to_string(),
-        "--clusters",
-        &CLUSTERS.to_string(),
-        "--chunk-rows",
-        &CHUNK.to_string(),
-    ]));
+    let serve_dh1 = spawn(&with_common(
+        &router_addr,
+        &[
+            "serve",
+            "--party",
+            "DH1",
+            "--coordinator",
+            "DH0",
+            "--csv",
+            &csv_b,
+        ],
+    ));
+    let serve_tp = spawn(&with_common(
+        &router_addr,
+        &["serve", "--party", "TP", "--coordinator", "DH0"],
+    ));
+    let coordinate = spawn(&with_common(
+        &tapped_addr,
+        &[
+            "coordinate",
+            "--party",
+            "DH0",
+            "--remote",
+            "DH1,TP",
+            "--csv",
+            &csv_a,
+            "--sessions",
+            &SESSIONS.to_string(),
+            "--clusters",
+            &CLUSTERS.to_string(),
+            "--chunk-rows",
+            &CHUNK.to_string(),
+        ],
+    ));
 
     let deadline = Duration::from_secs(120);
     let coordinator_out = wait_with_deadline(coordinate, "coordinate", deadline);
@@ -279,4 +360,39 @@ fn three_os_processes_match_the_in_process_oracle_byte_for_byte() {
     }
 
     let _ = std::fs::remove_dir_all(&dir);
+    let captured = captured.lock().unwrap().clone();
+    assert!(
+        contains_bytes(&captured, b"PPCH"),
+        "the tap saw the coordinator's traffic (handshake magic present)"
+    );
+    captured
+}
+
+/// The PR-5 acceptance test: the federation runs AEAD-sealed **by
+/// default**, results stay byte-identical to the in-process oracle, and a
+/// raw-socket eavesdropper on the coordinator's link observes no protocol
+/// plaintext — only handshake metadata and sealed frames.
+#[test]
+fn three_os_processes_match_the_in_process_oracle_byte_for_byte() {
+    let captured = run_federation_against_oracle(false);
+    for needle in PLAINTEXT_NEEDLES {
+        assert!(
+            !contains_bytes(&captured, needle),
+            "plaintext {:?} leaked onto the sealed socket",
+            String::from_utf8_lossy(needle)
+        );
+    }
+}
+
+/// The explicit `--insecure` opt-out still matches the oracle — and the
+/// same eavesdropper now reads control topics straight off the wire,
+/// proving the needle check detects real plaintext (the secure test's
+/// clean tap is meaningful, not vacuous).
+#[test]
+fn insecure_opt_out_matches_the_oracle_but_leaks_plaintext() {
+    let captured = run_federation_against_oracle(true);
+    assert!(
+        contains_bytes(&captured, b"ctl/ready"),
+        "a plaintext socket exposes control traffic to the tap"
+    );
 }
