@@ -1113,6 +1113,10 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
                 idle = 0;
                 continue;
             }
+            // Anything routed above may have queued replies; on a
+            // coalescing transport they stay buffered until a flush, and
+            // the peers we are about to park on may be waiting for them.
+            self.transport.flush()?;
             self.stats.blocking_waits += 1;
             match self
                 .transport

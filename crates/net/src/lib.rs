@@ -70,7 +70,7 @@ pub use eavesdrop::Eavesdropper;
 pub use error::NetError;
 pub use framed::{encode_frame, memory_duplex, FrameDecoder, MemoryDuplex, StreamTransport};
 pub use message::{ChannelSecurity, Envelope};
-pub use metrics::{CommReport, LinkStats};
+pub use metrics::{CommReport, LinkStats, SealingReport, SealingReporter, SealingStats};
 pub use party::PartyId;
 pub use secure::{ChannelKeyring, ChannelOpener, ChannelSealer, SecurityMode, SEALED_TOPIC};
 pub use sim::{SimulatedWan, WanProfile, WanStats};

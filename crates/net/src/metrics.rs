@@ -26,6 +26,116 @@ impl LinkStats {
     }
 }
 
+/// Sealing-tier counters for one directed link `from → to` (secured
+/// transports only): how many AEAD records and inner frames each side of
+/// the channel processed, and how the sealed wire image compares to the
+/// plaintext it carries. `frames / records` on the seal side is the
+/// coalescing factor the link achieved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SealingStats {
+    /// Sealed records produced (AEAD seal invocations).
+    pub records_sealed: u64,
+    /// Inner envelopes carried by those records.
+    pub frames_sealed: u64,
+    /// Bytes of batch plaintext sealed (inner envelope encodings).
+    pub plaintext_bytes: u64,
+    /// Bytes of sealed record payloads produced (header + ciphertext + tag).
+    pub sealed_bytes: u64,
+    /// Sealed records opened (AEAD open invocations that verified).
+    pub records_opened: u64,
+    /// Inner envelopes recovered from those records.
+    pub frames_opened: u64,
+}
+
+impl SealingStats {
+    /// Adds `other`'s counters into this one.
+    pub fn merge(&mut self, other: &SealingStats) {
+        self.records_sealed += other.records_sealed;
+        self.frames_sealed += other.frames_sealed;
+        self.plaintext_bytes += other.plaintext_bytes;
+        self.sealed_bytes += other.sealed_bytes;
+        self.records_opened += other.records_opened;
+        self.frames_opened += other.frames_opened;
+    }
+
+    /// Average envelopes per sealed record (1.0 = no coalescing).
+    pub fn frames_per_record(&self) -> f64 {
+        if self.records_sealed == 0 {
+            0.0
+        } else {
+            self.frames_sealed as f64 / self.records_sealed as f64
+        }
+    }
+}
+
+/// Per-directed-link sealing statistics of one transport (or an aggregate
+/// over several).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SealingReport {
+    /// Counters per directed link.
+    pub links: BTreeMap<(PartyId, PartyId), SealingStats>,
+}
+
+impl SealingReport {
+    /// Sums every link's counters.
+    pub fn total(&self) -> SealingStats {
+        let mut total = SealingStats::default();
+        for stats in self.links.values() {
+            total.merge(stats);
+        }
+        total
+    }
+
+    /// Merges another report's links into this one (link-wise sum).
+    pub fn merge(&mut self, other: &SealingReport) {
+        for (&link, stats) in &other.links {
+            self.links.entry(link).or_default().merge(stats);
+        }
+    }
+
+    /// Renders a compact human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from(
+            "link                records   frames  f/rec   plaintext      sealed   opened\n",
+        );
+        for ((from, to), s) in &self.links {
+            out.push_str(&format!(
+                "{:<8} -> {:<8} {:>7} {:>8} {:>6.2} {:>11} {:>11} {:>8}\n",
+                from.to_string(),
+                to.to_string(),
+                s.records_sealed,
+                s.frames_sealed,
+                s.frames_per_record(),
+                s.plaintext_bytes,
+                s.sealed_bytes,
+                s.frames_opened,
+            ));
+        }
+        let t = self.total();
+        out.push_str(&format!(
+            "total               {:>7} {:>8} {:>6.2} {:>11} {:>11} {:>8}\n",
+            t.records_sealed,
+            t.frames_sealed,
+            t.frames_per_record(),
+            t.plaintext_bytes,
+            t.sealed_bytes,
+            t.frames_opened,
+        ));
+        out
+    }
+}
+
+/// Transports that can report sealing-tier statistics.
+///
+/// Implemented by the socket transports (whose sealer/opener count real
+/// AEAD work) and forwarded by wrappers like
+/// [`Instrumented`](crate::Instrumented), so harnesses ask the top of the
+/// stack regardless of how the transport is layered.
+pub trait SealingReporter {
+    /// Per-link sealing stats, or `None` when the transport runs plaintext.
+    fn sealing_report(&self) -> Option<SealingReport>;
+}
+
 /// A snapshot of all communication that has happened on a [`crate::Network`].
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CommReport {

@@ -14,34 +14,49 @@
 //!   frame keeps `from`/`to` in the clear so frame routers forward it
 //!   opaquely, while topic and payload travel encrypted and authenticated.
 //!
-//! ## Sealed frame layout
+//! ## Sealed record layout (coalesced)
 //!
-//! A sealed envelope is an ordinary wire frame whose topic is the reserved
+//! A sealed record is an ordinary wire frame whose topic is the reserved
 //! marker [`SEALED_TOPIC`] and whose payload is
 //!
 //! ```text
 //! salt: u32 | seq: u64 | ciphertext ‖ tag      (ChaCha20-Poly1305)
 //! ```
 //!
-//! where the plaintext is `topic: str, payload: bytes` of the inner
-//! envelope, the AEAD nonce is `salt ‖ seq` (12 bytes, little endian) and
-//! the AAD binds the routing metadata (`from ‖ to` party encodings).
+//! where the plaintext is a **batch** of one or more inner envelopes
+//!
+//! ```text
+//! count: u32 | count × (topic: str, payload: bytes)
+//! ```
+//!
+//! the AEAD nonce is `salt ‖ seq` (12 bytes, little endian) and the AAD
+//! binds the routing metadata (`from ‖ to` party encodings). One AEAD
+//! invocation and one 16-byte tag cover the whole batch, which is what
+//! amortizes the per-frame sealing tax of the protocol's many small
+//! frames; a record with `count = 1` is the degenerate single-frame case
+//! and there is no other single-frame format. All inner envelopes of a
+//! record share the record's `(from, to)` routing, so coalescing never
+//! crosses ordered party pairs and keyless routers still forward records
+//! opaquely by their cleartext routing metadata.
 //!
 //! ## Nonce schedule
 //!
-//! `seq` is the implicit per-`(from, to)` frame sequence number: the
-//! sealer counts the frames it seals for each ordered party pair. Because
-//! the socket tier records **sealed** frames in its replay window, a
-//! reconnect retransmits the lost suffix byte-identically — the nonce a
-//! frame was sealed under is the nonce it is re-sent under, so the
-//! PR-4 lossless-resume machinery needs no re-keying. `salt` is drawn
-//! from the endpoint id, so a restarted process (fresh counters) seals
-//! under fresh nonces instead of reusing `(key, 0), (key, 1), …`.
+//! `seq` is the implicit per-`(from, to)` **record** sequence number: the
+//! sealer counts the records it seals for each ordered party pair (a
+//! record consumes one sequence number regardless of how many envelopes
+//! it carries). Because the socket tier records **sealed** records in its
+//! replay window, a reconnect retransmits the lost suffix byte-identically
+//! — the nonce a record was sealed under is the nonce it is re-sent under,
+//! so the PR-4 lossless-resume machinery needs no re-keying. `salt` is
+//! drawn from the endpoint id, so a restarted process (fresh counters)
+//! seals under fresh nonces instead of reusing `(key, 0), (key, 1), …`.
 //!
 //! The opener enforces in-stream ordering: within one sender incarnation
 //! (one salt) sequence numbers must arrive exactly in order, so a relay
-//! that drops, reorders or replays sealed frames is detected. A salt
-//! change (sender restart) resets the expectation.
+//! that drops, reorders or replays sealed records is detected. A salt
+//! change (sender restart) resets the expectation. Unsealing a record
+//! yields its envelopes in batch order, which is send order — strict
+//! in-stream ordering survives coalescing.
 
 use std::collections::HashMap;
 
@@ -54,6 +69,7 @@ use crate::codec::{WireReader, WireWriter};
 use crate::error::NetError;
 use crate::framed::put_party;
 use crate::message::Envelope;
+use crate::metrics::{SealingReport, SealingStats};
 use crate::party::PartyId;
 
 /// The reserved topic marking a sealed frame. Never a valid session or
@@ -117,11 +133,12 @@ fn nonce_bytes(salt: u32, seq: u64) -> [u8; NONCE_LEN] {
     nonce
 }
 
-/// One directed pair's sealing state: its cached cipher and the next
-/// sequence number.
+/// One directed pair's sealing state: its cached cipher, the next
+/// sequence number and the pair's sealing counters.
 struct SealPair {
     cipher: ChaCha20Poly1305,
     next: u64,
+    stats: SealingStats,
 }
 
 /// The sealing half: owned by the sending transport.
@@ -157,37 +174,82 @@ impl ChannelSealer {
         }
     }
 
-    /// Seals one envelope for the wire.
+    /// Seals one envelope for the wire: the `count = 1` case of
+    /// [`seal_batch`](Self::seal_batch).
     pub fn seal(&self, envelope: &Envelope) -> Envelope {
+        self.seal_batch(std::slice::from_ref(envelope))
+    }
+
+    /// Seals a batch of envelopes — all sharing one `(from, to)` routing —
+    /// into one coalesced record: one AEAD invocation, one tag, one
+    /// sequence number for the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// If `envelopes` is empty or mixes ordered party pairs (the caller —
+    /// the socket tier's per-link flush — groups by pair first).
+    pub fn seal_batch(&self, envelopes: &[Envelope]) -> Envelope {
+        let first = envelopes
+            .first()
+            .expect("seal_batch of at least one envelope");
+        let (from, to) = (first.from, first.to);
+        assert!(
+            envelopes.iter().all(|e| e.from == from && e.to == to),
+            "a coalesced record must not mix ordered party pairs"
+        );
         let pair = {
             let mut pairs = self.pairs.lock();
-            Arc::clone(
-                pairs
-                    .entry((envelope.from, envelope.to))
-                    .or_insert_with(|| {
-                        Arc::new(Mutex::new(SealPair {
-                            cipher: self.keyring.cipher(envelope.from, envelope.to),
-                            next: 0,
-                        }))
-                    }),
-            )
+            Arc::clone(pairs.entry((from, to)).or_insert_with(|| {
+                Arc::new(Mutex::new(SealPair {
+                    cipher: self.keyring.cipher(from, to),
+                    next: 0,
+                    stats: SealingStats::default(),
+                }))
+            }))
         };
         let mut pair = pair.lock();
         let seq = pair.next;
-        let mut inner =
-            WireWriter::with_capacity(8 + envelope.topic.len() + envelope.payload.len());
-        inner.put_str(&envelope.topic).put_bytes(&envelope.payload);
+        let mut inner = WireWriter::with_capacity(
+            4 + envelopes
+                .iter()
+                .map(|e| 8 + e.topic.len() + e.payload.len())
+                .sum::<usize>(),
+        );
+        inner.put_u32(envelopes.len() as u32);
+        for e in envelopes {
+            inner.put_str(&e.topic).put_bytes(&e.payload);
+        }
+        let plaintext = inner.finish();
         let sealed = pair.cipher.seal(
             &nonce_bytes(self.salt, seq),
-            &routing_aad(envelope.from, envelope.to),
-            &inner.finish(),
+            &routing_aad(from, to),
+            &plaintext,
         );
         let mut payload = Vec::with_capacity(12 + sealed.len());
         payload.extend_from_slice(&self.salt.to_le_bytes());
         payload.extend_from_slice(&seq.to_le_bytes());
         payload.extend_from_slice(&sealed);
         pair.next += 1;
-        Envelope::new(envelope.from, envelope.to, SEALED_TOPIC, payload)
+        pair.stats.records_sealed += 1;
+        pair.stats.frames_sealed += envelopes.len() as u64;
+        pair.stats.plaintext_bytes += plaintext.len() as u64;
+        pair.stats.sealed_bytes += payload.len() as u64;
+        Envelope::new(from, to, SEALED_TOPIC, payload)
+    }
+
+    /// Snapshot of this sealer's per-link counters (seal-side fields).
+    pub fn report(&self) -> SealingReport {
+        let mut report = SealingReport::default();
+        let pairs: Vec<_> = self
+            .pairs
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect();
+        for (link, pair) in pairs {
+            report.links.insert(link, pair.lock().stats);
+        }
+        report
     }
 }
 
@@ -199,6 +261,7 @@ struct OpenPair {
     cipher: ChaCha20Poly1305,
     current: Option<(u32, u64)>,
     retired: std::collections::HashSet<u32>,
+    stats: SealingStats,
 }
 
 /// The opening half: shared by the receiving transport's reader threads.
@@ -227,13 +290,15 @@ impl ChannelOpener {
         }
     }
 
-    /// Opens one wire envelope, returning the inner envelope.
+    /// Opens one wire record, returning its inner envelopes in batch
+    /// order (which is send order, so per-pair FIFO survives coalescing).
     ///
     /// Fails with [`NetError::AuthFailure`] on plaintext frames (a secured
     /// channel accepts nothing else), tag mismatches (any tampering with
-    /// payload, routing metadata or nonce), and out-of-order or replayed
-    /// sequence numbers within a sender incarnation.
-    pub fn open(&self, envelope: Envelope) -> Result<Envelope, NetError> {
+    /// payload, routing metadata or nonce), out-of-order or replayed
+    /// sequence numbers within a sender incarnation, and malformed batches
+    /// (zero count, trailing bytes).
+    pub fn open(&self, envelope: Envelope) -> Result<Vec<Envelope>, NetError> {
         let (from, to) = (envelope.from, envelope.to);
         let fail = |detail: String| NetError::AuthFailure {
             detail: format!("{from} -> {to}: {detail}"),
@@ -259,6 +324,7 @@ impl ChannelOpener {
                     cipher: self.keyring.cipher(from, to),
                     current: None,
                     retired: std::collections::HashSet::new(),
+                    stats: SealingStats::default(),
                 }))
             }))
         };
@@ -292,7 +358,7 @@ impl ChannelOpener {
                 &envelope.payload[12..],
             )
             .map_err(|e| fail(e.to_string()))?;
-        // Only authenticated frames advance the stream state; a verified
+        // Only authenticated records advance the stream state; a verified
         // new incarnation retires its predecessor's salt for good.
         if let Some((current_salt, _)) = pair.current {
             if current_salt != salt {
@@ -301,10 +367,35 @@ impl ChannelOpener {
         }
         pair.current = Some((salt, seq + 1));
         let mut r = WireReader::new(&inner);
-        let topic = r.get_str()?;
-        let payload = r.get_bytes()?;
+        let count = r.get_u32()?;
+        if count == 0 {
+            return Err(fail("coalesced record with zero frames".into()));
+        }
+        let mut envelopes = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let topic = r.get_str()?;
+            let payload = r.get_bytes()?;
+            envelopes.push(Envelope::new(from, to, topic, payload));
+        }
         r.expect_end()?;
-        Ok(Envelope::new(from, to, topic, payload))
+        pair.stats.records_opened += 1;
+        pair.stats.frames_opened += count as u64;
+        Ok(envelopes)
+    }
+
+    /// Snapshot of this opener's per-link counters (open-side fields).
+    pub fn report(&self) -> SealingReport {
+        let mut report = SealingReport::default();
+        let pairs: Vec<_> = self
+            .pairs
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect();
+        for (link, pair) in pairs {
+            report.links.insert(link, pair.lock().stats);
+        }
+        report
     }
 }
 
@@ -394,8 +485,103 @@ mod tests {
                 &wire.payload[12..],
                 &[i; 8]
             ));
-            assert_eq!(opener.open(wire).unwrap(), e);
+            assert_eq!(opener.open(wire).unwrap(), vec![e]);
         }
+    }
+
+    #[test]
+    fn coalesced_batch_roundtrips_in_order_under_one_record() {
+        let sealer = ChannelSealer::new(keyring(), 21);
+        let opener = ChannelOpener::new(keyring());
+        let batch: Vec<Envelope> = (0..7u8)
+            .map(|i| envelope(&format!("s0/topic/{i}"), vec![i; 5 + i as usize]))
+            .collect();
+        let wire = sealer.seal_batch(&batch);
+        assert_eq!(wire.topic, SEALED_TOPIC);
+        // One record, one tag: far smaller than seven sealed singles.
+        let singles: usize = batch
+            .iter()
+            .map(|e| ChannelSealer::new(keyring(), 21).seal(e).payload.len())
+            .sum();
+        assert!(wire.payload.len() < singles);
+        // No topic or payload leaks into the record's sealed bytes.
+        for e in &batch {
+            assert!(!crate::eavesdrop::contains_bytes(
+                &wire.payload,
+                e.topic.as_bytes()
+            ));
+        }
+        assert_eq!(opener.open(wire).unwrap(), batch);
+        // The whole batch consumed exactly one sequence number.
+        let next = sealer.seal(&batch[0]);
+        let seq = u64::from_le_bytes(next.payload[4..12].try_into().unwrap());
+        assert_eq!(seq, 1);
+    }
+
+    #[test]
+    fn tampered_and_malformed_batches_fail() {
+        let sealer = ChannelSealer::new(keyring(), 22);
+        let batch: Vec<Envelope> = (0..4u8).map(|i| envelope("t", vec![i; 30])).collect();
+        let wire = sealer.seal_batch(&batch);
+        // A bit flip anywhere inside the batch ciphertext kills the whole
+        // record, and the failure names the pair.
+        for offset in [12, 40, wire.payload.len() - 20] {
+            let mut bad = wire.clone();
+            bad.payload[offset] ^= 0x10;
+            let err = ChannelOpener::new(keyring()).open(bad).unwrap_err();
+            assert!(matches!(err, NetError::AuthFailure { .. }));
+            assert!(err.to_string().contains("DH0 -> TP"), "{err}");
+        }
+        // Truncating the record (mid-batch) is rejected.
+        let mut bad = wire.clone();
+        bad.payload.truncate(wire.payload.len() / 2);
+        assert!(ChannelOpener::new(keyring()).open(bad).is_err());
+        // A forged record with count = 0 cannot be produced by seal_batch,
+        // but a peer speaking the protocol wrong must still be rejected.
+        let opener = ChannelOpener::new(keyring());
+        let forged = {
+            // Seal an empty batch body by hand: count 0, no envelopes.
+            let pair_cipher = keyring().cipher(batch[0].from, batch[0].to);
+            let mut w = WireWriter::with_capacity(4);
+            w.put_u32(0);
+            let sealed = pair_cipher.seal(
+                &nonce_bytes(23, 0),
+                &routing_aad(batch[0].from, batch[0].to),
+                &w.finish(),
+            );
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&23u32.to_le_bytes());
+            payload.extend_from_slice(&0u64.to_le_bytes());
+            payload.extend_from_slice(&sealed);
+            Envelope::new(batch[0].from, batch[0].to, SEALED_TOPIC, payload)
+        };
+        let err = opener.open(forged).unwrap_err();
+        assert!(err.to_string().contains("zero frames"), "{err}");
+    }
+
+    #[test]
+    fn sealing_stats_count_records_frames_and_bytes() {
+        let sealer = ChannelSealer::new(keyring(), 31);
+        let opener = ChannelOpener::new(keyring());
+        let batch: Vec<Envelope> = (0..5u8).map(|i| envelope("t", vec![i; 100])).collect();
+        let wire = sealer.seal_batch(&batch);
+        let sealed_len = wire.payload.len() as u64;
+        opener.open(wire).unwrap();
+        opener.open(sealer.seal(&batch[0])).unwrap();
+
+        let mut report = sealer.report();
+        report.merge(&opener.report());
+        let total = report.total();
+        assert_eq!(total.records_sealed, 2);
+        assert_eq!(total.frames_sealed, 6);
+        assert_eq!(total.records_opened, 2);
+        assert_eq!(total.frames_opened, 6);
+        assert!(total.plaintext_bytes >= 5 * 100);
+        assert!(total.sealed_bytes > sealed_len);
+        assert_eq!(report.links.len(), 1);
+        let link = report.links[&(PartyId::DataHolder(0), PartyId::ThirdParty)];
+        assert!((link.frames_per_record() - 3.0).abs() < 1e-9);
+        assert!(report.to_table().contains("total"));
     }
 
     #[test]

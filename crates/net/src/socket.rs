@@ -54,6 +54,7 @@ use crate::codec::{WireReader, WireWriter};
 use crate::error::NetError;
 use crate::framed::{encode_frame, get_party, put_party, FrameDecoder, MAX_FRAME_BODY};
 use crate::message::Envelope;
+use crate::metrics::SealingReport;
 use crate::party::PartyId;
 use crate::secure::{ChannelKeyring, ChannelOpener, ChannelSealer, SecurityMode, SEALED_TOPIC};
 use crate::transport::{Transport, WaitTransport};
@@ -69,8 +70,19 @@ pub const HELLO_MAGIC: [u8; 4] = *b"PPCH";
 /// replay window. Version 3 added the channel-security byte to the hello
 /// (§8): endpoints advertise `Plaintext` or `SealedPsk`, forwarders are
 /// `Transparent`, and any endpoint-level mismatch is rejected during the
-/// handshake — there is no silent downgrade.
-pub const WIRE_VERSION: u8 = 3;
+/// handshake — there is no silent downgrade. Version 4 made every sealed
+/// payload a **coalesced record** (§8.2): the batch plaintext is
+/// count-prefixed, so one AEAD invocation covers N inner envelopes. A v3
+/// peer would misread the batch layout, so the exact-version handshake
+/// check rejects it explicitly — again, never a silent downgrade.
+pub const WIRE_VERSION: u8 = 4;
+
+/// Byte budget of buffered plaintext per link before a coalescing
+/// transport seals and writes a record without waiting for the next
+/// explicit flush (see [`SocketTransport::set_coalescing`]). Sized so a
+/// record stays well inside socket buffers while still amortizing the
+/// per-record AEAD + syscall cost over many protocol-sized frames.
+pub const COALESCE_BUDGET: usize = 64 << 10;
 
 /// Default number of recently sent frames every link retains for
 /// retransmission after a reconnect. Override with
@@ -409,6 +421,14 @@ struct LinkWriter<S> {
     /// failed checks it to learn whether a concurrent sender already
     /// re-dialled (and therefore already retransmitted the failed frame).
     generation: u64,
+    /// Plaintext envelopes queued for coalescing (sealed + written at the
+    /// next flush boundary or when [`COALESCE_BUDGET`] fills). Empty unless
+    /// the transport enables coalescing. Envelopes here are **not yet** in
+    /// the replay window — they enter it as sealed records when drained,
+    /// so the window keeps storing exactly the bytes that hit the wire.
+    pending: Vec<Envelope>,
+    /// Estimated batch-plaintext bytes of `pending`.
+    pending_bytes: usize,
 }
 
 /// A peer link: the writer half plus routing metadata. The reader half
@@ -500,6 +520,9 @@ pub struct SocketTransport<S: SocketStream> {
     replay_bytes: usize,
     /// Channel sealing state; `None` runs the links in plaintext.
     security: Option<SecurityState>,
+    /// When set (and secured), sends buffer per link and flush boundaries
+    /// seal whole batches into coalesced records.
+    coalesce: bool,
 }
 
 /// The AEAD halves of a secured transport. The sealer runs under its own
@@ -539,6 +562,7 @@ impl<S: SocketStream> SocketTransport<S> {
             replay_frames: DEFAULT_REPLAY_FRAMES,
             replay_bytes: DEFAULT_REPLAY_BYTES,
             security: None,
+            coalesce: false,
         }
     }
 
@@ -559,6 +583,31 @@ impl<S: SocketStream> SocketTransport<S> {
             sealer: ChannelSealer::new(keyring.clone(), salt),
             opener: Arc::new(ChannelOpener::new(keyring)),
         });
+    }
+
+    /// Enables frame coalescing on a secured transport: sends buffer
+    /// plaintext envelopes per link, and a flush boundary (or a full
+    /// [`COALESCE_BUDGET`]) seals each link's queue into per-pair coalesced
+    /// records — one AEAD invocation and one tag over the whole batch.
+    ///
+    /// Buffered envelopes reach the wire only at [`Transport::flush`] or
+    /// when the budget fills, so callers must flush at turn boundaries
+    /// (the session engines already do). Per-pair FIFO order is preserved:
+    /// a record carries one ordered pair's envelopes in send order, and
+    /// records inherit the sealed-stream ordering guarantees. No-op
+    /// without [`set_security`](Self::set_security).
+    pub fn set_coalescing(&mut self, enabled: bool) {
+        self.coalesce = enabled;
+    }
+
+    /// Per-link sealing statistics — records and frames sealed/opened,
+    /// plaintext vs sealed bytes — or `None` on a plaintext transport.
+    pub fn sealing_report(&self) -> Option<SealingReport> {
+        self.security.as_ref().map(|s| {
+            let mut report = s.sealer.report();
+            report.merge(&s.opener.report());
+            report
+        })
     }
 
     /// The security mode this endpoint announces in its hello.
@@ -629,6 +678,8 @@ impl<S: SocketStream> SocketTransport<S> {
                 stream,
                 replay: ReplayWindow::new(self.replay_frames, self.replay_bytes),
                 generation: 0,
+                pending: Vec::new(),
+                pending_bytes: 0,
             })),
             control,
             redial,
@@ -866,6 +917,77 @@ impl<S: SocketStream> SocketTransport<S> {
         self.arrivals.notify_all();
     }
 
+    /// Estimated batch-plaintext bytes one envelope contributes to a
+    /// coalesced record (its `topic str ‖ payload bytes` encoding).
+    fn inner_size(envelope: &Envelope) -> usize {
+        8 + envelope.topic.len() + envelope.payload.len()
+    }
+
+    /// Seals `w.pending` into coalesced records and writes them, all under
+    /// the already-held writer lock.
+    ///
+    /// Envelopes are grouped by ordered party pair, preserving order
+    /// within each pair (the transport contract is per-pair FIFO only, so
+    /// reordering *across* pairs at a flush boundary is legal), and each
+    /// group is chunked under the frame cap. Every record is recorded in
+    /// the replay window **before** its write — identical to the
+    /// single-frame send path — so a mid-drain stream failure leaves the
+    /// whole drained batch replayable: the caller re-dials and the resume
+    /// retransmits the recorded records byte-identically.
+    fn drain_pending_locked(
+        security: &SecurityState,
+        w: &mut LinkWriter<S>,
+    ) -> Result<(), std::io::Error> {
+        if w.pending.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut w.pending);
+        w.pending_bytes = 0;
+        let mut groups: Vec<((PartyId, PartyId), Vec<Envelope>)> = Vec::new();
+        for envelope in pending {
+            let key = (envelope.from, envelope.to);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, group)) => group.push(envelope),
+                None => groups.push((key, vec![envelope])),
+            }
+        }
+        // Once a write fails, remaining records are still sealed and
+        // recorded (their sequence numbers are assigned; they must reach
+        // the replay window in order) but not written — the resume after
+        // re-dial retransmits everything the peer did not acknowledge.
+        let mut first_error = None;
+        for (_, group) in groups {
+            let mut start = 0;
+            while start < group.len() {
+                let mut end = start + 1;
+                let mut bytes = Self::inner_size(&group[start]);
+                while end < group.len() {
+                    let next = Self::inner_size(&group[end]);
+                    if bytes + next > COALESCE_BUDGET.min(MAX_FRAME_BODY - 96) {
+                        break;
+                    }
+                    bytes += next;
+                    end += 1;
+                }
+                let record = security.sealer.seal_batch(&group[start..end]);
+                let frame =
+                    encode_frame(&record).expect("coalesced record chunked under the frame cap");
+                w.replay.record(frame);
+                if first_error.is_none() {
+                    let frame = w.replay.frames.back().expect("just recorded");
+                    if let Err(e) = w.stream.write_all(frame) {
+                        first_error = Some(e);
+                    }
+                }
+                start = end;
+            }
+        }
+        match first_error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
     /// Index of the link that should carry traffic for `to`, if any.
     fn route(links: &[Link<S>], to: PartyId) -> Option<usize> {
         links
@@ -932,6 +1054,16 @@ impl<S: SocketStream> SocketTransport<S> {
         self.shutting_down.store(true, Ordering::SeqCst);
         let mut links = self.links.lock();
         for link in links.iter_mut() {
+            // Best-effort drain of any coalesced queue, so an orderly
+            // shutdown does not strand buffered envelopes (a crash still
+            // can — buffered-but-unflushed traffic has never hit the wire
+            // or the replay window, exactly like unsent protocol state).
+            if let Some(security) = &self.security {
+                let mut w = link.writer.lock();
+                if Self::drain_pending_locked(security, &mut w).is_ok() {
+                    let _ = w.stream.flush();
+                }
+            }
             let _ = link.control.shutdown_stream();
             if let Some(handle) = link.reader.take() {
                 let _ = handle.join();
@@ -939,6 +1071,12 @@ impl<S: SocketStream> SocketTransport<S> {
         }
         drop(links);
         self.arrivals.notify_all();
+    }
+}
+
+impl<S: SocketStream> crate::metrics::SealingReporter for SocketTransport<S> {
+    fn sealing_report(&self) -> Option<SealingReport> {
+        SocketTransport::sealing_report(self)
     }
 }
 
@@ -1045,10 +1183,14 @@ fn spawn_reader<S: SocketStream>(
                             Ok(Some(envelope)) => {
                                 // Unseal (or reject) before delivery: a
                                 // secured transport accepts only sealed
-                                // frames, a plaintext one only cleartext.
-                                let envelope = match &opener {
+                                // records, a plaintext one only cleartext.
+                                // One wire frame may carry a whole batch of
+                                // inner envelopes (coalesced records); they
+                                // are delivered in batch order, preserving
+                                // per-pair FIFO.
+                                let envelopes = match &opener {
                                     Some(opener) => match opener.open(envelope) {
-                                        Ok(envelope) => envelope,
+                                        Ok(envelopes) => envelopes,
                                         Err(e) => {
                                             fail(&inbox, &arrivals, e);
                                             return;
@@ -1069,14 +1211,19 @@ fn spawn_reader<S: SocketStream>(
                                         );
                                         return;
                                     }
-                                    None => envelope,
+                                    None => vec![envelope],
                                 };
                                 let mut guard = inbox.lock();
-                                guard
-                                    .queues
-                                    .entry(envelope.to)
-                                    .or_default()
-                                    .push_back(envelope);
+                                for envelope in envelopes {
+                                    guard
+                                        .queues
+                                        .entry(envelope.to)
+                                        .or_default()
+                                        .push_back(envelope);
+                                }
+                                // The resume handshake counts *wire frames*
+                                // (the unit the replay window retransmits),
+                                // so a coalesced record still counts once.
                                 received.fetch_add(1, Ordering::SeqCst);
                                 delivered = true;
                             }
@@ -1149,19 +1296,43 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
         // nonce sequence numbers are assigned in the order frames hit the
         // stream: whatever happens to the write, the frame is now part of
         // the link's history and any resume retransmits it byte-identically
-        // (same sealed bytes, same nonce).
+        // (same sealed bytes, same nonce). A coalescing transport instead
+        // queues the plaintext envelope and drains the queue at the next
+        // flush boundary (or immediately, once the byte budget fills).
+        let to = envelope.to;
         let (generation, write_error) = {
             let mut guard = writer.lock();
-            let frame = match &self.security {
-                Some(security) => encode_frame(&security.sealer.seal(&envelope))?,
-                None => encode_frame(&envelope)?,
-            };
             let w = &mut *guard;
-            w.replay.record(frame);
-            let frame = w.replay.frames.back().expect("just recorded");
-            match w.stream.write_all(frame) {
-                Ok(()) => return Ok(()),
-                Err(e) => (w.generation, e),
+            match &self.security {
+                Some(security) if self.coalesce => {
+                    w.pending_bytes += Self::inner_size(&envelope);
+                    w.pending.push(envelope);
+                    if w.pending_bytes < COALESCE_BUDGET {
+                        return Ok(());
+                    }
+                    match Self::drain_pending_locked(security, w) {
+                        Ok(()) => return Ok(()),
+                        Err(e) => (w.generation, e),
+                    }
+                }
+                Some(security) => {
+                    let frame = encode_frame(&security.sealer.seal(&envelope))?;
+                    w.replay.record(frame);
+                    let frame = w.replay.frames.back().expect("just recorded");
+                    match w.stream.write_all(frame) {
+                        Ok(()) => return Ok(()),
+                        Err(e) => (w.generation, e),
+                    }
+                }
+                None => {
+                    let frame = encode_frame(&envelope)?;
+                    w.replay.record(frame);
+                    let frame = w.replay.frames.back().expect("just recorded");
+                    match w.stream.write_all(frame) {
+                        Ok(()) => return Ok(()),
+                        Err(e) => (w.generation, e),
+                    }
+                }
             }
         };
         if !(is_transient(&write_error) && can_redial) {
@@ -1176,10 +1347,7 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
             return Ok(());
         }
         self.redial_link(&mut links, index).map_err(|e| match e {
-            NetError::Io(detail) => NetError::PeerUnreachable {
-                party: envelope.to,
-                detail,
-            },
+            NetError::Io(detail) => NetError::PeerUnreachable { party: to, detail },
             other => other,
         })
     }
@@ -1203,19 +1371,49 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
     }
 
     fn flush(&self) -> Result<(), NetError> {
-        let writers: Vec<(Arc<Mutex<LinkWriter<S>>>, bool)> = self
+        type WriterSnapshot<S> = Vec<(usize, Arc<Mutex<LinkWriter<S>>>, bool)>;
+        let writers: WriterSnapshot<S> = self
             .links
             .lock()
             .iter()
-            .map(|link| (Arc::clone(&link.writer), link.redial.is_some()))
+            .enumerate()
+            .map(|(index, link)| (index, Arc::clone(&link.writer), link.redial.is_some()))
             .collect();
-        for (writer, recoverable) in writers {
-            if let Err(e) = writer.lock().stream.flush() {
-                // A dead-but-redialable link flushes again after the next
-                // send resumes it; only unrecoverable links fail the flush.
+        for (index, writer, recoverable) in writers {
+            // Drain any coalesced queue first: on a coalescing transport
+            // flush is the boundary where buffered envelopes become sealed
+            // records on the wire.
+            let (generation, had_pending, result) = {
+                let mut guard = writer.lock();
+                let w = &mut *guard;
+                let had_pending = !w.pending.is_empty();
+                let drained = match &self.security {
+                    Some(security) => Self::drain_pending_locked(security, w),
+                    None => Ok(()),
+                };
+                let result = drained.and_then(|()| w.stream.flush());
+                (w.generation, had_pending, result)
+            };
+            if let Err(e) = result {
                 if !(recoverable && is_transient(&e)) {
                     return Err(NetError::Io(e.to_string()));
                 }
+                if !had_pending {
+                    // A dead-but-redialable link with nothing buffered
+                    // flushes again after the next send resumes it.
+                    continue;
+                }
+                // The stream died under a drain. The drained records are
+                // in the replay window, but unlike the send path there may
+                // be no follow-up send to trigger the re-dial (the peer may
+                // be waiting on exactly these frames), so resume the link
+                // here. A concurrent sender that already re-dialled bumped
+                // the generation and retransmitted for us.
+                let mut links = self.links.lock();
+                if links[index].writer.lock().generation != generation {
+                    continue;
+                }
+                self.redial_link(&mut links, index)?;
             }
         }
         Ok(())

@@ -337,6 +337,12 @@ impl Network {
     }
 }
 
+impl crate::metrics::SealingReporter for Network {
+    fn sealing_report(&self) -> Option<crate::metrics::SealingReport> {
+        None
+    }
+}
+
 impl Transport for Network {
     fn send(&self, envelope: Envelope) -> Result<(), NetError> {
         Network::send(self, envelope)
@@ -471,6 +477,12 @@ impl<T: Transport> Instrumented<T> {
     /// `needles`, or `None` when the eavesdropper saw ciphertext only.
     pub fn find_plaintext_leak(&self, needles: &[&[u8]]) -> Option<String> {
         self.state.lock().eavesdropper.find_plaintext_leak(needles)
+    }
+}
+
+impl<T: crate::metrics::SealingReporter> crate::metrics::SealingReporter for Instrumented<T> {
+    fn sealing_report(&self) -> Option<crate::metrics::SealingReport> {
+        self.inner.sealing_report()
     }
 }
 

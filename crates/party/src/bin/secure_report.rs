@@ -1,9 +1,14 @@
-//! Generates `BENCH_pr5.json`: the cost of the channel-security tier —
-//! sessions/s of the same workload over loopback TCP with plaintext
-//! versus AEAD-sealed frames, single-process (sharded engine through a
-//! frame router) and three-process (real `ppc-party` OS processes,
-//! sealed by default vs `--insecure`), plus the raw seal/open throughput
-//! of the vendored ChaCha20-Poly1305.
+//! Generates `BENCH_pr6.json`: what the channel-security tier costs after
+//! frame coalescing and the vectorized AEAD — sessions/s of the same
+//! workload over loopback TCP with plaintext, sealed-per-envelope and
+//! sealed+coalesced frames, single-process (sharded engine through a
+//! frame router) and three-process (real `ppc-party` OS processes), plus
+//! raw seal+open throughput of the vendored ChaCha20-Poly1305, scalar
+//! oracle vs the vectorized path.
+//!
+//! Every timed row records **min/median/max** of its repetitions: the
+//! single-core CI boxes this runs on are noisy (±20% between identical
+//! runs is common), and a lone median overclaims.
 //!
 //! ```text
 //! cargo build --release -p ppc-party
@@ -23,7 +28,7 @@ use ppc_core::protocol::sharded::ShardedEngine;
 use ppc_core::protocol::ProtocolConfig;
 use ppc_crypto::{ChaCha20Poly1305, Seed};
 use ppc_data::Workload;
-use ppc_net::{Backoff, ChannelKeyring, PartyId, TcpRouter, TcpTransport};
+use ppc_net::{Backoff, ChannelKeyring, PartyId, SealingReport, TcpRouter, TcpTransport};
 
 const OBJECTS: usize = 32;
 const SITES: u32 = 2;
@@ -31,7 +36,7 @@ const CLUSTERS: usize = 3;
 const SESSIONS: usize = 6;
 const WINDOW: usize = 4;
 const SEED: u64 = 77;
-const REPS: usize = 3;
+const REPS: usize = 5;
 const SCHEMA_FLAG: &str = "dna:alphanumeric:dna,age:numeric,outcome:categorical";
 
 fn spec(seed: u64) -> SessionSpec {
@@ -53,21 +58,59 @@ fn spec(seed: u64) -> SessionSpec {
     }
 }
 
-fn median_seconds(mut run: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..REPS)
-        .map(|_| {
-            let started = Instant::now();
-            run();
-            started.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+/// min / median / max of a sample set (seconds).
+#[derive(Clone, Copy)]
+struct Spread {
+    min: f64,
+    median: f64,
+    max: f64,
 }
 
-/// One single-process sharded run over a loopback-TCP router, sealed or
-/// plaintext.
-fn sharded_tcp_run(specs: &[SessionSpec], sealed: bool) {
+impl Spread {
+    fn of(mut samples: Vec<f64>) -> Spread {
+        samples.sort_by(f64::total_cmp);
+        Spread {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            max: samples[samples.len() - 1],
+        }
+    }
+
+    fn measure(mut run: impl FnMut()) -> Spread {
+        Spread::of(
+            (0..REPS)
+                .map(|_| {
+                    let started = Instant::now();
+                    run();
+                    started.elapsed().as_secs_f64()
+                })
+                .collect(),
+        )
+    }
+
+    /// `"min_seconds": …, "median_seconds": …, "max_seconds": …` fields.
+    fn seconds_fields(&self) -> String {
+        format!(
+            "\"min_seconds\": {:.6}, \"median_seconds\": {:.6}, \"max_seconds\": {:.6}",
+            self.min, self.median, self.max
+        )
+    }
+
+    /// Throughput fields for `work / seconds` (max time → min rate).
+    fn rate_fields(&self, work: f64, unit: &str) -> String {
+        format!(
+            "\"min_{unit}\": {:.2}, \"median_{unit}\": {:.2}, \"max_{unit}\": {:.2}",
+            work / self.max,
+            work / self.median,
+            work / self.min
+        )
+    }
+}
+
+/// One single-process sharded run over a loopback-TCP router: plaintext,
+/// sealed one-record-per-envelope, or sealed+coalesced. Returns the
+/// transport's sealing report (`None` on plaintext).
+fn sharded_tcp_run(specs: &[SessionSpec], sealed: bool, coalesce: bool) -> Option<SealingReport> {
     let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
     let parties: Vec<PartyId> = (0..SITES)
         .map(PartyId::DataHolder)
@@ -76,6 +119,7 @@ fn sharded_tcp_run(specs: &[SessionSpec], sealed: bool) {
     let mut transport = TcpTransport::new(parties);
     if sealed {
         transport.set_security(ChannelKeyring::from_master(&Seed::from_u64(SEED)));
+        transport.set_coalescing(coalesce);
     }
     transport.connect(addr, &Backoff::default()).unwrap();
     let mut engine = ShardedEngine::new(vec![transport]).unwrap();
@@ -85,10 +129,17 @@ fn sharded_tcp_run(specs: &[SessionSpec], sealed: bool) {
     engine.set_stall_budget(std::time::Duration::from_millis(100), 100);
     let run = engine.run().unwrap();
     assert_eq!(run.outcomes.len(), SESSIONS);
+    let mut sealing = None;
     for t in engine.transports() {
+        if let Some(report) = t.sealing_report() {
+            sealing
+                .get_or_insert_with(SealingReport::default)
+                .merge(&report);
+        }
         t.shutdown();
     }
     router.shutdown();
+    sealing
 }
 
 fn sibling(name: &str) -> std::path::PathBuf {
@@ -115,9 +166,34 @@ fn drain(child: Child, label: &str) {
     }
 }
 
-/// One three-process federation run over loopback TCP, sealed (default)
-/// or `--insecure`.
-fn three_process_run(binary: &std::path::Path, csv_dir: &std::path::Path, insecure: bool) -> f64 {
+/// Channel flavor of a three-process run.
+#[derive(Clone, Copy, PartialEq)]
+enum Flavor {
+    Plaintext,
+    SealedUncoalesced,
+    SealedCoalesced,
+}
+
+impl Flavor {
+    fn id(self) -> &'static str {
+        match self {
+            Flavor::Plaintext => "plaintext",
+            Flavor::SealedUncoalesced => "sealed_uncoalesced",
+            Flavor::SealedCoalesced => "sealed_coalesced",
+        }
+    }
+
+    fn extra_flag(self) -> Option<&'static str> {
+        match self {
+            Flavor::Plaintext => Some("--insecure"),
+            Flavor::SealedUncoalesced => Some("--no-coalesce"),
+            Flavor::SealedCoalesced => None, // the ppc-party default
+        }
+    }
+}
+
+/// One three-process federation run over loopback TCP.
+fn three_process_run(binary: &std::path::Path, csv_dir: &std::path::Path, flavor: Flavor) -> f64 {
     let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
     let connect = format!("tcp:{addr}");
     let common = |rest: &[&str]| -> Vec<String> {
@@ -130,8 +206,8 @@ fn three_process_run(binary: &std::path::Path, csv_dir: &std::path::Path, insecu
             "--schema".into(),
             SCHEMA_FLAG.into(),
         ]);
-        if insecure {
-            args.push("--insecure".into());
+        if let Some(flag) = flavor.extra_flag() {
+            args.push(flag.into());
         }
         args
     };
@@ -187,40 +263,100 @@ fn three_process_run(binary: &std::path::Path, csv_dir: &std::path::Path, insecu
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
     let mut rows = Vec::new();
 
-    // Raw AEAD throughput: seal + open of 1 MiB frames.
-    {
+    // Raw AEAD throughput, 1 MiB frames: the retained scalar oracle vs the
+    // shipping vectorized path, measured on the same machine in the same
+    // process.
+    let mut scalar_median_mbs = 0.0;
+    for scalar in [true, false] {
         let cipher = ChaCha20Poly1305::from_seed(&Seed::from_u64(1));
         let plaintext = vec![0xA5u8; 1 << 20];
         let mut nonce = [0u8; 12];
-        let reps = 16u64;
-        let started = Instant::now();
-        for i in 0..reps {
-            nonce[0..8].copy_from_slice(&i.to_le_bytes());
-            let sealed = cipher.seal(&nonce, b"bench", &plaintext);
-            let opened = cipher.open(&nonce, b"bench", &sealed).unwrap();
-            assert_eq!(opened.len(), plaintext.len());
+        let frames = if scalar { 4u64 } else { 16u64 };
+        let spread = Spread::measure(|| {
+            for i in 0..frames {
+                nonce[0..8].copy_from_slice(&i.to_le_bytes());
+                let (sealed, opened) = if scalar {
+                    let sealed = cipher.seal_scalar(&nonce, b"bench", &plaintext);
+                    let opened = cipher.open_scalar(&nonce, b"bench", &sealed).unwrap();
+                    (sealed, opened)
+                } else {
+                    let sealed = cipher.seal(&nonce, b"bench", &plaintext);
+                    let opened = cipher.open(&nonce, b"bench", &sealed).unwrap();
+                    (sealed, opened)
+                };
+                assert_eq!(sealed.len(), plaintext.len() + 16);
+                assert_eq!(opened.len(), plaintext.len());
+            }
+        });
+        let mb = frames as f64;
+        if scalar {
+            scalar_median_mbs = mb / spread.median;
         }
-        let secs = started.elapsed().as_secs_f64();
-        let mb = (reps as f64) * (plaintext.len() as f64) / (1 << 20) as f64;
+        let speedup = if scalar {
+            String::new()
+        } else {
+            format!(
+                ", \"speedup_vs_scalar\": {:.2}",
+                (mb / spread.median) / scalar_median_mbs
+            )
+        };
         rows.push(format!(
-            "    {{\"id\": \"aead/seal_open_roundtrip\", \"mb\": {mb:.0}, \
-             \"seconds\": {secs:.6}, \"mb_per_second\": {:.1}}}",
-            mb / secs
+            "    {{\"id\": \"aead/seal_open_roundtrip/{}\", \"mb_per_rep\": {mb:.0}, {}, \
+             {}{speedup}}}",
+            if scalar { "scalar" } else { "vectorized" },
+            spread.seconds_fields(),
+            spread.rate_fields(mb, "mb_per_second"),
         ));
     }
 
     let specs: Vec<SessionSpec> = (0..SESSIONS).map(|i| spec(900 + i as u64)).collect();
-    for sealed in [false, true] {
-        let median = median_seconds(|| sharded_tcp_run(&specs, sealed));
+    let mut plaintext_median = 0.0;
+    let mut sealing_table = None;
+    for (id, sealed, coalesce) in [
+        ("plaintext", false, false),
+        ("sealed_uncoalesced", true, false),
+        ("sealed_coalesced", true, true),
+    ] {
+        let spread = Spread::measure(|| {
+            if let Some(report) = sharded_tcp_run(&specs, sealed, coalesce) {
+                if coalesce {
+                    sealing_table = Some(report);
+                }
+            }
+        });
+        if !sealed {
+            plaintext_median = spread.median;
+        }
+        let overhead = if sealed {
+            format!(
+                ", \"overhead_vs_plaintext_percent\": {:.1}",
+                (spread.median / plaintext_median - 1.0) * 100.0
+            )
+        } else {
+            String::new()
+        };
         rows.push(format!(
-            "    {{\"id\": \"single_process/loopback_tcp/{}\", \"sessions\": {SESSIONS}, \
-             \"median_seconds\": {median:.6}, \"sessions_per_second\": {:.2}}}",
-            if sealed { "sealed" } else { "plaintext" },
-            SESSIONS as f64 / median
+            "    {{\"id\": \"single_process/loopback_tcp/{id}\", \"sessions\": {SESSIONS}, {}, \
+             {}{overhead}}}",
+            spread.seconds_fields(),
+            spread.rate_fields(SESSIONS as f64, "sessions_per_second"),
         ));
+    }
+    if let Some(report) = &sealing_table {
+        let t = report.total();
+        println!(
+            "sealing stats of one coalesced run: {} envelopes in {} records \
+             ({:.2} frames/record), {} plaintext bytes -> {} sealed bytes",
+            t.frames_sealed,
+            t.records_sealed,
+            t.frames_per_record(),
+            t.plaintext_bytes,
+            t.sealed_bytes
+        );
+        print!("{}", report.to_table());
     }
 
     let binary = sibling("ppc-party");
@@ -235,18 +371,34 @@ fn main() {
             )
             .unwrap();
         }
-        for insecure in [true, false] {
-            let mut samples: Vec<f64> = (0..REPS)
-                .map(|_| three_process_run(&binary, &csv_dir, insecure))
-                .collect();
-            samples.sort_by(f64::total_cmp);
-            let median = samples[samples.len() / 2];
+        let mut three_plaintext_median = 0.0;
+        for flavor in [
+            Flavor::Plaintext,
+            Flavor::SealedUncoalesced,
+            Flavor::SealedCoalesced,
+        ] {
+            let spread = Spread::of(
+                (0..REPS)
+                    .map(|_| three_process_run(&binary, &csv_dir, flavor))
+                    .collect(),
+            );
+            if flavor == Flavor::Plaintext {
+                three_plaintext_median = spread.median;
+            }
+            let overhead = if flavor == Flavor::Plaintext {
+                String::new()
+            } else {
+                format!(
+                    ", \"overhead_vs_plaintext_percent\": {:.1}",
+                    (spread.median / three_plaintext_median - 1.0) * 100.0
+                )
+            };
             rows.push(format!(
-                "    {{\"id\": \"three_process/loopback_tcp/{}\", \"sessions\": {SESSIONS}, \
-                 \"median_seconds\": {median:.6}, \"sessions_per_second\": {:.2}, \
-                 \"note\": \"includes process spawn + control-plane handshake\"}}",
-                if insecure { "plaintext" } else { "sealed" },
-                SESSIONS as f64 / median
+                "    {{\"id\": \"three_process/loopback_tcp/{}\", \"sessions\": {SESSIONS}, {}, \
+                 {}{overhead}, \"note\": \"includes process spawn + control-plane handshake\"}}",
+                flavor.id(),
+                spread.seconds_fields(),
+                spread.rate_fields(SESSIONS as f64, "sessions_per_second"),
             ));
         }
         let _ = std::fs::remove_dir_all(&csv_dir);
@@ -262,12 +414,14 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\n  \"pr\": 5,\n  \"title\": \"Channel security: plaintext vs AEAD-sealed loopback \
-         TCP\",\n  \"workload\": \"bird_flu {OBJECTS} objects, {SITES} sites, 3 attributes \
-         (dna + numeric + categorical), average linkage, k={CLUSTERS}, chunk window {WINDOW}, \
-         {SESSIONS} sessions\",\n  \"harness\": \"secure_report binary, wall-clock medians of \
-         {REPS} runs; sealed rows run ChaCha20-Poly1305 end-to-end per frame; three-process \
-         rows spawn real ppc-party OS processes against an in-harness TCP router\",\n  \
+        "{{\n  \"pr\": 6,\n  \"title\": \"Sealing tax after coalescing + vectorized AEAD: \
+         plaintext vs sealed vs sealed+coalesced loopback TCP\",\n  \"workload\": \"bird_flu \
+         {OBJECTS} objects, {SITES} sites, 3 attributes (dna + numeric + categorical), average \
+         linkage, k={CLUSTERS}, chunk window {WINDOW}, {SESSIONS} sessions\",\n  \"harness\": \
+         \"secure_report binary; every timed row records min/median/max of {REPS} runs (noisy \
+         single-core boxes); sealed rows run ChaCha20-Poly1305 end-to-end, coalesced rows batch \
+         each link's queued envelopes into one AEAD record per flush; three-process rows spawn \
+         real ppc-party OS processes against an in-harness TCP router\",\n  \
          \"cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );

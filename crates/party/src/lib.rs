@@ -65,7 +65,7 @@ use ppc_net::{UdsRouter, UdsTransport};
 pub type Flags = BTreeMap<String, String>;
 
 /// Flags that take no value (presence flags).
-const BOOLEAN_FLAGS: &[&str] = &["insecure", "secure"];
+const BOOLEAN_FLAGS: &[&str] = &["insecure", "secure", "coalesce", "no-coalesce"];
 
 /// Parses `--key value` pairs (and bare boolean flags like `--insecure`).
 pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -305,6 +305,46 @@ pub fn channel_config(flags: &Flags) -> Result<ChannelConfig, String> {
     }
 }
 
+/// Resolves `--coalesce` / `--no-coalesce` against the channel config.
+///
+/// Sealed transports coalesce by default (batching queued envelopes into
+/// one AEAD record per link between flushes — the per-record sealing tax
+/// is paid once per batch instead of once per envelope); `--no-coalesce`
+/// restores one record per envelope, e.g. to measure the difference.
+/// Plaintext sockets never coalesce — frames go out as written.
+pub fn coalescing_enabled(flags: &Flags, security: &ChannelConfig) -> Result<bool, String> {
+    let on = flags.contains_key("coalesce");
+    let off = flags.contains_key("no-coalesce");
+    match (on, off, security) {
+        (true, true, _) => Err("--coalesce conflicts with --no-coalesce".into()),
+        (true, _, ChannelConfig::Plaintext) => {
+            Err("--coalesce needs sealed channels (conflicts with --insecure)".into())
+        }
+        (_, _, ChannelConfig::Plaintext) => Ok(false),
+        (_, off, ChannelConfig::Sealed(_)) => Ok(!off),
+    }
+}
+
+/// Prints the sealing-tier statistics line (`None` on plaintext runs).
+/// One stable machine-parseable `SEALING …` line with federation totals,
+/// then the per-link table on stderr for humans.
+pub fn print_sealing_report(report: Option<&ppc_net::SealingReport>) {
+    let Some(report) = report else { return };
+    let t = report.total();
+    println!(
+        "SEALING records_sealed={} frames_sealed={} frames_per_record={:.2} plaintext_bytes={} \
+         sealed_bytes={} records_opened={} frames_opened={}",
+        t.records_sealed,
+        t.frames_sealed,
+        t.frames_per_record(),
+        t.plaintext_bytes,
+        t.sealed_bytes,
+        t.records_opened,
+        t.frames_opened
+    );
+    eprint!("{}", report.to_table());
+}
+
 fn master_seed(flags: &Flags) -> Result<Seed, String> {
     Ok(Seed::from_u64(require(flags, "seed")?.parse().map_err(
         |_| "--seed must be an unsigned integer".to_string(),
@@ -345,15 +385,19 @@ fn run_serve(flags: &Flags) -> Result<(), Box<dyn Error>> {
     let schema = parse_schema(require(flags, "schema")?)?;
     let seat = seat_from_flags(flags, party, &schema)?;
     let security = channel_config(flags)?;
+    let coalesce = coalescing_enabled(flags, &security)?;
     let endpoint = parse_endpoint(require(flags, "connect")?)?;
-    let report = match endpoint {
+    let (report, sealing) = match endpoint {
         Endpoint::Tcp(addr) => {
             let mut transport = TcpTransport::new([party]);
             if let ChannelConfig::Sealed(keyring) = &security {
                 transport.set_security(keyring.clone());
             }
+            transport.set_coalescing(coalesce);
             transport.connect(addr.as_str(), &startup_backoff())?;
-            build_engine(transport, seat)?.serve(coordinator)?
+            let engine = build_engine(transport, seat)?;
+            let report = engine.serve(coordinator)?;
+            (report, engine.transport().sealing_report())
         }
         #[cfg(unix)]
         Endpoint::Uds(path) => {
@@ -361,13 +405,17 @@ fn run_serve(flags: &Flags) -> Result<(), Box<dyn Error>> {
             if let ChannelConfig::Sealed(keyring) = &security {
                 transport.set_security(keyring.clone());
             }
+            transport.set_coalescing(coalesce);
             transport.connect(&path, &startup_backoff())?;
-            build_engine(transport, seat)?.serve(coordinator)?
+            let engine = build_engine(transport, seat)?;
+            let report = engine.serve(coordinator)?;
+            (report, engine.transport().sealing_report())
         }
         #[cfg(not(unix))]
         Endpoint::Uds(_) => return Err("uds endpoints need a unix platform".into()),
     };
     print_report(&report);
+    print_sealing_report(sealing.as_ref());
     if report.stats.sessions_failed > 0 {
         return Err(format!("{} session(s) failed", report.stats.sessions_failed).into());
     }
@@ -528,15 +576,19 @@ fn run_coordinate(flags: &Flags) -> Result<(), Box<dyn Error>> {
         }
         (None, None) => return Err("one of --sessions or --manifest is required".into()),
     };
+    let coalesce = coalescing_enabled(flags, &security)?;
     let endpoint = parse_endpoint(require(flags, "connect")?)?;
-    let report = match endpoint {
+    let (report, sealing) = match endpoint {
         Endpoint::Tcp(addr) => {
             let mut transport = TcpTransport::new([party]);
             if let ChannelConfig::Sealed(keyring) = &security {
                 transport.set_security(keyring.clone());
             }
+            transport.set_coalescing(coalesce);
             transport.connect(addr.as_str(), &startup_backoff())?;
-            build_engine(transport, seat)?.coordinate(schema, remote, plans)?
+            let engine = build_engine(transport, seat)?;
+            let report = engine.coordinate(schema, remote, plans)?;
+            (report, engine.transport().sealing_report())
         }
         #[cfg(unix)]
         Endpoint::Uds(path) => {
@@ -544,13 +596,17 @@ fn run_coordinate(flags: &Flags) -> Result<(), Box<dyn Error>> {
             if let ChannelConfig::Sealed(keyring) = &security {
                 transport.set_security(keyring.clone());
             }
+            transport.set_coalescing(coalesce);
             transport.connect(&path, &startup_backoff())?;
-            build_engine(transport, seat)?.coordinate(schema, remote, plans)?
+            let engine = build_engine(transport, seat)?;
+            let report = engine.coordinate(schema, remote, plans)?;
+            (report, engine.transport().sealing_report())
         }
         #[cfg(not(unix))]
         Endpoint::Uds(_) => return Err("uds endpoints need a unix platform".into()),
     };
     print_report(&report);
+    print_sealing_report(sealing.as_ref());
     if report.stats.sessions_failed > 0 {
         return Err(format!("{} session(s) failed", report.stats.sessions_failed).into());
     }
@@ -591,7 +647,9 @@ const USAGE: &str = "usage: ppc-party <route|serve|coordinate> --flag value ...\
              [--psk N | --insecure]\n\
 channel security: sockets are AEAD-sealed by default (keys derived from --seed,\n\
 or from a dedicated --psk N shared by every process); --insecure sends plaintext\n\
-and warns loudly. All processes of one federation must agree.";
+and warns loudly. All processes of one federation must agree.\n\
+sealed links coalesce queued frames into one AEAD record per flush (amortising\n\
+the per-record sealing tax); --no-coalesce seals one record per envelope.";
 
 /// Entry point shared by the binary and tests.
 pub fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
@@ -672,6 +730,27 @@ mod tests {
         assert!(channel_config(&flags).is_err());
         let flags = parse_flags(&["--insecure".into(), "--secure".into()]).unwrap();
         assert!(channel_config(&flags).is_err());
+    }
+
+    #[test]
+    fn coalescing_defaults_on_for_sealed_off_for_plaintext() {
+        let sealed = ChannelConfig::Sealed(ChannelKeyring::from_psk(Seed::from_u64(1)));
+        let flags = parse_flags(&[]).unwrap();
+        assert!(coalescing_enabled(&flags, &sealed).unwrap());
+        assert!(!coalescing_enabled(&flags, &ChannelConfig::Plaintext).unwrap());
+
+        let flags = parse_flags(&["--no-coalesce".into()]).unwrap();
+        assert!(!coalescing_enabled(&flags, &sealed).unwrap());
+
+        let flags = parse_flags(&["--coalesce".into()]).unwrap();
+        assert!(coalescing_enabled(&flags, &sealed).unwrap());
+        assert!(
+            coalescing_enabled(&flags, &ChannelConfig::Plaintext).is_err(),
+            "explicit --coalesce on a plaintext socket must be rejected"
+        );
+
+        let flags = parse_flags(&["--coalesce".into(), "--no-coalesce".into()]).unwrap();
+        assert!(coalescing_enabled(&flags, &sealed).is_err());
     }
 
     #[test]
