@@ -90,18 +90,31 @@ fn main() {
     let mut rows = Vec::new();
 
     // Baseline: the single-threaded engine at increasing concurrency.
+    // Each row carries its compute-phase breakdown (derivation /
+    // fold-unmask / merge wall time) from the last repetition.
     for &sessions in &[1usize, 4, 8] {
         let specs: Vec<SessionSpec> = (0..sessions)
             .map(|i| spec(40 + i as u64, Some(WINDOW)))
             .collect();
+        let mut compute = ppc_core::protocol::machines::ComputeStats::default();
         let median = median_seconds(|| {
-            assert_eq!(run_single(&specs).len(), specs.len());
+            let outcomes = run_single(&specs);
+            assert_eq!(outcomes.len(), specs.len());
+            compute = ppc_core::protocol::machines::ComputeStats::default();
+            for outcome in &outcomes {
+                compute.absorb(&outcome.stats.compute);
+            }
         });
         rows.push(format!(
             "    {{\"id\": \"engine/concurrent_sessions/{sessions}\", \
              \"median_seconds\": {median:.6}, \
-             \"sessions_per_second\": {:.2}}}",
-            sessions as f64 / median
+             \"sessions_per_second\": {:.2}, \
+             \"derive_seconds\": {:.6}, \"fold_unmask_seconds\": {:.6}, \
+             \"merge_seconds\": {:.6}}}",
+            sessions as f64 / median,
+            compute.derive_nanos as f64 / 1e9,
+            compute.fold_unmask_nanos as f64 / 1e9,
+            compute.merge_nanos as f64 / 1e9,
         ));
     }
 

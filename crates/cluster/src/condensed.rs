@@ -9,6 +9,27 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::ClusterError;
 
+/// Below this many elements the parallel reductions run sequentially:
+/// thread spawn latency dwarfs the loop itself for small matrices.
+const MIN_PARALLEL_LEN: usize = 1 << 14;
+
+/// Contiguous partition lengths for splitting `len` elements across
+/// `threads` workers: the deterministic split every parallel reduction in
+/// this module uses, so partition boundaries (and thus combine order) never
+/// depend on scheduling. Returns a single partition when parallelism is not
+/// worth it.
+fn partition_sizes(len: usize, threads: usize) -> Vec<usize> {
+    let workers = threads.min(len / (MIN_PARALLEL_LEN / 2)).max(1);
+    if workers < 2 || len < MIN_PARALLEL_LEN {
+        return vec![len];
+    }
+    let base = len / workers;
+    let extra = len % workers;
+    (0..workers)
+        .map(|i| base + usize::from(i < extra))
+        .collect()
+}
+
 /// A condensed (lower-triangular, zero-diagonal) distance matrix over `n`
 /// objects.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -113,6 +134,33 @@ impl CondensedDistanceMatrix {
         self.values.iter().copied().fold(0.0, f64::max)
     }
 
+    /// [`max_value`](Self::max_value) computed by `threads` scoped workers
+    /// over contiguous partitions of the condensed vector.
+    ///
+    /// Bit-identical to the sequential fold: each partition folds
+    /// left-to-right from `0.0` exactly as the sequential loop does, and the
+    /// per-partition maxima are combined in partition order. Because `max`
+    /// over (NaN-free) floats is associative and the sequential fold also
+    /// starts at `0.0`, regrouping the fold at partition boundaries selects
+    /// the same value. Distances here are non-negative protocol outputs, so
+    /// the NaN/`-0.0` caveats of IEEE `maxNum` never arise.
+    pub fn max_value_parallel(&self, threads: usize) -> f64 {
+        let partitions = partition_sizes(self.values.len(), threads);
+        if partitions.len() < 2 {
+            return self.max_value();
+        }
+        let mut maxima = vec![0.0f64; partitions.len()];
+        std::thread::scope(|scope| {
+            let mut rest = &self.values[..];
+            for (&size, out) in partitions.iter().zip(&mut maxima) {
+                let (part, tail) = rest.split_at(size);
+                rest = tail;
+                scope.spawn(move || *out = part.iter().copied().fold(0.0, f64::max));
+            }
+        });
+        maxima.into_iter().fold(0.0, f64::max)
+    }
+
     /// Smallest stored distance between distinct objects.
     pub fn min_value(&self) -> f64 {
         self.values.iter().copied().fold(f64::INFINITY, f64::min)
@@ -156,6 +204,54 @@ impl CondensedDistanceMatrix {
         for (o, &v) in self.values.iter_mut().zip(&other.values) {
             *o += scale * v;
         }
+        Ok(())
+    }
+
+    /// [`accumulate_scaled`](Self::accumulate_scaled) with the element loop
+    /// split across `threads` scoped workers on contiguous index ranges.
+    ///
+    /// `*o += scale · v` touches each element independently, so any
+    /// partitioning performs exactly the sequential per-element operations —
+    /// the result is bit-identical regardless of thread count.
+    pub fn accumulate_scaled_parallel(
+        &mut self,
+        other: &CondensedDistanceMatrix,
+        scale: f64,
+        threads: usize,
+    ) -> Result<(), ClusterError> {
+        if other.n != self.n {
+            return Err(ClusterError::DimensionMismatch {
+                expected: self.n,
+                got: other.n,
+            });
+        }
+        if scale < 0.0 || !scale.is_finite() {
+            return Err(ClusterError::InvalidParameter(format!(
+                "accumulation scale must be finite and non-negative, got {scale}"
+            )));
+        }
+        let partitions = partition_sizes(self.values.len(), threads);
+        if partitions.len() < 2 {
+            for (o, &v) in self.values.iter_mut().zip(&other.values) {
+                *o += scale * v;
+            }
+            return Ok(());
+        }
+        std::thread::scope(|scope| {
+            let mut acc_rest = &mut self.values[..];
+            let mut src_rest = &other.values[..];
+            for &size in &partitions {
+                let (acc, acc_tail) = acc_rest.split_at_mut(size);
+                let (src, src_tail) = src_rest.split_at(size);
+                acc_rest = acc_tail;
+                src_rest = src_tail;
+                scope.spawn(move || {
+                    for (o, &v) in acc.iter_mut().zip(src) {
+                        *o += scale * v;
+                    }
+                });
+            }
+        });
         Ok(())
     }
 
@@ -296,6 +392,27 @@ impl MergeAccumulator {
         let max = matrix.max_value();
         let scale = if max > 0.0 { weight / max } else { weight };
         self.acc.accumulate_scaled(matrix, scale)?;
+        self.attributes += 1;
+        Ok(())
+    }
+
+    /// [`push_normalized`](Self::push_normalized) with both the maximum
+    /// reduction and the scaled accumulation split across `threads` scoped
+    /// workers. Bit-identical to the sequential fold for any thread count
+    /// (see [`CondensedDistanceMatrix::max_value_parallel`] and
+    /// [`CondensedDistanceMatrix::accumulate_scaled_parallel`]); small
+    /// matrices fall back to the sequential loops rather than paying thread
+    /// spawn latency.
+    pub fn push_normalized_parallel(
+        &mut self,
+        matrix: &CondensedDistanceMatrix,
+        weight: f64,
+        threads: usize,
+    ) -> Result<(), ClusterError> {
+        let max = matrix.max_value_parallel(threads);
+        let scale = if max > 0.0 { weight / max } else { weight };
+        self.acc
+            .accumulate_scaled_parallel(matrix, scale, threads)?;
         self.attributes += 1;
         Ok(())
     }
@@ -445,6 +562,86 @@ mod tests {
         // Size mismatches are rejected.
         let mut acc = MergeAccumulator::new(3);
         assert!(acc.push_normalized(&a, 1.0).is_err());
+    }
+
+    /// Deterministic pseudo-random distance matrix big enough that
+    /// `partition_sizes` actually splits it (n = 200 ⇒ 19 900 entries, above
+    /// `MIN_PARALLEL_LEN`).
+    fn large_matrix(seed: u64) -> CondensedDistanceMatrix {
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        CondensedDistanceMatrix::from_fn(200, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 997.0
+        })
+    }
+
+    #[test]
+    fn parallel_max_is_bit_identical_at_all_thread_counts() {
+        for seed in [1u64, 7, 42] {
+            let m = large_matrix(seed);
+            let expected = m.max_value().to_bits();
+            for threads in [1usize, 2, 4, 16] {
+                assert_eq!(m.max_value_parallel(threads).to_bits(), expected);
+            }
+        }
+        // Small matrices take the sequential fallback but stay identical.
+        let small = CondensedDistanceMatrix::from_fn(5, |i, j| (i * j) as f64);
+        assert_eq!(small.max_value_parallel(4), small.max_value());
+        assert_eq!(CondensedDistanceMatrix::zeros(0).max_value_parallel(4), 0.0);
+    }
+
+    #[test]
+    fn parallel_accumulate_is_bit_identical_at_all_thread_counts() {
+        let src = large_matrix(3);
+        let mut sequential = large_matrix(9);
+        sequential.accumulate_scaled(&src, 0.375).unwrap();
+        for threads in [1usize, 2, 4] {
+            let mut parallel = large_matrix(9);
+            parallel
+                .accumulate_scaled_parallel(&src, 0.375, threads)
+                .unwrap();
+            let bits_match = parallel
+                .condensed_values()
+                .iter()
+                .zip(sequential.condensed_values())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(bits_match, "accumulate diverged at {threads} threads");
+        }
+        // Shares the sequential path's validation.
+        let mut wrong = CondensedDistanceMatrix::zeros(3);
+        assert!(wrong.accumulate_scaled_parallel(&src, 1.0, 4).is_err());
+        let mut ok = large_matrix(9);
+        assert!(ok.accumulate_scaled_parallel(&src, -1.0, 4).is_err());
+        assert!(ok.accumulate_scaled_parallel(&src, f64::NAN, 4).is_err());
+    }
+
+    #[test]
+    fn parallel_push_normalized_is_bit_identical_at_all_thread_counts() {
+        let attrs = [large_matrix(11), large_matrix(12), large_matrix(13)];
+        let weights = [0.5, 0.25, 0.25];
+        let mut sequential = MergeAccumulator::new(200);
+        for (m, &w) in attrs.iter().zip(&weights) {
+            sequential.push_normalized(m, w).unwrap();
+        }
+        let expected = sequential.finish();
+        for threads in [1usize, 2, 4] {
+            let mut acc = MergeAccumulator::new(200);
+            for (m, &w) in attrs.iter().zip(&weights) {
+                acc.push_normalized_parallel(m, w, threads).unwrap();
+            }
+            assert_eq!(acc.attributes(), 3);
+            let merged = acc.finish();
+            let bits_match = merged
+                .condensed_values()
+                .iter()
+                .zip(expected.condensed_values())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(bits_match, "merge diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! PR-7 determinism properties of the parallel third-party merge: the
+//! scoped-thread `max_value_parallel` / `accumulate_scaled_parallel` /
+//! `push_normalized_parallel` reductions are **bit-identical** (`f64`
+//! bits) to the sequential fold at every thread count — both below the
+//! sequential-fallback threshold and on matrices large enough to really
+//! split across workers.
+
+use proptest::prelude::*;
+
+use ppc_cluster::{CondensedDistanceMatrix, MergeAccumulator};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// A deterministic pseudo-random condensed matrix: big `n` without
+/// shipping megabytes of generated input through proptest shrinking.
+fn lcg_matrix(n: usize, seed: u64) -> CondensedDistanceMatrix {
+    let mut state = seed | 1;
+    CondensedDistanceMatrix::from_fn(n, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 1000.0
+    })
+}
+
+fn bits(matrix: &CondensedDistanceMatrix) -> Vec<u64> {
+    matrix
+        .condensed_values()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Small arbitrary matrices (the sequential-fallback regime): every
+    /// parallel entry point is bit-identical to its sequential fold.
+    #[test]
+    fn small_matrices_are_bit_identical_at_all_thread_counts(
+        values in prop::collection::vec(0.0f64..1e6, 1..120),
+        weight in 0.01f64..8.0,
+    ) {
+        let mut n = 2usize;
+        while (n + 1) * n / 2 <= values.len() {
+            n += 1;
+        }
+        let take = n * (n - 1) / 2;
+        let matrix =
+            CondensedDistanceMatrix::from_condensed(n, values[..take].to_vec()).unwrap();
+        let expected_max = matrix.max_value().to_bits();
+        let mut sequential = MergeAccumulator::new(n);
+        sequential.push_normalized(&matrix, weight).unwrap();
+        let expected = bits(&sequential.finish());
+        for threads in THREADS {
+            prop_assert_eq!(matrix.max_value_parallel(threads).to_bits(), expected_max);
+            let mut acc = MergeAccumulator::new(n);
+            acc.push_normalized_parallel(&matrix, weight, threads).unwrap();
+            prop_assert_eq!(&bits(&acc.finish()), &expected, "diverged at {} threads", threads);
+        }
+    }
+
+    /// Matrices above the parallel threshold (n ≥ 200 → ≥ 19,900 entries,
+    /// really split across scoped workers): multi-attribute merges stay
+    /// bit-identical at 1/2/4 threads, for any weight vector.
+    #[test]
+    fn large_merges_are_bit_identical_at_all_thread_counts(
+        n in 200usize..260,
+        seed in any::<u64>(),
+        weights in prop::collection::vec(0.05f64..4.0, 1..4),
+    ) {
+        let matrices: Vec<CondensedDistanceMatrix> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, _)| lcg_matrix(n, seed.wrapping_add(i as u64)))
+            .collect();
+        let mut sequential = MergeAccumulator::new(n);
+        for (matrix, &weight) in matrices.iter().zip(&weights) {
+            sequential.push_normalized(matrix, weight).unwrap();
+        }
+        let expected = bits(&sequential.finish());
+        for threads in THREADS {
+            let mut acc = MergeAccumulator::new(n);
+            for (matrix, &weight) in matrices.iter().zip(&weights) {
+                acc.push_normalized_parallel(matrix, weight, threads).unwrap();
+            }
+            prop_assert_eq!(&bits(&acc.finish()), &expected, "diverged at {} threads", threads);
+        }
+    }
+
+    /// `accumulate_scaled_parallel` enforces the same validation as the
+    /// sequential path and is element-exact when it succeeds.
+    #[test]
+    fn accumulate_scaled_parallel_matches_sequential(
+        n in 180usize..220,
+        seed in any::<u64>(),
+        scale in 0.0f64..16.0,
+    ) {
+        let base = lcg_matrix(n, seed);
+        let other = lcg_matrix(n, seed.wrapping_add(99));
+        let mut sequential = base.clone();
+        sequential.accumulate_scaled(&other, scale).unwrap();
+        let expected = bits(&sequential);
+        for threads in THREADS {
+            let mut parallel = base.clone();
+            parallel.accumulate_scaled_parallel(&other, scale, threads).unwrap();
+            prop_assert_eq!(&bits(&parallel), &expected, "diverged at {} threads", threads);
+        }
+        // Shared validation: a dimension mismatch and a non-finite scale
+        // fail on both paths.
+        let small = lcg_matrix(8, seed);
+        let mut parallel = base.clone();
+        prop_assert!(parallel.accumulate_scaled_parallel(&small, scale, 2).is_err());
+        prop_assert!(parallel.accumulate_scaled_parallel(&other, f64::NAN, 2).is_err());
+    }
+}

@@ -18,14 +18,28 @@
 //! The third party therefore learns the *pattern of character equalities*
 //! between string pairs (exactly the CCM) and the resulting edit distance,
 //! but never the characters themselves.
+//!
+//! ## Kernels and oracles
+//!
+//! The character loops run through the branch-free modular kernels of
+//! [`kernels`] whenever the operands are inside
+//! the alphabet domain (always, for data produced by this protocol); data
+//! that arrives off the wire outside the domain falls back to the scalar
+//! masker so outputs stay identical to the `*_scalar` oracles for *every*
+//! input. The shared `rng_JT` offset prefix is exposed through the
+//! `*_with_offsets` variants so a derivation cache can hand the same prefix
+//! to many sessions.
 
 use ppc_crypto::prng::DynStreamRng;
-use ppc_crypto::{AlphabetMasker, PairwiseSeeds, RngAlgorithm, Seed};
+use ppc_crypto::{
+    offsets_from_raw, raw_u64_prefix, AlphabetMasker, PairwiseSeeds, RngAlgorithm, Seed,
+};
 
 use crate::ccm::CharacterComparisonMatrix;
 use crate::distance::edit_distance_from_ccm;
 use crate::error::CoreError;
 use crate::pairwise::PairwiseBlock;
+use crate::protocol::kernels;
 
 /// The intermediary (still masked) comparison matrix for one string pair, as
 /// built by `DH_K`: entry `[q][p]` corresponds to `DH_K`'s character `q` and
@@ -52,6 +66,17 @@ pub struct MaskedCcmBundle {
     pub ccms: Vec<MaskedCcm>,
 }
 
+/// The shared `rng_JT` offset prefix both `DH_J` and `TP` replay: the first
+/// `len` stream draws reduced modulo the alphabet size.
+pub fn offset_prefix(
+    len: usize,
+    alphabet_size: u32,
+    seed_jt: &Seed,
+    algorithm: RngAlgorithm,
+) -> Vec<u32> {
+    offsets_from_raw(&raw_u64_prefix(algorithm, seed_jt, len), alphabet_size)
+}
+
 /// `DH_J` (Figure 8): masks each of its encoded strings character-wise.
 pub fn initiator_mask_strings(
     strings: &[Vec<u32>],
@@ -59,11 +84,56 @@ pub fn initiator_mask_strings(
     seeds: &PairwiseSeeds,
     algorithm: RngAlgorithm,
 ) -> Result<Vec<Vec<u32>>, CoreError> {
-    let masker = AlphabetMasker::new(alphabet_size)?;
     // "DHJ re-initializes its pseudo-random number generator with the same
     // seed after disguising each input string" — every string is masked
     // against the same offset prefix, so one draw of the longest prefix
     // serves all strings (identical stream values, drawn once).
+    let max_len = strings.iter().map(Vec::len).max().unwrap_or(0);
+    let offsets = offset_prefix(max_len, alphabet_size, &seeds.holder_third_party, algorithm);
+    initiator_mask_strings_with_offsets(strings, alphabet_size, &offsets)
+}
+
+/// [`initiator_mask_strings`] over an already-derived offset prefix (the
+/// cacheable form). `offsets` must cover the longest string.
+pub fn initiator_mask_strings_with_offsets(
+    strings: &[Vec<u32>],
+    alphabet_size: u32,
+    offsets: &[u32],
+) -> Result<Vec<Vec<u32>>, CoreError> {
+    let masker = AlphabetMasker::new(alphabet_size)?;
+    let max_len = strings.iter().map(Vec::len).max().unwrap_or(0);
+    if offsets.len() < max_len {
+        return Err(CoreError::Protocol(format!(
+            "offset prefix of {} covers strings up to {max_len} characters",
+            offsets.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(strings.len());
+    for s in strings {
+        let mut masked = vec![0u32; s.len()];
+        if s.iter().all(|&c| c < alphabet_size) {
+            kernels::alpha_mod_add_row(s, &offsets[..s.len()], alphabet_size, &mut masked);
+        } else {
+            // Out-of-domain symbols (callers should have encoded via the
+            // alphabet): defer to the scalar masker's modular arithmetic.
+            for (o, (&symbol, &offset)) in masked.iter_mut().zip(s.iter().zip(offsets)) {
+                *o = masker.mask(symbol % alphabet_size, offset);
+            }
+        }
+        out.push(masked);
+    }
+    Ok(out)
+}
+
+/// Scalar oracle for [`initiator_mask_strings`], retained for equivalence
+/// tests and microbenchmarks.
+pub fn initiator_mask_strings_scalar(
+    strings: &[Vec<u32>],
+    alphabet_size: u32,
+    seeds: &PairwiseSeeds,
+    algorithm: RngAlgorithm,
+) -> Result<Vec<Vec<u32>>, CoreError> {
+    let masker = AlphabetMasker::new(alphabet_size)?;
     let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
     let max_len = strings.iter().map(Vec::len).max().unwrap_or(0);
     let offsets: Vec<u32> = (0..max_len)
@@ -84,6 +154,51 @@ pub fn initiator_mask_strings(
 /// `DH_K` (Figure 9): subtracts its own characters from every masked string,
 /// building one intermediary matrix per string pair.
 pub fn responder_build_bundle(
+    masked_initiator: &[Vec<u32>],
+    own_strings: &[Vec<u32>],
+    alphabet_size: u32,
+) -> Result<MaskedCcmBundle, CoreError> {
+    let masker = AlphabetMasker::new(alphabet_size)?;
+    // Each masked string is scanned once for domain membership; in-domain
+    // strings (the protocol's own output always is) take the broadcast
+    // subtract kernel, anything else the scalar masker.
+    let in_domain: Vec<bool> = masked_initiator
+        .iter()
+        .map(|s| s.iter().all(|&c| c < alphabet_size))
+        .collect();
+    let mut ccms = Vec::with_capacity(own_strings.len() * masked_initiator.len());
+    for t in own_strings {
+        for (s_masked, &fast) in masked_initiator.iter().zip(&in_domain) {
+            let cols = s_masked.len();
+            let mut cells = vec![0u32; t.len() * cols];
+            if fast && cols > 0 {
+                for (&tq, row) in t.iter().zip(cells.chunks_exact_mut(cols)) {
+                    let addend = alphabet_size - (tq % alphabet_size);
+                    kernels::alpha_mod_add_broadcast(s_masked, addend, alphabet_size, row);
+                }
+            } else if cols > 0 {
+                for (&tq, row) in t.iter().zip(cells.chunks_exact_mut(cols)) {
+                    for (o, &sp) in row.iter_mut().zip(s_masked) {
+                        *o = masker.subtract(sp, tq);
+                    }
+                }
+            }
+            ccms.push(MaskedCcm {
+                responder_len: t.len(),
+                initiator_len: cols,
+                cells,
+            });
+        }
+    }
+    Ok(MaskedCcmBundle {
+        responder_count: own_strings.len(),
+        initiator_count: masked_initiator.len(),
+        ccms,
+    })
+}
+
+/// Scalar oracle for [`responder_build_bundle`].
+pub fn responder_build_bundle_scalar(
     masked_initiator: &[Vec<u32>],
     own_strings: &[Vec<u32>],
     alphabet_size: u32,
@@ -123,6 +238,29 @@ pub fn third_party_edit_distances(
     seed_jt: &Seed,
     algorithm: RngAlgorithm,
 ) -> Result<PairwiseBlock<u32>, CoreError> {
+    // Every CCM row is decoded against the same offset sequence — the
+    // stream is re-initialised per row (Figure 10, step 5) and again per
+    // matrix — so the whole bundle consumes one shared offset prefix. Draw
+    // the longest prefix once instead of regenerating it for every row of
+    // every matrix: the unmasking below is value-identical while the cipher
+    // work drops from Σ rows·cols draws to max(cols).
+    let max_cols = bundle
+        .ccms
+        .iter()
+        .map(|c| c.initiator_len)
+        .max()
+        .unwrap_or(0);
+    let offsets = offset_prefix(max_cols, alphabet_size, seed_jt, algorithm);
+    third_party_edit_distances_with_offsets(bundle, alphabet_size, &offsets)
+}
+
+/// [`third_party_edit_distances`] over an already-derived offset prefix
+/// (the cacheable form). `offsets` must cover the widest matrix.
+pub fn third_party_edit_distances_with_offsets(
+    bundle: &MaskedCcmBundle,
+    alphabet_size: u32,
+    offsets: &[u32],
+) -> Result<PairwiseBlock<u32>, CoreError> {
     let masker = AlphabetMasker::new(alphabet_size)?;
     if bundle.ccms.len() != bundle.responder_count * bundle.initiator_count {
         return Err(CoreError::Protocol(format!(
@@ -131,12 +269,81 @@ pub fn third_party_edit_distances(
             bundle.responder_count * bundle.initiator_count
         )));
     }
-    // Every CCM row is decoded against the same offset sequence — the
-    // stream is re-initialised per row (Figure 10, step 5) and again per
-    // matrix — so the whole bundle consumes one shared offset prefix. Draw
-    // the longest prefix once instead of regenerating it for every row of
-    // every matrix: the unmasking below is value-identical while the cipher
-    // work drops from Σ rows·cols draws to max(cols).
+    let max_cols = bundle
+        .ccms
+        .iter()
+        .map(|c| c.initiator_len)
+        .max()
+        .unwrap_or(0);
+    if offsets.len() < max_cols {
+        return Err(CoreError::Protocol(format!(
+            "offset prefix of {} covers matrices up to {max_cols} columns",
+            offsets.len()
+        )));
+    }
+    // `d mod |A| = 0 ⇔ d = |A|` needs the inverse offsets in [1, |A|]; see
+    // the mismatch kernel's contract.
+    let inverse: Vec<u32> = offsets[..max_cols]
+        .iter()
+        .map(|&o| alphabet_size - (o % alphabet_size))
+        .collect();
+    let mut distances = Vec::with_capacity(bundle.ccms.len());
+    for masked in &bundle.ccms {
+        if masked.cells.len() != masked.responder_len * masked.initiator_len {
+            return Err(CoreError::Protocol(
+                "masked CCM cell count does not match its dimensions".into(),
+            ));
+        }
+        let cols = masked.initiator_len;
+        let mut mismatch = vec![false; masked.cells.len()];
+        if cols > 0 {
+            if masked.cells.iter().all(|&c| c < alphabet_size) {
+                for (row, out_row) in masked
+                    .cells
+                    .chunks_exact(cols)
+                    .zip(mismatch.chunks_exact_mut(cols))
+                {
+                    kernels::alpha_mismatch_row(row, &inverse[..cols], alphabet_size, out_row);
+                }
+            } else {
+                // Off-domain cells from the wire: scalar modular unmasking.
+                for (row, out_row) in masked
+                    .cells
+                    .chunks_exact(cols)
+                    .zip(mismatch.chunks_exact_mut(cols))
+                {
+                    for (o, (&cell, &offset)) in out_row.iter_mut().zip(row.iter().zip(offsets)) {
+                        *o = !masker.is_match(cell, offset);
+                    }
+                }
+            }
+        }
+        // CCM convention: source = DH_K's string (rows), target = DH_J's.
+        let ccm = CharacterComparisonMatrix::from_mismatches(
+            masked.responder_len,
+            masked.initiator_len,
+            mismatch,
+        )?;
+        distances.push(edit_distance_from_ccm(&ccm));
+    }
+    PairwiseBlock::new(bundle.responder_count, bundle.initiator_count, distances)
+}
+
+/// Scalar oracle for [`third_party_edit_distances`].
+pub fn third_party_edit_distances_scalar(
+    bundle: &MaskedCcmBundle,
+    alphabet_size: u32,
+    seed_jt: &Seed,
+    algorithm: RngAlgorithm,
+) -> Result<PairwiseBlock<u32>, CoreError> {
+    let masker = AlphabetMasker::new(alphabet_size)?;
+    if bundle.ccms.len() != bundle.responder_count * bundle.initiator_count {
+        return Err(CoreError::Protocol(format!(
+            "bundle holds {} matrices, expected {}",
+            bundle.ccms.len(),
+            bundle.responder_count * bundle.initiator_count
+        )));
+    }
     let mut rng_jt = DynStreamRng::new(algorithm, seed_jt);
     let max_cols = bundle
         .ccms
@@ -161,7 +368,6 @@ pub fn third_party_edit_distances(
                 mismatch.push(!masker.is_match(cell, offset));
             }
         }
-        // CCM convention: source = DH_K's string (rows), target = DH_J's.
         let ccm = CharacterComparisonMatrix::from_mismatches(
             masked.responder_len,
             masked.initiator_len,
@@ -236,6 +442,114 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn kernel_pipeline_matches_scalar_oracles() {
+        let alphabet = Alphabet::lowercase();
+        let j = ["privacy", "preserving", "", "x", "clustering"];
+        let k = ["pres", "clustered", ""];
+        let j_encoded: Vec<Vec<u32>> = j.iter().map(|s| alphabet.encode(s).unwrap()).collect();
+        let k_encoded: Vec<Vec<u32>> = k.iter().map(|s| alphabet.encode(s).unwrap()).collect();
+        for algorithm in [RngAlgorithm::ChaCha20, RngAlgorithm::SplitMix64] {
+            let seeds = seeds();
+            let masked =
+                initiator_mask_strings(&j_encoded, alphabet.size(), &seeds, algorithm).unwrap();
+            assert_eq!(
+                masked,
+                initiator_mask_strings_scalar(&j_encoded, alphabet.size(), &seeds, algorithm)
+                    .unwrap()
+            );
+            let bundle = responder_build_bundle(&masked, &k_encoded, alphabet.size()).unwrap();
+            assert_eq!(
+                bundle,
+                responder_build_bundle_scalar(&masked, &k_encoded, alphabet.size()).unwrap()
+            );
+            let distances = third_party_edit_distances(
+                &bundle,
+                alphabet.size(),
+                &seeds.holder_third_party,
+                algorithm,
+            )
+            .unwrap();
+            assert_eq!(
+                distances,
+                third_party_edit_distances_scalar(
+                    &bundle,
+                    alphabet.size(),
+                    &seeds.holder_third_party,
+                    algorithm,
+                )
+                .unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cached_offset_form_matches_fresh_derivation() {
+        let alphabet = Alphabet::dna();
+        let seeds = seeds();
+        let algorithm = RngAlgorithm::ChaCha20;
+        let encoded = vec![
+            alphabet.encode("gattaca").unwrap(),
+            alphabet.encode("acgt").unwrap(),
+        ];
+        // An over-long cached prefix serves any request at or below its
+        // length.
+        let offsets = offset_prefix(32, alphabet.size(), &seeds.holder_third_party, algorithm);
+        let masked =
+            initiator_mask_strings_with_offsets(&encoded, alphabet.size(), &offsets).unwrap();
+        assert_eq!(
+            masked,
+            initiator_mask_strings(&encoded, alphabet.size(), &seeds, algorithm).unwrap()
+        );
+        let bundle = responder_build_bundle(
+            &masked,
+            &[alphabet.encode("catcat").unwrap()],
+            alphabet.size(),
+        )
+        .unwrap();
+        assert_eq!(
+            third_party_edit_distances_with_offsets(&bundle, alphabet.size(), &offsets).unwrap(),
+            third_party_edit_distances(
+                &bundle,
+                alphabet.size(),
+                &seeds.holder_third_party,
+                algorithm,
+            )
+            .unwrap()
+        );
+        // A prefix shorter than the longest string is rejected.
+        assert!(
+            initiator_mask_strings_with_offsets(&encoded, alphabet.size(), &offsets[..3]).is_err()
+        );
+        assert!(
+            third_party_edit_distances_with_offsets(&bundle, alphabet.size(), &offsets[..3])
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn off_domain_cells_fall_back_to_scalar_semantics() {
+        // Cells ≥ |A| can only come from a nonconforming peer; the kernelized
+        // path must still agree with the scalar oracle on them.
+        let seeds = seeds();
+        let algorithm = RngAlgorithm::ChaCha20;
+        let bundle = MaskedCcmBundle {
+            responder_count: 1,
+            initiator_count: 1,
+            ccms: vec![MaskedCcm {
+                responder_len: 2,
+                initiator_len: 2,
+                cells: vec![0, 9, 3, 2], // 9 ≥ |A| = 4
+            }],
+        };
+        let fast =
+            third_party_edit_distances(&bundle, 4, &seeds.holder_third_party, algorithm).unwrap();
+        let slow =
+            third_party_edit_distances_scalar(&bundle, 4, &seeds.holder_third_party, algorithm)
+                .unwrap();
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Cross-session derivation cache for raw RNG stream prefixes.
+//!
+//! Every session re-derives the same per-row randomness prefixes — the
+//! responder's negation parities, the third party's additive masks, the
+//! alphanumeric offset sequence — from the same `(master seed, schema
+//! attribute, holder pair)` inputs: the seed-derivation chain in
+//! [`party`](crate::protocol::party) turns those inputs into one labelled
+//! 32-byte [`Seed`] per stream, so the derived seed (plus the
+//! [`RngAlgorithm`]) *is* the schema fingerprint. This cache memoises the
+//! leading raw `u64` outputs of each `(seed, algorithm)` stream, which is
+//! the single cacheable unit behind every derived prefix (see
+//! [`ppc_crypto::raw_u64_prefix`]); sessions sharing a schema then pay the
+//! stream-cipher cost once instead of once per session.
+//!
+//! ## Invariant: a pure memo
+//!
+//! A cache hit returns *exactly* the bytes a fresh derivation would
+//! produce — nothing observable changes: not the protocol messages, not
+//! the golden trace, not the clustering output. This is property-tested in
+//! this module and in `tests/` against fresh derivation for every
+//! algorithm. Categorical attributes have no replayed RNG prefix (their
+//! tags are a PRF of the data itself), so there is deliberately nothing to
+//! cache for them.
+//!
+//! The cache is shared by cloning ([`DerivationCache`] is a handle) and is
+//! thread-safe: `ShardedEngine` hands one handle to every shard worker.
+//! Entries are evicted least-recently-used once the byte budget fills, so
+//! long-running multi-schema deployments stay bounded.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ppc_crypto::{raw_u64_prefix, RngAlgorithm, Seed};
+
+/// Default byte budget (≈ 8 MiB of cached `u64`s) — hundreds of
+/// thousand-column attribute prefixes before anything is evicted.
+pub const DEFAULT_MAX_BYTES: usize = 8 << 20;
+
+/// Hit/miss counters of a [`DerivationCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DerivationCacheStats {
+    /// Requests answered from a cached prefix.
+    pub hits: u64,
+    /// Requests that had to derive (absent key, or cached prefix shorter
+    /// than requested).
+    pub misses: u64,
+    /// Entries dropped to stay under the byte budget.
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Bytes held by live entries' prefixes.
+    pub bytes: usize,
+}
+
+impl DerivationCacheStats {
+    /// Fraction of requests served from cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    prefix: Arc<Vec<u64>>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<([u8; 32], RngAlgorithm), Entry>,
+    tick: u64,
+    bytes: usize,
+    max_bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A shared, size-bounded memo of raw RNG stream prefixes keyed by
+/// `(derived seed, algorithm)`.
+///
+/// Cloning yields another handle to the same cache; all methods take
+/// `&self` and are safe to call from many threads.
+#[derive(Clone)]
+pub struct DerivationCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl std::fmt::Debug for DerivationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("DerivationCache")
+            .field("entries", &stats.entries)
+            .field("bytes", &stats.bytes)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl Default for DerivationCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DerivationCache {
+    /// Creates a cache with the default byte budget.
+    pub fn new() -> Self {
+        Self::with_max_bytes(DEFAULT_MAX_BYTES)
+    }
+
+    /// Creates a cache bounded to `max_bytes` of prefix storage.
+    pub fn with_max_bytes(max_bytes: usize) -> Self {
+        DerivationCache {
+            inner: Arc::new(Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                bytes: 0,
+                max_bytes,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            })),
+        }
+    }
+
+    /// Returns at least the first `len` raw `u64` draws of the
+    /// `(algorithm, seed)` stream, from cache when possible.
+    ///
+    /// The returned prefix may be longer than `len` (it is whatever the
+    /// cache holds for that stream); callers slice `[..len]`. The values
+    /// are bit-identical to a fresh [`raw_u64_prefix`] derivation — the
+    /// cache is a pure memo.
+    pub fn raw_prefix(&self, algorithm: RngAlgorithm, seed: &Seed, len: usize) -> Arc<Vec<u64>> {
+        let key = (seed.0, algorithm);
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let cached = inner.map.get_mut(&key).and_then(|entry| {
+                (entry.prefix.len() >= len).then(|| {
+                    entry.last_used = tick;
+                    Arc::clone(&entry.prefix)
+                })
+            });
+            if let Some(prefix) = cached {
+                inner.hits += 1;
+                return prefix;
+            }
+            inner.misses += 1;
+        }
+        // Derive outside the lock so a miss never stalls other shards'
+        // hits. A concurrent miss on the same key derives the same bytes;
+        // whichever insert lands second simply replaces an equal or shorter
+        // prefix.
+        let prefix = Arc::new(raw_u64_prefix(algorithm, seed, len));
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let new_bytes = prefix.len() * 8;
+        match inner.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                if slot.get().prefix.len() < prefix.len() {
+                    let old_bytes = slot.get().prefix.len() * 8;
+                    slot.insert(Entry {
+                        prefix: Arc::clone(&prefix),
+                        last_used: tick,
+                    });
+                    inner.bytes = inner.bytes - old_bytes + new_bytes;
+                } else {
+                    slot.get_mut().last_used = tick;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Entry {
+                    prefix: Arc::clone(&prefix),
+                    last_used: tick,
+                });
+                inner.bytes += new_bytes;
+            }
+        }
+        // LRU eviction: drop the stalest entries (never the one just
+        // touched) until the budget holds again.
+        while inner.bytes > inner.max_bytes && inner.map.len() > 1 {
+            let stalest = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match stalest {
+                Some(k) => {
+                    if let Some(dropped) = inner.map.remove(&k) {
+                        inner.bytes -= dropped.prefix.len() * 8;
+                        inner.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        prefix
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> DerivationCacheStats {
+        let inner = self.lock();
+        DerivationCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // Cache state is a memo of pure derivations; a panic mid-update
+        // cannot corrupt values, so poisoning is safe to clear.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALGS: [RngAlgorithm; 3] = [
+        RngAlgorithm::ChaCha20,
+        RngAlgorithm::Xoshiro256PlusPlus,
+        RngAlgorithm::SplitMix64,
+    ];
+
+    #[test]
+    fn hit_returns_bit_identical_prefix() {
+        let cache = DerivationCache::new();
+        for alg in ALGS {
+            let seed = Seed::from_u64(77).derive("jk/age");
+            let first = cache.raw_prefix(alg, &seed, 20);
+            let second = cache.raw_prefix(alg, &seed, 20);
+            assert_eq!(first, second);
+            assert_eq!(&first[..20], &raw_u64_prefix(alg, &seed, 20)[..]);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn shorter_requests_hit_longer_entries() {
+        let cache = DerivationCache::new();
+        let seed = Seed::from_u64(9);
+        let long = cache.raw_prefix(RngAlgorithm::ChaCha20, &seed, 64);
+        let short = cache.raw_prefix(RngAlgorithm::ChaCha20, &seed, 10);
+        assert!(short.len() >= 10);
+        assert_eq!(&short[..10], &long[..10]);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn longer_requests_rederive_and_grow_the_entry() {
+        let cache = DerivationCache::new();
+        let seed = Seed::from_u64(5);
+        let short = cache.raw_prefix(RngAlgorithm::SplitMix64, &seed, 8);
+        let long = cache.raw_prefix(RngAlgorithm::SplitMix64, &seed, 32);
+        assert_eq!(&long[..8], &short[..8]);
+        assert_eq!(cache.stats().misses, 2);
+        // The grown entry now serves the long request from cache.
+        let again = cache.raw_prefix(RngAlgorithm::SplitMix64, &seed, 32);
+        assert_eq!(again, long);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn algorithms_do_not_share_entries() {
+        let cache = DerivationCache::new();
+        let seed = Seed::from_u64(1);
+        let a = cache.raw_prefix(RngAlgorithm::ChaCha20, &seed, 4);
+        let b = cache.raw_prefix(RngAlgorithm::Xoshiro256PlusPlus, &seed, 4);
+        assert_ne!(a, b);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        // Budget of 4 entries' worth; the 5th insert evicts the stalest.
+        let cache = DerivationCache::with_max_bytes(4 * 16 * 8);
+        for i in 0..5u64 {
+            cache.raw_prefix(RngAlgorithm::SplitMix64, &Seed::from_u64(i), 16);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 4);
+        assert!(stats.bytes <= 4 * 16 * 8);
+        // Seed 0 was the least recently used; re-requesting it misses.
+        cache.raw_prefix(RngAlgorithm::SplitMix64, &Seed::from_u64(0), 16);
+        assert_eq!(cache.stats().misses, 6);
+        // Seed 4 is still resident.
+        cache.raw_prefix(RngAlgorithm::SplitMix64, &Seed::from_u64(4), 16);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let cache = DerivationCache::new();
+        let seed = Seed::from_u64(42);
+        let expected = raw_u64_prefix(RngAlgorithm::ChaCha20, &seed, 33);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = cache.clone();
+                let expected = &expected;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let got = handle.raw_prefix(RngAlgorithm::ChaCha20, &seed, 33);
+                        assert_eq!(&got[..33], &expected[..]);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert!(stats.hits >= 28, "expected mostly hits, got {stats:?}");
+        assert_eq!(stats.entries, 1);
+    }
+}

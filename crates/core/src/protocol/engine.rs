@@ -25,8 +25,9 @@ use ppc_net::{Envelope, PartyId, Transport};
 
 use crate::dissimilarity::DissimilarityMatrix;
 use crate::error::CoreError;
+use crate::protocol::derive_cache::{DerivationCache, DerivationCacheStats};
 use crate::protocol::driver::ClusteringRequest;
-use crate::protocol::machines::{HolderMachine, SessionContext, ThirdPartyMachine};
+use crate::protocol::machines::{ComputeStats, HolderMachine, SessionContext, ThirdPartyMachine};
 use crate::protocol::party::{DataHolder, ThirdPartyKeys};
 use crate::protocol::ProtocolConfig;
 use crate::result::ClusteringResult;
@@ -62,6 +63,10 @@ pub struct SessionStats {
     /// ever buffered in a single message (the quantity the chunk window
     /// bounds).
     pub peak_buffered_rows: usize,
+    /// Compute-phase wall time summed over every party machine this
+    /// runtime drove: randomness derivation, fold/unmask kernels, and the
+    /// third party's matrix merge.
+    pub compute: ComputeStats,
 }
 
 /// A completed session's published outcome.
@@ -130,8 +135,13 @@ impl PartyRuntime {
     }
 
     /// Instantiates *every* party machine for `spec` (the single-process
-    /// path), topic-prefixing every envelope with `prefix`.
-    pub(crate) fn build(spec: &SessionSpec, prefix: String) -> Result<Self, CoreError> {
+    /// path), topic-prefixing every envelope with `prefix`. All machines
+    /// share `cache` (if any) for their randomness-prefix derivations.
+    pub(crate) fn build(
+        spec: &SessionSpec,
+        prefix: String,
+        cache: Option<DerivationCache>,
+    ) -> Result<Self, CoreError> {
         if spec.holders.len() < 2 {
             return Err(CoreError::Protocol(
                 "the protocol requires at least two data holders".into(),
@@ -146,6 +156,7 @@ impl PartyRuntime {
             chunk_rows: spec.chunk_rows,
             topic_prefix: prefix.clone(),
             retain_attributes: false,
+            cache,
         };
         let tp = ThirdPartyMachine::new(ctx.clone(), spec.keys.clone(), &site_sizes)?;
         let holders = spec
@@ -225,7 +236,8 @@ impl PartyRuntime {
         })
     }
 
-    /// Stats with peak buffering rolled in from every owned machine.
+    /// Stats with peak buffering and compute time rolled in from every
+    /// owned machine.
     pub(crate) fn final_stats(&self) -> SessionStats {
         let mut stats = self.stats;
         stats.peak_buffered_rows = self
@@ -240,6 +252,12 @@ impl PartyRuntime {
                     .map(ThirdPartyMachine::peak_buffered_rows)
                     .unwrap_or(0),
             );
+        for machine in &self.holders {
+            stats.compute.absorb(&machine.compute_stats());
+        }
+        if let Some(tp) = &self.tp {
+            stats.compute.absorb(&tp.compute_stats());
+        }
         stats
     }
 
@@ -279,6 +297,10 @@ pub struct SessionEngine<T: Transport> {
     /// delivers nor emits anything while sessions are unfinished aborts
     /// the run instead of spinning.
     max_idle_rounds: u32,
+    /// Shared across all sessions of this engine so same-schema sessions
+    /// derive each randomness prefix once. `None` disables memoisation
+    /// (benchmark baseline); outputs are identical either way.
+    cache: Option<DerivationCache>,
 }
 
 impl<T: Transport> SessionEngine<T> {
@@ -288,12 +310,26 @@ impl<T: Transport> SessionEngine<T> {
             transport,
             specs: Vec::new(),
             max_idle_rounds: 2,
+            cache: Some(DerivationCache::new()),
         }
     }
 
     /// The underlying transport.
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+
+    /// Replaces the shared derivation cache (`None` disables memoisation —
+    /// every session then derives every prefix fresh, the benchmark
+    /// baseline). Pass a clone of another engine's cache to share entries
+    /// across engines.
+    pub fn set_derivation_cache(&mut self, cache: Option<DerivationCache>) {
+        self.cache = cache;
+    }
+
+    /// Hit/miss counters of the shared derivation cache, if one is set.
+    pub fn derivation_cache_stats(&self) -> Option<DerivationCacheStats> {
+        self.cache.as_ref().map(DerivationCache::stats)
     }
 
     /// Queues a session, returning its id (also its topic prefix index).
@@ -323,7 +359,7 @@ impl<T: Transport> SessionEngine<T> {
             } else {
                 String::new()
             };
-            sessions.push(PartyRuntime::build(spec, prefix)?);
+            sessions.push(PartyRuntime::build(spec, prefix, self.cache.clone())?);
         }
         // Every party that appears in any session; the engine drains each
         // of their transport mailboxes every round.
@@ -456,7 +492,7 @@ mod tests {
     /// the first envelope whose topic starts with `replay_topic`. Returns
     /// the error the replay must provoke.
     fn run_with_replay(replay_topic: &str) -> CoreError {
-        let mut runtime = PartyRuntime::build(&spec(77, None), String::new()).unwrap();
+        let mut runtime = PartyRuntime::build(&spec(77, None), String::new(), None).unwrap();
         let mut injected = false;
         for _ in 0..10_000 {
             let turn = match runtime.turn() {
@@ -502,7 +538,7 @@ mod tests {
     /// completion gate for a pair that never ran.
     #[test]
     fn transposed_pair_tags_are_rejected() {
-        let mut runtime = PartyRuntime::build(&spec(77, None), String::new()).unwrap();
+        let mut runtime = PartyRuntime::build(&spec(77, None), String::new(), None).unwrap();
         for _ in 0..10_000 {
             let turn = runtime.turn().unwrap();
             for envelope in turn.outgoing {
@@ -593,6 +629,62 @@ mod tests {
             assert_eq!(outcome.result.clusters, reference.clusters, "seed {seed}");
             assert!(outcome.stats.peak_buffered_rows <= 2, "seed {seed}");
         }
+    }
+
+    /// The derivation cache is a pure memo: an engine with the cache
+    /// disabled must publish the same clusters and (bit-identical) final
+    /// matrices as the default cached engine, for the same workload.
+    #[test]
+    fn cached_engine_is_bit_identical_to_uncached() {
+        // Same master seed across sessions: identical derived seeds, so the
+        // cache actually gets exercised (hits, not just misses).
+        let run = |cache: Option<DerivationCache>| {
+            let mut engine = SessionEngine::new(Network::with_parties(3));
+            engine.set_derivation_cache(cache);
+            for _ in 0..3 {
+                engine.add_session(spec(77, Some(2)));
+            }
+            engine.run().unwrap()
+        };
+        let cached = run(Some(DerivationCache::new()));
+        let uncached = run(None);
+        assert_eq!(cached.len(), uncached.len());
+        for (a, b) in cached.iter().zip(&uncached) {
+            assert_eq!(a.result.clusters, b.result.clusters);
+            let identical = a
+                .final_matrix
+                .matrix()
+                .condensed_values()
+                .iter()
+                .zip(b.final_matrix.matrix().condensed_values())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(identical, "cache changed the merged matrix");
+        }
+    }
+
+    #[test]
+    fn same_schema_sessions_hit_the_shared_cache() {
+        let mut engine = SessionEngine::new(Network::with_parties(3));
+        for _ in 0..4 {
+            engine.add_session(spec(77, None));
+        }
+        engine.run().unwrap();
+        let stats = engine.derivation_cache_stats().expect("default cache");
+        assert!(stats.hits > 0, "expected cache hits, got {stats:?}");
+        // Sessions 2..4 replay session 1's derivations: at least three
+        // quarters of requests must be hits.
+        assert!(
+            stats.hit_rate() >= 0.70,
+            "hit rate {:.2} too low: {stats:?}",
+            stats.hit_rate()
+        );
+        // Compute-phase timers actually accumulated.
+        let outcomes = {
+            let mut engine = SessionEngine::new(Network::with_parties(3));
+            engine.add_session(spec(77, None));
+            engine.run().unwrap()
+        };
+        assert!(outcomes[0].stats.compute.fold_unmask_nanos > 0);
     }
 
     #[test]

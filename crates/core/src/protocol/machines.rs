@@ -23,16 +23,19 @@
 //! rows of any cross-site block.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
 
 use ppc_cluster::{CondensedDistanceMatrix, MergeAccumulator};
 use ppc_crypto::det::Tag128;
 use ppc_crypto::prng::DynStreamRng;
-use ppc_crypto::Negator;
+use ppc_crypto::{negators_from_raw, offsets_from_raw, raw_u64_prefix, Negator, Seed};
 use ppc_net::{Envelope, PartyId};
 
 use crate::dissimilarity::{AttributeDissimilarity, DissimilarityMatrix, ObjectIndex};
 use crate::error::CoreError;
 use crate::pairwise::PairwiseBlock;
+use crate::protocol::derive_cache::DerivationCache;
 use crate::protocol::driver::{ClusteringRequest, ConstructionOutput, ThirdPartyDriver};
 use crate::protocol::messages::{
     CcmBundleMsg, CcmChunkMsg, ClusteringChoiceMsg, EncryptedColumnMsg, LocalMatrixMsg,
@@ -64,6 +67,12 @@ pub struct SessionContext {
     /// session outcome exposes them) or folds each completed attribute into
     /// the final accumulator and drops it (bounded memory).
     pub retain_attributes: bool,
+    /// Shared derivation cache for raw RNG stream prefixes. `None` (the
+    /// oracle configuration) derives every prefix fresh; `Some` memoises
+    /// them across sessions that share a schema. Either way the bytes are
+    /// identical — the cache is a pure memo (see
+    /// [`derive_cache`](crate::protocol::derive_cache)).
+    pub cache: Option<DerivationCache>,
 }
 
 impl SessionContext {
@@ -76,6 +85,7 @@ impl SessionContext {
             chunk_rows: None,
             topic_prefix: String::new(),
             retain_attributes: true,
+            cache: None,
         }
     }
 
@@ -85,6 +95,43 @@ impl SessionContext {
 
     fn topic(&self, base: &str) -> String {
         format!("{}{base}", self.topic_prefix)
+    }
+
+    /// At least the first `len` raw `u64` draws of the configured RNG's
+    /// stream under `seed` — served from the derivation cache when this
+    /// session has one, freshly derived otherwise. Callers slice `[..len]`.
+    fn raw_prefix(&self, seed: &Seed, len: usize) -> Arc<Vec<u64>> {
+        match &self.cache {
+            Some(cache) => cache.raw_prefix(self.config.rng_algorithm, seed, len),
+            None => Arc::new(raw_u64_prefix(self.config.rng_algorithm, seed, len)),
+        }
+    }
+}
+
+/// Wall-time breakdown of one machine's protocol compute, in nanoseconds.
+///
+/// The engines sum these across machines into their session stats so
+/// benchmark reports can separate randomness derivation (what the
+/// [`DerivationCache`] elides) from the mask/fold/unmask kernels and the
+/// third party's matrix merging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComputeStats {
+    /// Producing randomness prefixes: negator parities, additive masks,
+    /// alphabet offsets (cache-aware — hits cost almost nothing).
+    pub derive_nanos: u64,
+    /// Mask / fold / unmask kernels and CCM edit-distance evaluation.
+    pub fold_unmask_nanos: u64,
+    /// Folding completed attribute matrices into the merge accumulator and
+    /// finishing the merged matrix (third party only).
+    pub merge_nanos: u64,
+}
+
+impl ComputeStats {
+    /// Element-wise accumulate.
+    pub fn absorb(&mut self, other: &ComputeStats) {
+        self.derive_nanos += other.derive_nanos;
+        self.fold_unmask_nanos += other.fold_unmask_nanos;
+        self.merge_nanos += other.merge_nanos;
     }
 }
 
@@ -222,6 +269,7 @@ pub struct HolderMachine {
     published: Option<PublishedResultMsg>,
     done: bool,
     peak_rows: usize,
+    compute: ComputeStats,
 }
 
 impl HolderMachine {
@@ -266,6 +314,7 @@ impl HolderMachine {
             published: None,
             done: false,
             peak_rows: 0,
+            compute: ComputeStats::default(),
         })
     }
 
@@ -289,6 +338,11 @@ impl HolderMachine {
     /// message buffer.
     pub fn peak_buffered_rows(&self) -> usize {
         self.peak_rows
+    }
+
+    /// Wall-time breakdown of this holder's protocol compute so far.
+    pub fn compute_stats(&self) -> ComputeStats {
+        self.compute
     }
 
     fn note_rows(&mut self, rows: usize) {
@@ -425,16 +479,33 @@ impl HolderMachine {
                     (mode, _) => {
                         let block = match mode {
                             NumericMode::Batch => {
-                                let masked = numeric::initiator_mask(&values, &seeds, algorithm);
-                                let cols = masked.len();
-                                PairwiseBlock::new(1, cols, masked)?
+                                let n = values.len();
+                                let started = Instant::now();
+                                let raw_jk = self.ctx.raw_prefix(&seeds.holder_holder, n);
+                                let raw_jt = self.ctx.raw_prefix(&seeds.holder_third_party, n);
+                                self.compute.derive_nanos += started.elapsed().as_nanos() as u64;
+                                let started = Instant::now();
+                                let masked = numeric::initiator_mask_with_prefixes(
+                                    &values,
+                                    &raw_jk[..n],
+                                    &raw_jt[..n],
+                                );
+                                self.compute.fold_unmask_nanos +=
+                                    started.elapsed().as_nanos() as u64;
+                                PairwiseBlock::new(1, n, masked)?
                             }
-                            NumericMode::PerPair => numeric::initiator_mask_per_pair(
-                                &values,
-                                self.site_len(responder)?,
-                                &seeds,
-                                algorithm,
-                            ),
+                            NumericMode::PerPair => {
+                                let started = Instant::now();
+                                let block = numeric::initiator_mask_per_pair(
+                                    &values,
+                                    self.site_len(responder)?,
+                                    &seeds,
+                                    algorithm,
+                                );
+                                self.compute.fold_unmask_nanos +=
+                                    started.elapsed().as_nanos() as u64;
+                                block
+                            }
                         };
                         self.note_rows(block.rows());
                         let msg = MaskedNumericMsg {
@@ -453,7 +524,6 @@ impl HolderMachine {
             }
             AttributeKind::Alphanumeric => {
                 let alphabet = descriptor.require_alphabet()?.clone();
-                let algorithm = self.ctx.config.rng_algorithm;
                 let encoded: Vec<Vec<u32>> = self
                     .holder
                     .partition()
@@ -463,12 +533,18 @@ impl HolderMachine {
                     .map(|s| alphabet.encode(s))
                     .collect::<Result<_, _>>()?;
                 let seeds = self.holder.pairwise_seeds(responder, &name)?;
-                let masked = alphanumeric::initiator_mask_strings(
+                let max_len = encoded.iter().map(Vec::len).max().unwrap_or(0);
+                let started = Instant::now();
+                let raw = self.ctx.raw_prefix(&seeds.holder_third_party, max_len);
+                let offsets = offsets_from_raw(&raw[..max_len], alphabet.size());
+                self.compute.derive_nanos += started.elapsed().as_nanos() as u64;
+                let started = Instant::now();
+                let masked = alphanumeric::initiator_mask_strings_with_offsets(
                     &encoded,
                     alphabet.size(),
-                    &seeds,
-                    algorithm,
+                    &offsets,
                 )?;
+                self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
                 let msg = MaskedStringsMsg {
                     attribute: name.clone(),
                     strings: masked,
@@ -511,11 +587,13 @@ impl HolderMachine {
             } => {
                 let total = own.len();
                 let rows = window.min(total - *next_row);
+                let started = Instant::now();
                 let values = numeric::responder_fold_window(
                     masked,
                     &own[*next_row..*next_row + rows],
                     negators,
                 );
+                self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
                 let msg = PairwiseChunkMsg {
                     attribute: attribute.clone(),
                     start_row: *next_row as u32,
@@ -541,11 +619,13 @@ impl HolderMachine {
             } => {
                 let total = own.len();
                 let rows = window.min(total - *next_row);
+                let started = Instant::now();
                 let bundle = alphanumeric::responder_build_bundle(
                     masked,
                     &own[*next_row..*next_row + rows],
                     *alphabet_size,
                 )?;
+                self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
                 let msg = CcmChunkMsg {
                     attribute: attribute.clone(),
                     start_row: *next_row as u32,
@@ -572,7 +652,9 @@ impl HolderMachine {
                 total_rows,
             } => {
                 let rows = window.min(*total_rows - *next_row);
+                let started = Instant::now();
                 let chunk = numeric::initiator_mask_per_pair_window(values, rows, rng_jk, rng_jt);
+                self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
                 let msg = PairwiseChunkMsg {
                     attribute: attribute.clone(),
                     start_row: *next_row as u32,
@@ -663,11 +745,11 @@ impl HolderMachine {
             (NumericMode::Batch, Some(_)) => {
                 // Chunked batch response: keep the masked vector and fold
                 // own rows window by window.
-                let negators = numeric::responder_negator_prefix(
-                    masked.block.cols(),
-                    &responder_seed,
-                    algorithm,
-                );
+                let cols = masked.block.cols();
+                let started = Instant::now();
+                let raw = self.ctx.raw_prefix(&responder_seed, cols);
+                let negators = negators_from_raw(&raw[..cols]);
+                self.compute.derive_nanos += started.elapsed().as_nanos() as u64;
                 let topic = self.ctx.topic(&format!(
                     "numeric/{name}/{}/pairwise-chunk",
                     pair_tag(initiator, self.holder.site())
@@ -685,18 +767,29 @@ impl HolderMachine {
             }
             (mode, _) => {
                 let block = match mode {
-                    NumericMode::Batch => numeric::responder_fold(
-                        masked.block.values(),
-                        &own,
-                        &responder_seed,
-                        algorithm,
-                    ),
-                    NumericMode::PerPair => numeric::responder_fold_per_pair(
-                        &masked.block,
-                        &own,
-                        &responder_seed,
-                        algorithm,
-                    )?,
+                    NumericMode::Batch => {
+                        let cols = masked.block.values().len();
+                        let started = Instant::now();
+                        let raw = self.ctx.raw_prefix(&responder_seed, cols);
+                        let negators = negators_from_raw(&raw[..cols]);
+                        self.compute.derive_nanos += started.elapsed().as_nanos() as u64;
+                        let started = Instant::now();
+                        let values =
+                            numeric::responder_fold_window(masked.block.values(), &own, &negators);
+                        self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
+                        PairwiseBlock::new(own.len(), cols, values)?
+                    }
+                    NumericMode::PerPair => {
+                        let started = Instant::now();
+                        let block = numeric::responder_fold_per_pair(
+                            &masked.block,
+                            &own,
+                            &responder_seed,
+                            algorithm,
+                        )?;
+                        self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
+                        block
+                    }
                 };
                 self.note_rows(block.rows());
                 let msg = PairwiseMatrixMsg {
@@ -767,12 +860,14 @@ impl HolderMachine {
         }
         let rows = chunk.rows();
         let own_window = &state.own[state.rows_done..state.rows_done + rows];
+        let started = Instant::now();
         let folded = numeric::responder_fold_per_pair_window(
             &chunk.values,
             chunk.cols as usize,
             own_window,
             &mut state.rng_jk,
         )?;
+        self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
         state.rows_done += rows;
         let finished = state.rows_done >= state.own.len();
         let total = state.own.len();
@@ -835,7 +930,9 @@ impl HolderMachine {
             let envelope = self.advance_stream()?;
             return Ok(StepOutput::emit(vec![envelope]));
         }
+        let started = Instant::now();
         let bundle = alphanumeric::responder_build_bundle(&masked.strings, &own, alphabet.size())?;
+        self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
         self.note_rows(bundle.responder_count);
         let msg = CcmBundleMsg {
             attribute: name.clone(),
@@ -920,6 +1017,7 @@ pub struct ThirdPartyMachine {
     publish_pending: bool,
     done: bool,
     peak_rows: usize,
+    compute: ComputeStats,
 }
 
 impl ThirdPartyMachine {
@@ -983,6 +1081,7 @@ impl ThirdPartyMachine {
             publish_pending: false,
             done: false,
             peak_rows: 0,
+            compute: ComputeStats::default(),
         })
     }
 
@@ -999,6 +1098,11 @@ impl ThirdPartyMachine {
     /// Largest number of pairwise-block rows ever buffered in one message.
     pub fn peak_buffered_rows(&self) -> usize {
         self.peak_rows
+    }
+
+    /// Wall-time breakdown of this third party's protocol compute so far.
+    pub fn compute_stats(&self) -> ComputeStats {
+        self.compute
     }
 
     /// The clustering outcome, once computed.
@@ -1332,9 +1436,23 @@ impl ThirdPartyMachine {
         }
         let tp_seed = self.keys.seed_for(pair.0, &name)?;
         let distances = match self.ctx.config.numeric_mode {
-            NumericMode::Batch => numeric::third_party_unmask(&pairwise.block, &tp_seed, algorithm),
+            NumericMode::Batch => {
+                let cols = pairwise.block.cols();
+                let started = Instant::now();
+                let masks = self.ctx.raw_prefix(&tp_seed, cols);
+                self.compute.derive_nanos += started.elapsed().as_nanos() as u64;
+                let started = Instant::now();
+                let values =
+                    numeric::third_party_unmask_window(pairwise.block.values(), &masks[..cols]);
+                self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
+                PairwiseBlock::new(pairwise.block.rows(), cols, values)?
+            }
             NumericMode::PerPair => {
-                numeric::third_party_unmask_per_pair(&pairwise.block, &tp_seed, algorithm)
+                let started = Instant::now();
+                let block =
+                    numeric::third_party_unmask_per_pair(&pairwise.block, &tp_seed, algorithm);
+                self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
+                block
             }
         };
         self.note_rows(distances.rows());
@@ -1387,16 +1505,27 @@ impl ThirdPartyMachine {
         }
         let unmasked: Vec<u64> = match mode {
             NumericMode::Batch => {
-                let masks = progress.masks.get_or_insert_with(|| {
-                    numeric::third_party_mask_prefix(chunk.cols as usize, &tp_seed, algorithm)
-                });
-                numeric::third_party_unmask_window(&chunk.values, masks)
+                if progress.masks.is_none() {
+                    let cols = chunk.cols as usize;
+                    let started = Instant::now();
+                    let raw = self.ctx.raw_prefix(&tp_seed, cols);
+                    progress.masks = Some(raw[..cols].to_vec());
+                    self.compute.derive_nanos += started.elapsed().as_nanos() as u64;
+                }
+                let masks = progress.masks.as_ref().expect("just ensured");
+                let started = Instant::now();
+                let unmasked = numeric::third_party_unmask_window(&chunk.values, masks);
+                self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
+                unmasked
             }
             NumericMode::PerPair => {
                 let rng = progress
                     .rng_jt
                     .get_or_insert_with(|| DynStreamRng::new(algorithm, &tp_seed));
-                numeric::third_party_unmask_per_pair_window(&chunk.values, rng)
+                let started = Instant::now();
+                let unmasked = numeric::third_party_unmask_per_pair_window(&chunk.values, rng);
+                self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
+                unmasked
             }
         };
         progress.rows_done += chunk.rows();
@@ -1425,7 +1554,6 @@ impl ThirdPartyMachine {
         let descriptor = self.ctx.schema.attribute_at(attribute)?;
         let name = descriptor.name.clone();
         let alphabet = descriptor.require_alphabet()?.clone();
-        let algorithm = self.ctx.config.rng_algorithm;
         let bundle = CcmBundleMsg::decode(&envelope.payload)?;
         if bundle.bundle.initiator_count != self.pair_rows_expected(pair.0)? {
             return Err(CoreError::Protocol(format!(
@@ -1437,12 +1565,24 @@ impl ThirdPartyMachine {
             )));
         }
         let tp_seed = self.keys.seed_for(pair.0, &name)?;
-        let distances = alphanumeric::third_party_edit_distances(
+        let max_cols = bundle
+            .bundle
+            .ccms
+            .iter()
+            .map(|c| c.initiator_len)
+            .max()
+            .unwrap_or(0);
+        let started = Instant::now();
+        let raw = self.ctx.raw_prefix(&tp_seed, max_cols);
+        let offsets = offsets_from_raw(&raw[..max_cols], alphabet.size());
+        self.compute.derive_nanos += started.elapsed().as_nanos() as u64;
+        let started = Instant::now();
+        let distances = alphanumeric::third_party_edit_distances_with_offsets(
             &bundle.bundle,
             alphabet.size(),
-            &tp_seed,
-            algorithm,
+            &offsets,
         )?;
+        self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
         if distances.rows() != self.pair_rows_expected(pair.1)? {
             return Err(CoreError::Protocol(format!(
                 "CCM bundle for pair {}-{} covers {} responder objects, expected {}",
@@ -1467,7 +1607,6 @@ impl ThirdPartyMachine {
         let descriptor = self.ctx.schema.attribute_at(attribute)?;
         let name = descriptor.name.clone();
         let alphabet = descriptor.require_alphabet()?.clone();
-        let algorithm = self.ctx.config.rng_algorithm;
         let chunk = CcmChunkMsg::decode(&envelope.payload)?;
         let expected_rows = self.pair_rows_expected(pair.1)?;
         if chunk.total_rows as usize != expected_rows {
@@ -1507,12 +1646,23 @@ impl ThirdPartyMachine {
             initiator_count: chunk.initiator_count as usize,
             ccms: chunk.ccms,
         };
-        let distances = alphanumeric::third_party_edit_distances(
+        let max_cols = window
+            .ccms
+            .iter()
+            .map(|c| c.initiator_len)
+            .max()
+            .unwrap_or(0);
+        let started = Instant::now();
+        let raw = self.ctx.raw_prefix(&tp_seed, max_cols);
+        let offsets = offsets_from_raw(&raw[..max_cols], alphabet.size());
+        self.compute.derive_nanos += started.elapsed().as_nanos() as u64;
+        let started = Instant::now();
+        let distances = alphanumeric::third_party_edit_distances_with_offsets(
             &window,
             alphabet.size(),
-            &tp_seed,
-            algorithm,
+            &offsets,
         )?;
+        self.compute.fold_unmask_nanos += started.elapsed().as_nanos() as u64;
         self.note_rows(rows);
         let decoded = distances.map(|&d| f64::from(d));
         self.fold_pair_rows(
@@ -1552,11 +1702,13 @@ impl ThirdPartyMachine {
             // Fold strictly in schema order so the float accumulation
             // matches the batch merge bit for bit.
             self.finished.insert(attribute, matrix);
+            let started = Instant::now();
             while let Some(matrix) = self.finished.remove(&self.next_fold) {
                 let weight = self.ctx.request.weights.weights()[self.next_fold];
-                self.merge.push_normalized(&matrix, weight)?;
+                push_normalized(&mut self.merge, &matrix, weight)?;
                 self.next_fold += 1;
             }
+            self.compute.merge_nanos += started.elapsed().as_nanos() as u64;
         }
         self.try_cluster()
     }
@@ -1583,11 +1735,40 @@ impl ThirdPartyMachine {
             driver.cluster(&output, &agreed)?
         } else {
             let merged = std::mem::replace(&mut self.merge, MergeAccumulator::new(0));
-            let final_matrix = DissimilarityMatrix::new(self.index.clone(), merged.finish())?;
+            let started = Instant::now();
+            let finished = merged.finish();
+            self.compute.merge_nanos += started.elapsed().as_nanos() as u64;
+            let final_matrix = DissimilarityMatrix::new(self.index.clone(), finished)?;
             ThirdPartyDriver::cluster_matrix(final_matrix, &agreed)?
         };
         self.outcome = Some((result, final_matrix));
         self.publish_pending = true;
         Ok(())
     }
+}
+
+/// Folds one attribute matrix into the accumulator — the parallel reduction
+/// when the `parallel` feature is on, the sequential fold otherwise. Both
+/// are bit-identical for every input (same per-element fold order within
+/// each partition, deterministic combine order), so the feature changes
+/// wall time only, never the merged matrix.
+#[cfg(feature = "parallel")]
+fn push_normalized(
+    merge: &mut MergeAccumulator,
+    matrix: &CondensedDistanceMatrix,
+    weight: f64,
+) -> Result<(), CoreError> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    merge.push_normalized_parallel(matrix, weight, threads)?;
+    Ok(())
+}
+
+#[cfg(not(feature = "parallel"))]
+fn push_normalized(
+    merge: &mut MergeAccumulator,
+    matrix: &CondensedDistanceMatrix,
+    weight: f64,
+) -> Result<(), CoreError> {
+    merge.push_normalized(matrix, weight)?;
+    Ok(())
 }

@@ -25,8 +25,10 @@
 
 pub mod alphanumeric;
 pub mod categorical;
+pub mod derive_cache;
 pub mod driver;
 pub mod engine;
+pub mod kernels;
 pub mod local;
 pub mod machines;
 pub mod messages;

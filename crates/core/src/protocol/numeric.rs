@@ -27,15 +27,52 @@
 //! cache-linearly in exactly the RNG-stream order the paper prescribes, and
 //! already in the wire layout of
 //! [`PairwiseMatrixMsg`](crate::protocol::messages::PairwiseMatrixMsg).
+//!
+//! ## Kernels and oracles
+//!
+//! The row loops run through the chunked kernels of
+//! [`kernels`]: randomness is drawn (or taken
+//! from a cached raw prefix — see `*_with_prefixes`) per stream *up front*,
+//! then the arithmetic proceeds over flat slices in fixed-width strides the
+//! autovectorizer can lower to SIMD. Because `rng_JK` and `rng_JT` are
+//! independent streams, hoisting each stream's draws ahead of the loop
+//! preserves every per-stream draw position, so outputs are bit-identical
+//! to the interleaved per-element form. The per-element originals are
+//! retained as `*_scalar` oracles and the equivalence is property-tested.
 
 use ppc_crypto::prng::DynStreamRng;
-use ppc_crypto::{Negator, NumericMasker, PairwiseSeeds, RngAlgorithm, Seed};
+use ppc_crypto::{raw_u64_prefix, Negator, NumericMasker, PairwiseSeeds, RngAlgorithm, Seed};
 
 use crate::error::CoreError;
 use crate::pairwise::PairwiseBlock;
+use crate::protocol::kernels;
 
 /// `DH_J` (Figure 4): masks its column once for batch processing.
 pub fn initiator_mask(values: &[i64], seeds: &PairwiseSeeds, algorithm: RngAlgorithm) -> Vec<i64> {
+    let raw_jk = raw_u64_prefix(algorithm, &seeds.holder_holder, values.len());
+    let raw_jt = raw_u64_prefix(algorithm, &seeds.holder_third_party, values.len());
+    initiator_mask_with_prefixes(values, &raw_jk, &raw_jt)
+}
+
+/// [`initiator_mask`] over already-derived raw stream prefixes (the
+/// cacheable form): `raw_jk`/`raw_jt` must hold at least `values.len()`
+/// leading draws of the respective streams.
+pub fn initiator_mask_with_prefixes(values: &[i64], raw_jk: &[u64], raw_jt: &[u64]) -> Vec<i64> {
+    let n = values.len();
+    assert!(raw_jk.len() >= n && raw_jt.len() >= n, "prefixes too short");
+    let signs_j = kernels::signs_j_from_raw(&raw_jk[..n]);
+    let mut out = vec![0i64; n];
+    kernels::mask_row(values, &signs_j, &raw_jt[..n], &mut out);
+    out
+}
+
+/// Scalar oracle for [`initiator_mask`]: the paper's per-element loop,
+/// retained for equivalence tests and microbenchmarks.
+pub fn initiator_mask_scalar(
+    values: &[i64],
+    seeds: &PairwiseSeeds,
+    algorithm: RngAlgorithm,
+) -> Vec<i64> {
     let mut rng_jk = DynStreamRng::new(algorithm, &seeds.holder_holder);
     let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
     values
@@ -60,6 +97,20 @@ pub fn responder_fold(
     // row replays the *same* negation prefix. Drawing it once and reusing
     // the slice is stream-for-stream identical to reseeding per row, and
     // turns rows·cols cipher draws into cols.
+    let negators = responder_negator_prefix(masked_initiator.len(), seed_jk, algorithm);
+    let values = responder_fold_window(masked_initiator, own_values, &negators);
+    PairwiseBlock::new(own_values.len(), masked_initiator.len(), values)
+        .expect("row-major fill matches the claimed shape")
+}
+
+/// Scalar oracle for [`responder_fold`] (per-element fold, negators drawn
+/// inline).
+pub fn responder_fold_scalar(
+    masked_initiator: &[i64],
+    own_values: &[i64],
+    seed_jk: &Seed,
+    algorithm: RngAlgorithm,
+) -> PairwiseBlock<i64> {
     let mut rng_jk = DynStreamRng::new(algorithm, seed_jk);
     let negators: Vec<Negator> = masked_initiator
         .iter()
@@ -87,6 +138,18 @@ pub fn third_party_unmask(
     // stream is re-initialised per row), so the mask prefix is drawn once
     // and reused across rows — identical output, cols draws instead of
     // rows·cols.
+    let masks = third_party_mask_prefix(pairwise.cols(), seed_jt, algorithm);
+    let values = third_party_unmask_window(pairwise.values(), &masks);
+    PairwiseBlock::new(pairwise.rows(), pairwise.cols(), values)
+        .expect("unmasking preserves the block shape")
+}
+
+/// Scalar oracle for [`third_party_unmask`].
+pub fn third_party_unmask_scalar(
+    pairwise: &PairwiseBlock<i64>,
+    seed_jt: &Seed,
+    algorithm: RngAlgorithm,
+) -> PairwiseBlock<u64> {
     let mut rng_jt = DynStreamRng::new(algorithm, seed_jt);
     let masks: Vec<u64> = (0..pairwise.cols()).map(|_| rng_jt.next_u64()).collect();
     let mut values = Vec::with_capacity(pairwise.values().len());
@@ -123,6 +186,21 @@ pub fn responder_fold_window(
     own_window: &[i64],
     negators: &[Negator],
 ) -> Vec<i64> {
+    let cols = masked_initiator.len();
+    let signs_k = kernels::signs_k_of(negators);
+    let mut values = vec![0i64; own_window.len() * cols];
+    for (&y, out_row) in own_window.iter().zip(values.chunks_exact_mut(cols.max(1))) {
+        kernels::fold_row(masked_initiator, y, &signs_k, out_row);
+    }
+    values
+}
+
+/// Scalar oracle for [`responder_fold_window`].
+pub fn responder_fold_window_scalar(
+    masked_initiator: &[i64],
+    own_window: &[i64],
+    negators: &[Negator],
+) -> Vec<i64> {
     let mut values = Vec::with_capacity(own_window.len() * masked_initiator.len());
     for &y in own_window {
         for (&masked_x, &negator) in masked_initiator.iter().zip(negators) {
@@ -136,13 +214,29 @@ pub fn responder_fold_window(
 /// replays for every row, drawn once so any row window can be unmasked
 /// independently.
 pub fn third_party_mask_prefix(cols: usize, seed_jt: &Seed, algorithm: RngAlgorithm) -> Vec<u64> {
-    let mut rng_jt = DynStreamRng::new(algorithm, seed_jt);
-    (0..cols).map(|_| rng_jt.next_u64()).collect()
+    raw_u64_prefix(algorithm, seed_jt, cols)
 }
 
 /// Unmasks a row window of the pairwise matrix (batch mode). `values` must
 /// hold whole rows (`values.len() % masks.len() == 0`).
 pub fn third_party_unmask_window(values: &[i64], masks: &[u64]) -> Vec<u64> {
+    if masks.is_empty() {
+        return Vec::new();
+    }
+    let cols = masks.len();
+    let whole = values.len() - values.len() % cols;
+    let mut out = vec![0u64; whole];
+    for (row, out_row) in values[..whole]
+        .chunks_exact(cols)
+        .zip(out.chunks_exact_mut(cols))
+    {
+        kernels::unmask_row(row, masks, out_row);
+    }
+    out
+}
+
+/// Scalar oracle for [`third_party_unmask_window`].
+pub fn third_party_unmask_window_scalar(values: &[i64], masks: &[u64]) -> Vec<u64> {
     let mut out = Vec::with_capacity(values.len());
     for row in values.chunks_exact(masks.len().max(1)) {
         for (&m, &mask) in row.iter().zip(masks) {
@@ -156,6 +250,34 @@ pub fn third_party_unmask_window(values: &[i64], masks: &[u64]) -> Vec<u64> {
 /// of its column, continuing both random streams. Composing windows in row
 /// order reproduces [`initiator_mask_per_pair`] exactly.
 pub fn initiator_mask_per_pair_window(
+    values: &[i64],
+    rows: usize,
+    rng_jk: &mut DynStreamRng,
+    rng_jt: &mut DynStreamRng,
+) -> Vec<i64> {
+    // Fresh randomness per cell: hoist each stream's rows·cols draws ahead
+    // of the arithmetic (per-stream draw order unchanged — the streams are
+    // independent), then run the mask kernel row by row.
+    let cols = values.len();
+    let total = rows * cols;
+    let raw_jk: Vec<u64> = (0..total).map(|_| rng_jk.next_u64()).collect();
+    let raw_jt: Vec<u64> = (0..total).map(|_| rng_jt.next_u64()).collect();
+    let signs_j = kernels::signs_j_from_raw(&raw_jk);
+    let mut out = vec![0i64; total];
+    if cols > 0 {
+        for ((out_row, signs_row), masks_row) in out
+            .chunks_exact_mut(cols)
+            .zip(signs_j.chunks_exact(cols))
+            .zip(raw_jt.chunks_exact(cols))
+        {
+            kernels::mask_row(values, signs_row, masks_row, out_row);
+        }
+    }
+    out
+}
+
+/// Scalar oracle for [`initiator_mask_per_pair_window`].
+pub fn initiator_mask_per_pair_window_scalar(
     values: &[i64],
     rows: usize,
     rng_jk: &mut DynStreamRng,
@@ -188,6 +310,38 @@ pub fn responder_fold_per_pair_window(
             own_window.len()
         )));
     }
+    let raw_jk: Vec<u64> = (0..masked_window.len())
+        .map(|_| rng_jk.next_u64())
+        .collect();
+    let signs_k = kernels::signs_k_from_raw(&raw_jk);
+    let mut values = vec![0i64; masked_window.len()];
+    if cols > 0 {
+        for (((row, signs_row), &y), out_row) in masked_window
+            .chunks_exact(cols)
+            .zip(signs_k.chunks_exact(cols))
+            .zip(own_window)
+            .zip(values.chunks_exact_mut(cols))
+        {
+            kernels::fold_row(row, y, signs_row, out_row);
+        }
+    }
+    Ok(values)
+}
+
+/// Scalar oracle for [`responder_fold_per_pair_window`].
+pub fn responder_fold_per_pair_window_scalar(
+    masked_window: &[i64],
+    cols: usize,
+    own_window: &[i64],
+    rng_jk: &mut DynStreamRng,
+) -> Result<Vec<i64>, CoreError> {
+    if masked_window.len() != own_window.len() * cols {
+        return Err(CoreError::Protocol(format!(
+            "per-pair masked window of {} cells does not match {} rows × {cols} columns",
+            masked_window.len(),
+            own_window.len()
+        )));
+    }
     let mut values = Vec::with_capacity(masked_window.len());
     for (row, &y) in masked_window.chunks_exact(cols.max(1)).zip(own_window) {
         for &masked_x in row {
@@ -201,6 +355,17 @@ pub fn responder_fold_per_pair_window(
 /// `TP`, per-pair hardened mode, streaming: strips the masks from a row
 /// window, continuing the `rng_JT` stream.
 pub fn third_party_unmask_per_pair_window(values: &[i64], rng_jt: &mut DynStreamRng) -> Vec<u64> {
+    let raw_jt: Vec<u64> = (0..values.len()).map(|_| rng_jt.next_u64()).collect();
+    let mut out = vec![0u64; values.len()];
+    kernels::unmask_row(values, &raw_jt, &mut out);
+    out
+}
+
+/// Scalar oracle for [`third_party_unmask_per_pair_window`].
+pub fn third_party_unmask_per_pair_window_scalar(
+    values: &[i64],
+    rng_jt: &mut DynStreamRng,
+) -> Vec<u64> {
     values
         .iter()
         .map(|&m| NumericMasker::unmask_distance(m, rng_jt.next_u64()))
@@ -217,16 +382,8 @@ pub fn initiator_mask_per_pair(
 ) -> PairwiseBlock<i64> {
     let mut rng_jk = DynStreamRng::new(algorithm, &seeds.holder_holder);
     let mut rng_jt = DynStreamRng::new(algorithm, &seeds.holder_third_party);
-    let cols = values.len();
-    let mut out = Vec::with_capacity(responder_count * cols);
-    for _ in 0..responder_count {
-        for &x in values {
-            let negator = Negator::from_random(rng_jk.next_u64());
-            let mask = rng_jt.next_u64();
-            out.push(NumericMasker::mask_initiator(x, mask, negator));
-        }
-    }
-    PairwiseBlock::new(responder_count, cols, out)
+    let out = initiator_mask_per_pair_window(values, responder_count, &mut rng_jk, &mut rng_jt);
+    PairwiseBlock::new(responder_count, values.len(), out)
         .expect("row-major fill matches the claimed shape")
 }
 
@@ -250,13 +407,12 @@ pub fn responder_fold_per_pair(
         )));
     }
     let mut rng_jk = DynStreamRng::new(algorithm, seed_jk);
-    let mut values = Vec::with_capacity(own_values.len() * masked_rows.cols());
-    for (row, &y) in masked_rows.iter_rows().zip(own_values) {
-        for &masked_x in row {
-            let negator = Negator::from_random(rng_jk.next_u64());
-            values.push(NumericMasker::fold_responder(masked_x, y, negator));
-        }
-    }
+    let values = responder_fold_per_pair_window(
+        masked_rows.values(),
+        masked_rows.cols(),
+        own_values,
+        &mut rng_jk,
+    )?;
     Ok(
         PairwiseBlock::new(own_values.len(), masked_rows.cols(), values)
             .expect("row-major fill matches the claimed shape"),
@@ -270,7 +426,9 @@ pub fn third_party_unmask_per_pair(
     algorithm: RngAlgorithm,
 ) -> PairwiseBlock<u64> {
     let mut rng_jt = DynStreamRng::new(algorithm, seed_jt);
-    pairwise.map(|&m| NumericMasker::unmask_distance(m, rng_jt.next_u64()))
+    let values = third_party_unmask_per_pair_window(pairwise.values(), &mut rng_jt);
+    PairwiseBlock::new(pairwise.rows(), pairwise.cols(), values)
+        .expect("unmasking preserves the block shape")
 }
 
 #[cfg(test)]
@@ -304,6 +462,73 @@ mod tests {
                 expected_distances(&j_values, &k_values),
                 "{algorithm:?}"
             );
+        }
+    }
+
+    #[test]
+    fn kernel_pipeline_matches_scalar_oracles() {
+        // The kernel-backed role functions must be bit-identical to the
+        // retained per-element oracles at awkward (non-multiple-of-stride)
+        // shapes, including empty inputs.
+        for algorithm in [
+            RngAlgorithm::ChaCha20,
+            RngAlgorithm::Xoshiro256PlusPlus,
+            RngAlgorithm::SplitMix64,
+        ] {
+            for (jn, kn) in [(0usize, 3usize), (1, 1), (7, 5), (8, 8), (13, 9)] {
+                let j_values: Vec<i64> = (0..jn as i64).map(|i| i * 37 - 1000).collect();
+                let k_values: Vec<i64> = (0..kn as i64).map(|i| 555 - i * 91).collect();
+                let seeds = seeds();
+                let masked = initiator_mask(&j_values, &seeds, algorithm);
+                assert_eq!(masked, initiator_mask_scalar(&j_values, &seeds, algorithm));
+                let folded = responder_fold(&masked, &k_values, &seeds.holder_holder, algorithm);
+                assert_eq!(
+                    folded,
+                    responder_fold_scalar(&masked, &k_values, &seeds.holder_holder, algorithm)
+                );
+                let unmasked = third_party_unmask(&folded, &seeds.holder_third_party, algorithm);
+                assert_eq!(
+                    unmasked,
+                    third_party_unmask_scalar(&folded, &seeds.holder_third_party, algorithm)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_pair_windows_match_scalar_oracles() {
+        let seeds = seeds();
+        let algorithm = RngAlgorithm::ChaCha20;
+        for (jn, rows) in [(0usize, 2usize), (3, 0), (7, 3), (8, 2), (11, 5)] {
+            let j_values: Vec<i64> = (0..jn as i64).map(|i| i * 13 - 40).collect();
+            let k_values: Vec<i64> = (0..rows as i64).map(|i| i * 7 + 2).collect();
+            let mut jk_a = DynStreamRng::new(algorithm, &seeds.holder_holder);
+            let mut jt_a = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+            let mut jk_b = DynStreamRng::new(algorithm, &seeds.holder_holder);
+            let mut jt_b = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+            let kernel = initiator_mask_per_pair_window(&j_values, rows, &mut jk_a, &mut jt_a);
+            let scalar =
+                initiator_mask_per_pair_window_scalar(&j_values, rows, &mut jk_b, &mut jt_b);
+            assert_eq!(kernel, scalar);
+            let mut fold_a = DynStreamRng::new(algorithm, &seeds.holder_holder);
+            let mut fold_b = DynStreamRng::new(algorithm, &seeds.holder_holder);
+            let folded =
+                responder_fold_per_pair_window(&kernel, jn, &k_values, &mut fold_a).unwrap();
+            assert_eq!(
+                folded,
+                responder_fold_per_pair_window_scalar(&scalar, jn, &k_values, &mut fold_b).unwrap()
+            );
+            let mut tp_a = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+            let mut tp_b = DynStreamRng::new(algorithm, &seeds.holder_third_party);
+            assert_eq!(
+                third_party_unmask_per_pair_window(&folded, &mut tp_a),
+                third_party_unmask_per_pair_window_scalar(&folded, &mut tp_b)
+            );
+            // Both variants must leave the streams at the same position.
+            assert_eq!(jk_a.next_u64(), jk_b.next_u64());
+            assert_eq!(jt_a.next_u64(), jt_b.next_u64());
+            assert_eq!(fold_a.next_u64(), fold_b.next_u64());
+            assert_eq!(tp_a.next_u64(), tp_b.next_u64());
         }
     }
 
@@ -427,7 +652,13 @@ mod tests {
         let mut streamed = Vec::new();
         for window in k_values.chunks(3) {
             let folded = responder_fold_window(&masked, window, &negators);
-            streamed.extend(third_party_unmask_window(&folded, &masks));
+            assert_eq!(
+                folded,
+                responder_fold_window_scalar(&masked, window, &negators)
+            );
+            let unmasked = third_party_unmask_window(&folded, &masks);
+            assert_eq!(unmasked, third_party_unmask_window_scalar(&folded, &masks));
+            streamed.extend(unmasked);
         }
         assert_eq!(streamed, whole.values());
     }
@@ -467,6 +698,26 @@ mod tests {
         assert_eq!(streamed, whole.values());
         // A window whose masked cells disagree with its row count errors.
         assert!(responder_fold_per_pair_window(&[1, 2, 3], 2, &[7, 7], &mut resp_jk).is_err());
+    }
+
+    #[test]
+    fn cached_prefix_form_matches_fresh_derivation() {
+        let seeds = seeds();
+        for algorithm in [
+            RngAlgorithm::ChaCha20,
+            RngAlgorithm::Xoshiro256PlusPlus,
+            RngAlgorithm::SplitMix64,
+        ] {
+            let j_values: Vec<i64> = (0..12).map(|i| i * 3 - 9).collect();
+            // Prefixes longer than needed must not change the output — a
+            // cache entry serves every request at or below its length.
+            let raw_jk = raw_u64_prefix(algorithm, &seeds.holder_holder, 40);
+            let raw_jt = raw_u64_prefix(algorithm, &seeds.holder_third_party, 40);
+            assert_eq!(
+                initiator_mask_with_prefixes(&j_values, &raw_jk, &raw_jt),
+                initiator_mask(&j_values, &seeds, algorithm)
+            );
+        }
     }
 
     #[test]

@@ -59,9 +59,10 @@ use crate::alphabet::Alphabet;
 use crate::error::CoreError;
 use crate::fixed::FixedPointCodec;
 use crate::matrix::HorizontalPartition;
+use crate::protocol::derive_cache::{DerivationCache, DerivationCacheStats};
 use crate::protocol::driver::ClusteringRequest;
 use crate::protocol::engine::{EngineOutcome, PartyRuntime};
-use crate::protocol::machines::{HolderMachine, SessionContext, ThirdPartyMachine};
+use crate::protocol::machines::{ComputeStats, HolderMachine, SessionContext, ThirdPartyMachine};
 use crate::protocol::messages::PublishedResultMsg;
 use crate::protocol::party::TrustedSetup;
 use crate::protocol::session::parse_linkage;
@@ -407,6 +408,10 @@ pub struct PartyEngineStats {
     pub sessions_completed: usize,
     /// Sessions that failed.
     pub sessions_failed: usize,
+    /// Compute-phase wall time summed over completed local sessions.
+    pub compute: ComputeStats,
+    /// Hit/miss counters of this run's shared derivation cache.
+    pub derivation_cache: DerivationCacheStats,
 }
 
 /// A completed run: per-`(session, party)` outcomes plus engine stats.
@@ -583,6 +588,9 @@ struct Flow<'a, T: WaitTransport> {
     remote_rows: BTreeMap<PartyId, u64>,
     /// Coordinator: which remote parties reported each session done.
     remote_done: BTreeMap<u64, BTreeSet<PartyId>>,
+    /// Shared derivation cache: every session this run builds derives its
+    /// RNG prefixes through one process-wide memo.
+    cache: DerivationCache,
 }
 
 impl<'a, T: WaitTransport> Flow<'a, T> {
@@ -616,6 +624,7 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
             expected_remote,
             remote_rows: BTreeMap::new(),
             remote_done: BTreeMap::new(),
+            cache: DerivationCache::new(),
         }
     }
 
@@ -652,6 +661,7 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
             chunk_rows: spec.chunk_rows,
             topic_prefix: format!("s{id}/"),
             retain_attributes: false,
+            cache: Some(self.cache.clone()),
         };
         let mut holders = Vec::new();
         let mut tp = None;
@@ -888,6 +898,7 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
             .stats
             .peak_buffered_rows
             .max(session_stats.peak_buffered_rows);
+        self.stats.compute.absorb(&session_stats.compute);
         for holder in holders {
             let party = holder.party();
             let result = holder.published_result().cloned().ok_or_else(|| {
@@ -1217,6 +1228,7 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
 
     fn into_report(mut self) -> PartyRunReport {
         self.outcomes.sort_by_key(|o| (o.session, o.party));
+        self.stats.derivation_cache = self.cache.stats();
         PartyRunReport {
             outcomes: self.outcomes,
             stats: self.stats,

@@ -28,6 +28,7 @@ use std::time::Duration;
 use ppc_net::{PartyId, WaitTransport};
 
 use crate::error::CoreError;
+use crate::protocol::derive_cache::{DerivationCache, DerivationCacheStats};
 use crate::protocol::engine::{EngineOutcome, PartyRuntime, SessionSpec};
 
 /// What one shard worker returns: its sessions' outcomes (tagged with
@@ -85,6 +86,10 @@ pub struct ShardedEngine<T> {
     specs: Vec<SessionSpec>,
     idle_wait: Duration,
     max_idle_waits: u32,
+    /// One handle cloned into every shard worker: the cache is
+    /// thread-safe, so same-schema sessions share derivations *across*
+    /// shards. `None` disables memoisation; outputs are identical.
+    cache: Option<DerivationCache>,
 }
 
 impl<T: WaitTransport + Sync> ShardedEngine<T> {
@@ -100,7 +105,19 @@ impl<T: WaitTransport + Sync> ShardedEngine<T> {
             specs: Vec::new(),
             idle_wait: Duration::from_millis(50),
             max_idle_waits: 40,
+            cache: Some(DerivationCache::new()),
         })
+    }
+
+    /// Replaces the shared derivation cache (`None` disables memoisation —
+    /// the benchmark baseline).
+    pub fn set_derivation_cache(&mut self, cache: Option<DerivationCache>) {
+        self.cache = cache;
+    }
+
+    /// Hit/miss counters of the shared derivation cache, if one is set.
+    pub fn derivation_cache_stats(&self) -> Option<DerivationCacheStats> {
+        self.cache.as_ref().map(DerivationCache::stats)
     }
 
     /// Number of shards (worker threads `run` will spawn).
@@ -160,6 +177,7 @@ impl<T: WaitTransport + Sync> ShardedEngine<T> {
         let idle_wait = self.idle_wait;
         let max_idle_waits = self.max_idle_waits;
         let transports = &self.transports;
+        let cache = &self.cache;
 
         let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = transports
@@ -167,8 +185,9 @@ impl<T: WaitTransport + Sync> ShardedEngine<T> {
                 .zip(assignments)
                 .enumerate()
                 .map(|(shard, (transport, sessions))| {
+                    let cache = cache.clone();
                     scope.spawn(move || {
-                        drive_shard(shard, transport, sessions, idle_wait, max_idle_waits)
+                        drive_shard(shard, transport, sessions, idle_wait, max_idle_waits, cache)
                     })
                 })
                 .collect();
@@ -211,6 +230,7 @@ fn drive_shard<T: WaitTransport>(
     sessions: Vec<(usize, SessionSpec)>,
     idle_wait: Duration,
     max_idle_waits: u32,
+    cache: Option<DerivationCache>,
 ) -> ShardResult {
     let mut stats = ShardStats {
         shard,
@@ -222,7 +242,12 @@ fn drive_shard<T: WaitTransport>(
     // topics colliding.
     let mut runtimes: Vec<(usize, PartyRuntime)> = sessions
         .iter()
-        .map(|(id, spec)| Ok((*id, PartyRuntime::build(spec, format!("s{id}/"))?)))
+        .map(|(id, spec)| {
+            Ok((
+                *id,
+                PartyRuntime::build(spec, format!("s{id}/"), cache.clone())?,
+            ))
+        })
         .collect::<Result<_, CoreError>>()?;
     let parties: Vec<PartyId> = {
         let mut parties: Vec<PartyId> = runtimes

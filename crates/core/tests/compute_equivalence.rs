@@ -1,0 +1,200 @@
+//! PR-7 equivalence properties for the compute path.
+//!
+//! * The derivation cache is a **pure memo**: a prefix served from cache
+//!   is byte-identical to a fresh derivation, for every algorithm, any
+//!   request-length sequence (shorter-after-longer hits, longer-after-
+//!   shorter regrowth) and interleaved streams sharing one cache.
+//! * The chunked row kernels are **bit-identical to the retained scalar
+//!   oracles** over arbitrary inputs — including empty inputs and lengths
+//!   that are not a multiple of the 8-lane stride.
+
+use proptest::prelude::*;
+
+use ppc_core::protocol::derive_cache::DerivationCache;
+use ppc_core::protocol::numeric;
+use ppc_crypto::prng::DynStreamRng;
+use ppc_crypto::{
+    negators_from_raw, offsets_from_raw, raw_u64_prefix, PairwiseSeeds, RngAlgorithm, Seed,
+};
+
+const ALGS: [RngAlgorithm; 3] = [
+    RngAlgorithm::ChaCha20,
+    RngAlgorithm::Xoshiro256PlusPlus,
+    RngAlgorithm::SplitMix64,
+];
+
+fn alg(index: usize) -> RngAlgorithm {
+    ALGS[index % ALGS.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of prefix requests against one cached stream returns
+    /// exactly the bytes a fresh derivation would: hits, regrowth after a
+    /// longer request, and re-hits after regrowth are all bit-identical.
+    #[test]
+    fn cached_prefixes_equal_fresh_derivation(
+        seed in any::<u64>(),
+        alg_index in 0usize..3,
+        lens in prop::collection::vec(0usize..300, 1..12),
+    ) {
+        let algorithm = alg(alg_index);
+        let seed = Seed::from_u64(seed).derive("prop/stream");
+        let cache = DerivationCache::new();
+        for &len in &lens {
+            let got = cache.raw_prefix(algorithm, &seed, len);
+            prop_assert!(got.len() >= len);
+            let fresh = raw_u64_prefix(algorithm, &seed, len);
+            prop_assert_eq!(&got[..len], &fresh[..]);
+        }
+    }
+
+    /// Many streams interleaved through one shared cache never bleed into
+    /// each other: every request still matches its own stream's fresh
+    /// derivation, whatever the request order.
+    #[test]
+    fn interleaved_streams_stay_independent(
+        master in any::<u64>(),
+        // One flat draw per request (the vendored proptest has no tuple
+        // strategies): stream = x % 6, algorithm = (x / 6) % 3,
+        // len = x / 18.
+        requests in prop::collection::vec(0usize..6 * 3 * 200, 1..24),
+    ) {
+        let cache = DerivationCache::new();
+        let seeds: Vec<Seed> = (0..6)
+            .map(|i| Seed::from_u64(master).derive(&format!("prop/attr{i}")))
+            .collect();
+        for &request in &requests {
+            let (stream, alg_index, len) = (request % 6, (request / 6) % 3, request / 18);
+            let algorithm = alg(alg_index);
+            let got = cache.raw_prefix(algorithm, &seeds[stream], len);
+            let fresh = raw_u64_prefix(algorithm, &seeds[stream], len);
+            prop_assert_eq!(&got[..len], &fresh[..]);
+        }
+    }
+
+    /// The negator and alphabet-offset views of a raw prefix equal the
+    /// per-draw constructions they replaced.
+    #[test]
+    fn prefix_views_match_per_draw_construction(
+        seed in any::<u64>(),
+        alg_index in 0usize..3,
+        len in 0usize..220,
+        alphabet_size in 1u32..40,
+    ) {
+        let algorithm = alg(alg_index);
+        let seed = Seed::from_u64(seed).derive("prop/views");
+        let raw = raw_u64_prefix(algorithm, &seed, len);
+        let mut rng = DynStreamRng::new(algorithm, &seed);
+        let negators = negators_from_raw(&raw);
+        let offsets = offsets_from_raw(&raw, alphabet_size);
+        prop_assert_eq!(negators.len(), len);
+        prop_assert_eq!(offsets.len(), len);
+        for i in 0..len {
+            let draw = rng.next_u64();
+            prop_assert_eq!(raw[i], draw);
+            prop_assert_eq!(offsets[i], (draw % u64::from(alphabet_size)) as u32);
+        }
+    }
+
+    /// Batch-mode initiator masking through hoisted prefixes equals the
+    /// scalar per-draw oracle, including the empty column.
+    #[test]
+    fn initiator_mask_kernel_matches_scalar(
+        master in any::<u64>(),
+        alg_index in 0usize..3,
+        values in prop::collection::vec(-1_000_000i64..1_000_000, 0..130),
+    ) {
+        let algorithm = alg(alg_index);
+        let seeds = PairwiseSeeds {
+            holder_holder: Seed::from_u64(master).derive("prop/jk"),
+            holder_third_party: Seed::from_u64(master).derive("prop/jt"),
+        };
+        let raw_jk = raw_u64_prefix(algorithm, &seeds.holder_holder, values.len());
+        let raw_jt = raw_u64_prefix(algorithm, &seeds.holder_third_party, values.len());
+        let vectorized = numeric::initiator_mask_with_prefixes(&values, &raw_jk, &raw_jt);
+        let scalar = numeric::initiator_mask_scalar(&values, &seeds, algorithm);
+        prop_assert_eq!(vectorized, scalar);
+    }
+
+    /// The responder's fold kernel equals the scalar oracle over arbitrary
+    /// window shapes — empty windows, empty columns, widths off the
+    /// 8-lane stride.
+    #[test]
+    fn responder_fold_kernel_matches_scalar(
+        master in any::<u64>(),
+        alg_index in 0usize..3,
+        masked in prop::collection::vec(-1_000_000i64..1_000_000, 0..90),
+        own in prop::collection::vec(-1_000_000i64..1_000_000, 0..9),
+    ) {
+        let algorithm = alg(alg_index);
+        let seed = Seed::from_u64(master).derive("prop/jk");
+        let negators = negators_from_raw(&raw_u64_prefix(algorithm, &seed, masked.len()));
+        let vectorized = numeric::responder_fold_window(&masked, &own, &negators);
+        let scalar = numeric::responder_fold_window_scalar(&masked, &own, &negators);
+        prop_assert_eq!(vectorized, scalar);
+    }
+
+    /// The third party's unmask kernel equals the scalar oracle, including
+    /// the empty-mask and whole-row-truncation edge cases.
+    #[test]
+    fn third_party_unmask_kernel_matches_scalar(
+        master in any::<u64>(),
+        alg_index in 0usize..3,
+        cols in 0usize..40,
+        rows in 0usize..7,
+    ) {
+        let algorithm = alg(alg_index);
+        let seed = Seed::from_u64(master).derive("prop/jt");
+        let masks = raw_u64_prefix(algorithm, &seed, cols);
+        let values: Vec<i64> = (0..rows * cols)
+            .map(|i| (i as i64).wrapping_mul(2_654_435_761) >> 16)
+            .collect();
+        let vectorized = numeric::third_party_unmask_window(&values, &masks);
+        let scalar = numeric::third_party_unmask_window_scalar(&values, &masks);
+        prop_assert_eq!(vectorized, scalar);
+    }
+
+    /// The per-pair streaming kernels (fresh randomness per cell) equal
+    /// their scalar oracles when driven by identical stream states.
+    #[test]
+    fn per_pair_window_kernels_match_scalar(
+        master in any::<u64>(),
+        alg_index in 0usize..3,
+        values in prop::collection::vec(-1_000_000i64..1_000_000, 0..40),
+        rows in 0usize..6,
+    ) {
+        let algorithm = alg(alg_index);
+        let jk = Seed::from_u64(master).derive("prop/pp/jk");
+        let jt = Seed::from_u64(master).derive("prop/pp/jt");
+
+        let mut rng_jk = DynStreamRng::new(algorithm, &jk);
+        let mut rng_jt = DynStreamRng::new(algorithm, &jt);
+        let vectorized =
+            numeric::initiator_mask_per_pair_window(&values, rows, &mut rng_jk, &mut rng_jt);
+        let mut rng_jk = DynStreamRng::new(algorithm, &jk);
+        let mut rng_jt = DynStreamRng::new(algorithm, &jt);
+        let scalar =
+            numeric::initiator_mask_per_pair_window_scalar(&values, rows, &mut rng_jk, &mut rng_jt);
+        prop_assert_eq!(&vectorized, &scalar);
+
+        let cols = values.len();
+        let own: Vec<i64> = (0..rows as i64).map(|i| i * 17 - 40).collect();
+        let mut rng_jk = DynStreamRng::new(algorithm, &jk);
+        let folded =
+            numeric::responder_fold_per_pair_window(&vectorized, cols, &own, &mut rng_jk).unwrap();
+        let mut rng_jk = DynStreamRng::new(algorithm, &jk);
+        let folded_scalar =
+            numeric::responder_fold_per_pair_window_scalar(&vectorized, cols, &own, &mut rng_jk)
+                .unwrap();
+        prop_assert_eq!(&folded, &folded_scalar);
+
+        let mut rng_jt = DynStreamRng::new(algorithm, &jt);
+        let unmasked = numeric::third_party_unmask_per_pair_window(&folded, &mut rng_jt);
+        let mut rng_jt = DynStreamRng::new(algorithm, &jt);
+        let unmasked_scalar =
+            numeric::third_party_unmask_per_pair_window_scalar(&folded, &mut rng_jt);
+        prop_assert_eq!(unmasked, unmasked_scalar);
+    }
+}

@@ -57,5 +57,6 @@ pub use error::CryptoError;
 pub use mac::SipHash24;
 pub use mask::{AlphabetMasker, Negator, NumericMasker};
 pub use prng::pairwise::{PairwiseSeeds, SeedRegistry};
+pub use prng::prefix::{negators_from_raw, offsets_from_raw, raw_u64_prefix};
 pub use prng::{chacha::ChaCha20Rng, splitmix::SplitMix64, xoshiro::Xoshiro256PlusPlus};
 pub use prng::{RngAlgorithm, Seed, StreamRng};

@@ -18,6 +18,7 @@
 
 pub mod chacha;
 pub mod pairwise;
+pub mod prefix;
 pub mod splitmix;
 pub mod xoshiro;
 

@@ -1,0 +1,100 @@
+//! Raw stream-prefix derivation — the cacheable unit behind the protocols'
+//! per-row randomness.
+//!
+//! Every replayed randomness prefix the comparison protocols consume is a
+//! *pure function of the leading raw `u64` outputs* of one seeded stream:
+//!
+//! * the responder's negation choices are the parities of the `rng_JK`
+//!   prefix ([`Negator::from_random`]),
+//! * the third party's additive masks are the raw `rng_JT` outputs
+//!   themselves, and
+//! * the alphanumeric character offsets are the raw `rng_JT` outputs reduced
+//!   modulo the alphabet size.
+//!
+//! Deriving the raw prefix once ([`raw_u64_prefix`]) and re-interpreting it
+//! per use site ([`negators_from_raw`], [`offsets_from_raw`]) therefore
+//! reproduces every derived prefix bit-for-bit while paying the stream
+//! cipher cost a single time. A derived [`Seed`] (see [`Seed::derive`])
+//! already fingerprints its whole derivation chain — master secret, label,
+//! attribute — so `(algorithm, seed)` is a complete cache key for the raw
+//! prefix; `ppc-core`'s derivation cache builds exactly on that.
+
+use super::{DynStreamRng, RngAlgorithm, Seed};
+use crate::mask::Negator;
+
+/// Derives the first `len` raw `u64` outputs of the `algorithm` stream
+/// seeded by `seed`.
+///
+/// This is the exact value sequence a fresh
+/// [`DynStreamRng::new`]`(algorithm, seed)` would produce from its first
+/// `len` [`next_u64`](DynStreamRng::next_u64) calls.
+pub fn raw_u64_prefix(algorithm: RngAlgorithm, seed: &Seed, len: usize) -> Vec<u64> {
+    let mut rng = DynStreamRng::new(algorithm, seed);
+    (0..len).map(|_| rng.next_u64()).collect()
+}
+
+/// Re-interprets a raw prefix as the responder's negation choices
+/// (parity rule of [`Negator::from_random`]).
+pub fn negators_from_raw(raw: &[u64]) -> Vec<Negator> {
+    raw.iter().map(|&r| Negator::from_random(r)).collect()
+}
+
+/// Re-interprets a raw prefix as alphanumeric character offsets:
+/// `offset_p = raw_p mod |A|`, the reduction both the initiator and the
+/// third party apply to the shared `rng_JT` stream.
+///
+/// `alphabet_size` must be non-zero.
+pub fn offsets_from_raw(raw: &[u64], alphabet_size: u32) -> Vec<u32> {
+    assert!(alphabet_size > 0, "alphabet size must be non-zero");
+    raw.iter()
+        .map(|&r| (r % alphabet_size as u64) as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALGS: [RngAlgorithm; 3] = [
+        RngAlgorithm::ChaCha20,
+        RngAlgorithm::Xoshiro256PlusPlus,
+        RngAlgorithm::SplitMix64,
+    ];
+
+    #[test]
+    fn raw_prefix_matches_fresh_stream_for_every_algorithm() {
+        for alg in ALGS {
+            let seed = Seed::from_u64(77).derive("jk/attr");
+            let prefix = raw_u64_prefix(alg, &seed, 33);
+            let mut rng = DynStreamRng::new(alg, &seed);
+            for (i, &p) in prefix.iter().enumerate() {
+                assert_eq!(p, rng.next_u64(), "{alg:?} diverged at draw {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_of_a_prefix_is_a_prefix() {
+        for alg in ALGS {
+            let seed = Seed::from_u64(5);
+            let long = raw_u64_prefix(alg, &seed, 64);
+            let short = raw_u64_prefix(alg, &seed, 17);
+            assert_eq!(&long[..17], &short[..]);
+        }
+        assert!(raw_u64_prefix(RngAlgorithm::ChaCha20, &Seed::from_u64(1), 0).is_empty());
+    }
+
+    #[test]
+    fn reinterpretations_match_direct_derivation() {
+        let seed = Seed::from_u64(9);
+        let raw = raw_u64_prefix(RngAlgorithm::ChaCha20, &seed, 40);
+        let negators = negators_from_raw(&raw);
+        let offsets = offsets_from_raw(&raw, 26);
+        let mut rng = DynStreamRng::new(RngAlgorithm::ChaCha20, &seed);
+        for (&n, &o) in negators.iter().zip(&offsets) {
+            let draw = rng.next_u64();
+            assert_eq!(n, Negator::from_random(draw));
+            assert_eq!(o, (draw % 26) as u32);
+        }
+    }
+}

@@ -84,6 +84,12 @@ pub const WIRE_VERSION: u8 = 4;
 /// per-record AEAD + syscall cost over many protocol-sized frames.
 pub const COALESCE_BUDGET: usize = 64 << 10;
 
+/// Envelopes a coalescing link must observe before the adaptive check may
+/// latch the per-link bypass (see [`SocketTransport::set_coalescing`]):
+/// enough traffic that the envelopes-per-record ratio is a signal, not
+/// noise.
+pub const COALESCE_ADAPT_MIN: u64 = 32;
+
 /// Default number of recently sent frames every link retains for
 /// retransmission after a reconnect. Override with
 /// [`SocketTransport::set_replay_window`].
@@ -429,6 +435,18 @@ struct LinkWriter<S> {
     pending: Vec<Envelope>,
     /// Estimated batch-plaintext bytes of `pending`.
     pending_bytes: usize,
+    /// Envelopes that have entered this link's coalescing queue.
+    coalesced_envelopes: u64,
+    /// Sealed records those envelopes drained into.
+    coalesced_records: u64,
+    /// Latched once the drained traffic averages fewer than 1.5 envelopes
+    /// per sealed record after [`COALESCE_ADAPT_MIN`] envelopes: batching
+    /// is not amortizing anything on this link (request/response traffic
+    /// that flushes every turn), so later sends seal immediately instead
+    /// of paying the queue-then-drain detour. Only flipped at a drain
+    /// boundary, when `pending` is empty, so per-pair FIFO order is
+    /// unaffected.
+    coalesce_bypass: bool,
 }
 
 /// A peer link: the writer half plus routing metadata. The reader half
@@ -596,8 +614,27 @@ impl<S: SocketStream> SocketTransport<S> {
     /// a record carries one ordered pair's envelopes in send order, and
     /// records inherit the sealed-stream ordering guarantees. No-op
     /// without [`set_security`](Self::set_security).
+    /// Coalescing is **adaptive** per link: once a link has drained
+    /// [`COALESCE_ADAPT_MIN`] envelopes averaging fewer than 1.5 envelopes
+    /// per sealed record — request/response traffic that flushes after
+    /// every send, where batching only adds a queue-then-drain detour —
+    /// that link latches a bypass and seals each envelope immediately,
+    /// exactly like an uncoalesced secured transport. The latch flips only
+    /// at a drain boundary (empty queue), so per-pair FIFO order holds
+    /// across the switch.
     pub fn set_coalescing(&mut self, enabled: bool) {
         self.coalesce = enabled;
+    }
+
+    /// Whether any link's adaptive check has latched the coalescing
+    /// bypass (its drained traffic averaged ~one envelope per sealed
+    /// record). Diagnostic; `false` on plaintext or uncoalesced
+    /// transports.
+    pub fn coalescing_bypassed(&self) -> bool {
+        self.links
+            .lock()
+            .iter()
+            .any(|link| link.writer.lock().coalesce_bypass)
     }
 
     /// Per-link sealing statistics — records and frames sealed/opened,
@@ -680,6 +717,9 @@ impl<S: SocketStream> SocketTransport<S> {
                 generation: 0,
                 pending: Vec::new(),
                 pending_bytes: 0,
+                coalesced_envelopes: 0,
+                coalesced_records: 0,
+                coalesce_bypass: false,
             })),
             control,
             redial,
@@ -942,6 +982,7 @@ impl<S: SocketStream> SocketTransport<S> {
             return Ok(());
         }
         let pending = std::mem::take(&mut w.pending);
+        w.coalesced_envelopes += pending.len() as u64;
         w.pending_bytes = 0;
         let mut groups: Vec<((PartyId, PartyId), Vec<Envelope>)> = Vec::new();
         for envelope in pending {
@@ -972,6 +1013,7 @@ impl<S: SocketStream> SocketTransport<S> {
                 let record = security.sealer.seal_batch(&group[start..end]);
                 let frame =
                     encode_frame(&record).expect("coalesced record chunked under the frame cap");
+                w.coalesced_records += 1;
                 w.replay.record(frame);
                 if first_error.is_none() {
                     let frame = w.replay.frames.back().expect("just recorded");
@@ -981,6 +1023,14 @@ impl<S: SocketStream> SocketTransport<S> {
                 }
                 start = end;
             }
+        }
+        // Adaptive bypass: `pending` is empty here (just drained), so the
+        // latch never strands a queued envelope behind an immediate send.
+        if !w.coalesce_bypass
+            && w.coalesced_envelopes >= COALESCE_ADAPT_MIN
+            && w.coalesced_envelopes * 2 < w.coalesced_records * 3
+        {
+            w.coalesce_bypass = true;
         }
         match first_error {
             None => Ok(()),
@@ -1304,7 +1354,7 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
             let mut guard = writer.lock();
             let w = &mut *guard;
             match &self.security {
-                Some(security) if self.coalesce => {
+                Some(security) if self.coalesce && !w.coalesce_bypass => {
                     w.pending_bytes += Self::inner_size(&envelope);
                     w.pending.push(envelope);
                     if w.pending_bytes < COALESCE_BUDGET {

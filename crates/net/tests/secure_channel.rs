@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use ppc_crypto::Seed;
 use ppc_net::secure::{ChannelKeyring, ChannelSealer};
-use ppc_net::socket::WIRE_VERSION;
+use ppc_net::socket::{COALESCE_ADAPT_MIN, WIRE_VERSION};
 use ppc_net::{
     encode_frame, Backoff, Envelope, NetError, PartyId, TcpAcceptor, TcpRouter, TcpTransport,
     Transport, WaitTransport, SEALED_TOPIC,
@@ -829,6 +829,111 @@ fn eavesdropper_sees_no_plaintext_from_coalesced_batches() {
             String::from_utf8_lossy(needle)
         );
     }
+    holder.shutdown();
+    tp.shutdown();
+}
+
+/// PR-7 adaptive coalescing, the degenerate side: request/response
+/// traffic that flushes after every send drains one envelope per sealed
+/// record, so after [`COALESCE_ADAPT_MIN`] envelopes the link latches the
+/// bypass and seals immediately — and delivery stays exactly-once, in
+/// order, across the switch.
+#[test]
+fn unbatched_traffic_latches_the_coalescing_bypass_and_stays_in_order() {
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+    let addr = acceptor.local_addr().unwrap();
+    let holder = coalescing([PartyId::DataHolder(0)]);
+    let tp = coalescing([PartyId::ThirdParty]);
+    let dial = std::thread::spawn(move || {
+        holder.connect(addr, &Backoff::default()).unwrap();
+        holder
+    });
+    acceptor.accept_into(&tp).unwrap();
+    let holder = dial.join().unwrap();
+
+    let n = COALESCE_ADAPT_MIN + 16;
+    for i in 0..n {
+        holder
+            .send(envelope(
+                PartyId::DataHolder(0),
+                PartyId::ThirdParty,
+                &format!("s0/pingpong/{i}"),
+                vec![i as u8; 64],
+            ))
+            .unwrap();
+        // The per-turn flush is what makes this traffic unbatchable.
+        holder.flush().unwrap();
+        let got = tp
+            .receive_any_of(&[PartyId::ThirdParty], Duration::from_secs(5))
+            .unwrap()
+            .expect("envelope arrives whether queued or sealed immediately");
+        assert_eq!(got.topic, format!("s0/pingpong/{i}"), "in-stream order");
+        assert_eq!(got.payload, vec![i as u8; 64]);
+    }
+
+    assert!(
+        holder.coalescing_bypassed(),
+        "one-envelope-per-record traffic must latch the adaptive bypass"
+    );
+    let t = holder.sealing_report().expect("secured transport").total();
+    assert_eq!(t.frames_sealed, n);
+    assert_eq!(
+        t.records_sealed, n,
+        "every envelope travelled as its own record, before and after the latch"
+    );
+    holder.shutdown();
+    tp.shutdown();
+}
+
+/// PR-7 adaptive coalescing, the batching side: traffic that genuinely
+/// queues many envelopes per flush keeps its amortized sealing — the
+/// adaptive check observes a high envelopes-per-record ratio and never
+/// latches the bypass.
+#[test]
+fn batched_traffic_keeps_coalescing_after_the_adaptive_check() {
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+    let addr = acceptor.local_addr().unwrap();
+    let holder = coalescing([PartyId::DataHolder(0)]);
+    let tp = coalescing([PartyId::ThirdParty]);
+    let dial = std::thread::spawn(move || {
+        holder.connect(addr, &Backoff::default()).unwrap();
+        holder
+    });
+    acceptor.accept_into(&tp).unwrap();
+    let holder = dial.join().unwrap();
+
+    let per_flush = COALESCE_ADAPT_MIN + 8;
+    for round in 0..2u64 {
+        for i in 0..per_flush {
+            holder
+                .send(envelope(
+                    PartyId::DataHolder(0),
+                    PartyId::ThirdParty,
+                    &format!("s0/bulk/{round}/{i}"),
+                    vec![(i % 251) as u8; 64],
+                ))
+                .unwrap();
+        }
+        holder.flush().unwrap();
+        for i in 0..per_flush {
+            let got = tp
+                .receive_any_of(&[PartyId::ThirdParty], Duration::from_secs(5))
+                .unwrap()
+                .expect("batched envelope arrives");
+            assert_eq!(got.topic, format!("s0/bulk/{round}/{i}"), "in-stream order");
+        }
+    }
+
+    assert!(
+        !holder.coalescing_bypassed(),
+        "well-batched traffic must keep its coalescing"
+    );
+    let t = holder.sealing_report().expect("secured transport").total();
+    assert_eq!(t.frames_sealed, 2 * per_flush);
+    assert_eq!(
+        t.records_sealed, 2,
+        "each flush's queue travelled as one sealed record"
+    );
     holder.shutdown();
     tp.shutdown();
 }

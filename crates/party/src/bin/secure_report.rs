@@ -1,10 +1,20 @@
-//! Generates `BENCH_pr6.json`: what the channel-security tier costs after
-//! frame coalescing and the vectorized AEAD — sessions/s of the same
-//! workload over loopback TCP with plaintext, sealed-per-envelope and
-//! sealed+coalesced frames, single-process (sharded engine through a
-//! frame router) and three-process (real `ppc-party` OS processes), plus
-//! raw seal+open throughput of the vendored ChaCha20-Poly1305, scalar
-//! oracle vs the vectorized path.
+//! Generates `BENCH_pr7.json`: the PR-7 compute-path work measured next
+//! to the PR-6 channel-security rows.
+//!
+//! * sessions/s of the same workload over loopback TCP with plaintext,
+//!   sealed-per-envelope and sealed+**adaptively** coalesced frames,
+//!   single-process (sharded engine through a frame router) and
+//!   three-process (real `ppc-party` OS processes) — each engine row now
+//!   carries its compute-phase breakdown (derivation / fold-unmask /
+//!   merge wall time) and the derivation-cache hit rate;
+//! * the derivation cache on and off over the single-threaded engine —
+//!   same sessions, byte-identical outputs, cache-hit throughput gain;
+//! * the chunked row kernels against their retained scalar oracles
+//!   (mask, fold, unmask whole paths, derivation included);
+//! * parallel vs sequential `MergeAccumulator::push_normalized` on a
+//!   large condensed matrix, bit-identity asserted inline;
+//! * raw seal+open throughput of the vendored ChaCha20-Poly1305, scalar
+//!   oracle vs the vectorized path.
 //!
 //! Every timed row records **min/median/max** of its repetitions: the
 //! single-core CI boxes this runs on are noisy (±20% between identical
@@ -19,16 +29,21 @@ use std::io::Read;
 use std::process::{Child, Command, Stdio};
 use std::time::Instant;
 
-use ppc_cluster::Linkage;
+use ppc_cluster::{CondensedDistanceMatrix, Linkage, MergeAccumulator};
 use ppc_core::csv::to_csv;
+use ppc_core::protocol::derive_cache::DerivationCacheStats;
 use ppc_core::protocol::driver::ClusteringRequest;
-use ppc_core::protocol::engine::SessionSpec;
+use ppc_core::protocol::engine::{SessionEngine, SessionSpec};
+use ppc_core::protocol::machines::ComputeStats;
+use ppc_core::protocol::numeric;
 use ppc_core::protocol::party::TrustedSetup;
 use ppc_core::protocol::sharded::ShardedEngine;
 use ppc_core::protocol::ProtocolConfig;
-use ppc_crypto::{ChaCha20Poly1305, Seed};
+use ppc_crypto::{
+    negators_from_raw, raw_u64_prefix, ChaCha20Poly1305, PairwiseSeeds, RngAlgorithm, Seed,
+};
 use ppc_data::Workload;
-use ppc_net::{Backoff, ChannelKeyring, PartyId, SealingReport, TcpRouter, TcpTransport};
+use ppc_net::{Backoff, ChannelKeyring, Network, PartyId, SealingReport, TcpRouter, TcpTransport};
 
 const OBJECTS: usize = 32;
 const SITES: u32 = 2;
@@ -107,10 +122,49 @@ impl Spread {
     }
 }
 
+/// `"derive_seconds": …, "fold_unmask_seconds": …, "merge_seconds": …`
+/// fields of one run's compute-phase breakdown, plus the cache hit rate
+/// when a derivation cache was live.
+fn compute_fields(compute: &ComputeStats, cache: Option<&DerivationCacheStats>) -> String {
+    let mut fields = format!(
+        "\"derive_seconds\": {:.6}, \"fold_unmask_seconds\": {:.6}, \"merge_seconds\": {:.6}",
+        compute.derive_nanos as f64 / 1e9,
+        compute.fold_unmask_nanos as f64 / 1e9,
+        compute.merge_nanos as f64 / 1e9,
+    );
+    if let Some(stats) = cache {
+        fields.push_str(&format!(
+            ", \"cache_hit_rate\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}",
+            stats.hit_rate(),
+            stats.hits,
+            stats.misses
+        ));
+    }
+    fields
+}
+
+/// Sums the compute-phase breakdown over a run's per-session outcomes.
+fn sum_compute(outcomes: &[ppc_core::protocol::engine::EngineOutcome]) -> ComputeStats {
+    let mut total = ComputeStats::default();
+    for outcome in outcomes {
+        total.absorb(&outcome.stats.compute);
+    }
+    total
+}
+
 /// One single-process sharded run over a loopback-TCP router: plaintext,
 /// sealed one-record-per-envelope, or sealed+coalesced. Returns the
-/// transport's sealing report (`None` on plaintext).
-fn sharded_tcp_run(specs: &[SessionSpec], sealed: bool, coalesce: bool) -> Option<SealingReport> {
+/// transport's sealing report (`None` on plaintext) plus the run's
+/// compute-phase breakdown and derivation-cache counters.
+fn sharded_tcp_run(
+    specs: &[SessionSpec],
+    sealed: bool,
+    coalesce: bool,
+) -> (
+    Option<SealingReport>,
+    ComputeStats,
+    Option<DerivationCacheStats>,
+) {
     let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
     let parties: Vec<PartyId> = (0..SITES)
         .map(PartyId::DataHolder)
@@ -129,6 +183,8 @@ fn sharded_tcp_run(specs: &[SessionSpec], sealed: bool, coalesce: bool) -> Optio
     engine.set_stall_budget(std::time::Duration::from_millis(100), 100);
     let run = engine.run().unwrap();
     assert_eq!(run.outcomes.len(), SESSIONS);
+    let compute = sum_compute(&run.outcomes);
+    let cache = engine.derivation_cache_stats();
     let mut sealing = None;
     for t in engine.transports() {
         if let Some(report) = t.sealing_report() {
@@ -139,7 +195,7 @@ fn sharded_tcp_run(specs: &[SessionSpec], sealed: bool, coalesce: bool) -> Optio
         t.shutdown();
     }
     router.shutdown();
-    sealing
+    (sealing, compute, cache)
 }
 
 fn sibling(name: &str) -> std::path::PathBuf {
@@ -263,7 +319,7 @@ fn three_process_run(binary: &std::path::Path, csv_dir: &std::path::Path, flavor
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
     let mut rows = Vec::new();
 
     // Raw AEAD throughput, 1 MiB frames: the retained scalar oracle vs the
@@ -320,9 +376,14 @@ fn main() {
         ("sealed_uncoalesced", true, false),
         ("sealed_coalesced", true, true),
     ] {
+        let mut last_compute = ComputeStats::default();
+        let mut last_cache = None;
         let spread = Spread::measure(|| {
-            if let Some(report) = sharded_tcp_run(&specs, sealed, coalesce) {
-                if coalesce {
+            let (report, compute, cache) = sharded_tcp_run(&specs, sealed, coalesce);
+            last_compute = compute;
+            last_cache = cache;
+            if coalesce {
+                if let Some(report) = report {
                     sealing_table = Some(report);
                 }
             }
@@ -340,9 +401,10 @@ fn main() {
         };
         rows.push(format!(
             "    {{\"id\": \"single_process/loopback_tcp/{id}\", \"sessions\": {SESSIONS}, {}, \
-             {}{overhead}}}",
+             {}, {}{overhead}}}",
             spread.seconds_fields(),
             spread.rate_fields(SESSIONS as f64, "sessions_per_second"),
+            compute_fields(&last_compute, last_cache.as_ref()),
         ));
     }
     if let Some(report) = &sealing_table {
@@ -357,6 +419,257 @@ fn main() {
             t.sealed_bytes
         );
         print!("{}", report.to_table());
+    }
+
+    // The cache gain isolated: deriving the same 8 long stream prefixes
+    // for 8 same-schema sessions, fresh every time vs through one shared
+    // [`DerivationCache`] (1 miss + 7 hits per stream). This is the
+    // per-prefix work the cache removes; in the full engine rows below the
+    // derivation share of this small workload is <1%, so the end-to-end
+    // delta sits inside run-to-run noise there.
+    {
+        use ppc_core::protocol::derive_cache::DerivationCache;
+        const PREFIX_LEN: usize = 1 << 16;
+        const STREAMS: usize = 8;
+        const CACHE_SESSIONS: usize = 8;
+        let algorithm = RngAlgorithm::ChaCha20;
+        let seeds: Vec<Seed> = (0..STREAMS)
+            .map(|i| Seed::from_u64(SEED).derive(&format!("bench/prefix/{i}")))
+            .collect();
+        let total_u64s = (PREFIX_LEN * STREAMS * CACHE_SESSIONS) as f64;
+        let fresh = Spread::measure(|| {
+            for _ in 0..CACHE_SESSIONS {
+                for seed in &seeds {
+                    std::hint::black_box(raw_u64_prefix(algorithm, seed, PREFIX_LEN));
+                }
+            }
+        });
+        let mut hit_rate = 0.0;
+        let cached = Spread::measure(|| {
+            let cache = DerivationCache::new();
+            for _ in 0..CACHE_SESSIONS {
+                for seed in &seeds {
+                    std::hint::black_box(cache.raw_prefix(algorithm, seed, PREFIX_LEN));
+                }
+            }
+            hit_rate = cache.stats().hit_rate();
+        });
+        rows.push(format!(
+            "    {{\"id\": \"derivation/raw_prefix/{STREAMS}x{PREFIX_LEN}x{CACHE_SESSIONS}\", \
+             \"fresh_median_seconds\": {:.6}, \"cached_median_seconds\": {:.6}, \
+             \"cache_hit_rate\": {hit_rate:.3}, \"speedup_vs_fresh\": {:.2}, \
+             \"fresh_mu64_per_second\": {:.1}, \"cached_mu64_per_second\": {:.1}}}",
+            fresh.median,
+            cached.median,
+            fresh.median / cached.median,
+            total_u64s / fresh.median / 1e6,
+            total_u64s / cached.median / 1e6,
+        ));
+    }
+
+    // The derivation cache on vs off: the same sessions over the
+    // single-threaded in-memory engine, so the delta is pure compute (no
+    // sockets, no sealing). All sessions share one master seed, hence one
+    // set of derived per-attribute seeds — the cross-session sharing the
+    // cache exists for. Bit-identity of the merged matrices is asserted
+    // inline; the engine's own tests property-test it.
+    {
+        let mut uncached_median = 0.0;
+        let mut uncached_bits: Vec<u64> = Vec::new();
+        for cached in [false, true] {
+            let mut last_compute = ComputeStats::default();
+            let mut last_cache = None;
+            let mut last_bits: Vec<u64> = Vec::new();
+            let spread = Spread::measure(|| {
+                let mut engine = SessionEngine::new(Network::with_parties(SITES));
+                if !cached {
+                    engine.set_derivation_cache(None);
+                }
+                for s in &specs {
+                    engine.add_session(s.clone());
+                }
+                let outcomes = engine.run().unwrap();
+                last_compute = sum_compute(&outcomes);
+                last_cache = engine.derivation_cache_stats();
+                last_bits = outcomes
+                    .iter()
+                    .flat_map(|o| o.final_matrix.matrix().condensed_values())
+                    .map(|v| v.to_bits())
+                    .collect();
+            });
+            let speedup = if cached {
+                assert_eq!(
+                    last_bits, uncached_bits,
+                    "the derivation cache changed a merged matrix"
+                );
+                format!(
+                    ", \"speedup_vs_uncached\": {:.2}, \"bit_identical_to_uncached\": true",
+                    uncached_median / spread.median
+                )
+            } else {
+                uncached_median = spread.median;
+                uncached_bits = last_bits.clone();
+                String::new()
+            };
+            rows.push(format!(
+                "    {{\"id\": \"engine/derivation_cache/{}\", \"sessions\": {SESSIONS}, {}, \
+                 {}, {}{speedup}}}",
+                if cached { "cached" } else { "uncached" },
+                spread.seconds_fields(),
+                spread.rate_fields(SESSIONS as f64, "sessions_per_second"),
+                compute_fields(&last_compute, last_cache.as_ref()),
+            ));
+        }
+    }
+
+    // The chunked row kernels against their retained scalar oracles, whole
+    // paths: the vectorized side includes its prefix derivation (that is
+    // what the machines actually run), the scalar side draws from the
+    // streams cell by cell as the pre-PR-7 code did.
+    {
+        const ROWS: usize = 64;
+        const COLS: usize = 4096;
+        let algorithm = RngAlgorithm::ChaCha20;
+        let master = Seed::from_u64(SEED);
+        let seeds = PairwiseSeeds {
+            holder_holder: master.derive("bench/jk"),
+            holder_third_party: master.derive("bench/jt"),
+        };
+        let values: Vec<i64> = (0..COLS as i64).map(|i| (i * 37) % 1009 - 500).collect();
+        let own: Vec<i64> = (0..ROWS as i64).map(|i| (i * 53) % 997 - 400).collect();
+
+        let scalar_mask = Spread::measure(|| {
+            std::hint::black_box(numeric::initiator_mask_scalar(&values, &seeds, algorithm));
+        });
+        let kernel_mask = Spread::measure(|| {
+            let raw_jk = raw_u64_prefix(algorithm, &seeds.holder_holder, COLS);
+            let raw_jt = raw_u64_prefix(algorithm, &seeds.holder_third_party, COLS);
+            std::hint::black_box(numeric::initiator_mask_with_prefixes(
+                &values, &raw_jk, &raw_jt,
+            ));
+        });
+        rows.push(format!(
+            "    {{\"id\": \"kernels/initiator_mask/{COLS}\", \"scalar_median_seconds\": {:.6}, \
+             \"vectorized_median_seconds\": {:.6}, \"speedup_vs_scalar\": {:.2}}}",
+            scalar_mask.median,
+            kernel_mask.median,
+            scalar_mask.median / kernel_mask.median
+        ));
+
+        let masked = {
+            let raw_jk = raw_u64_prefix(algorithm, &seeds.holder_holder, COLS);
+            let raw_jt = raw_u64_prefix(algorithm, &seeds.holder_third_party, COLS);
+            numeric::initiator_mask_with_prefixes(&values, &raw_jk, &raw_jt)
+        };
+        let negators = negators_from_raw(&raw_u64_prefix(algorithm, &seeds.holder_holder, COLS));
+        let scalar_fold = Spread::measure(|| {
+            std::hint::black_box(numeric::responder_fold_window_scalar(
+                &masked, &own, &negators,
+            ));
+        });
+        let kernel_fold = Spread::measure(|| {
+            std::hint::black_box(numeric::responder_fold_window(&masked, &own, &negators));
+        });
+        rows.push(format!(
+            "    {{\"id\": \"kernels/responder_fold/{ROWS}x{COLS}\", \
+             \"scalar_median_seconds\": {:.6}, \"vectorized_median_seconds\": {:.6}, \
+             \"speedup_vs_scalar\": {:.2}}}",
+            scalar_fold.median,
+            kernel_fold.median,
+            scalar_fold.median / kernel_fold.median
+        ));
+
+        let folded = numeric::responder_fold_window(&masked, &own, &negators);
+        let masks = numeric::third_party_mask_prefix(COLS, &seeds.holder_third_party, algorithm);
+        let scalar_unmask = Spread::measure(|| {
+            std::hint::black_box(numeric::third_party_unmask_window_scalar(&folded, &masks));
+        });
+        let kernel_unmask = Spread::measure(|| {
+            std::hint::black_box(numeric::third_party_unmask_window(&folded, &masks));
+        });
+        rows.push(format!(
+            "    {{\"id\": \"kernels/third_party_unmask/{ROWS}x{COLS}\", \
+             \"scalar_median_seconds\": {:.6}, \"vectorized_median_seconds\": {:.6}, \
+             \"speedup_vs_scalar\": {:.2}}}",
+            scalar_unmask.median,
+            kernel_unmask.median,
+            scalar_unmask.median / kernel_unmask.median
+        ));
+    }
+
+    // Parallel vs sequential TP merge on a condensed matrix big enough to
+    // clear the sequential-fallback threshold (n=2048 -> ~2.1M entries).
+    // Bit-identity is asserted inline for every thread count benched.
+    {
+        const N: usize = 2048;
+        const ATTRS: usize = 3;
+        let matrices: Vec<CondensedDistanceMatrix> = (0..ATTRS as u64)
+            .map(|a| {
+                let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_add(a);
+                CondensedDistanceMatrix::from_fn(N, |_, _| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 11) as f64 / (1u64 << 53) as f64 * 1000.0
+                })
+            })
+            .collect();
+        let weights = [0.5, 0.25, 0.25];
+        let merge = |threads: Option<usize>| -> MergeAccumulator {
+            let mut acc = MergeAccumulator::new(N);
+            for (matrix, &weight) in matrices.iter().zip(&weights) {
+                match threads {
+                    Some(t) => acc.push_normalized_parallel(matrix, weight, t).unwrap(),
+                    None => acc.push_normalized(matrix, weight).unwrap(),
+                }
+            }
+            acc
+        };
+        let sequential_bits: Vec<u64> = merge(None)
+            .finish()
+            .condensed_values()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let sequential = Spread::measure(|| {
+            std::hint::black_box(merge(None));
+        });
+        rows.push(format!(
+            "    {{\"id\": \"merge/push_normalized/n{N}/sequential\", \"attributes\": {ATTRS}, \
+             {}}}",
+            sequential.seconds_fields(),
+        ));
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for t in [2usize, threads] {
+            let identical = merge(Some(t))
+                .finish()
+                .condensed_values()
+                .iter()
+                .zip(&sequential_bits)
+                .all(|(v, &bits)| v.to_bits() == bits);
+            assert!(identical, "parallel merge diverged at {t} threads");
+            let parallel = Spread::measure(|| {
+                std::hint::black_box(merge(Some(t)));
+            });
+            let note = if threads == 1 {
+                ", \"note\": \"1-core box: the workers time-slice one core, so this row only \
+                 proves bit-identity and bounded overhead; re-measure on multi-core hardware\""
+            } else {
+                ""
+            };
+            rows.push(format!(
+                "    {{\"id\": \"merge/push_normalized/n{N}/parallel_t{t}\", \
+                 \"attributes\": {ATTRS}, {}, \"speedup_vs_sequential\": {:.2}, \
+                 \"bit_identical_to_sequential\": true{note}}}",
+                parallel.seconds_fields(),
+                sequential.median / parallel.median
+            ));
+            if t >= threads {
+                break;
+            }
+        }
     }
 
     let binary = sibling("ppc-party");
@@ -414,14 +727,17 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\n  \"pr\": 6,\n  \"title\": \"Sealing tax after coalescing + vectorized AEAD: \
-         plaintext vs sealed vs sealed+coalesced loopback TCP\",\n  \"workload\": \"bird_flu \
+        "{{\n  \"pr\": 7,\n  \"title\": \"Compute-path hot loops: derivation cache, chunked row \
+         kernels, parallel TP merge, adaptive coalescing\",\n  \"workload\": \"bird_flu \
          {OBJECTS} objects, {SITES} sites, 3 attributes (dna + numeric + categorical), average \
          linkage, k={CLUSTERS}, chunk window {WINDOW}, {SESSIONS} sessions\",\n  \"harness\": \
          \"secure_report binary; every timed row records min/median/max of {REPS} runs (noisy \
-         single-core boxes); sealed rows run ChaCha20-Poly1305 end-to-end, coalesced rows batch \
-         each link's queued envelopes into one AEAD record per flush; three-process rows spawn \
-         real ppc-party OS processes against an in-harness TCP router\",\n  \
+         single-core boxes); engine rows carry their compute-phase breakdown (derive / \
+         fold-unmask / merge wall time) and derivation-cache hit rate; sealed rows run \
+         ChaCha20-Poly1305 end-to-end, coalesced rows batch each link's queued envelopes into \
+         one AEAD record per flush with the per-link adaptive bypass live; kernel and merge \
+         rows assert bit-identity to their scalar/sequential oracles inline; three-process \
+         rows spawn real ppc-party OS processes against an in-harness TCP router\",\n  \
          \"cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
