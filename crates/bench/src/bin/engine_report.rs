@@ -1,10 +1,12 @@
 //! Generates `BENCH_pr3.json`: sharded-engine throughput across a
 //! 1 / 2 / 4-shard × {in-memory, simulated-WAN, loopback-TCP} matrix, the
-//! single-threaded engine baseline at 1 / 4 / 8 concurrent sessions, and
-//! chunked-vs-whole peak buffering — measured on this machine.
+//! single-threaded engine baseline at 1 / 4 / 8 concurrent sessions,
+//! chunked-vs-whole peak buffering, and a scenario-factory workload row —
+//! measured on this machine.
 //!
 //! ```text
-//! cargo run --release -p ppc-bench --bin engine_report [output.json]
+//! cargo run --release -p ppc-bench --bin engine_report -- \
+//!     [--reps N] [--scale quick|full] [--out output.json]
 //! ```
 
 use std::time::Instant;
@@ -20,14 +22,62 @@ use ppc_data::Workload;
 use ppc_net::{
     Backoff, Network, PartyId, SimulatedWan, TcpRouter, TcpTransport, WaitTransport, WanProfile,
 };
+use ppc_scenario::digest::fingerprint_outcomes;
+use ppc_scenario::factory::ScenarioSpec;
 
-const OBJECTS: usize = 48;
 const WINDOW: usize = 4;
 const MATRIX_SESSIONS: usize = 8;
-const REPS: usize = 5;
 
-fn spec(seed: u64, chunk_rows: Option<usize>) -> SessionSpec {
-    let workload = Workload::bird_flu(OBJECTS, 3, 3, seed).unwrap();
+struct Args {
+    reps: usize,
+    /// Object count of the bird-flu workload rows (`quick` 48, `full` 192).
+    objects: usize,
+    scale: &'static str,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        reps: 5,
+        objects: 48,
+        scale: "quick",
+        out: "BENCH_pr3.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+                if args.reps == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--scale" => {
+                (args.scale, args.objects) = match value("--scale")?.as_str() {
+                    "quick" => ("quick", 48),
+                    "full" => ("full", 192),
+                    other => return Err(format!("--scale must be quick or full, got '{other}'")),
+                }
+            }
+            "--out" => args.out = value("--out")?,
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' (expected --reps N, --scale quick|full, --out PATH)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn spec(objects: usize, seed: u64, chunk_rows: Option<usize>) -> SessionSpec {
+    let workload = Workload::bird_flu(objects, 3, 3, seed).unwrap();
     let schema = workload.schema().clone();
     let setup =
         TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(seed)).unwrap();
@@ -63,9 +113,9 @@ fn run_sharded<T: WaitTransport + Sync>(specs: &[SessionSpec], transports: Vec<T
     assert_eq!(run.outcomes.len(), specs.len());
 }
 
-/// Median wall-clock seconds of `run` over [`REPS`] repetitions.
-fn median_seconds(mut run: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..REPS)
+/// Median wall-clock seconds of `run` over `reps` repetitions.
+fn median_seconds(reps: usize, mut run: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let started = Instant::now();
             run();
@@ -84,9 +134,14 @@ fn all_parties() -> Vec<PartyId> {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("ERROR: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (reps, objects) = (args.reps, args.objects);
     let mut rows = Vec::new();
 
     // Baseline: the single-threaded engine at increasing concurrency.
@@ -94,10 +149,10 @@ fn main() {
     // fold-unmask / merge wall time) from the last repetition.
     for &sessions in &[1usize, 4, 8] {
         let specs: Vec<SessionSpec> = (0..sessions)
-            .map(|i| spec(40 + i as u64, Some(WINDOW)))
+            .map(|i| spec(objects, 40 + i as u64, Some(WINDOW)))
             .collect();
         let mut compute = ppc_core::protocol::machines::ComputeStats::default();
-        let median = median_seconds(|| {
+        let median = median_seconds(reps, || {
             let outcomes = run_single(&specs);
             assert_eq!(outcomes.len(), specs.len());
             compute = ppc_core::protocol::machines::ComputeStats::default();
@@ -121,10 +176,10 @@ fn main() {
     // The sharding matrix: 8 sessions at 1/2/4 shards over three
     // transports.
     let matrix_specs: Vec<SessionSpec> = (0..MATRIX_SESSIONS)
-        .map(|i| spec(40 + i as u64, Some(WINDOW)))
+        .map(|i| spec(objects, 40 + i as u64, Some(WINDOW)))
         .collect();
     for &shards in &[1usize, 2, 4] {
-        let median = median_seconds(|| {
+        let median = median_seconds(reps, || {
             let transports: Vec<Network> = (0..shards).map(|_| Network::with_parties(3)).collect();
             run_sharded(&matrix_specs, transports);
         });
@@ -136,7 +191,7 @@ fn main() {
         ));
     }
     for &shards in &[1usize, 2, 4] {
-        let median = median_seconds(|| {
+        let median = median_seconds(reps, || {
             let transports: Vec<SimulatedWan<Network>> = (0..shards)
                 .map(|i| {
                     SimulatedWan::new(
@@ -160,7 +215,7 @@ fn main() {
         let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
         let parties = all_parties();
         for &shards in &[1usize, 2, 4] {
-            let median = median_seconds(|| {
+            let median = median_seconds(reps, || {
                 let transports: Vec<TcpTransport> = (0..shards)
                     .map(|_| {
                         let t = TcpTransport::new(parties.iter().copied());
@@ -181,8 +236,8 @@ fn main() {
     }
 
     // Peak buffering: the quantity the chunk window bounds.
-    let whole = run_single(&[spec(40, None)]);
-    let chunked = run_single(&[spec(40, Some(WINDOW))]);
+    let whole = run_single(&[spec(objects, 40, None)]);
+    let chunked = run_single(&[spec(objects, 40, Some(WINDOW))]);
     rows.push(format!(
         "    {{\"id\": \"engine/peak_buffered_rows/whole_matrix\", \"rows\": {}}}",
         whole[0].stats.peak_buffered_rows
@@ -192,21 +247,46 @@ fn main() {
         chunked[0].stats.peak_buffered_rows
     ));
 
+    // A scenario-factory workload next to the hand-built bird_flu rows:
+    // the standard CI scenario (5 sites, zipf skew, mixed schema,
+    // per-session manifest diversity), seed recorded for reproduction.
+    {
+        let scenario = ScenarioSpec::ci(0xBE4C_0803).generate().unwrap();
+        let sessions = scenario.spec.sessions as f64;
+        let mut fingerprint = 0u64;
+        let median = median_seconds(reps, || {
+            let outcomes = scenario.oracle().unwrap();
+            fingerprint = fingerprint_outcomes(&outcomes);
+        });
+        rows.push(format!(
+            "    {{\"id\": \"engine/scenario/ci\", \"seed\": {}, \"sites\": {}, \
+             \"objects\": {}, \"sessions\": {}, \"median_seconds\": {median:.6}, \
+             \"sessions_per_second\": {:.2}, \"fingerprint\": \"{fingerprint:016x}\"}}",
+            scenario.spec.seed,
+            scenario.spec.sites,
+            scenario.spec.objects,
+            scenario.spec.sessions,
+            sessions / median,
+        ));
+    }
+
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
         "{{\n  \"pr\": 3,\n  \"title\": \"Threaded session sharding over real TCP/UDS \
-         transports\",\n  \"workload\": \"bird_flu {OBJECTS} objects, 3 sites, 3 attributes \
+         transports\",\n  \"workload\": \"bird_flu {objects} objects, 3 sites, 3 attributes \
          (numeric + categorical + dna), average linkage, k=3, chunk window {WINDOW}\",\n  \
-         \"harness\": \"engine_report binary, wall-clock medians of {REPS} runs; loopback-TCP \
-         rows include per-run connect/handshake\",\n  \"cores\": {cores},\n  \"notes\": \
-         \"sharded rows drive {MATRIX_SESSIONS} sessions hash-sharded across N worker threads; \
-         on a 1-core container shard scaling is purely scheduling overhead — re-measure on \
-         multi-core hardware\",\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"harness\": \"engine_report binary, wall-clock medians of {reps} runs (--reps/--scale \
+         flags; this run: scale {}); loopback-TCP rows include per-run connect/handshake; the \
+         engine/scenario row runs a seeded scenario-factory workload\",\n  \"cores\": \
+         {cores},\n  \"notes\": \"sharded rows drive {MATRIX_SESSIONS} sessions hash-sharded \
+         across N worker threads; on a 1-core container shard scaling is purely scheduling \
+         overhead — re-measure on multi-core hardware\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        args.scale,
         rows.join(",\n")
     );
-    std::fs::write(&out_path, &json).unwrap();
+    std::fs::write(&args.out, &json).unwrap();
     println!("{json}");
-    println!("wrote {out_path}");
+    println!("wrote {}", args.out);
 }

@@ -332,6 +332,21 @@ impl<T: Transport> SessionEngine<T> {
         self.cache.as_ref().map(DerivationCache::stats)
     }
 
+    /// Overrides the stall budget: the run aborts after more than
+    /// `max_idle_rounds` consecutive scheduling rounds that neither deliver
+    /// nor emit anything while sessions are unfinished. The engine drives
+    /// every party in-process, so a single idle round already means no
+    /// machine can move (the default of 2 is pure paranoia margin); raise
+    /// it for transports that deliver asynchronously to the polling loop.
+    pub fn set_stall_budget(&mut self, max_idle_rounds: u32) {
+        self.max_idle_rounds = max_idle_rounds;
+    }
+
+    /// The current stall budget (see [`set_stall_budget`](Self::set_stall_budget)).
+    pub fn stall_budget(&self) -> u32 {
+        self.max_idle_rounds
+    }
+
     /// Queues a session, returning its id (also its topic prefix index).
     pub fn add_session(&mut self, spec: SessionSpec) -> usize {
         self.specs.push(spec);
@@ -694,5 +709,25 @@ mod tests {
         bad.holders.truncate(1);
         engine.add_session(bad);
         assert!(engine.run().is_err());
+    }
+
+    /// The stall budget defaults to 2 idle rounds and is configurable; a
+    /// raised budget must not change a healthy run's outcome.
+    #[test]
+    fn stall_budget_defaults_and_overrides() {
+        let mut engine = SessionEngine::new(Network::with_parties(3));
+        assert_eq!(engine.stall_budget(), 2);
+        engine.set_stall_budget(16);
+        assert_eq!(engine.stall_budget(), 16);
+        engine.add_session(spec(21, Some(4)));
+        let raised = engine.run().unwrap();
+
+        let mut reference = SessionEngine::new(Network::with_parties(3));
+        reference.add_session(spec(21, Some(4)));
+        let baseline = reference.run().unwrap();
+        assert_eq!(
+            raised[0].result.clusters, baseline[0].result.clusters,
+            "the stall budget is a safety valve, never part of the outcome"
+        );
     }
 }

@@ -458,6 +458,9 @@ pub struct PartyEngine<T: WaitTransport> {
     seats: Vec<PartySeat>,
     idle_wait: Duration,
     max_idle_waits: u32,
+    /// Separate patience for the coordinator's readiness phase (peers may
+    /// still be starting up); `None` falls back to the stall budget.
+    readiness_budget: Option<(Duration, u32)>,
 }
 
 impl<T: WaitTransport> PartyEngine<T> {
@@ -482,6 +485,7 @@ impl<T: WaitTransport> PartyEngine<T> {
             seats,
             idle_wait: Duration::from_millis(50),
             max_idle_waits: 100,
+            readiness_budget: None,
         })
     }
 
@@ -501,6 +505,26 @@ impl<T: WaitTransport> PartyEngine<T> {
     pub fn set_stall_budget(&mut self, idle_wait: Duration, max_idle_waits: u32) {
         self.idle_wait = idle_wait;
         self.max_idle_waits = max_idle_waits;
+    }
+
+    /// The current stall budget as `(idle_wait, max_idle_waits)`.
+    pub fn stall_budget(&self) -> (Duration, u32) {
+        (self.idle_wait, self.max_idle_waits)
+    }
+
+    /// Overrides the *readiness* budget: how long the coordinator waits for
+    /// every remote party's readiness announcement before giving up. This
+    /// phase tolerates slow process startup (binaries still compiling,
+    /// containers still scheduling), so it may deserve far more patience
+    /// than the per-turn stall budget; unset, it follows the stall budget.
+    pub fn set_readiness_budget(&mut self, idle_wait: Duration, max_idle_waits: u32) {
+        self.readiness_budget = Some((idle_wait, max_idle_waits));
+    }
+
+    /// The effective readiness budget (explicit, or the stall budget).
+    pub fn readiness_budget(&self) -> (Duration, u32) {
+        self.readiness_budget
+            .unwrap_or((self.idle_wait, self.max_idle_waits))
     }
 
     /// Serves the local seats: announces readiness to `coordinator`
@@ -569,6 +593,7 @@ struct Flow<'a, T: WaitTransport> {
     is_coordinator: bool,
     idle_wait: Duration,
     max_idle_waits: u32,
+    readiness_budget: (Duration, u32),
     sessions: BTreeMap<u64, PartyRuntime>,
     /// Session frames that arrived before their announcement.
     pending: BTreeMap<u64, Vec<Envelope>>,
@@ -614,6 +639,7 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
             coordinator,
             idle_wait: engine.idle_wait,
             max_idle_waits: engine.max_idle_waits,
+            readiness_budget: engine.readiness_budget(),
             sessions: BTreeMap::new(),
             pending: BTreeMap::new(),
             outcomes: Vec::new(),
@@ -1113,7 +1139,9 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
         plans: Vec<SessionPlan>,
     ) -> Result<(), CoreError> {
         self.total = Some(plans.len() as u32);
-        // Phase 1: wait for every remote party's readiness.
+        // Phase 1: wait for every remote party's readiness, under its own
+        // (usually more patient) budget — peers may still be starting up.
+        let (ready_wait, ready_max_waits) = self.readiness_budget;
         let mut idle = 0u32;
         while !self
             .expected_remote
@@ -1129,17 +1157,14 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
             // the peers we are about to park on may be waiting for them.
             self.transport.flush()?;
             self.stats.blocking_waits += 1;
-            match self
-                .transport
-                .receive_any_of(&self.locals, self.idle_wait)?
-            {
+            match self.transport.receive_any_of(&self.locals, ready_wait)? {
                 Some(envelope) => {
                     self.route(envelope)?;
                     idle = 0;
                 }
                 None => {
                     idle += 1;
-                    if idle > self.max_idle_waits {
+                    if idle > ready_max_waits {
                         let missing: Vec<&PartyId> = self
                             .expected_remote
                             .iter()
@@ -1787,5 +1812,47 @@ mod tests {
         engine.set_stall_budget(Duration::from_millis(5), 3);
         let err = engine.serve(PartyId::DataHolder(0)).unwrap_err();
         assert!(err.to_string().contains("stalled"), "{err}");
+    }
+
+    /// The readiness budget follows the stall budget until set explicitly,
+    /// and a coordinator with absent peers times out under *it* — not
+    /// under the per-turn stall budget.
+    #[test]
+    fn readiness_budget_defaults_to_stall_budget_and_is_separable() {
+        let master = Seed::from_u64(6);
+        let parts = partitions();
+        let seat = || PartySeat::Holder {
+            partition: parts[0].clone(),
+            master,
+        };
+        let mut engine = PartyEngine::new(Network::with_parties(2), vec![seat()]).unwrap();
+        assert_eq!(
+            engine.readiness_budget(),
+            (Duration::from_millis(50), 100),
+            "default: mirror the stall budget"
+        );
+        engine.set_stall_budget(Duration::from_millis(5), 3);
+        assert_eq!(engine.readiness_budget(), (Duration::from_millis(5), 3));
+        engine.set_readiness_budget(Duration::from_millis(1), 2);
+        assert_eq!(engine.readiness_budget(), (Duration::from_millis(1), 2));
+        assert_eq!(
+            engine.stall_budget(),
+            (Duration::from_millis(5), 3),
+            "the readiness override must not touch the stall budget"
+        );
+
+        let started = std::time::Instant::now();
+        let err = engine
+            .coordinate(
+                schema(),
+                [PartyId::ThirdParty, PartyId::DataHolder(1)],
+                vec![plan(Some(2), NumericMode::Batch)],
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("readiness"), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "a 2 × 1 ms readiness budget must fail fast"
+        );
     }
 }

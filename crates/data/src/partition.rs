@@ -24,6 +24,16 @@ pub enum PartitionStrategy {
         /// Fraction of rows owned by site 0 (0 < fraction < 1).
         fraction: f64,
     },
+    /// Site `i` owns a share proportional to `1 / (i + 1)^exponent` — the
+    /// classic heavy-tailed institution-size distribution (exponent 0 is
+    /// uniform, 1 is the harmonic series, larger is steeper). Row membership
+    /// is shuffled with `seed` so sites do not receive contiguous runs.
+    Zipf {
+        /// Skew exponent (≥ 0, finite).
+        exponent: f64,
+        /// Shuffle seed.
+        seed: u64,
+    },
 }
 
 /// Splits `data` into `sites` horizontal partitions (site indices `0..k`).
@@ -75,6 +85,45 @@ pub fn partition(
                     }
                 })
                 .collect()
+        }
+        PartitionStrategy::Zipf { exponent, seed } => {
+            if !exponent.is_finite() || exponent < 0.0 {
+                return Err(DataError::InvalidParameter(
+                    "zipf exponent must be finite and non-negative".into(),
+                ));
+            }
+            // Largest-remainder apportionment of n rows over zipf weights,
+            // with every site guaranteed at least one row.
+            let weights: Vec<f64> = (0..sites)
+                .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let spare = n - sites as usize;
+            let shares: Vec<f64> = weights.iter().map(|w| w / total * spare as f64).collect();
+            let mut counts: Vec<usize> = shares.iter().map(|s| 1 + s.floor() as usize).collect();
+            let mut order: Vec<usize> = (0..sites as usize).collect();
+            order.sort_by(|&a, &b| {
+                (shares[b] - shares[b].floor()).total_cmp(&(shares[a] - shares[a].floor()))
+            });
+            let mut left = n - counts.iter().sum::<usize>();
+            for &site in order.iter().cycle() {
+                if left == 0 {
+                    break;
+                }
+                counts[site] += 1;
+                left -= 1;
+            }
+            let mut assignment: Vec<u32> = counts
+                .iter()
+                .enumerate()
+                .flat_map(|(site, &c)| std::iter::repeat_n(site as u32, c))
+                .collect();
+            let mut rng: StdRng = rng_from_seed(seed);
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                assignment.swap(i, j);
+            }
+            assignment
         }
     };
 
@@ -148,10 +197,53 @@ mod tests {
     }
 
     #[test]
+    fn zipf_partition_is_heavy_tailed_deterministic_and_exhaustive() {
+        let strategy = PartitionStrategy::Zipf {
+            exponent: 1.0,
+            seed: 11,
+        };
+        let (parts, origins) = partition(&dataset(100), 4, strategy).unwrap();
+        // Harmonic shares over 4 sites: sizes decrease monotonically and
+        // site 0 clearly dominates site 3.
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "sizes {sizes:?}");
+        assert!(sizes[0] >= 2 * sizes[3], "sizes {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+        // Exactly-once coverage and per-seed determinism.
+        let mut all: Vec<usize> = origins.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        let (_, again) = partition(&dataset(100), 4, strategy).unwrap();
+        assert_eq!(origins, again);
+        // Exponent 0 is uniform apportionment.
+        let (even, _) = partition(
+            &dataset(100),
+            4,
+            PartitionStrategy::Zipf {
+                exponent: 0.0,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        assert!(even.iter().all(|p| p.len() == 25));
+    }
+
+    #[test]
     fn validation_errors() {
         assert!(partition(&dataset(10), 1, PartitionStrategy::RoundRobin).is_err());
         assert!(partition(&dataset(2), 3, PartitionStrategy::RoundRobin).is_err());
         assert!(partition(&dataset(10), 2, PartitionStrategy::Skewed { fraction: 0.0 }).is_err());
         assert!(partition(&dataset(10), 2, PartitionStrategy::Skewed { fraction: 1.0 }).is_err());
+        let bad = PartitionStrategy::Zipf {
+            exponent: -1.0,
+            seed: 0,
+        };
+        assert!(partition(&dataset(10), 2, bad).is_err());
+        let bad = PartitionStrategy::Zipf {
+            exponent: f64::NAN,
+            seed: 0,
+        };
+        assert!(partition(&dataset(10), 2, bad).is_err());
     }
 }

@@ -102,6 +102,34 @@ impl<T: WaitTransport + ?Sized> WaitTransport for &T {
     }
 }
 
+// `Arc<T>` forwards both transport traits. This is the chaos hook the
+// scenario matrix relies on: an engine can own `Arc<TcpTransport>` (or a
+// wrapped `Arc<SimulatedWan<TcpTransport>>`) while a chaos thread holds a
+// second clone of the same `Arc` and severs links / inspects stats mid-run.
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn send(&self, envelope: Envelope) -> Result<(), NetError> {
+        (**self).send(envelope)
+    }
+
+    fn try_receive(&self, receiver: PartyId) -> Result<Option<Envelope>, NetError> {
+        (**self).try_receive(receiver)
+    }
+
+    fn flush(&self) -> Result<(), NetError> {
+        (**self).flush()
+    }
+}
+
+impl<T: WaitTransport + ?Sized> WaitTransport for Arc<T> {
+    fn receive_any_of(
+        &self,
+        receivers: &[PartyId],
+        timeout: Duration,
+    ) -> Result<Option<Envelope>, NetError> {
+        (**self).receive_any_of(receivers, timeout)
+    }
+}
+
 #[derive(Debug, Default)]
 struct NetworkInner {
     queues: HashMap<PartyId, VecDeque<Envelope>>,

@@ -1,20 +1,23 @@
-//! Generates `BENCH_pr7.json`: the PR-7 compute-path work measured next
-//! to the PR-6 channel-security rows.
+//! Generates `BENCH_pr8.json`: the scenario factory as the bench surface.
 //!
-//! * sessions/s of the same workload over loopback TCP with plaintext,
-//!   sealed-per-envelope and sealed+**adaptively** coalesced frames,
-//!   single-process (sharded engine through a frame router) and
-//!   three-process (real `ppc-party` OS processes) — each engine row now
-//!   carries its compute-phase breakdown (derivation / fold-unmask /
-//!   merge wall time) and the derivation-cache hit rate;
-//! * the derivation cache on and off over the single-threaded engine —
-//!   same sessions, byte-identical outputs, cache-hit throughput gain;
-//! * the chunked row kernels against their retained scalar oracles
-//!   (mask, fold, unmask whole paths, derivation included);
-//! * parallel vs sequential `MergeAccumulator::push_normalized` on a
-//!   large condensed matrix, bit-identity asserted inline;
-//! * raw seal+open throughput of the vendored ChaCha20-Poly1305, scalar
-//!   oracle vs the vectorized path.
+//! Every row is derived from a seeded [`ScenarioSpec`] and records its
+//! seed, so any number can be reproduced bit-for-bit by regenerating the
+//! same scenario. The axes:
+//!
+//! * **sites × objects × skew** — three oracle rows run the in-process
+//!   session engine over generated workloads (uniform 4-site, zipf
+//!   8-site, one-dominant-site 5-site), each with the factory's
+//!   per-session manifest diversity (linkage, weights, chunk windows,
+//!   numeric modes);
+//! * **channel security** — the same scenario through a loopback-TCP
+//!   frame router, plaintext vs sealed (ChaCha20-Poly1305 end-to-end),
+//!   byte-identity to the oracle asserted on every rep;
+//! * **loss/latency** — the scenario under the [`SimulatedWan`] cost
+//!   model (clean WAN and lossy DSL), virtual wire costs recorded next to
+//!   the wall time;
+//! * **deployment** — a multi-process pair: real `ppc-party` OS processes
+//!   fed the *generated* CSVs, `--schema` string and `--manifest` file,
+//!   plaintext vs sealed, the two runs' result streams fingerprint-equal.
 //!
 //! Every timed row records **min/median/max** of its repetitions: the
 //! single-core CI boxes this runs on are noisy (±20% between identical
@@ -22,54 +25,152 @@
 //!
 //! ```text
 //! cargo build --release -p ppc-party
-//! cargo run --release -p ppc-party --bin secure_report [output.json]
+//! cargo run --release -p ppc-party --bin secure_report -- \
+//!     [--reps N] [--scale quick|full] [--out BENCH_pr8.json]
 //! ```
 
 use std::io::Read;
 use std::process::{Child, Command, Stdio};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use ppc_cluster::{CondensedDistanceMatrix, Linkage, MergeAccumulator};
-use ppc_core::csv::to_csv;
-use ppc_core::protocol::derive_cache::DerivationCacheStats;
-use ppc_core::protocol::driver::ClusteringRequest;
-use ppc_core::protocol::engine::{SessionEngine, SessionSpec};
-use ppc_core::protocol::machines::ComputeStats;
-use ppc_core::protocol::numeric;
-use ppc_core::protocol::party::TrustedSetup;
+use ppc_core::protocol::engine::SessionSpec;
 use ppc_core::protocol::sharded::ShardedEngine;
-use ppc_core::protocol::ProtocolConfig;
-use ppc_crypto::{
-    negators_from_raw, raw_u64_prefix, ChaCha20Poly1305, PairwiseSeeds, RngAlgorithm, Seed,
+use ppc_net::{
+    Backoff, ChannelKeyring, Network, SimulatedWan, TcpRouter, TcpTransport, WaitTransport,
+    WanProfile,
 };
-use ppc_data::Workload;
-use ppc_net::{Backoff, ChannelKeyring, Network, PartyId, SealingReport, TcpRouter, TcpTransport};
+use ppc_scenario::chaos::fingerprint_process_stdout;
+use ppc_scenario::digest::fingerprint_outcomes;
+use ppc_scenario::factory::{Scenario, ScenarioSpec, SchemaShape, SiteSkew};
 
-const OBJECTS: usize = 32;
-const SITES: u32 = 2;
-const CLUSTERS: usize = 3;
-const SESSIONS: usize = 6;
-const WINDOW: usize = 4;
-const SEED: u64 = 77;
-const REPS: usize = 5;
-const SCHEMA_FLAG: &str = "dna:alphanumeric:dna,age:numeric,outcome:categorical";
+/// Bench scale: `quick` keeps a full run in CI minutes on one core,
+/// `full` multiplies the object counts for real hardware.
+#[derive(Clone, Copy, PartialEq)]
+enum Scale {
+    Quick,
+    Full,
+}
 
-fn spec(seed: u64) -> SessionSpec {
-    let workload = Workload::bird_flu(OBJECTS, SITES, CLUSTERS, seed).unwrap();
-    let schema = workload.schema().clone();
-    let setup =
-        TrustedSetup::deterministic(workload.partitions.clone(), &Seed::from_u64(SEED)).unwrap();
-    SessionSpec {
-        schema: schema.clone(),
-        config: ProtocolConfig::default(),
-        holders: setup.holders,
-        keys: setup.third_party,
-        request: ClusteringRequest {
-            weights: schema.uniform_weights(),
-            linkage: Linkage::Average,
-            num_clusters: CLUSTERS,
-        },
-        chunk_rows: Some(WINDOW),
+impl Scale {
+    fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Object count for a scenario: `quick` baseline or the `full`
+    /// multiple.
+    fn objects(self, quick: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => quick * 4,
+        }
+    }
+}
+
+struct Args {
+    reps: usize,
+    scale: Scale,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        reps: 5,
+        scale: Scale::Quick,
+        out: "BENCH_pr8.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+                if args.reps == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--scale" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "quick" => Scale::Quick,
+                    "full" => Scale::Full,
+                    other => return Err(format!("--scale must be quick or full, got '{other}'")),
+                }
+            }
+            "--out" => args.out = value("--out")?,
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' (expected --reps N, --scale quick|full, --out PATH)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// The scenario axis: three distinct shapes of the generated federation.
+fn oracle_specs(scale: Scale) -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        (
+            "uniform_4site",
+            ScenarioSpec {
+                seed: 0xBE4C_0801,
+                sites: 4,
+                objects: scale.objects(240),
+                clusters: 3,
+                skew: SiteSkew::Uniform,
+                shape: SchemaShape::default(),
+                sessions: 3,
+                chunk_base: Some(8),
+            },
+        ),
+        (
+            "zipf_8site",
+            ScenarioSpec {
+                seed: 0xBE4C_0802,
+                sites: 8,
+                objects: scale.objects(480),
+                clusters: 4,
+                skew: SiteSkew::Zipf { exponent: 1.0 },
+                shape: SchemaShape::default(),
+                sessions: 2,
+                chunk_base: Some(16),
+            },
+        ),
+        (
+            "dominant_5site",
+            ScenarioSpec {
+                seed: 0xBE4C_0803,
+                sites: 5,
+                objects: scale.objects(360),
+                clusters: 3,
+                skew: SiteSkew::DominantSite { fraction: 0.6 },
+                shape: SchemaShape::default(),
+                sessions: 2,
+                chunk_base: Some(8),
+            },
+        ),
+    ]
+}
+
+/// The multi-process scenario: 3 sites keeps the federation at four
+/// `ppc-party` processes plus the router.
+fn process_spec(scale: Scale) -> ScenarioSpec {
+    ScenarioSpec {
+        seed: 0xBE4C_0804,
+        sites: 3,
+        objects: scale.objects(120),
+        clusters: 2,
+        skew: SiteSkew::Zipf { exponent: 0.9 },
+        shape: SchemaShape::default(),
+        sessions: 2,
+        chunk_base: Some(8),
     }
 }
 
@@ -91,9 +192,9 @@ impl Spread {
         }
     }
 
-    fn measure(mut run: impl FnMut()) -> Spread {
+    fn measure(reps: usize, mut run: impl FnMut()) -> Spread {
         Spread::of(
-            (0..REPS)
+            (0..reps)
                 .map(|_| {
                     let started = Instant::now();
                     run();
@@ -122,80 +223,54 @@ impl Spread {
     }
 }
 
-/// `"derive_seconds": …, "fold_unmask_seconds": …, "merge_seconds": …`
-/// fields of one run's compute-phase breakdown, plus the cache hit rate
-/// when a derivation cache was live.
-fn compute_fields(compute: &ComputeStats, cache: Option<&DerivationCacheStats>) -> String {
-    let mut fields = format!(
-        "\"derive_seconds\": {:.6}, \"fold_unmask_seconds\": {:.6}, \"merge_seconds\": {:.6}",
-        compute.derive_nanos as f64 / 1e9,
-        compute.fold_unmask_nanos as f64 / 1e9,
-        compute.merge_nanos as f64 / 1e9,
-    );
-    if let Some(stats) = cache {
-        fields.push_str(&format!(
-            ", \"cache_hit_rate\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}",
-            stats.hit_rate(),
-            stats.hits,
-            stats.misses
-        ));
-    }
-    fields
+/// `"seed": …, "sites": …, "objects": …, "sessions": …` — the provenance
+/// fields every scenario-derived row carries.
+fn scenario_fields(scenario: &Scenario) -> String {
+    format!(
+        "\"seed\": {}, \"sites\": {}, \"objects\": {}, \"sessions\": {}",
+        scenario.spec.seed, scenario.spec.sites, scenario.spec.objects, scenario.spec.sessions
+    )
 }
 
-/// Sums the compute-phase breakdown over a run's per-session outcomes.
-fn sum_compute(outcomes: &[ppc_core::protocol::engine::EngineOutcome]) -> ComputeStats {
-    let mut total = ComputeStats::default();
-    for outcome in outcomes {
-        total.absorb(&outcome.stats.compute);
-    }
-    total
-}
-
-/// One single-process sharded run over a loopback-TCP router: plaintext,
-/// sealed one-record-per-envelope, or sealed+coalesced. Returns the
-/// transport's sealing report (`None` on plaintext) plus the run's
-/// compute-phase breakdown and derivation-cache counters.
-fn sharded_tcp_run(
+/// Runs the scenario's sessions through a one-shard [`ShardedEngine`] on
+/// `transport` and returns the outcome fingerprint.
+fn sharded_fingerprint<T: WaitTransport + Sync + 'static>(
     specs: &[SessionSpec],
-    sealed: bool,
-    coalesce: bool,
-) -> (
-    Option<SealingReport>,
-    ComputeStats,
-    Option<DerivationCacheStats>,
-) {
-    let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
-    let parties: Vec<PartyId> = (0..SITES)
-        .map(PartyId::DataHolder)
-        .chain([PartyId::ThirdParty])
-        .collect();
-    let mut transport = TcpTransport::new(parties);
-    if sealed {
-        transport.set_security(ChannelKeyring::from_master(&Seed::from_u64(SEED)));
-        transport.set_coalescing(coalesce);
-    }
-    transport.connect(addr, &Backoff::default()).unwrap();
+    transport: T,
+) -> u64 {
     let mut engine = ShardedEngine::new(vec![transport]).unwrap();
-    for s in specs {
-        engine.add_session(s.clone());
+    for spec in specs {
+        engine.add_session(spec.clone());
     }
-    engine.set_stall_budget(std::time::Duration::from_millis(100), 100);
+    engine.set_stall_budget(Duration::from_millis(100), 600);
     let run = engine.run().unwrap();
-    assert_eq!(run.outcomes.len(), SESSIONS);
-    let compute = sum_compute(&run.outcomes);
-    let cache = engine.derivation_cache_stats();
-    let mut sealing = None;
-    for t in engine.transports() {
-        if let Some(report) = t.sealing_report() {
-            sealing
-                .get_or_insert_with(SealingReport::default)
-                .merge(&report);
-        }
-        t.shutdown();
+    fingerprint_outcomes(&run.outcomes)
+}
+
+fn spawn_party(binary: &std::path::Path, args: &[String], keep_stdout: bool) -> Child {
+    Command::new(binary)
+        .args(args)
+        .stdout(if keep_stdout {
+            Stdio::piped()
+        } else {
+            // Serving parties print their own RESULT/MATRIX lines; nobody
+            // reads them here, and an undrained pipe would gag the
+            // federation once the OS buffer fills.
+            Stdio::null()
+        })
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", binary.display()))
+}
+
+fn drain(child: Child, label: &str) -> String {
+    let output = child.wait_with_output().expect("child waited");
+    if !output.status.success() {
+        let mut text = String::new();
+        let _ = (&output.stdout[..]).read_to_string(&mut text);
+        panic!("{label} failed ({}): {text}", output.status);
     }
-    router.shutdown();
-    (sealing, compute, cache)
+    String::from_utf8_lossy(&output.stdout).into_owned()
 }
 
 fn sibling(name: &str) -> std::path::PathBuf {
@@ -204,52 +279,16 @@ fn sibling(name: &str) -> std::path::PathBuf {
     path
 }
 
-fn spawn_party(binary: &std::path::Path, args: &[String]) -> Child {
-    Command::new(binary)
-        .args(args)
-        .stdout(Stdio::piped())
-        .stderr(Stdio::null())
-        .spawn()
-        .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", binary.display()))
-}
-
-fn drain(child: Child, label: &str) {
-    let output = child.wait_with_output().expect("child waited");
-    if !output.status.success() {
-        let mut text = String::new();
-        let _ = (&output.stdout[..]).read_to_string(&mut text);
-        panic!("{label} failed ({}): {text}", output.status);
-    }
-}
-
-/// Channel flavor of a three-process run.
-#[derive(Clone, Copy, PartialEq)]
-enum Flavor {
-    Plaintext,
-    SealedUncoalesced,
-    SealedCoalesced,
-}
-
-impl Flavor {
-    fn id(self) -> &'static str {
-        match self {
-            Flavor::Plaintext => "plaintext",
-            Flavor::SealedUncoalesced => "sealed_uncoalesced",
-            Flavor::SealedCoalesced => "sealed_coalesced",
-        }
-    }
-
-    fn extra_flag(self) -> Option<&'static str> {
-        match self {
-            Flavor::Plaintext => Some("--insecure"),
-            Flavor::SealedUncoalesced => Some("--no-coalesce"),
-            Flavor::SealedCoalesced => None, // the ppc-party default
-        }
-    }
-}
-
-/// One three-process federation run over loopback TCP.
-fn three_process_run(binary: &std::path::Path, csv_dir: &std::path::Path, flavor: Flavor) -> f64 {
+/// One federation of real `ppc-party` processes over a loopback-TCP
+/// router, fed the scenario's generated CSVs, schema and manifest.
+/// Returns the wall time and the coordinator's result-stream fingerprint.
+fn multi_process_run(
+    binary: &std::path::Path,
+    scenario: &Scenario,
+    csvs: &[std::path::PathBuf],
+    manifest: &std::path::Path,
+    sealed: bool,
+) -> (f64, u64) {
     let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
     let connect = format!("tcp:{addr}");
     let common = |rest: &[&str]| -> Vec<String> {
@@ -258,38 +297,47 @@ fn three_process_run(binary: &std::path::Path, csv_dir: &std::path::Path, flavor
             "--connect".into(),
             connect.clone(),
             "--seed".into(),
-            SEED.to_string(),
+            scenario.spec.seed.to_string(),
             "--schema".into(),
-            SCHEMA_FLAG.into(),
+            scenario.schema_cli().to_string(),
         ]);
-        if let Some(flag) = flavor.extra_flag() {
-            args.push(flag.into());
+        if !sealed {
+            args.push("--insecure".into());
         }
         args
     };
-    let csv = |site: u32| {
-        csv_dir
-            .join(format!("site{site}.csv"))
-            .display()
-            .to_string()
-    };
     let started = Instant::now();
-    let serve_dh1 = spawn_party(
-        binary,
-        &common(&[
-            "serve",
-            "--party",
-            "DH1",
-            "--coordinator",
-            "DH0",
-            "--csv",
-            &csv(1),
-        ]),
-    );
-    let serve_tp = spawn_party(
-        binary,
-        &common(&["serve", "--party", "TP", "--coordinator", "DH0"]),
-    );
+    let mut serves = Vec::new();
+    for site in 1..scenario.spec.sites {
+        serves.push((
+            spawn_party(
+                binary,
+                &common(&[
+                    "serve",
+                    "--party",
+                    &format!("DH{site}"),
+                    "--coordinator",
+                    "DH0",
+                    "--csv",
+                    &csvs[site as usize].display().to_string(),
+                ]),
+                false,
+            ),
+            format!("serve DH{site}"),
+        ));
+    }
+    serves.push((
+        spawn_party(
+            binary,
+            &common(&["serve", "--party", "TP", "--coordinator", "DH0"]),
+            false,
+        ),
+        "serve TP".to_string(),
+    ));
+    let remote: Vec<String> = (1..scenario.spec.sites)
+        .map(|i| format!("DH{i}"))
+        .chain(["TP".to_string()])
+        .collect();
     let coordinate = spawn_party(
         binary,
         &common(&[
@@ -297,427 +345,184 @@ fn three_process_run(binary: &std::path::Path, csv_dir: &std::path::Path, flavor
             "--party",
             "DH0",
             "--remote",
-            "DH1,TP",
+            &remote.join(","),
             "--csv",
-            &csv(0),
-            "--sessions",
-            &SESSIONS.to_string(),
+            &csvs[0].display().to_string(),
             "--clusters",
-            &CLUSTERS.to_string(),
-            "--chunk-rows",
-            &WINDOW.to_string(),
+            "2",
+            "--manifest",
+            &manifest.display().to_string(),
         ]),
+        true,
     );
-    drain(coordinate, "coordinate");
+    let stdout = drain(coordinate, "coordinate");
     let elapsed = started.elapsed().as_secs_f64();
-    drain(serve_dh1, "serve DH1");
-    drain(serve_tp, "serve TP");
+    for (child, label) in serves {
+        drain(child, &label);
+    }
     router.shutdown();
-    elapsed
+    (elapsed, fingerprint_process_stdout(&stdout))
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("ERROR: {e}");
+            std::process::exit(1);
+        }
+    };
+    let reps = args.reps;
     let mut rows = Vec::new();
 
-    // Raw AEAD throughput, 1 MiB frames: the retained scalar oracle vs the
-    // shipping vectorized path, measured on the same machine in the same
-    // process.
-    let mut scalar_median_mbs = 0.0;
-    for scalar in [true, false] {
-        let cipher = ChaCha20Poly1305::from_seed(&Seed::from_u64(1));
-        let plaintext = vec![0xA5u8; 1 << 20];
-        let mut nonce = [0u8; 12];
-        let frames = if scalar { 4u64 } else { 16u64 };
-        let spread = Spread::measure(|| {
-            for i in 0..frames {
-                nonce[0..8].copy_from_slice(&i.to_le_bytes());
-                let (sealed, opened) = if scalar {
-                    let sealed = cipher.seal_scalar(&nonce, b"bench", &plaintext);
-                    let opened = cipher.open_scalar(&nonce, b"bench", &sealed).unwrap();
-                    (sealed, opened)
-                } else {
-                    let sealed = cipher.seal(&nonce, b"bench", &plaintext);
-                    let opened = cipher.open(&nonce, b"bench", &sealed).unwrap();
-                    (sealed, opened)
-                };
-                assert_eq!(sealed.len(), plaintext.len() + 16);
-                assert_eq!(opened.len(), plaintext.len());
-            }
+    // Axis 1: sites × objects × skew, in-process oracle runs.
+    let mut first: Option<(Scenario, u64)> = None;
+    for (name, spec) in oracle_specs(args.scale) {
+        let scenario = spec.generate().unwrap();
+        let sessions = scenario.spec.sessions as f64;
+        let mut fingerprint = 0u64;
+        let spread = Spread::measure(reps, || {
+            let outcomes = scenario.oracle().unwrap();
+            fingerprint = fingerprint_outcomes(&outcomes);
         });
-        let mb = frames as f64;
-        if scalar {
-            scalar_median_mbs = mb / spread.median;
-        }
-        let speedup = if scalar {
-            String::new()
-        } else {
-            format!(
-                ", \"speedup_vs_scalar\": {:.2}",
-                (mb / spread.median) / scalar_median_mbs
-            )
-        };
         rows.push(format!(
-            "    {{\"id\": \"aead/seal_open_roundtrip/{}\", \"mb_per_rep\": {mb:.0}, {}, \
-             {}{speedup}}}",
-            if scalar { "scalar" } else { "vectorized" },
+            "    {{\"id\": \"scenario/oracle/{name}\", {}, {}, {}, \
+             \"fingerprint\": \"{fingerprint:016x}\"}}",
+            scenario_fields(&scenario),
             spread.seconds_fields(),
-            spread.rate_fields(mb, "mb_per_second"),
+            spread.rate_fields(sessions, "sessions_per_second"),
         ));
-    }
-
-    let specs: Vec<SessionSpec> = (0..SESSIONS).map(|i| spec(900 + i as u64)).collect();
-    let mut plaintext_median = 0.0;
-    let mut sealing_table = None;
-    for (id, sealed, coalesce) in [
-        ("plaintext", false, false),
-        ("sealed_uncoalesced", true, false),
-        ("sealed_coalesced", true, true),
-    ] {
-        let mut last_compute = ComputeStats::default();
-        let mut last_cache = None;
-        let spread = Spread::measure(|| {
-            let (report, compute, cache) = sharded_tcp_run(&specs, sealed, coalesce);
-            last_compute = compute;
-            last_cache = cache;
-            if coalesce {
-                if let Some(report) = report {
-                    sealing_table = Some(report);
-                }
-            }
-        });
-        if !sealed {
-            plaintext_median = spread.median;
+        if first.is_none() {
+            first = Some((scenario, fingerprint));
         }
+    }
+    let (reference, oracle_fp) = first.expect("at least one oracle scenario");
+    let specs = reference.session_specs().unwrap();
+    let sessions = reference.spec.sessions as f64;
+
+    // Axis 2: channel security over a loopback-TCP frame router, identity
+    // to the oracle asserted on every rep.
+    let mut plaintext_median = 0.0;
+    for sealed in [false, true] {
+        let spread = Spread::measure(reps, || {
+            let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+            let mut transport = TcpTransport::new(reference.parties());
+            if sealed {
+                transport.set_security(ChannelKeyring::from_master(&reference.master));
+            }
+            transport.connect(addr, &Backoff::default()).unwrap();
+            let fingerprint = sharded_fingerprint(&specs, transport);
+            assert_eq!(fingerprint, oracle_fp, "TCP run diverged from the oracle");
+            router.shutdown();
+        });
         let overhead = if sealed {
             format!(
                 ", \"overhead_vs_plaintext_percent\": {:.1}",
                 (spread.median / plaintext_median - 1.0) * 100.0
             )
         } else {
+            plaintext_median = spread.median;
             String::new()
         };
         rows.push(format!(
-            "    {{\"id\": \"single_process/loopback_tcp/{id}\", \"sessions\": {SESSIONS}, {}, \
-             {}, {}{overhead}}}",
+            "    {{\"id\": \"scenario/sharded_tcp/{}\", {}, {}, {}, \
+             \"bit_identical_to_oracle\": true{overhead}}}",
+            if sealed { "sealed" } else { "plaintext" },
+            scenario_fields(&reference),
             spread.seconds_fields(),
-            spread.rate_fields(SESSIONS as f64, "sessions_per_second"),
-            compute_fields(&last_compute, last_cache.as_ref()),
-        ));
-    }
-    if let Some(report) = &sealing_table {
-        let t = report.total();
-        println!(
-            "sealing stats of one coalesced run: {} envelopes in {} records \
-             ({:.2} frames/record), {} plaintext bytes -> {} sealed bytes",
-            t.frames_sealed,
-            t.records_sealed,
-            t.frames_per_record(),
-            t.plaintext_bytes,
-            t.sealed_bytes
-        );
-        print!("{}", report.to_table());
-    }
-
-    // The cache gain isolated: deriving the same 8 long stream prefixes
-    // for 8 same-schema sessions, fresh every time vs through one shared
-    // [`DerivationCache`] (1 miss + 7 hits per stream). This is the
-    // per-prefix work the cache removes; in the full engine rows below the
-    // derivation share of this small workload is <1%, so the end-to-end
-    // delta sits inside run-to-run noise there.
-    {
-        use ppc_core::protocol::derive_cache::DerivationCache;
-        const PREFIX_LEN: usize = 1 << 16;
-        const STREAMS: usize = 8;
-        const CACHE_SESSIONS: usize = 8;
-        let algorithm = RngAlgorithm::ChaCha20;
-        let seeds: Vec<Seed> = (0..STREAMS)
-            .map(|i| Seed::from_u64(SEED).derive(&format!("bench/prefix/{i}")))
-            .collect();
-        let total_u64s = (PREFIX_LEN * STREAMS * CACHE_SESSIONS) as f64;
-        let fresh = Spread::measure(|| {
-            for _ in 0..CACHE_SESSIONS {
-                for seed in &seeds {
-                    std::hint::black_box(raw_u64_prefix(algorithm, seed, PREFIX_LEN));
-                }
-            }
-        });
-        let mut hit_rate = 0.0;
-        let cached = Spread::measure(|| {
-            let cache = DerivationCache::new();
-            for _ in 0..CACHE_SESSIONS {
-                for seed in &seeds {
-                    std::hint::black_box(cache.raw_prefix(algorithm, seed, PREFIX_LEN));
-                }
-            }
-            hit_rate = cache.stats().hit_rate();
-        });
-        rows.push(format!(
-            "    {{\"id\": \"derivation/raw_prefix/{STREAMS}x{PREFIX_LEN}x{CACHE_SESSIONS}\", \
-             \"fresh_median_seconds\": {:.6}, \"cached_median_seconds\": {:.6}, \
-             \"cache_hit_rate\": {hit_rate:.3}, \"speedup_vs_fresh\": {:.2}, \
-             \"fresh_mu64_per_second\": {:.1}, \"cached_mu64_per_second\": {:.1}}}",
-            fresh.median,
-            cached.median,
-            fresh.median / cached.median,
-            total_u64s / fresh.median / 1e6,
-            total_u64s / cached.median / 1e6,
+            spread.rate_fields(sessions, "sessions_per_second"),
         ));
     }
 
-    // The derivation cache on vs off: the same sessions over the
-    // single-threaded in-memory engine, so the delta is pure compute (no
-    // sockets, no sealing). All sessions share one master seed, hence one
-    // set of derived per-attribute seeds — the cross-session sharing the
-    // cache exists for. Bit-identity of the merged matrices is asserted
-    // inline; the engine's own tests property-test it.
-    {
-        let mut uncached_median = 0.0;
-        let mut uncached_bits: Vec<u64> = Vec::new();
-        for cached in [false, true] {
-            let mut last_compute = ComputeStats::default();
-            let mut last_cache = None;
-            let mut last_bits: Vec<u64> = Vec::new();
-            let spread = Spread::measure(|| {
-                let mut engine = SessionEngine::new(Network::with_parties(SITES));
-                if !cached {
-                    engine.set_derivation_cache(None);
-                }
-                for s in &specs {
-                    engine.add_session(s.clone());
-                }
-                let outcomes = engine.run().unwrap();
-                last_compute = sum_compute(&outcomes);
-                last_cache = engine.derivation_cache_stats();
-                last_bits = outcomes
-                    .iter()
-                    .flat_map(|o| o.final_matrix.matrix().condensed_values())
-                    .map(|v| v.to_bits())
-                    .collect();
-            });
-            let speedup = if cached {
-                assert_eq!(
-                    last_bits, uncached_bits,
-                    "the derivation cache changed a merged matrix"
-                );
-                format!(
-                    ", \"speedup_vs_uncached\": {:.2}, \"bit_identical_to_uncached\": true",
-                    uncached_median / spread.median
-                )
-            } else {
-                uncached_median = spread.median;
-                uncached_bits = last_bits.clone();
-                String::new()
-            };
-            rows.push(format!(
-                "    {{\"id\": \"engine/derivation_cache/{}\", \"sessions\": {SESSIONS}, {}, \
-                 {}, {}{speedup}}}",
-                if cached { "cached" } else { "uncached" },
-                spread.seconds_fields(),
-                spread.rate_fields(SESSIONS as f64, "sessions_per_second"),
-                compute_fields(&last_compute, last_cache.as_ref()),
-            ));
-        }
-    }
-
-    // The chunked row kernels against their retained scalar oracles, whole
-    // paths: the vectorized side includes its prefix derivation (that is
-    // what the machines actually run), the scalar side draws from the
-    // streams cell by cell as the pre-PR-7 code did.
-    {
-        const ROWS: usize = 64;
-        const COLS: usize = 4096;
-        let algorithm = RngAlgorithm::ChaCha20;
-        let master = Seed::from_u64(SEED);
-        let seeds = PairwiseSeeds {
-            holder_holder: master.derive("bench/jk"),
-            holder_third_party: master.derive("bench/jt"),
-        };
-        let values: Vec<i64> = (0..COLS as i64).map(|i| (i * 37) % 1009 - 500).collect();
-        let own: Vec<i64> = (0..ROWS as i64).map(|i| (i * 53) % 997 - 400).collect();
-
-        let scalar_mask = Spread::measure(|| {
-            std::hint::black_box(numeric::initiator_mask_scalar(&values, &seeds, algorithm));
-        });
-        let kernel_mask = Spread::measure(|| {
-            let raw_jk = raw_u64_prefix(algorithm, &seeds.holder_holder, COLS);
-            let raw_jt = raw_u64_prefix(algorithm, &seeds.holder_third_party, COLS);
-            std::hint::black_box(numeric::initiator_mask_with_prefixes(
-                &values, &raw_jk, &raw_jt,
-            ));
-        });
-        rows.push(format!(
-            "    {{\"id\": \"kernels/initiator_mask/{COLS}\", \"scalar_median_seconds\": {:.6}, \
-             \"vectorized_median_seconds\": {:.6}, \"speedup_vs_scalar\": {:.2}}}",
-            scalar_mask.median,
-            kernel_mask.median,
-            scalar_mask.median / kernel_mask.median
-        ));
-
-        let masked = {
-            let raw_jk = raw_u64_prefix(algorithm, &seeds.holder_holder, COLS);
-            let raw_jt = raw_u64_prefix(algorithm, &seeds.holder_third_party, COLS);
-            numeric::initiator_mask_with_prefixes(&values, &raw_jk, &raw_jt)
-        };
-        let negators = negators_from_raw(&raw_u64_prefix(algorithm, &seeds.holder_holder, COLS));
-        let scalar_fold = Spread::measure(|| {
-            std::hint::black_box(numeric::responder_fold_window_scalar(
-                &masked, &own, &negators,
-            ));
-        });
-        let kernel_fold = Spread::measure(|| {
-            std::hint::black_box(numeric::responder_fold_window(&masked, &own, &negators));
-        });
-        rows.push(format!(
-            "    {{\"id\": \"kernels/responder_fold/{ROWS}x{COLS}\", \
-             \"scalar_median_seconds\": {:.6}, \"vectorized_median_seconds\": {:.6}, \
-             \"speedup_vs_scalar\": {:.2}}}",
-            scalar_fold.median,
-            kernel_fold.median,
-            scalar_fold.median / kernel_fold.median
-        ));
-
-        let folded = numeric::responder_fold_window(&masked, &own, &negators);
-        let masks = numeric::third_party_mask_prefix(COLS, &seeds.holder_third_party, algorithm);
-        let scalar_unmask = Spread::measure(|| {
-            std::hint::black_box(numeric::third_party_unmask_window_scalar(&folded, &masks));
-        });
-        let kernel_unmask = Spread::measure(|| {
-            std::hint::black_box(numeric::third_party_unmask_window(&folded, &masks));
-        });
-        rows.push(format!(
-            "    {{\"id\": \"kernels/third_party_unmask/{ROWS}x{COLS}\", \
-             \"scalar_median_seconds\": {:.6}, \"vectorized_median_seconds\": {:.6}, \
-             \"speedup_vs_scalar\": {:.2}}}",
-            scalar_unmask.median,
-            kernel_unmask.median,
-            scalar_unmask.median / kernel_unmask.median
-        ));
-    }
-
-    // Parallel vs sequential TP merge on a condensed matrix big enough to
-    // clear the sequential-fallback threshold (n=2048 -> ~2.1M entries).
-    // Bit-identity is asserted inline for every thread count benched.
-    {
-        const N: usize = 2048;
-        const ATTRS: usize = 3;
-        let matrices: Vec<CondensedDistanceMatrix> = (0..ATTRS as u64)
-            .map(|a| {
-                let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_add(a);
-                CondensedDistanceMatrix::from_fn(N, |_, _| {
-                    state = state
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    (state >> 11) as f64 / (1u64 << 53) as f64 * 1000.0
-                })
-            })
-            .collect();
-        let weights = [0.5, 0.25, 0.25];
-        let merge = |threads: Option<usize>| -> MergeAccumulator {
-            let mut acc = MergeAccumulator::new(N);
-            for (matrix, &weight) in matrices.iter().zip(&weights) {
-                match threads {
-                    Some(t) => acc.push_normalized_parallel(matrix, weight, t).unwrap(),
-                    None => acc.push_normalized(matrix, weight).unwrap(),
-                }
-            }
-            acc
-        };
-        let sequential_bits: Vec<u64> = merge(None)
-            .finish()
-            .condensed_values()
-            .iter()
-            .map(|v| v.to_bits())
-            .collect();
-        let sequential = Spread::measure(|| {
-            std::hint::black_box(merge(None));
-        });
-        rows.push(format!(
-            "    {{\"id\": \"merge/push_normalized/n{N}/sequential\", \"attributes\": {ATTRS}, \
-             {}}}",
-            sequential.seconds_fields(),
-        ));
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        for t in [2usize, threads] {
-            let identical = merge(Some(t))
-                .finish()
-                .condensed_values()
-                .iter()
-                .zip(&sequential_bits)
-                .all(|(v, &bits)| v.to_bits() == bits);
-            assert!(identical, "parallel merge diverged at {t} threads");
-            let parallel = Spread::measure(|| {
-                std::hint::black_box(merge(Some(t)));
-            });
-            let note = if threads == 1 {
-                ", \"note\": \"1-core box: the workers time-slice one core, so this row only \
-                 proves bit-identity and bounded overhead; re-measure on multi-core hardware\""
-            } else {
-                ""
-            };
-            rows.push(format!(
-                "    {{\"id\": \"merge/push_normalized/n{N}/parallel_t{t}\", \
-                 \"attributes\": {ATTRS}, {}, \"speedup_vs_sequential\": {:.2}, \
-                 \"bit_identical_to_sequential\": true{note}}}",
-                parallel.seconds_fields(),
-                sequential.median / parallel.median
-            ));
-            if t >= threads {
-                break;
-            }
-        }
-    }
-
-    let binary = sibling("ppc-party");
-    if binary.exists() {
-        let csv_dir = std::env::temp_dir().join(format!("ppc-secure-bench-{}", std::process::id()));
-        std::fs::create_dir_all(&csv_dir).unwrap();
-        let workload = Workload::bird_flu(OBJECTS, SITES, CLUSTERS, 900).unwrap();
-        for partition in &workload.partitions {
-            std::fs::write(
-                csv_dir.join(format!("site{}.csv", partition.site())),
-                to_csv(partition.matrix()),
+    // Axis 3: loss/latency under the simulated-WAN cost model. Loss here
+    // is virtual-cost accounting (delivery is unchanged), so the rows
+    // record the wire costs a real deployment would pay next to the
+    // unchanged results.
+    for (profile_name, profile, wan_seed) in [
+        ("wan", WanProfile::wan(), 21u64),
+        ("lossy_dsl", WanProfile::lossy_dsl(), 23u64),
+    ] {
+        let mut stats = None;
+        let spread = Spread::measure(reps, || {
+            let transport = SimulatedWan::new(
+                Network::with_parties(reference.spec.sites),
+                profile,
+                wan_seed,
             )
             .unwrap();
-        }
-        let mut three_plaintext_median = 0.0;
-        for flavor in [
-            Flavor::Plaintext,
-            Flavor::SealedUncoalesced,
-            Flavor::SealedCoalesced,
-        ] {
+            let wan = transport.clone();
+            let fingerprint = sharded_fingerprint(&specs, transport);
+            assert_eq!(fingerprint, oracle_fp, "WAN run diverged from the oracle");
+            stats = Some(wan.stats());
+        });
+        let stats = stats.expect("at least one rep ran");
+        rows.push(format!(
+            "    {{\"id\": \"scenario/wan/{profile_name}\", {}, {}, \
+             \"virtual_wire_seconds\": {:.3}, \"bytes_on_wire\": {}, \
+             \"retransmissions\": {}, \"bit_identical_to_oracle\": true}}",
+            scenario_fields(&reference),
+            spread.seconds_fields(),
+            stats.virtual_seconds,
+            stats.bytes_on_wire,
+            stats.retransmissions(),
+        ));
+    }
+
+    // Axis 4: real OS processes fed the generated artefacts, plaintext vs
+    // sealed. The two flavors must produce fingerprint-identical result
+    // streams — sealing is transparent to the protocol.
+    let binary = sibling("ppc-party");
+    if binary.exists() {
+        let scenario = process_spec(args.scale).generate().unwrap();
+        let dir = std::env::temp_dir().join(format!("ppc-scenario-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csvs = scenario.write_csvs(&dir).unwrap();
+        let manifest = dir.join("manifest.txt");
+        std::fs::write(&manifest, scenario.manifest_text()).unwrap();
+
+        let mut plaintext_stats: Option<(f64, u64)> = None;
+        for sealed in [false, true] {
+            let mut fingerprint = 0u64;
             let spread = Spread::of(
-                (0..REPS)
-                    .map(|_| three_process_run(&binary, &csv_dir, flavor))
+                (0..reps)
+                    .map(|_| {
+                        let (elapsed, fp) =
+                            multi_process_run(&binary, &scenario, &csvs, &manifest, sealed);
+                        fingerprint = fp;
+                        elapsed
+                    })
                     .collect(),
             );
-            if flavor == Flavor::Plaintext {
-                three_plaintext_median = spread.median;
-            }
-            let overhead = if flavor == Flavor::Plaintext {
-                String::new()
-            } else {
-                format!(
-                    ", \"overhead_vs_plaintext_percent\": {:.1}",
-                    (spread.median / three_plaintext_median - 1.0) * 100.0
-                )
+            let extra = match plaintext_stats {
+                Some((median, plain_fp)) => {
+                    assert_eq!(
+                        fingerprint, plain_fp,
+                        "sealed and plaintext federations diverged"
+                    );
+                    format!(
+                        ", \"overhead_vs_plaintext_percent\": {:.1}, \
+                         \"fingerprint_equals_plaintext\": true",
+                        (spread.median / median - 1.0) * 100.0
+                    )
+                }
+                None => {
+                    plaintext_stats = Some((spread.median, fingerprint));
+                    String::new()
+                }
             };
             rows.push(format!(
-                "    {{\"id\": \"three_process/loopback_tcp/{}\", \"sessions\": {SESSIONS}, {}, \
-                 {}{overhead}, \"note\": \"includes process spawn + control-plane handshake\"}}",
-                flavor.id(),
+                "    {{\"id\": \"scenario/multi_process/{}\", {}, {}, \
+                 \"fingerprint\": \"{fingerprint:016x}\"{extra}, \
+                 \"note\": \"includes process spawn + control-plane handshake\"}}",
+                if sealed { "sealed" } else { "plaintext" },
+                scenario_fields(&scenario),
                 spread.seconds_fields(),
-                spread.rate_fields(SESSIONS as f64, "sessions_per_second"),
             ));
         }
-        let _ = std::fs::remove_dir_all(&csv_dir);
+        let _ = std::fs::remove_dir_all(&dir);
     } else {
         rows.push(format!(
-            "    {{\"id\": \"three_process/loopback_tcp\", \"skipped\": \
+            "    {{\"id\": \"scenario/multi_process\", \"skipped\": \
              \"{} not built; run cargo build --release -p ppc-party first\"}}",
             binary.display()
         ));
@@ -727,21 +532,19 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\n  \"pr\": 7,\n  \"title\": \"Compute-path hot loops: derivation cache, chunked row \
-         kernels, parallel TP merge, adaptive coalescing\",\n  \"workload\": \"bird_flu \
-         {OBJECTS} objects, {SITES} sites, 3 attributes (dna + numeric + categorical), average \
-         linkage, k={CLUSTERS}, chunk window {WINDOW}, {SESSIONS} sessions\",\n  \"harness\": \
-         \"secure_report binary; every timed row records min/median/max of {REPS} runs (noisy \
-         single-core boxes); engine rows carry their compute-phase breakdown (derive / \
-         fold-unmask / merge wall time) and derivation-cache hit rate; sealed rows run \
-         ChaCha20-Poly1305 end-to-end, coalesced rows batch each link's queued envelopes into \
-         one AEAD record per flush with the per-link adaptive bypass live; kernel and merge \
-         rows assert bit-identity to their scalar/sequential oracles inline; three-process \
-         rows spawn real ppc-party OS processes against an in-harness TCP router\",\n  \
-         \"cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"pr\": 8,\n  \"title\": \"Scenario factory as the bench surface: generated \
+         multi-site workloads across channel-security, WAN and deployment axes\",\n  \
+         \"harness\": \"secure_report binary; every row derives from a seeded ScenarioSpec and \
+         records the seed (same seed => byte-identical scenario); timed rows record \
+         min/median/max of {reps} runs (noisy single-core boxes); TCP and WAN rows assert \
+         f64-bit identity to the in-process oracle on every rep; multi-process rows spawn real \
+         ppc-party OS processes on the generated CSVs + manifest and assert sealed == plaintext \
+         result streams\",\n  \"scale\": \"{}\",\n  \"cores\": {cores},\n  \"results\": \
+         [\n{}\n  ]\n}}\n",
+        args.scale.name(),
         rows.join(",\n")
     );
-    std::fs::write(&out_path, &json).unwrap();
+    std::fs::write(&args.out, &json).unwrap();
     println!("{json}");
-    println!("wrote {out_path}");
+    println!("wrote {}", args.out);
 }

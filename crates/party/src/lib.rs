@@ -368,14 +368,67 @@ fn seat_from_flags(flags: &Flags, party: PartyId, schema: &Schema) -> Result<Par
     }
 }
 
+/// Default per-turn idle wait for multi-process runs, in milliseconds.
+pub const DEFAULT_STALL_MS: u64 = 100;
+/// Default number of consecutive idle waits before a run is declared
+/// stalled (100 ms × 600 ≈ one minute of true silence).
+pub const DEFAULT_STALL_WAITS: u32 = 600;
+
+/// The stall/readiness budgets resolved from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallBudget {
+    /// Per-turn idle wait.
+    pub idle_wait: Duration,
+    /// Consecutive idle waits before the engine errors out.
+    pub max_idle_waits: u32,
+    /// Explicit phase-1 readiness budget; `None` follows the stall budget.
+    pub readiness: Option<(Duration, u32)>,
+}
+
+/// Resolves `--stall-ms` / `--stall-waits` / `--ready-ms` / `--ready-waits`.
+///
+/// Multi-process runs cross real schedulers and kernels, so the defaults
+/// are generous; chaos harnesses shrink them to classify kills as stalls
+/// quickly instead of waiting out a minute of silence. The `--ready-*`
+/// pair bounds only the phase-1 readiness gather (peers may still be
+/// starting up), letting tests keep a long run budget but fail fast when
+/// a peer never shows up.
+pub fn parse_stall_budget(flags: &Flags) -> Result<StallBudget, String> {
+    let parse_u64 = |key: &str, default: u64| -> Result<u64, String> {
+        match flags.get(key) {
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("--{key} must be an unsigned integer")),
+            None => Ok(default),
+        }
+    };
+    let idle_wait = Duration::from_millis(parse_u64("stall-ms", DEFAULT_STALL_MS)?);
+    let max_idle_waits = parse_u64("stall-waits", u64::from(DEFAULT_STALL_WAITS))? as u32;
+    let readiness = match (flags.get("ready-ms"), flags.get("ready-waits")) {
+        (None, None) => None,
+        _ => Some((
+            Duration::from_millis(parse_u64("ready-ms", idle_wait.as_millis() as u64)?),
+            parse_u64("ready-waits", u64::from(max_idle_waits))? as u32,
+        )),
+    };
+    Ok(StallBudget {
+        idle_wait,
+        max_idle_waits,
+        readiness,
+    })
+}
+
 fn build_engine<T: WaitTransport>(
     transport: T,
     seat: PartySeat,
+    flags: &Flags,
 ) -> Result<PartyEngine<T>, Box<dyn Error>> {
     let mut engine = PartyEngine::new(transport, vec![seat])?;
-    // Multi-process runs cross real schedulers and kernels: give stalls a
-    // generous budget (100 ms × 600 ≈ one minute of true silence).
-    engine.set_stall_budget(Duration::from_millis(100), 600);
+    let budget = parse_stall_budget(flags)?;
+    engine.set_stall_budget(budget.idle_wait, budget.max_idle_waits);
+    if let Some((wait, waits)) = budget.readiness {
+        engine.set_readiness_budget(wait, waits);
+    }
     Ok(engine)
 }
 
@@ -395,7 +448,7 @@ fn run_serve(flags: &Flags) -> Result<(), Box<dyn Error>> {
             }
             transport.set_coalescing(coalesce);
             transport.connect(addr.as_str(), &startup_backoff())?;
-            let engine = build_engine(transport, seat)?;
+            let engine = build_engine(transport, seat, flags)?;
             let report = engine.serve(coordinator)?;
             (report, engine.transport().sealing_report())
         }
@@ -407,7 +460,7 @@ fn run_serve(flags: &Flags) -> Result<(), Box<dyn Error>> {
             }
             transport.set_coalescing(coalesce);
             transport.connect(&path, &startup_backoff())?;
-            let engine = build_engine(transport, seat)?;
+            let engine = build_engine(transport, seat, flags)?;
             let report = engine.serve(coordinator)?;
             (report, engine.transport().sealing_report())
         }
@@ -586,7 +639,7 @@ fn run_coordinate(flags: &Flags) -> Result<(), Box<dyn Error>> {
             }
             transport.set_coalescing(coalesce);
             transport.connect(addr.as_str(), &startup_backoff())?;
-            let engine = build_engine(transport, seat)?;
+            let engine = build_engine(transport, seat, flags)?;
             let report = engine.coordinate(schema, remote, plans)?;
             (report, engine.transport().sealing_report())
         }
@@ -598,7 +651,7 @@ fn run_coordinate(flags: &Flags) -> Result<(), Box<dyn Error>> {
             }
             transport.set_coalescing(coalesce);
             transport.connect(&path, &startup_backoff())?;
-            let engine = build_engine(transport, seat)?;
+            let engine = build_engine(transport, seat, flags)?;
             let report = engine.coordinate(schema, remote, plans)?;
             (report, engine.transport().sealing_report())
         }
@@ -645,6 +698,9 @@ const USAGE: &str = "usage: ppc-party <route|serve|coordinate> --flag value ...\
              --schema SPEC --csv FILE (--sessions N | --manifest FILE) --clusters K \\\n\
              [--linkage L] [--chunk-rows W] [--numeric-mode batch|per-pair] \\\n\
              [--psk N | --insecure]\n\
+serve/coordinate also accept [--stall-ms MS] [--stall-waits N] (default 100 ms x\n\
+600: the engine errors out after that much true silence) and [--ready-ms MS]\n\
+[--ready-waits N] to bound only the phase-1 readiness gather.\n\
 channel security: sockets are AEAD-sealed by default (keys derived from --seed,\n\
 or from a dedicated --psk N shared by every process); --insecure sends plaintext\n\
 and warns loudly. All processes of one federation must agree.\n\
@@ -666,6 +722,32 @@ pub fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stall_budget_flags_have_tested_defaults_and_parse_overrides() {
+        let budget = parse_stall_budget(&Flags::new()).unwrap();
+        assert_eq!(budget.idle_wait, Duration::from_millis(DEFAULT_STALL_MS));
+        assert_eq!(budget.max_idle_waits, DEFAULT_STALL_WAITS);
+        assert_eq!(budget.readiness, None, "readiness follows the stall budget");
+
+        let flags = parse_flags(&[
+            "--stall-ms".into(),
+            "10".into(),
+            "--stall-waits".into(),
+            "30".into(),
+            "--ready-waits".into(),
+            "5".into(),
+        ])
+        .unwrap();
+        let budget = parse_stall_budget(&flags).unwrap();
+        assert_eq!(budget.idle_wait, Duration::from_millis(10));
+        assert_eq!(budget.max_idle_waits, 30);
+        // --ready-ms unset falls back to the (overridden) stall wait.
+        assert_eq!(budget.readiness, Some((Duration::from_millis(10), 5)));
+
+        let bad = parse_flags(&["--stall-ms".into(), "soon".into()]).unwrap();
+        assert!(parse_stall_budget(&bad).is_err());
+    }
 
     #[test]
     fn flags_parse_and_reject_malformed_input() {

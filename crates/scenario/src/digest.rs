@@ -1,0 +1,124 @@
+//! Deterministic fingerprints for byte-identity assertions.
+//!
+//! "Byte-identical to the oracle" is asserted by comparing 64-bit FNV-1a
+//! digests over the exact IEEE-754 bit patterns of every published value.
+//! Hashing instead of materialising both sides keeps the flagship
+//! comparisons (10⁴ objects ⇒ ~5·10⁷ condensed entries per run) at one
+//! resident copy, and a digest mismatch is exactly a byte mismatch.
+
+use ppc_core::protocol::engine::EngineOutcome;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming 64-bit FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+}
+
+impl Fnv {
+    /// Absorbs raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs the exact bit pattern of every float, in order.
+    pub fn update_f64_bits(&mut self, values: &[f64]) {
+        for v in values {
+            self.update(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint of arbitrary text (manifests, schema specs, stdout lines).
+pub fn fingerprint_str(text: &str) -> u64 {
+    let mut h = Fnv::default();
+    h.update(text.as_bytes());
+    h.finish()
+}
+
+/// Fingerprint of one engine outcome: the published cluster membership,
+/// the quality parameter's bits, and every condensed-matrix entry's bits.
+pub fn fingerprint_outcome(outcome: &EngineOutcome) -> u64 {
+    let mut h = Fnv::default();
+    absorb_outcome(&mut h, outcome);
+    h.finish()
+}
+
+/// Fingerprint of a full engine run (outcomes in session order).
+pub fn fingerprint_outcomes(outcomes: &[EngineOutcome]) -> u64 {
+    let mut h = Fnv::default();
+    for outcome in outcomes {
+        absorb_outcome(&mut h, outcome);
+    }
+    h.finish()
+}
+
+/// Fingerprint of a published result in wire form (`(site, local_index)`
+/// pairs), as carried by `PublishedResultMsg`/`TpOutcome`. Produces the
+/// same digest as [`fingerprint_outcome`] for the same session, so party
+/// reports can be compared against the in-process oracle directly.
+pub fn fingerprint_published(clusters: &[Vec<(u32, u32)>], average: f64, condensed: &[f64]) -> u64 {
+    let mut h = Fnv::default();
+    absorb_published(&mut h, clusters, average, condensed);
+    h.finish()
+}
+
+fn absorb_outcome(h: &mut Fnv, outcome: &EngineOutcome) {
+    for cluster in &outcome.result.clusters {
+        h.update(b"[");
+        for member in cluster {
+            h.update(&member.site.to_le_bytes());
+            h.update(&(member.local_index as u32).to_le_bytes());
+        }
+        h.update(b"]");
+    }
+    h.update_f64_bits(&[outcome.result.average_within_cluster_squared_distance]);
+    h.update_f64_bits(outcome.final_matrix.matrix().condensed_values());
+}
+
+fn absorb_published(h: &mut Fnv, clusters: &[Vec<(u32, u32)>], average: f64, condensed: &[f64]) {
+    for cluster in clusters {
+        h.update(b"[");
+        for &(site, local_index) in cluster {
+            h.update(&site.to_le_bytes());
+            h.update(&local_index.to_le_bytes());
+        }
+        h.update(b"]");
+    }
+    h.update_f64_bits(&[average]);
+    h.update_f64_bits(condensed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_order_sensitive_and_bit_exact() {
+        assert_eq!(fingerprint_str("ab"), fingerprint_str("ab"));
+        assert_ne!(fingerprint_str("ab"), fingerprint_str("ba"));
+        let mut a = Fnv::default();
+        a.update_f64_bits(&[0.0]);
+        let mut b = Fnv::default();
+        b.update_f64_bits(&[-0.0]);
+        assert_ne!(
+            a.finish(),
+            b.finish(),
+            "bit-level identity distinguishes 0.0 from -0.0"
+        );
+    }
+}

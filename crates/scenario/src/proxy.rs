@@ -1,0 +1,288 @@
+//! Byte-level TCP adversaries for the tampering cells.
+//!
+//! A [`TamperProxy`] sits between a dialler and its upstream (a router or
+//! a direct acceptor) and flips exactly one byte of each connection's
+//! client→upstream stream — at a fixed absolute offset
+//! ([`TamperProxy::spawn`]) or inside the first frame whose body clears a
+//! size threshold ([`TamperProxy::spawn_on_first_large_frame`]).
+//!
+//! Where the flip lands matters, in two ways.
+//!
+//! *Layer*: a sealed record's `from`/`to` routing header stays in the
+//! clear (forwarders route by it), and the stack absorbs a corrupted
+//! header without an auth failure — the router counts the frame
+//! unroutable and drops it, and the receiver accepts the sender's *next*
+//! record as first contact with that incarnation. Only a flip inside the
+//! sealed payload reaches the AEAD tier, which must reject it as a
+//! [`ChannelAuth`
+//! failure](ppc_core::protocol::party_engine::SessionFailure::ChannelAuth) —
+//! never deliver.
+//!
+//! *Record*: the stack also absorbs losing an entire *control* record.
+//! A serve party re-sends its readiness announce while idle (so startup
+//! order does not matter), and a router drops frames for parties no link
+//! has announced yet — so corrupting a dialler's first record is a race:
+//! if the dialler connects before its counterparty, the record was going
+//! to be dropped unroutable anyway and a fresh ready replaces it. A
+//! deterministic tamper cell must corrupt a record that is necessarily
+//! forwarded and necessarily needed: session *data*, which is what the
+//! large-frame trigger targets (control records are tens of bytes; even
+//! one matrix chunk is hundreds).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// The dialler→acceptor link handshake is 28 bytes on the wire (magic,
+/// version/flags, party ids, resume token), followed by 4-byte length
+/// prefixes per frame.
+pub const HANDSHAKE_BYTES: usize = 28;
+
+/// Length prefix preceding every frame.
+pub const FRAME_PREFIX_BYTES: usize = 4;
+
+/// Cleartext prelude of a sealed record's frame body before the AEAD
+/// ciphertext begins: `from` (5) + `to` (5) + the `"!"` topic as a
+/// length-prefixed string (4 + 1) + payload length prefix (4) + `salt`
+/// (4) + `seq` (8). See `docs/WIRE_FORMAT.md` §4 and §8.2.
+pub const SEALED_RECORD_PRELUDE_BYTES: usize = 31;
+
+/// A one-byte-flipping TCP proxy. Dropping the handle leaves the proxy
+/// threads running until the process exits (they are detached, like the
+/// in-tree test helpers); each accepted connection is forwarded to the
+/// same upstream.
+#[derive(Debug, Clone, Copy)]
+pub struct TamperProxy {
+    addr: SocketAddr,
+}
+
+impl TamperProxy {
+    /// Spawns a proxy forwarding to `upstream`. In every accepted
+    /// connection, the byte at absolute offset `flip_at` of the
+    /// client→upstream stream is XORed with `0x20`; all other bytes (and
+    /// the entire return stream) pass untouched.
+    pub fn spawn(upstream: SocketAddr, flip_at: usize) -> std::io::Result<TamperProxy> {
+        Self::spawn_with_rule(upstream, FlipRule::At(flip_at))
+    }
+
+    /// Spawns a proxy that flips one byte `SEALED_RECORD_PRELUDE_BYTES +
+    /// extra` into the body of the first frame whose body length is at
+    /// least `min_body` bytes — i.e. inside the AEAD ciphertext of the
+    /// first *data*-sized sealed record, skipping the small control
+    /// records (readiness announces, session opens) whose loss the stack
+    /// absorbs by design. `extra < 16` stays within authenticated bytes
+    /// for any record (the tag alone is 16).
+    pub fn spawn_on_first_large_frame(
+        upstream: SocketAddr,
+        min_body: usize,
+        extra: usize,
+    ) -> std::io::Result<TamperProxy> {
+        Self::spawn_with_rule(upstream, FlipRule::LargeFrame { min_body, extra })
+    }
+
+    fn spawn_with_rule(upstream: SocketAddr, rule: FlipRule) -> std::io::Result<TamperProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        std::thread::spawn(move || {
+            while let Ok((client, _)) = listener.accept() {
+                let _ = client.set_nodelay(true);
+                let server = match TcpStream::connect(upstream) {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                let _ = server.set_nodelay(true);
+                if let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) {
+                    pump(client, s2, Some(rule));
+                    pump(server, c2, None);
+                }
+            }
+        });
+        Ok(TamperProxy { addr })
+    }
+
+    /// The address diallers should connect to instead of the upstream.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// An offset `extra` bytes into the first frame's body — i.e. past the
+    /// handshake and the frame's length prefix. Small `extra` values land
+    /// in the cleartext routing header (a *routing* corruption the stack
+    /// may absorb); use [`Self::into_first_sealed_payload`] to hit the
+    /// AEAD-protected bytes.
+    pub const fn into_first_frame(extra: usize) -> usize {
+        HANDSHAKE_BYTES + FRAME_PREFIX_BYTES + extra
+    }
+
+    /// An offset `extra` bytes into the first frame's AEAD ciphertext,
+    /// past the cleartext `from`/`to`/topic/salt/seq prelude. Every
+    /// sealed record carries a 16-byte tag, so `extra < 16` is in
+    /// authenticated bytes for any record at all. Note the dialler's
+    /// first record is usually a *control* record whose corruption the
+    /// stack may absorb (see the module docs); for a deterministic
+    /// tamper cell prefer [`Self::spawn_on_first_large_frame`].
+    pub const fn into_first_sealed_payload(extra: usize) -> usize {
+        Self::into_first_frame(SEALED_RECORD_PRELUDE_BYTES + extra)
+    }
+}
+
+/// Which byte of the client→upstream stream to flip.
+#[derive(Debug, Clone, Copy)]
+enum FlipRule {
+    /// A fixed absolute stream offset.
+    At(usize),
+    /// `SEALED_RECORD_PRELUDE_BYTES + extra` into the body of the first
+    /// frame whose body is at least `min_body` bytes.
+    LargeFrame { min_body: usize, extra: usize },
+}
+
+/// Incremental frame-boundary scanner over a dialler stream: skips the
+/// handshake, reads each 4-byte length prefix, and resolves the rule into
+/// an absolute offset as soon as the qualifying frame's header streams by.
+struct FlipScanner {
+    rule: FlipRule,
+    pos: usize,
+    resolved: Option<usize>,
+    handshake_left: usize,
+    header: [u8; 4],
+    header_got: usize,
+    body_left: usize,
+}
+
+impl FlipScanner {
+    fn new(rule: FlipRule) -> FlipScanner {
+        FlipScanner {
+            rule,
+            pos: 0,
+            resolved: match rule {
+                FlipRule::At(at) => Some(at),
+                FlipRule::LargeFrame { .. } => None,
+            },
+            handshake_left: HANDSHAKE_BYTES,
+            header: [0; 4],
+            header_got: 0,
+            body_left: 0,
+        }
+    }
+
+    /// Scans (and possibly flips) one chunk of the stream in place.
+    fn process(&mut self, chunk: &mut [u8]) {
+        for (i, byte) in chunk.iter_mut().enumerate() {
+            let abs = self.pos + i;
+            if self.resolved == Some(abs) {
+                *byte ^= 0x20;
+            }
+            if self.resolved.is_some() {
+                continue;
+            }
+            if self.handshake_left > 0 {
+                self.handshake_left -= 1;
+            } else if self.body_left > 0 {
+                self.body_left -= 1;
+            } else {
+                self.header[self.header_got] = *byte;
+                self.header_got += 1;
+                if self.header_got == 4 {
+                    self.header_got = 0;
+                    let len = u32::from_le_bytes(self.header) as usize;
+                    self.body_left = len;
+                    if let FlipRule::LargeFrame { min_body, extra } = self.rule {
+                        if len >= min_body {
+                            self.resolved = Some(abs + 1 + SEALED_RECORD_PRELUDE_BYTES + extra);
+                        }
+                    }
+                }
+            }
+        }
+        self.pos += chunk.len();
+    }
+}
+
+fn pump(mut from: TcpStream, mut to: TcpStream, flip: Option<FlipRule>) {
+    std::thread::spawn(move || {
+        let mut scan = flip.map(FlipScanner::new);
+        let mut buf = [0u8; 4096];
+        loop {
+            let n = match from.read(&mut buf) {
+                Ok(0) | Err(_) => {
+                    let _ = to.shutdown(std::net::Shutdown::Both);
+                    return;
+                }
+                Ok(n) => n,
+            };
+            if let Some(scan) = scan.as_mut() {
+                scan.process(&mut buf[..n]);
+            }
+            if to.write_all(&buf[..n]).is_err() {
+                return;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_flips_exactly_one_byte_at_the_offset() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let proxy = TamperProxy::spawn(upstream_addr, 5).unwrap();
+
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        let (mut server, _) = upstream.accept().unwrap();
+        let sent: Vec<u8> = (0u8..32).collect();
+        client.write_all(&sent).unwrap();
+        let mut got = vec![0u8; sent.len()];
+        server.read_exact(&mut got).unwrap();
+
+        let mut expected = sent.clone();
+        expected[5] ^= 0x20;
+        assert_eq!(got, expected);
+
+        // The return direction is untouched.
+        server.write_all(&sent).unwrap();
+        let mut back = vec![0u8; sent.len()];
+        client.read_exact(&mut back).unwrap();
+        assert_eq!(back, sent);
+    }
+
+    #[test]
+    fn offsets_compose() {
+        assert_eq!(TamperProxy::into_first_frame(0), 32);
+        assert_eq!(TamperProxy::into_first_frame(25), 57);
+        assert_eq!(TamperProxy::into_first_sealed_payload(0), 63);
+        assert_eq!(TamperProxy::into_first_sealed_payload(8), 71);
+    }
+
+    #[test]
+    fn large_frame_rule_skips_small_control_frames() {
+        let mut stream = vec![0u8; HANDSHAKE_BYTES];
+        stream.extend_from_slice(&10u32.to_le_bytes());
+        stream.extend_from_slice(&[0xAA; 10]);
+        stream.extend_from_slice(&100u32.to_le_bytes());
+        stream.extend_from_slice(&[0xBB; 100]);
+
+        let mut scan = FlipScanner::new(FlipRule::LargeFrame {
+            min_body: 64,
+            extra: 8,
+        });
+        let mut tampered = stream.clone();
+        // Awkward chunking exercises headers split across reads.
+        for chunk in tampered.chunks_mut(7) {
+            scan.process(chunk);
+        }
+
+        let large_body_start = HANDSHAKE_BYTES + 4 + 10 + 4;
+        let flip_at = large_body_start + SEALED_RECORD_PRELUDE_BYTES + 8;
+        let diffs: Vec<usize> = stream
+            .iter()
+            .zip(tampered.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diffs, vec![flip_at]);
+        assert_eq!(tampered[flip_at], 0xBB ^ 0x20);
+    }
+}
