@@ -20,7 +20,8 @@ use ppc_core::protocol::ProtocolConfig;
 use ppc_crypto::Seed;
 use ppc_data::Workload;
 use ppc_net::{
-    Backoff, Network, PartyId, SimulatedWan, TcpRouter, TcpTransport, WaitTransport, WanProfile,
+    Backoff, Network, PartyId, SimulatedWan, TcpRouter, TcpTransport, TransportBackend,
+    WaitTransport, WanProfile,
 };
 use ppc_scenario::digest::fingerprint_outcomes;
 use ppc_scenario::factory::ScenarioSpec;
@@ -133,6 +134,24 @@ fn all_parties() -> Vec<PartyId> {
         .collect()
 }
 
+/// Host parallelism, recorded in every row so a number is never read
+/// without knowing the box it came from.
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `"cores": …, "transport_backend": "…"` — the provenance pair every
+/// BENCH row carries. `backend` is `in-memory` for rows that never touch a
+/// socket, otherwise the socket I/O driver the row ran on.
+fn provenance(backend: &str) -> String {
+    format!(
+        "\"cores\": {}, \"transport_backend\": \"{backend}\"",
+        cores()
+    )
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -161,11 +180,12 @@ fn main() {
             }
         });
         rows.push(format!(
-            "    {{\"id\": \"engine/concurrent_sessions/{sessions}\", \
+            "    {{\"id\": \"engine/concurrent_sessions/{sessions}\", {}, \
              \"median_seconds\": {median:.6}, \
              \"sessions_per_second\": {:.2}, \
              \"derive_seconds\": {:.6}, \"fold_unmask_seconds\": {:.6}, \
              \"merge_seconds\": {:.6}}}",
+            provenance("in-memory"),
             sessions as f64 / median,
             compute.derive_nanos as f64 / 1e9,
             compute.fold_unmask_nanos as f64 / 1e9,
@@ -184,9 +204,10 @@ fn main() {
             run_sharded(&matrix_specs, transports);
         });
         rows.push(format!(
-            "    {{\"id\": \"sharded/memory/shards{shards}\", \
+            "    {{\"id\": \"sharded/memory/shards{shards}\", {}, \
              \"sessions\": {MATRIX_SESSIONS}, \"median_seconds\": {median:.6}, \
              \"sessions_per_second\": {:.2}}}",
+            provenance("in-memory"),
             MATRIX_SESSIONS as f64 / median
         ));
     }
@@ -205,20 +226,24 @@ fn main() {
             run_sharded(&matrix_specs, transports);
         });
         rows.push(format!(
-            "    {{\"id\": \"sharded/wan_sim/shards{shards}\", \
+            "    {{\"id\": \"sharded/wan_sim/shards{shards}\", {}, \
              \"sessions\": {MATRIX_SESSIONS}, \"median_seconds\": {median:.6}, \
              \"sessions_per_second\": {:.2}}}",
+            provenance("in-memory"),
             MATRIX_SESSIONS as f64 / median
         ));
     }
-    {
-        let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+    // Loopback TCP on both socket I/O backends: the blocking
+    // thread-per-link oracle and the shared-reactor event loop must land
+    // on the same results; the rows sit side by side for comparison.
+    for backend in [TransportBackend::Blocking, TransportBackend::Reactor] {
+        let (mut router, addr) = TcpRouter::spawn_with_backend("127.0.0.1:0", backend).unwrap();
         let parties = all_parties();
         for &shards in &[1usize, 2, 4] {
             let median = median_seconds(reps, || {
                 let transports: Vec<TcpTransport> = (0..shards)
                     .map(|_| {
-                        let t = TcpTransport::new(parties.iter().copied());
+                        let t = TcpTransport::new_with_backend(parties.iter().copied(), backend);
                         t.connect(addr, &Backoff::default()).unwrap();
                         t
                     })
@@ -226,9 +251,10 @@ fn main() {
                 run_sharded(&matrix_specs, transports);
             });
             rows.push(format!(
-                "    {{\"id\": \"sharded/loopback_tcp/shards{shards}\", \
+                "    {{\"id\": \"sharded/loopback_tcp/{backend}/shards{shards}\", {}, \
                  \"sessions\": {MATRIX_SESSIONS}, \"median_seconds\": {median:.6}, \
                  \"sessions_per_second\": {:.2}}}",
+                provenance(backend.as_str()),
                 MATRIX_SESSIONS as f64 / median
             ));
         }
@@ -239,11 +265,13 @@ fn main() {
     let whole = run_single(&[spec(objects, 40, None)]);
     let chunked = run_single(&[spec(objects, 40, Some(WINDOW))]);
     rows.push(format!(
-        "    {{\"id\": \"engine/peak_buffered_rows/whole_matrix\", \"rows\": {}}}",
+        "    {{\"id\": \"engine/peak_buffered_rows/whole_matrix\", {}, \"rows\": {}}}",
+        provenance("in-memory"),
         whole[0].stats.peak_buffered_rows
     ));
     rows.push(format!(
-        "    {{\"id\": \"engine/peak_buffered_rows/chunked_w{WINDOW}\", \"rows\": {}}}",
+        "    {{\"id\": \"engine/peak_buffered_rows/chunked_w{WINDOW}\", {}, \"rows\": {}}}",
+        provenance("in-memory"),
         chunked[0].stats.peak_buffered_rows
     ));
 
@@ -259,9 +287,10 @@ fn main() {
             fingerprint = fingerprint_outcomes(&outcomes);
         });
         rows.push(format!(
-            "    {{\"id\": \"engine/scenario/ci\", \"seed\": {}, \"sites\": {}, \
+            "    {{\"id\": \"engine/scenario/ci\", {}, \"seed\": {}, \"sites\": {}, \
              \"objects\": {}, \"sessions\": {}, \"median_seconds\": {median:.6}, \
              \"sessions_per_second\": {:.2}, \"fingerprint\": \"{fingerprint:016x}\"}}",
+            provenance("in-memory"),
             scenario.spec.seed,
             scenario.spec.sites,
             scenario.spec.objects,
@@ -270,15 +299,14 @@ fn main() {
         ));
     }
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = cores();
     let json = format!(
         "{{\n  \"pr\": 3,\n  \"title\": \"Threaded session sharding over real TCP/UDS \
          transports\",\n  \"workload\": \"bird_flu {objects} objects, 3 sites, 3 attributes \
          (numeric + categorical + dna), average linkage, k=3, chunk window {WINDOW}\",\n  \
          \"harness\": \"engine_report binary, wall-clock medians of {reps} runs (--reps/--scale \
-         flags; this run: scale {}); loopback-TCP rows include per-run connect/handshake; the \
+         flags; this run: scale {}); loopback-TCP rows include per-run connect/handshake and run \
+         on both socket I/O backends (blocking thread-per-link vs shared reactor); the \
          engine/scenario row runs a seeded scenario-factory workload\",\n  \"cores\": \
          {cores},\n  \"notes\": \"sharded rows drive {MATRIX_SESSIONS} sessions hash-sharded \
          across N worker threads; on a 1-core container shard scaling is purely scheduling \

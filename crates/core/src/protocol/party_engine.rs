@@ -578,6 +578,15 @@ impl<T: WaitTransport> PartyEngine<T> {
     }
 }
 
+/// Park length for a serving engine that has not heard from its
+/// coordinator yet. The first `ctl/ready` can race the coordinator's
+/// connection to a shared router — the router drops frames for parties no
+/// link has announced — so until an announcement proves contact, the
+/// engine re-sends readiness on this cadence rather than once per full
+/// stall-budget park (which showed up as a ~`idle_wait` startup tax on
+/// roughly half of all multi-process runs).
+const READY_RESEND_WAIT: Duration = Duration::from_millis(5);
+
 /// The in-flight state of one engine run.
 struct Flow<'a, T: WaitTransport> {
     transport: &'a T,
@@ -1077,7 +1086,12 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
     }
 
     fn drive_loop(&mut self) -> Result<(), CoreError> {
-        let mut idle = 0u32;
+        // The stall budget wall-clocked: the counter semantics (`idle >
+        // max_idle_waits` full parks) expressed as accumulated silent
+        // time, so shorter-than-`idle_wait` parks spend proportionally
+        // less of it.
+        let budget = self.idle_wait.saturating_mul(self.max_idle_waits);
+        let mut idle = Duration::ZERO;
         loop {
             self.stats.rounds += 1;
             let mut progressed = self.pump()?;
@@ -1087,26 +1101,38 @@ impl<'a, T: WaitTransport> Flow<'a, T> {
                 return Ok(());
             }
             if progressed {
-                idle = 0;
+                idle = Duration::ZERO;
                 continue;
             }
+            // Before the first announcement a serving engine's only job is
+            // making contact, and its initial `ctl/ready` may have raced
+            // the coordinator's connection to the router (a frame for a
+            // party no link has announced yet is dropped, not stored): park
+            // in short slices and re-announce on each, instead of sitting
+            // out a full stall-budget park before the first re-send.
+            let awaiting_contact = !self.is_coordinator && self.total.is_none();
+            let wait = if awaiting_contact {
+                self.idle_wait.min(READY_RESEND_WAIT)
+            } else {
+                self.idle_wait
+            };
             self.stats.blocking_waits += 1;
-            match self
-                .transport
-                .receive_any_of(&self.locals, self.idle_wait)?
-            {
+            match self.transport.receive_any_of(&self.locals, wait)? {
                 Some(envelope) => {
                     self.route(envelope)?;
-                    idle = 0;
+                    idle = Duration::ZERO;
                 }
                 None => {
-                    idle += 1;
-                    if !self.is_coordinator && self.total.is_none() {
+                    // The floor keeps a zero `idle_wait` budget tripping
+                    // after `max_idle_waits` empty polls instead of
+                    // spinning forever.
+                    idle += wait.max(Duration::from_nanos(1));
+                    if awaiting_contact {
                         // The coordinator may not even be connected yet:
                         // repeat the (idempotent) readiness announcement.
                         self.send_ready()?;
                     }
-                    if idle > self.max_idle_waits {
+                    if idle > budget {
                         let stuck: Vec<u64> = self.sessions.keys().copied().collect();
                         return Err(CoreError::Protocol(format!(
                             "party engine for {:?} stalled (sessions {stuck:?} unfinished, \

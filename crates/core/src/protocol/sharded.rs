@@ -25,7 +25,7 @@
 
 use std::time::Duration;
 
-use ppc_net::{PartyId, WaitTransport};
+use ppc_net::{PartyId, WaitStats, WaitStatsReporter, WaitTransport};
 
 use crate::error::CoreError;
 use crate::protocol::derive_cache::{DerivationCache, DerivationCacheStats};
@@ -128,6 +128,27 @@ impl<T: WaitTransport + Sync> ShardedEngine<T> {
     /// The per-shard transports, in shard order.
     pub fn transports(&self) -> &[T] {
         &self.transports
+    }
+
+    /// Aggregated receive-path condvar statistics across every shard's
+    /// transport, or `None` when no transport tracks them. Next to
+    /// [`ShardStats::blocking_waits`] (parks the *scheduler* decided on)
+    /// this reports what the *transport* actually did with those parks —
+    /// how many ended in a wakeup versus a timeout — which is the number
+    /// the reactor-vs-blocking benches compare.
+    pub fn transport_wait_stats(&self) -> Option<WaitStats>
+    where
+        T: WaitStatsReporter,
+    {
+        let mut total = WaitStats::default();
+        let mut any = false;
+        for transport in &self.transports {
+            if let Some(stats) = transport.wait_stats() {
+                total.merge(&stats);
+                any = true;
+            }
+        }
+        any.then_some(total)
     }
 
     /// Queues a session, returning its global id.

@@ -55,6 +55,7 @@ pub mod framed;
 pub mod message;
 pub mod metrics;
 pub mod party;
+mod reactor;
 pub mod secure;
 pub mod sim;
 pub mod socket;
@@ -70,11 +71,16 @@ pub use eavesdrop::Eavesdropper;
 pub use error::NetError;
 pub use framed::{encode_frame, memory_duplex, FrameDecoder, MemoryDuplex, StreamTransport};
 pub use message::{ChannelSecurity, Envelope};
-pub use metrics::{CommReport, LinkStats, SealingReport, SealingReporter, SealingStats};
+pub use metrics::{
+    CommReport, LinkStats, SealingReport, SealingReporter, SealingStats, WaitStats,
+    WaitStatsReporter,
+};
 pub use party::PartyId;
 pub use secure::{ChannelKeyring, ChannelOpener, ChannelSealer, SecurityMode, SEALED_TOPIC};
 pub use sim::{SimulatedWan, WanProfile, WanStats};
-pub use socket::{Backoff, SocketTransport, TcpAcceptor, TcpRouter, TcpTransport};
+pub use socket::{
+    Backoff, SocketTransport, TcpAcceptor, TcpRouter, TcpTransport, TransportBackend,
+};
 #[cfg(unix)]
 pub use socket::{UdsAcceptor, UdsRouter, UdsTransport};
 pub use transport::{Endpoint, Instrumented, Network, Transport, WaitTransport};

@@ -136,6 +136,39 @@ pub trait SealingReporter {
     fn sealing_report(&self) -> Option<SealingReport>;
 }
 
+/// Condvar statistics of a transport's receive path: how often workers
+/// parked waiting for frames and how many of those parks ended in a
+/// notification (the rest timed out). The wakeup latency the reactor
+/// backend removes from the wire path shows up as fewer parks per
+/// delivered frame; benches record both numbers next to throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitStats {
+    /// Times a receive call parked on the transport's condvar.
+    pub blocking_waits: u64,
+    /// Parks that ended in a notification rather than a timeout.
+    pub wakeups: u64,
+}
+
+impl WaitStats {
+    /// Adds `other`'s counters into this one.
+    pub fn merge(&mut self, other: &WaitStats) {
+        self.blocking_waits += other.blocking_waits;
+        self.wakeups += other.wakeups;
+    }
+}
+
+/// Transports that can report receive-path condvar statistics.
+///
+/// Implemented by the socket transports and the in-memory [`crate::Network`]
+/// endpoints, and forwarded by wrappers like
+/// [`Instrumented`](crate::Instrumented), so harnesses ask the top of the
+/// stack regardless of how the transport is layered.
+pub trait WaitStatsReporter {
+    /// Receive-path wait counters, or `None` when the transport does not
+    /// track them.
+    fn wait_stats(&self) -> Option<WaitStats>;
+}
+
 /// A snapshot of all communication that has happened on a [`crate::Network`].
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CommReport {

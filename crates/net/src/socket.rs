@@ -39,23 +39,36 @@
 //! The wire format is specified normatively in `docs/WIRE_FORMAT.md` at the
 //! repository root; the frame layout is the one produced by
 //! [`encode_frame`].
+//!
+//! ## Transport backends
+//!
+//! Both the transport and the routers run on one of two I/O drivers
+//! ([`TransportBackend`]): the original **blocking** driver (one reader
+//! thread per link, one pump thread per router connection — the oracle) and
+//! the **reactor** driver, which registers every socket with the
+//! process-global event loop in `crate::reactor` and holds O(1) threads at
+//! any link count. The two backends share every piece of link-state logic —
+//! handshake, replay windows, sealing, coalescing, redial — and speak the
+//! identical wire format; only the read/write driver differs.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+use polling::Interest;
 
 use crate::codec::{WireReader, WireWriter};
 use crate::error::NetError;
 use crate::framed::{encode_frame, get_party, put_party, FrameDecoder, MAX_FRAME_BODY};
 use crate::message::Envelope;
-use crate::metrics::SealingReport;
+use crate::metrics::{SealingReport, WaitStats};
 use crate::party::PartyId;
+use crate::reactor::{Reactor, Registration, Source};
 use crate::secure::{ChannelKeyring, ChannelOpener, ChannelSealer, SecurityMode, SEALED_TOPIC};
 use crate::transport::{Transport, WaitTransport};
 
@@ -100,6 +113,99 @@ pub const DEFAULT_REPLAY_FRAMES: usize = 1024;
 /// (always keeping at least one), so links carrying huge frames do not
 /// retain gigabytes. A reconnect needing evicted frames fails loudly.
 pub const DEFAULT_REPLAY_BYTES: usize = 64 << 20;
+
+/// Soft cap on bytes parked in a reactor link's outbox before the sending
+/// thread stops queueing and drains synchronously (parking in
+/// `poll(2)`/`wait_writable` until the socket accepts more). This is the
+/// reactor path's backpressure, bounding memory exactly like the blocking
+/// path's `write_all` bounds it by not returning.
+pub const OUTBOX_SOFT_LIMIT: usize = 1 << 20;
+
+/// Hard cap on bytes parked in a router connection's outbox. A peer that
+/// stops reading past this point is treated like a dead stream: the
+/// connection is dropped and the frames stay in the logical link's replay
+/// window (store-and-forward), delivered when the peer reconnects. Under
+/// normal reactor operation the flow-control pause at
+/// [`ROUTER_OUTBOX_PAUSE`] keeps outboxes far below this; the cap is the
+/// backstop for pathological frames larger than the pause budget.
+pub const ROUTER_OUTBOX_LIMIT: usize = 16 << 20;
+
+/// Reactor-backend router flow control: once a destination outbox holds
+/// more than this many undrained bytes, the connections feeding it have
+/// their read interest disarmed (paused) until the outbox drains below
+/// [`ROUTER_OUTBOX_RESUME`]. This is the event-loop equivalent of the
+/// blocking backend's `write_all` backpressure — without it a fast sender
+/// whose receiver shares the reactor's dispatch turn (e.g. an echo through
+/// the router inside one process) can balloon the outbox to the
+/// [`ROUTER_OUTBOX_LIMIT`] teardown even though every peer is healthy.
+pub const ROUTER_OUTBOX_PAUSE: usize = 1 << 20;
+
+/// Outbox level at which paused origin connections resume reading
+/// (hysteresis below [`ROUTER_OUTBOX_PAUSE`] so the gate doesn't flap).
+pub const ROUTER_OUTBOX_RESUME: usize = ROUTER_OUTBOX_PAUSE / 2;
+
+/// Which I/O driver a [`SocketTransport`] or [`SocketRouter`] runs on.
+///
+/// Both backends speak the identical wire format and share every piece of
+/// link-state logic — handshake, resume, replay windows, sealing,
+/// coalescing, redial, store-and-forward — so a run is bit-identical
+/// across them; only the read/write driver differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportBackend {
+    /// One blocking reader thread per peer link (and one pump thread per
+    /// router connection). Thread count grows with link count; this is the
+    /// original implementation, kept as the behavioral oracle.
+    Blocking,
+    /// All sockets registered nonblocking with the process-global event
+    /// loop in `crate::reactor`: O(1) threads at any link count.
+    /// Unsupported off unix (constructing a link fails loudly).
+    Reactor,
+}
+
+impl TransportBackend {
+    /// The backend used when none is requested explicitly: the
+    /// `PPC_TRANSPORT` environment variable (`blocking` | `reactor`) if set
+    /// to a recognized value, otherwise `Reactor` on Linux and `Blocking`
+    /// elsewhere.
+    pub fn default_for_host() -> Self {
+        match std::env::var("PPC_TRANSPORT").as_deref() {
+            Ok("blocking") => TransportBackend::Blocking,
+            Ok("reactor") => TransportBackend::Reactor,
+            _ => {
+                if cfg!(target_os = "linux") {
+                    TransportBackend::Reactor
+                } else {
+                    TransportBackend::Blocking
+                }
+            }
+        }
+    }
+
+    /// Parses a CLI/config spelling (`blocking` | `reactor`).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "blocking" => Ok(TransportBackend::Blocking),
+            "reactor" => Ok(TransportBackend::Reactor),
+            other => Err(format!(
+                "unknown transport backend '{other}' (expected 'blocking' or 'reactor')"
+            )),
+        }
+    }
+
+    /// The canonical spelling, for reports and bench rows.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TransportBackend::Blocking => "blocking",
+            TransportBackend::Reactor => "reactor",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Retry policy for transient socket errors.
 ///
@@ -266,6 +372,14 @@ pub trait SocketStream: Read + Write + Send + Sized + 'static {
     fn shutdown_stream(&self) -> std::io::Result<()>;
     /// Sets or clears the read timeout (used to bound the handshake).
     fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+    /// Flips the socket (all clones share the one OS fd) between blocking
+    /// and nonblocking mode. The reactor backend runs every registered
+    /// socket nonblocking.
+    fn set_stream_nonblocking(&self, nonblocking: bool) -> std::io::Result<()>;
+    /// The raw OS descriptor, for registration with the readiness poller.
+    /// Errors on platforms without unix-style descriptors (where the
+    /// reactor backend is unsupported).
+    fn stream_raw_fd(&self) -> std::io::Result<polling::RawFd>;
 }
 
 impl SocketStream for TcpStream {
@@ -279,6 +393,25 @@ impl SocketStream for TcpStream {
 
     fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         self.set_read_timeout(timeout)
+    }
+
+    fn set_stream_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        self.set_nonblocking(nonblocking)
+    }
+
+    fn stream_raw_fd(&self) -> std::io::Result<polling::RawFd> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            Ok(self.as_raw_fd())
+        }
+        #[cfg(not(unix))]
+        {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "raw descriptors (and the reactor backend) require unix",
+            ))
+        }
     }
 }
 
@@ -294,6 +427,15 @@ impl SocketStream for std::os::unix::net::UnixStream {
 
     fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         self.set_read_timeout(timeout)
+    }
+
+    fn set_stream_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        self.set_nonblocking(nonblocking)
+    }
+
+    fn stream_raw_fd(&self) -> std::io::Result<polling::RawFd> {
+        use std::os::unix::io::AsRawFd;
+        Ok(self.as_raw_fd())
     }
 }
 
@@ -416,6 +558,184 @@ fn handshake<S: SocketStream>(
     Ok((peer_endpoint, parties, peer_received))
 }
 
+/// Bytes accepted by a nonblocking send but not yet written to the socket
+/// (reactor backend only; always empty on the blocking backend). Every
+/// byte in here belongs to a frame already recorded in the replay window,
+/// so discarding the outbox on a reconnect is lossless — the resume
+/// retransmission re-sends the recorded frames.
+#[derive(Debug, Default)]
+struct Outbox {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written to the socket.
+    cursor: usize,
+}
+
+impl Outbox {
+    fn is_empty(&self) -> bool {
+        self.cursor >= self.buf.len()
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len() - self.cursor
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        if self.is_empty() {
+            self.buf.clear();
+            self.cursor = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn unsent(&self) -> &[u8] {
+        &self.buf[self.cursor..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.cursor += n;
+        if self.is_empty() {
+            self.buf.clear();
+            self.cursor = 0;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.cursor = 0;
+    }
+}
+
+/// Arms or disarms write-readiness reporting, tolerating a dead
+/// registration (a deregistered fd is on its way to a redial).
+fn set_write_interest(registration: &Option<Arc<Registration>>, on: bool) {
+    if let Some(registration) = registration {
+        let _ = registration.set_writable(on);
+    }
+}
+
+/// Pushes outbox bytes into a nonblocking socket.
+///
+/// Leftover bytes arm write interest so the reactor's writable dispatch
+/// finishes the job. When `soft_limit` is given and the leftover exceeds
+/// it, the drain instead parks in [`polling::wait_writable`] until the
+/// socket accepts more (sender-side backpressure; never used on the
+/// reactor thread). When `deadline` is given the park gives up once it
+/// passes — used only by orderly shutdown, where an unreachable peer must
+/// not hang the process.
+fn drain_outbox<S: SocketStream>(
+    stream: &mut S,
+    outbox: &mut Outbox,
+    registration: &Option<Arc<Registration>>,
+    soft_limit: Option<usize>,
+    deadline: Option<std::time::Instant>,
+) -> std::io::Result<()> {
+    while !outbox.is_empty() {
+        match stream.write(outbox.unsent()) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => outbox.advance(n),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                let over = soft_limit.is_some_and(|limit| outbox.len() > limit);
+                if !over {
+                    set_write_interest(registration, true);
+                    return Ok(());
+                }
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    return Err(std::io::ErrorKind::TimedOut.into());
+                }
+                // Backpressure: park until writable (with interest
+                // disarmed, so the reactor does not spin on a lock the
+                // parked sender holds), then retry the write.
+                set_write_interest(registration, false);
+                let fd = stream.stream_raw_fd()?;
+                let _ = polling::wait_writable(fd, Some(Duration::from_millis(50)))?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    set_write_interest(registration, false);
+    Ok(())
+}
+
+/// Nonblocking frame write with an uncongested fast path: an empty outbox
+/// means the frame can go to the socket straight from its own buffer, and
+/// only the unwritten tail (usually nothing) is copied into the outbox.
+/// This skips one full memcpy per frame on the common path; a non-empty
+/// outbox falls back to append-then-drain so stream order is preserved.
+fn push_and_drain<S: SocketStream>(
+    stream: &mut S,
+    outbox: &mut Outbox,
+    registration: &Option<Arc<Registration>>,
+    soft_limit: Option<usize>,
+    frame: &[u8],
+) -> std::io::Result<()> {
+    if outbox.is_empty() {
+        let mut written = 0;
+        while written < frame.len() {
+            match stream.write(&frame[written..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if written == frame.len() {
+            set_write_interest(registration, false);
+            return Ok(());
+        }
+        outbox.push(&frame[written..]);
+    } else {
+        outbox.push(frame);
+    }
+    drain_outbox(stream, outbox, registration, soft_limit, None)
+}
+
+/// Writes one already-recorded frame with the backend's write discipline:
+/// a plain `write_all` on the blocking backend, an outbox-mediated
+/// nonblocking write (with sender-side backpressure past
+/// [`OUTBOX_SOFT_LIMIT`]) on the reactor backend. A write failure recorded
+/// asynchronously by the reactor's writable dispatch surfaces here first.
+fn backend_write<S: SocketStream>(
+    backend: TransportBackend,
+    stream: &mut S,
+    outbox: &mut Outbox,
+    write_failed: &mut Option<std::io::Error>,
+    registration: &Option<Arc<Registration>>,
+    frame: &[u8],
+) -> std::io::Result<()> {
+    match backend {
+        TransportBackend::Blocking => stream.write_all(frame),
+        TransportBackend::Reactor => {
+            if let Some(e) = write_failed.take() {
+                return Err(e);
+            }
+            push_and_drain(stream, outbox, registration, Some(OUTBOX_SOFT_LIMIT), frame)
+        }
+    }
+}
+
+/// `write_all` semantics on a stream that may be nonblocking: parks in
+/// [`polling::wait_writable`] on `WouldBlock`. Used by resume
+/// retransmission, which runs on a freshly handshaken stream that the
+/// reactor backend has already flipped nonblocking.
+fn write_all_parking<S: SocketStream>(stream: &mut S, bytes: &[u8]) -> std::io::Result<()> {
+    let mut written = 0;
+    while written < bytes.len() {
+        match stream.write(&bytes[written..]) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                let fd = stream.stream_raw_fd()?;
+                let _ = polling::wait_writable(fd, Some(Duration::from_millis(50)))?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// The writer half of one link: the current OS stream plus the replay
 /// window that makes reconnects lossless. Recording a frame and writing it
 /// happen under one lock, so the replay order always equals the stream
@@ -447,6 +767,30 @@ struct LinkWriter<S> {
     /// boundary, when `pending` is empty, so per-pair FIFO order is
     /// unaffected.
     coalesce_bypass: bool,
+    /// The write discipline this link runs (mirrors the transport's).
+    backend: TransportBackend,
+    /// Reactor-backend bytes accepted by a send but not yet written
+    /// (always empty on blocking links). Every byte here is already in
+    /// the replay window.
+    outbox: Outbox,
+    /// A write failure observed asynchronously by the reactor's writable
+    /// dispatch, surfaced at the next send/flush exactly where the
+    /// blocking backend would have seen it synchronously.
+    write_failed: Option<std::io::Error>,
+    /// Reactor registration of the current stream's fd, for arming write
+    /// interest (`None` on blocking links).
+    registration: Option<Arc<Registration>>,
+}
+
+/// The read driver of one link's current stream: a dedicated blocking
+/// thread, or a source dispatched by the process-global reactor.
+enum ReaderHandle<S> {
+    /// No driver (only transiently, while quiescing).
+    Idle,
+    /// Blocking backend: the reader thread's handle.
+    Thread(JoinHandle<()>),
+    /// Reactor backend: the registered readiness source.
+    Source(Arc<LinkSource<S>>),
 }
 
 /// A peer link: the writer half plus routing metadata. The reader half
@@ -476,8 +820,8 @@ struct Link<S> {
     /// announced in the resume handshake so the peer retransmits exactly
     /// the lost suffix.
     received: Arc<AtomicU64>,
-    /// The current stream's reader thread.
-    reader: Option<JoinHandle<()>>,
+    /// The current stream's read driver.
+    reader: ReaderHandle<S>,
 }
 
 /// How to re-establish an outbound link.
@@ -530,6 +874,12 @@ pub struct SocketTransport<S: SocketStream> {
     arrivals: Arc<Condvar>,
     links: Mutex<Vec<Link<S>>>,
     shutting_down: Arc<AtomicBool>,
+    /// The I/O driver links attach with.
+    backend: TransportBackend,
+    /// Times a `receive_any_of` caller parked on the arrivals condvar.
+    wait_parks: AtomicU64,
+    /// Parks that ended in a notification (vs timing out).
+    wait_wakeups: AtomicU64,
     /// Policy for re-dialling broken outbound links at send time.
     reconnect: Backoff,
     /// Frames each link retains for retransmission after a reconnect.
@@ -562,8 +912,17 @@ impl<S: SocketStream> std::fmt::Debug for SocketTransport<S> {
 }
 
 impl<S: SocketStream> SocketTransport<S> {
-    /// Creates a transport hosting `locals` with no peer links yet.
+    /// Creates a transport hosting `locals` with no peer links yet, on the
+    /// host's default backend ([`TransportBackend::default_for_host`]).
     pub fn new(locals: impl IntoIterator<Item = PartyId>) -> Self {
+        Self::new_with_backend(locals, TransportBackend::default_for_host())
+    }
+
+    /// Creates a transport hosting `locals` on an explicit I/O backend.
+    pub fn new_with_backend(
+        locals: impl IntoIterator<Item = PartyId>,
+        backend: TransportBackend,
+    ) -> Self {
         let locals: BTreeSet<PartyId> = locals.into_iter().collect();
         let mut inbox = SocketInbox::default();
         for &party in &locals {
@@ -576,11 +935,30 @@ impl<S: SocketStream> SocketTransport<S> {
             arrivals: Arc::new(Condvar::new()),
             links: Mutex::new(Vec::new()),
             shutting_down: Arc::new(AtomicBool::new(false)),
+            backend,
+            wait_parks: AtomicU64::new(0),
+            wait_wakeups: AtomicU64::new(0),
             reconnect: Backoff::default(),
             replay_frames: DEFAULT_REPLAY_FRAMES,
             replay_bytes: DEFAULT_REPLAY_BYTES,
             security: None,
             coalesce: false,
+        }
+    }
+
+    /// The I/O backend this transport attaches links with.
+    pub fn backend(&self) -> TransportBackend {
+        self.backend
+    }
+
+    /// Condvar statistics of the receive path: how often workers parked
+    /// waiting for frames and how many parks ended in a wakeup (the rest
+    /// timed out). The latency the reactor backend removes from the wire
+    /// path shows up here as fewer parks per delivered frame.
+    pub fn wait_stats(&self) -> WaitStats {
+        WaitStats {
+            blocking_waits: self.wait_parks.load(Ordering::Relaxed),
+            wakeups: self.wait_wakeups.load(Ordering::Relaxed),
         }
     }
 
@@ -696,50 +1074,69 @@ impl<S: SocketStream> SocketTransport<S> {
         let gateway = peer_parties.is_empty();
         let reader_retired = Arc::new(AtomicBool::new(false));
         let received = Arc::new(AtomicU64::new(0));
-        let recoverable = redial.is_some();
-        let handle = spawn_reader(
-            reader,
-            Arc::clone(&self.inbox),
-            Arc::clone(&self.arrivals),
-            Arc::clone(&self.shutting_down),
-            Arc::clone(&reader_retired),
-            Arc::clone(&received),
-            recoverable,
-            self.security.as_ref().map(|s| Arc::clone(&s.opener)),
-        );
+        let ingest = self.link_ingest(&reader_retired, &received, redial.is_some());
+        let writer = Arc::new(Mutex::new(LinkWriter {
+            stream,
+            replay: ReplayWindow::new(self.replay_frames, self.replay_bytes),
+            generation: 0,
+            pending: Vec::new(),
+            pending_bytes: 0,
+            coalesced_envelopes: 0,
+            coalesced_records: 0,
+            coalesce_bypass: false,
+            backend: self.backend,
+            outbox: Outbox::default(),
+            write_failed: None,
+            registration: None,
+        }));
+        let handle = match self.backend {
+            TransportBackend::Blocking => ReaderHandle::Thread(spawn_reader(reader, ingest)),
+            TransportBackend::Reactor => {
+                ReaderHandle::Source(register_link_source(reader, ingest, &writer)?)
+            }
+        };
         links.push(Link {
             peer_endpoint,
             peer_parties,
             gateway,
-            writer: Arc::new(Mutex::new(LinkWriter {
-                stream,
-                replay: ReplayWindow::new(self.replay_frames, self.replay_bytes),
-                generation: 0,
-                pending: Vec::new(),
-                pending_bytes: 0,
-                coalesced_envelopes: 0,
-                coalesced_records: 0,
-                coalesce_bypass: false,
-            })),
+            writer,
             control,
             redial,
             reader_retired,
             received,
-            reader: Some(handle),
+            reader: handle,
         });
         Ok(())
     }
 
-    /// Retires and joins the current reader of `links[index]`, returning
-    /// the final received-frame count for the resume handshake. Joining
-    /// first guarantees the announced count can no longer move.
+    /// The ingest half of a new link stream, wired into this transport's
+    /// inbox, condvar and security state.
+    fn link_ingest(
+        &self,
+        retired: &Arc<AtomicBool>,
+        received: &Arc<AtomicU64>,
+        recoverable: bool,
+    ) -> LinkIngest {
+        LinkIngest {
+            decoder: FrameDecoder::new(),
+            inbox: Arc::clone(&self.inbox),
+            arrivals: Arc::clone(&self.arrivals),
+            shutting_down: Arc::clone(&self.shutting_down),
+            retired: Arc::clone(retired),
+            received: Arc::clone(received),
+            recoverable,
+            opener: self.security.as_ref().map(|s| Arc::clone(&s.opener)),
+        }
+    }
+
+    /// Retires and quiesces the current read driver of `links[index]`,
+    /// returning the final received-frame count for the resume handshake.
+    /// Quiescing first guarantees the announced count can no longer move.
     fn quiesce_reader(links: &mut [Link<S>], index: usize) -> u64 {
         let link = &mut links[index];
         link.reader_retired.store(true, Ordering::SeqCst);
         let _ = link.control.shutdown_stream();
-        if let Some(handle) = link.reader.take() {
-            let _ = handle.join();
-        }
+        quiesce_reader_handle(&mut link.reader);
         link.received.load(Ordering::SeqCst)
     }
 
@@ -778,36 +1175,39 @@ impl<S: SocketStream> SocketTransport<S> {
         let control = stream
             .try_clone_stream()
             .map_err(|e| NetError::Io(format!("cannot split stream: {e}")))?;
-        // Spawn the new stream's reader *before* retransmitting: the peer
-        // is symmetrically retransmitting its own lost suffix, and draining
-        // it while we write is what keeps a large mutual resync from
-        // deadlocking on full socket buffers.
+        // Attach the new stream's read driver *before* retransmitting: the
+        // peer is symmetrically retransmitting its own lost suffix, and
+        // draining it while we write is what keeps a large mutual resync
+        // from deadlocking on full socket buffers. (On the reactor backend
+        // registration also flips the fd nonblocking, so the
+        // retransmission below parks in `wait_writable` when the socket
+        // fills.)
         let old_token = Arc::clone(&links[index].reader_retired);
         let reader_retired = Arc::new(AtomicBool::new(false));
-        let recoverable = links[index].redial.is_some();
-        let handle = spawn_reader(
-            reader,
-            Arc::clone(&self.inbox),
-            Arc::clone(&self.arrivals),
-            Arc::clone(&self.shutting_down),
-            Arc::clone(&reader_retired),
-            Arc::clone(&links[index].received),
-            recoverable,
-            self.security.as_ref().map(|s| Arc::clone(&s.opener)),
+        let ingest = self.link_ingest(
+            &reader_retired,
+            &links[index].received,
+            links[index].redial.is_some(),
         );
+        let mut handle = match self.backend {
+            TransportBackend::Blocking => ReaderHandle::Thread(spawn_reader(reader, ingest)),
+            TransportBackend::Reactor => {
+                ReaderHandle::Source(register_link_source(reader, ingest, &links[index].writer)?)
+            }
+        };
         let retransmission = {
             // Retransmit under the writer lock so concurrent senders queue
             // behind the resync and stream order keeps matching replay
             // order.
-            let mut writer = links[index].writer.lock();
+            let mut guard = links[index].writer.lock();
+            let writer = &mut *guard;
             let result = writer
                 .replay
                 .unacked(peer_received)
                 .map_err(NetError::Io)
                 .and_then(|unacked| {
                     for frame in &unacked {
-                        stream
-                            .write_all(frame)
+                        write_all_parking(&mut stream, frame)
                             .map_err(|e| NetError::Io(format!("retransmission failed: {e}")))?;
                     }
                     stream
@@ -817,15 +1217,23 @@ impl<S: SocketStream> SocketTransport<S> {
             if result.is_ok() {
                 writer.stream = stream;
                 writer.generation += 1;
+                // Undelivered outbox bytes of the dead stream are already
+                // in the replay window (record-then-write), so the resume
+                // retransmission above covered them; a stashed write
+                // failure belonged to the dead stream too.
+                writer.outbox.clear();
+                writer.write_failed = None;
             }
             result
         };
         if let Err(e) = retransmission {
             // Abandon the fresh stream; the link keeps its (dead) old
-            // stream and intact replay, so a later reconnect can retry.
+            // stream and intact replay, so a later reconnect can retry. (A
+            // reactor writer keeps a registration pointing at the
+            // abandoned fd; arming interest on it is a harmless no-op.)
             reader_retired.store(true, Ordering::SeqCst);
             let _ = control.shutdown_stream();
-            let _ = handle.join();
+            quiesce_reader_handle(&mut handle);
             return Err(e);
         }
         let link = &mut links[index];
@@ -833,7 +1241,7 @@ impl<S: SocketStream> SocketTransport<S> {
         link.peer_parties = peer_parties;
         link.control = control;
         link.reader_retired = reader_retired;
-        link.reader = Some(handle);
+        link.reader = handle;
         // A resumed link invalidates a fatal error *its own* dead reader
         // left — never one recorded by a different link's reader.
         let mut inbox = self.inbox.lock();
@@ -1017,7 +1425,14 @@ impl<S: SocketStream> SocketTransport<S> {
                 w.replay.record(frame);
                 if first_error.is_none() {
                     let frame = w.replay.frames.back().expect("just recorded");
-                    if let Err(e) = w.stream.write_all(frame) {
+                    if let Err(e) = backend_write(
+                        w.backend,
+                        &mut w.stream,
+                        &mut w.outbox,
+                        &mut w.write_failed,
+                        &w.registration,
+                        frame,
+                    ) {
                         first_error = Some(e);
                     }
                 }
@@ -1103,21 +1518,33 @@ impl<S: SocketStream> SocketTransport<S> {
     pub fn shutdown(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
         let mut links = self.links.lock();
-        for link in links.iter_mut() {
-            // Best-effort drain of any coalesced queue, so an orderly
-            // shutdown does not strand buffered envelopes (a crash still
-            // can — buffered-but-unflushed traffic has never hit the wire
-            // or the replay window, exactly like unsent protocol state).
-            if let Some(security) = &self.security {
-                let mut w = link.writer.lock();
-                if Self::drain_pending_locked(security, &mut w).is_ok() {
+        for index in 0..links.len() {
+            // Best-effort drain of any coalesced queue and outbox, so an
+            // orderly shutdown does not strand buffered envelopes (a crash
+            // still can — buffered-but-unflushed traffic has never hit the
+            // wire or the replay window, exactly like unsent protocol
+            // state). The outbox drain is deadline-bounded: an unreachable
+            // peer must not hang the process on exit.
+            {
+                let mut guard = links[index].writer.lock();
+                let w = &mut *guard;
+                let drained = match &self.security {
+                    Some(security) => Self::drain_pending_locked(security, w),
+                    None => Ok(()),
+                };
+                if drained.is_ok() {
+                    let deadline = std::time::Instant::now() + Duration::from_secs(1);
+                    let _ = drain_outbox(
+                        &mut w.stream,
+                        &mut w.outbox,
+                        &w.registration,
+                        Some(0),
+                        Some(deadline),
+                    );
                     let _ = w.stream.flush();
                 }
             }
-            let _ = link.control.shutdown_stream();
-            if let Some(handle) = link.reader.take() {
-                let _ = handle.join();
-            }
+            let _ = Self::quiesce_reader(&mut links, index);
         }
         drop(links);
         self.arrivals.notify_all();
@@ -1127,6 +1554,12 @@ impl<S: SocketStream> SocketTransport<S> {
 impl<S: SocketStream> crate::metrics::SealingReporter for SocketTransport<S> {
     fn sealing_report(&self) -> Option<SealingReport> {
         SocketTransport::sealing_report(self)
+    }
+}
+
+impl<S: SocketStream> crate::metrics::WaitStatsReporter for SocketTransport<S> {
+    fn wait_stats(&self) -> Option<WaitStats> {
+        Some(SocketTransport::wait_stats(self))
     }
 }
 
@@ -1165,20 +1598,13 @@ impl Redial for std::os::unix::net::UnixStream {
     }
 }
 
-/// Spawns the blocking reader loop for one link.
-///
-/// Every complete frame increments the link's `received` counter (the
-/// number announced in resume handshakes) under the inbox lock, so a
-/// quiesced reader's final count exactly matches the delivered envelopes.
-/// On `recoverable` links (those with a re-dial target) stream I/O failures
-/// are *not* recorded as fatal: the next send re-dials and retransmits, so
-/// the receive path must not kill the session first. Decode failures
-/// (corrupt framing) and authentication failures (tampered or plaintext
-/// frames on a secured transport) are always fatal — active interference
-/// must surface, never be retried around.
-#[allow(clippy::too_many_arguments)]
-fn spawn_reader<S: SocketStream>(
-    mut stream: S,
+/// The backend-independent inbound half of one link stream: frame
+/// decoding, unsealing, inbox delivery, received-frame counting and
+/// failure recording. Both read drivers — the blocking reader thread and
+/// the reactor's [`LinkSource`] — push their raw bytes through the same
+/// ingest, which is what keeps the two backends bit-identical.
+struct LinkIngest {
+    decoder: FrameDecoder,
     inbox: Arc<Mutex<SocketInbox>>,
     arrivals: Arc<Condvar>,
     shutting_down: Arc<AtomicBool>,
@@ -1186,106 +1612,131 @@ fn spawn_reader<S: SocketStream>(
     received: Arc<AtomicU64>,
     recoverable: bool,
     opener: Option<Arc<ChannelOpener>>,
-) -> JoinHandle<()> {
-    std::thread::spawn(move || {
-        let mut decoder = FrameDecoder::new();
-        let mut buf = [0u8; 16 * 1024];
-        let token = Arc::clone(&retired);
-        let fail = move |inbox: &Mutex<SocketInbox>, arrivals: &Condvar, err: NetError| {
-            let mut guard = inbox.lock();
-            if guard.failed.is_none() {
-                guard.failed = Some(LinkFailure {
-                    token: Arc::clone(&token),
-                    error: err,
-                });
+}
+
+impl LinkIngest {
+    /// Records a fatal link failure (first failure wins) and wakes waiters.
+    fn fail(&self, error: NetError) {
+        let mut guard = self.inbox.lock();
+        if guard.failed.is_none() {
+            guard.failed = Some(LinkFailure {
+                token: Arc::clone(&self.retired),
+                error,
+            });
+        }
+        drop(guard);
+        self.arrivals.notify_all();
+    }
+
+    /// Whether stream-level failures should be suppressed: the transport
+    /// is shutting down, or this stream's driver was retired by a resume.
+    fn silenced(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst) || self.retired.load(Ordering::SeqCst)
+    }
+
+    /// Feeds raw stream bytes through the decoder and delivers every
+    /// complete frame. Returns `false` on a fatal frame — a decode failure
+    /// (corrupt framing) or an authentication failure (tampered or
+    /// plaintext frames on a secured transport) — which is *always* fatal
+    /// regardless of recoverability: active interference must surface,
+    /// never be retried around. The driver must stop reading the stream.
+    fn on_bytes(&mut self, bytes: &[u8]) -> bool {
+        self.decoder.feed(bytes);
+        let mut delivered = false;
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(envelope)) => {
+                    // Unseal (or reject) before delivery: a secured
+                    // transport accepts only sealed records, a plaintext
+                    // one only cleartext. One wire frame may carry a whole
+                    // batch of inner envelopes (coalesced records); they
+                    // are delivered in batch order, preserving per-pair
+                    // FIFO.
+                    let envelopes = match &self.opener {
+                        Some(opener) => match opener.open(envelope) {
+                            Ok(envelopes) => envelopes,
+                            Err(e) => {
+                                self.fail(e);
+                                return false;
+                            }
+                        },
+                        None if envelope.topic == SEALED_TOPIC => {
+                            self.fail(NetError::AuthFailure {
+                                detail: format!(
+                                    "sealed frame from {} on a plaintext transport \
+                                     (security mismatch across the federation)",
+                                    envelope.from
+                                ),
+                            });
+                            return false;
+                        }
+                        None => vec![envelope],
+                    };
+                    let mut guard = self.inbox.lock();
+                    for envelope in envelopes {
+                        guard
+                            .queues
+                            .entry(envelope.to)
+                            .or_default()
+                            .push_back(envelope);
+                    }
+                    // The resume handshake counts *wire frames* (the unit
+                    // the replay window retransmits), so a coalesced
+                    // record still counts once.
+                    self.received.fetch_add(1, Ordering::SeqCst);
+                    delivered = true;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.fail(e);
+                    return false;
+                }
             }
-            drop(guard);
-            arrivals.notify_all();
-        };
-        let silenced = |shutting_down: &AtomicBool, retired: &AtomicBool| {
-            shutting_down.load(Ordering::SeqCst) || retired.load(Ordering::SeqCst)
-        };
+        }
+        if delivered {
+            self.arrivals.notify_all();
+        }
+        true
+    }
+
+    /// EOF. A partial frame in the buffer means the peer (or the network)
+    /// died mid-send; on a recoverable link the retransmission after
+    /// re-dial replaces the torn frame, so only unrecoverable links
+    /// surface it as fatal.
+    fn on_eof(&self) {
+        if self.decoder.buffered() > 0 && !self.recoverable && !self.silenced() {
+            self.fail(NetError::Io(format!(
+                "peer hung up mid-frame with {} bytes buffered",
+                self.decoder.buffered()
+            )));
+        }
+    }
+
+    /// Stream I/O failure. On `recoverable` links (those with a re-dial
+    /// target) these are *not* recorded as fatal: the next send re-dials
+    /// and retransmits, so the receive path must not kill the session
+    /// first.
+    fn on_error(&self, e: std::io::Error) {
+        if !self.recoverable && !self.silenced() {
+            self.fail(NetError::Io(e.to_string()));
+        }
+    }
+}
+
+/// Spawns the blocking reader loop for one link (the
+/// [`TransportBackend::Blocking`] read driver over a [`LinkIngest`]).
+fn spawn_reader<S: SocketStream>(mut stream: S, mut ingest: LinkIngest) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut buf = [0u8; 16 * 1024];
         loop {
             match stream.read(&mut buf) {
                 Ok(0) => {
-                    // EOF. A partial frame in the buffer means the peer (or
-                    // the network) died mid-send; on a recoverable link the
-                    // retransmission after re-dial replaces the torn frame,
-                    // so only unrecoverable links surface it as fatal.
-                    if decoder.buffered() > 0 && !recoverable && !silenced(&shutting_down, &retired)
-                    {
-                        fail(
-                            &inbox,
-                            &arrivals,
-                            NetError::Io(format!(
-                                "peer hung up mid-frame with {} bytes buffered",
-                                decoder.buffered()
-                            )),
-                        );
-                    }
+                    ingest.on_eof();
                     return;
                 }
                 Ok(n) => {
-                    decoder.feed(&buf[..n]);
-                    let mut delivered = false;
-                    loop {
-                        match decoder.next_frame() {
-                            Ok(Some(envelope)) => {
-                                // Unseal (or reject) before delivery: a
-                                // secured transport accepts only sealed
-                                // records, a plaintext one only cleartext.
-                                // One wire frame may carry a whole batch of
-                                // inner envelopes (coalesced records); they
-                                // are delivered in batch order, preserving
-                                // per-pair FIFO.
-                                let envelopes = match &opener {
-                                    Some(opener) => match opener.open(envelope) {
-                                        Ok(envelopes) => envelopes,
-                                        Err(e) => {
-                                            fail(&inbox, &arrivals, e);
-                                            return;
-                                        }
-                                    },
-                                    None if envelope.topic == SEALED_TOPIC => {
-                                        fail(
-                                            &inbox,
-                                            &arrivals,
-                                            NetError::AuthFailure {
-                                                detail: format!(
-                                                    "sealed frame from {} on a plaintext \
-                                                     transport (security mismatch across \
-                                                     the federation)",
-                                                    envelope.from
-                                                ),
-                                            },
-                                        );
-                                        return;
-                                    }
-                                    None => vec![envelope],
-                                };
-                                let mut guard = inbox.lock();
-                                for envelope in envelopes {
-                                    guard
-                                        .queues
-                                        .entry(envelope.to)
-                                        .or_default()
-                                        .push_back(envelope);
-                                }
-                                // The resume handshake counts *wire frames*
-                                // (the unit the replay window retransmits),
-                                // so a coalesced record still counts once.
-                                received.fetch_add(1, Ordering::SeqCst);
-                                delivered = true;
-                            }
-                            Ok(None) => break,
-                            Err(e) => {
-                                fail(&inbox, &arrivals, e);
-                                return;
-                            }
-                        }
-                    }
-                    if delivered {
-                        arrivals.notify_all();
+                    if !ingest.on_bytes(&buf[..n]) {
+                        return;
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -1295,14 +1746,162 @@ fn spawn_reader<S: SocketStream>(
                     continue;
                 }
                 Err(e) => {
-                    if !recoverable && !silenced(&shutting_down, &retired) {
-                        fail(&inbox, &arrivals, NetError::Io(e.to_string()));
-                    }
+                    ingest.on_error(e);
                     return;
                 }
             }
         }
     })
+}
+
+/// Read-side state of a reactor link: the nonblocking stream and the same
+/// [`LinkIngest`] the blocking reader thread would run. The whole driver
+/// is one mutex so it doubles as the quiesce barrier (see
+/// `crate::reactor`).
+struct ReadDriver<S> {
+    stream: S,
+    ingest: LinkIngest,
+    /// Latched when the stream reached EOF or a fatal condition; later
+    /// dispatches are no-ops.
+    done: bool,
+}
+
+/// The [`TransportBackend::Reactor`] driver of one link: a readiness
+/// [`Source`] that drains the stream through the shared ingest on readable
+/// events and drains the writer's outbox on writable events.
+struct LinkSource<S> {
+    read: Mutex<ReadDriver<S>>,
+    /// The link's writer, for outbox draining on writable readiness.
+    writer: Arc<Mutex<LinkWriter<S>>>,
+    registration: OnceLock<Arc<Registration>>,
+}
+
+impl<S: SocketStream> LinkSource<S> {
+    fn drain_readable(&self) {
+        let mut guard = self.read.lock();
+        let driver = &mut *guard;
+        if driver.done || driver.ingest.retired.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match driver.stream.read(&mut buf) {
+                Ok(0) => {
+                    driver.ingest.on_eof();
+                    driver.done = true;
+                    break;
+                }
+                Ok(n) => {
+                    if !driver.ingest.on_bytes(&buf[..n]) {
+                        driver.done = true;
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    driver.ingest.on_error(e);
+                    driver.done = true;
+                    break;
+                }
+            }
+        }
+        // The stream is finished. Deregister entirely: under
+        // level-triggered polling a half-closed fd keeps reporting HUP, so
+        // leaving it registered would spin the loop. The write side of a
+        // dead stream is dead too — the next send's failure re-dials.
+        if let Some(registration) = self.registration.get() {
+            registration.deregister();
+        }
+    }
+
+    fn drain_writable(&self) {
+        // try_lock: the reactor thread must never park on a sender's lock;
+        // level-triggered polling re-reports writable on the next loop.
+        let Some(mut guard) = self.writer.try_lock() else {
+            return;
+        };
+        let w = &mut *guard;
+        if w.write_failed.is_some() {
+            set_write_interest(&w.registration, false);
+            return;
+        }
+        if let Err(e) = drain_outbox(&mut w.stream, &mut w.outbox, &w.registration, None, None) {
+            // Stash for the next send/flush to surface (where the blocking
+            // backend would have seen it synchronously); the read side
+            // observes the broken stream independently and deregisters.
+            set_write_interest(&w.registration, false);
+            w.write_failed = Some(e);
+        }
+    }
+}
+
+impl<S: SocketStream> Source for LinkSource<S> {
+    fn on_ready(&self, readable: bool, writable: bool) {
+        // Writes first: on a HUP (reported as both) the outbox still gets
+        // its chance before the read path deregisters the fd.
+        if writable {
+            self.drain_writable();
+        }
+        if readable {
+            self.drain_readable();
+        }
+    }
+}
+
+/// Registers `stream` (flipped nonblocking — the mode is shared by every
+/// clone of the fd, including the writer's) with the process-global
+/// reactor as the read driver of one link, pointing the writer's
+/// registration at the new fd so sends can arm write interest.
+fn register_link_source<S: SocketStream>(
+    stream: S,
+    ingest: LinkIngest,
+    writer: &Arc<Mutex<LinkWriter<S>>>,
+) -> Result<Arc<LinkSource<S>>, NetError> {
+    stream
+        .set_stream_nonblocking(true)
+        .map_err(|e| NetError::Io(format!("cannot set nonblocking: {e}")))?;
+    let fd = stream
+        .stream_raw_fd()
+        .map_err(|e| NetError::Io(format!("reactor backend unavailable: {e}")))?;
+    let source = Arc::new(LinkSource {
+        read: Mutex::new(ReadDriver {
+            stream,
+            ingest,
+            done: false,
+        }),
+        writer: Arc::clone(writer),
+        registration: OnceLock::new(),
+    });
+    let reactor =
+        Reactor::global().map_err(|e| NetError::Io(format!("reactor backend unavailable: {e}")))?;
+    let registration = reactor
+        .register(fd, Interest::READ, Arc::clone(&source) as Arc<dyn Source>)
+        .map_err(|e| NetError::Io(format!("reactor registration failed: {e}")))?;
+    let _ = source.registration.set(Arc::clone(&registration));
+    writer.lock().registration = Some(registration);
+    Ok(source)
+}
+
+/// Retires and joins/barriers one read driver (either backend), leaving
+/// the handle `Idle`. The retirement flag must already be set.
+fn quiesce_reader_handle<S: SocketStream>(reader: &mut ReaderHandle<S>) {
+    match std::mem::replace(reader, ReaderHandle::Idle) {
+        ReaderHandle::Idle => {}
+        ReaderHandle::Thread(handle) => {
+            let _ = handle.join();
+        }
+        ReaderHandle::Source(source) => {
+            // Quiesce protocol (see `crate::reactor`): the retired flag is
+            // set, deregistering stops future dispatch, and the read-mutex
+            // barrier waits out any dispatch already in flight — after it,
+            // the received counter is final.
+            if let Some(registration) = source.registration.get() {
+                registration.deregister();
+            }
+            drop(source.read.lock());
+        }
+    }
 }
 
 impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
@@ -1369,7 +1968,14 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
                     let frame = encode_frame(&security.sealer.seal(&envelope))?;
                     w.replay.record(frame);
                     let frame = w.replay.frames.back().expect("just recorded");
-                    match w.stream.write_all(frame) {
+                    match backend_write(
+                        w.backend,
+                        &mut w.stream,
+                        &mut w.outbox,
+                        &mut w.write_failed,
+                        &w.registration,
+                        frame,
+                    ) {
                         Ok(()) => return Ok(()),
                         Err(e) => (w.generation, e),
                     }
@@ -1378,7 +1984,14 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
                     let frame = encode_frame(&envelope)?;
                     w.replay.record(frame);
                     let frame = w.replay.frames.back().expect("just recorded");
-                    match w.stream.write_all(frame) {
+                    match backend_write(
+                        w.backend,
+                        &mut w.stream,
+                        &mut w.outbox,
+                        &mut w.write_failed,
+                        &w.registration,
+                        frame,
+                    ) {
                         Ok(()) => return Ok(()),
                         Err(e) => (w.generation, e),
                     }
@@ -1436,12 +2049,28 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
             let (generation, had_pending, result) = {
                 let mut guard = writer.lock();
                 let w = &mut *guard;
-                let had_pending = !w.pending.is_empty();
-                let drained = match &self.security {
-                    Some(security) => Self::drain_pending_locked(security, w),
-                    None => Ok(()),
+                let had_pending =
+                    !w.pending.is_empty() || !w.outbox.is_empty() || w.write_failed.is_some();
+                // A write failure the reactor's writable dispatch stashed
+                // surfaces here, exactly where the blocking backend would
+                // have surfaced it synchronously.
+                let mut result = match w.write_failed.take() {
+                    Some(e) => Err(e),
+                    None => match &self.security {
+                        Some(security) => Self::drain_pending_locked(security, w),
+                        None => Ok(()),
+                    },
                 };
-                let result = drained.and_then(|()| w.stream.flush());
+                if result.is_ok() {
+                    // Flush fully drains the outbox (`Some(0)` parks in
+                    // `wait_writable` until the socket accepts the rest),
+                    // matching the blocking backend's write-through flush.
+                    result =
+                        drain_outbox(&mut w.stream, &mut w.outbox, &w.registration, Some(0), None);
+                }
+                if result.is_ok() {
+                    result = w.stream.flush();
+                }
                 (w.generation, had_pending, result)
             };
             if let Err(e) = result {
@@ -1501,7 +2130,11 @@ impl<S: SocketStream + Redial> WaitTransport for SocketTransport<S> {
             if now >= deadline {
                 return Ok(None);
             }
-            let (guard, _) = self.arrivals.wait_timeout(inbox, deadline - now);
+            self.wait_parks.fetch_add(1, Ordering::Relaxed);
+            let (guard, result) = self.arrivals.wait_timeout(inbox, deadline - now);
+            if !result.timed_out() {
+                self.wait_wakeups.fetch_add(1, Ordering::Relaxed);
+            }
             inbox = guard;
         }
     }
@@ -1653,6 +2286,40 @@ struct RouterOutbound<S> {
     /// Bumped per successful (re)connection; a pump only tears down the
     /// stream it was spawned for.
     generation: u64,
+    /// Reactor-backend bytes accepted by a forward but not yet written
+    /// (always empty on the blocking backend); bounded by
+    /// [`ROUTER_OUTBOX_LIMIT`], past which the connection is treated as
+    /// dead. Every byte here is already in the replay window.
+    outbox: Outbox,
+    /// Reactor registration of the live stream's fd, for arming write
+    /// interest (`None` on the blocking backend or with no live stream).
+    registration: Option<Arc<Registration>>,
+    /// Origin connections whose read interest was disarmed because their
+    /// forwards congested this outbox past [`ROUTER_OUTBOX_PAUSE`]; resumed
+    /// when the outbox drains below [`ROUTER_OUTBOX_RESUME`] or the
+    /// connection dies (reactor backend only).
+    paused_origins: Vec<PausedOrigin>,
+}
+
+/// A flow-control-paused origin connection: enough shared state to flip its
+/// read interest back on once the congested destination drains.
+struct PausedOrigin {
+    paused: Arc<AtomicBool>,
+    registration: Arc<Registration>,
+}
+
+/// Resumes every origin paused into this outbox: clears their paused flag
+/// and re-arms read interest (level-triggered polling re-fires any bytes
+/// that queued while the gate was closed). Must run whenever the outbox
+/// drains below [`ROUTER_OUTBOX_RESUME`] *and* on every path that clears
+/// the outbox or tears the connection down — a paused origin with no one
+/// left to resume it would be deaf forever.
+fn resume_paused_origins<S>(out: &mut RouterOutbound<S>) {
+    for origin in out.paused_origins.drain(..) {
+        origin.paused.store(false, Ordering::SeqCst);
+        // A dead registration means the origin is being torn down anyway.
+        let _ = origin.registration.set_readable(true);
+    }
 }
 
 /// Persistent per-logical-link state the router keeps for every party set
@@ -1670,8 +2337,12 @@ struct RouterLink<S> {
     received: AtomicU64,
     out: Mutex<RouterOutbound<S>>,
     /// Live pump threads for this link (0 or 1 in steady state); a resume
-    /// waits for the old pump to exit before reading `received`.
+    /// waits for the old pump to exit before reading `received`. Blocking
+    /// backend only — the reactor backend quiesces `source` instead.
     pumps: AtomicU64,
+    /// The live connection's reactor source (reactor backend only); a
+    /// resume retires and barriers it before reading `received`.
+    source: Mutex<Option<Arc<RouterConnSource<S>>>>,
 }
 
 /// Shared router state: logical links and drop accounting.
@@ -1683,10 +2354,12 @@ struct RouterState<S> {
     shutting_down: AtomicBool,
     replay_frames: usize,
     replay_bytes: usize,
+    /// The I/O driver connections are served with.
+    backend: TransportBackend,
 }
 
 impl<S: SocketStream> RouterState<S> {
-    fn new() -> Self {
+    fn new(backend: TransportBackend) -> Self {
         RouterState {
             endpoint: endpoint_nonce(),
             links: Mutex::new(Vec::new()),
@@ -1694,6 +2367,7 @@ impl<S: SocketStream> RouterState<S> {
             shutting_down: AtomicBool::new(false),
             replay_frames: DEFAULT_REPLAY_FRAMES,
             replay_bytes: DEFAULT_REPLAY_BYTES,
+            backend,
         }
     }
 }
@@ -1744,14 +2418,24 @@ impl<S: SocketStream> SocketRouter<S> {
             .count()
     }
 
+    /// The I/O backend this router serves connections with.
+    pub fn backend(&self) -> TransportBackend {
+        self.state.backend
+    }
+
     /// Stops accepting, closes every connection and joins all threads.
     pub fn shutdown(&mut self) {
         self.state.shutting_down.store(true, Ordering::SeqCst);
         (self.shutdown_listener)();
         for link in self.state.links.lock().iter() {
-            if let Some(stream) = link.out.lock().stream.take() {
+            if let Some(source) = link.source.lock().take() {
+                source.quiesce();
+            }
+            let mut out = link.out.lock();
+            if let Some(stream) = out.stream.take() {
                 let _ = stream.shutdown_stream();
             }
+            out.registration = None;
         }
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
@@ -1769,10 +2453,187 @@ impl<S: SocketStream> Drop for SocketRouter<S> {
     }
 }
 
+/// The reactor read/write driver of one live router connection: forwards
+/// inbound frames through the same [`router_ingest`] the blocking pump
+/// runs, and drains the outbound link's outbox on writable readiness.
+struct RouterConnSource<S> {
+    read: Mutex<RouterRead<S>>,
+    link: Arc<RouterLink<S>>,
+    state: Arc<RouterState<S>>,
+    /// Set when a resume supersedes this connection; dispatches no-op.
+    retired: AtomicBool,
+    /// Set while this connection's read interest is disarmed because its
+    /// forwards congested a destination outbox; cleared (and read interest
+    /// re-armed) by the destination's drain. Shared so the destination can
+    /// resume us without holding our locks.
+    paused: Arc<AtomicBool>,
+    /// The outbound generation this connection installed; teardown only
+    /// touches the stream it owns.
+    generation: u64,
+    registration: OnceLock<Arc<Registration>>,
+}
+
+/// Read-side state of a reactor router connection; one mutex so it doubles
+/// as the quiesce barrier (see `crate::reactor`).
+struct RouterRead<S> {
+    stream: S,
+    decoder: FrameDecoder,
+    /// Latched on EOF / fatal error; later dispatches are no-ops.
+    done: bool,
+}
+
+impl<S: SocketStream> RouterConnSource<S> {
+    /// Retires the source and barriers out any in-flight dispatch; after
+    /// this the link's `received` counter is final.
+    fn quiesce(&self) {
+        self.retired.store(true, Ordering::SeqCst);
+        if let Some(registration) = self.registration.get() {
+            registration.deregister();
+        }
+        drop(self.read.lock());
+    }
+
+    /// Drops this connection's outbound stream (unless a resume already
+    /// replaced it), keeping the logical link — its replay window and
+    /// counters are what make the peer's reconnect lossless.
+    fn teardown_outbound(&self) {
+        let mut out = self.link.out.lock();
+        if out.generation == self.generation {
+            if let Some(stream) = out.stream.take() {
+                let _ = stream.shutdown_stream();
+            }
+            out.registration = None;
+            // Undelivered outbox bytes are in the replay window; the
+            // resume retransmission delivers them.
+            out.outbox.clear();
+            resume_paused_origins(&mut out);
+        }
+    }
+
+    fn drain_readable(&self) {
+        let mut guard = self.read.lock();
+        if guard.done || self.retired.load(Ordering::SeqCst) || self.paused.load(Ordering::SeqCst) {
+            return;
+        }
+        let read = &mut *guard;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match read.stream.read(&mut buf) {
+                Ok(0) => {
+                    read.done = true;
+                    break;
+                }
+                Ok(n) => {
+                    if router_ingest(
+                        &mut read.decoder,
+                        &buf[..n],
+                        &self.link,
+                        &self.state,
+                        Some(self),
+                    )
+                    .is_err()
+                    {
+                        read.done = true;
+                        break;
+                    }
+                    // A forward congested a destination outbox and disarmed
+                    // our read interest: stop consuming. The bytes left in
+                    // the kernel buffer re-fire the moment the destination
+                    // drains and re-arms us (and TCP backpressure reaches
+                    // our peer meanwhile).
+                    if self.paused.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    read.done = true;
+                    break;
+                }
+            }
+        }
+        // Deregister entirely: a half-closed fd keeps reporting HUP under
+        // level-triggered polling and would spin the loop.
+        if let Some(registration) = self.registration.get() {
+            registration.deregister();
+        }
+        drop(guard);
+        self.teardown_outbound();
+    }
+
+    fn drain_writable(&self) {
+        // try_lock: the reactor thread must never park on a forwarder's
+        // lock; level-triggered polling re-reports writable next loop.
+        let Some(mut guard) = self.link.out.try_lock() else {
+            return;
+        };
+        if guard.generation != self.generation {
+            return;
+        }
+        let out = &mut *guard;
+        let Some(stream) = out.stream.as_mut() else {
+            return;
+        };
+        if drain_outbox(stream, &mut out.outbox, &out.registration, None, None).is_err() {
+            if let Some(stream) = out.stream.take() {
+                let _ = stream.shutdown_stream();
+            }
+            out.registration = None;
+            out.outbox.clear();
+            resume_paused_origins(out);
+            return;
+        }
+        if out.outbox.len() < ROUTER_OUTBOX_RESUME {
+            resume_paused_origins(out);
+        }
+    }
+}
+
+impl<S: SocketStream> Source for RouterConnSource<S> {
+    fn on_ready(&self, readable: bool, writable: bool) {
+        if writable {
+            self.drain_writable();
+        }
+        if readable {
+            self.drain_readable();
+        }
+    }
+}
+
+/// Decodes and forwards every complete frame `bytes` completes, counting
+/// them into the logical link's received counter. Shared by the blocking
+/// pump thread and the reactor source — the two router backends run
+/// literally this code. `Err` means corrupt framing (e.g. an over-cap
+/// length prefix that is never consumed): the caller must close the
+/// connection instead of spinning on a growing buffer.
+fn router_ingest<S: SocketStream>(
+    decoder: &mut FrameDecoder,
+    bytes: &[u8],
+    link: &Arc<RouterLink<S>>,
+    state: &RouterState<S>,
+    origin_conn: Option<&RouterConnSource<S>>,
+) -> Result<(), ()> {
+    decoder.feed(bytes);
+    loop {
+        match decoder.next_frame() {
+            Ok(Some(envelope)) => {
+                router_forward(state, link, envelope, origin_conn);
+                link.received.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(None) => return Ok(()),
+            Err(_) => return Err(()),
+        }
+    }
+}
+
 /// Handles one accepted router connection: hello, logical-link lookup (or
 /// creation), resume exchange with retransmission, then pump frames to
-/// their destinations until the stream closes.
-fn router_serve_connection<S: SocketStream>(mut stream: S, state: &RouterState<S>) {
+/// their destinations until the stream closes. On the blocking backend the
+/// pump runs on the calling (per-connection) thread; on the reactor
+/// backend the connection is registered with the event loop and the call
+/// returns once the handshake completes.
+fn router_serve_connection<S: SocketStream>(mut stream: S, state: &Arc<RouterState<S>>) {
     // The router announces no parties of its own: an empty hello is what
     // marks the link as a gateway on the client side. It is security-
     // transparent: sealed frames are forwarded opaquely (the router holds
@@ -1817,19 +2678,31 @@ fn router_serve_connection<S: SocketStream>(mut stream: S, state: &RouterState<S
                         replay: ReplayWindow::new(state.replay_frames, state.replay_bytes),
                         stream: None,
                         generation: 0,
+                        outbox: Outbox::default(),
+                        registration: None,
+                        paused_origins: Vec::new(),
                     }),
                     pumps: AtomicU64::new(0),
+                    source: Mutex::new(None),
                 });
                 links.push(Arc::clone(&link));
                 link
             }
         }
     };
-    // A fast reconnect can race the old connection's pump: tear its stream
-    // down and wait for the pump to exit, so the received count announced
+    // A fast reconnect can race the old connection's read driver: tear its
+    // stream down and quiesce the driver, so the received count announced
     // below is final and retransmission cannot duplicate frames.
-    if let Some(old) = link.out.lock().stream.take() {
-        let _ = old.shutdown_stream();
+    {
+        let mut out = link.out.lock();
+        if let Some(old) = out.stream.take() {
+            let _ = old.shutdown_stream();
+        }
+        out.registration = None;
+        resume_paused_origins(&mut out);
+    }
+    if let Some(old) = link.source.lock().take() {
+        old.quiesce();
     }
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while link.pumps.load(Ordering::SeqCst) != 0 && std::time::Instant::now() < deadline {
@@ -1872,22 +2745,117 @@ fn router_serve_connection<S: SocketStream>(mut stream: S, state: &RouterState<S
         }
         out.stream = Some(stream);
         out.generation += 1;
+        out.outbox.clear();
+        out.registration = None;
+        resume_paused_origins(&mut out);
         out.generation
     };
-    link.pumps.fetch_add(1, Ordering::SeqCst);
-    pump_router_frames(reader, &link, state);
-    // The connection is gone. Tear down our stream (unless a resume already
-    // replaced it) but keep the logical link: its replay window and
-    // counters are what make the peer's reconnect lossless.
-    {
-        let mut out = link.out.lock();
-        if out.generation == generation {
-            if let Some(stream) = out.stream.take() {
-                let _ = stream.shutdown_stream();
+    match state.backend {
+        TransportBackend::Blocking => {
+            link.pumps.fetch_add(1, Ordering::SeqCst);
+            pump_router_frames(reader, &link, state);
+            // The connection is gone. Tear down our stream (unless a
+            // resume already replaced it) but keep the logical link: its
+            // replay window and counters are what make the peer's
+            // reconnect lossless.
+            {
+                let mut out = link.out.lock();
+                if out.generation == generation {
+                    if let Some(stream) = out.stream.take() {
+                        let _ = stream.shutdown_stream();
+                    }
+                }
+            }
+            link.pumps.fetch_sub(1, Ordering::SeqCst);
+        }
+        TransportBackend::Reactor => {
+            // Register the connection with the event loop and return; the
+            // handshake thread's work is done. Registration runs under the
+            // outbound lock so the source's write interest is armable the
+            // instant a concurrent forward parks bytes in the outbox.
+            let (fd, source) = match reader.set_stream_nonblocking(true).and_then(|()| {
+                let fd = reader.stream_raw_fd()?;
+                Ok((fd, reader))
+            }) {
+                Ok((fd, reader)) => (
+                    fd,
+                    Arc::new(RouterConnSource {
+                        read: Mutex::new(RouterRead {
+                            stream: reader,
+                            decoder: FrameDecoder::new(),
+                            done: false,
+                        }),
+                        link: Arc::clone(&link),
+                        state: Arc::clone(state),
+                        retired: AtomicBool::new(false),
+                        paused: Arc::new(AtomicBool::new(false)),
+                        generation,
+                        registration: OnceLock::new(),
+                    }),
+                ),
+                Err(_) => {
+                    let mut out = link.out.lock();
+                    if out.generation == generation {
+                        if let Some(stream) = out.stream.take() {
+                            let _ = stream.shutdown_stream();
+                        }
+                    }
+                    return;
+                }
+            };
+            let mut out = link.out.lock();
+            if out.generation != generation {
+                // An even newer connection superseded us mid-handshake.
+                return;
+            }
+            let registered = Reactor::global().and_then(|reactor| {
+                reactor.register(fd, Interest::READ, Arc::clone(&source) as Arc<dyn Source>)
+            });
+            match registered {
+                Ok(registration) => {
+                    let _ = source.registration.set(Arc::clone(&registration));
+                    out.registration = Some(registration);
+                    // A forward that raced us between the stream install
+                    // above and this registration hit `registration =
+                    // None`: its `WouldBlock` could not arm write interest,
+                    // so its bytes are parked in the outbox with nothing
+                    // scheduled to move them. Drain now that arming works —
+                    // either the bytes go out here or the leftover arms the
+                    // fresh registration.
+                    if !out.outbox.is_empty() {
+                        let o = &mut *out;
+                        let drained = match o.stream.as_mut() {
+                            Some(stream) => {
+                                drain_outbox(stream, &mut o.outbox, &o.registration, None, None)
+                            }
+                            None => Ok(()),
+                        };
+                        if drained.is_err() {
+                            if let Some(stream) = out.stream.take() {
+                                let _ = stream.shutdown_stream();
+                            }
+                            out.registration = None;
+                            out.outbox.clear();
+                            resume_paused_origins(&mut out);
+                            // Quiesce outside the out lock: the reactor's
+                            // readable dispatch takes out locks while
+                            // holding the read lock the barrier waits on.
+                            drop(out);
+                            source.quiesce();
+                            return;
+                        }
+                    }
+                    drop(out);
+                    *link.source.lock() = Some(source);
+                }
+                Err(_) => {
+                    if let Some(stream) = out.stream.take() {
+                        let _ = stream.shutdown_stream();
+                    }
+                }
             }
         }
     }
-    link.pumps.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Forwards one decoded envelope: self-preference for the originating
@@ -1898,6 +2866,7 @@ fn router_forward<S: SocketStream>(
     state: &RouterState<S>,
     origin: &Arc<RouterLink<S>>,
     envelope: Envelope,
+    origin_conn: Option<&RouterConnSource<S>>,
 ) {
     let target = if origin.parties.contains(&envelope.to) {
         Some(Arc::clone(origin))
@@ -1925,14 +2894,44 @@ fn router_forward<S: SocketStream>(
         state.unroutable.fetch_add(1, Ordering::Relaxed);
         return;
     };
-    let mut out = target.out.lock();
+    let mut guard = target.out.lock();
+    let out = &mut *guard;
     out.replay.record(frame.clone());
     if let Some(stream) = out.stream.as_mut() {
-        if stream.write_all(&frame).is_err() {
-            // The stream died mid-write; the frame is in the replay window
-            // and will be retransmitted when the peer reconnects.
+        let write = match state.backend {
+            TransportBackend::Blocking => stream.write_all(&frame),
+            TransportBackend::Reactor => {
+                push_and_drain(stream, &mut out.outbox, &out.registration, None, &frame)
+            }
+        };
+        // A dead stream — or a peer that stopped reading long enough to
+        // blow the outbox cap — drops the connection; the frame is in the
+        // replay window and will be retransmitted when the peer
+        // reconnects.
+        if write.is_err() || out.outbox.len() > ROUTER_OUTBOX_LIMIT {
             if let Some(stream) = out.stream.take() {
                 let _ = stream.shutdown_stream();
+            }
+            out.registration = None;
+            out.outbox.clear();
+            resume_paused_origins(out);
+        } else if out.outbox.len() > ROUTER_OUTBOX_PAUSE {
+            // Flow control: the destination is congested but healthy.
+            // Disarm the origin connection's read interest so it stops
+            // producing forwards — the reactor-path analogue of the
+            // blocking backend's inline `write_all` backpressure. The
+            // destination's writable handler re-arms the origin once the
+            // outbox drains below [`ROUTER_OUTBOX_RESUME`].
+            if let Some(conn) = origin_conn {
+                if let Some(registration) = conn.registration.get() {
+                    if !conn.paused.swap(true, Ordering::SeqCst) {
+                        let _ = registration.set_readable(false);
+                        out.paused_origins.push(PausedOrigin {
+                            paused: Arc::clone(&conn.paused),
+                            registration: Arc::clone(registration),
+                        });
+                    }
+                }
             }
         }
     }
@@ -1951,18 +2950,8 @@ fn pump_router_frames<S: SocketStream>(
         match reader.read(&mut buf) {
             Ok(0) => return,
             Ok(n) => {
-                decoder.feed(&buf[..n]);
-                loop {
-                    let envelope = match decoder.next_frame() {
-                        Ok(Some(envelope)) => envelope,
-                        Ok(None) => break,
-                        // Corrupt framing (e.g. an over-cap length prefix
-                        // that is never consumed): close the connection
-                        // instead of spinning on a growing buffer.
-                        Err(_) => return,
-                    };
-                    router_forward(state, link, envelope);
-                    link.received.fetch_add(1, Ordering::SeqCst);
+                if router_ingest(&mut decoder, &buf[..n], link, state, None).is_err() {
+                    return;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -1975,15 +2964,24 @@ fn pump_router_frames<S: SocketStream>(
 pub type TcpRouter = SocketRouter<TcpStream>;
 
 impl TcpRouter {
-    /// Binds `addr` and spawns the accept loop. Returns the router and its
-    /// bound address (bind port 0 for an ephemeral port).
+    /// Binds `addr` and spawns the accept loop on the host's default
+    /// backend ([`TransportBackend::default_for_host`]). Returns the
+    /// router and its bound address (bind port 0 for an ephemeral port).
     pub fn spawn(addr: impl ToSocketAddrs) -> Result<(Self, SocketAddr), NetError> {
+        Self::spawn_with_backend(addr, TransportBackend::default_for_host())
+    }
+
+    /// Binds `addr` and spawns the accept loop on an explicit I/O backend.
+    pub fn spawn_with_backend(
+        addr: impl ToSocketAddrs,
+        backend: TransportBackend,
+    ) -> Result<(Self, SocketAddr), NetError> {
         let listener =
             TcpListener::bind(addr).map_err(|e| NetError::Io(format!("bind failed: {e}")))?;
         let local_addr = listener
             .local_addr()
             .map_err(|e| NetError::Io(e.to_string()))?;
-        let state: Arc<RouterState<TcpStream>> = Arc::new(RouterState::new());
+        let state: Arc<RouterState<TcpStream>> = Arc::new(RouterState::new(backend));
         let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept_state = Arc::clone(&state);
@@ -2038,14 +3036,24 @@ pub type UdsRouter = SocketRouter<std::os::unix::net::UnixStream>;
 #[cfg(unix)]
 impl UdsRouter {
     /// Binds the socket file at `path` (removing a stale one) and spawns
-    /// the accept loop.
+    /// the accept loop on the host's default backend
+    /// ([`TransportBackend::default_for_host`]).
     pub fn spawn(path: impl AsRef<std::path::Path>) -> Result<Self, NetError> {
+        Self::spawn_with_backend(path, TransportBackend::default_for_host())
+    }
+
+    /// Binds the socket file at `path` (removing a stale one) and spawns
+    /// the accept loop on an explicit I/O backend.
+    pub fn spawn_with_backend(
+        path: impl AsRef<std::path::Path>,
+        backend: TransportBackend,
+    ) -> Result<Self, NetError> {
         use std::os::unix::net::{UnixListener, UnixStream};
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)
             .map_err(|e| NetError::Io(format!("bind {} failed: {e}", path.display())))?;
-        let state: Arc<RouterState<UnixStream>> = Arc::new(RouterState::new());
+        let state: Arc<RouterState<UnixStream>> = Arc::new(RouterState::new(backend));
         let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept_state = Arc::clone(&state);

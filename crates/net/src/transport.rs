@@ -145,6 +145,11 @@ pub struct Network {
     /// Signalled on every delivery so blocked receivers wake without
     /// polling.
     arrivals: Arc<Condvar>,
+    /// Times a [`WaitTransport::receive_any_of`] caller parked on the
+    /// arrivals condvar.
+    wait_parks: Arc<std::sync::atomic::AtomicU64>,
+    /// Parks that ended in a notification (vs timing out).
+    wait_wakeups: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Network {
@@ -371,6 +376,16 @@ impl crate::metrics::SealingReporter for Network {
     }
 }
 
+impl crate::metrics::WaitStatsReporter for Network {
+    fn wait_stats(&self) -> Option<crate::metrics::WaitStats> {
+        use std::sync::atomic::Ordering;
+        Some(crate::metrics::WaitStats {
+            blocking_waits: self.wait_parks.load(Ordering::Relaxed),
+            wakeups: self.wait_wakeups.load(Ordering::Relaxed),
+        })
+    }
+}
+
 impl Transport for Network {
     fn send(&self, envelope: Envelope) -> Result<(), NetError> {
         Network::send(self, envelope)
@@ -412,7 +427,13 @@ impl WaitTransport for Network {
             if now >= deadline {
                 return Ok(None);
             }
-            let (guard, _) = self.arrivals.wait_timeout(inner, deadline - now);
+            self.wait_parks
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let (guard, result) = self.arrivals.wait_timeout(inner, deadline - now);
+            if !result.timed_out() {
+                self.wait_wakeups
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
             inner = guard;
         }
     }
@@ -511,6 +532,12 @@ impl<T: Transport> Instrumented<T> {
 impl<T: crate::metrics::SealingReporter> crate::metrics::SealingReporter for Instrumented<T> {
     fn sealing_report(&self) -> Option<crate::metrics::SealingReport> {
         self.inner.sealing_report()
+    }
+}
+
+impl<T: crate::metrics::WaitStatsReporter> crate::metrics::WaitStatsReporter for Instrumented<T> {
+    fn wait_stats(&self) -> Option<crate::metrics::WaitStats> {
+        self.inner.wait_stats()
     }
 }
 

@@ -1,23 +1,32 @@
-//! Generates `BENCH_pr8.json`: the scenario factory as the bench surface.
+//! Generates `BENCH_pr9.json`: the scenario factory as the bench surface,
+//! measured on both socket I/O backends.
 //!
 //! Every row is derived from a seeded [`ScenarioSpec`] and records its
 //! seed, so any number can be reproduced bit-for-bit by regenerating the
-//! same scenario. The axes:
+//! same scenario; every row also records the host's `cores` and the
+//! `transport_backend` it ran on (`in-memory` for rows that never touch a
+//! socket, otherwise `blocking` — one reader thread per link — or
+//! `reactor` — all sockets on one process-global event loop). The axes:
 //!
 //! * **sites × objects × skew** — three oracle rows run the in-process
 //!   session engine over generated workloads (uniform 4-site, zipf
 //!   8-site, one-dominant-site 5-site), each with the factory's
 //!   per-session manifest diversity (linkage, weights, chunk windows,
 //!   numeric modes);
-//! * **channel security** — the same scenario through a loopback-TCP
-//!   frame router, plaintext vs sealed (ChaCha20-Poly1305 end-to-end),
-//!   byte-identity to the oracle asserted on every rep;
+//! * **channel security × backend** — the same scenario through a
+//!   loopback-TCP frame router, plaintext vs sealed (ChaCha20-Poly1305
+//!   end-to-end) on each socket backend, byte-identity to the oracle
+//!   asserted on every rep;
 //! * **loss/latency** — the scenario under the [`SimulatedWan`] cost
 //!   model (clean WAN and lossy DSL), virtual wire costs recorded next to
 //!   the wall time;
-//! * **deployment** — a multi-process pair: real `ppc-party` OS processes
-//!   fed the *generated* CSVs, `--schema` string and `--manifest` file,
-//!   plaintext vs sealed, the two runs' result streams fingerprint-equal.
+//! * **deployment × backend** — a multi-process federation: real
+//!   `ppc-party` OS processes fed the *generated* CSVs, `--schema` string
+//!   and `--manifest` file, plaintext vs sealed on each `--transport`,
+//!   every flavor's result stream fingerprint-equal;
+//! * **link scaling** — a 64-link ring through one router process per
+//!   backend: the workload the reactor exists for (O(1) threads where
+//!   blocking pays a thread per link).
 //!
 //! Every timed row records **min/median/max** of its repetitions: the
 //! single-core CI boxes this runs on are noisy (±20% between identical
@@ -26,7 +35,7 @@
 //! ```text
 //! cargo build --release -p ppc-party
 //! cargo run --release -p ppc-party --bin secure_report -- \
-//!     [--reps N] [--scale quick|full] [--out BENCH_pr8.json]
+//!     [--reps N] [--scale quick|full] [--out BENCH_pr9.json]
 //! ```
 
 use std::io::Read;
@@ -36,8 +45,8 @@ use std::time::{Duration, Instant};
 use ppc_core::protocol::engine::SessionSpec;
 use ppc_core::protocol::sharded::ShardedEngine;
 use ppc_net::{
-    Backoff, ChannelKeyring, Network, SimulatedWan, TcpRouter, TcpTransport, WaitTransport,
-    WanProfile,
+    Backoff, ChannelKeyring, Envelope, Network, PartyId, SimulatedWan, TcpRouter, TcpTransport,
+    Transport, TransportBackend, WaitTransport, WanProfile,
 };
 use ppc_scenario::chaos::fingerprint_process_stdout;
 use ppc_scenario::digest::fingerprint_outcomes;
@@ -79,7 +88,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         reps: 5,
         scale: Scale::Quick,
-        out: "BENCH_pr8.json".to_string(),
+        out: "BENCH_pr9.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -232,6 +241,24 @@ fn scenario_fields(scenario: &Scenario) -> String {
     )
 }
 
+/// Host parallelism, recorded in every row so no number is read without
+/// knowing the box it came from.
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `"cores": …, "transport_backend": "…"` — the provenance pair every
+/// BENCH row carries. `backend` is `in-memory` for rows that never touch
+/// a socket, otherwise the socket I/O driver the row ran on.
+fn provenance(backend: &str) -> String {
+    format!(
+        "\"cores\": {}, \"transport_backend\": \"{backend}\"",
+        cores()
+    )
+}
+
 /// Runs the scenario's sessions through a one-shard [`ShardedEngine`] on
 /// `transport` and returns the outcome fingerprint.
 fn sharded_fingerprint<T: WaitTransport + Sync + 'static>(
@@ -288,8 +315,9 @@ fn multi_process_run(
     csvs: &[std::path::PathBuf],
     manifest: &std::path::Path,
     sealed: bool,
+    backend: TransportBackend,
 ) -> (f64, u64) {
-    let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
+    let (mut router, addr) = TcpRouter::spawn_with_backend("127.0.0.1:0", backend).unwrap();
     let connect = format!("tcp:{addr}");
     let common = |rest: &[&str]| -> Vec<String> {
         let mut args: Vec<String> = rest.iter().map(|s| s.to_string()).collect();
@@ -300,6 +328,8 @@ fn multi_process_run(
             scenario.spec.seed.to_string(),
             "--schema".into(),
             scenario.schema_cli().to_string(),
+            "--transport".into(),
+            backend.to_string(),
         ]);
         if !sealed {
             args.push("--insecure".into());
@@ -386,8 +416,9 @@ fn main() {
             fingerprint = fingerprint_outcomes(&outcomes);
         });
         rows.push(format!(
-            "    {{\"id\": \"scenario/oracle/{name}\", {}, {}, {}, \
+            "    {{\"id\": \"scenario/oracle/{name}\", {}, {}, {}, {}, \
              \"fingerprint\": \"{fingerprint:016x}\"}}",
+            provenance("in-memory"),
             scenario_fields(&scenario),
             spread.seconds_fields(),
             spread.rate_fields(sessions, "sessions_per_second"),
@@ -400,38 +431,45 @@ fn main() {
     let specs = reference.session_specs().unwrap();
     let sessions = reference.spec.sessions as f64;
 
-    // Axis 2: channel security over a loopback-TCP frame router, identity
-    // to the oracle asserted on every rep.
-    let mut plaintext_median = 0.0;
-    for sealed in [false, true] {
-        let spread = Spread::measure(reps, || {
-            let (mut router, addr) = TcpRouter::spawn("127.0.0.1:0").unwrap();
-            let mut transport = TcpTransport::new(reference.parties());
-            if sealed {
-                transport.set_security(ChannelKeyring::from_master(&reference.master));
-            }
-            transport.connect(addr, &Backoff::default()).unwrap();
-            let fingerprint = sharded_fingerprint(&specs, transport);
-            assert_eq!(fingerprint, oracle_fp, "TCP run diverged from the oracle");
-            router.shutdown();
-        });
-        let overhead = if sealed {
-            format!(
-                ", \"overhead_vs_plaintext_percent\": {:.1}",
-                (spread.median / plaintext_median - 1.0) * 100.0
-            )
-        } else {
-            plaintext_median = spread.median;
-            String::new()
-        };
-        rows.push(format!(
-            "    {{\"id\": \"scenario/sharded_tcp/{}\", {}, {}, {}, \
-             \"bit_identical_to_oracle\": true{overhead}}}",
-            if sealed { "sealed" } else { "plaintext" },
-            scenario_fields(&reference),
-            spread.seconds_fields(),
-            spread.rate_fields(sessions, "sessions_per_second"),
-        ));
+    // Axis 2: channel security × socket backend over a loopback-TCP frame
+    // router, identity to the oracle asserted on every rep. The blocking
+    // backend is the behavioral oracle for the reactor: same wire format,
+    // same replay/resume machinery, different I/O driver — the fingerprint
+    // assert holds both to the in-process truth.
+    for backend in [TransportBackend::Blocking, TransportBackend::Reactor] {
+        let mut plaintext_median = 0.0;
+        for sealed in [false, true] {
+            let spread = Spread::measure(reps, || {
+                let (mut router, addr) =
+                    TcpRouter::spawn_with_backend("127.0.0.1:0", backend).unwrap();
+                let mut transport = TcpTransport::new_with_backend(reference.parties(), backend);
+                if sealed {
+                    transport.set_security(ChannelKeyring::from_master(&reference.master));
+                }
+                transport.connect(addr, &Backoff::default()).unwrap();
+                let fingerprint = sharded_fingerprint(&specs, transport);
+                assert_eq!(fingerprint, oracle_fp, "TCP run diverged from the oracle");
+                router.shutdown();
+            });
+            let overhead = if sealed {
+                format!(
+                    ", \"overhead_vs_plaintext_percent\": {:.1}",
+                    (spread.median / plaintext_median - 1.0) * 100.0
+                )
+            } else {
+                plaintext_median = spread.median;
+                String::new()
+            };
+            rows.push(format!(
+                "    {{\"id\": \"scenario/sharded_tcp/{backend}/{}\", {}, {}, {}, {}, \
+                 \"bit_identical_to_oracle\": true{overhead}}}",
+                if sealed { "sealed" } else { "plaintext" },
+                provenance(backend.as_str()),
+                scenario_fields(&reference),
+                spread.seconds_fields(),
+                spread.rate_fields(sessions, "sessions_per_second"),
+            ));
+        }
     }
 
     // Axis 3: loss/latency under the simulated-WAN cost model. Loss here
@@ -457,9 +495,10 @@ fn main() {
         });
         let stats = stats.expect("at least one rep ran");
         rows.push(format!(
-            "    {{\"id\": \"scenario/wan/{profile_name}\", {}, {}, \
+            "    {{\"id\": \"scenario/wan/{profile_name}\", {}, {}, {}, \
              \"virtual_wire_seconds\": {:.3}, \"bytes_on_wire\": {}, \
              \"retransmissions\": {}, \"bit_identical_to_oracle\": true}}",
+            provenance("in-memory"),
             scenario_fields(&reference),
             spread.seconds_fields(),
             stats.virtual_seconds,
@@ -469,55 +508,63 @@ fn main() {
     }
 
     // Axis 4: real OS processes fed the generated artefacts, plaintext vs
-    // sealed. The two flavors must produce fingerprint-identical result
-    // streams — sealing is transparent to the protocol.
+    // sealed on each socket backend (`--transport` end to end: every
+    // party process and the router). All four flavors must produce
+    // fingerprint-identical result streams — sealing is transparent to
+    // the protocol and the backends are wire-identical.
     let binary = sibling("ppc-party");
     if binary.exists() {
         let scenario = process_spec(args.scale).generate().unwrap();
+        let proc_sessions = scenario.spec.sessions as f64;
         let dir = std::env::temp_dir().join(format!("ppc-scenario-bench-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let csvs = scenario.write_csvs(&dir).unwrap();
         let manifest = dir.join("manifest.txt");
         std::fs::write(&manifest, scenario.manifest_text()).unwrap();
 
-        let mut plaintext_stats: Option<(f64, u64)> = None;
-        for sealed in [false, true] {
-            let mut fingerprint = 0u64;
-            let spread = Spread::of(
-                (0..reps)
-                    .map(|_| {
-                        let (elapsed, fp) =
-                            multi_process_run(&binary, &scenario, &csvs, &manifest, sealed);
-                        fingerprint = fp;
-                        elapsed
-                    })
-                    .collect(),
-            );
-            let extra = match plaintext_stats {
-                Some((median, plain_fp)) => {
-                    assert_eq!(
-                        fingerprint, plain_fp,
-                        "sealed and plaintext federations diverged"
-                    );
-                    format!(
-                        ", \"overhead_vs_plaintext_percent\": {:.1}, \
-                         \"fingerprint_equals_plaintext\": true",
-                        (spread.median / median - 1.0) * 100.0
-                    )
-                }
-                None => {
-                    plaintext_stats = Some((spread.median, fingerprint));
-                    String::new()
-                }
-            };
-            rows.push(format!(
-                "    {{\"id\": \"scenario/multi_process/{}\", {}, {}, \
-                 \"fingerprint\": \"{fingerprint:016x}\"{extra}, \
-                 \"note\": \"includes process spawn + control-plane handshake\"}}",
-                if sealed { "sealed" } else { "plaintext" },
-                scenario_fields(&scenario),
-                spread.seconds_fields(),
-            ));
+        let mut reference_stats: Option<(f64, u64)> = None;
+        for backend in [TransportBackend::Blocking, TransportBackend::Reactor] {
+            for sealed in [false, true] {
+                let mut fingerprint = 0u64;
+                let spread = Spread::of(
+                    (0..reps)
+                        .map(|_| {
+                            let (elapsed, fp) = multi_process_run(
+                                &binary, &scenario, &csvs, &manifest, sealed, backend,
+                            );
+                            fingerprint = fp;
+                            elapsed
+                        })
+                        .collect(),
+                );
+                let extra = match reference_stats {
+                    Some((median, plain_fp)) => {
+                        assert_eq!(
+                            fingerprint, plain_fp,
+                            "federation flavors diverged (sealed={sealed}, backend={backend})"
+                        );
+                        format!(
+                            ", \"overhead_vs_blocking_plaintext_percent\": {:.1}, \
+                             \"fingerprint_equals_blocking_plaintext\": true",
+                            (spread.median / median - 1.0) * 100.0
+                        )
+                    }
+                    None => {
+                        reference_stats = Some((spread.median, fingerprint));
+                        String::new()
+                    }
+                };
+                rows.push(format!(
+                    "    {{\"id\": \"scenario/multi_process/{backend}/{}\", {}, {}, {}, {}, \
+                     \"fingerprint\": \"{fingerprint:016x}\"{extra}, \
+                     \"note\": \"includes process spawn + control-plane handshake\"}}",
+                    if sealed { "sealed" } else { "plaintext" },
+                    provenance(backend.as_str()),
+                    scenario_fields(&scenario),
+                    spread.seconds_fields(),
+                    spread.rate_fields(proc_sessions, "sessions_per_second"),
+                ));
+            }
         }
         let _ = std::fs::remove_dir_all(&dir);
     } else {
@@ -528,19 +575,73 @@ fn main() {
         ));
     }
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // Axis 5: link scaling — a 64-link ring through one in-process router
+    // per backend, the workload the reactor exists for. Each rep connects
+    // 64 single-party transports, pushes PASSES full ring rotations
+    // (64 envelopes each) and tears down; the blocking backend pays ~2
+    // threads per link for the same bytes.
+    for backend in [TransportBackend::Blocking, TransportBackend::Reactor] {
+        const LINKS: usize = 64;
+        const PASSES: usize = 4;
+        let spread = Spread::measure(reps, || {
+            let (mut router, addr) = TcpRouter::spawn_with_backend("127.0.0.1:0", backend).unwrap();
+            let transports: Vec<TcpTransport> = (0..LINKS)
+                .map(|i| {
+                    let t =
+                        TcpTransport::new_with_backend([PartyId::DataHolder(i as u32)], backend);
+                    t.connect(addr, &Backoff::default()).unwrap();
+                    t
+                })
+                .collect();
+            for pass in 0..PASSES {
+                for (i, t) in transports.iter().enumerate() {
+                    t.send(Envelope::new(
+                        PartyId::DataHolder(i as u32),
+                        PartyId::DataHolder(((i + 1) % LINKS) as u32),
+                        "bench/ring",
+                        vec![pass as u8; 64],
+                    ))
+                    .unwrap();
+                    t.flush().unwrap();
+                }
+                for (i, t) in transports.iter().enumerate() {
+                    let me = PartyId::DataHolder(i as u32);
+                    t.receive_any_of(&[me], Duration::from_secs(30))
+                        .unwrap()
+                        .expect("ring envelope arrives");
+                }
+            }
+            for t in &transports {
+                t.shutdown();
+            }
+            router.shutdown();
+        });
+        rows.push(format!(
+            "    {{\"id\": \"stress/ring_64_links/{backend}\", {}, \"links\": {LINKS}, \
+             \"passes\": {PASSES}, \"messages\": {}, {}, {}, {}}}",
+            provenance(backend.as_str()),
+            LINKS * PASSES,
+            spread.seconds_fields(),
+            spread.rate_fields((LINKS * PASSES) as f64, "messages_per_second"),
+            spread.rate_fields(PASSES as f64, "sessions_per_second"),
+        ));
+    }
+
+    let cores = cores();
     let json = format!(
-        "{{\n  \"pr\": 8,\n  \"title\": \"Scenario factory as the bench surface: generated \
-         multi-site workloads across channel-security, WAN and deployment axes\",\n  \
+        "{{\n  \"pr\": 9,\n  \"title\": \"Socket transports on two I/O backends: blocking \
+         thread-per-link oracle vs shared non-blocking reactor, across channel-security, WAN, \
+         deployment and link-scaling axes\",\n  \
          \"harness\": \"secure_report binary; every row derives from a seeded ScenarioSpec and \
-         records the seed (same seed => byte-identical scenario); timed rows record \
-         min/median/max of {reps} runs (noisy single-core boxes); TCP and WAN rows assert \
-         f64-bit identity to the in-process oracle on every rep; multi-process rows spawn real \
-         ppc-party OS processes on the generated CSVs + manifest and assert sealed == plaintext \
-         result streams\",\n  \"scale\": \"{}\",\n  \"cores\": {cores},\n  \"results\": \
-         [\n{}\n  ]\n}}\n",
+         records the seed (same seed => byte-identical scenario) plus the cores and \
+         transport_backend it ran on; timed rows record min/median/max of {reps} runs (noisy \
+         single-core boxes); TCP rows on both backends assert f64-bit identity to the \
+         in-process oracle on every rep; multi-process rows spawn real ppc-party OS processes \
+         on the generated CSVs + manifest with --transport end to end and assert all four \
+         sealed/plaintext x blocking/reactor result streams are fingerprint-identical; the \
+         64-link ring rows are the thread-scaling workload (see \
+         crates/net/tests/many_links.rs for the O(1)-vs-O(links) thread assert)\",\n  \
+         \"scale\": \"{}\",\n  \"cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
         args.scale.name(),
         rows.join(",\n")
     );

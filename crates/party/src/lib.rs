@@ -57,7 +57,9 @@ use ppc_core::protocol::{NumericMode, ProtocolConfig};
 use ppc_core::schema::{AttributeDescriptor, Schema, WeightVector};
 use ppc_core::Alphabet;
 use ppc_crypto::Seed;
-use ppc_net::{Backoff, ChannelKeyring, PartyId, TcpRouter, TcpTransport, WaitTransport};
+use ppc_net::{
+    Backoff, ChannelKeyring, PartyId, TcpRouter, TcpTransport, TransportBackend, WaitTransport,
+};
 #[cfg(unix)]
 use ppc_net::{UdsRouter, UdsTransport};
 
@@ -325,6 +327,27 @@ pub fn coalescing_enabled(flags: &Flags, security: &ChannelConfig) -> Result<boo
     }
 }
 
+/// Resolves `--transport blocking|reactor` against the host platform.
+///
+/// Unset defaults to [`TransportBackend::default_for_host`] (the reactor
+/// on Linux, blocking elsewhere; `PPC_TRANSPORT` overrides). An explicit
+/// `--transport reactor` on a platform without the polling shim is
+/// rejected here rather than failing at the first link attach.
+pub fn transport_backend(flags: &Flags) -> Result<TransportBackend, String> {
+    match flags.get("transport") {
+        Some(text) => {
+            let backend = TransportBackend::parse(text)?;
+            if backend == TransportBackend::Reactor && !cfg!(unix) {
+                return Err(
+                    "--transport reactor needs a unix platform (use --transport blocking)".into(),
+                );
+            }
+            Ok(backend)
+        }
+        None => Ok(TransportBackend::default_for_host()),
+    }
+}
+
 /// Prints the sealing-tier statistics line (`None` on plaintext runs).
 /// One stable machine-parseable `SEALING …` line with federation totals,
 /// then the per-link table on stderr for humans.
@@ -439,10 +462,11 @@ fn run_serve(flags: &Flags) -> Result<(), Box<dyn Error>> {
     let seat = seat_from_flags(flags, party, &schema)?;
     let security = channel_config(flags)?;
     let coalesce = coalescing_enabled(flags, &security)?;
+    let backend = transport_backend(flags)?;
     let endpoint = parse_endpoint(require(flags, "connect")?)?;
     let (report, sealing) = match endpoint {
         Endpoint::Tcp(addr) => {
-            let mut transport = TcpTransport::new([party]);
+            let mut transport = TcpTransport::new_with_backend([party], backend);
             if let ChannelConfig::Sealed(keyring) = &security {
                 transport.set_security(keyring.clone());
             }
@@ -454,7 +478,7 @@ fn run_serve(flags: &Flags) -> Result<(), Box<dyn Error>> {
         }
         #[cfg(unix)]
         Endpoint::Uds(path) => {
-            let mut transport = UdsTransport::new([party]);
+            let mut transport = UdsTransport::new_with_backend([party], backend);
             if let ChannelConfig::Sealed(keyring) = &security {
                 transport.set_security(keyring.clone());
             }
@@ -630,10 +654,11 @@ fn run_coordinate(flags: &Flags) -> Result<(), Box<dyn Error>> {
         (None, None) => return Err("one of --sessions or --manifest is required".into()),
     };
     let coalesce = coalescing_enabled(flags, &security)?;
+    let backend = transport_backend(flags)?;
     let endpoint = parse_endpoint(require(flags, "connect")?)?;
     let (report, sealing) = match endpoint {
         Endpoint::Tcp(addr) => {
-            let mut transport = TcpTransport::new([party]);
+            let mut transport = TcpTransport::new_with_backend([party], backend);
             if let ChannelConfig::Sealed(keyring) = &security {
                 transport.set_security(keyring.clone());
             }
@@ -645,7 +670,7 @@ fn run_coordinate(flags: &Flags) -> Result<(), Box<dyn Error>> {
         }
         #[cfg(unix)]
         Endpoint::Uds(path) => {
-            let mut transport = UdsTransport::new([party]);
+            let mut transport = UdsTransport::new_with_backend([party], backend);
             if let ChannelConfig::Sealed(keyring) = &security {
                 transport.set_security(keyring.clone());
             }
@@ -667,16 +692,17 @@ fn run_coordinate(flags: &Flags) -> Result<(), Box<dyn Error>> {
 }
 
 fn run_route(flags: &Flags) -> Result<(), Box<dyn Error>> {
+    let backend = transport_backend(flags)?;
     match parse_endpoint(require(flags, "listen")?)? {
         Endpoint::Tcp(addr) => {
-            let (router, bound) = TcpRouter::spawn(addr.as_str())?;
-            println!("ROUTER listening=tcp:{bound}");
+            let (router, bound) = TcpRouter::spawn_with_backend(addr.as_str(), backend)?;
+            println!("ROUTER listening=tcp:{bound} transport={backend}");
             park_forever(router);
         }
         #[cfg(unix)]
         Endpoint::Uds(path) => {
-            let router = UdsRouter::spawn(&path)?;
-            println!("ROUTER listening=uds:{path}");
+            let router = UdsRouter::spawn_with_backend(&path, backend)?;
+            println!("ROUTER listening=uds:{path} transport={backend}");
             park_forever(router);
         }
         #[cfg(not(unix))]
@@ -698,6 +724,9 @@ const USAGE: &str = "usage: ppc-party <route|serve|coordinate> --flag value ...\
              --schema SPEC --csv FILE (--sessions N | --manifest FILE) --clusters K \\\n\
              [--linkage L] [--chunk-rows W] [--numeric-mode batch|per-pair] \\\n\
              [--psk N | --insecure]\n\
+all modes accept [--transport blocking|reactor]: the socket I/O driver (default:\n\
+reactor on Linux, blocking elsewhere; PPC_TRANSPORT overrides the default). Both\n\
+drivers are wire- and result-identical; reactor keeps O(1) threads per process.\n\
 serve/coordinate also accept [--stall-ms MS] [--stall-waits N] (default 100 ms x\n\
 600: the engine errors out after that much true silence) and [--ready-ms MS]\n\
 [--ready-waits N] to bound only the phase-1 readiness gather.\n\
@@ -833,6 +862,39 @@ mod tests {
 
         let flags = parse_flags(&["--coalesce".into(), "--no-coalesce".into()]).unwrap();
         assert!(coalescing_enabled(&flags, &sealed).is_err());
+    }
+
+    #[test]
+    fn transport_flag_resolves_and_rejects_unknown_backends() {
+        // Explicit spellings parse to their backend.
+        let flags = parse_flags(&["--transport".into(), "blocking".into()]).unwrap();
+        assert_eq!(
+            transport_backend(&flags).unwrap(),
+            TransportBackend::Blocking
+        );
+        let flags = parse_flags(&["--transport".into(), "reactor".into()]).unwrap();
+        if cfg!(unix) {
+            assert_eq!(
+                transport_backend(&flags).unwrap(),
+                TransportBackend::Reactor
+            );
+        } else {
+            assert!(
+                transport_backend(&flags).is_err(),
+                "explicit --transport reactor off unix must be rejected"
+            );
+        }
+
+        // Unset resolves to the host default (never an error).
+        assert!(transport_backend(&Flags::new()).is_ok());
+
+        // Typos are rejected with the expected spellings named.
+        let flags = parse_flags(&["--transport".into(), "epoll".into()]).unwrap();
+        let err = transport_backend(&flags).unwrap_err();
+        assert!(err.contains("blocking") && err.contains("reactor"), "{err}");
+
+        // --transport is a valued flag: a bare `--transport` is malformed.
+        assert!(parse_flags(&["--transport".into()]).is_err());
     }
 
     #[test]

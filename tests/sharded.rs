@@ -105,6 +105,14 @@ fn two_shards_over_in_memory_networks_match_the_sequential_oracle() {
     assert_eq!(run.shards.len(), 2);
     assert_eq!(run.shards[0].sessions, vec![0, 2, 4]);
     assert_eq!(run.shards[1].sessions, vec![1, 3, 5]);
+
+    // The transports report what happened to the scheduler's parks: the
+    // aggregate exists (Network tracks waits) and no transport counts
+    // more wakeups than parks (a wakeup is a park that didn't time out).
+    let waits = engine
+        .transport_wait_stats()
+        .expect("in-memory networks track wait stats");
+    assert!(waits.wakeups <= waits.blocking_waits);
 }
 
 #[test]

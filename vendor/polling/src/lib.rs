@@ -1,0 +1,729 @@
+//! Offline stand-in for `polling`: OS readiness events over raw syscalls.
+//!
+//! The registry is unreachable from the build environment, so instead of
+//! `mio`/`polling` proper this crate declares the handful of syscalls an
+//! event loop needs via `extern "C"` (std already links libc) and wraps
+//! them in a safe, level-triggered [`Poller`]:
+//!
+//! * **Linux**: `epoll_create1` / `epoll_ctl` / `epoll_wait`, woken from
+//!   other threads through an `eventfd`.
+//! * **Other unix**: portable `poll(2)` over a snapshot of the registered
+//!   interest table, woken through a non-blocking self-pipe.
+//! * **Non-unix**: a stub whose constructor reports `Unsupported`, so
+//!   callers can fall back to blocking I/O at runtime.
+//!
+//! Semantics are deliberately minimal — exactly what `ppc-net`'s reactor
+//! consumes:
+//!
+//! * Registration is keyed by a caller-chosen `usize`; [`Poller::wait`]
+//!   reports that key back in each [`Event`].
+//! * Readiness is **level-triggered**: an fd with unread bytes (or free
+//!   write buffer, while write interest is armed) is reported again on
+//!   every wait, so a handler that does not drain completely is re-run
+//!   instead of hanging.
+//! * Error/hangup conditions are folded into both `readable` and
+//!   `writable`, so whichever half owns the fd observes the failure from
+//!   its own `read`/`write` call.
+//!
+//! All `unsafe` in the workspace's I/O tier lives here; `ppc-net` itself
+//! stays `#![forbid(unsafe_code)]`.
+
+use std::io;
+use std::time::Duration;
+
+/// Raw OS file descriptor (mirrors `std::os::fd::RawFd` on unix; plain
+/// `i32` elsewhere so the stub compiles).
+pub type RawFd = i32;
+
+/// Which readiness conditions a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Report when the fd has bytes to read (or hit EOF/error).
+    pub readable: bool,
+    /// Report when the fd can accept writes (or hit an error).
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the fd was registered under.
+    pub key: usize,
+    /// The fd is readable (has bytes, EOF, or an error condition).
+    pub readable: bool,
+    /// The fd is writable (buffer space, or an error condition).
+    pub writable: bool,
+}
+
+/// Key value reserved for the poller's internal wake-up fd; user
+/// registrations must stay below it.
+const NOTIFY_KEY: u64 = u64::MAX;
+
+/// Converts a `-1` syscall result into the calling thread's `errno` error.
+#[cfg(unix)]
+fn check(result: i32) -> io::Result<i32> {
+    if result < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(result)
+    }
+}
+
+/// Milliseconds for `epoll_wait`/`poll`: `-1` blocks forever; sub-millisecond
+/// timeouts round **up** so a caller-supplied deadline is never spun past.
+#[cfg(unix)]
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            let ms = t.as_millis();
+            let ms = if ms == 0 && !t.is_zero() { 1 } else { ms };
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linux: epoll + eventfd
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::*;
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    // x86 and x86_64 kernels declare epoll_event packed; other
+    // architectures use natural alignment. Mirror libc's layout exactly.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn interest_mask(interest: Interest) -> u32 {
+        let mut mask = 0;
+        if interest.readable {
+            // RDHUP rides with read interest: a registration that disarmed
+            // reading (flow-control pause) must stay silent on a peer
+            // half-close too, or a level-triggered loop would spin on an
+            // event its handler refuses to consume. ERR/HUP cannot be
+            // masked and still surface fatal conditions.
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Level-triggered epoll instance plus its eventfd waker.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+        waker: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let waker = match check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            let poller = Poller { epfd, waker };
+            let mut event = EpollEvent {
+                events: EPOLLIN,
+                data: NOTIFY_KEY,
+            };
+            check(unsafe { epoll_ctl(poller.epfd, EPOLL_CTL_ADD, poller.waker, &mut event) })?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: interest_mask(interest),
+                data: key as u64,
+            };
+            check(unsafe { epoll_ctl(self.epfd, op, fd, &mut event) }).map(|_| ())
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, key, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, key, interest)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut event = EpollEvent { events: 0, data: 0 };
+            check(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut event) }).map(|_| ())
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    buf.as_mut_ptr(),
+                    buf.len() as c_int,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            let before = events.len();
+            for raw in buf.iter().take(n as usize) {
+                // Copy out of the (possibly packed) struct before use.
+                let (mask, data) = (raw.events, raw.data);
+                if data == NOTIFY_KEY {
+                    // Drain the eventfd counter so the next notify re-arms.
+                    let mut count = [0u8; 8];
+                    unsafe { read(self.waker, count.as_mut_ptr().cast(), count.len()) };
+                    continue;
+                }
+                let failed = mask & (EPOLLERR | EPOLLHUP) != 0;
+                events.push(Event {
+                    key: data as usize,
+                    readable: failed || mask & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: failed || mask & EPOLLOUT != 0,
+                });
+            }
+            Ok(events.len() - before)
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            let one = 1u64.to_ne_bytes();
+            // A full counter (EAGAIN) already has a wake-up pending.
+            unsafe { write(self.waker, one.as_ptr().cast(), one.len()) };
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.waker);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Other unix: poll(2) over a registered-interest table + self-pipe waker
+// ---------------------------------------------------------------------------
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use super::*;
+    use std::collections::HashMap;
+    use std::os::raw::{c_int, c_short, c_void};
+    use std::sync::Mutex;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    const O_NONBLOCK: c_int = 0x0004;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Portable poll(2) loop over a snapshot of the interest table.
+    #[derive(Debug)]
+    pub struct Poller {
+        interests: Mutex<HashMap<RawFd, (usize, Interest)>>,
+        pipe_read: RawFd,
+        pipe_write: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let mut fds = [0 as c_int; 2];
+            check(unsafe { pipe(fds.as_mut_ptr()) })?;
+            for fd in fds {
+                let flags = check(unsafe { fcntl(fd, F_GETFL, 0) })?;
+                check(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) })?;
+            }
+            Ok(Poller {
+                interests: Mutex::new(HashMap::new()),
+                pipe_read: fds[0],
+                pipe_write: fds[1],
+            })
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut interests = self.interests.lock().unwrap_or_else(|e| e.into_inner());
+            if interests.insert(fd, (key, interest)).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            drop(interests);
+            self.notify()
+        }
+
+        pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut interests = self.interests.lock().unwrap_or_else(|e| e.into_inner());
+            match interests.get_mut(&fd) {
+                Some(entry) => *entry = (key, interest),
+                None => return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+            drop(interests);
+            self.notify()
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut interests = self.interests.lock().unwrap_or_else(|e| e.into_inner());
+            interests.remove(&fd);
+            drop(interests);
+            self.notify()
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let mut fds: Vec<(PollFd, u64)> = vec![(
+                PollFd {
+                    fd: self.pipe_read,
+                    events: POLLIN,
+                    revents: 0,
+                },
+                NOTIFY_KEY,
+            )];
+            {
+                let interests = self.interests.lock().unwrap_or_else(|e| e.into_inner());
+                for (&fd, &(key, interest)) in interests.iter() {
+                    let mut mask = 0;
+                    if interest.readable {
+                        mask |= POLLIN;
+                    }
+                    if interest.writable {
+                        mask |= POLLOUT;
+                    }
+                    fds.push((
+                        PollFd {
+                            fd,
+                            events: mask,
+                            revents: 0,
+                        },
+                        key as u64,
+                    ));
+                }
+            }
+            let mut raw: Vec<PollFd> = fds.iter().map(|(fd, _)| *fd).collect();
+            let n = unsafe { poll(raw.as_mut_ptr(), raw.len(), timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            let before = events.len();
+            for (polled, (_, key)) in raw.iter().zip(&fds) {
+                if polled.revents == 0 {
+                    continue;
+                }
+                if *key == NOTIFY_KEY {
+                    let mut sink = [0u8; 64];
+                    while unsafe { read(self.pipe_read, sink.as_mut_ptr().cast(), sink.len()) } > 0
+                    {
+                    }
+                    continue;
+                }
+                let failed = polled.revents & (POLLERR | POLLHUP) != 0;
+                events.push(Event {
+                    key: *key as usize,
+                    readable: failed || polled.revents & POLLIN != 0,
+                    writable: failed || polled.revents & POLLOUT != 0,
+                });
+            }
+            Ok(events.len() - before)
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            let byte = [1u8];
+            // A full pipe already has a wake-up pending.
+            unsafe { write(self.pipe_write, byte.as_ptr().cast(), 1) };
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.pipe_read);
+                close(self.pipe_write);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-unix stub: constructor reports Unsupported, callers fall back to the
+// blocking transport backend.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(unix))]
+mod imp {
+    use super::*;
+
+    #[derive(Debug)]
+    pub struct Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "readiness polling is only implemented on unix",
+            ))
+        }
+
+        pub fn add(&self, _fd: RawFd, _key: usize, _interest: Interest) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn modify(&self, _fd: RawFd, _key: usize, _interest: Interest) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn wait(
+            &self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+    }
+}
+
+/// Readiness poller: epoll on Linux, poll(2) on other unix platforms.
+///
+/// Thread-safe: registrations and [`notify`](Poller::notify) may be called
+/// from any thread while another blocks in [`wait`](Poller::wait).
+#[derive(Debug)]
+pub struct Poller {
+    imp: imp::Poller,
+}
+
+// The Linux impl holds raw fds (Send+Sync is sound: all syscalls on them
+// are thread-safe); the poll(2) impl guards its table with a Mutex.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Creates a poller. `Err(Unsupported)` on non-unix platforms.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            imp: imp::Poller::new()?,
+        })
+    }
+
+    /// Registers `fd` under `key`. Keys below `usize::MAX` only; one
+    /// registration per fd.
+    pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.imp.add(fd, key, interest)
+    }
+
+    /// Replaces the interest set of a registered fd.
+    pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.imp.modify(fd, key, interest)
+    }
+
+    /// Removes a registration. Safe to call for already-removed fds on
+    /// Linux only if the fd is still open; callers should delete before
+    /// closing.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.imp.delete(fd)
+    }
+
+    /// Blocks until readiness (or `timeout`, or [`notify`](Self::notify)),
+    /// appending reports to `events`. Returns the number appended; `0`
+    /// means timeout, wake-up, or a benign interruption.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        self.imp.wait(events, timeout)
+    }
+
+    /// Wakes a thread blocked in [`wait`](Self::wait) from any thread.
+    pub fn notify(&self) -> io::Result<()> {
+        self.imp.notify()
+    }
+}
+
+/// One-shot portable wait for `fd` to become writable (poll(2), which Linux
+/// also provides): used to apply backpressure on non-blocking streams
+/// without registering them anywhere. Returns `false` on timeout.
+#[cfg(unix)]
+pub fn wait_writable(fd: RawFd, timeout: Option<Duration>) -> io::Result<bool> {
+    use std::os::raw::{c_int, c_short};
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: c_int) -> c_int;
+    }
+
+    const POLLOUT: c_short = 0x004;
+    let mut pollfd = PollFd {
+        fd,
+        events: POLLOUT,
+        revents: 0,
+    };
+    loop {
+        let n = unsafe { poll(&mut pollfd, 1, timeout_ms(timeout)) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(err);
+        }
+        // POLLERR/POLLHUP count as "ready": the caller's write surfaces
+        // the actual error.
+        return Ok(n > 0);
+    }
+}
+
+/// Non-unix stub of [`wait_writable`]: reports the stream as ready so the
+/// caller's own blocking write provides the backpressure.
+#[cfg(not(unix))]
+pub fn wait_writable(_fd: RawFd, _timeout: Option<Duration>) -> io::Result<bool> {
+    Ok(true)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn reports_readable_when_bytes_arrive() {
+        let (mut client, server) = tcp_pair();
+        server.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(n, 0, "no readiness before any bytes");
+
+        client.write_all(b"ping").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while events.is_empty() && Instant::now() < deadline {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+        }
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn level_triggered_readiness_repeats_until_drained() {
+        let (mut client, mut server) = tcp_pair();
+        server.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 1, Interest::READ).unwrap();
+        client.write_all(b"xy").unwrap();
+
+        for _ in 0..2 {
+            let mut events = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while events.is_empty() && Instant::now() < deadline {
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(100)))
+                    .unwrap();
+            }
+            assert!(
+                events.iter().any(|e| e.key == 1 && e.readable),
+                "undrained bytes must be re-reported"
+            );
+        }
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 2);
+    }
+
+    #[test]
+    fn write_interest_arms_and_disarms() {
+        let (client, server) = tcp_pair();
+        let _ = client;
+        server.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .add(server.as_raw_fd(), 3, Interest::READ_WRITE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.key == 3 && e.writable),
+            "an idle socket's buffer is writable"
+        );
+
+        // Dropping write interest silences the (always-ready) writability.
+        poller
+            .modify(server.as_raw_fd(), 3, Interest::READ)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.iter().all(|e| !e.writable));
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let waited = std::thread::spawn(move || {
+            let mut events = Vec::new();
+            let started = Instant::now();
+            waker
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            (started.elapsed(), events.len())
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        poller.notify().unwrap();
+        let (elapsed, events) = waited.join().unwrap();
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "notify must cut the 30 s wait short (took {elapsed:?})"
+        );
+        assert_eq!(events, 0, "the wake-up itself is not a readiness event");
+    }
+
+    #[test]
+    fn deleted_fds_stop_reporting() {
+        let (mut client, server) = tcp_pair();
+        server.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 9, Interest::READ).unwrap();
+        client.write_all(b"!").unwrap();
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while events.is_empty() && Instant::now() < deadline {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+        }
+        assert!(!events.is_empty());
+
+        poller.delete(server.as_raw_fd()).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty(), "deleted registrations are silent");
+    }
+
+    #[test]
+    fn wait_writable_reports_an_idle_socket_ready() {
+        let (client, server) = tcp_pair();
+        let _ = client;
+        assert!(wait_writable(server.as_raw_fd(), Some(Duration::from_secs(5))).unwrap());
+    }
+}
