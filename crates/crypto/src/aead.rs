@@ -493,24 +493,42 @@ impl ChaCha20Poly1305 {
         aad: &[u8],
         sealed: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
+        let mut out = Vec::with_capacity(sealed.len().saturating_sub(TAG_LEN));
+        self.open_into(nonce, aad, sealed, &mut out)?;
+        Ok(out)
+    }
+
+    /// Buffer-reusing form of [`open`](Self::open): appends the verified
+    /// plaintext to `out` instead of allocating. On any failure `out` is
+    /// truncated back to its pre-call length, so the caller never observes
+    /// unauthenticated plaintext — not even in a recycled buffer.
+    pub fn open_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
         if sealed.len() < TAG_LEN {
             return Err(CryptoError::InvalidCiphertext(format!(
                 "sealed frame of {} bytes is shorter than the {TAG_LEN}-byte tag",
                 sealed.len()
             )));
         }
+        let start = out.len();
         let nonce = Self::nonce_words(nonce);
         let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
         let mut mac = self.mac_for(&nonce, aad);
-        let mut out = Vec::with_capacity(ciphertext.len());
-        self.xor_keystream_append_mac(&nonce, 1, ciphertext, &mut out, &mut mac, true);
+        out.reserve(ciphertext.len());
+        self.xor_keystream_append_mac(&nonce, 1, ciphertext, out, &mut mac, true);
         let expected = Self::finish_tag(mac, aad.len(), ciphertext.len());
         if !tags_equal(&expected, tag) {
+            out.truncate(start);
             return Err(CryptoError::InvalidCiphertext(
                 "authentication tag mismatch".into(),
             ));
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Pre-vectorization scalar oracle for [`seal`](Self::seal): one

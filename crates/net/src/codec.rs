@@ -197,6 +197,16 @@ impl<'a> WireReader<'a> {
         Ok(out)
     }
 
+    /// Reads a length-prefixed byte string by appending into `out`,
+    /// letting callers reuse a pooled buffer instead of allocating.
+    pub fn get_bytes_into(&mut self, out: &mut Vec<u8>) -> Result<(), NetError> {
+        let len = self.get_u32()? as usize;
+        self.need(len)?;
+        out.extend_from_slice(&self.buf[..len]);
+        self.buf.advance(len);
+        Ok(())
+    }
+
     /// Reads a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<String, NetError> {
         let bytes = self.get_bytes()?;

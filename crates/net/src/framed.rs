@@ -23,6 +23,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::codec::{WireReader, WireWriter};
+use crate::delivery::BufferPool;
 use crate::error::NetError;
 use crate::message::Envelope;
 use crate::party::PartyId;
@@ -34,6 +35,22 @@ pub const MAX_FRAME_BODY: usize = 1 << 30;
 
 const PARTY_HOLDER: u8 = 0;
 const PARTY_THIRD: u8 = 1;
+
+/// The 5-byte wire encoding of one party (tag byte + `u32` LE index),
+/// byte-identical to [`put_party`], for callers that want a stack buffer.
+pub(crate) fn party_bytes(party: PartyId) -> [u8; 5] {
+    let mut bytes = [0u8; 5];
+    match party {
+        PartyId::DataHolder(i) => {
+            bytes[0] = PARTY_HOLDER;
+            bytes[1..5].copy_from_slice(&i.to_le_bytes());
+        }
+        PartyId::ThirdParty => {
+            bytes[0] = PARTY_THIRD;
+        }
+    }
+    bytes
+}
 
 pub(crate) fn put_party(w: &mut WireWriter, party: PartyId) {
     match party {
@@ -111,11 +128,26 @@ impl FrameDecoder {
 
     /// Pops the next complete envelope, or `None` if more bytes are needed.
     pub fn next_frame(&mut self) -> Result<Option<Envelope>, NetError> {
+        self.next_frame_with(None)
+    }
+
+    /// Pops the next complete envelope, cycling the frame-body scratch and
+    /// the payload buffer through `pool` so the steady-state decode loop
+    /// performs no per-frame heap allocation. Byte-for-byte identical
+    /// decoding to [`next_frame`](Self::next_frame).
+    pub fn next_frame_pooled(&mut self, pool: &BufferPool) -> Result<Option<Envelope>, NetError> {
+        self.next_frame_with(Some(pool))
+    }
+
+    fn next_frame_with(&mut self, pool: Option<&BufferPool>) -> Result<Option<Envelope>, NetError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
-        let header: Vec<u8> = self.buf.iter().take(4).copied().collect();
-        let body_len = u32::from_le_bytes(header.try_into().expect("4 bytes")) as usize;
+        let mut header = [0u8; 4];
+        for (slot, byte) in header.iter_mut().zip(self.buf.iter()) {
+            *slot = *byte;
+        }
+        let body_len = u32::from_le_bytes(header) as usize;
         if body_len > MAX_FRAME_BODY {
             return Err(NetError::Decode(format!(
                 "frame body of {body_len} bytes exceeds the {MAX_FRAME_BODY}-byte cap"
@@ -125,19 +157,33 @@ impl FrameDecoder {
             return Ok(None);
         }
         self.buf.drain(..4);
-        let body: Vec<u8> = self.buf.drain(..body_len).collect();
-        let mut r = WireReader::new(&body);
-        let from = get_party(&mut r)?;
-        let to = get_party(&mut r)?;
-        let topic = r.get_str()?;
-        let payload = r.get_bytes()?;
-        r.expect_end()?;
-        Ok(Some(Envelope {
-            from,
-            to,
-            topic,
-            payload,
-        }))
+        let mut body = match pool {
+            Some(pool) => pool.take(),
+            None => Vec::with_capacity(body_len),
+        };
+        body.extend(self.buf.drain(..body_len));
+        let parsed = (|| {
+            let mut r = WireReader::new(&body);
+            let from = get_party(&mut r)?;
+            let to = get_party(&mut r)?;
+            let topic = r.get_str()?;
+            let mut payload = match pool {
+                Some(pool) => pool.take(),
+                None => Vec::new(),
+            };
+            r.get_bytes_into(&mut payload)?;
+            r.expect_end()?;
+            Ok(Envelope {
+                from,
+                to,
+                topic,
+                payload,
+            })
+        })();
+        if let Some(pool) = pool {
+            pool.put(body);
+        }
+        parsed.map(Some)
     }
 }
 

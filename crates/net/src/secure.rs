@@ -67,7 +67,7 @@ use ppc_crypto::{psk_direction_key, ChaCha20Poly1305, Seed, NONCE_LEN};
 
 use crate::codec::{WireReader, WireWriter};
 use crate::error::NetError;
-use crate::framed::put_party;
+use crate::framed::party_bytes;
 use crate::message::Envelope;
 use crate::metrics::{SealingReport, SealingStats};
 use crate::party::PartyId;
@@ -114,12 +114,13 @@ impl ChannelKeyring {
     }
 }
 
-/// AAD binding the routing metadata of a sealed frame.
-fn routing_aad(from: PartyId, to: PartyId) -> Vec<u8> {
-    let mut w = WireWriter::with_capacity(10);
-    put_party(&mut w, from);
-    put_party(&mut w, to);
-    w.finish()
+/// AAD binding the routing metadata of a sealed frame (stack-allocated:
+/// this sits on the per-record hot path of both seal and open).
+fn routing_aad(from: PartyId, to: PartyId) -> [u8; 10] {
+    let mut aad = [0u8; 10];
+    aad[..5].copy_from_slice(&party_bytes(from));
+    aad[5..].copy_from_slice(&party_bytes(to));
+    aad
 }
 
 /// A per-pair shard map: brief outer lock to find the shard, per-pair
@@ -299,6 +300,21 @@ impl ChannelOpener {
     /// sequence numbers within a sender incarnation, and malformed batches
     /// (zero count, trailing bytes).
     pub fn open(&self, envelope: Envelope) -> Result<Vec<Envelope>, NetError> {
+        let mut out = Vec::new();
+        self.open_into(&envelope, &mut Vec::new(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-reusing form of [`open`](Self::open): decrypts into
+    /// `scratch` (cleared first; a pooled buffer on the hot path) and
+    /// appends the inner envelopes to `out`. On any failure `out` is left
+    /// exactly as passed in — unauthenticated plaintext is never released.
+    pub fn open_into(
+        &self,
+        envelope: &Envelope,
+        scratch: &mut Vec<u8>,
+        out: &mut Vec<Envelope>,
+    ) -> Result<(), NetError> {
         let (from, to) = (envelope.from, envelope.to);
         let fail = |detail: String| NetError::AuthFailure {
             detail: format!("{from} -> {to}: {detail}"),
@@ -350,12 +366,13 @@ impl ChannelOpener {
             // delivery is enforced from here on.
             _ => {}
         }
-        let inner = pair
-            .cipher
-            .open(
+        scratch.clear();
+        pair.cipher
+            .open_into(
                 &nonce_bytes(salt, seq),
                 &routing_aad(from, to),
                 &envelope.payload[12..],
+                scratch,
             )
             .map_err(|e| fail(e.to_string()))?;
         // Only authenticated records advance the stream state; a verified
@@ -366,21 +383,32 @@ impl ChannelOpener {
             }
         }
         pair.current = Some((salt, seq + 1));
-        let mut r = WireReader::new(&inner);
-        let count = r.get_u32()?;
-        if count == 0 {
-            return Err(fail("coalesced record with zero frames".into()));
-        }
-        let mut envelopes = Vec::with_capacity(count as usize);
-        for _ in 0..count {
-            let topic = r.get_str()?;
-            let payload = r.get_bytes()?;
-            envelopes.push(Envelope::new(from, to, topic, payload));
-        }
-        r.expect_end()?;
+        let start = out.len();
+        let parsed = (|| {
+            let mut r = WireReader::new(scratch);
+            let count = r.get_u32()?;
+            if count == 0 {
+                return Err(fail("coalesced record with zero frames".into()));
+            }
+            out.reserve(count as usize);
+            for _ in 0..count {
+                let topic = r.get_str()?;
+                let payload = r.get_bytes()?;
+                out.push(Envelope::new(from, to, topic, payload));
+            }
+            r.expect_end()?;
+            Ok(count)
+        })();
+        let count = match parsed {
+            Ok(count) => count,
+            Err(e) => {
+                out.truncate(start);
+                return Err(e);
+            }
+        };
         pair.stats.records_opened += 1;
         pair.stats.frames_opened += count as u64;
-        Ok(envelopes)
+        Ok(())
     }
 
     /// Snapshot of this opener's per-link counters (open-side fields).

@@ -51,7 +51,7 @@
 //! handshake, replay windows, sealing, coalescing, redial — and speak the
 //! identical wire format; only the read/write driver differs.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -59,14 +59,15 @@ use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use polling::Interest;
 
 use crate::codec::{WireReader, WireWriter};
+use crate::delivery::{BufferPool, DeliveryMode, FailureScope, Inbox};
 use crate::error::NetError;
 use crate::framed::{encode_frame, get_party, put_party, FrameDecoder, MAX_FRAME_BODY};
 use crate::message::Envelope;
-use crate::metrics::{SealingReport, WaitStats};
+use crate::metrics::{DeliveryStats, SealingReport, WaitStats};
 use crate::party::PartyId;
 use crate::reactor::{Reactor, Registration, Source};
 use crate::secure::{ChannelKeyring, ChannelOpener, ChannelSealer, SecurityMode, SEALED_TOPIC};
@@ -834,29 +835,13 @@ enum RedialTarget {
     Uds(std::path::PathBuf),
 }
 
-/// A fatal error recorded by one link's reader thread, tagged with that
-/// reader's retirement token so a re-dial can clear exactly its own
-/// link's error and never erase another link's.
-#[derive(Debug)]
-struct LinkFailure {
-    token: Arc<AtomicBool>,
-    error: NetError,
-}
-
-/// Shared mailbox state behind the transport's condvar.
-#[derive(Debug, Default)]
-struct SocketInbox {
-    queues: HashMap<PartyId, VecDeque<Envelope>>,
-    /// First fatal link error; surfaced by `try_receive` once the queues
-    /// drain so already-delivered envelopes are not lost.
-    failed: Option<LinkFailure>,
-}
-
 /// A [`Transport`] over real sockets, one framed stream per peer link.
 ///
 /// Every link's reader half runs on its own thread doing blocking reads;
-/// decoded envelopes land in a per-party inbox guarded by a mutex and
-/// signalled through a condvar, so [`receive_any_of`] parks idle workers
+/// decoded envelopes are queued through the delivery seam
+/// (`crate::delivery::Inbox`) — per-party lock-free queues with wake
+/// tokens by default, or the retained global mutex inbox as the oracle
+/// (see [`DeliveryMode`]) — so [`receive_any_of`] parks idle workers
 /// without polling. Sends route by `envelope.to`: a link whose peer
 /// announced the party wins, then a gateway (router) link, then — for
 /// parties this endpoint hosts itself — the local inbox.
@@ -870,8 +855,10 @@ pub struct SocketTransport<S: SocketStream> {
     /// This endpoint's unique id, announced in every hello.
     endpoint: u64,
     locals: BTreeSet<PartyId>,
-    inbox: Arc<Mutex<SocketInbox>>,
-    arrivals: Arc<Condvar>,
+    /// The delivery seam: per-party sharded queues or the mutex oracle.
+    delivery: Inbox,
+    /// Recycled scratch buffers for the decode/unseal hot path.
+    pool: Arc<BufferPool>,
     links: Mutex<Vec<Link<S>>>,
     shutting_down: Arc<AtomicBool>,
     /// The I/O driver links attach with.
@@ -918,21 +905,30 @@ impl<S: SocketStream> SocketTransport<S> {
         Self::new_with_backend(locals, TransportBackend::default_for_host())
     }
 
-    /// Creates a transport hosting `locals` on an explicit I/O backend.
+    /// Creates a transport hosting `locals` on an explicit I/O backend,
+    /// with the delivery strategy taken from [`DeliveryMode::from_env`].
     pub fn new_with_backend(
         locals: impl IntoIterator<Item = PartyId>,
         backend: TransportBackend,
     ) -> Self {
+        Self::new_with_delivery(locals, backend, DeliveryMode::from_env())
+    }
+
+    /// Creates a transport with both the I/O backend and the delivery
+    /// strategy chosen explicitly (benches and oracle tests; everything
+    /// else goes through the env-driven defaults).
+    pub fn new_with_delivery(
+        locals: impl IntoIterator<Item = PartyId>,
+        backend: TransportBackend,
+        delivery: DeliveryMode,
+    ) -> Self {
         let locals: BTreeSet<PartyId> = locals.into_iter().collect();
-        let mut inbox = SocketInbox::default();
-        for &party in &locals {
-            inbox.queues.insert(party, VecDeque::new());
-        }
+        let delivery = Inbox::new(delivery, &locals);
         SocketTransport {
             endpoint: endpoint_nonce(),
             locals,
-            inbox: Arc::new(Mutex::new(inbox)),
-            arrivals: Arc::new(Condvar::new()),
+            delivery,
+            pool: Arc::new(BufferPool::new()),
             links: Mutex::new(Vec::new()),
             shutting_down: Arc::new(AtomicBool::new(false)),
             backend,
@@ -960,6 +956,23 @@ impl<S: SocketStream> SocketTransport<S> {
             blocking_waits: self.wait_parks.load(Ordering::Relaxed),
             wakeups: self.wait_wakeups.load(Ordering::Relaxed),
         }
+    }
+
+    /// The delivery strategy inbound frames are queued with.
+    pub fn delivery_mode(&self) -> DeliveryMode {
+        self.delivery.mode()
+    }
+
+    /// Delivery-path recycling and wake statistics: buffer-pool and
+    /// queue-node hit rates plus batched-wake counters. Steady state is
+    /// all hits — the delivery machinery allocates nothing per frame.
+    pub fn delivery_stats(&self) -> DeliveryStats {
+        let mut stats = DeliveryStats::default();
+        let (pool_hits, pool_misses) = self.pool.stats();
+        stats.pool_hits = pool_hits;
+        stats.pool_misses = pool_misses;
+        self.delivery.fill_stats(&mut stats);
+        stats
     }
 
     /// Overrides the send-time re-dial policy (default: [`Backoff::default`]).
@@ -1110,7 +1123,7 @@ impl<S: SocketStream> SocketTransport<S> {
     }
 
     /// The ingest half of a new link stream, wired into this transport's
-    /// inbox, condvar and security state.
+    /// delivery seam, buffer pool and security state.
     fn link_ingest(
         &self,
         retired: &Arc<AtomicBool>,
@@ -1119,8 +1132,10 @@ impl<S: SocketStream> SocketTransport<S> {
     ) -> LinkIngest {
         LinkIngest {
             decoder: FrameDecoder::new(),
-            inbox: Arc::clone(&self.inbox),
-            arrivals: Arc::clone(&self.arrivals),
+            delivery: self.delivery.clone(),
+            pool: Arc::clone(&self.pool),
+            opened: Vec::new(),
+            touched: Vec::new(),
             shutting_down: Arc::clone(&self.shutting_down),
             retired: Arc::clone(retired),
             received: Arc::clone(received),
@@ -1244,12 +1259,7 @@ impl<S: SocketStream> SocketTransport<S> {
         link.reader = handle;
         // A resumed link invalidates a fatal error *its own* dead reader
         // left — never one recorded by a different link's reader.
-        let mut inbox = self.inbox.lock();
-        if let Some(failure) = &inbox.failed {
-            if Arc::ptr_eq(&failure.token, &old_token) {
-                inbox.failed = None;
-            }
-        }
+        self.delivery.clear_failures(&old_token);
         Ok(())
     }
 
@@ -1353,16 +1363,9 @@ impl<S: SocketStream> SocketTransport<S> {
         }
     }
 
-    /// Delivers an envelope into the local inbox and wakes waiters.
+    /// Delivers an envelope into the local inbox and wakes its receiver.
     fn deliver_local(&self, envelope: Envelope) {
-        let mut inbox = self.inbox.lock();
-        inbox
-            .queues
-            .entry(envelope.to)
-            .or_default()
-            .push_back(envelope);
-        drop(inbox);
-        self.arrivals.notify_all();
+        self.delivery.deliver_now(envelope);
     }
 
     /// Estimated batch-plaintext bytes one envelope contributes to a
@@ -1547,7 +1550,7 @@ impl<S: SocketStream> SocketTransport<S> {
             let _ = Self::quiesce_reader(&mut links, index);
         }
         drop(links);
-        self.arrivals.notify_all();
+        self.delivery.wake_all();
     }
 }
 
@@ -1560,6 +1563,12 @@ impl<S: SocketStream> crate::metrics::SealingReporter for SocketTransport<S> {
 impl<S: SocketStream> crate::metrics::WaitStatsReporter for SocketTransport<S> {
     fn wait_stats(&self) -> Option<WaitStats> {
         Some(SocketTransport::wait_stats(self))
+    }
+}
+
+impl<S: SocketStream> crate::metrics::DeliveryReporter for SocketTransport<S> {
+    fn delivery_stats(&self) -> Option<DeliveryStats> {
+        Some(SocketTransport::delivery_stats(self))
     }
 }
 
@@ -1605,8 +1614,12 @@ impl Redial for std::os::unix::net::UnixStream {
 /// ingest, which is what keeps the two backends bit-identical.
 struct LinkIngest {
     decoder: FrameDecoder,
-    inbox: Arc<Mutex<SocketInbox>>,
-    arrivals: Arc<Condvar>,
+    delivery: Inbox,
+    pool: Arc<BufferPool>,
+    /// Reusable scratch for one record's unsealed inner envelopes.
+    opened: Vec<Envelope>,
+    /// Receivers touched since the last wake (one wake per read chunk).
+    touched: Vec<PartyId>,
     shutting_down: Arc<AtomicBool>,
     retired: Arc<AtomicBool>,
     received: Arc<AtomicU64>,
@@ -1615,17 +1628,16 @@ struct LinkIngest {
 }
 
 impl LinkIngest {
-    /// Records a fatal link failure (first failure wins) and wakes waiters.
+    /// Records a fatal link-level failure (every hosted party sees it)
+    /// and wakes waiters.
     fn fail(&self, error: NetError) {
-        let mut guard = self.inbox.lock();
-        if guard.failed.is_none() {
-            guard.failed = Some(LinkFailure {
-                token: Arc::clone(&self.retired),
-                error,
-            });
-        }
-        drop(guard);
-        self.arrivals.notify_all();
+        self.delivery.fail(FailureScope::Link, error, &self.retired);
+    }
+
+    /// Records a fatal failure scoped to the party a frame concerned.
+    fn fail_party(&self, party: PartyId, error: NetError) {
+        self.delivery
+            .fail(FailureScope::Party(party), error, &self.retired);
     }
 
     /// Whether stream-level failures should be suppressed: the transport
@@ -1640,11 +1652,15 @@ impl LinkIngest {
     /// plaintext frames on a secured transport) — which is *always* fatal
     /// regardless of recoverability: active interference must surface,
     /// never be retried around. The driver must stop reading the stream.
+    ///
+    /// Delivery is batched: every frame in the chunk is queued first,
+    /// then each touched party is signalled once (`Inbox::wake`). The
+    /// scratch allocations — frame body, unsealed plaintext, the consumed
+    /// sealed payload — cycle through the transport's [`BufferPool`].
     fn on_bytes(&mut self, bytes: &[u8]) -> bool {
         self.decoder.feed(bytes);
-        let mut delivered = false;
         loop {
-            match self.decoder.next_frame() {
+            match self.decoder.next_frame_pooled(&self.pool) {
                 Ok(Some(envelope)) => {
                     // Unseal (or reject) before delivery: a secured
                     // transport accepts only sealed records, a plaintext
@@ -1652,50 +1668,51 @@ impl LinkIngest {
                     // batch of inner envelopes (coalesced records); they
                     // are delivered in batch order, preserving per-pair
                     // FIFO.
-                    let envelopes = match &self.opener {
-                        Some(opener) => match opener.open(envelope) {
-                            Ok(envelopes) => envelopes,
-                            Err(e) => {
-                                self.fail(e);
-                                return false;
+                    match &self.opener {
+                        Some(opener) => {
+                            let mut scratch = self.pool.take();
+                            let opened =
+                                opener.open_into(&envelope, &mut scratch, &mut self.opened);
+                            self.pool.put(scratch);
+                            match opened {
+                                Ok(()) => self.pool.put(envelope.payload),
+                                Err(e) => {
+                                    // An unseal failure concerns the
+                                    // party the record was addressed to;
+                                    // other parties' links are intact.
+                                    self.fail_party(envelope.to, e);
+                                    self.delivery.wake(&mut self.touched);
+                                    return false;
+                                }
                             }
-                        },
+                        }
                         None if envelope.topic == SEALED_TOPIC => {
-                            self.fail(NetError::AuthFailure {
-                                detail: format!(
-                                    "sealed frame from {} on a plaintext transport \
-                                     (security mismatch across the federation)",
-                                    envelope.from
-                                ),
-                            });
+                            let detail = format!(
+                                "sealed frame from {} on a plaintext transport \
+                                 (security mismatch across the federation)",
+                                envelope.from
+                            );
+                            self.fail_party(envelope.to, NetError::AuthFailure { detail });
+                            self.delivery.wake(&mut self.touched);
                             return false;
                         }
-                        None => vec![envelope],
-                    };
-                    let mut guard = self.inbox.lock();
-                    for envelope in envelopes {
-                        guard
-                            .queues
-                            .entry(envelope.to)
-                            .or_default()
-                            .push_back(envelope);
+                        None => self.opened.push(envelope),
                     }
+                    self.delivery.push_all(&mut self.opened, &mut self.touched);
                     // The resume handshake counts *wire frames* (the unit
                     // the replay window retransmits), so a coalesced
                     // record still counts once.
                     self.received.fetch_add(1, Ordering::SeqCst);
-                    delivered = true;
                 }
                 Ok(None) => break,
                 Err(e) => {
                     self.fail(e);
+                    self.delivery.wake(&mut self.touched);
                     return false;
                 }
             }
         }
-        if delivered {
-            self.arrivals.notify_all();
-        }
+        self.delivery.wake(&mut self.touched);
         true
     }
 
@@ -2019,18 +2036,7 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
         if !self.locals.contains(&receiver) {
             return Err(NetError::UnknownParty(receiver));
         }
-        let mut inbox = self.inbox.lock();
-        if let Some(envelope) = inbox
-            .queues
-            .get_mut(&receiver)
-            .and_then(VecDeque::pop_front)
-        {
-            return Ok(Some(envelope));
-        }
-        match &inbox.failed {
-            Some(failure) => Err(failure.error.clone()),
-            None => Ok(None),
-        }
+        self.delivery.try_pop(receiver)
     }
 
     fn flush(&self) -> Result<(), NetError> {
@@ -2100,7 +2106,9 @@ impl<S: SocketStream + Redial> Transport for SocketTransport<S> {
 }
 
 impl<S: SocketStream + Redial> WaitTransport for SocketTransport<S> {
-    /// Parks on the inbox condvar; reader threads wake it on every frame.
+    /// Parks until a frame for one of `receivers` arrives: on the sharded
+    /// path each waiter registers a wake token with exactly the slots it
+    /// polls; on the mutex oracle it parks on the single inbox condvar.
     fn receive_any_of(
         &self,
         receivers: &[PartyId],
@@ -2111,32 +2119,8 @@ impl<S: SocketStream + Redial> WaitTransport for SocketTransport<S> {
                 return Err(NetError::UnknownParty(receiver));
             }
         }
-        let deadline = std::time::Instant::now() + timeout;
-        let mut inbox = self.inbox.lock();
-        loop {
-            for &receiver in receivers {
-                if let Some(envelope) = inbox
-                    .queues
-                    .get_mut(&receiver)
-                    .and_then(VecDeque::pop_front)
-                {
-                    return Ok(Some(envelope));
-                }
-            }
-            if let Some(failure) = &inbox.failed {
-                return Err(failure.error.clone());
-            }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return Ok(None);
-            }
-            self.wait_parks.fetch_add(1, Ordering::Relaxed);
-            let (guard, result) = self.arrivals.wait_timeout(inbox, deadline - now);
-            if !result.timed_out() {
-                self.wait_wakeups.fetch_add(1, Ordering::Relaxed);
-            }
-            inbox = guard;
-        }
+        self.delivery
+            .receive_any_of(receivers, timeout, &self.wait_parks, &self.wait_wakeups)
     }
 }
 

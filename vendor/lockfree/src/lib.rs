@@ -1,0 +1,442 @@
+//! A minimal lock-free multi-producer queue with a recycling node arena.
+//!
+//! This is a vendored stand-in for the crates.io lock-free queue family
+//! (crossbeam et al.), which is unfetchable in this offline workspace. It
+//! implements exactly the shape the `ppc-net` delivery path needs:
+//!
+//! * **many producers, one logical consumer** — socket readers and the
+//!   reactor push decoded envelopes; one `receive_*` caller at a time
+//!   drains a given party's queue;
+//! * **wait-free-ish pop** — the consumer takes the whole inbound stack
+//!   with a single `swap`, so consuming never loops against producers;
+//! * **no steady-state allocation** — nodes are recycled through a fixed
+//!   pre-allocated arena with a tagged free list; the heap is only touched
+//!   when the arena is exhausted (counted, see [`MpscQueue::pool_stats`]).
+//!
+//! # Ordering contract
+//!
+//! [`push`](MpscQueue::push) is linearizable: every push has a single
+//! linearization point (the successful CAS publishing its node). The
+//! consumer observes values in **global push-linearization order** — it
+//! grabs the whole inbound Treiber stack at once (`swap(null)`) and
+//! reverses it, so a batch pops oldest-first, and values from an earlier
+//! batch always pop before values pushed after that batch was taken. Two
+//! consequences the delivery path relies on:
+//!
+//! * **per-producer FIFO** — if one thread pushes `a` then `b`, every
+//!   consumer sees `a` before `b`;
+//! * **cross-producer order respects real time** — if `push(a)` returns
+//!   before `push(b)` begins (on any threads), `a` pops before `b`.
+//!
+//! Pops on the *same* queue are serialized by a tiny internal mutex, so
+//! accidentally-concurrent consumers are safe (each value is delivered
+//! exactly once) but not scalable; the design point is one consumer per
+//! queue with many queues, which is precisely the sharded inbox layout.
+//!
+//! # ABA safety
+//!
+//! The two places a naive Treiber design breaks are both closed here:
+//! the consume side never CASes the inbound head (it `swap`s, which
+//! cannot observe a stale head), and the free list packs a 32-bit
+//! generation tag next to the 32-bit head index in one `AtomicU64`, with
+//! the tag bumped on every successful CAS, so a recycled node cannot be
+//! mistaken for its previous incarnation. (A tag would have to wrap all
+//! 2^32 values inside one competitor's load→CAS window to be fooled.)
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Sentinel arena index: "no next free node" on the free list, and
+/// "heap-allocated, not arena-backed" in [`Node::slot`].
+const NIL: u32 = u32::MAX;
+
+/// Default arena capacity for [`MpscQueue::new`].
+pub const DEFAULT_CAPACITY: usize = 256;
+
+struct Node<T> {
+    /// The carried value. Only the producer that acquired this node
+    /// writes it (before publishing); only the consumer that unlinked
+    /// the node reads it (after the acquiring swap). `UnsafeCell` because
+    /// both happen through a shared arena reference.
+    value: UnsafeCell<MaybeUninit<T>>,
+    /// Inbound-stack / consumer-chain linkage. Atomic so the consumer's
+    /// reversal can rewrite links that racing producers once wrote,
+    /// without a data race (all accesses are Relaxed; the Release/Acquire
+    /// pair on the stack head publishes them).
+    next: AtomicPtr<Node<T>>,
+    /// Free-list linkage by arena index. Written by the releasing thread
+    /// before its CAS; a racing reader that loses the CAS discards what
+    /// it read, so Relaxed atomics suffice (and keep it race-free).
+    free_next: AtomicU32,
+    /// This node's arena index, or [`NIL`] for heap-fallback nodes.
+    slot: u32,
+}
+
+impl<T> Node<T> {
+    fn heap() -> Box<Node<T>> {
+        Box::new(Node {
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+            next: AtomicPtr::new(ptr::null_mut()),
+            free_next: AtomicU32::new(NIL),
+            slot: NIL,
+        })
+    }
+}
+
+/// Head of the consumer-side FIFO chain (already reversed into pop
+/// order). Wrapped in a struct so the raw pointer can live in a `Mutex`
+/// while the queue's own `Send`/`Sync` impls take responsibility.
+struct ConsumerHead<T>(*mut Node<T>);
+
+/// A lock-free multi-producer queue — see the [module docs](self) for
+/// the ordering contract and ABA argument.
+pub struct MpscQueue<T> {
+    /// Treiber stack of freshly pushed nodes, newest first.
+    inbound: AtomicPtr<Node<T>>,
+    /// Consumer state: the reversed (FIFO) chain currently being drained.
+    consumer: Mutex<ConsumerHead<T>>,
+    /// Fixed node pool. Never reallocated, so node addresses are stable.
+    arena: Box<[Node<T>]>,
+    /// Free-list head: `(generation tag) << 32 | arena index`, index
+    /// [`NIL`] when empty. The tag increments on every successful CAS.
+    free: AtomicU64,
+    node_hits: AtomicU64,
+    node_misses: AtomicU64,
+}
+
+unsafe impl<T: Send> Send for MpscQueue<T> {}
+unsafe impl<T: Send> Sync for MpscQueue<T> {}
+
+impl<T> Default for MpscQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MpscQueue<T> {
+    /// Creates a queue with the [default arena capacity](DEFAULT_CAPACITY).
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a queue whose arena holds `capacity` nodes. Pushes beyond
+    /// the arena fall back to the heap (still correct, counted as pool
+    /// misses). `capacity` is clamped to `u32::MAX - 1`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.min(NIL as usize - 1) as u32;
+        let mut arena = Vec::with_capacity(cap as usize);
+        for i in 0..cap {
+            arena.push(Node {
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+                next: AtomicPtr::new(ptr::null_mut()),
+                free_next: AtomicU32::new(if i + 1 < cap { i + 1 } else { NIL }),
+                slot: i,
+            });
+        }
+        MpscQueue {
+            inbound: AtomicPtr::new(ptr::null_mut()),
+            consumer: Mutex::new(ConsumerHead(ptr::null_mut())),
+            arena: arena.into_boxed_slice(),
+            free: AtomicU64::new(Self::pack(0, if cap == 0 { NIL } else { 0 })),
+            node_hits: AtomicU64::new(0),
+            node_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Arena capacity in nodes.
+    pub fn capacity(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// `(arena hits, heap-fallback misses)` over the queue's lifetime.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (
+            self.node_hits.load(Ordering::Relaxed),
+            self.node_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    #[inline]
+    fn pack(tag: u64, idx: u32) -> u64 {
+        ((tag & NIL as u64) << 32) | idx as u64
+    }
+
+    /// Pops a node off the tagged free list, or heap-allocates one.
+    fn acquire(&self) -> *mut Node<T> {
+        loop {
+            let head = self.free.load(Ordering::Acquire);
+            let idx = (head & NIL as u64) as u32;
+            if idx == NIL {
+                self.node_misses.fetch_add(1, Ordering::Relaxed);
+                return Box::into_raw(Node::heap());
+            }
+            let node = &self.arena[idx as usize] as *const Node<T> as *mut Node<T>;
+            // May read a stale link if we lose the race; the tag check in
+            // the CAS below rejects exactly that case.
+            let next = self.arena[idx as usize].free_next.load(Ordering::Relaxed);
+            let new = Self::pack((head >> 32).wrapping_add(1), next);
+            if self
+                .free
+                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.node_hits.fetch_add(1, Ordering::Relaxed);
+                return node;
+            }
+        }
+    }
+
+    /// Returns a drained node to the free list (or the heap).
+    ///
+    /// # Safety
+    /// `node` must be exclusively owned by the caller (unlinked from both
+    /// the inbound stack and the consumer chain) with its value moved out.
+    unsafe fn release(&self, node: *mut Node<T>) {
+        if (*node).slot == NIL {
+            drop(Box::from_raw(node));
+            return;
+        }
+        loop {
+            let head = self.free.load(Ordering::Relaxed);
+            (*node)
+                .free_next
+                .store((head & NIL as u64) as u32, Ordering::Relaxed);
+            let new = Self::pack((head >> 32).wrapping_add(1), (*node).slot);
+            if self
+                .free
+                .compare_exchange_weak(head, new, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Pushes `value`. Lock-free: at most a CAS retry loop against other
+    /// producers, never blocked by the consumer.
+    pub fn push(&self, value: T) {
+        let node = self.acquire();
+        unsafe {
+            (*node).value.get().write(MaybeUninit::new(value));
+        }
+        let mut head = self.inbound.load(Ordering::Relaxed);
+        loop {
+            unsafe {
+                (*node).next.store(head, Ordering::Relaxed);
+            }
+            // Release publishes the value write above to the consumer's
+            // Acquire swap in `take_all_reversed`.
+            match self.inbound.compare_exchange_weak(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(current) => head = current,
+            }
+        }
+    }
+
+    /// Grabs the whole inbound stack and reverses it into pop (FIFO)
+    /// order. The `swap` cannot suffer ABA: whatever head it reads, it
+    /// owns the entire chain hanging off it.
+    fn take_all_reversed(&self) -> *mut Node<T> {
+        let mut cur = self.inbound.swap(ptr::null_mut(), Ordering::Acquire);
+        let mut prev: *mut Node<T> = ptr::null_mut();
+        while !cur.is_null() {
+            unsafe {
+                let next = (*cur).next.load(Ordering::Relaxed);
+                (*cur).next.store(prev, Ordering::Relaxed);
+                prev = cur;
+                cur = next;
+            }
+        }
+        prev
+    }
+
+    /// Pops the oldest value, or `None` if the queue is empty.
+    ///
+    /// See the [module docs](self) for the ordering guarantee. Concurrent
+    /// `pop` calls are safe (serialized internally) but the intended
+    /// shape is one consumer per queue.
+    pub fn pop(&self) -> Option<T> {
+        let mut chain = self.consumer.lock().unwrap_or_else(|e| e.into_inner());
+        if chain.0.is_null() {
+            chain.0 = self.take_all_reversed();
+        }
+        let node = chain.0;
+        if node.is_null() {
+            return None;
+        }
+        unsafe {
+            chain.0 = (*node).next.load(Ordering::Relaxed);
+            let value = (*node).value.get().read().assume_init();
+            self.release(node);
+            Some(value)
+        }
+    }
+
+    /// True if a `pop` right now would return `None`. Racy by nature —
+    /// a producer may publish immediately after the check — but exact
+    /// with respect to everything pushed before it was called.
+    pub fn is_empty(&self) -> bool {
+        let chain = self.consumer.lock().unwrap_or_else(|e| e.into_inner());
+        chain.0.is_null() && self.inbound.load(Ordering::Acquire).is_null()
+    }
+}
+
+impl<T> Drop for MpscQueue<T> {
+    fn drop(&mut self) {
+        // Drain so remaining values run their destructors and heap
+        // fallback nodes are freed; arena nodes die with the arena box.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = MpscQueue::with_capacity(4);
+        for i in 0..10 {
+            q.push(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_vecdeque_oracle() {
+        // Deterministic xorshift schedule: same op sequence against the
+        // queue and a VecDeque; single producer means the global-FIFO
+        // contract collapses to exact equality.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut step = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let q = MpscQueue::with_capacity(8);
+        let mut oracle: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        for _ in 0..10_000 {
+            if step() % 3 != 0 {
+                q.push(next);
+                oracle.push_back(next);
+                next += 1;
+            } else {
+                assert_eq!(q.pop(), oracle.pop_front());
+            }
+        }
+        while let Some(expected) = oracle.pop_front() {
+            assert_eq!(q.pop(), Some(expected));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn arena_recycles_and_heap_fallback_is_counted() {
+        let q = MpscQueue::with_capacity(2);
+        q.push(1);
+        q.push(2);
+        q.push(3); // arena exhausted -> heap
+        assert_eq!(q.pool_stats(), (2, 1));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        // Nodes were recycled: the next pushes hit the arena again.
+        q.push(4);
+        q.push(5);
+        assert_eq!(q.pool_stats(), (4, 1));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(5));
+    }
+
+    #[test]
+    fn zero_capacity_degrades_to_heap() {
+        let q = MpscQueue::with_capacity(0);
+        for i in 0..100 {
+            q.push(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pool_stats().0, 0);
+        assert_eq!(q.pool_stats().1, 100);
+    }
+
+    #[test]
+    fn concurrent_producers_keep_per_producer_fifo_exactly_once() {
+        const PRODUCERS: u64 = 8;
+        const PER_PRODUCER: u64 = 2_000;
+        let q = Arc::new(MpscQueue::with_capacity(64));
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for seq in 0..PER_PRODUCER {
+                        q.push((p, seq));
+                        if seq % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let mut last_seen = vec![None::<u64>; PRODUCERS as usize];
+            let mut received = 0u64;
+            while received < PRODUCERS * PER_PRODUCER {
+                match q.pop() {
+                    Some((p, seq)) => {
+                        let last = &mut last_seen[p as usize];
+                        match last {
+                            None => assert_eq!(seq, 0, "producer {p} out of order"),
+                            Some(prev) => {
+                                assert_eq!(seq, *prev + 1, "producer {p} out of order")
+                            }
+                        }
+                        *last = Some(seq);
+                        received += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+        });
+        assert_eq!(q.pop(), None);
+        let (hits, misses) = q.pool_stats();
+        assert_eq!(hits + misses, PRODUCERS * PER_PRODUCER);
+    }
+
+    #[test]
+    fn dropping_a_nonempty_queue_drops_remaining_values() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicUsize::new(0));
+        {
+            let q = MpscQueue::with_capacity(2);
+            for _ in 0..5 {
+                q.push(Counted(Arc::clone(&dropped)));
+            }
+            let popped = q.pop().expect("one value");
+            drop(popped);
+            assert_eq!(dropped.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(dropped.load(Ordering::SeqCst), 5);
+    }
+}

@@ -579,6 +579,35 @@ pub fn wait_writable(_fd: RawFd, _timeout: Option<Duration>) -> io::Result<bool>
     Ok(true)
 }
 
+/// Pins the calling thread to CPU `core` (`sched_setaffinity(0, ...)`).
+/// Returns `Ok(true)` when the affinity mask was applied. The caller is
+/// responsible for keeping `core` below the number of online CPUs —
+/// the kernel rejects masks with no runnable CPU (`EINVAL`).
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(core: usize) -> io::Result<bool> {
+    // cpu_set_t is a 1024-bit mask (128 bytes) of u64 words.
+    const MASK_WORDS: usize = 1024 / 64;
+
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    if core >= MASK_WORDS * 64 {
+        return Ok(false);
+    }
+    let mut mask = [0u64; MASK_WORDS];
+    mask[core / 64] |= 1u64 << (core % 64);
+    check(unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) })?;
+    Ok(true)
+}
+
+/// Non-Linux stub of [`pin_current_thread`]: affinity is not portable, so
+/// pinning degrades to a no-op and reports that nothing happened.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_core: usize) -> io::Result<bool> {
+    Ok(false)
+}
+
 #[cfg(all(test, unix))]
 mod tests {
     use super::*;
